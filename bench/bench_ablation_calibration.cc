@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Ablation: calibration robustness. Our synthetic trace substitutes
+ * for the proprietary PAI trace; its knobs are tuned to the paper's
+ * published aggregates. This bench perturbs the most influential
+ * knobs by +-20% and checks that the paper's *conclusions* (not the
+ * exact percentages) survive:
+ *   - weight/gradient traffic dominates cNode-level time;
+ *   - a clear majority of PS jobs gain throughput on AllReduce-Local
+ *     while a meaningful minority does not;
+ *   - PS jobs are most sensitive to Ethernet bandwidth.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/projection.h"
+#include "core/sweep.h"
+#include "stats/table.h"
+
+using namespace paichar;
+using core::Level;
+using workload::ArchType;
+
+namespace {
+
+struct Verdicts
+{
+    double cnode_comm_share = 0.0;
+    double ps_port_winner_frac = 0.0;
+    double eth_speedup = 0.0;
+    bool conclusions_hold = false;
+};
+
+Verdicts
+evaluate(const trace::CalibrationProfile &profile)
+{
+    hw::ClusterSpec spec = hw::paiCluster();
+    core::AnalyticalModel model(spec);
+    trace::SyntheticClusterGenerator gen(profile, spec, 7777);
+    core::ClusterCharacterizer ch(model, gen.generate(8000));
+
+    Verdicts v;
+    v.cnode_comm_share =
+        ch.avgBreakdown(std::nullopt, Level::CNode)[1];
+
+    core::ArchitectureProjector proj(model);
+    int n = 0, winners = 0;
+    std::vector<workload::TrainingJob> ps_jobs;
+    for (const auto &job : ch.jobs()) {
+        if (job.arch != ArchType::PsWorker)
+            continue;
+        ++n;
+        ps_jobs.push_back(job);
+        winners += proj.project(job, ArchType::AllReduceLocal)
+                       .throughput_speedup > 1.0;
+    }
+    v.ps_port_winner_frac = static_cast<double>(winners) / n;
+
+    core::HardwareSweep sweep(spec);
+    v.eth_speedup =
+        sweep.avgSpeedup(ps_jobs, hw::Resource::Ethernet, 100.0);
+    double pcie =
+        sweep.avgSpeedup(ps_jobs, hw::Resource::Pcie, 50.0);
+    double mem =
+        sweep.avgSpeedup(ps_jobs, hw::Resource::GpuMemory, 4.0);
+
+    v.conclusions_hold = v.cnode_comm_share > 0.5 &&
+                         v.ps_port_winner_frac > 0.5 &&
+                         v.ps_port_winner_frac < 0.9 &&
+                         v.eth_speedup > pcie &&
+                         v.eth_speedup > mem;
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Ablation: calibration robustness",
+                       "do the paper's conclusions survive +-20% "
+                       "knob perturbations?");
+
+    using Mut = void (*)(trace::CalibrationProfile &, double);
+    struct Knob
+    {
+        const char *name;
+        Mut apply;
+    };
+    std::vector<Knob> knobs{
+        {"ps_weight_mean_base",
+         [](trace::CalibrationProfile &p, double k) {
+             p.ps_weight_mean_base *= k;
+         }},
+        {"ps_cnodes_median",
+         [](trace::CalibrationProfile &p, double k) {
+             p.ps_cnodes_median *= k;
+         }},
+        {"ps_data_heavy_prob",
+         [](trace::CalibrationProfile &p, double k) {
+             p.ps_data_heavy_prob *= k;
+         }},
+        {"step_time_median",
+         [](trace::CalibrationProfile &p, double k) {
+             p.step_time_median *= k;
+         }},
+        {"ps_cnodes_tail_prob",
+         [](trace::CalibrationProfile &p, double k) {
+             p.ps_cnodes_tail_prob *= k;
+         }},
+    };
+
+    stats::Table t({"perturbation", "cNode comm share",
+                    "PS port winners", "Eth 100G speedup",
+                    "conclusions hold"});
+    auto addRow = [&](const std::string &label,
+                      const trace::CalibrationProfile &p) {
+        Verdicts v = evaluate(p);
+        t.addRow({label, stats::fmtPct(v.cnode_comm_share),
+                  stats::fmtPct(v.ps_port_winner_frac),
+                  stats::fmt(v.eth_speedup, 2) + "x",
+                  v.conclusions_hold ? "yes" : "NO"});
+    };
+
+    addRow("(tuned profile)", trace::CalibrationProfile::paiDec2018());
+    for (const Knob &knob : knobs) {
+        for (double k : {0.8, 1.2}) {
+            auto p = trace::CalibrationProfile::paiDec2018();
+            knob.apply(p, k);
+            addRow(std::string(knob.name) + (k < 1 ? " x0.8" : " x1.2"),
+                   p);
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "Conclusions tested: comm > 50%% of cNode-level time; 50-90%% "
+        "of PS jobs gain from\nAllReduce-Local; Ethernet is the most "
+        "valuable upgrade for PS jobs. Exact\npercentages move with "
+        "the knobs (as they would across trace windows); the\n"
+        "qualitative story should not.\n");
+    return 0;
+}

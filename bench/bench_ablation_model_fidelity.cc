@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: analytical-model fidelity. The paper's Tw charges
+ * AllReduce jobs a plain Sw / B_NVLink; a ring actually moves
+ * 2(n-1)/n * Sw per link. This bench compares, per case-study model:
+ * the paper-style estimate, the ring-aware estimate, and the
+ * event-driven testbed measurement -- quantifying how much of Fig 12's
+ * residual error is protocol modeling vs efficiency assumption.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "stats/table.h"
+#include "testbed/training_sim.h"
+
+using namespace paichar;
+
+int
+main()
+{
+    bench::printHeader("Ablation: analytical-model fidelity",
+                       "paper-style vs ring-aware estimates vs "
+                       "simulated measurement");
+
+    core::AnalyticalModel paper_style(hw::v100Testbed());
+    paper_style.setPcieContention(false);
+    core::AnalyticalModel ring_aware(hw::v100Testbed());
+    ring_aware.setPcieContention(false);
+    ring_aware.setRingAware(true);
+    testbed::TrainingSimulator sim;
+
+    stats::Table t({"Model", "measured", "paper-style est", "err",
+                    "ring-aware est", "err"});
+    for (const auto &m : workload::ModelZoo::all()) {
+        workload::TrainingJob job;
+        job.arch = m.arch;
+        job.num_cnodes = m.num_cnodes;
+        job.features = m.features;
+
+        double actual = sim.run(m).total_time;
+        double plain = paper_style.stepTime(job);
+        double ring = ring_aware.stepTime(job);
+        t.addRow({m.name, stats::fmtSeconds(actual),
+                  stats::fmtSeconds(plain),
+                  stats::fmtPct((plain - actual) / actual),
+                  stats::fmtSeconds(ring),
+                  stats::fmtPct((ring - actual) / actual)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "Reading: for the AllReduce-Local models the ring-aware "
+        "estimate absorbs part of the\nerror the uniform-70%% "
+        "assumption leaves (the remainder is the gap between 70%% "
+        "and\nthe Table VI achieved efficiencies). The paper-style "
+        "model stays the default: its\nsimplicity is the point, and "
+        "Eq 3's 21x anchor depends on it.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regenerates Fig 10: execution-time breakdown of PS/Worker workloads
+ * after being mapped to AllReduce-Local. Paper anchor: the
+ * weight/gradient part shrinks drastically while the PCIe data-I/O
+ * share grows the most -- the bottleneck-shift effect.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/projection.h"
+#include "stats/ascii_plot.h"
+#include "stats/table.h"
+
+using namespace paichar;
+using core::Component;
+using workload::ArchType;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig 10",
+        "PS/Worker breakdown after projection to AllReduce-Local");
+    bench::printTraceInfo();
+
+    auto a = bench::makeClusterAnalysis();
+    core::ArchitectureProjector proj(*a.model);
+
+    // Per-component CDFs and averages over the projected jobs.
+    stats::WeightedCdf cdfs[4];
+    double before_avg[4] = {0, 0, 0, 0}, after_avg[4] = {0, 0, 0, 0};
+    int n = 0;
+    for (const auto &job : a.jobs()) {
+        if (job.arch != ArchType::PsWorker)
+            continue;
+        ++n;
+        auto b0 = a.model->breakdown(job);
+        auto b1 = a.model->breakdown(
+            proj.remap(job, ArchType::AllReduceLocal));
+        for (int c = 0; c < 4; ++c) {
+            double f = b1.fraction(core::kAllComponents[c]);
+            cdfs[c].add(f);
+            before_avg[c] += b0.fraction(core::kAllComponents[c]);
+            after_avg[c] += f;
+        }
+    }
+    for (int c = 0; c < 4; ++c) {
+        before_avg[c] /= n;
+        after_avg[c] /= n;
+    }
+
+    std::printf("(a) CDF of component shares after projection\n");
+    std::vector<stats::CdfSeries> series{
+        {"Data I/O(PCIe)", &cdfs[0]},
+        {"Weights traffic (NVLink)", &cdfs[1]},
+        {"Computation(GPU FLOPs)", &cdfs[2]},
+        {"Computation(GPU memory)", &cdfs[3]}};
+    std::printf("%s\n",
+                stats::renderCdfPlot(series, 64, 14, false,
+                                     "component share")
+                    .c_str());
+
+    std::printf("(b) average breakdown, before vs after projection\n");
+    std::vector<stats::StackedBar> bars{
+        {"PS/Worker",
+         {{"data I/O", before_avg[0]},
+          {"weights", before_avg[1]},
+          {"comp(flops)", before_avg[2]},
+          {"comp(mem)", before_avg[3]}}},
+        {"-> AR-Local",
+         {{"data I/O", after_avg[0]},
+          {"weights", after_avg[1]},
+          {"comp(flops)", after_avg[2]},
+          {"comp(mem)", after_avg[3]}}}};
+    std::printf("%s\n", stats::renderStackedBars(bars, 56).c_str());
+
+    stats::Table t({"component", "share before", "share after",
+                    "paper anchor"});
+    const char *names[4] = {"data I/O (PCIe)", "weights traffic",
+                            "comp (flops)", "comp (memory)"};
+    const char *anchor[4] = {"grows the most", "vastly reduced", "-",
+                             "-"};
+    for (int c = 0; c < 4; ++c) {
+        t.addRow({names[c], stats::fmtPct(before_avg[c]),
+                  stats::fmtPct(after_avg[c]), anchor[c]});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

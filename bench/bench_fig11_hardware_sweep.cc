@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Regenerates Fig 11: average speedup under the Table III hardware
+ * variations, for 1w1g / 1wng / PS-Worker populations and for the
+ * PS jobs projected to AllReduce-Local. Paper anchors: 1w1g is most
+ * sensitive to GPU memory bandwidth, 1wng to PCIe, PS/Worker to
+ * Ethernet (1.7x mean at 100 Gbps); after projection to
+ * AllReduce-Local, GPU memory bandwidth matters most.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/projection.h"
+#include "core/sweep.h"
+#include "stats/table.h"
+
+using namespace paichar;
+using workload::ArchType;
+using workload::TrainingJob;
+
+namespace {
+
+void
+printPanel(const std::string &title,
+           const std::vector<core::SweepSeries> &series)
+{
+    std::printf("--- %s ---\n", title.c_str());
+    stats::Table t({"resource", "value", "normalized",
+                    "avg speedup"});
+    for (const auto &s : series) {
+        for (const auto &p : s.points) {
+            t.addRow({hw::toString(p.resource),
+                      stats::fmt(p.value, 0),
+                      stats::fmt(p.normalized, 2) + "x",
+                      stats::fmt(p.avg_speedup, 3) + "x"});
+        }
+        t.addSeparator();
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Fig 11",
+                       "speedup with different hardware configurations");
+    bench::printTraceInfo();
+
+    auto a = bench::makeClusterAnalysis();
+    core::HardwareSweep sweep(a.spec);
+
+    auto panels = {
+        std::pair{ArchType::OneWorkerOneGpu, "(a) 1w1g"},
+        std::pair{ArchType::OneWorkerMultiGpu, "(b) 1wng"},
+        std::pair{ArchType::PsWorker, "(c) PS/Worker"},
+    };
+    for (auto [arch, title] : panels)
+        printPanel(title, sweep.run(a.jobsOf(arch)));
+
+    // Panel (d): the PS jobs projected onto AllReduce-Local.
+    core::ArchitectureProjector proj(*a.model);
+    std::vector<TrainingJob> projected;
+    for (const auto &job : a.jobsOf(ArchType::PsWorker))
+        projected.push_back(proj.remap(job, ArchType::AllReduceLocal));
+    printPanel("(d) PS/Worker projected to AllReduce-Local",
+               sweep.run(projected));
+
+    // Headline sensitivities.
+    stats::Table t({"population", "most sensitive to", "paper"});
+    auto winner = [&](const std::vector<TrainingJob> &jobs) {
+        double best = 0.0;
+        hw::Resource arg = hw::Resource::Ethernet;
+        for (auto [r, v] :
+             {std::pair{hw::Resource::Ethernet, 100.0},
+              std::pair{hw::Resource::Pcie, 50.0},
+              std::pair{hw::Resource::GpuFlops, 64.0},
+              std::pair{hw::Resource::GpuMemory, 4.0}}) {
+            double s = sweep.avgSpeedup(jobs, r, v);
+            if (s > best) {
+                best = s;
+                arg = r;
+            }
+        }
+        return hw::toString(arg);
+    };
+    t.addRow({"1w1g", winner(a.jobsOf(ArchType::OneWorkerOneGpu)),
+              "GPU_memory"});
+    t.addRow({"1wng", winner(a.jobsOf(ArchType::OneWorkerMultiGpu)),
+              "PCIe"});
+    t.addRow({"PS/Worker", winner(a.jobsOf(ArchType::PsWorker)),
+              "Ethernet"});
+    t.addRow({"-> AllReduce-Local", winner(projected), "GPU_memory"});
+    std::printf("%s\n", t.render().c_str());
+
+    double s_eth = sweep.avgSpeedup(a.jobsOf(ArchType::PsWorker),
+                                    hw::Resource::Ethernet, 100.0);
+    std::printf("PS/Worker mean speedup at 100 Gbps Ethernet: %.2fx "
+                "(paper: ~1.7x)\n",
+                s_eth);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Fig 16: sensitivity to the computation/communication
+ * overlap assumption. Left: the weight-traffic share of PS/Worker
+ * jobs under no overlap vs ideal overlap (ideal overlap exposes
+ * weight traffic as the bottleneck). Right: the AllReduce-Local
+ * projection speedup CDF under both assumptions. Paper anchors: the
+ * not-sped-up fraction stays similar (22.6% vs 20.2%), and ~23.4% of
+ * jobs hit the full Eq 3 ratio of 21x under ideal overlap.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/projection.h"
+#include "stats/ascii_plot.h"
+#include "stats/table.h"
+
+using namespace paichar;
+using core::Component;
+using core::OverlapMode;
+using workload::ArchType;
+
+int
+main()
+{
+    bench::printHeader("Fig 16",
+                       "shift effect under different overlap states");
+    bench::printTraceInfo();
+
+    auto a = bench::makeClusterAnalysis();
+    core::ArchitectureProjector proj(*a.model);
+
+    stats::WeightedCdf share_no, share_io, speed_no, speed_io;
+    int n = 0, no_speed_no = 0, no_speed_io = 0, at21 = 0;
+    for (const auto &job : a.jobs()) {
+        if (job.arch != ArchType::PsWorker)
+            continue;
+        ++n;
+        auto b = a.model->breakdown(job);
+        share_no.add(b.fraction(Component::WeightTraffic));
+        share_io.add(b.t_weight /
+                     b.total(OverlapMode::IdealOverlap));
+
+        auto r_no =
+            proj.project(job, ArchType::AllReduceLocal,
+                         OverlapMode::NonOverlap);
+        auto r_io =
+            proj.project(job, ArchType::AllReduceLocal,
+                         OverlapMode::IdealOverlap);
+        speed_no.add(r_no.single_node_speedup);
+        speed_io.add(r_io.single_node_speedup);
+        // Under ideal overlap, compute-bound jobs land at exactly
+        // 1.0x (the hidden communication improves but the bottleneck
+        // does not); "not sped up" counts strictly-slowed jobs.
+        no_speed_no += r_no.single_node_speedup < 1.0 - 1e-9;
+        no_speed_io += r_io.single_node_speedup < 1.0 - 1e-9;
+        at21 += r_io.single_node_speedup > 20.5;
+    }
+
+    std::printf("Left: weight-traffic share of PS/Worker jobs\n");
+    std::printf("%s\n",
+                stats::renderCdfPlot({{"non-overlap", &share_no},
+                                      {"ideal overlap", &share_io}},
+                                     64, 14, false,
+                                     "weight-traffic share")
+                    .c_str());
+
+    std::printf("Right: speedup when mapping to AllReduce-Local\n");
+    std::printf("%s\n",
+                stats::renderCdfPlot({{"non-overlap", &speed_no},
+                                      {"ideal overlap", &speed_io}},
+                                     64, 14, /*log_x=*/true,
+                                     "single-cNode speed-up")
+                    .c_str());
+
+    stats::Table t({"statistic", "measured", "paper"});
+    auto pct = [&](int k) {
+        return stats::fmtPct(static_cast<double>(k) / n);
+    };
+    t.addRow({"not sped up (non-overlap)", pct(no_speed_no),
+              "22.6%"});
+    t.addRow({"not sped up (ideal overlap)", pct(no_speed_io),
+              "20.2%"});
+    t.addRow({"jobs at ~21x under ideal overlap", pct(at21),
+              "23.4%"});
+    t.addRow({"max speedup (Eq 3)",
+              stats::fmt(speed_io.max(), 1) + "x", "21x"});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("The overlap assumption changes detailed ratios but "
+                "not the fundamental bottleneck\n(Sec V-B).\n");
+    return 0;
+}

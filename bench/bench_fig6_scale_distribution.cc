@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates Fig 6: (a) CDF of the cNode count per workload type,
+ * (b) CDF of the model weight size. Paper anchors: half of PS jobs
+ * exceed 8 cNodes; 0.7% of all jobs exceed 128 cNodes yet hold >16%
+ * of resources; 90% of models are <10 GB with a 100-300 GB tail.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "hw/units.h"
+#include "stats/ascii_plot.h"
+#include "stats/table.h"
+
+using namespace paichar;
+using workload::ArchType;
+
+int
+main()
+{
+    bench::printHeader("Fig 6", "workload scale distribution");
+    bench::printTraceInfo();
+
+    auto a = bench::makeClusterAnalysis();
+
+    std::printf("(a) CDF of the number of cNodes\n");
+    auto cdf_1wng =
+        a.characterizer->cnodeCountCdf(ArchType::OneWorkerMultiGpu);
+    auto cdf_ps = a.characterizer->cnodeCountCdf(ArchType::PsWorker);
+    std::printf("%s\n",
+                stats::renderCdfPlot({{"1wng", &cdf_1wng},
+                                      {"PS/Worker", &cdf_ps}},
+                                     64, 14, /*log_x=*/true,
+                                     "number of cNodes")
+                    .c_str());
+
+    stats::Table ta({"statistic", "measured", "paper"});
+    ta.addRow({"P(cNodes <= 8 | PS/Worker)",
+               stats::fmtPct(cdf_ps.probAtOrBelow(8.0)), "~50%"});
+    int64_t big = 0, big_cnodes = 0, all_cnodes = 0;
+    for (const auto &j : a.jobs()) {
+        all_cnodes += j.num_cnodes;
+        if (j.num_cnodes > 128) {
+            ++big;
+            big_cnodes += j.num_cnodes;
+        }
+    }
+    ta.addRow({"jobs with > 128 cNodes",
+               stats::fmtPct(static_cast<double>(big) /
+                             static_cast<double>(a.jobs().size())),
+               "0.7%"});
+    ta.addRow({"resources they hold",
+               stats::fmtPct(static_cast<double>(big_cnodes) /
+                             static_cast<double>(all_cnodes)),
+               ">16%"});
+    std::printf("%s\n", ta.render().c_str());
+
+    std::printf("(b) CDF of the weight size (GB, log scale)\n");
+    auto w_all = a.characterizer->weightSizeCdf(std::nullopt);
+    auto w_1w1g =
+        a.characterizer->weightSizeCdf(ArchType::OneWorkerOneGpu);
+    auto w_1wng =
+        a.characterizer->weightSizeCdf(ArchType::OneWorkerMultiGpu);
+    auto w_ps = a.characterizer->weightSizeCdf(ArchType::PsWorker);
+    std::printf("%s\n",
+                stats::renderCdfPlot({{"1w1g", &w_1w1g},
+                                      {"1wng", &w_1wng},
+                                      {"PS/Worker", &w_ps}},
+                                     64, 14, /*log_x=*/true,
+                                     "weight size (bytes)")
+                    .c_str());
+
+    stats::Table tb({"statistic", "measured", "paper"});
+    tb.addRow({"P(weights < 10 GB)",
+               stats::fmtPct(w_all.probAtOrBelow(10.0 * hw::kGB)),
+               "~90%"});
+    tb.addRow({"largest model", stats::fmtBytes(w_all.max()),
+               "100-300 GB scale"});
+    std::printf("%s", tb.render().c_str());
+    return 0;
+}

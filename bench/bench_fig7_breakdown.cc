@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Regenerates Fig 7: average percentage of each execution-time
+ * component per workload type, at job level and cNode level. Paper
+ * anchors: weight/gradient communication ~22% job level, ~62% cNode
+ * level; computation ~35% cNode level (13% compute-bound + 22%
+ * memory-bound); memory-bound >= compute-bound everywhere.
+ */
+
+#include <cstdio>
+#include <optional>
+
+#include "common.h"
+#include "stats/ascii_plot.h"
+#include "stats/table.h"
+
+using namespace paichar;
+using core::Component;
+using core::Level;
+using workload::ArchType;
+
+namespace {
+
+stats::StackedBar
+makeBar(const std::string &label, const std::array<double, 4> &avg)
+{
+    // kAllComponents order: DataIo, WeightTraffic, ComputeFlops,
+    // ComputeMemory.
+    return {label,
+            {{"data I/O", avg[0]},
+             {"weights", avg[1]},
+             {"comp(flops)", avg[2]},
+             {"comp(mem)", avg[3]}}};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Fig 7",
+                       "average execution-time breakdown per type");
+    bench::printTraceInfo();
+
+    auto a = bench::makeClusterAnalysis();
+
+    for (Level level : {Level::Job, Level::CNode}) {
+        std::printf("%s\n", level == Level::Job
+                                ? "Left column: job-level"
+                                : "Right column: cNode-level");
+        std::vector<stats::StackedBar> bars;
+        bars.push_back(makeBar(
+            "all", a.characterizer->avgBreakdown(std::nullopt, level)));
+        for (ArchType arch :
+             {ArchType::OneWorkerOneGpu, ArchType::OneWorkerMultiGpu,
+              ArchType::PsWorker}) {
+            bars.push_back(makeBar(
+                workload::toString(arch),
+                a.characterizer->avgBreakdown(arch, level)));
+        }
+        std::printf("%s\n", stats::renderStackedBars(bars, 56).c_str());
+    }
+
+    auto jl = a.characterizer->avgBreakdown(std::nullopt, Level::Job);
+    auto cl = a.characterizer->avgBreakdown(std::nullopt, Level::CNode);
+    stats::Table t({"statistic", "measured", "paper"});
+    t.addRow({"weights traffic share (job level)", stats::fmtPct(jl[1]),
+              "~22%"});
+    t.addRow({"weights traffic share (cNode level)",
+              stats::fmtPct(cl[1]), "~62%"});
+    t.addRow({"compute-bound share (cNode level)", stats::fmtPct(cl[2]),
+              "~13%"});
+    t.addRow({"memory-bound share (cNode level)", stats::fmtPct(cl[3]),
+              "~22%"});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Regenerates Fig 8: CDFs of each execution-time component's share,
+ * for all workloads (by hardware component, Fig 8a) and per type
+ * (Fig 8b-d), each at job level (top) and cNode level (bottom).
+ * Paper anchor: >40% of PS/Worker jobs spend >80% of time in
+ * communication; ~5% of 1w1g jobs spend >50% on input data.
+ */
+
+#include <cstdio>
+#include <optional>
+
+#include "common.h"
+#include "stats/ascii_plot.h"
+#include "stats/table.h"
+
+using namespace paichar;
+using core::Component;
+using core::HwComponent;
+using core::Level;
+using workload::ArchType;
+
+int
+main()
+{
+    bench::printHeader("Fig 8",
+                       "CDFs of execution-time component shares");
+    bench::printTraceInfo();
+
+    auto a = bench::makeClusterAnalysis();
+
+    for (Level level : {Level::Job, Level::CNode}) {
+        const char *lvl =
+            level == Level::Job ? "job-level" : "cNode-level";
+
+        std::printf("(a) all workloads, by hardware component (%s)\n",
+                    lvl);
+        std::vector<stats::WeightedCdf> hw_cdfs;
+        hw_cdfs.reserve(4);
+        std::vector<stats::CdfSeries> hw_series;
+        for (HwComponent h :
+             {HwComponent::GpuFlops, HwComponent::GpuMemory,
+              HwComponent::Pcie, HwComponent::Ethernet}) {
+            hw_cdfs.push_back(
+                a.characterizer->hwComponentCdf(h, level));
+        }
+        hw_series = {{"GPU_FLOPs", &hw_cdfs[0]},
+                     {"GPU_memory", &hw_cdfs[1]},
+                     {"PCIe", &hw_cdfs[2]},
+                     {"Ethernet", &hw_cdfs[3]}};
+        std::printf("%s\n",
+                    stats::renderCdfPlot(hw_series, 64, 12, false,
+                                         "component share")
+                        .c_str());
+
+        for (ArchType arch :
+             {ArchType::OneWorkerOneGpu, ArchType::OneWorkerMultiGpu,
+              ArchType::PsWorker}) {
+            std::printf("(%s) %s (%s)\n",
+                        arch == ArchType::OneWorkerOneGpu  ? "b"
+                        : arch == ArchType::OneWorkerMultiGpu ? "c"
+                                                               : "d",
+                        workload::toString(arch).c_str(), lvl);
+            std::vector<stats::WeightedCdf> cdfs;
+            cdfs.reserve(4);
+            for (Component c : core::kAllComponents)
+                cdfs.push_back(
+                    a.characterizer->componentCdf(c, arch, level));
+            std::vector<stats::CdfSeries> series{
+                {"Data I/O", &cdfs[0]},
+                {"Weights traffic", &cdfs[1]},
+                {"Comp.(compute-bound)", &cdfs[2]},
+                {"Comp.(memory-bound)", &cdfs[3]}};
+            std::printf("%s\n",
+                        stats::renderCdfPlot(series, 64, 12, false,
+                                             "component share")
+                            .c_str());
+        }
+    }
+
+    auto ps_w = a.characterizer->componentCdf(Component::WeightTraffic,
+                                              ArchType::PsWorker,
+                                              Level::Job);
+    auto w1_d = a.characterizer->componentCdf(
+        Component::DataIo, ArchType::OneWorkerOneGpu, Level::Job);
+    stats::Table t({"statistic", "measured", "paper"});
+    t.addRow({"PS/Worker jobs with >80% comm time",
+              stats::fmtPct(1.0 - ps_w.probAtOrBelow(0.8)), ">40%"});
+    t.addRow({"1w1g jobs with >50% data-I/O time",
+              stats::fmtPct(1.0 - w1_d.probAtOrBelow(0.5)), "~5%"});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

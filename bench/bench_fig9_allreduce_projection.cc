@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Regenerates Fig 9: speedups from mapping PS/Worker workloads onto
+ * the AllReduce architectures.
+ *
+ * (a) -> AllReduce-Local (cNodes clamped to 8): paper anchors 22.6%
+ *     of jobs see no single-cNode speedup and 40.2% no throughput
+ *     gain (i.e. ~60% improve).
+ * (b) -> AllReduce-Cluster: ~67.9% improve overall; of the jobs
+ *     AllReduce-Local could not speed up, ~37.8% improve.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "core/projection.h"
+#include "stats/ascii_plot.h"
+#include "stats/table.h"
+
+using namespace paichar;
+using workload::ArchType;
+
+int
+main()
+{
+    bench::printHeader("Fig 9",
+                       "improvement from mapping PS jobs to AllReduce");
+    bench::printTraceInfo();
+
+    auto a = bench::makeClusterAnalysis();
+    core::ArchitectureProjector proj(*a.model);
+
+    stats::WeightedCdf single, tput, cluster_all, cluster_rescue;
+    int n = 0, no_single = 0, no_tput = 0, c_sped = 0;
+    int local_losers = 0, rescued = 0;
+    for (const auto &job : a.jobs()) {
+        if (job.arch != ArchType::PsWorker)
+            continue;
+        ++n;
+        auto rl = proj.project(job, ArchType::AllReduceLocal);
+        auto rc = proj.project(job, ArchType::AllReduceCluster);
+        single.add(rl.single_node_speedup);
+        tput.add(rl.throughput_speedup);
+        cluster_all.add(rc.throughput_speedup);
+        no_single += rl.single_node_speedup <= 1.0;
+        no_tput += rl.throughput_speedup <= 1.0;
+        c_sped += rc.throughput_speedup > 1.0;
+        if (rl.throughput_speedup <= 1.0) {
+            ++local_losers;
+            cluster_rescue.add(rc.throughput_speedup);
+            rescued += rc.throughput_speedup > 1.0;
+        }
+    }
+
+    std::printf("(a) PS/Worker -> AllReduce-Local (%d jobs)\n", n);
+    std::printf("%s\n",
+                stats::renderCdfPlot({{"single cNode speedup", &single},
+                                      {"throughput speedup", &tput}},
+                                     64, 14, /*log_x=*/true, "speed-up")
+                    .c_str());
+
+    std::printf("(b) PS/Worker -> AllReduce-Cluster\n");
+    std::printf(
+        "%s\n",
+        stats::renderCdfPlot(
+            {{"all workloads", &cluster_all},
+             {"workloads not sped-up by AllReduce-Local",
+              &cluster_rescue}},
+            64, 14, /*log_x=*/false, "speed-up")
+            .c_str());
+
+    stats::Table t({"statistic", "measured", "paper"});
+    auto pct = [&](int k, int d) {
+        return stats::fmtPct(static_cast<double>(k) / d);
+    };
+    t.addRow({"no single-cNode speedup (AR-Local)",
+              pct(no_single, n), "22.6%"});
+    t.addRow({"no throughput speedup (AR-Local)", pct(no_tput, n),
+              "40.2%"});
+    t.addRow({"sped up by AR-Cluster", pct(c_sped, n), "67.9%"});
+    t.addRow({"AR-Local losers rescued by AR-Cluster",
+              pct(rescued, std::max(1, local_losers)), "37.8%"});
+    t.addRow({"max comm-bound speedup (Eq 3)",
+              stats::fmt(single.max(), 1) + "x", "21x"});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

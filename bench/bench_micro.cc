@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's hot paths: the
+ * analytical model, trace synthesis, cluster characterization, the
+ * DES engine, collectives, the fusion pass, and a full simulated
+ * training step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "collectives/collective_ops.h"
+#include "core/characterization.h"
+#include "core/projection.h"
+#include "opt/passes.h"
+#include "testbed/training_sim.h"
+#include "trace/synthetic_cluster.h"
+
+using namespace paichar;
+
+namespace {
+
+workload::TrainingJob
+sampleJob()
+{
+    trace::SyntheticClusterGenerator gen(7);
+    return gen.generateJob(0);
+}
+
+void
+BM_AnalyticalBreakdown(benchmark::State &state)
+{
+    core::AnalyticalModel model(hw::paiCluster());
+    auto job = sampleJob();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.breakdown(job));
+}
+BENCHMARK(BM_AnalyticalBreakdown);
+
+void
+BM_Projection(benchmark::State &state)
+{
+    core::AnalyticalModel model(hw::paiCluster());
+    core::ArchitectureProjector proj(model);
+    trace::SyntheticClusterGenerator gen(7);
+    workload::TrainingJob job;
+    do {
+        job = gen.generateJob(0);
+    } while (job.arch != workload::ArchType::PsWorker);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            proj.project(job, workload::ArchType::AllReduceLocal));
+    }
+}
+BENCHMARK(BM_Projection);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        trace::SyntheticClusterGenerator gen(7);
+        auto jobs = gen.generate(static_cast<size_t>(state.range(0)));
+        benchmark::DoNotOptimize(jobs.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1000)->Arg(10000);
+
+void
+BM_Characterization(benchmark::State &state)
+{
+    core::AnalyticalModel model(hw::paiCluster());
+    trace::SyntheticClusterGenerator gen(7);
+    auto jobs = gen.generate(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        core::ClusterCharacterizer ch(model, jobs);
+        benchmark::DoNotOptimize(
+            ch.avgBreakdown(std::nullopt, core::Level::CNode));
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Characterization)->Arg(1000)->Arg(10000);
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int64_t fired = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.schedule(static_cast<double>(i % 97), [&] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueue)->Arg(10000);
+
+void
+BM_RingAllReduce(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::TopologyConfig tc;
+        tc.cluster = hw::v100Testbed();
+        sim::ClusterSim cluster(tc);
+        collectives::CollectiveOps ops(cluster.eventQueue());
+        double end = 0.0;
+        ops.ringAllReduce(
+            cluster.gpuGroup(static_cast<int>(state.range(0))), 1e9,
+            [&](sim::SimTime t) { end = t; });
+        cluster.eventQueue().run();
+        benchmark::DoNotOptimize(end);
+    }
+}
+BENCHMARK(BM_RingAllReduce)->Arg(2)->Arg(8);
+
+void
+BM_XlaFusion(benchmark::State &state)
+{
+    auto m = workload::ModelZoo::speech();
+    opt::XlaFusionPass pass;
+    for (auto _ : state) {
+        auto g = pass.run(m.graph);
+        benchmark::DoNotOptimize(g.size());
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        static_cast<int64_t>(m.graph.size()));
+}
+BENCHMARK(BM_XlaFusion);
+
+void
+BM_TrainingStep(benchmark::State &state)
+{
+    testbed::TrainingSimulator sim;
+    auto m = workload::ModelZoo::resnet50();
+    for (auto _ : state) {
+        auto r = sim.run(m);
+        benchmark::DoNotOptimize(r.total_time);
+    }
+}
+BENCHMARK(BM_TrainingStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

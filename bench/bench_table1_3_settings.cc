@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates Table I (base system settings) and Table III (hardware
+ * configuration variations) from the hardware presets.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "hw/units.h"
+#include "stats/table.h"
+
+using namespace paichar;
+
+int
+main()
+{
+    bench::printHeader("Table I & Table III",
+                       "system settings and variation grid");
+
+    hw::ClusterSpec c = hw::paiCluster();
+    {
+        stats::Table t({"Component", "Setting", "Value"});
+        t.addRow({"GPU", "FLOPs",
+                  stats::fmt(c.server.gpu.peak_flops / hw::kTFLOPs, 0) +
+                      " TFLOPs"});
+        t.addRow({"GPU", "Memory",
+                  stats::fmt(c.server.gpu.mem_bandwidth / hw::kTB, 0) +
+                      " TB / second"});
+        t.addRow({"Bandwidth", "Ethernet",
+                  stats::fmt(c.ethernet_bandwidth * 8.0 / 1e9, 0) +
+                      " Gb / second"});
+        t.addRow({"Bandwidth", "PCI",
+                  stats::fmt(c.server.pcie_bandwidth / hw::kGB, 0) +
+                      " GB / second"});
+        t.addRow({"Bandwidth", "NVLink",
+                  stats::fmt(c.server.nvlink_bandwidth / hw::kGB, 0) +
+                      " GB / second"});
+        std::printf("Table I: SYSTEM SETTINGS (paper values: 11 "
+                    "TFLOPs, 1 TB/s, 25 Gbps, 10 GB/s, 50 GB/s)\n%s\n",
+                    t.render().c_str());
+    }
+
+    {
+        hw::HardwareVariations v = hw::tableIiiVariations();
+        auto join = [](const std::vector<double> &xs) {
+            std::string s = "{";
+            for (size_t i = 0; i < xs.size(); ++i) {
+                if (i)
+                    s += ", ";
+                s += stats::fmt(xs[i], 0);
+            }
+            return s + "}";
+        };
+        stats::Table t({"Resource", "Candidates"});
+        t.addRow({"Ethernet/Gbps", join(v.ethernet_gbps)});
+        t.addRow({"PCI/GB", join(v.pcie_gbs)});
+        t.addRow({"GPU peak FLOPs/T", join(v.gpu_peak_tflops)});
+        t.addRow({"GPU memory/TB", join(v.gpu_mem_tbs)});
+        std::printf("Table III: HARDWARE CONFIGURATION VARIATIONS\n%s\n",
+                    t.render().c_str());
+    }
+
+    std::printf("Efficiency assumption: %.0f%% of every capacity "
+                "(Sec II-B).\n",
+                c.efficiency * 100.0);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates Table II: the five workload types, their system
+ * architecture / configuration, and the weight-movement medium.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "stats/table.h"
+#include "workload/arch_type.h"
+
+using namespace paichar;
+using workload::ArchType;
+
+int
+main()
+{
+    bench::printHeader("Table II",
+                       "summary of five types of workloads");
+
+    stats::Table t({"Type", "System Architecture",
+                    "System Configuration", "Weight Movement"});
+    for (ArchType a :
+         {ArchType::OneWorkerOneGpu, ArchType::OneWorkerMultiGpu,
+          ArchType::PsWorker, ArchType::AllReduceLocal,
+          ArchType::AllReduceCluster}) {
+        std::string arch_col =
+            a == ArchType::OneWorkerOneGpu
+                ? "-"
+                : (workload::isCentralized(a) ? "Centralized"
+                                              : "Decentralized");
+        t.addRow({workload::toString(a), arch_col,
+                  workload::isCluster(a) ? "Cluster" : "Local",
+                  workload::weightMovementMedium(a)});
+    }
+    t.addSeparator();
+    // Our extension row: the PEARL strategy introduced in Sec IV-C.
+    t.addRow({workload::toString(ArchType::Pearl), "Decentralized",
+              "Local", workload::weightMovementMedium(ArchType::Pearl)});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("(Last row: PEARL, the paper's Sec IV-C hybrid "
+                "strategy, shown for completeness.)\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Regenerates Table IV (model scale) and Table V (basic workload
+ * features) from the model zoo, plus the op-graph composition of each
+ * case-study model.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "stats/table.h"
+#include "workload/model_zoo.h"
+
+using namespace paichar;
+
+int
+main()
+{
+    bench::printHeader("Table IV & Table V",
+                       "case-study model scale and workload features");
+
+    auto models = workload::ModelZoo::all();
+
+    {
+        stats::Table t({"Model", "Domain", "Dense weights",
+                        "Embedding weights", "System Architecture"});
+        for (const auto &m : models) {
+            t.addRow({m.name, m.domain,
+                      stats::fmtBytes(m.features.dense_weight_bytes),
+                      stats::fmtBytes(
+                          m.features.embedding_weight_bytes),
+                      workload::toString(m.arch)});
+        }
+        std::printf("Table IV: MODEL SCALE\n%s\n", t.render().c_str());
+    }
+
+    {
+        stats::Table t({"Model", "Batch", "FLOP count", "Mem access",
+                        "MemCopy(PCIe)", "Network traffic"});
+        for (const auto &m : models) {
+            t.addRow({m.name, stats::fmt(m.features.batch_size, 0),
+                      stats::fmt(m.features.flop_count / 1e9, 1) + " G",
+                      stats::fmtBytes(m.features.mem_access_bytes),
+                      stats::fmtBytes(m.features.input_bytes),
+                      stats::fmtBytes(m.features.comm_bytes)});
+        }
+        std::printf("Table V: BASIC WORKLOAD FEATURES\n%s\n",
+                    t.render().c_str());
+    }
+
+    {
+        stats::Table t({"Model", "ops", "kernels", "compute-bound",
+                        "fusable (element-wise)", "embedding"});
+        for (const auto &m : models) {
+            int compute = 0, fusable = 0, embed = 0, kernels = 0;
+            for (const auto &op : m.graph.ops()) {
+                if (op.type == workload::OpType::DataLoad)
+                    continue;
+                ++kernels;
+                compute += workload::isComputeBound(op.type);
+                fusable += workload::isFusable(op.type);
+                embed +=
+                    op.type == workload::OpType::EmbeddingLookup;
+            }
+            t.addRow({m.name, std::to_string(m.graph.size()),
+                      std::to_string(kernels),
+                      std::to_string(compute),
+                      std::to_string(fusable),
+                      std::to_string(embed)});
+        }
+        std::printf("Op-graph composition (our substrate for the "
+                    "Sec IV experiments)\n%s",
+                    t.render().c_str());
+    }
+    return 0;
+}

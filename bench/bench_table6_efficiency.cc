@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates Table VI: achieved hardware efficiency per case-study
+ * workload. The simulated testbed runs each model with its measured
+ * profile; the bench then *recovers* the efficiencies from the
+ * profiling records (demand / (capacity x busy time)), validating the
+ * measurement pipeline end to end.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "profiler/feature_extraction.h"
+#include "stats/table.h"
+#include "testbed/training_sim.h"
+
+using namespace paichar;
+
+int
+main()
+{
+    bench::printHeader("Table VI",
+                       "resource efficiency for each workload");
+
+    testbed::TrainingSimulator sim;
+    const auto spec = hw::v100Testbed();
+
+    stats::Table t({"Model", "GPU TOPS", "GDDR", "PCIe",
+                    "Network", "(columns: recovered | Table VI)"});
+    for (const auto &m : workload::ModelZoo::all()) {
+        auto r = sim.run(m);
+
+        // Recover efficiencies from the run: demand over capacity x
+        // the time the component was actually busy.
+        double eff_flops =
+            r.compute_flops_time > 0.0
+                ? m.features.flop_count /
+                      (spec.server.gpu.peak_flops *
+                       r.compute_flops_time)
+                : 0.0;
+        double eff_mem =
+            r.compute_mem_time > 0.0
+                ? m.features.mem_access_bytes /
+                      (spec.server.gpu.mem_bandwidth *
+                       r.compute_mem_time)
+                : 0.0;
+        double eff_pcie =
+            r.data_time > 0.0
+                ? m.features.input_bytes /
+                      (spec.server.pcie_bandwidth * r.data_time)
+                : 0.0;
+        // Network: whichever medium carried the sync traffic.
+        double net_capacity =
+            m.arch == workload::ArchType::PsWorker
+                ? spec.ethernet_bandwidth
+                : spec.server.nvlink_bandwidth;
+        double moved = 0.0;
+        for (const auto &tr : r.metadata.transfers) {
+            if (tr.kind == profiler::TransferKind::WeightSync &&
+                tr.medium != profiler::Medium::Pcie) {
+                moved += tr.bytes;
+            }
+        }
+        double eff_net =
+            r.comm_time > 0.0 && moved > 0.0
+                ? moved / (net_capacity * r.comm_time)
+                : 0.0;
+
+        auto cell = [](double recovered, double table) {
+            return stats::fmtPct(recovered, 1) + " | " +
+                   stats::fmtPct(table, 1);
+        };
+        const auto &e = m.measured_efficiency;
+        t.addRow({m.name, cell(eff_flops, e.gpu_flops),
+                  cell(eff_mem, e.gpu_memory),
+                  cell(eff_pcie, e.pcie), cell(eff_net, e.network),
+                  ""});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf(
+        "Recovered GPU/GDDR/PCIe values equal the injected Table VI "
+        "profile by construction;\nnetwork values differ where the "
+        "protocol moves more or less than the logical buffer\n(ring "
+        "factor 2(n-1)/n, serial legs, PEARL partitioning) -- the "
+        "same effect that\nmakes 'measured network efficiency' "
+        "protocol-dependent on the real testbed.\n");
+    return 0;
+}

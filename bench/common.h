@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: every bench prints a
+ * header naming the paper artifact it regenerates and the trace seed,
+ * then reproduces the table/figure on stdout.
+ */
+
+#ifndef PAICHAR_BENCH_COMMON_H
+#define PAICHAR_BENCH_COMMON_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analytical_model.h"
+#include "core/characterization.h"
+#include "hw/hardware_config.h"
+#include "trace/synthetic_cluster.h"
+
+namespace paichar::bench {
+
+/** Seed and size used by all cluster-level reproductions. */
+inline constexpr uint64_t kTraceSeed = 20181201; // Dec 1st, 2018
+inline constexpr size_t kTraceJobs = 20000;
+
+/** Print the standard harness banner. */
+inline void
+printHeader(const std::string &artifact, const std::string &caption)
+{
+    std::printf("======================================================"
+                "==========\n");
+    std::printf("Reproduction of %s -- %s\n", artifact.c_str(),
+                caption.c_str());
+    std::printf("Paper: Characterizing Deep Learning Training "
+                "Workloads on Alibaba-PAI (IISWC'19)\n");
+    std::printf("======================================================"
+                "==========\n\n");
+}
+
+/** Print the synthetic-trace provenance line. */
+inline void
+printTraceInfo()
+{
+    std::printf("Synthetic trace: %zu jobs, seed %llu (calibrated to "
+                "the paper's published aggregates; see DESIGN.md)\n\n",
+                kTraceJobs,
+                static_cast<unsigned long long>(kTraceSeed));
+}
+
+/** Bundle of everything a cluster-level bench needs. */
+struct ClusterAnalysis
+{
+    hw::ClusterSpec spec;
+    std::unique_ptr<core::AnalyticalModel> model;
+    std::unique_ptr<core::ClusterCharacterizer> characterizer;
+
+    const std::vector<workload::TrainingJob> &
+    jobs() const
+    {
+        return characterizer->jobs();
+    }
+
+    /** Jobs of one architecture. */
+    std::vector<workload::TrainingJob>
+    jobsOf(workload::ArchType arch) const
+    {
+        std::vector<workload::TrainingJob> out;
+        for (const auto &j : jobs()) {
+            if (j.arch == arch)
+                out.push_back(j);
+        }
+        return out;
+    }
+};
+
+/** Generate the standard synthetic cluster and wrap it for analysis. */
+inline ClusterAnalysis
+makeClusterAnalysis(uint64_t seed = kTraceSeed,
+                    size_t jobs = kTraceJobs)
+{
+    ClusterAnalysis a;
+    a.spec = hw::paiCluster();
+    a.model = std::make_unique<core::AnalyticalModel>(a.spec);
+    trace::SyntheticClusterGenerator gen(seed);
+    a.characterizer = std::make_unique<core::ClusterCharacterizer>(
+        *a.model, gen.generate(jobs));
+    return a;
+}
+
+} // namespace paichar::bench
+
+#endif // PAICHAR_BENCH_COMMON_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The full optimization loop the paper motivates (Sec IV-D / VI):
+ * profile a workload on the simulated testbed, diagnose its
+ * bottleneck from the captured run metadata, then let the planner
+ * measure every combination of mixed precision, XLA fusion and
+ * feasible architecture, and report the ranked plans.
+ *
+ * Usage: optimization_planning [model]   (default: speech)
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "opt/optimization_planner.h"
+#include "profiler/bottleneck_report.h"
+#include "stats/table.h"
+
+using namespace paichar;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "speech";
+    workload::CaseStudyModel m = [&] {
+        if (!std::strcmp(name, "resnet50"))
+            return workload::ModelZoo::resnet50();
+        if (!std::strcmp(name, "nmt"))
+            return workload::ModelZoo::nmt();
+        if (!std::strcmp(name, "bert"))
+            return workload::ModelZoo::bert();
+        if (!std::strcmp(name, "multi-interests"))
+            return workload::ModelZoo::multiInterests();
+        if (!std::strcmp(name, "gcn"))
+            return workload::ModelZoo::gcn();
+        return workload::ModelZoo::speech();
+    }();
+
+    // 1. Profile one training step and diagnose it.
+    testbed::TrainingSimulator sim;
+    auto step = sim.run(m);
+    profiler::BottleneckAnalyzer analyzer(
+        sim.options().kernel_launch_overhead);
+    std::printf("== step profile: %s ==\n%s\n", m.name.c_str(),
+                analyzer.analyze(step.metadata).render().c_str());
+
+    // 2. Measure every optimization plan.
+    opt::OptimizationPlanner planner;
+    auto plans = planner.evaluate(m);
+    stats::Table t({"plan", "cNodes", "step time", "throughput",
+                    "speedup"});
+    for (const auto &p : plans) {
+        t.addRow({p.label(), std::to_string(p.num_cnodes),
+                  stats::fmtSeconds(p.result.total_time),
+                  stats::fmt(p.throughput, 0) + "/s",
+                  stats::fmt(p.speedup, 2) + "x"});
+    }
+    std::printf("== measured plans (baseline first) ==\n%s",
+                t.render().c_str());
+
+    auto best = planner.best(m);
+    std::printf("\npick: %s -> %s per step (%.2fx)\n",
+                best.label().c_str(),
+                stats::fmtSeconds(best.result.total_time).c_str(),
+                best.speedup);
+    return 0;
+}

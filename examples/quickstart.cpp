@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: describe a training workload by its fundamental
+ * demands, predict its step-time breakdown with the paper's
+ * analytical model, and ask what porting it to AllReduce would buy.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/analytical_model.h"
+#include "core/projection.h"
+#include "hw/units.h"
+#include "stats/table.h"
+
+using namespace paichar;
+
+int
+main()
+{
+    // 1. The hardware: the paper's production cluster (Table I).
+    hw::ClusterSpec cluster = hw::paiCluster();
+    core::AnalyticalModel model(cluster);
+
+    // 2. A workload: a 16-worker PS/Worker recommendation job.
+    workload::TrainingJob job;
+    job.arch = workload::ArchType::PsWorker;
+    job.num_cnodes = 16;
+    job.num_ps = 4;
+    job.features.batch_size = 512;
+    job.features.flop_count = 0.8 * hw::kTFLOPs; // per step per GPU
+    job.features.mem_access_bytes = 60 * hw::kGB;
+    job.features.input_bytes = 90 * hw::kMB;  // samples over PCIe
+    job.features.comm_bytes = 900 * hw::kMB;  // weights/grads per step
+    job.features.dense_weight_bytes = 900 * hw::kMB;
+
+    // 3. Where does the time go? (Eq 1, Sec II-B)
+    core::TimeBreakdown b = model.breakdown(job);
+    stats::Table t({"component", "time", "share"});
+    for (core::Component c : core::kAllComponents) {
+        t.addRow({core::toString(c), stats::fmtSeconds(b.time(c)),
+                  stats::fmtPct(b.fraction(c))});
+    }
+    std::printf("Step-time breakdown on %s:\n%s", cluster.name.c_str(),
+                t.render().c_str());
+    std::printf("step time: %s | throughput (Eq 2): %.0f samples/s\n\n",
+                stats::fmtSeconds(b.total()).c_str(),
+                model.throughput(job));
+
+    // 4. What if we port it to AllReduce-Local on an NVLink server?
+    core::ArchitectureProjector proj(model);
+    auto r = proj.project(job, workload::ArchType::AllReduceLocal);
+    std::printf("Ported to AllReduce-Local (cNodes %d -> %d):\n",
+                job.num_cnodes, r.projected.num_cnodes);
+    std::printf("  single-cNode speedup: %.2fx\n",
+                r.single_node_speedup);
+    std::printf("  overall-throughput speedup: %.2fx\n",
+                r.throughput_speedup);
+    std::printf("  (comm-bound jobs approach the Eq 3 limit of "
+                "21x)\n");
+    return 0;
+}

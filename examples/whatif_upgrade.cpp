@@ -1,0 +1,98 @@
+/**
+ * @file
+ * "What should we buy?" -- the Sec VI capacity-planning exercise: for
+ * a given workload, rank architecture choices and hardware upgrades
+ * by the end-to-end speedup the analytical model predicts.
+ *
+ * Usage: whatif_upgrade [model]
+ *   model in {resnet50, nmt, bert, speech, multi-interests, gcn};
+ *   default multi-interests.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/projection.h"
+#include "core/sweep.h"
+#include "stats/table.h"
+#include "workload/model_zoo.h"
+
+using namespace paichar;
+
+int
+main(int argc, char **argv)
+{
+    const char *name = argc > 1 ? argv[1] : "multi-interests";
+    workload::CaseStudyModel m = [&] {
+        if (!std::strcmp(name, "resnet50"))
+            return workload::ModelZoo::resnet50();
+        if (!std::strcmp(name, "nmt"))
+            return workload::ModelZoo::nmt();
+        if (!std::strcmp(name, "bert"))
+            return workload::ModelZoo::bert();
+        if (!std::strcmp(name, "speech"))
+            return workload::ModelZoo::speech();
+        if (!std::strcmp(name, "gcn"))
+            return workload::ModelZoo::gcn();
+        return workload::ModelZoo::multiInterests();
+    }();
+
+    hw::ClusterSpec base = hw::v100Testbed();
+    core::AnalyticalModel model(base);
+
+    workload::TrainingJob job;
+    job.arch = m.arch;
+    job.num_cnodes = m.num_cnodes;
+    job.features = m.features;
+
+    std::printf("Workload: %s (%s, %d cNodes, %s weights)\n\n",
+                m.name.c_str(), workload::toString(m.arch).c_str(),
+                m.num_cnodes,
+                stats::fmtBytes(m.features.weightBytes()).c_str());
+
+    // --- architecture alternatives ---
+    core::ArchitectureProjector proj(model);
+    stats::Table ta({"architecture", "throughput speedup", "feasible?"});
+    double gpu_mem_budget = 32e9; // V100-32GB per-GPU memory
+    for (workload::ArchType target :
+         {workload::ArchType::AllReduceLocal,
+          workload::ArchType::AllReduceCluster,
+          workload::ArchType::Pearl}) {
+        if (target == job.arch)
+            continue;
+        auto r = proj.project(job, target);
+        // Replicated AllReduce requires the full model per GPU;
+        // PEARL only a shard of the embeddings plus the dense part.
+        double per_gpu =
+            target == workload::ArchType::Pearl
+                ? m.features.dense_weight_bytes +
+                      m.features.embedding_weight_bytes /
+                          r.projected.num_cnodes
+                : m.features.weightBytes();
+        bool fits = per_gpu < gpu_mem_budget;
+        ta.addRow({workload::toString(target),
+                   stats::fmt(r.throughput_speedup, 2) + "x",
+                   fits ? "yes"
+                        : "NO (weights exceed GPU memory: " +
+                              stats::fmtBytes(per_gpu) + ")"});
+    }
+    std::printf("Architecture alternatives:\n%s\n", ta.render().c_str());
+
+    // --- hardware upgrades on the current architecture ---
+    core::HardwareSweep sweep(base);
+    std::vector<workload::TrainingJob> jobs{job};
+    stats::Table tb({"upgrade", "speedup"});
+    auto add = [&](const std::string &label, hw::Resource r,
+                   double v) {
+        tb.addRow({label,
+                   stats::fmt(sweep.avgSpeedup(jobs, r, v), 2) + "x"});
+    };
+    add("Ethernet 25 -> 100 Gbps", hw::Resource::Ethernet, 100.0);
+    add("PCIe 10 -> 50 GB/s", hw::Resource::Pcie, 50.0);
+    add("GPU 15 -> 64 TFLOPs", hw::Resource::GpuFlops, 64.0);
+    add("HBM 0.9 -> 4 TB/s", hw::Resource::GpuMemory, 4.0);
+    std::printf("Hardware upgrades (keeping %s):\n%s",
+                workload::toString(job.arch).c_str(),
+                tb.render().c_str());
+    return 0;
+}

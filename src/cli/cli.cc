@@ -1,0 +1,460 @@
+#include "cli.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "clustersim/scheduler.h"
+#include "core/arch_selection.h"
+#include "core/characterization.h"
+#include "core/projection.h"
+#include "core/sweep.h"
+#include "hw/units.h"
+#include "inference/serving_sim.h"
+#include "opt/optimization_planner.h"
+#include "profiler/bottleneck_report.h"
+#include "stats/table.h"
+#include "testbed/training_sim.h"
+#include "trace/synthetic_cluster.h"
+#include "trace/trace_io.h"
+
+namespace paichar::cli {
+
+namespace {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+/** Parsed --flag value pairs plus positional arguments. */
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    std::optional<std::string>
+    flag(const std::string &name) const
+    {
+        auto it = flags.find(name);
+        if (it == flags.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    double
+    numFlag(const std::string &name, double fallback) const
+    {
+        auto v = flag(name);
+        return v ? std::strtod(v->c_str(), nullptr) : fallback;
+    }
+};
+
+/** Split args into flags (--name value) and positionals. */
+std::optional<Args>
+parseArgs(const std::vector<std::string> &raw, std::ostream &err)
+{
+    Args a;
+    for (size_t i = 0; i < raw.size(); ++i) {
+        if (raw[i].rfind("--", 0) == 0) {
+            if (i + 1 >= raw.size()) {
+                err << "error: flag " << raw[i]
+                    << " expects a value\n";
+                return std::nullopt;
+            }
+            a.flags[raw[i].substr(2)] = raw[i + 1];
+            ++i;
+        } else {
+            a.positional.push_back(raw[i]);
+        }
+    }
+    return a;
+}
+
+void
+printUsage(std::ostream &out)
+{
+    out << "paichar -- Alibaba-PAI training-workload characterization "
+           "(IISWC'19 reproduction)\n"
+           "\n"
+           "usage:\n"
+           "  paichar generate --jobs N [--seed S] [--out FILE]\n"
+           "  paichar characterize TRACE.csv\n"
+           "  paichar project TRACE.csv [--target ARCH]\n"
+           "  paichar sweep TRACE.csv [--arch ARCH]\n"
+           "  paichar advise --flops F --mem M --input I --comm C\n"
+           "                 [--dense-weights D] "
+           "[--embedding-weights E]\n"
+           "                 [--cnodes N] [--gpu-mem BYTES]\n"
+           "  paichar diagnose MODEL\n"
+           "  paichar serve MODEL [--qps Q] [--max-batch B] "
+           "[--slo-ms MS]\n"
+           "  paichar schedule TRACE.csv [--servers N] "
+           "[--nvlink-frac F] [--port 0|1] [--rate R]\n"
+           "\n"
+           "Quantities are base units (FLOPs, bytes); ARCH uses the "
+           "paper names\n(\"PS/Worker\", \"AllReduce-Local\", "
+           "\"AllReduce-Cluster\", \"PEARL\", ...).\n";
+}
+
+std::optional<std::vector<TrainingJob>>
+loadTrace(const Args &args, std::ostream &err)
+{
+    if (args.positional.size() < 2) {
+        err << "error: expected a trace file\n";
+        return std::nullopt;
+    }
+    auto r = trace::readCsvFile(args.positional[1]);
+    if (!r.ok) {
+        err << "error: " << r.error << "\n";
+        return std::nullopt;
+    }
+    return std::move(r.jobs);
+}
+
+int
+cmdGenerate(const Args &args, std::ostream &out, std::ostream &err)
+{
+    auto jobs_n = static_cast<size_t>(args.numFlag("jobs", 20000));
+    auto seed = static_cast<uint64_t>(args.numFlag("seed", 20181201));
+    trace::SyntheticClusterGenerator gen(seed);
+    auto jobs = gen.generate(jobs_n);
+    auto out_file = args.flag("out");
+    if (out_file) {
+        if (!trace::writeCsvFile(*out_file, jobs)) {
+            err << "error: cannot write '" << *out_file << "'\n";
+            return 1;
+        }
+        out << "wrote " << jobs.size() << " jobs (seed " << seed
+            << ") to " << *out_file << "\n";
+    } else {
+        out << trace::toCsv(jobs);
+    }
+    return 0;
+}
+
+int
+cmdCharacterize(const Args &args, std::ostream &out, std::ostream &err)
+{
+    auto jobs = loadTrace(args, err);
+    if (!jobs)
+        return 1;
+    core::AnalyticalModel model(hw::paiCluster());
+    core::ClusterCharacterizer ch(model, std::move(*jobs));
+
+    auto c = ch.constitution();
+    stats::Table t({"type", "jobs", "job share", "cNode share",
+                    "avg comm share (job)", "avg comm share (cNode)"});
+    for (ArchType arch : workload::kAllArchTypes) {
+        if (c.job_counts.find(arch) == c.job_counts.end())
+            continue;
+        auto jl = ch.avgBreakdown(arch, core::Level::Job);
+        auto cl = ch.avgBreakdown(arch, core::Level::CNode);
+        t.addRow({workload::toString(arch),
+                  std::to_string(c.job_counts[arch]),
+                  stats::fmtPct(c.jobShare(arch)),
+                  stats::fmtPct(c.cnodeShare(arch)),
+                  stats::fmtPct(jl[1]), stats::fmtPct(cl[1])});
+    }
+    out << t.render();
+
+    auto cl = ch.avgBreakdown(std::nullopt, core::Level::CNode);
+    out << "cluster cNode-level breakdown: data "
+        << stats::fmtPct(cl[0]) << ", weights " << stats::fmtPct(cl[1])
+        << ", compute-bound " << stats::fmtPct(cl[2])
+        << ", memory-bound " << stats::fmtPct(cl[3]) << "\n";
+    return 0;
+}
+
+int
+cmdProject(const Args &args, std::ostream &out, std::ostream &err)
+{
+    auto jobs = loadTrace(args, err);
+    if (!jobs)
+        return 1;
+    std::string target_name =
+        args.flag("target").value_or("AllReduce-Local");
+    auto target = workload::archFromString(target_name);
+    if (!target) {
+        err << "error: unknown architecture '" << target_name << "'\n";
+        return 1;
+    }
+    core::AnalyticalModel model(hw::paiCluster());
+    core::ArchitectureProjector proj(model);
+    int n = 0, sped = 0;
+    double sum = 0.0;
+    for (const auto &job : *jobs) {
+        if (job.arch != ArchType::PsWorker)
+            continue;
+        ++n;
+        auto r = proj.project(job, *target);
+        sped += r.throughput_speedup > 1.0;
+        sum += r.throughput_speedup;
+    }
+    if (n == 0) {
+        err << "error: trace has no PS/Worker jobs to project\n";
+        return 1;
+    }
+    out << "projected " << n << " PS/Worker jobs to " << target_name
+        << ": "
+        << stats::fmtPct(static_cast<double>(sped) / n)
+        << " gain throughput, mean speedup "
+        << stats::fmt(sum / n, 2) << "x\n";
+    return 0;
+}
+
+int
+cmdSweep(const Args &args, std::ostream &out, std::ostream &err)
+{
+    auto jobs = loadTrace(args, err);
+    if (!jobs)
+        return 1;
+    std::string arch_name = args.flag("arch").value_or("PS/Worker");
+    auto arch = workload::archFromString(arch_name);
+    if (!arch) {
+        err << "error: unknown architecture '" << arch_name << "'\n";
+        return 1;
+    }
+    std::vector<TrainingJob> filtered;
+    for (const auto &job : *jobs) {
+        if (job.arch == *arch)
+            filtered.push_back(job);
+    }
+    if (filtered.empty()) {
+        err << "error: trace has no " << arch_name << " jobs\n";
+        return 1;
+    }
+    core::HardwareSweep sweep(hw::paiCluster());
+    stats::Table t({"resource", "value", "normalized", "avg speedup"});
+    for (const auto &series : sweep.run(filtered)) {
+        for (const auto &p : series.points) {
+            t.addRow({hw::toString(p.resource),
+                      stats::fmt(p.value, 0),
+                      stats::fmt(p.normalized, 2) + "x",
+                      stats::fmt(p.avg_speedup, 3) + "x"});
+        }
+        t.addSeparator();
+    }
+    out << arch_name << " jobs: " << filtered.size() << "\n"
+        << t.render();
+    return 0;
+}
+
+int
+cmdAdvise(const Args &args, std::ostream &out, std::ostream &err)
+{
+    TrainingJob job;
+    job.arch = ArchType::PsWorker;
+    job.num_cnodes = static_cast<int>(args.numFlag("cnodes", 8));
+    job.features.batch_size = args.numFlag("batch", 256);
+    job.features.flop_count = args.numFlag("flops", -1);
+    job.features.mem_access_bytes = args.numFlag("mem", -1);
+    job.features.input_bytes = args.numFlag("input", -1);
+    job.features.comm_bytes = args.numFlag("comm", -1);
+    job.features.dense_weight_bytes =
+        args.numFlag("dense-weights", job.features.comm_bytes);
+    job.features.embedding_weight_bytes =
+        args.numFlag("embedding-weights", 0.0);
+    if (job.features.embedding_weight_bytes > 0.0) {
+        // Traffic split mirrors the weight split by default.
+        job.features.embedding_comm_bytes =
+            job.features.comm_bytes *
+            job.features.embedding_weight_bytes /
+            job.features.weightBytes();
+    }
+    if (!job.features.valid() || job.features.flop_count < 0 ||
+        job.features.mem_access_bytes < 0 ||
+        job.features.input_bytes < 0 || job.features.comm_bytes < 0) {
+        err << "error: advise requires non-negative --flops --mem "
+               "--input --comm\n";
+        return 1;
+    }
+
+    double gpu_mem = args.numFlag("gpu-mem", 32e9);
+    core::AnalyticalModel model(hw::v100Testbed());
+    core::ArchitectureAdvisor advisor(model, gpu_mem);
+    stats::Table t({"architecture", "cNodes", "per-GPU weights",
+                    "step time", "throughput", "feasible"});
+    for (const auto &opt : advisor.evaluate(job)) {
+        t.addRow({workload::toString(opt.arch),
+                  std::to_string(opt.num_cnodes),
+                  stats::fmtBytes(opt.per_gpu_weight_bytes),
+                  opt.feasible ? stats::fmtSeconds(opt.step_time)
+                               : "-",
+                  opt.feasible ? stats::fmt(opt.throughput, 0) +
+                                     " samples/s"
+                               : "-",
+                  opt.feasible ? "yes" : "no: " + opt.reason});
+    }
+    out << t.render();
+    auto best = advisor.recommend(job);
+    out << "recommendation: " << workload::toString(best.arch)
+        << " with " << best.num_cnodes << " cNodes\n";
+    return 0;
+}
+
+int
+cmdDiagnose(const Args &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() < 2) {
+        err << "error: diagnose expects a model name\n";
+        return 1;
+    }
+    const std::string &name = args.positional[1];
+    std::optional<workload::CaseStudyModel> model;
+    for (const auto &m : workload::ModelZoo::all()) {
+        std::string lower;
+        for (char c : m.name)
+            lower += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (lower == name) {
+            model = m;
+            break;
+        }
+    }
+    if (!model) {
+        err << "error: unknown model '" << name
+            << "' (try resnet50, nmt, bert, speech, "
+               "multi-interests, gcn)\n";
+        return 1;
+    }
+
+    testbed::TrainingSimulator sim;
+    auto result = sim.run(*model);
+    profiler::BottleneckAnalyzer analyzer(
+        sim.options().kernel_launch_overhead);
+    out << "=== " << model->name << " on the simulated testbed ("
+        << workload::toString(model->arch) << ", "
+        << model->num_cnodes << " cNodes) ===\n"
+        << analyzer.analyze(result.metadata).render();
+
+    opt::OptimizationPlanner planner;
+    auto best = planner.best(*model);
+    out << "best measured plan: " << best.label() << " ("
+        << stats::fmt(best.speedup, 2) << "x over the baseline)\n";
+    return 0;
+}
+
+int
+cmdServe(const Args &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() < 2) {
+        err << "error: serve expects a model name\n";
+        return 1;
+    }
+    const std::string &name = args.positional[1];
+    std::optional<workload::CaseStudyModel> model;
+    for (const auto &m : workload::ModelZoo::all()) {
+        std::string lower;
+        for (char c : m.name)
+            lower += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (lower == name) {
+            model = m;
+            break;
+        }
+    }
+    if (!model) {
+        err << "error: unknown model '" << name << "'\n";
+        return 1;
+    }
+    auto w = inference::InferenceWorkload::fromTraining(*model);
+
+    inference::ServingConfig cfg;
+    cfg.max_batch =
+        static_cast<int>(args.numFlag("max-batch", 8));
+    inference::ServingSimulator sim(cfg);
+    double solo = w.serviceTime(1, cfg.server.gpu,
+                                cfg.launch_overhead) +
+                  w.inputTime(1, cfg.server.pcie_bandwidth);
+    double slo = args.numFlag("slo-ms", 5.0 * solo * 1e3) * 1e-3;
+    double qps = args.numFlag("qps", 0.5 / solo);
+
+    auto r = sim.run(w, qps, 20000, 20190701);
+    out << w.name << " inference @ " << stats::fmt(qps, 0)
+        << " qps (max batch " << cfg.max_batch << "):\n"
+        << "  p50 " << stats::fmtSeconds(r.p50_latency) << ", p95 "
+        << stats::fmtSeconds(r.p95_latency) << ", p99 "
+        << stats::fmtSeconds(r.p99_latency) << ", GPU util "
+        << stats::fmtPct(r.gpu_utilization) << ", avg batch "
+        << stats::fmt(r.avg_batch, 2)
+        << (r.saturated ? "  [OVERLOAD]" : "") << "\n";
+    double cap = sim.maxQpsUnderSlo(w, slo, 50.0 / solo, 20190701);
+    out << "  max QPS under p99 <= " << stats::fmtSeconds(slo)
+        << ": " << stats::fmt(cap, 0) << "\n";
+    return 0;
+}
+
+int
+cmdSchedule(const Args &args, std::ostream &out, std::ostream &err)
+{
+    auto jobs = loadTrace(args, err);
+    if (!jobs)
+        return 1;
+    clustersim::SchedulerConfig cfg;
+    cfg.num_servers =
+        static_cast<int>(args.numFlag("servers", 64));
+    cfg.nvlink_fraction = args.numFlag("nvlink-frac", 0.5);
+    cfg.port_ps_to_allreduce = args.numFlag("port", 0) != 0;
+    double rate = args.numFlag("rate", 150.0);
+
+    // Clamp jobs to the cluster and build a submission stream.
+    for (auto &j : *jobs)
+        j.num_cnodes = std::min(j.num_cnodes, cfg.num_servers);
+    auto requests = clustersim::poissonRequests(
+        *jobs, rate, 2000.0, 1.2, 20181201);
+
+    core::AnalyticalModel model(hw::paiCluster());
+    clustersim::ClusterScheduler sched(cfg, model);
+    auto result = sched.run(std::move(requests));
+    out << "scheduled " << result.jobs.size() << " jobs on "
+        << cfg.num_servers << " servers ("
+        << stats::fmtPct(cfg.nvlink_fraction, 0)
+        << " NVLink, porting "
+        << (cfg.port_ps_to_allreduce ? "on" : "off") << ")\n"
+        << "  mean wait: " << stats::fmtSeconds(result.mean_wait)
+        << ", p95 wait: " << stats::fmtSeconds(result.p95_wait)
+        << "\n  GPU utilization: "
+        << stats::fmtPct(result.gpu_utilization)
+        << ", makespan: " << stats::fmtSeconds(result.makespan)
+        << ", ported jobs: " << result.ported_jobs << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+run(const std::vector<std::string> &args, std::ostream &out,
+    std::ostream &err)
+{
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+        printUsage(out);
+        return args.empty() ? 1 : 0;
+    }
+    auto parsed = parseArgs(args, err);
+    if (!parsed)
+        return 1;
+
+    const std::string &cmd = args[0];
+    if (cmd == "generate")
+        return cmdGenerate(*parsed, out, err);
+    if (cmd == "characterize")
+        return cmdCharacterize(*parsed, out, err);
+    if (cmd == "project")
+        return cmdProject(*parsed, out, err);
+    if (cmd == "sweep")
+        return cmdSweep(*parsed, out, err);
+    if (cmd == "advise")
+        return cmdAdvise(*parsed, out, err);
+    if (cmd == "diagnose")
+        return cmdDiagnose(*parsed, out, err);
+    if (cmd == "serve")
+        return cmdServe(*parsed, out, err);
+    if (cmd == "schedule")
+        return cmdSchedule(*parsed, out, err);
+
+    err << "error: unknown command '" << cmd << "'\n";
+    printUsage(err);
+    return 1;
+}
+
+} // namespace paichar::cli

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The `paichar` command-line interface, as a library so tests can
+ * drive it. Subcommands cover the production workflow end to end:
+ *
+ *   paichar generate   --jobs N --seed S --out trace.csv
+ *   paichar characterize trace.csv
+ *   paichar project    trace.csv [--target <arch>]
+ *   paichar sweep      trace.csv [--arch <arch>]
+ *   paichar advise     --flops F --mem M --input I --comm C
+ *                      [--dense-weights D] [--embedding-weights E]
+ *                      [--cnodes N] [--gpu-mem BYTES]
+ *   paichar diagnose   MODEL        (resnet50|nmt|bert|speech|
+ *                                    multi-interests|gcn)
+ *   paichar schedule   trace.csv [--servers N] [--nvlink-frac F]
+ *                      [--port 0|1] [--rate JOBS_PER_HOUR]
+ *
+
+ * All quantities are base units (FLOPs, bytes); architectures use the
+ * paper names ("PS/Worker", "AllReduce-Local", ...).
+ */
+
+#ifndef PAICHAR_CLI_CLI_H
+#define PAICHAR_CLI_CLI_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace paichar::cli {
+
+/**
+ * Run the CLI.
+ *
+ * @param args Arguments excluding the program name.
+ * @param out  Normal output stream.
+ * @param err  Error/diagnostic stream.
+ * @return Process exit code (0 on success, 1 on user error).
+ */
+int run(const std::vector<std::string> &args, std::ostream &out,
+        std::ostream &err);
+
+} // namespace paichar::cli
+
+#endif // PAICHAR_CLI_CLI_H

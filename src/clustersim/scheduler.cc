@@ -1,0 +1,346 @@
+#include "scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "stats/cdf.h"
+#include "stats/rng.h"
+
+namespace paichar::clustersim {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+namespace {
+
+/** (server index, gpus taken) pairs of one job's allocation. */
+using Allocation = std::vector<std::pair<int, int>>;
+
+/** Mutable cluster capacity. */
+struct Capacity
+{
+    std::vector<int> free_gpus;
+    std::vector<bool> nvlink;
+
+    void
+    take(const Allocation &alloc)
+    {
+        for (auto [s, g] : alloc) {
+            free_gpus[static_cast<size_t>(s)] -= g;
+            assert(free_gpus[static_cast<size_t>(s)] >= 0);
+        }
+    }
+
+    void
+    release(const Allocation &alloc)
+    {
+        for (auto [s, g] : alloc)
+            free_gpus[static_cast<size_t>(s)] += g;
+    }
+};
+
+/**
+ * Find a single server with @p gpus free. Non-NVLink servers are
+ * preferred unless NVLink is required, preserving scarce NVLink
+ * capacity for the jobs that need it.
+ */
+bool
+findOneServer(const Capacity &cap, int gpus, bool need_nvlink,
+              Allocation *alloc)
+{
+    int fallback = -1;
+    for (size_t s = 0; s < cap.free_gpus.size(); ++s) {
+        if (cap.free_gpus[s] < gpus)
+            continue;
+        if (need_nvlink && !cap.nvlink[s])
+            continue;
+        if (!need_nvlink && cap.nvlink[s]) {
+            if (fallback < 0)
+                fallback = static_cast<int>(s);
+            continue;
+        }
+        alloc->assign(1, {static_cast<int>(s), gpus});
+        return true;
+    }
+    if (!need_nvlink && fallback >= 0) {
+        alloc->assign(1, {fallback, gpus});
+        return true;
+    }
+    return false;
+}
+
+/** Find @p count distinct servers with one free GPU each. */
+bool
+findSpreadServers(const Capacity &cap, int count, Allocation *alloc)
+{
+    alloc->clear();
+    // Non-NVLink servers first, then NVLink as overflow.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (size_t s = 0; s < cap.free_gpus.size(); ++s) {
+            if (static_cast<int>(alloc->size()) == count)
+                return true;
+            bool is_nvl = cap.nvlink[s];
+            if ((pass == 0 && is_nvl) || (pass == 1 && !is_nvl))
+                continue;
+            if (cap.free_gpus[s] >= 1)
+                alloc->push_back({static_cast<int>(s), 1});
+        }
+    }
+    return static_cast<int>(alloc->size()) == count;
+}
+
+} // namespace
+
+ClusterScheduler::ClusterScheduler(const SchedulerConfig &cfg,
+                                   const core::AnalyticalModel &model)
+    : cfg_(cfg), model_(model)
+{
+    assert(cfg_.num_servers >= 1);
+    assert(cfg_.gpus_per_server >= 1);
+    assert(cfg_.nvlink_fraction >= 0.0 && cfg_.nvlink_fraction <= 1.0);
+}
+
+bool
+ClusterScheduler::placeable(const TrainingJob &job) const
+{
+    int nvl_servers = static_cast<int>(cfg_.num_servers *
+                                       cfg_.nvlink_fraction);
+    switch (job.arch) {
+      case ArchType::OneWorkerOneGpu:
+        return true;
+      case ArchType::OneWorkerMultiGpu:
+      case ArchType::Pearl:
+        return job.num_cnodes <= cfg_.gpus_per_server &&
+               (job.arch != ArchType::Pearl || nvl_servers >= 1);
+      case ArchType::PsWorker:
+        return job.num_cnodes <= cfg_.num_servers;
+      case ArchType::AllReduceLocal:
+        return job.num_cnodes <= cfg_.gpus_per_server &&
+               nvl_servers >= 1;
+      case ArchType::AllReduceCluster:
+        return nvl_servers * cfg_.gpus_per_server >= job.num_cnodes;
+    }
+    return false;
+}
+
+ClusterOutcome
+ClusterScheduler::run(std::vector<JobRequest> requests) const
+{
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const JobRequest &a, const JobRequest &b) {
+                         return a.submit_time < b.submit_time;
+                     });
+
+    Capacity cap;
+    cap.free_gpus.assign(static_cast<size_t>(cfg_.num_servers),
+                         cfg_.gpus_per_server);
+    cap.nvlink.assign(static_cast<size_t>(cfg_.num_servers), false);
+    int nvl_servers = static_cast<int>(cfg_.num_servers *
+                                       cfg_.nvlink_fraction);
+    for (int s = 0; s < nvl_servers; ++s)
+        cap.nvlink[static_cast<size_t>(s)] = true;
+
+    struct Running
+    {
+        double finish;
+        uint64_t seq;
+        size_t outcome;
+        Allocation alloc;
+        bool operator>(const Running &o) const
+        {
+            return finish != o.finish ? finish > o.finish
+                                      : seq > o.seq;
+        }
+    };
+    std::priority_queue<Running, std::vector<Running>,
+                        std::greater<Running>>
+        running;
+
+    ClusterOutcome out;
+    out.jobs.reserve(requests.size());
+    std::deque<size_t> pending; // indices into requests
+    size_t arrival = 0;
+    uint64_t seq = 0;
+    double now = 0.0;
+    double gpu_seconds = 0.0;
+
+    // Attempt to place one request; on success records the outcome
+    // and consumes capacity.
+    auto tryPlace = [&](const JobRequest &req) -> bool {
+        assert(placeable(req.job));
+        const TrainingJob &job = req.job;
+        Allocation alloc;
+        TrainingJob executed = job;
+        bool ported = false;
+
+        if (cfg_.port_ps_to_allreduce &&
+            job.arch == ArchType::PsWorker &&
+            job.features.weightBytes() <= cfg_.gpu_memory_bytes) {
+            int n = std::min(job.num_cnodes, cfg_.gpus_per_server);
+            if (findOneServer(cap, n, /*need_nvlink=*/true, &alloc)) {
+                executed.arch = ArchType::AllReduceLocal;
+                executed.num_cnodes = n;
+                executed.num_ps = 0;
+                ported = true;
+            }
+        }
+        if (!ported) {
+            bool found = false;
+            switch (job.arch) {
+              case ArchType::OneWorkerOneGpu:
+                found = findOneServer(cap, 1, false, &alloc);
+                break;
+              case ArchType::OneWorkerMultiGpu:
+                found = findOneServer(cap, job.num_cnodes, false,
+                                      &alloc);
+                break;
+              case ArchType::PsWorker:
+                found = findSpreadServers(cap, job.num_cnodes,
+                                          &alloc);
+                break;
+              case ArchType::AllReduceLocal:
+              case ArchType::Pearl:
+                found = findOneServer(cap, job.num_cnodes, true,
+                                      &alloc);
+                break;
+              case ArchType::AllReduceCluster: {
+                // Whole NVLink servers, packed.
+                int need = job.num_cnodes;
+                alloc.clear();
+                for (size_t s = 0;
+                     s < cap.free_gpus.size() && need > 0; ++s) {
+                    if (!cap.nvlink[s] ||
+                        cap.free_gpus[s] < cfg_.gpus_per_server) {
+                        continue;
+                    }
+                    int take =
+                        std::min(need, cfg_.gpus_per_server);
+                    alloc.push_back({static_cast<int>(s), take});
+                    need -= take;
+                }
+                found = need == 0;
+                break;
+              }
+            }
+            if (!found)
+                return false;
+        }
+
+        cap.take(alloc);
+        double step = model_.stepTime(executed);
+        double runtime = step * static_cast<double>(req.num_steps);
+
+        JobOutcome jo;
+        jo.job_id = job.id;
+        jo.submit_time = req.submit_time;
+        jo.start_time = now;
+        jo.finish_time = now + runtime;
+        jo.executed_arch = executed.arch;
+        jo.ported = ported;
+        for (auto [s, g] : alloc) {
+            (void)s;
+            jo.gpus += g;
+        }
+        gpu_seconds += jo.gpus * runtime;
+        out.ported_jobs += ported;
+        out.jobs.push_back(jo);
+        running.push(
+            {jo.finish_time, seq++, out.jobs.size() - 1, alloc});
+        return true;
+    };
+
+    while (arrival < requests.size() || !pending.empty() ||
+           !running.empty()) {
+        // Admit all submissions up to `now`.
+        while (arrival < requests.size() &&
+               requests[arrival].submit_time <= now) {
+            pending.push_back(arrival);
+            ++arrival;
+        }
+
+        // Schedule from the queue under the policy.
+        bool progress = true;
+        while (progress && !pending.empty()) {
+            progress = false;
+            if (cfg_.policy == Policy::Fcfs) {
+                if (tryPlace(requests[pending.front()])) {
+                    pending.pop_front();
+                    progress = true;
+                }
+            } else {
+                for (auto it = pending.begin();
+                     it != pending.end(); ++it) {
+                    if (tryPlace(requests[*it])) {
+                        pending.erase(it);
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Advance time to the next event.
+        double next = std::numeric_limits<double>::infinity();
+        if (arrival < requests.size())
+            next = requests[arrival].submit_time;
+        if (!running.empty())
+            next = std::min(next, running.top().finish);
+        if (!std::isfinite(next))
+            break; // queue non-empty but nothing can ever finish
+        now = std::max(now, next);
+
+        // Release everything finishing at `now`.
+        while (!running.empty() && running.top().finish <= now) {
+            cap.release(running.top().alloc);
+            running.pop();
+        }
+    }
+    assert(pending.empty() && "unplaceable job starved the queue");
+
+    // Aggregate metrics.
+    stats::WeightedCdf waits;
+    for (const JobOutcome &jo : out.jobs) {
+        out.makespan = std::max(out.makespan, jo.finish_time);
+        waits.add(jo.wait());
+    }
+    if (!out.jobs.empty()) {
+        out.mean_wait = waits.mean();
+        out.p95_wait = waits.quantile(0.95);
+        double total =
+            static_cast<double>(cfg_.num_servers) *
+            cfg_.gpus_per_server * out.makespan;
+        out.gpu_utilization = total > 0.0 ? gpu_seconds / total : 0.0;
+    }
+    return out;
+}
+
+std::vector<JobRequest>
+poissonRequests(const std::vector<TrainingJob> &jobs,
+                double jobs_per_hour, double steps_median,
+                double steps_sigma, uint64_t seed)
+{
+    assert(jobs_per_hour > 0.0);
+    assert(steps_median >= 1.0 && steps_sigma >= 0.0);
+    stats::Rng rng(seed);
+    std::vector<JobRequest> requests;
+    requests.reserve(jobs.size());
+    double rate_per_sec = jobs_per_hour / 3600.0;
+    double t = 0.0;
+    for (const TrainingJob &job : jobs) {
+        t += -std::log(1.0 - rng.uniform()) / rate_per_sec;
+        JobRequest req;
+        req.job = job;
+        req.submit_time = t;
+        req.num_steps = std::max<int64_t>(
+            1, static_cast<int64_t>(std::llround(rng.logNormal(
+                   std::log(steps_median), steps_sigma))));
+        requests.push_back(std::move(req));
+    }
+    return requests;
+}
+
+} // namespace paichar::clustersim

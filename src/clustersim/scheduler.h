@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cluster-level job scheduling simulation.
+ *
+ * The paper studies jobs one at a time; the platform runs thousands a
+ * day on sub-clusters that are only partially NVLink-equipped ("due
+ * to cost issue", Sec II-A1). This subsystem closes that loop: a
+ * stream of job submissions is placed onto a finite cluster under a
+ * queueing policy, each job's running time comes from the analytical
+ * model under its actual placement, and the scheduler can optionally
+ * *port* eligible PS/Worker jobs to AllReduce-Local when an NVLink
+ * server is available — quantifying, at cluster scale, the paper's
+ * observation that porting both speeds jobs up and frees resources.
+ *
+ * Placement rules follow Table II:
+ *  - 1w1g: one GPU on any server;
+ *  - 1wng: all GPUs on one server;
+ *  - PS/Worker: one GPU on each of n distinct servers;
+ *  - AllReduce-Local: n <= 8 GPUs on one NVLink server.
+ */
+
+#ifndef PAICHAR_CLUSTERSIM_SCHEDULER_H
+#define PAICHAR_CLUSTERSIM_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/analytical_model.h"
+#include "workload/training_job.h"
+
+namespace paichar::clustersim {
+
+/** Scheduling policy. */
+enum class Policy
+{
+    /** Strict FCFS: the queue head blocks everything behind it. */
+    Fcfs,
+    /** FCFS with backfill: later jobs may start if the head cannot. */
+    FcfsBackfill,
+};
+
+/** Cluster and policy configuration. */
+struct SchedulerConfig
+{
+    int num_servers = 128;
+    int gpus_per_server = 8;
+    /** Fraction of servers equipped with NVLink (rounded down). */
+    double nvlink_fraction = 0.5;
+    Policy policy = Policy::FcfsBackfill;
+    /**
+     * Port eligible PS/Worker jobs (models fitting GPU memory, i.e.
+     * dense-only in this trace schema) to AllReduce-Local when an
+     * NVLink server has capacity (Sec III-C1's projection applied as
+     * a live scheduling decision).
+     */
+    bool port_ps_to_allreduce = false;
+    /** Parameter budget per GPU for the porting feasibility check. */
+    double gpu_memory_bytes = 32e9;
+};
+
+/** One submitted job. */
+struct JobRequest
+{
+    workload::TrainingJob job;
+    double submit_time = 0.0;
+    /** Training length in steps. */
+    int64_t num_steps = 1000;
+};
+
+/** Outcome of one job. */
+struct JobOutcome
+{
+    int64_t job_id = 0;
+    double submit_time = 0.0;
+    double start_time = 0.0;
+    double finish_time = 0.0;
+    /** GPUs occupied while running. */
+    int gpus = 0;
+    /** Architecture actually executed (after optional porting). */
+    workload::ArchType executed_arch =
+        workload::ArchType::OneWorkerOneGpu;
+    bool ported = false;
+
+    double wait() const { return start_time - submit_time; }
+    double runtime() const { return finish_time - start_time; }
+};
+
+/** Aggregate outcome of a run. */
+struct ClusterOutcome
+{
+    std::vector<JobOutcome> jobs;
+    /** Completion time of the last job. */
+    double makespan = 0.0;
+    double mean_wait = 0.0;
+    double p95_wait = 0.0;
+    /** GPU-seconds used / (total GPUs x makespan). */
+    double gpu_utilization = 0.0;
+    /** Jobs ported to AllReduce-Local. */
+    int64_t ported_jobs = 0;
+};
+
+/** Simulates job scheduling on a finite cluster. */
+class ClusterScheduler
+{
+  public:
+    /**
+     * @param cfg   Cluster shape and policy.
+     * @param model Analytical model supplying per-step times; its
+     *              ClusterSpec must match the per-server hardware.
+     */
+    ClusterScheduler(const SchedulerConfig &cfg,
+                     const core::AnalyticalModel &model);
+
+    /**
+     * Run the submission stream to completion.
+     * @param requests Submissions; need not be sorted.
+     */
+    ClusterOutcome run(std::vector<JobRequest> requests) const;
+
+    /** True if the cluster could ever place @p job. */
+    bool placeable(const workload::TrainingJob &job) const;
+
+  private:
+    SchedulerConfig cfg_;
+    const core::AnalyticalModel &model_;
+};
+
+/**
+ * Turn a job population into a Poisson submission stream with
+ * lognormal training lengths.
+ *
+ * @param jobs           The jobs to submit (in order).
+ * @param jobs_per_hour  Mean submission rate.
+ * @param steps_median   Median job length in steps.
+ * @param steps_sigma    Lognormal sigma of the length.
+ * @param seed           Arrival/length randomness seed.
+ */
+std::vector<JobRequest>
+poissonRequests(const std::vector<workload::TrainingJob> &jobs,
+                double jobs_per_hour, double steps_median,
+                double steps_sigma, uint64_t seed);
+
+} // namespace paichar::clustersim
+
+#endif // PAICHAR_CLUSTERSIM_SCHEDULER_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Event-driven collective-communication primitives over the simulated
+ * NVLink fabric and Ethernet NICs: ring AllReduce / AllGather /
+ * ReduceScatter / Broadcast (the NCCL primitives of Sec II-A2), a
+ * sparse all-to-all exchange used by PEARL's partitioned embeddings,
+ * and a cross-server NIC ring.
+ *
+ * Cost structure: a ring step moves chunk = bytes/n per GPU per phase
+ * on one NVLink link; AllReduce runs 2(n-1) phases (reduce-scatter +
+ * all-gather), so per-GPU traffic is the textbook 2(n-1)/n * bytes.
+ * The sparse exchange moves total/n per GPU, spread across all of the
+ * GPU's NVLink links in parallel (each accessed embedding row travels
+ * once, owner -> requester, across the hybrid mesh of Fig 1b).
+ */
+
+#ifndef PAICHAR_COLLECTIVES_COLLECTIVE_OPS_H
+#define PAICHAR_COLLECTIVES_COLLECTIVE_OPS_H
+
+#include <functional>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace paichar::collectives {
+
+/** Completion callback with the collective's finish time. */
+using Done = std::function<void(sim::SimTime end)>;
+
+/** Closed-form expected durations (used by tests and quick models). */
+struct RingCost
+{
+    /** Per-GPU ring-AllReduce time for n GPUs at link rate bytes/s. */
+    static double allReduce(int n, double bytes, double link_rate,
+                            double phase_latency);
+    /** Per-GPU ring All-Gather (or ReduceScatter) of `bytes` total. */
+    static double allGather(int n, double bytes, double link_rate,
+                            double phase_latency);
+    /** Sparse all-to-all of `bytes` total over `links` parallel links. */
+    static double sparseExchange(int n, double bytes, double link_rate,
+                                 int links, double phase_latency);
+};
+
+/** Issues collectives onto a simulated cluster. */
+class CollectiveOps
+{
+  public:
+    /**
+     * @param eq            Event queue of the target cluster.
+     * @param phase_latency Fixed software+wire latency per ring phase.
+     */
+    explicit CollectiveOps(sim::EventQueue &eq,
+                           double phase_latency = 5e-6);
+
+    /**
+     * Ring AllReduce of @p bytes (the full gradient buffer size) over
+     * the group's NVLink link 0. Group size 1 completes immediately.
+     * All GPUs must have NVLink.
+     */
+    void ringAllReduce(const std::vector<sim::Gpu *> &group,
+                       double bytes, Done done);
+
+    /** Ring All-Gather: after completion every GPU holds all
+     * @p total_bytes (each starts with total_bytes / n). */
+    void ringAllGather(const std::vector<sim::Gpu *> &group,
+                       double total_bytes, Done done);
+
+    /** Ring Reduce-Scatter: dual of ringAllGather. */
+    void ringReduceScatter(const std::vector<sim::Gpu *> &group,
+                           double total_bytes, Done done);
+
+    /** Pipelined ring broadcast of @p bytes from one GPU to all. */
+    void broadcast(const std::vector<sim::Gpu *> &group, double bytes,
+                   Done done);
+
+    /**
+     * Sparse embedding exchange (PEARL, Sec IV-C): @p total_bytes of
+     * accessed rows/gradients move owner -> requester; each GPU
+     * egresses total/n, spread across all its NVLink links.
+     */
+    void sparseAllToAll(const std::vector<sim::Gpu *> &group,
+                        double total_bytes, Done done);
+
+    /**
+     * Cross-server ring AllReduce over Ethernet NICs; @p bytes is the
+     * full buffer, each NIC carries 2(s-1)/s * bytes.
+     */
+    void nicRingAllReduce(const std::vector<sim::Server *> &servers,
+                          double bytes, Done done);
+
+  private:
+    /**
+     * Run @p phases rounds; each round submits @p per_phase_bytes to
+     * every resource in @p links and waits for all to finish.
+     */
+    void runPhases(std::vector<sim::Resource *> links,
+                   double per_phase_bytes, int phases, Done done);
+
+    /** NVLink link 0 of each GPU in the group (asserts presence). */
+    static std::vector<sim::Resource *>
+    primaryLinks(const std::vector<sim::Gpu *> &group);
+
+    sim::EventQueue &eq_;
+    double phase_latency_;
+};
+
+} // namespace paichar::collectives
+
+#endif // PAICHAR_COLLECTIVES_COLLECTIVE_OPS_H

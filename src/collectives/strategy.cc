@@ -1,0 +1,307 @@
+#include "strategy.h"
+
+#include <cassert>
+#include <memory>
+
+namespace paichar::collectives {
+
+using workload::ArchType;
+using workload::WorkloadFeatures;
+
+namespace {
+
+/** Invoke @p done once @p count completions have arrived. */
+class Barrier
+{
+  public:
+    Barrier(size_t count, Done done)
+        : remaining_(count), done_(std::move(done))
+    {
+        assert(count > 0);
+    }
+
+    void
+    arrive(sim::SimTime t)
+    {
+        latest_ = std::max(latest_, t);
+        if (--remaining_ == 0)
+            done_(latest_);
+    }
+
+  private:
+    size_t remaining_;
+    sim::SimTime latest_ = 0.0;
+    Done done_;
+};
+
+/** 1w1g: no weight movement. */
+class NoSyncStrategy final : public SyncStrategy
+{
+  public:
+    std::string name() const override { return "no-sync (1w1g)"; }
+
+    void
+    sync(sim::ClusterSim &cluster, const std::vector<sim::Gpu *> &,
+         const WorkloadFeatures &, Done done) override
+    {
+        auto &eq = cluster.eventQueue();
+        eq.scheduleAfter(0.0, [done, &eq] { done(eq.now()); });
+    }
+
+    SyncTraffic
+    traffic(const WorkloadFeatures &, int) const override
+    {
+        return {};
+    }
+};
+
+/**
+ * 1wng: parameters live in host memory; every replica pulls weights
+ * and pushes gradients across its host-PCIe link (Table II).
+ */
+class LocalPsStrategy final : public SyncStrategy
+{
+  public:
+    std::string name() const override { return "host-params (1wng)"; }
+
+    void
+    sync(sim::ClusterSim &, const std::vector<sim::Gpu *> &group,
+         const WorkloadFeatures &f, Done done) override
+    {
+        auto barrier =
+            std::make_shared<Barrier>(group.size(), std::move(done));
+        for (sim::Gpu *gpu : group) {
+            gpu->hostLink().submit(
+                f.comm_bytes, [barrier](sim::SimTime, sim::SimTime end) {
+                    barrier->arrive(end);
+                });
+        }
+    }
+
+    SyncTraffic
+    traffic(const WorkloadFeatures &f, int) const override
+    {
+        return {.pcie_bytes = f.comm_bytes};
+    }
+};
+
+/**
+ * PS/Worker: each worker's traffic crosses its server NIC and then
+ * the host-GPU PCIe link, serially (Table II / Eq 3). Workers are
+ * assumed to be placed one per server.
+ */
+class PsWorkerStrategy final : public SyncStrategy
+{
+  public:
+    explicit PsWorkerStrategy(const StrategyOptions &opts)
+        : opts_(opts)
+    {
+    }
+
+    std::string name() const override { return "PS/Worker"; }
+
+    void
+    sync(sim::ClusterSim &cluster,
+         const std::vector<sim::Gpu *> &group,
+         const WorkloadFeatures &f, Done done) override
+    {
+        bool contended = opts_.model_ps_contention && opts_.num_ps > 0;
+        if (contended) {
+            // The PS tier occupies the servers following the workers.
+            assert(static_cast<size_t>(group.size()) + opts_.num_ps <=
+                   cluster.servers().size());
+        }
+        auto barrier =
+            std::make_shared<Barrier>(group.size(), std::move(done));
+        int worker_idx = 0;
+        for (sim::Gpu *gpu : group) {
+            sim::Resource &nic =
+                cluster.servers()[static_cast<size_t>(
+                                      gpu->serverId())]
+                    ->nic();
+            double bytes = f.comm_bytes;
+            auto to_pcie = [gpu, bytes, barrier](sim::SimTime,
+                                                 sim::SimTime) {
+                gpu->hostLink().submit(
+                    bytes,
+                    [barrier](sim::SimTime, sim::SimTime end) {
+                        barrier->arrive(end);
+                    });
+            };
+            if (contended) {
+                // Variables are sharded: this worker's volume also
+                // crosses its assigned PS server's NIC (aggregated
+                // round-robin sharding).
+                size_t ps_idx = group.size() +
+                                static_cast<size_t>(worker_idx %
+                                                    opts_.num_ps);
+                sim::Resource &ps_nic =
+                    cluster.servers()[ps_idx]->nic();
+                ps_nic.submit(bytes,
+                              [&nic, bytes, to_pcie](sim::SimTime,
+                                                     sim::SimTime) {
+                                  nic.submit(bytes, to_pcie);
+                              });
+            } else {
+                nic.submit(bytes, to_pcie);
+            }
+            ++worker_idx;
+        }
+    }
+
+    SyncTraffic
+    traffic(const WorkloadFeatures &f, int) const override
+    {
+        return {.pcie_bytes = f.comm_bytes,
+                .ethernet_bytes = f.comm_bytes};
+    }
+
+  private:
+    StrategyOptions opts_;
+};
+
+/** AllReduce-Local: one NVLink ring inside a server. */
+class LocalAllReduceStrategy final : public SyncStrategy
+{
+  public:
+    std::string name() const override { return "AllReduce-Local"; }
+
+    void
+    sync(sim::ClusterSim &cluster,
+         const std::vector<sim::Gpu *> &group,
+         const WorkloadFeatures &f, Done done) override
+    {
+        CollectiveOps ops(cluster.eventQueue());
+        ops.ringAllReduce(group, f.comm_bytes, std::move(done));
+    }
+
+    SyncTraffic
+    traffic(const WorkloadFeatures &f, int group_size) const override
+    {
+        double n = std::max(1, group_size);
+        return {.nvlink_bytes =
+                    group_size > 1
+                        ? 2.0 * (n - 1.0) / n * f.comm_bytes
+                        : 0.0};
+    }
+};
+
+/**
+ * AllReduce-Cluster: hierarchical -- an NVLink ring within each
+ * server, then an Ethernet ring across the involved servers.
+ */
+class ClusterAllReduceStrategy final : public SyncStrategy
+{
+  public:
+    std::string name() const override { return "AllReduce-Cluster"; }
+
+    void
+    sync(sim::ClusterSim &cluster,
+         const std::vector<sim::Gpu *> &group,
+         const WorkloadFeatures &f, Done done) override
+    {
+        // Partition the group by server.
+        std::vector<std::vector<sim::Gpu *>> by_server(
+            cluster.servers().size());
+        std::vector<sim::Server *> servers;
+        for (sim::Gpu *gpu : group) {
+            auto sid = static_cast<size_t>(gpu->serverId());
+            if (by_server[sid].empty())
+                servers.push_back(cluster.servers()[sid].get());
+            by_server[sid].push_back(gpu);
+        }
+
+        auto ops =
+            std::make_shared<CollectiveOps>(cluster.eventQueue());
+        auto local_barrier = std::make_shared<Barrier>(
+            servers.size(),
+            [ops, servers, bytes = f.comm_bytes,
+             done = std::move(done)](sim::SimTime) {
+                ops->nicRingAllReduce(servers, bytes, done);
+            });
+        for (sim::Server *srv : servers) {
+            auto &local = by_server[static_cast<size_t>(srv->id())];
+            ops->ringAllReduce(local, f.comm_bytes,
+                               [local_barrier](sim::SimTime t) {
+                                   local_barrier->arrive(t);
+                               });
+        }
+    }
+
+    SyncTraffic
+    traffic(const WorkloadFeatures &f, int group_size) const override
+    {
+        double n = std::max(1, group_size);
+        (void)n;
+        // Approximation: the full buffer crosses NVLink locally and
+        // Ethernet across servers (the paper's serial-legs model).
+        return {.ethernet_bytes = f.comm_bytes,
+                .nvlink_bytes = f.comm_bytes};
+    }
+};
+
+/**
+ * PEARL (Sec IV-C): replicated dense weights go through a ring
+ * AllReduce; partitioned embeddings are exchanged sparsely
+ * (AllGatherv forward + ReduceScatter backward, realized as an
+ * owner-to-requester exchange across all NVLink mesh links).
+ */
+class PearlStrategy final : public SyncStrategy
+{
+  public:
+    std::string name() const override { return "PEARL"; }
+
+    void
+    sync(sim::ClusterSim &cluster,
+         const std::vector<sim::Gpu *> &group,
+         const WorkloadFeatures &f, Done done) override
+    {
+        auto ops =
+            std::make_shared<CollectiveOps>(cluster.eventQueue());
+        int n = static_cast<int>(group.size());
+        double sparse_total = f.embedding_comm_bytes * n;
+        ops->ringAllReduce(
+            group, f.denseCommBytes(),
+            [ops, group, sparse_total,
+             done = std::move(done)](sim::SimTime) {
+                ops->sparseAllToAll(group, sparse_total, done);
+            });
+    }
+
+    SyncTraffic
+    traffic(const WorkloadFeatures &f, int group_size) const override
+    {
+        double n = std::max(1, group_size);
+        double dense = group_size > 1
+                           ? 2.0 * (n - 1.0) / n * f.denseCommBytes()
+                           : 0.0;
+        // Sparse exchange: each GPU moves its owned share, which is
+        // the per-cNode accessed volume.
+        double sparse = group_size > 1 ? f.embedding_comm_bytes : 0.0;
+        return {.nvlink_bytes = dense + sparse};
+    }
+};
+
+} // namespace
+
+std::unique_ptr<SyncStrategy>
+makeStrategy(ArchType arch, const StrategyOptions &opts)
+{
+    switch (arch) {
+      case ArchType::OneWorkerOneGpu:
+        return std::make_unique<NoSyncStrategy>();
+      case ArchType::OneWorkerMultiGpu:
+        return std::make_unique<LocalPsStrategy>();
+      case ArchType::PsWorker:
+        return std::make_unique<PsWorkerStrategy>(opts);
+      case ArchType::AllReduceLocal:
+        return std::make_unique<LocalAllReduceStrategy>();
+      case ArchType::AllReduceCluster:
+        return std::make_unique<ClusterAllReduceStrategy>();
+      case ArchType::Pearl:
+        return std::make_unique<PearlStrategy>();
+    }
+    return nullptr;
+}
+
+} // namespace paichar::collectives

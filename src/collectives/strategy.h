@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Weight-synchronization strategies: one per system architecture of
+ * Table II, plus PEARL (Sec IV-C). A strategy launches the event-driven
+ * weight/gradient exchange for one training step on a simulated
+ * cluster and reports completion.
+ */
+
+#ifndef PAICHAR_COLLECTIVES_STRATEGY_H
+#define PAICHAR_COLLECTIVES_STRATEGY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collectives/collective_ops.h"
+#include "sim/topology.h"
+#include "workload/arch_type.h"
+#include "workload/workload_features.h"
+
+namespace paichar::collectives {
+
+/** Per-cNode traffic a strategy will move, split by medium. */
+struct SyncTraffic
+{
+    double pcie_bytes = 0.0;
+    double ethernet_bytes = 0.0;
+    double nvlink_bytes = 0.0;
+
+    double
+    total() const
+    {
+        return pcie_bytes + ethernet_bytes + nvlink_bytes;
+    }
+};
+
+/** Interface for one architecture's weight synchronization. */
+class SyncStrategy
+{
+  public:
+    virtual ~SyncStrategy() = default;
+
+    /** Human-readable strategy name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Launch the weight sync for one step.
+     *
+     * @param cluster Simulated cluster providing links and the queue.
+     * @param group   The job's GPUs (one per cNode).
+     * @param f       The job's per-step features.
+     * @param done    Invoked at the sync's completion time.
+     */
+    virtual void sync(sim::ClusterSim &cluster,
+                      const std::vector<sim::Gpu *> &group,
+                      const workload::WorkloadFeatures &f,
+                      Done done) = 0;
+
+    /**
+     * Per-cNode traffic this strategy moves for @p f on a group of
+     * @p group_size GPUs, by medium (used for profiling records and
+     * sanity checks; event execution must agree in total volume).
+     */
+    virtual SyncTraffic traffic(const workload::WorkloadFeatures &f,
+                                int group_size) const = 0;
+};
+
+/** Optional strategy behaviors. */
+struct StrategyOptions
+{
+    /**
+     * PS/Worker only: number of parameter-server nodes. When
+     * model_ps_contention is set, each worker's Ethernet leg also
+     * crosses one of the PS servers' NICs (round-robin), so an
+     * under-provisioned PS tier becomes a measurable bottleneck.
+     * The PS servers must exist in the topology: the convention is
+     * that servers [num_workers, num_workers + num_ps) host the PSs.
+     */
+    int num_ps = 0;
+    bool model_ps_contention = false;
+};
+
+/**
+ * Build the strategy matching an architecture. PS/Worker placement
+ * assumptions (one worker per server) are the caller's responsibility.
+ */
+std::unique_ptr<SyncStrategy> makeStrategy(workload::ArchType arch,
+                                           const StrategyOptions &opts =
+                                               StrategyOptions{});
+
+} // namespace paichar::collectives
+
+#endif // PAICHAR_COLLECTIVES_STRATEGY_H

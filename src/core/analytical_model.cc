@@ -1,0 +1,220 @@
+#include "analytical_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace paichar::core {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+std::string
+toString(Component c)
+{
+    switch (c) {
+      case Component::DataIo:
+        return "Data I/O";
+      case Component::ComputeFlops:
+        return "Comp.(compute-bound)";
+      case Component::ComputeMemory:
+        return "Comp.(memory-bound)";
+      case Component::WeightTraffic:
+        return "Weights traffic";
+    }
+    return "unknown";
+}
+
+std::string
+toString(HwComponent h)
+{
+    switch (h) {
+      case HwComponent::GpuFlops:
+        return "GPU_FLOPs";
+      case HwComponent::GpuMemory:
+        return "GPU_memory";
+      case HwComponent::Pcie:
+        return "PCIe";
+      case HwComponent::Ethernet:
+        return "Ethernet";
+      case HwComponent::NvLink:
+        return "NVLink";
+    }
+    return "unknown";
+}
+
+double
+TimeBreakdown::total(OverlapMode mode) const
+{
+    double tc = compute();
+    if (mode == OverlapMode::IdealOverlap)
+        return std::max({t_data, tc, t_weight});
+    return t_data + tc + t_weight;
+}
+
+double
+TimeBreakdown::time(Component c) const
+{
+    switch (c) {
+      case Component::DataIo:
+        return t_data;
+      case Component::ComputeFlops:
+        return t_comp_flops;
+      case Component::ComputeMemory:
+        return t_comp_mem;
+      case Component::WeightTraffic:
+        return t_weight;
+    }
+    return 0.0;
+}
+
+double
+TimeBreakdown::fraction(Component c) const
+{
+    double t = total(OverlapMode::NonOverlap);
+    return t > 0.0 ? time(c) / t : 0.0;
+}
+
+double
+TimeBreakdown::hwTime(HwComponent h) const
+{
+    switch (h) {
+      case HwComponent::GpuFlops:
+        return t_comp_flops;
+      case HwComponent::GpuMemory:
+        return t_comp_mem;
+      case HwComponent::Pcie:
+        return t_data + t_weight_pcie;
+      case HwComponent::Ethernet:
+        return t_weight_ethernet;
+      case HwComponent::NvLink:
+        return t_weight_nvlink;
+    }
+    return 0.0;
+}
+
+double
+TimeBreakdown::hwFraction(HwComponent h) const
+{
+    double t = total(OverlapMode::NonOverlap);
+    return t > 0.0 ? hwTime(h) / t : 0.0;
+}
+
+AnalyticalModel::AnalyticalModel(const hw::ClusterSpec &spec)
+    : AnalyticalModel(spec, EfficiencyAssumption{spec.efficiency,
+                                                 spec.efficiency})
+{
+}
+
+AnalyticalModel::AnalyticalModel(const hw::ClusterSpec &spec,
+                                 const EfficiencyAssumption &eff)
+    : spec_(spec), eff_(eff)
+{
+    assert(eff_.computation > 0.0 && eff_.computation <= 1.0);
+    assert(eff_.communication > 0.0 && eff_.communication <= 1.0);
+}
+
+int
+AnalyticalModel::colocatedReplicas(const TrainingJob &job,
+                                   const hw::ClusterSpec &spec)
+{
+    switch (job.arch) {
+      case ArchType::OneWorkerOneGpu:
+        return 1;
+      case ArchType::OneWorkerMultiGpu:
+      case ArchType::AllReduceLocal:
+        // Placed within one physical server by definition.
+        return std::min(job.num_cnodes, spec.server.gpus_per_server);
+      case ArchType::PsWorker:
+        // Each worker node sits on its own server (Sec II-A2).
+        return 1;
+      case ArchType::AllReduceCluster:
+      case ArchType::Pearl:
+        // Whole servers are allocated; each server's GPUs share PCIe.
+        return std::min(job.num_cnodes, spec.server.gpus_per_server);
+    }
+    return 1;
+}
+
+TimeBreakdown
+AnalyticalModel::breakdown(const TrainingJob &job) const
+{
+    assert(job.features.valid());
+    assert(job.num_cnodes >= 1);
+
+    const auto &f = job.features;
+    const auto &srv = spec_.server;
+    const double comp_eff = eff_.computation;
+    const double comm_eff = eff_.communication;
+
+    TimeBreakdown b;
+    b.t_comp_flops = f.flop_count / (srv.gpu.peak_flops * comp_eff);
+    b.t_comp_mem =
+        f.mem_access_bytes / (srv.gpu.mem_bandwidth * comp_eff);
+
+    const double pcie_bw = srv.pcie_bandwidth * comm_eff;
+    const double eth_bw = spec_.ethernet_bandwidth * comm_eff;
+    const double nvl_bw = srv.nvlink_bandwidth * comm_eff;
+    const int share =
+        pcie_contention_ ? colocatedReplicas(job, spec_) : 1;
+
+    // Input samples travel host->GPU over a PCIe root shared by all
+    // replicas co-located on the server (Sec III-C1's slow-down).
+    b.t_data = f.input_bytes * share / pcie_bw;
+
+    const double sw = f.comm_bytes;
+    // Optional ring-traffic factor 2(n-1)/n (setRingAware).
+    const double n = std::max(1, job.num_cnodes);
+    const double ring =
+        ring_aware_ && job.num_cnodes > 1 ? 2.0 * (n - 1.0) / n : 1.0;
+    switch (job.arch) {
+      case ArchType::OneWorkerOneGpu:
+        break; // no weight movement
+      case ArchType::OneWorkerMultiGpu:
+        // Params live on the host CPU; every replica's pull+push
+        // crosses the shared PCIe root.
+        b.t_weight_pcie = sw * share / pcie_bw;
+        break;
+      case ArchType::PsWorker:
+        // Serial legs: server NIC, then host-to-GPU (Table II, Eq 3).
+        b.t_weight_ethernet = sw / eth_bw;
+        b.t_weight_pcie = sw / pcie_bw;
+        break;
+      case ArchType::AllReduceLocal:
+        b.t_weight_nvlink = ring * sw / nvl_bw;
+        break;
+      case ArchType::Pearl: {
+        // Sec IV-C: embedding traffic is partitioned across the GPUs
+        // (AllGatherv / ReduceScatter), dense traffic is replicated.
+        double per_gpu = f.denseCommBytes() +
+                         f.embedding_comm_bytes / job.num_cnodes;
+        b.t_weight_nvlink = per_gpu / nvl_bw;
+        break;
+      }
+      case ArchType::AllReduceCluster:
+        b.t_weight_ethernet = sw / eth_bw;
+        b.t_weight_nvlink = ring * sw / nvl_bw;
+        break;
+    }
+    b.t_weight =
+        b.t_weight_ethernet + b.t_weight_pcie + b.t_weight_nvlink;
+    return b;
+}
+
+double
+AnalyticalModel::stepTime(const TrainingJob &job, OverlapMode mode) const
+{
+    return breakdown(job).total(mode);
+}
+
+double
+AnalyticalModel::throughput(const TrainingJob &job,
+                            OverlapMode mode) const
+{
+    double t = stepTime(job, mode);
+    assert(t > 0.0);
+    return static_cast<double>(job.num_cnodes) / t *
+           job.features.batch_size;
+}
+
+} // namespace paichar::core

@@ -1,0 +1,117 @@
+#include "arch_selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paichar::core {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+ArchitectureAdvisor::ArchitectureAdvisor(const AnalyticalModel &model,
+                                         double gpu_memory_bytes)
+    : model_(model), gpu_memory_bytes_(gpu_memory_bytes)
+{
+    assert(gpu_memory_bytes_ > 0.0);
+}
+
+ArchOption
+ArchitectureAdvisor::evaluateOne(const TrainingJob &job, ArchType arch,
+                                 OverlapMode mode) const
+{
+    const auto &f = job.features;
+    const auto &spec = model_.spec();
+
+    ArchOption opt;
+    opt.arch = arch;
+    opt.num_cnodes = job.num_cnodes;
+
+    switch (arch) {
+      case ArchType::OneWorkerOneGpu:
+        opt.num_cnodes = 1;
+        opt.per_gpu_weight_bytes = f.weightBytes();
+        break;
+      case ArchType::OneWorkerMultiGpu:
+        opt.num_cnodes = std::min(job.num_cnodes,
+                                  spec.server.gpus_per_server);
+        // Parameters live in host memory; GPUs hold working copies of
+        // the dense part only.
+        opt.per_gpu_weight_bytes = f.dense_weight_bytes;
+        break;
+      case ArchType::PsWorker:
+        // Parameters are partitioned across PS hosts; a worker GPU
+        // holds the dense replica plus the rows of the current batch.
+        opt.per_gpu_weight_bytes = f.dense_weight_bytes + f.comm_bytes;
+        break;
+      case ArchType::AllReduceLocal:
+        opt.num_cnodes = std::min(job.num_cnodes,
+                                  spec.server.gpus_per_server);
+        opt.per_gpu_weight_bytes = f.weightBytes();
+        break;
+      case ArchType::AllReduceCluster:
+        opt.per_gpu_weight_bytes = f.weightBytes();
+        break;
+      case ArchType::Pearl:
+        opt.num_cnodes = std::min(job.num_cnodes,
+                                  spec.server.gpus_per_server);
+        opt.per_gpu_weight_bytes =
+            f.dense_weight_bytes +
+            f.embedding_weight_bytes /
+                std::max(1, opt.num_cnodes);
+        break;
+    }
+
+    bool needs_nvlink = arch == ArchType::AllReduceLocal ||
+                        arch == ArchType::AllReduceCluster ||
+                        arch == ArchType::Pearl;
+    if (needs_nvlink && !spec.server.has_nvlink) {
+        opt.feasible = false;
+        opt.reason = "requires NVLink servers";
+        return opt;
+    }
+    if (opt.per_gpu_weight_bytes > gpu_memory_bytes_) {
+        opt.feasible = false;
+        opt.reason = "weights exceed per-GPU memory budget";
+        return opt;
+    }
+
+    opt.feasible = true;
+    TrainingJob variant = job;
+    variant.arch = arch;
+    variant.num_cnodes = opt.num_cnodes;
+    variant.num_ps = arch == ArchType::PsWorker
+                         ? std::max(1, opt.num_cnodes / 4)
+                         : 0;
+    opt.step_time = model_.stepTime(variant, mode);
+    opt.throughput = model_.throughput(variant, mode);
+    return opt;
+}
+
+std::vector<ArchOption>
+ArchitectureAdvisor::evaluate(const TrainingJob &job,
+                              OverlapMode mode) const
+{
+    std::vector<ArchOption> options;
+    for (ArchType arch : workload::kAllArchTypes)
+        options.push_back(evaluateOne(job, arch, mode));
+    std::stable_sort(options.begin(), options.end(),
+                     [](const ArchOption &a, const ArchOption &b) {
+                         if (a.feasible != b.feasible)
+                             return a.feasible;
+                         return a.throughput > b.throughput;
+                     });
+    return options;
+}
+
+ArchOption
+ArchitectureAdvisor::recommend(const TrainingJob &job,
+                               OverlapMode mode) const
+{
+    auto options = evaluate(job, mode);
+    assert(!options.empty());
+    // PS/Worker and 1w1g are always feasible, so the front is too.
+    assert(options.front().feasible);
+    return options.front();
+}
+
+} // namespace paichar::core

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * System-architecture selection (Sec VI-A1): given a workload's
+ * features and the hardware, enumerate the feasible training
+ * architectures, predict each one's step time and throughput with the
+ * analytical model, and recommend the best.
+ *
+ * Feasibility encodes the paper's constraints:
+ *  - replicated AllReduce requires the full parameter set (dense +
+ *    embedding + optimizer state) to fit in one GPU's memory
+ *    ("only weight-replica mode is supported", Sec III-A);
+ *  - PEARL requires NVLink and only needs the dense weights plus an
+ *    embedding shard per GPU (Sec IV-C);
+ *  - AllReduce-Local additionally caps the job at one server's GPUs;
+ *  - PS/Worker and 1wng park parameters in host memory and are always
+ *    feasible (the paper's fallback for 100-300 GB models).
+ */
+
+#ifndef PAICHAR_CORE_ARCH_SELECTION_H
+#define PAICHAR_CORE_ARCH_SELECTION_H
+
+#include <string>
+#include <vector>
+
+#include "core/analytical_model.h"
+#include "workload/training_job.h"
+
+namespace paichar::core {
+
+/** One evaluated architecture option. */
+struct ArchOption
+{
+    workload::ArchType arch;
+    /** cNodes after applying the architecture's placement rules. */
+    int num_cnodes = 1;
+    /** Per-GPU resident parameter bytes this choice requires. */
+    double per_gpu_weight_bytes = 0.0;
+    /** Whether the weights fit the per-GPU memory budget. */
+    bool feasible = false;
+    /** Why not, when infeasible. */
+    std::string reason;
+    /** Predicted step time (only meaningful when feasible). */
+    double step_time = 0.0;
+    /** Predicted throughput, Eq 2 (only meaningful when feasible). */
+    double throughput = 0.0;
+};
+
+/** Recommends a training architecture for a workload. */
+class ArchitectureAdvisor
+{
+  public:
+    /**
+     * @param model            Analytical model (hardware in use).
+     * @param gpu_memory_bytes Per-GPU memory capacity used for the
+     *                         weight-residency feasibility check
+     *                         (e.g. 32 GB for V100-32G). Activations
+     *                         are assumed to fit alongside a derated
+     *                         budget; pass the budget you are willing
+     *                         to spend on parameters.
+     */
+    ArchitectureAdvisor(const AnalyticalModel &model,
+                        double gpu_memory_bytes);
+
+    /**
+     * Evaluate every architecture for @p job (the job's current
+     * architecture is included). Options are returned in descending
+     * throughput order with infeasible options last.
+     */
+    std::vector<ArchOption>
+    evaluate(const workload::TrainingJob &job,
+             OverlapMode mode = OverlapMode::NonOverlap) const;
+
+    /**
+     * The recommended option: the feasible architecture with the
+     * highest predicted throughput.
+     */
+    ArchOption recommend(const workload::TrainingJob &job,
+                         OverlapMode mode = OverlapMode::NonOverlap)
+        const;
+
+  private:
+    ArchOption evaluateOne(const workload::TrainingJob &job,
+                           workload::ArchType arch,
+                           OverlapMode mode) const;
+
+    const AnalyticalModel &model_;
+    double gpu_memory_bytes_;
+};
+
+} // namespace paichar::core
+
+#endif // PAICHAR_CORE_ARCH_SELECTION_H

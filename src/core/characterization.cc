@@ -1,0 +1,140 @@
+#include "characterization.h"
+
+#include <cassert>
+
+namespace paichar::core {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+double
+Constitution::jobShare(ArchType a) const
+{
+    if (total_jobs == 0)
+        return 0.0;
+    auto it = job_counts.find(a);
+    return it == job_counts.end()
+               ? 0.0
+               : static_cast<double>(it->second) /
+                     static_cast<double>(total_jobs);
+}
+
+double
+Constitution::cnodeShare(ArchType a) const
+{
+    if (total_cnodes == 0)
+        return 0.0;
+    auto it = cnode_counts.find(a);
+    return it == cnode_counts.end()
+               ? 0.0
+               : static_cast<double>(it->second) /
+                     static_cast<double>(total_cnodes);
+}
+
+ClusterCharacterizer::ClusterCharacterizer(const AnalyticalModel &model,
+                                           std::vector<TrainingJob> jobs)
+    : model_(model), jobs_(std::move(jobs))
+{
+    breakdowns_.reserve(jobs_.size());
+    for (const TrainingJob &job : jobs_)
+        breakdowns_.push_back(model_.breakdown(job));
+}
+
+const TimeBreakdown &
+ClusterCharacterizer::breakdownOf(size_t i) const
+{
+    assert(i < breakdowns_.size());
+    return breakdowns_[i];
+}
+
+Constitution
+ClusterCharacterizer::constitution() const
+{
+    Constitution c;
+    for (const TrainingJob &job : jobs_) {
+        ++c.job_counts[job.arch];
+        c.cnode_counts[job.arch] += job.num_cnodes;
+        ++c.total_jobs;
+        c.total_cnodes += job.num_cnodes;
+    }
+    return c;
+}
+
+stats::WeightedCdf
+ClusterCharacterizer::cnodeCountCdf(ArchType arch) const
+{
+    stats::WeightedCdf cdf;
+    for (const TrainingJob &job : jobs_) {
+        if (job.arch == arch)
+            cdf.add(static_cast<double>(job.num_cnodes));
+    }
+    return cdf;
+}
+
+stats::WeightedCdf
+ClusterCharacterizer::weightSizeCdf(std::optional<ArchType> arch) const
+{
+    stats::WeightedCdf cdf;
+    for (const TrainingJob &job : jobs_) {
+        if (!arch || job.arch == *arch)
+            cdf.add(job.features.weightBytes());
+    }
+    return cdf;
+}
+
+double
+ClusterCharacterizer::levelWeight(const TrainingJob &job,
+                                  Level level) const
+{
+    return level == Level::Job ? 1.0
+                               : static_cast<double>(job.num_cnodes);
+}
+
+std::array<double, 4>
+ClusterCharacterizer::avgBreakdown(std::optional<ArchType> arch,
+                                   Level level) const
+{
+    std::array<double, 4> acc{};
+    double total_weight = 0.0;
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        if (arch && jobs_[i].arch != *arch)
+            continue;
+        double w = levelWeight(jobs_[i], level);
+        for (size_t c = 0; c < 4; ++c)
+            acc[c] += w * breakdowns_[i].fraction(kAllComponents[c]);
+        total_weight += w;
+    }
+    if (total_weight > 0.0) {
+        for (double &v : acc)
+            v /= total_weight;
+    }
+    return acc;
+}
+
+stats::WeightedCdf
+ClusterCharacterizer::componentCdf(Component c,
+                                   std::optional<ArchType> arch,
+                                   Level level) const
+{
+    stats::WeightedCdf cdf;
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        if (arch && jobs_[i].arch != *arch)
+            continue;
+        cdf.add(breakdowns_[i].fraction(c),
+                levelWeight(jobs_[i], level));
+    }
+    return cdf;
+}
+
+stats::WeightedCdf
+ClusterCharacterizer::hwComponentCdf(HwComponent h, Level level) const
+{
+    stats::WeightedCdf cdf;
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+        cdf.add(breakdowns_[i].hwFraction(h),
+                levelWeight(jobs_[i], level));
+    }
+    return cdf;
+}
+
+} // namespace paichar::core

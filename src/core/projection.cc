@@ -1,0 +1,42 @@
+#include "projection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paichar::core {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+TrainingJob
+ArchitectureProjector::remap(const TrainingJob &job,
+                             ArchType target) const
+{
+    TrainingJob out = job;
+    out.arch = target;
+    out.num_ps = 0;
+    if (target == ArchType::AllReduceLocal) {
+        out.num_cnodes =
+            std::min(job.num_cnodes,
+                     model_.spec().server.gpus_per_server);
+    }
+    return out;
+}
+
+ProjectionResult
+ArchitectureProjector::project(const TrainingJob &job, ArchType target,
+                               OverlapMode mode) const
+{
+    ProjectionResult r;
+    r.projected = remap(job, target);
+    r.old_step_time = model_.stepTime(job, mode);
+    r.new_step_time = model_.stepTime(r.projected, mode);
+    assert(r.old_step_time > 0.0 && r.new_step_time > 0.0);
+    r.single_node_speedup = r.old_step_time / r.new_step_time;
+    double old_tp = model_.throughput(job, mode);
+    double new_tp = model_.throughput(r.projected, mode);
+    r.throughput_speedup = new_tp / old_tp;
+    return r;
+}
+
+} // namespace paichar::core

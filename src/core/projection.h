@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Architecture projection (Sec III-C1, Figs 9/10/16): estimate how a
+ * job would perform if ported from its current architecture to
+ * AllReduce-Local or AllReduce-Cluster.
+ *
+ * Mapping rules from the paper:
+ *  - to AllReduce-Local: a job can use at most one server's GPUs, so
+ *    #cNode is clamped to 8 (gpus_per_server); jobs with <= 8 cNodes
+ *    keep their count.
+ *  - to AllReduce-Cluster: #cNode is retained.
+ * Weight traffic then moves to the new medium (NVLink, or Ethernet &
+ * NVLink), while data I/O picks up PCIe sharing across the co-located
+ * replicas -- the two opposing effects that decide whether a given job
+ * wins or loses.
+ */
+
+#ifndef PAICHAR_CORE_PROJECTION_H
+#define PAICHAR_CORE_PROJECTION_H
+
+#include "core/analytical_model.h"
+#include "workload/training_job.h"
+
+namespace paichar::core {
+
+/** Outcome of porting one job to a target architecture. */
+struct ProjectionResult
+{
+    /** The remapped job (new arch, possibly fewer cNodes). */
+    workload::TrainingJob projected;
+    /** Step time before / after. */
+    double old_step_time = 0.0;
+    double new_step_time = 0.0;
+    /** Single-cNode speedup: old step time / new step time. */
+    double single_node_speedup = 1.0;
+    /**
+     * Overall-throughput speedup per Eq 2; differs from the
+     * single-node speedup when the cNode count changed.
+     */
+    double throughput_speedup = 1.0;
+};
+
+/** Projects jobs onto alternative system architectures. */
+class ArchitectureProjector
+{
+  public:
+    /**
+     * @param model Analytical model (hardware + efficiency) used to
+     *              evaluate both the original and projected jobs.
+     */
+    explicit ArchitectureProjector(const AnalyticalModel &model)
+        : model_(model)
+    {
+    }
+
+    /**
+     * Remap a job's meta information to @p target (no evaluation):
+     * applies the cNode clamping rule and drops PS nodes.
+     */
+    workload::TrainingJob remap(const workload::TrainingJob &job,
+                                workload::ArchType target) const;
+
+    /** Remap and evaluate under the given overlap assumption. */
+    ProjectionResult
+    project(const workload::TrainingJob &job, workload::ArchType target,
+            OverlapMode mode = OverlapMode::NonOverlap) const;
+
+  private:
+    const AnalyticalModel &model_;
+};
+
+} // namespace paichar::core
+
+#endif // PAICHAR_CORE_PROJECTION_H

@@ -1,0 +1,54 @@
+#include "sweep.h"
+
+#include <cassert>
+
+namespace paichar::core {
+
+using workload::TrainingJob;
+
+double
+HardwareSweep::avgSpeedup(const std::vector<TrainingJob> &jobs,
+                          hw::Resource resource, double value,
+                          OverlapMode mode) const
+{
+    assert(!jobs.empty());
+    AnalyticalModel base_model(base_);
+    AnalyticalModel new_model(hw::withResource(base_, resource, value));
+    double acc = 0.0;
+    for (const TrainingJob &job : jobs) {
+        double t0 = base_model.stepTime(job, mode);
+        double t1 = new_model.stepTime(job, mode);
+        assert(t0 > 0.0 && t1 > 0.0);
+        acc += t0 / t1;
+    }
+    return acc / static_cast<double>(jobs.size());
+}
+
+std::vector<SweepSeries>
+HardwareSweep::run(const std::vector<TrainingJob> &jobs,
+                   const hw::HardwareVariations &variations,
+                   OverlapMode mode) const
+{
+    std::vector<SweepSeries> out;
+    auto addSeries = [&](hw::Resource r,
+                         const std::vector<double> &values) {
+        SweepSeries s;
+        s.resource = r;
+        for (double v : values) {
+            SweepPoint p;
+            p.resource = r;
+            p.value = v;
+            p.normalized = hw::normalizedResource(base_, r, v);
+            p.avg_speedup = avgSpeedup(jobs, r, v, mode);
+            s.points.push_back(p);
+        }
+        out.push_back(std::move(s));
+    };
+    addSeries(hw::Resource::Ethernet, variations.ethernet_gbps);
+    addSeries(hw::Resource::Pcie, variations.pcie_gbs);
+    addSeries(hw::Resource::GpuFlops, variations.gpu_peak_tflops);
+    addSeries(hw::Resource::GpuMemory, variations.gpu_mem_tbs);
+    return out;
+}
+
+} // namespace paichar::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Hardware-evolution what-if analysis (Sec III-C2, Table III, Fig 11):
+ * vary one resource at a time across the Table III candidates and
+ * report the average speedup each variation buys a job population.
+ */
+
+#ifndef PAICHAR_CORE_SWEEP_H
+#define PAICHAR_CORE_SWEEP_H
+
+#include <vector>
+
+#include "core/analytical_model.h"
+#include "hw/hardware_config.h"
+#include "workload/training_job.h"
+
+namespace paichar::core {
+
+/** One point of a Fig 11 series. */
+struct SweepPoint
+{
+    hw::Resource resource;
+    /** Raw candidate value in Table III units. */
+    double value = 0.0;
+    /** Value normalized to the base configuration (Fig 11 x-axis). */
+    double normalized = 0.0;
+    /** Mean of per-job (base step time / new step time). */
+    double avg_speedup = 1.0;
+};
+
+/** One resource's full series. */
+struct SweepSeries
+{
+    hw::Resource resource;
+    std::vector<SweepPoint> points;
+};
+
+/** Runs the Table III variation grid against a job population. */
+class HardwareSweep
+{
+  public:
+    /**
+     * @param base Base cluster configuration (speedups are relative
+     *             to it); its `efficiency` is used for both axes.
+     */
+    explicit HardwareSweep(const hw::ClusterSpec &base) : base_(base) {}
+
+    /**
+     * Evaluate every variation against @p jobs.
+     *
+     * @param jobs        Population (already filtered/projected by
+     *                    the caller, e.g. only PS/Worker jobs for
+     *                    Fig 11(c)).
+     * @param variations  The candidate grid (Table III by default).
+     * @param mode        Overlap assumption for step times.
+     * @return One series per resource, in Table III order.
+     */
+    std::vector<SweepSeries>
+    run(const std::vector<workload::TrainingJob> &jobs,
+        const hw::HardwareVariations &variations =
+            hw::tableIiiVariations(),
+        OverlapMode mode = OverlapMode::NonOverlap) const;
+
+    /** Mean speedup for a single (resource, value) variation. */
+    double avgSpeedup(const std::vector<workload::TrainingJob> &jobs,
+                      hw::Resource resource, double value,
+                      OverlapMode mode = OverlapMode::NonOverlap) const;
+
+  private:
+    hw::ClusterSpec base_;
+};
+
+} // namespace paichar::core
+
+#endif // PAICHAR_CORE_SWEEP_H

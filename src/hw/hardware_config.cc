@@ -1,0 +1,102 @@
+#include "hardware_config.h"
+
+#include <cassert>
+
+namespace paichar::hw {
+
+ClusterSpec
+paiCluster()
+{
+    ClusterSpec c;
+    c.name = "PAI production sub-cluster (Table I)";
+    c.server.gpu.peak_flops = 11.0 * kTFLOPs;
+    c.server.gpu.mem_bandwidth = 1.0 * kTB;
+    c.server.gpus_per_server = 8;
+    c.server.pcie_bandwidth = gbPerSec(10.0);
+    c.server.has_nvlink = true;
+    c.server.nvlink_bandwidth = gbPerSec(50.0);
+    c.ethernet_bandwidth = gbitPerSec(25.0);
+    c.num_servers = 1024;
+    c.efficiency = 0.7;
+    return c;
+}
+
+ClusterSpec
+v100Testbed()
+{
+    ClusterSpec c;
+    c.name = "64-server Tesla V100 testbed (Sec IV)";
+    c.server.gpu.peak_flops = 15.0 * kTFLOPs;   // V100 FP32 peak
+    c.server.gpu.mem_bandwidth = 900.0 * kGB;   // HBM2
+    c.server.gpu.tensorcore_ratio = 8.0;
+    c.server.gpus_per_server = 8;
+    c.server.pcie_bandwidth = gbPerSec(10.0);
+    c.server.has_nvlink = true;
+    c.server.nvlink_bandwidth = gbPerSec(50.0);
+    c.ethernet_bandwidth = gbitPerSec(25.0);
+    c.num_servers = 64;
+    c.efficiency = 0.7;
+    return c;
+}
+
+HardwareVariations
+tableIiiVariations()
+{
+    return HardwareVariations{};
+}
+
+std::string
+toString(Resource r)
+{
+    switch (r) {
+      case Resource::Ethernet:
+        return "Ethernet";
+      case Resource::Pcie:
+        return "PCIe";
+      case Resource::GpuFlops:
+        return "GPU_FLOPs";
+      case Resource::GpuMemory:
+        return "GPU_memory";
+    }
+    return "unknown";
+}
+
+ClusterSpec
+withResource(const ClusterSpec &base, Resource r, double value)
+{
+    assert(value > 0.0);
+    ClusterSpec c = base;
+    switch (r) {
+      case Resource::Ethernet:
+        c.ethernet_bandwidth = gbitPerSec(value);
+        break;
+      case Resource::Pcie:
+        c.server.pcie_bandwidth = gbPerSec(value);
+        break;
+      case Resource::GpuFlops:
+        c.server.gpu.peak_flops = value * kTFLOPs;
+        break;
+      case Resource::GpuMemory:
+        c.server.gpu.mem_bandwidth = value * kTB;
+        break;
+    }
+    return c;
+}
+
+double
+normalizedResource(const ClusterSpec &base, Resource r, double value)
+{
+    switch (r) {
+      case Resource::Ethernet:
+        return gbitPerSec(value) / base.ethernet_bandwidth;
+      case Resource::Pcie:
+        return gbPerSec(value) / base.server.pcie_bandwidth;
+      case Resource::GpuFlops:
+        return value * kTFLOPs / base.server.gpu.peak_flops;
+      case Resource::GpuMemory:
+        return value * kTB / base.server.gpu.mem_bandwidth;
+    }
+    return 1.0;
+}
+
+} // namespace paichar::hw

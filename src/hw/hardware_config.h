@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Hardware descriptions: GPU, server, cluster, and the paper's presets.
+ *
+ * Two presets matter:
+ *  - paiCluster(): the production-cluster setting of Table I (11 TFLOPs
+ *    GPUs, 1 TB/s HBM, 25 Gbps Ethernet, 10 GB/s PCIe, 50 GB/s NVLink),
+ *    used for all collective-behavior analyses (Sec III).
+ *  - v100Testbed(): the 64-server case-study testbed of Sec IV (eight
+ *    Tesla V100 per server, 15 TFLOPs FP32, 900 GB/s HBM2).
+ *
+ * hardwareVariations() exposes the Table III what-if grid.
+ */
+
+#ifndef PAICHAR_HW_HARDWARE_CONFIG_H
+#define PAICHAR_HW_HARDWARE_CONFIG_H
+
+#include <string>
+#include <vector>
+
+#include "hw/units.h"
+
+namespace paichar::hw {
+
+/** A GPU's fundamental capacities. */
+struct GpuSpec
+{
+    /** Peak dense compute throughput, FLOPs per second. */
+    double peak_flops = 11.0 * kTFLOPs;
+    /** Peak device-memory (HBM) bandwidth, bytes per second. */
+    double mem_bandwidth = 1.0 * kTB;
+    /**
+     * TensorCore peak relative to FP32 peak (Volta: up to 8x). Only
+     * consumed by the mixed-precision optimization pass.
+     */
+    double tensorcore_ratio = 8.0;
+};
+
+/** A multi-GPU server. */
+struct ServerSpec
+{
+    GpuSpec gpu;
+    /** GPUs per server (8 in both PAI settings). */
+    int gpus_per_server = 8;
+    /** Host-to-GPU PCIe bandwidth, bytes per second (per transfer). */
+    double pcie_bandwidth = gbPerSec(10.0);
+    /** Whether the hybrid-mesh NVLink fabric is present (Fig 1b). */
+    bool has_nvlink = true;
+    /** Per-GPU NVLink bandwidth, bytes per second. */
+    double nvlink_bandwidth = gbPerSec(50.0);
+};
+
+/** The cluster: homogeneous servers plus the network between them. */
+struct ClusterSpec
+{
+    std::string name = "unnamed";
+    ServerSpec server;
+    /** Per-server Ethernet NIC bandwidth, bytes per second. */
+    double ethernet_bandwidth = gbitPerSec(25.0);
+    /** Number of servers (only the simulator bounds placements by it). */
+    int num_servers = 64;
+    /**
+     * The paper's hardware-efficiency assumption: fraction of each peak
+     * capacity assumed attainable (Sec II-B uses 0.7 everywhere).
+     */
+    double efficiency = 0.7;
+};
+
+/** Table I: the production sub-cluster the traces were collected on. */
+ClusterSpec paiCluster();
+
+/** Sec IV: the 64-server V100 testbed used for the case studies. */
+ClusterSpec v100Testbed();
+
+/** The hardware-variation grid of Table III. */
+struct HardwareVariations
+{
+    std::vector<double> ethernet_gbps{10.0, 25.0, 100.0};
+    std::vector<double> pcie_gbs{10.0, 50.0};
+    std::vector<double> gpu_peak_tflops{8.0, 16.0, 32.0, 64.0};
+    std::vector<double> gpu_mem_tbs{1.0, 2.0, 4.0};
+};
+
+/** The candidate values of Table III. */
+HardwareVariations tableIiiVariations();
+
+/** Which hardware component a resource variation targets (Fig 11). */
+enum class Resource
+{
+    Ethernet,
+    Pcie,
+    GpuFlops,
+    GpuMemory,
+};
+
+/** Short printable name ("Ethernet", "PCIe", ...). */
+std::string toString(Resource r);
+
+/**
+ * Return a copy of @p base with one resource re-pointed to @p value
+ * (value uses the same unit as the Table III row: Gbps for Ethernet,
+ * GB/s for PCIe, TFLOPs for GPU compute, TB/s for GPU memory).
+ */
+ClusterSpec withResource(const ClusterSpec &base, Resource r, double value);
+
+/**
+ * Normalized resource value relative to @p base (the x axis of
+ * Fig 11), e.g. Ethernet 100 Gbps on a 25 Gbps base -> 4.0.
+ */
+double normalizedResource(const ClusterSpec &base, Resource r,
+                          double value);
+
+} // namespace paichar::hw
+
+#endif // PAICHAR_HW_HARDWARE_CONFIG_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unit helper constants. All quantities in the project are carried in
+ * base SI units: bytes, FLOPs, seconds, bytes-per-second.
+ *
+ * NOTE on conventions: the paper mixes Gb (bits, for Ethernet) and GB
+ * (bytes, for PCIe/NVLink/memory). We normalize everything to bytes per
+ * second at construction time and keep the decimal (1e9) convention the
+ * paper uses.
+ */
+
+#ifndef PAICHAR_HW_UNITS_H
+#define PAICHAR_HW_UNITS_H
+
+namespace paichar::hw {
+
+// --- sizes (decimal, matching the paper's GB/MB figures) ---
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+
+// --- compute ---
+inline constexpr double kGFLOPs = 1e9;
+inline constexpr double kTFLOPs = 1e12;
+
+// --- bandwidth ---
+/** Bytes per second from a GB/s figure. */
+inline constexpr double
+gbPerSec(double gb)
+{
+    return gb * kGB;
+}
+
+/** Bytes per second from a Gbit/s figure (Ethernet convention). */
+inline constexpr double
+gbitPerSec(double gbit)
+{
+    return gbit * 1e9 / 8.0;
+}
+
+// --- time ---
+inline constexpr double kUs = 1e-6;
+inline constexpr double kMs = 1e-3;
+
+} // namespace paichar::hw
+
+#endif // PAICHAR_HW_UNITS_H

@@ -1,0 +1,48 @@
+#include "inference_workload.h"
+
+#include <cassert>
+
+namespace paichar::inference {
+
+InferenceWorkload
+InferenceWorkload::fromTraining(const workload::CaseStudyModel &m)
+{
+    assert(m.features.batch_size > 0.0);
+    InferenceWorkload w;
+    w.name = m.name;
+    // Training = forward + backward, with backward ~2x forward.
+    const double fwd_fraction = 1.0 / 3.0;
+    double batch = m.features.batch_size;
+    w.flops_per_item = m.features.flop_count * fwd_fraction / batch;
+    w.act_bytes_per_item =
+        m.features.mem_access_bytes * fwd_fraction / batch;
+    w.input_bytes_per_item = m.features.input_bytes / batch;
+    // Inference serves trainable parameters only (no optimizer
+    // state): half of the Table IV dense figure.
+    w.weight_bytes = 0.5 * m.features.dense_weight_bytes;
+    w.efficiency = m.measured_efficiency;
+    return w;
+}
+
+double
+InferenceWorkload::serviceTime(int batch, const hw::GpuSpec &gpu,
+                               double launch_overhead) const
+{
+    assert(batch >= 1);
+    double flops_rate = gpu.peak_flops * efficiency.gpu_flops;
+    double mem_rate = gpu.mem_bandwidth * efficiency.gpu_memory;
+    double per_item = flops_per_item / flops_rate +
+                      act_bytes_per_item / mem_rate;
+    return launch_overhead + weight_bytes / mem_rate +
+           batch * per_item;
+}
+
+double
+InferenceWorkload::inputTime(int batch, double pcie_bandwidth) const
+{
+    assert(batch >= 1);
+    double rate = pcie_bandwidth * efficiency.pcie;
+    return batch * input_bytes_per_item / rate;
+}
+
+} // namespace paichar::inference

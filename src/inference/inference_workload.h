@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Inference workloads — the paper's stated future work ("we seek to
+ * characterize inference workloads in our cluster using a similar
+ * methodology", Sec VIII).
+ *
+ * An inference request is a forward pass: roughly one third of the
+ * training step's FLOPs at the same batch size, no weight/gradient
+ * traffic, and a per-request service time with a batch-independent
+ * component (reading the weights once per launched batch) plus a
+ * per-item component (activation compute and traffic). That cost
+ * shape is what makes dynamic batching profitable and is the core of
+ * the latency/throughput trade-off this subsystem characterizes.
+ */
+
+#ifndef PAICHAR_INFERENCE_INFERENCE_WORKLOAD_H
+#define PAICHAR_INFERENCE_INFERENCE_WORKLOAD_H
+
+#include <string>
+
+#include "hw/hardware_config.h"
+#include "workload/model_zoo.h"
+
+namespace paichar::inference {
+
+/** Per-request resource demands of a served model. */
+struct InferenceWorkload
+{
+    std::string name;
+
+    /** Forward-pass FLOPs per single request (batch of 1). */
+    double flops_per_item = 0.0;
+    /** Activation memory traffic per single request. */
+    double act_bytes_per_item = 0.0;
+    /** Input bytes copied host->GPU per request. */
+    double input_bytes_per_item = 0.0;
+    /** Parameter bytes streamed from HBM once per launched batch. */
+    double weight_bytes = 0.0;
+
+    /** Achieved efficiencies of the serving hardware. */
+    workload::EfficiencyProfile efficiency;
+
+    /**
+     * Derive an inference workload from a training case study:
+     * forward-only cost (training = forward + ~2x backward), per-item
+     * demands obtained by dividing by the training batch size, and
+     * the dense weights streamed per batch.
+     */
+    static InferenceWorkload
+    fromTraining(const workload::CaseStudyModel &m);
+
+    /**
+     * GPU service seconds for one launched batch of @p batch items on
+     * @p gpu (weights stream once; items add compute + activations).
+     */
+    double serviceTime(int batch, const hw::GpuSpec &gpu,
+                       double launch_overhead) const;
+
+    /** PCIe seconds to stage @p batch inputs. */
+    double inputTime(int batch, double pcie_bandwidth) const;
+};
+
+} // namespace paichar::inference
+
+#endif // PAICHAR_INFERENCE_INFERENCE_WORKLOAD_H

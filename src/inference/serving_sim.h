@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A discrete-event model server: Poisson request arrivals, a FIFO
+ * request queue, greedy dynamic batching (whenever the GPU goes idle
+ * it takes up to max_batch queued requests as one launch), input
+ * staging over PCIe, and execution on one simulated GPU.
+ *
+ * Characterizes the latency/throughput trade-off of serving: per-
+ * request latency percentiles versus offered load, attainable QPS
+ * under a latency SLO, and the effect of the batching bound.
+ */
+
+#ifndef PAICHAR_INFERENCE_SERVING_SIM_H
+#define PAICHAR_INFERENCE_SERVING_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/hardware_config.h"
+#include "inference/inference_workload.h"
+#include "stats/cdf.h"
+
+namespace paichar::inference {
+
+/** Serving configuration. */
+struct ServingConfig
+{
+    /** Hardware the model is served on. */
+    hw::ServerSpec server = hw::v100Testbed().server;
+    /** Largest batch a single launch may aggregate. */
+    int max_batch = 8;
+    /** Kernel-launch overhead per batch. */
+    double launch_overhead = 30e-6;
+};
+
+/** Measured serving behavior at one offered load. */
+struct ServingResult
+{
+    /** Requests completed. */
+    int64_t requests = 0;
+    /** Wall-clock span of the simulation. */
+    double duration = 0.0;
+    /** Achieved request throughput (completions / duration). */
+    double throughput = 0.0;
+    /** Latency statistics (arrival to completion), seconds. */
+    double mean_latency = 0.0;
+    double p50_latency = 0.0;
+    double p95_latency = 0.0;
+    double p99_latency = 0.0;
+    /** GPU busy fraction. */
+    double gpu_utilization = 0.0;
+    /** Mean launched batch size. */
+    double avg_batch = 0.0;
+    /** True if the queue was still growing at the end (overload). */
+    bool saturated = false;
+};
+
+/** Simulates one model server. */
+class ServingSimulator
+{
+  public:
+    explicit ServingSimulator(ServingConfig cfg = ServingConfig{});
+
+    /**
+     * Serve @p num_requests Poisson arrivals at @p qps.
+     *
+     * @param workload Model being served.
+     * @param qps      Offered load, requests per second (> 0).
+     * @param num_requests Requests to simulate (>= 1).
+     * @param seed     Arrival-process seed.
+     */
+    ServingResult run(const InferenceWorkload &workload, double qps,
+                      int64_t num_requests, uint64_t seed) const;
+
+    /**
+     * Largest offered load whose p99 latency stays within @p slo
+     * seconds, found by bisection over [1, qps_hi] (0 if even idle
+     * latency violates the SLO).
+     */
+    double maxQpsUnderSlo(const InferenceWorkload &workload,
+                          double slo, double qps_hi,
+                          uint64_t seed) const;
+
+    const ServingConfig &config() const { return cfg_; }
+
+  private:
+    ServingConfig cfg_;
+};
+
+} // namespace paichar::inference
+
+#endif // PAICHAR_INFERENCE_SERVING_SIM_H

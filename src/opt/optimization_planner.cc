@@ -1,0 +1,152 @@
+#include "optimization_planner.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "opt/passes.h"
+
+namespace paichar::opt {
+
+using workload::ArchType;
+using workload::CaseStudyModel;
+
+std::string
+Plan::label() const
+{
+    std::string passes;
+    if (mixed_precision)
+        passes = "MP";
+    if (xla_fusion)
+        passes += passes.empty() ? "XLA" : "+XLA";
+    if (passes.empty())
+        passes = "default";
+    return passes + " on " + workload::toString(arch);
+}
+
+OptimizationPlanner::OptimizationPlanner(PlannerConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    assert(cfg_.gpu_memory_bytes > 0.0);
+}
+
+bool
+OptimizationPlanner::archFeasible(const CaseStudyModel &model,
+                                  ArchType arch, int *cnodes) const
+{
+    const auto &f = model.features;
+    const auto &srv = cfg_.sim.cluster.server;
+    int n = model.num_cnodes;
+    double per_gpu = 0.0;
+    switch (arch) {
+      case ArchType::OneWorkerOneGpu:
+        n = 1;
+        per_gpu = f.weightBytes();
+        break;
+      case ArchType::OneWorkerMultiGpu:
+        n = std::min(n, srv.gpus_per_server);
+        per_gpu = f.dense_weight_bytes;
+        break;
+      case ArchType::PsWorker:
+        per_gpu = f.dense_weight_bytes + f.comm_bytes;
+        break;
+      case ArchType::AllReduceLocal:
+        n = std::min(n, srv.gpus_per_server);
+        per_gpu = f.weightBytes();
+        break;
+      case ArchType::AllReduceCluster:
+        per_gpu = f.weightBytes();
+        break;
+      case ArchType::Pearl:
+        n = std::min(n, srv.gpus_per_server);
+        per_gpu = f.dense_weight_bytes +
+                  f.embedding_weight_bytes / std::max(1, n);
+        break;
+    }
+    bool needs_nvlink = arch == ArchType::AllReduceLocal ||
+                        arch == ArchType::AllReduceCluster ||
+                        arch == ArchType::Pearl;
+    if (needs_nvlink && !srv.has_nvlink)
+        return false;
+    if (per_gpu > cfg_.gpu_memory_bytes)
+        return false;
+    *cnodes = n;
+    return true;
+}
+
+std::vector<Plan>
+OptimizationPlanner::evaluate(const CaseStudyModel &model) const
+{
+    testbed::TrainingSimulator sim(cfg_.sim);
+
+    std::vector<ArchType> archs{model.arch};
+    if (cfg_.explore_architectures) {
+        for (ArchType a : workload::kAllArchTypes) {
+            if (a != model.arch)
+                archs.push_back(a);
+        }
+    }
+
+    std::vector<Plan> plans;
+    Plan baseline;
+    for (ArchType arch : archs) {
+        int cnodes = model.num_cnodes;
+        if (!archFeasible(model, arch, &cnodes))
+            continue;
+        for (bool mp : {false, true}) {
+            for (bool xla : {false, true}) {
+                PassManager pm;
+                if (mp)
+                    pm.add(std::make_unique<MixedPrecisionPass>());
+                if (xla)
+                    pm.add(std::make_unique<XlaFusionPass>());
+                workload::OpGraph g = pm.run(model.graph);
+
+                Plan plan;
+                plan.mixed_precision = mp;
+                plan.xla_fusion = xla;
+                plan.arch = arch;
+                plan.num_cnodes = cnodes;
+                plan.result =
+                    sim.run(g, model.features, arch, cnodes,
+                            model.measured_efficiency);
+                plan.throughput = cnodes /
+                                  plan.result.total_time *
+                                  model.features.batch_size;
+                if (arch == model.arch && !mp && !xla)
+                    baseline = plan;
+                plans.push_back(std::move(plan));
+            }
+        }
+    }
+    assert(!plans.empty());
+
+    assert(baseline.throughput > 0.0);
+    for (Plan &p : plans)
+        p.speedup = p.throughput / baseline.throughput;
+
+    std::stable_sort(plans.begin(), plans.end(),
+                     [&](const Plan &a, const Plan &b) {
+                         // Baseline pinned first; then by speedup.
+                         bool ab = a.arch == baseline.arch &&
+                                   !a.mixed_precision && !a.xla_fusion;
+                         bool bb = b.arch == baseline.arch &&
+                                   !b.mixed_precision && !b.xla_fusion;
+                         if (ab != bb)
+                             return ab;
+                         return a.speedup > b.speedup;
+                     });
+    return plans;
+}
+
+Plan
+OptimizationPlanner::best(const CaseStudyModel &model) const
+{
+    auto plans = evaluate(model);
+    assert(plans.size() >= 2 || !plans.empty());
+    // plans[0] is the baseline; the best candidate follows unless the
+    // baseline is unbeatable.
+    Plan top = plans.size() > 1 ? plans[1] : plans[0];
+    return top.speedup >= 1.0 ? top : plans[0];
+}
+
+} // namespace paichar::opt

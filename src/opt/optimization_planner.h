@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Optimization planning (Sec IV-D / VI): enumerate the combinations
+ * of the techniques the paper evaluates -- mixed precision, XLA
+ * fusion, and the training-architecture choice -- run each candidate
+ * on the simulated testbed, and rank them by measured step time.
+ *
+ * This operationalizes the paper's workflow: characterize a workload,
+ * then pick the software configuration that attacks its actual
+ * bottleneck (MP for compute-bound, XLA for memory-bound, an
+ * architecture/strategy change for communication-bound).
+ */
+
+#ifndef PAICHAR_OPT_OPTIMIZATION_PLANNER_H
+#define PAICHAR_OPT_OPTIMIZATION_PLANNER_H
+
+#include <string>
+#include <vector>
+
+#include "testbed/training_sim.h"
+#include "workload/model_zoo.h"
+
+namespace paichar::opt {
+
+/** One evaluated optimization plan. */
+struct Plan
+{
+    bool mixed_precision = false;
+    bool xla_fusion = false;
+    workload::ArchType arch = workload::ArchType::AllReduceLocal;
+    /** cNodes after the architecture's placement rules. */
+    int num_cnodes = 1;
+    /** Measured on the simulated testbed. */
+    testbed::StepResult result;
+    /** Overall throughput, Eq 2 (samples per second). */
+    double throughput = 0.0;
+    /**
+     * Throughput speedup over the unmodified baseline. Plans change
+     * the cNode count (e.g. PS -> AllReduce-Local clamps to 8), so
+     * step-time ratios alone would be misleading; Eq 2 is the
+     * comparable metric.
+     */
+    double speedup = 1.0;
+
+    /** "MP+XLA on AllReduce-Local"-style label. */
+    std::string label() const;
+};
+
+/** Planner configuration. */
+struct PlannerConfig
+{
+    /** Per-GPU parameter-memory budget for feasibility. */
+    double gpu_memory_bytes = 32e9;
+    /** Consider switching the training architecture. */
+    bool explore_architectures = true;
+    /** Simulator used for measurements. */
+    testbed::SimOptions sim;
+};
+
+/** Enumerates and ranks optimization plans for a workload. */
+class OptimizationPlanner
+{
+  public:
+    explicit OptimizationPlanner(PlannerConfig cfg = PlannerConfig{});
+
+    /**
+     * Evaluate all candidate plans for @p model. The first entry is
+     * the measured baseline (no passes, original architecture);
+     * remaining entries are sorted by decreasing speedup. Only
+     * feasible architectures are considered (weight residency and
+     * NVLink availability, as in ArchitectureAdvisor).
+     */
+    std::vector<Plan> evaluate(const workload::CaseStudyModel &model)
+        const;
+
+    /** The fastest plan (never the baseline unless nothing beats it). */
+    Plan best(const workload::CaseStudyModel &model) const;
+
+  private:
+    bool archFeasible(const workload::CaseStudyModel &model,
+                      workload::ArchType arch, int *cnodes) const;
+
+    PlannerConfig cfg_;
+};
+
+} // namespace paichar::opt
+
+#endif // PAICHAR_OPT_OPTIMIZATION_PLANNER_H

@@ -1,0 +1,169 @@
+#include "passes.h"
+
+#include <cassert>
+#include <set>
+#include <unordered_map>
+
+namespace paichar::opt {
+
+using workload::Op;
+using workload::OpGraph;
+using workload::OpId;
+using workload::OpType;
+
+MixedPrecisionPass::MixedPrecisionPass(double achieved_speedup)
+    : achieved_speedup_(achieved_speedup)
+{
+    assert(achieved_speedup_ >= 1.0);
+}
+
+OpGraph
+MixedPrecisionPass::run(const OpGraph &in) const
+{
+    OpGraph out;
+    for (const Op &op : in.ops()) {
+        Op copy = op;
+        copy.id = -1; // reassigned by addOp
+        if (workload::isComputeBound(op.type))
+            copy.flops /= achieved_speedup_;
+        out.addOp(std::move(copy));
+    }
+    return out;
+}
+
+XlaFusionPass::XlaFusionPass(int max_chain) : max_chain_(max_chain)
+{
+    assert(max_chain_ >= 2);
+}
+
+OpGraph
+XlaFusionPass::run(const OpGraph &in) const
+{
+    const auto &ops = in.ops();
+    const auto n = ops.size();
+
+    // Consumer lists.
+    std::vector<std::vector<OpId>> consumers(n);
+    for (const Op &op : ops) {
+        for (OpId src : op.inputs)
+            consumers[static_cast<size_t>(src)].push_back(op.id);
+    }
+
+    // Greedy maximal chains: extend through an op's unique fusable
+    // consumer. chain_of[i] = index of the chain containing op i, or
+    // -1.
+    std::vector<int> chain_of(n, -1);
+    std::vector<std::vector<OpId>> chains;
+    for (const Op &op : ops) {
+        if (!workload::isFusable(op.type) || chain_of[op.id] != -1)
+            continue;
+        std::vector<OpId> chain{op.id};
+        OpId cur = op.id;
+        while (static_cast<int>(chain.size()) < max_chain_) {
+            const auto &cons = consumers[static_cast<size_t>(cur)];
+            if (cons.size() != 1)
+                break;
+            const Op &next = in.op(cons[0]);
+            if (!workload::isFusable(next.type) ||
+                chain_of[next.id] != -1) {
+                break;
+            }
+            chain.push_back(next.id);
+            cur = next.id;
+        }
+        if (chain.size() >= 2) {
+            for (OpId id : chain)
+                chain_of[id] = static_cast<int>(chains.size());
+            chains.push_back(std::move(chain));
+        }
+    }
+
+    // Rebuild: each fused chain is emitted at its *tail* position,
+    // where every external input (including side inputs of interior
+    // members, which may be produced after the head) already exists
+    // in the output graph. Nothing else can reference an interior
+    // member, because extension requires a unique fusable consumer.
+    OpGraph out;
+    std::vector<OpId> remap(n, -1);
+    for (const Op &op : ops) {
+        int ci = chain_of[op.id];
+        if (ci != -1) {
+            const auto &chain = chains[static_cast<size_t>(ci)];
+            if (op.id != chain.back())
+                continue; // deferred to the tail
+            std::set<OpId> members(chain.begin(), chain.end());
+            std::set<OpId> externals;
+            double flops = 0.0;
+            for (OpId id : chain) {
+                const Op &m = in.op(id);
+                flops += m.flops;
+                for (OpId src : m.inputs) {
+                    if (!members.count(src))
+                        externals.insert(src);
+                }
+            }
+            const Op &head = in.op(chain.front());
+            const Op &last = in.op(chain.back());
+            Op fused;
+            fused.name = "fused/" + head.name + "+" +
+                         std::to_string(chain.size() - 1);
+            fused.type = OpType::Fused;
+            fused.flops = flops;
+            // Traffic: read each external input once, write the final
+            // output once; intermediates never touch device memory.
+            fused.mem_bytes = last.output_bytes;
+            for (OpId src : externals)
+                fused.mem_bytes += in.op(src).output_bytes;
+            fused.output_bytes = last.output_bytes;
+            for (OpId src : externals) {
+                assert(remap[src] != -1);
+                fused.inputs.push_back(remap[src]);
+            }
+            OpId fid = out.addOp(std::move(fused));
+            for (OpId id : chain)
+                remap[id] = fid;
+            continue;
+        }
+        Op copy = op;
+        copy.id = -1;
+        copy.inputs.clear();
+        std::set<OpId> seen;
+        for (OpId src : op.inputs) {
+            assert(remap[src] != -1);
+            if (seen.insert(remap[src]).second)
+                copy.inputs.push_back(remap[src]);
+        }
+        remap[op.id] = out.addOp(std::move(copy));
+    }
+    assert(out.validate());
+    return out;
+}
+
+PassManager &
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    assert(pass);
+    passes_.push_back(std::move(pass));
+    return *this;
+}
+
+OpGraph
+PassManager::run(const OpGraph &in) const
+{
+    OpGraph g = in; // copy
+    for (const auto &pass : passes_)
+        g = pass->run(g);
+    return g;
+}
+
+std::vector<std::string>
+PassManager::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(passes_.size());
+    for (const auto &p : passes_)
+        out.push_back(p->name());
+    return out;
+}
+
+} // namespace paichar::opt

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Graph optimization passes evaluated in Sec IV-D (Fig 13):
+ *
+ *  - MixedPrecisionPass: run TensorCore-eligible compute kernels
+ *    (MatMul/Conv) in FP16 mixed precision. Volta's peak is 8x FP32,
+ *    but the paper measures ~2.8x achieved on MatMul; the pass scales
+ *    eligible ops' effective FLOP demand by the achieved factor.
+ *
+ *  - XlaFusionPass: XLA-style operation fusion. Maximal chains of
+ *    fusable (element-wise / normalization / reduction) operations
+ *    collapse into one kernel whose memory traffic is only the chain's
+ *    external inputs plus its final output -- intermediates stay in
+ *    registers/cache -- and which costs a single kernel launch.
+ */
+
+#ifndef PAICHAR_OPT_PASSES_H
+#define PAICHAR_OPT_PASSES_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/op_graph.h"
+
+namespace paichar::opt {
+
+/** A graph-to-graph transformation. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Pass name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Produce the transformed graph (input is untouched). */
+    virtual workload::OpGraph run(const workload::OpGraph &in) const = 0;
+};
+
+/** TensorCore mixed precision for MatMul/Conv. */
+class MixedPrecisionPass final : public Pass
+{
+  public:
+    /**
+     * @param achieved_speedup Achieved compute speedup on eligible
+     *        ops (paper: ~2.8x on MatMul; hardware peak would be 8x).
+     */
+    explicit MixedPrecisionPass(double achieved_speedup = 2.8);
+
+    std::string name() const override { return "mixed-precision"; }
+    workload::OpGraph run(const workload::OpGraph &in) const override;
+
+    double achievedSpeedup() const { return achieved_speedup_; }
+
+  private:
+    double achieved_speedup_;
+};
+
+/** XLA-style fusion of element-wise chains. */
+class XlaFusionPass final : public Pass
+{
+  public:
+    /**
+     * @param max_chain Upper bound on ops merged into one fusion
+     *        (rule-based fusers bound region size; Sec VI-A2).
+     */
+    explicit XlaFusionPass(int max_chain = 16);
+
+    std::string name() const override { return "xla-fusion"; }
+    workload::OpGraph run(const workload::OpGraph &in) const override;
+
+  private:
+    int max_chain_;
+};
+
+/** Applies a sequence of passes in order. */
+class PassManager
+{
+  public:
+    /** Append a pass; returns *this for chaining. */
+    PassManager &add(std::unique_ptr<Pass> pass);
+
+    /** Run all passes over @p in. */
+    workload::OpGraph run(const workload::OpGraph &in) const;
+
+    /** Names of the registered passes, in order. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+} // namespace paichar::opt
+
+#endif // PAICHAR_OPT_PASSES_H

@@ -1,0 +1,192 @@
+#include "bottleneck_report.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "stats/table.h"
+
+namespace paichar::profiler {
+
+std::string
+toString(Bottleneck b)
+{
+    switch (b) {
+      case Bottleneck::ComputeBound:
+        return "compute-bound";
+      case Bottleneck::MemoryBound:
+        return "memory-bound";
+      case Bottleneck::CommBound:
+        return "communication-bound";
+      case Bottleneck::DataBound:
+        return "data-I/O-bound";
+      case Bottleneck::OverheadBound:
+        return "framework-overhead-bound";
+    }
+    return "unknown";
+}
+
+BottleneckAnalyzer::BottleneckAnalyzer(double launch_overhead)
+    : launch_overhead_(launch_overhead)
+{
+    assert(launch_overhead_ >= 0.0);
+}
+
+BottleneckReport
+BottleneckAnalyzer::analyze(const RunMetadata &md, int device,
+                            size_t top_k) const
+{
+    BottleneckReport r;
+
+    std::map<workload::OpType, OpTypeCost> by_type;
+    std::vector<HotKernel> kernels;
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    int kernel_count = 0;
+    double compute_busy = 0.0, mem_busy = 0.0;
+
+    for (const OpRecord &op : md.ops) {
+        if (op.device != device)
+            continue;
+        double dur = op.end - op.start;
+        if (first) {
+            lo = op.start;
+            hi = op.end;
+            first = false;
+        } else {
+            lo = std::min(lo, op.start);
+            hi = std::max(hi, op.end);
+        }
+        auto &cost = by_type[op.type];
+        cost.type = op.type;
+        cost.seconds += dur;
+        ++cost.kernels;
+        ++kernel_count;
+        if (workload::isComputeBound(op.type))
+            compute_busy += dur;
+        else
+            mem_busy += dur;
+        kernels.push_back({op.name, op.type, dur});
+    }
+    for (const TransferRecord &tr : md.transfers) {
+        if (tr.device != device)
+            continue;
+        double dur = tr.end - tr.start;
+        if (first) {
+            lo = tr.start;
+            hi = tr.end;
+            first = false;
+        } else {
+            lo = std::min(lo, tr.start);
+            hi = std::max(hi, tr.end);
+        }
+        if (tr.kind == TransferKind::InputData)
+            r.data_seconds += dur;
+        else
+            r.comm_seconds = std::max(r.comm_seconds, dur);
+    }
+
+    r.span = first ? 0.0 : hi - lo;
+    r.compute_seconds = compute_busy + mem_busy;
+    r.overhead_seconds = kernel_count * launch_overhead_;
+
+    for (auto &[type, cost] : by_type)
+        r.by_type.push_back(cost);
+    std::sort(r.by_type.begin(), r.by_type.end(),
+              [](const OpTypeCost &a, const OpTypeCost &b) {
+                  return a.seconds > b.seconds;
+              });
+
+    std::sort(kernels.begin(), kernels.end(),
+              [](const HotKernel &a, const HotKernel &b) {
+                  return a.seconds > b.seconds;
+              });
+    if (kernels.size() > top_k)
+        kernels.resize(top_k);
+    r.hot_kernels = std::move(kernels);
+
+    // Verdict: the largest of {compute, memory, comm, data, overhead}.
+    struct Cand
+    {
+        Bottleneck b;
+        double seconds;
+    };
+    std::vector<Cand> cands{
+        {Bottleneck::ComputeBound, compute_busy},
+        {Bottleneck::MemoryBound, mem_busy},
+        {Bottleneck::CommBound, r.comm_seconds},
+        {Bottleneck::DataBound, r.data_seconds},
+        {Bottleneck::OverheadBound, r.overhead_seconds},
+    };
+    r.bottleneck =
+        std::max_element(cands.begin(), cands.end(),
+                         [](const Cand &a, const Cand &b) {
+                             return a.seconds < b.seconds;
+                         })
+            ->b;
+
+    switch (r.bottleneck) {
+      case Bottleneck::ComputeBound:
+        r.recommendation =
+            "enable TensorCore mixed precision for MatMul/Conv "
+            "(Fig 13a: ~2.8x on MatMul)";
+        break;
+      case Bottleneck::MemoryBound:
+        r.recommendation =
+            "enable XLA operation fusion for the element-wise chains "
+            "(Fig 13b: up to ~3.4x)";
+        break;
+      case Bottleneck::CommBound:
+        r.recommendation =
+            "revisit the system architecture: AllReduce over NVLink "
+            "for replicable models, PEARL for large embeddings "
+            "(Sec III-C1 / IV-C)";
+        break;
+      case Bottleneck::DataBound:
+        r.recommendation =
+            "optimize the input pipeline and PCIe staging; consider "
+            "more host-side prefetch (Sec VI-B2)";
+        break;
+      case Bottleneck::OverheadBound:
+        r.recommendation =
+            "the graph is dominated by fine-grained kernels: fuse "
+            "operations to cut CPU scheduling and launch costs "
+            "(Sec VI-A3)";
+        break;
+    }
+    return r;
+}
+
+std::string
+BottleneckReport::render() const
+{
+    std::ostringstream os;
+    os << "step span: " << stats::fmtSeconds(span)
+       << " | compute: " << stats::fmtSeconds(compute_seconds)
+       << " | data: " << stats::fmtSeconds(data_seconds)
+       << " | comm: " << stats::fmtSeconds(comm_seconds)
+       << " | overhead: " << stats::fmtSeconds(overhead_seconds)
+       << "\n";
+
+    stats::Table t({"op type", "time", "kernels"});
+    for (const OpTypeCost &c : by_type) {
+        t.addRow({workload::toString(c.type),
+                  stats::fmtSeconds(c.seconds),
+                  std::to_string(c.kernels)});
+    }
+    os << t.render();
+
+    if (!hot_kernels.empty()) {
+        stats::Table h({"hot kernel", "type", "time"});
+        for (const HotKernel &k : hot_kernels) {
+            h.addRow({k.name, workload::toString(k.type),
+                      stats::fmtSeconds(k.seconds)});
+        }
+        os << h.render();
+    }
+    os << "verdict: " << toString(bottleneck) << "\n"
+       << "recommendation: " << recommendation << "\n";
+    return os.str();
+}
+
+} // namespace paichar::profiler

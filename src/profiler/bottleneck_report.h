@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bottleneck diagnosis from profiling records — the per-job
+ * counterpart of the paper's cluster-level analysis, in the spirit of
+ * the DeepProf-style trace mining its related work surveys. Reduces a
+ * RunMetadata capture to: where the step time went, which op types
+ * and which individual kernels dominate, how much is framework
+ * overhead, and which of the paper's remedies (TensorCore mixed
+ * precision, XLA fusion, an architecture/strategy change, input
+ * pipeline work) attacks the dominant cost.
+ */
+
+#ifndef PAICHAR_PROFILER_BOTTLENECK_REPORT_H
+#define PAICHAR_PROFILER_BOTTLENECK_REPORT_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profiler/run_metadata.h"
+
+namespace paichar::profiler {
+
+/** The dominant cost class of a step. */
+enum class Bottleneck
+{
+    ComputeBound,   ///< conv/matmul kernels dominate
+    MemoryBound,    ///< element-wise / lookup kernels dominate
+    CommBound,      ///< weight/gradient transfer dominates
+    DataBound,      ///< input staging dominates
+    OverheadBound,  ///< kernel-launch / scheduling overhead dominates
+};
+
+/** Printable bottleneck name. */
+std::string toString(Bottleneck b);
+
+/** Aggregated time for one op type. */
+struct OpTypeCost
+{
+    workload::OpType type = workload::OpType::ElementWise;
+    double seconds = 0.0;
+    int kernels = 0;
+};
+
+/** One dominant kernel. */
+struct HotKernel
+{
+    std::string name;
+    workload::OpType type = workload::OpType::ElementWise;
+    double seconds = 0.0;
+};
+
+/** The full diagnosis. */
+struct BottleneckReport
+{
+    /** Step wall-clock span covered by the records. */
+    double span = 0.0;
+    /** Busy seconds by phase. */
+    double compute_seconds = 0.0;
+    double data_seconds = 0.0;
+    double comm_seconds = 0.0;
+    /** Estimated framework overhead inside the compute phase. */
+    double overhead_seconds = 0.0;
+    /** Compute time split by op type, largest first. */
+    std::vector<OpTypeCost> by_type;
+    /** The top-k kernels by time, largest first. */
+    std::vector<HotKernel> hot_kernels;
+    /** The verdict. */
+    Bottleneck bottleneck = Bottleneck::ComputeBound;
+    /** The matching remedy from the paper's toolbox (Sec IV-D/VI). */
+    std::string recommendation;
+
+    /** Render the report as human-readable text. */
+    std::string render() const;
+};
+
+/** Builds bottleneck reports from run metadata. */
+class BottleneckAnalyzer
+{
+  public:
+    /**
+     * @param launch_overhead Per-kernel launch cost assumed when
+     *        attributing framework overhead (must match the capture
+     *        environment).
+     */
+    explicit BottleneckAnalyzer(double launch_overhead = 8e-6);
+
+    /**
+     * Diagnose device @p device of the capture.
+     *
+     * @param top_k Hot kernels to include.
+     */
+    BottleneckReport analyze(const RunMetadata &md, int device = 0,
+                             size_t top_k = 5) const;
+
+  private:
+    double launch_overhead_;
+};
+
+} // namespace paichar::profiler
+
+#endif // PAICHAR_PROFILER_BOTTLENECK_REPORT_H

@@ -1,0 +1,77 @@
+#include "feature_extraction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace paichar::profiler {
+
+workload::TrainingJob
+FeatureExtractor::extract(const RunMetadata &md, int device) const
+{
+    workload::TrainingJob job;
+    job.arch = md.meta.arch;
+    job.num_cnodes = md.meta.num_cnodes;
+    job.num_ps = md.meta.num_ps;
+    job.features.batch_size = md.meta.batch_size;
+
+    for (const OpRecord &op : md.ops) {
+        if (op.device != device)
+            continue;
+        if (op.type == workload::OpType::DataLoad)
+            continue; // captured via transfer records
+        if (workload::isComputeBound(op.type))
+            job.features.flop_count += op.flops;
+        else
+            job.features.mem_access_bytes += op.mem_bytes;
+    }
+    // Weight traffic crosses several media in serial legs (e.g. NIC
+    // then PCIe for PS/Worker); the logical per-step volume Sw is the
+    // largest per-medium sum, not their total.
+    double sync_by_medium[3] = {0.0, 0.0, 0.0};
+    for (const TransferRecord &tr : md.transfers) {
+        if (tr.device != device)
+            continue;
+        switch (tr.kind) {
+          case TransferKind::InputData:
+            job.features.input_bytes += tr.bytes;
+            break;
+          case TransferKind::WeightSync:
+            sync_by_medium[static_cast<int>(tr.medium)] += tr.bytes;
+            break;
+        }
+    }
+    job.features.comm_bytes =
+        std::max({sync_by_medium[0], sync_by_medium[1],
+                  sync_by_medium[2]});
+    return job;
+}
+
+double
+FeatureExtractor::kernelBusyTime(const RunMetadata &md, int device) const
+{
+    double busy = 0.0;
+    for (const OpRecord &op : md.ops) {
+        if (op.device == device)
+            busy += op.end - op.start;
+    }
+    return busy;
+}
+
+double
+FeatureExtractor::span(const RunMetadata &md) const
+{
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const OpRecord &op : md.ops) {
+        lo = std::min(lo, op.start);
+        hi = std::max(hi, op.end);
+    }
+    for (const TransferRecord &tr : md.transfers) {
+        lo = std::min(lo, tr.start);
+        hi = std::max(hi, tr.end);
+    }
+    return hi > lo ? hi - lo : 0.0;
+}
+
+} // namespace paichar::profiler

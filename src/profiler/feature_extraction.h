@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Workload feature extraction (Fig 4's middle stage): reduce raw run
+ * metadata plus job meta information to the per-step, per-cNode
+ * feature schema the analytical model consumes.
+ */
+
+#ifndef PAICHAR_PROFILER_FEATURE_EXTRACTION_H
+#define PAICHAR_PROFILER_FEATURE_EXTRACTION_H
+
+#include "profiler/run_metadata.h"
+#include "workload/training_job.h"
+
+namespace paichar::profiler {
+
+/** Reduces profiling records to workload features. */
+class FeatureExtractor
+{
+  public:
+    /**
+     * Extract a TrainingJob (job meta + features) from a profile.
+     *
+     * Records are expected to cover a single representative cNode
+     * (device filtering is applied with @p device): compute-bound
+     * FLOPs and memory-bound traffic come from op records, input and
+     * weight-sync volumes from transfer records. For PEARL jobs note
+     * that the extracted comm volume is the per-GPU *moved* volume
+     * (embedding traffic already divided by the partition count).
+     */
+    workload::TrainingJob extract(const RunMetadata &md,
+                                  int device = 0) const;
+
+    /** Total kernel-busy seconds on the device (for utilization). */
+    double kernelBusyTime(const RunMetadata &md, int device = 0) const;
+
+    /** Wall-clock span of all records (max end - min start). */
+    double span(const RunMetadata &md) const;
+};
+
+} // namespace paichar::profiler
+
+#endif // PAICHAR_PROFILER_FEATURE_EXTRACTION_H

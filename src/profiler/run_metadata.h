@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Runtime profiling records, mirroring what tf.RunMetadata() provides
+ * on the real platform (Sec II-B1): per-operation kernel timings and
+ * tensor volumes, per-transfer records, plus the job meta information
+ * (resource allocation) that run metadata alone lacks.
+ */
+
+#ifndef PAICHAR_PROFILER_RUN_METADATA_H
+#define PAICHAR_PROFILER_RUN_METADATA_H
+
+#include <string>
+#include <vector>
+
+#include "workload/arch_type.h"
+#include "workload/op_graph.h"
+
+namespace paichar::profiler {
+
+/** One executed GPU kernel (or host-side data op). */
+struct OpRecord
+{
+    std::string name;
+    workload::OpType type = workload::OpType::ElementWise;
+    /** Flat GPU index the kernel ran on. */
+    int device = 0;
+    /** Simulated start/end times, seconds. */
+    double start = 0.0;
+    double end = 0.0;
+    /** Arithmetic work performed. */
+    double flops = 0.0;
+    /** Device-memory traffic caused. */
+    double mem_bytes = 0.0;
+};
+
+/** What a recorded transfer carried. */
+enum class TransferKind
+{
+    InputData,  ///< training samples, host -> GPU
+    WeightSync, ///< weight/gradient movement
+};
+
+/** The medium a transfer used. */
+enum class Medium
+{
+    Pcie,
+    Ethernet,
+    NvLink,
+};
+
+/** One data movement. */
+struct TransferRecord
+{
+    TransferKind kind = TransferKind::InputData;
+    Medium medium = Medium::Pcie;
+    /** Flat GPU index the transfer belongs to. */
+    int device = 0;
+    double bytes = 0.0;
+    double start = 0.0;
+    double end = 0.0;
+};
+
+/** Job-level allocation info (Sec II-B1's "job meta information"). */
+struct JobMeta
+{
+    workload::ArchType arch = workload::ArchType::OneWorkerOneGpu;
+    int num_cnodes = 1;
+    int num_ps = 0;
+    double batch_size = 1.0;
+};
+
+/** Everything the profiling layer captured for one training step. */
+struct RunMetadata
+{
+    JobMeta meta;
+    std::vector<OpRecord> ops;
+    std::vector<TransferRecord> transfers;
+};
+
+} // namespace paichar::profiler
+
+#endif // PAICHAR_PROFILER_RUN_METADATA_H

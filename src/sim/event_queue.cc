@@ -1,0 +1,51 @@
+#include "event_queue.h"
+
+#include <cassert>
+
+namespace paichar::sim {
+
+void
+EventQueue::schedule(SimTime when, std::function<void()> fn)
+{
+    assert(when >= now_ && "cannot schedule into the past");
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(SimTime delay, std::function<void()> fn)
+{
+    assert(delay >= 0.0);
+    schedule(now_ + delay, std::move(fn));
+}
+
+SimTime
+EventQueue::run()
+{
+    while (!heap_.empty()) {
+        // Moving out of a priority_queue top requires a const_cast;
+        // the element is popped immediately after, so this is safe.
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+    return now_;
+}
+
+SimTime
+EventQueue::runUntil(SimTime until)
+{
+    while (!heap_.empty() && heap_.top().when <= until) {
+        Event ev = std::move(const_cast<Event &>(heap_.top()));
+        heap_.pop();
+        now_ = ev.when;
+        ++executed_;
+        ev.fn();
+    }
+    if (now_ < until)
+        now_ = until;
+    return now_;
+}
+
+} // namespace paichar::sim

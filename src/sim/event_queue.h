@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue.
+ *
+ * Events scheduled at equal times fire in scheduling order (a
+ * monotonically increasing sequence number breaks ties), which keeps
+ * every simulation run bit-deterministic.
+ */
+
+#ifndef PAICHAR_SIM_EVENT_QUEUE_H
+#define PAICHAR_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace paichar::sim {
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/** The event queue driving a simulation. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @pre when >= now().
+     */
+    void schedule(SimTime when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay seconds from now. */
+    void scheduleAfter(SimTime delay, std::function<void()> fn);
+
+    /** Number of pending events. */
+    size_t pending() const { return heap_.size(); }
+
+    /**
+     * Run events until the queue drains; returns the time of the last
+     * event (or now() if none ran).
+     */
+    SimTime run();
+
+    /** Run events with time <= @p until; pending later events remain. */
+    SimTime runUntil(SimTime until);
+
+    /** Total events executed since construction. */
+    uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    SimTime now_ = 0.0;
+    uint64_t next_seq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace paichar::sim
+
+#endif // PAICHAR_SIM_EVENT_QUEUE_H

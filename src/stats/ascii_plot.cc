@@ -1,0 +1,204 @@
+#include "ascii_plot.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "table.h"
+
+namespace paichar::stats {
+
+namespace {
+
+const char kSeriesGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+const char kSegmentGlyphs[] = {'#', '=', '.', ':', '+', 'o', '*', '~'};
+
+} // namespace
+
+std::string
+renderCdfPlot(const std::vector<CdfSeries> &series, size_t width,
+              size_t height, bool log_x, const std::string &x_label)
+{
+    assert(!series.empty());
+    assert(width >= 8 && height >= 4);
+
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const auto &s : series) {
+        assert(s.cdf && !s.cdf->empty());
+        lo = std::min(lo, s.cdf->min());
+        hi = std::max(hi, s.cdf->max());
+    }
+    if (log_x) {
+        assert(lo > 0.0);
+        lo = std::log10(lo);
+        hi = std::log10(hi);
+    }
+    if (hi <= lo)
+        hi = lo + 1.0;
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    for (size_t si = 0; si < series.size(); ++si) {
+        char glyph = kSeriesGlyphs[si % sizeof(kSeriesGlyphs)];
+        const WeightedCdf &cdf = *series[si].cdf;
+        for (size_t col = 0; col < width; ++col) {
+            double x = lo + (hi - lo) * static_cast<double>(col) /
+                                static_cast<double>(width - 1);
+            if (log_x)
+                x = std::pow(10.0, x);
+            double p = cdf.probAtOrBelow(x);
+            auto row = static_cast<size_t>(
+                std::min<double>(height - 1,
+                                 std::floor(p * static_cast<double>(height))));
+            // Row 0 is the top of the plot (p = 1).
+            grid[height - 1 - row][col] = glyph;
+        }
+    }
+
+    std::ostringstream os;
+    for (size_t r = 0; r < height; ++r) {
+        double p_top = 1.0 - static_cast<double>(r) /
+                                 static_cast<double>(height);
+        char axis[16];
+        std::snprintf(axis, sizeof(axis), "%4.2f |", p_top);
+        os << axis << grid[r] << '\n';
+    }
+    os << "     +" << std::string(width, '-') << '\n';
+    {
+        char lobuf[32], hibuf[32];
+        double lo_v = log_x ? std::pow(10.0, lo) : lo;
+        double hi_v = log_x ? std::pow(10.0, hi) : hi;
+        std::snprintf(lobuf, sizeof(lobuf), "%.3g", lo_v);
+        std::snprintf(hibuf, sizeof(hibuf), "%.3g", hi_v);
+        std::string lab = lobuf;
+        std::string right = hibuf;
+        size_t pad = width > lab.size() + right.size()
+                         ? width - lab.size() - right.size()
+                         : 1;
+        os << "      " << lab << std::string(pad, ' ') << right;
+        if (log_x)
+            os << "  (log scale)";
+        if (!x_label.empty())
+            os << "  [" << x_label << "]";
+        os << '\n';
+    }
+    os << "      legend:";
+    for (size_t si = 0; si < series.size(); ++si) {
+        os << ' ' << kSeriesGlyphs[si % sizeof(kSeriesGlyphs)] << '='
+           << series[si].name;
+    }
+    os << '\n';
+    return os.str();
+}
+
+std::string
+renderStackedBars(const std::vector<StackedBar> &bars, size_t width,
+                  bool normalize)
+{
+    assert(!bars.empty());
+
+    // Collect the distinct segment names in first-seen order.
+    std::vector<std::string> seg_names;
+    for (const auto &bar : bars) {
+        for (const auto &[name, value] : bar.segments) {
+            (void)value;
+            if (std::find(seg_names.begin(), seg_names.end(), name) ==
+                seg_names.end()) {
+                seg_names.push_back(name);
+            }
+        }
+    }
+
+    size_t label_w = 0;
+    double max_total = 0.0;
+    for (const auto &bar : bars) {
+        label_w = std::max(label_w, bar.label.size());
+        double total = 0.0;
+        for (const auto &[name, value] : bar.segments) {
+            (void)name;
+            assert(value >= 0.0);
+            total += value;
+        }
+        max_total = std::max(max_total, total);
+    }
+    if (max_total <= 0.0)
+        max_total = 1.0;
+
+    std::ostringstream os;
+    for (const auto &bar : bars) {
+        double total = 0.0;
+        for (const auto &[name, value] : bar.segments) {
+            (void)name;
+            total += value;
+        }
+        double scale_base = normalize ? total : max_total;
+        if (scale_base <= 0.0)
+            scale_base = 1.0;
+        os << bar.label << std::string(label_w - bar.label.size(), ' ')
+           << " |";
+        size_t used = 0;
+        for (const auto &[name, value] : bar.segments) {
+            auto seg_idx = static_cast<size_t>(
+                std::find(seg_names.begin(), seg_names.end(), name) -
+                seg_names.begin());
+            char glyph = kSegmentGlyphs[seg_idx % sizeof(kSegmentGlyphs)];
+            auto cells = static_cast<size_t>(
+                std::round(value / scale_base * static_cast<double>(width)));
+            cells = std::min(cells, width - std::min(used, width));
+            os << std::string(cells, glyph);
+            used += cells;
+        }
+        os << '|';
+        if (normalize) {
+            os << ' ';
+            for (size_t i = 0; i < bar.segments.size(); ++i) {
+                if (i)
+                    os << '/';
+                double frac =
+                    total > 0.0 ? bar.segments[i].second / total : 0.0;
+                os << fmtPct(frac, 0);
+            }
+        } else {
+            os << ' ' << fmt(total, 3);
+        }
+        os << '\n';
+    }
+    os << "legend:";
+    for (size_t i = 0; i < seg_names.size(); ++i) {
+        os << ' ' << kSegmentGlyphs[i % sizeof(kSegmentGlyphs)] << '='
+           << seg_names[i];
+    }
+    os << '\n';
+    return os.str();
+}
+
+std::string
+renderBars(const std::vector<std::pair<std::string, double>> &bars,
+           size_t width, const std::string &unit)
+{
+    assert(!bars.empty());
+    size_t label_w = 0;
+    double max_v = 0.0;
+    for (const auto &[label, v] : bars) {
+        label_w = std::max(label_w, label.size());
+        max_v = std::max(max_v, v);
+    }
+    if (max_v <= 0.0)
+        max_v = 1.0;
+
+    std::ostringstream os;
+    for (const auto &[label, v] : bars) {
+        auto cells = static_cast<size_t>(
+            std::round(v / max_v * static_cast<double>(width)));
+        os << label << std::string(label_w - label.size(), ' ') << " |"
+           << std::string(cells, '#') << ' ' << fmt(v, 3);
+        if (!unit.empty())
+            os << ' ' << unit;
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace paichar::stats

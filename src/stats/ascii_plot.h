@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Terminal rendering of the paper's figure types: CDF curves and
+ * horizontal stacked/plain bar charts. Benches use these so that each
+ * figure reproduction is human-checkable directly from stdout.
+ */
+
+#ifndef PAICHAR_STATS_ASCII_PLOT_H
+#define PAICHAR_STATS_ASCII_PLOT_H
+
+#include <string>
+#include <vector>
+
+#include "cdf.h"
+
+namespace paichar::stats {
+
+/** One named series for a CDF plot. */
+struct CdfSeries
+{
+    std::string name;
+    const WeightedCdf *cdf = nullptr; // non-owning; must outlive the plot
+};
+
+/**
+ * Render several CDFs on one character grid.
+ *
+ * @param series    Series to draw; each gets its own glyph.
+ * @param width     Plot width in characters (x axis resolution).
+ * @param height    Plot height in rows (y axis resolution).
+ * @param log_x     Draw the x axis on a log10 scale (all samples must
+ *                  then be positive).
+ * @param x_label   Axis caption printed under the plot.
+ */
+std::string renderCdfPlot(const std::vector<CdfSeries> &series,
+                          size_t width = 64, size_t height = 16,
+                          bool log_x = false,
+                          const std::string &x_label = "");
+
+/** One labelled horizontal bar composed of named segments. */
+struct StackedBar
+{
+    std::string label;
+    /** (segment name, value); values must be non-negative. */
+    std::vector<std::pair<std::string, double>> segments;
+};
+
+/**
+ * Render horizontal stacked bars (the paper's Fig 7/12/13 style).
+ * Each segment type is assigned a repeating glyph; a legend is
+ * appended. If @p normalize is true every bar is scaled to 100%.
+ */
+std::string renderStackedBars(const std::vector<StackedBar> &bars,
+                              size_t width = 60, bool normalize = true);
+
+/**
+ * Render a simple horizontal bar chart of (label, value) pairs,
+ * scaled so the largest value spans @p width characters.
+ */
+std::string renderBars(
+    const std::vector<std::pair<std::string, double>> &bars,
+    size_t width = 50, const std::string &unit = "");
+
+} // namespace paichar::stats
+
+#endif // PAICHAR_STATS_ASCII_PLOT_H

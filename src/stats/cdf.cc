@@ -1,0 +1,107 @@
+#include "cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace paichar::stats {
+
+void
+WeightedCdf::add(double value, double weight)
+{
+    assert(weight >= 0.0);
+    assert(std::isfinite(value) && std::isfinite(weight));
+    samples_.emplace_back(value, weight);
+    total_weight_ += weight;
+    sorted_ = false;
+}
+
+void
+WeightedCdf::ensureSorted() const
+{
+    if (sorted_)
+        return;
+    std::sort(samples_.begin(), samples_.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    cum_weight_.resize(samples_.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < samples_.size(); ++i) {
+        acc += samples_[i].second;
+        cum_weight_[i] = acc;
+    }
+    sorted_ = true;
+}
+
+double
+WeightedCdf::probAtOrBelow(double x) const
+{
+    assert(!empty());
+    ensureSorted();
+    // Index of first sample strictly greater than x.
+    auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), x,
+        [](double v, const auto &s) { return v < s.first; });
+    if (it == samples_.begin())
+        return 0.0;
+    size_t idx = static_cast<size_t>(it - samples_.begin()) - 1;
+    return total_weight_ > 0.0 ? cum_weight_[idx] / total_weight_ : 0.0;
+}
+
+double
+WeightedCdf::quantile(double q) const
+{
+    assert(!empty());
+    assert(q >= 0.0 && q <= 1.0);
+    ensureSorted();
+    double target = q * total_weight_;
+    auto it = std::lower_bound(cum_weight_.begin(), cum_weight_.end(),
+                               target);
+    if (it == cum_weight_.end())
+        return samples_.back().first;
+    return samples_[static_cast<size_t>(it - cum_weight_.begin())].first;
+}
+
+double
+WeightedCdf::mean() const
+{
+    assert(!empty());
+    double acc = 0.0;
+    for (const auto &[v, w] : samples_)
+        acc += v * w;
+    return total_weight_ > 0.0 ? acc / total_weight_ : 0.0;
+}
+
+double
+WeightedCdf::min() const
+{
+    assert(!empty());
+    ensureSorted();
+    return samples_.front().first;
+}
+
+double
+WeightedCdf::max() const
+{
+    assert(!empty());
+    ensureSorted();
+    return samples_.back().first;
+}
+
+std::vector<std::pair<double, double>>
+WeightedCdf::curve(size_t n) const
+{
+    assert(!empty());
+    assert(n >= 2);
+    ensureSorted();
+    double lo = min(), hi = max();
+    std::vector<std::pair<double, double>> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        double x = lo + (hi - lo) * static_cast<double>(i) /
+                            static_cast<double>(n - 1);
+        out.emplace_back(x, probAtOrBelow(x));
+    }
+    return out;
+}
+
+} // namespace paichar::stats

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Empirical (optionally weighted) cumulative distribution functions.
+ *
+ * The paper reports most collective results as CDFs at two aggregation
+ * levels: job-level (each job weighs 1) and cNode-level (each job weighs
+ * its number of computation nodes). WeightedCdf covers both.
+ */
+
+#ifndef PAICHAR_STATS_CDF_H
+#define PAICHAR_STATS_CDF_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace paichar::stats {
+
+/**
+ * An empirical weighted CDF over double-valued samples.
+ *
+ * Samples are added with a weight (default 1.0); queries are valid after
+ * at least one sample has been added. All queries are lazily backed by a
+ * sort of the sample vector, cached until the next insertion.
+ */
+class WeightedCdf
+{
+  public:
+    WeightedCdf() = default;
+
+    /** Add one sample with weight 1. */
+    void add(double value) { add(value, 1.0); }
+
+    /** Add one sample with the given non-negative weight. */
+    void add(double value, double weight);
+
+    /** Number of samples added. */
+    size_t size() const { return samples_.size(); }
+
+    /** True if no samples have been added. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Sum of all weights. */
+    double totalWeight() const { return total_weight_; }
+
+    /**
+     * P(X <= x): fraction of total weight at or below x.
+     * Requires a non-empty CDF.
+     */
+    double probAtOrBelow(double x) const;
+
+    /**
+     * Weighted quantile: smallest sample value v such that
+     * P(X <= v) >= q, for q in [0, 1]. Requires non-empty.
+     */
+    double quantile(double q) const;
+
+    /** Convenience: quantile(0.5). */
+    double median() const { return quantile(0.5); }
+
+    /** Weighted mean of the samples. Requires non-empty. */
+    double mean() const;
+
+    /** Smallest sample. Requires non-empty. */
+    double min() const;
+
+    /** Largest sample. Requires non-empty. */
+    double max() const;
+
+    /**
+     * Evaluate the CDF on a regular grid of n points spanning
+     * [min, max]; returns (x, P(X <= x)) pairs. Useful for rendering
+     * the paper's CDF figures. Requires non-empty and n >= 2.
+     */
+    std::vector<std::pair<double, double>> curve(size_t n) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<std::pair<double, double>> samples_;
+    mutable std::vector<double> cum_weight_; // parallel to samples_
+    mutable bool sorted_ = true;
+    double total_weight_ = 0.0;
+};
+
+} // namespace paichar::stats
+
+#endif // PAICHAR_STATS_CDF_H

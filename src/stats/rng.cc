@@ -1,0 +1,161 @@
+#include "rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace paichar::stats {
+
+uint64_t
+Rng::nextU64()
+{
+    // SplitMix64 (Steele, Lea, Flood; JDK 8).
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits -> double in [0, 1).
+    return (nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    assert(lo <= hi);
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    assert(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range requested
+        return static_cast<int64_t>(nextU64());
+    // Rejection sampling to remove modulo bias.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v;
+    do {
+        v = nextU64();
+    } while (v >= limit);
+    return lo + static_cast<int64_t>(v % span);
+}
+
+double
+Rng::normal()
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller; u1 in (0,1] to avoid log(0).
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::pareto(double x_m, double alpha)
+{
+    assert(x_m > 0.0 && alpha > 0.0);
+    double u = 1.0 - uniform(); // in (0, 1]
+    return x_m / std::pow(u, 1.0 / alpha);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::gamma(double shape)
+{
+    assert(shape > 0.0);
+    if (shape < 1.0) {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        double u = 1.0 - uniform(); // (0, 1]
+        return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+    }
+    // Marsaglia & Tsang (2000).
+    double d = shape - 1.0 / 3.0;
+    double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+        double x, v;
+        do {
+            x = normal();
+            v = 1.0 + c * x;
+        } while (v <= 0.0);
+        v = v * v * v;
+        double u = 1.0 - uniform(); // (0, 1]
+        if (u < 1.0 - 0.0331 * x * x * x * x)
+            return d * v;
+        if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+            return d * v;
+    }
+}
+
+double
+Rng::beta(double alpha, double beta)
+{
+    assert(alpha > 0.0 && beta > 0.0);
+    double x = gamma(alpha);
+    double y = gamma(beta);
+    return x / (x + y);
+}
+
+double
+Rng::betaMean(double mean, double kappa)
+{
+    assert(mean > 0.0 && mean < 1.0 && kappa > 0.0);
+    return beta(mean * kappa, (1.0 - mean) * kappa);
+}
+
+size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    assert(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        assert(w >= 0.0);
+        total += w;
+    }
+    assert(total > 0.0);
+    double x = uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (x < acc)
+            return i;
+    }
+    return weights.size() - 1; // floating-point slack
+}
+
+Rng
+Rng::split()
+{
+    // The golden-gamma increment of the child stream starts far away.
+    return Rng(nextU64() ^ 0x5851f42d4c957f2dULL);
+}
+
+} // namespace paichar::stats

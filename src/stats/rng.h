@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic random number generation for the whole project.
+ *
+ * Every stochastic component (trace synthesis, simulator jitter, ...)
+ * draws from an Rng seeded explicitly by the caller, so each experiment
+ * is reproducible from a single printed seed.
+ */
+
+#ifndef PAICHAR_STATS_RNG_H
+#define PAICHAR_STATS_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace paichar::stats {
+
+/**
+ * SplitMix64-based pseudo random number generator.
+ *
+ * SplitMix64 passes BigCrush, has a trivially small state, and -- unlike
+ * std::mt19937 -- produces an identical stream on every platform and
+ * standard library, which we rely on for cross-machine reproducibility
+ * of the synthetic cluster trace.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t nextU64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal variate (Box-Muller, one value per call). */
+    double normal();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal variate: exp(N(mu, sigma)).
+     *
+     * @param mu    Mean of the underlying normal (log-space).
+     * @param sigma Standard deviation of the underlying normal.
+     */
+    double logNormal(double mu, double sigma);
+
+    /**
+     * Pareto (type I) variate with scale x_m and shape alpha.
+     * Heavy-tailed; used for job-scale distributions.
+     */
+    double pareto(double x_m, double alpha);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * Gamma variate with the given shape and unit scale
+     * (Marsaglia-Tsang squeeze method; handles shape < 1 by boosting).
+     */
+    double gamma(double shape);
+
+    /** Beta(alpha, beta) variate via two gamma draws. */
+    double beta(double alpha, double beta);
+
+    /**
+     * Beta variate parameterized by mean in (0, 1) and concentration
+     * kappa > 0 (alpha = mean * kappa, beta = (1 - mean) * kappa).
+     */
+    double betaMean(double mean, double kappa);
+
+    /**
+     * Sample an index from a discrete distribution.
+     *
+     * @param weights Non-negative, not all zero; need not be normalized.
+     * @return Index in [0, weights.size()).
+     */
+    size_t categorical(const std::vector<double> &weights);
+
+    /**
+     * Derive an independent child generator. Streams of parent and
+     * child do not overlap in practice (distinct SplitMix64 orbits).
+     */
+    Rng split();
+
+  private:
+    uint64_t state_;
+    bool have_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+} // namespace paichar::stats
+
+#endif // PAICHAR_STATS_RNG_H

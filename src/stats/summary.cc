@@ -1,0 +1,83 @@
+#include "summary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace paichar::stats {
+
+double
+mean(const std::vector<double> &xs)
+{
+    assert(!xs.empty());
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+weightedMean(const std::vector<double> &xs,
+             const std::vector<double> &weights)
+{
+    assert(xs.size() == weights.size());
+    assert(!xs.empty());
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+        assert(weights[i] >= 0.0);
+        num += xs[i] * weights[i];
+        den += weights[i];
+    }
+    assert(den > 0.0);
+    return num / den;
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    assert(!xs.empty());
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+geoMean(const std::vector<double> &xs)
+{
+    assert(!xs.empty());
+    double acc = 0.0;
+    for (double x : xs) {
+        assert(x > 0.0);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double
+fracAbove(const std::vector<double> &xs, double threshold)
+{
+    if (xs.empty())
+        return 0.0;
+    size_t n = static_cast<size_t>(
+        std::count_if(xs.begin(), xs.end(),
+                      [threshold](double x) { return x > threshold; }));
+    return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+double
+relDiff(double a, double b)
+{
+    assert(b != 0.0);
+    return (a - b) / b;
+}
+
+double
+clamp(double x, double lo, double hi)
+{
+    assert(lo <= hi);
+    return std::min(hi, std::max(lo, x));
+}
+
+} // namespace paichar::stats

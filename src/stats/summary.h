@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Small numeric summary helpers shared by analyses and benches.
+ */
+
+#ifndef PAICHAR_STATS_SUMMARY_H
+#define PAICHAR_STATS_SUMMARY_H
+
+#include <cstddef>
+#include <vector>
+
+namespace paichar::stats {
+
+/** Arithmetic mean. Requires non-empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Weighted mean; weights non-negative, not all zero. */
+double weightedMean(const std::vector<double> &xs,
+                    const std::vector<double> &weights);
+
+/** Population standard deviation. Requires non-empty input. */
+double stddev(const std::vector<double> &xs);
+
+/** Geometric mean; all inputs must be positive. */
+double geoMean(const std::vector<double> &xs);
+
+/**
+ * Fraction of samples satisfying a predicate expressed as a threshold:
+ * P(x > threshold) over the sample vector (unweighted).
+ */
+double fracAbove(const std::vector<double> &xs, double threshold);
+
+/** Relative difference (a - b) / b; b must be non-zero. */
+double relDiff(double a, double b);
+
+/** Clamp x into [lo, hi]. */
+double clamp(double x, double lo, double hi);
+
+} // namespace paichar::stats
+
+#endif // PAICHAR_STATS_SUMMARY_H

@@ -1,0 +1,125 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace paichar::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    assert(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back(); // empty row encodes a separator
+}
+
+size_t
+Table::rowCount() const
+{
+    return static_cast<size_t>(
+        std::count_if(rows_.begin(), rows_.end(),
+                      [](const auto &r) { return !r.empty(); }));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderSep = [&](std::ostringstream &os) {
+        os << '+';
+        for (size_t w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto renderRow = [&](std::ostringstream &os,
+                         const std::vector<std::string> &cells) {
+        os << '|';
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << ' ' << cell << std::string(widths[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    renderSep(os);
+    renderRow(os, headers_);
+    renderSep(os);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            renderSep(os);
+        else
+            renderRow(os, row);
+    }
+    renderSep(os);
+    return os.str();
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    int u = 0;
+    double v = bytes;
+    while (std::abs(v) >= 1000.0 && u < 4) {
+        v /= 1000.0;
+        ++u;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3g %s", v, units[u]);
+    return buf;
+}
+
+std::string
+fmtSeconds(double seconds)
+{
+    char buf[64];
+    double a = std::abs(seconds);
+    if (a >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    else if (a >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+    return buf;
+}
+
+} // namespace paichar::stats

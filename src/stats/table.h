@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ASCII table rendering used by the experiment harnesses to print the
+ * paper's tables and figure data series.
+ */
+
+#ifndef PAICHAR_STATS_TABLE_H
+#define PAICHAR_STATS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace paichar::stats {
+
+/**
+ * A simple left/right aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"model", "paper", "measured"});
+ *   t.addRow({"ResNet50", "0.25 s", "0.24 s"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table as a multi-line string (trailing newline). */
+    std::string render() const;
+
+    /** Number of data rows added (separators excluded). */
+    size_t rowCount() const;
+
+  private:
+    std::vector<std::string> headers_;
+    // A separator is encoded as an empty row vector.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision, e.g. fmt(3.14159, 2). */
+std::string fmt(double v, int precision = 3);
+
+/** Format a fraction as a percentage string, e.g. "61.8%". */
+std::string fmtPct(double fraction, int precision = 1);
+
+/** Human-readable byte count: "1.33 GB", "22 KB", ... */
+std::string fmtBytes(double bytes);
+
+/** Human-readable seconds: "0.149 s", "12.3 ms", ... */
+std::string fmtSeconds(double seconds);
+
+} // namespace paichar::stats
+
+#endif // PAICHAR_STATS_TABLE_H

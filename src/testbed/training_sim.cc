@@ -1,0 +1,318 @@
+#include "training_sim.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "collectives/strategy.h"
+#include "sim/topology.h"
+
+namespace paichar::testbed {
+
+using workload::ArchType;
+using workload::OpGraph;
+using workload::WorkloadFeatures;
+
+TrainingSimulator::TrainingSimulator(SimOptions opts)
+    : opts_(std::move(opts))
+{
+    assert(opts_.kernel_launch_overhead >= 0.0);
+    assert(opts_.preprocessing_rate >= 0.0);
+}
+
+StepResult
+TrainingSimulator::run(const workload::CaseStudyModel &model) const
+{
+    return run(model.graph, model.features, model.arch,
+               model.num_cnodes, model.measured_efficiency);
+}
+
+StepResult
+TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
+                       ArchType arch, int num_cnodes,
+                       const workload::EfficiencyProfile &eff) const
+{
+    assert(num_cnodes >= 1);
+    assert(f.valid());
+
+    // --- build the topology for this job's placement ---
+    sim::TopologyConfig tc;
+    tc.cluster = opts_.cluster;
+    tc.efficiency = eff;
+    tc.kernel_launch_overhead = opts_.kernel_launch_overhead;
+    tc.nvlink_links_per_gpu = opts_.nvlink_links_per_gpu;
+    // Centralized local training shares the host PCIe root; other
+    // placements use dedicated links (contention is folded into the
+    // measured PCIe efficiency, Sec IV).
+    tc.shared_pcie = arch == ArchType::OneWorkerMultiGpu;
+
+    const int gps = tc.cluster.server.gpus_per_server;
+    bool one_per_server = arch == ArchType::PsWorker;
+    bool ps_tier = one_per_server && opts_.model_ps_contention &&
+                   opts_.num_ps > 0;
+    tc.num_servers = one_per_server
+                         ? num_cnodes + (ps_tier ? opts_.num_ps : 0)
+                         : (num_cnodes + gps - 1) / gps;
+
+    sim::ClusterSim cluster(tc);
+    auto group = one_per_server
+                     ? cluster.gpuGroupOnePerServer(num_cnodes)
+                     : cluster.gpuGroup(num_cnodes);
+    sim::EventQueue &eq = cluster.eventQueue();
+
+    StepResult result;
+    result.metadata.meta.arch = arch;
+    result.metadata.meta.num_cnodes = num_cnodes;
+    result.metadata.meta.num_ps =
+        arch == ArchType::PsWorker
+            ? (opts_.num_ps > 0 ? opts_.num_ps
+                                : std::max(1, num_cnodes / 4))
+            : 0;
+    result.metadata.meta.batch_size = f.batch_size;
+
+    // --- phase 1: input preprocessing + host->GPU copy ---
+    sim::SimTime data_end = 0.0;
+    {
+        double prep = opts_.preprocessing_rate > 0.0
+                          ? f.input_bytes / opts_.preprocessing_rate
+                          : 0.0;
+        size_t waiting = group.size();
+        for (sim::Gpu *gpu : group) {
+            eq.scheduleAfter(prep, [&, gpu] {
+                gpu->hostLink().submit(
+                    f.input_bytes,
+                    [&, gpu](sim::SimTime start, sim::SimTime end) {
+                        if (gpu == group[0]) {
+                            result.metadata.transfers.push_back(
+                                {profiler::TransferKind::InputData,
+                                 profiler::Medium::Pcie, 0,
+                                 f.input_bytes, start, end});
+                        }
+                        data_end = std::max(data_end, end);
+                        --waiting;
+                    });
+            });
+        }
+        eq.run();
+        assert(waiting == 0);
+        (void)waiting;
+    }
+    result.data_time = data_end;
+
+    // --- phase 2: graph execution on every replica ---
+    const auto &gpu_spec = tc.cluster.server.gpu;
+    const double flops_rate = gpu_spec.peak_flops * eff.gpu_flops;
+    const double mem_rate = gpu_spec.mem_bandwidth * eff.gpu_memory;
+    sim::SimTime comp_end = data_end;
+    for (size_t r = 0; r < group.size(); ++r) {
+        sim::Gpu *gpu = group[r];
+        bool record = r == 0;
+        for (const workload::Op &op : graph.ops()) {
+            if (op.type == workload::OpType::DataLoad)
+                continue; // covered by phase 1
+            double seconds;
+            if (workload::isComputeBound(op.type)) {
+                seconds = op.flops / flops_rate;
+                if (record)
+                    result.compute_flops_time += seconds;
+            } else {
+                seconds = op.mem_bytes / mem_rate;
+                if (record)
+                    result.compute_mem_time += seconds;
+            }
+            if (record) {
+                result.overhead_time += opts_.kernel_launch_overhead;
+                ++result.num_kernels;
+            }
+            gpu->exec().submit(
+                seconds,
+                record
+                    ? sim::Completion(
+                          [&result, &comp_end, &op](
+                              sim::SimTime start, sim::SimTime end) {
+                              result.metadata.ops.push_back(
+                                  {op.name, op.type, 0, start, end,
+                                   op.flops, op.mem_bytes});
+                              comp_end = std::max(comp_end, end);
+                          })
+                    : sim::Completion([&comp_end](sim::SimTime,
+                                                  sim::SimTime end) {
+                          comp_end = std::max(comp_end, end);
+                      }));
+        }
+    }
+    eq.run();
+    result.compute_time = comp_end - data_end;
+
+    // --- phase 3: weight/gradient synchronization ---
+    collectives::StrategyOptions sopts;
+    sopts.num_ps = opts_.num_ps;
+    sopts.model_ps_contention = ps_tier;
+    auto strategy = collectives::makeStrategy(arch, sopts);
+    assert(strategy);
+    sim::SimTime sync_end = comp_end;
+    bool sync_done = false;
+    strategy->sync(cluster, group, f, [&](sim::SimTime end) {
+        sync_end = std::max(sync_end, end);
+        sync_done = true;
+    });
+    eq.run();
+    assert(sync_done);
+    (void)sync_done;
+    result.comm_time = sync_end - comp_end;
+    result.total_time = sync_end;
+
+    // Record the sync traffic for cNode 0 by medium.
+    auto traffic =
+        strategy->traffic(f, static_cast<int>(group.size()));
+    auto addSync = [&](profiler::Medium m, double bytes) {
+        if (bytes > 0.0) {
+            result.metadata.transfers.push_back(
+                {profiler::TransferKind::WeightSync, m, 0, bytes,
+                 comp_end, sync_end});
+        }
+    };
+    addSync(profiler::Medium::Pcie, traffic.pcie_bytes);
+    addSync(profiler::Medium::Ethernet, traffic.ethernet_bytes);
+    addSync(profiler::Medium::NvLink, traffic.nvlink_bytes);
+
+    return result;
+}
+
+TrainingSimulator::PipelineResult
+TrainingSimulator::runPipelined(const workload::CaseStudyModel &model,
+                                int steps, bool gate_on_comm) const
+{
+    assert(steps >= 1);
+    const auto &f = model.features;
+    const auto arch = model.arch;
+    const int n = model.num_cnodes;
+    const auto &eff = model.measured_efficiency;
+
+    sim::TopologyConfig tc;
+    tc.cluster = opts_.cluster;
+    tc.efficiency = eff;
+    tc.kernel_launch_overhead = opts_.kernel_launch_overhead;
+    tc.nvlink_links_per_gpu = opts_.nvlink_links_per_gpu;
+    tc.shared_pcie = arch == ArchType::OneWorkerMultiGpu;
+    const int gps = tc.cluster.server.gpus_per_server;
+    bool one_per_server = arch == ArchType::PsWorker;
+    tc.num_servers =
+        one_per_server ? n : (n + gps - 1) / gps;
+
+    sim::ClusterSim cluster(tc);
+    auto group = one_per_server ? cluster.gpuGroupOnePerServer(n)
+                                : cluster.gpuGroup(n);
+    sim::EventQueue &eq = cluster.eventQueue();
+    auto strategy = collectives::makeStrategy(arch);
+
+    // Precompute per-kernel service times once.
+    const auto &gpu_spec = tc.cluster.server.gpu;
+    const double flops_rate = gpu_spec.peak_flops * eff.gpu_flops;
+    const double mem_rate = gpu_spec.mem_bandwidth * eff.gpu_memory;
+    std::vector<double> kernel_seconds;
+    for (const workload::Op &op : model.graph.ops()) {
+        if (op.type == workload::OpType::DataLoad)
+            continue;
+        kernel_seconds.push_back(
+            workload::isComputeBound(op.type)
+                ? op.flops / flops_rate
+                : op.mem_bytes / mem_rate);
+    }
+
+    // Shared pipeline state; closures keep it alive until eq.run()
+    // finishes (all events drain inside this function).
+    struct State
+    {
+        int steps;
+        int n;
+        bool gate_on_comm;
+        std::vector<int> compute_remaining; // per step: replicas left
+        std::vector<bool> data_done;        // per (step, replica)
+        std::vector<bool> compute_submitted;
+        std::vector<bool> comm_done; // per step
+        std::vector<double> step_finish;
+    };
+    auto st = std::make_shared<State>();
+    st->steps = steps;
+    st->n = n;
+    st->gate_on_comm = gate_on_comm;
+    st->compute_remaining.assign(static_cast<size_t>(steps), n);
+    st->data_done.assign(static_cast<size_t>(steps) * n, false);
+    st->compute_submitted.assign(static_cast<size_t>(steps) * n,
+                                 false);
+    st->comm_done.assign(static_cast<size_t>(steps), false);
+    st->step_finish.assign(static_cast<size_t>(steps), 0.0);
+
+    // Forward declarations via shared function objects.
+    auto submitCompute =
+        std::make_shared<std::function<void(int, int)>>();
+    auto onComputeDone =
+        std::make_shared<std::function<void(int, double)>>();
+
+    *submitCompute = [&, st, submitCompute, onComputeDone](int s,
+                                                           int r) {
+        size_t idx = static_cast<size_t>(s) * st->n +
+                     static_cast<size_t>(r);
+        if (st->compute_submitted[idx] || !st->data_done[idx])
+            return;
+        if (st->gate_on_comm && s > 0 && !st->comm_done[s - 1])
+            return;
+        st->compute_submitted[idx] = true;
+        sim::Gpu *gpu = group[static_cast<size_t>(r)];
+        for (size_t k = 0; k < kernel_seconds.size(); ++k) {
+            bool last = k + 1 == kernel_seconds.size();
+            gpu->exec().submit(
+                kernel_seconds[k],
+                last ? sim::Completion(
+                           [st, onComputeDone, s](sim::SimTime,
+                                                  sim::SimTime end) {
+                               (*onComputeDone)(s, end);
+                           })
+                     : sim::Completion());
+        }
+    };
+
+    *onComputeDone = [&, st, submitCompute](int s, double) {
+        if (--st->compute_remaining[static_cast<size_t>(s)] > 0)
+            return;
+        // All replicas finished step s: launch the weight sync; its
+        // link submissions naturally serialize behind step s-1's.
+        strategy->sync(
+            cluster, group, f, [&, st, submitCompute, s](double end) {
+                st->comm_done[static_cast<size_t>(s)] = true;
+                st->step_finish[static_cast<size_t>(s)] = end;
+                if (st->gate_on_comm && s + 1 < st->steps) {
+                    for (int r = 0; r < st->n; ++r)
+                        (*submitCompute)(s + 1, r);
+                }
+            });
+    };
+
+    // Prefetch every step's input; FIFO host links pace the loads.
+    for (int s = 0; s < steps; ++s) {
+        for (int r = 0; r < n; ++r) {
+            group[static_cast<size_t>(r)]->hostLink().submit(
+                f.input_bytes,
+                [&, st, submitCompute, s, r](sim::SimTime,
+                                             sim::SimTime) {
+                    st->data_done[static_cast<size_t>(s) * st->n +
+                                  static_cast<size_t>(r)] = true;
+                    (*submitCompute)(s, r);
+                });
+        }
+    }
+    eq.run();
+
+    PipelineResult result;
+    result.steps = steps;
+    result.total_time = st->step_finish.back();
+    result.nonoverlap_step_time = run(model).total_time;
+    result.steady_step_time =
+        steps > 1 ? (st->step_finish.back() - st->step_finish.front()) /
+                        (steps - 1)
+                  : result.total_time;
+    return result;
+}
+
+} // namespace paichar::testbed

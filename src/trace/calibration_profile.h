@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Calibration knobs for the synthetic PAI cluster trace.
+ *
+ * The real trace (tens of thousands of jobs, Dec 1 2018 - Jan 20 2019)
+ * is proprietary. The paper, however, publishes the aggregate behavior
+ * of that population; this profile parameterizes per-job feature
+ * distributions so that those aggregates emerge:
+ *
+ *  - job mix: 1w1g dominates jobs; PS/Worker is 29% of jobs but 81% of
+ *    cNodes (Fig 5);
+ *  - half of PS jobs use > 8 cNodes, ~0.7% of all jobs use > 128 and
+ *    hold > 16% of resources (Fig 6a, Sec III-A);
+ *  - 90% of models are < 10 GB, with a 100-300 GB embedding tail
+ *    (Fig 6b);
+ *  - weight/gradient traffic ~62% of cNode-level step time, ~22% of
+ *    job-level; > 40% of PS jobs spend > 80% of time communicating;
+ *    data I/O ~10% for 1w1g (5% of jobs > 50%) and ~3% for
+ *    distributed jobs (Figs 7-8).
+ */
+
+#ifndef PAICHAR_TRACE_CALIBRATION_PROFILE_H
+#define PAICHAR_TRACE_CALIBRATION_PROFILE_H
+
+#include <vector>
+
+namespace paichar::trace {
+
+/** Parameters of a Beta(mean, concentration) fraction distribution. */
+struct FractionDist
+{
+    double mean = 0.1;
+    double concentration = 5.0;
+};
+
+/** Distribution knobs for the synthetic cluster population. */
+struct CalibrationProfile
+{
+    // ----- architecture mix (job level, Fig 5a) -----
+    double frac_1w1g = 0.62;
+    double frac_1wng = 0.09;
+    double frac_ps_worker = 0.29;
+
+    // ----- scale: cNodes per job (Fig 6a) -----
+    /** 1wng GPU counts and their weights. */
+    std::vector<int> onewng_cnodes{2, 4, 8};
+    std::vector<double> onewng_cnode_weights{0.45, 0.35, 0.20};
+    /** PS/Worker body: lognormal(ln median, sigma). */
+    double ps_cnodes_median = 7.0;
+    double ps_cnodes_sigma = 1.1;
+    /** PS/Worker tail: Pareto(x_m, alpha) mixed in with given prob. */
+    double ps_cnodes_tail_prob = 0.03;
+    double ps_cnodes_tail_xm = 96.0;
+    double ps_cnodes_tail_alpha = 1.8;
+    int ps_cnodes_max = 3000;
+
+    // ----- per-step total time (inverted into demands) -----
+    /** Lognormal step time, seconds. */
+    double step_time_median = 0.3;
+    double step_time_sigma = 0.8;
+
+    // ----- component-share distributions -----
+    /** 1w1g data-I/O share: body + heavy subpopulation. */
+    FractionDist d1w1g_data{0.067, 27.0};
+    double d1w1g_data_heavy_prob = 0.05;
+    double d1w1g_data_heavy_lo = 0.5;
+    double d1w1g_data_heavy_hi = 0.9;
+
+    /**
+     * 1wng data-I/O and weight-traffic shares. Both data and weights
+     * cross PCIe for this type, and the combined share must exceed
+     * the memory-bound share for Fig 11(b)'s "1wng is most sensitive
+     * to PCIe bandwidth" to emerge.
+     */
+    FractionDist d1wng_data{0.05, 20.0};
+    FractionDist d1wng_weight{0.40, 6.0};
+
+    /**
+     * PS/Worker data-I/O share: a tight body plus an I/O-heavy
+     * subpopulation that only occurs among *small* jobs (<= the cNode
+     * threshold). The heavy subpopulation supplies the ~22.6% of jobs
+     * that lose from AllReduce-Local projection (Fig 9a) without
+     * inflating the cNode-level data share above the paper's ~3%.
+     */
+    FractionDist dps_data{0.008, 150.0};
+    double ps_data_heavy_prob = 0.42;
+    int ps_data_heavy_max_cnodes = 16;
+    double ps_data_heavy_lo = 0.03;
+    double ps_data_heavy_hi = 0.30;
+
+    /**
+     * PS/Worker weight-traffic share mean grows with scale:
+     *   mean(n) = clamp(base + slope * log2(n), lo, hi)
+     * capturing that the big commodity-embedding / search /
+     * recommendation jobs are the communication-heavy ones.
+     */
+    double ps_weight_mean_base = 0.43;
+    double ps_weight_mean_slope = 0.06;
+    double ps_weight_mean_lo = 0.10;
+    double ps_weight_mean_hi = 0.90;
+    /** Low concentration: jobs are either comm-bound or not. */
+    double ps_weight_concentration = 0.9;
+
+    /** Compute-bound share of the computation remainder (all types). */
+    FractionDist compute_bound_ratio{0.42, 9.0};
+
+    // ----- model scale (Fig 6b) -----
+    /** Non-communicating (1w1g) weight size: lognormal GB. */
+    double w1g_weight_median_gb = 0.03;
+    double w1g_weight_sigma = 4.0;
+    double weight_floor_bytes = 10.0;
+    double w1g_weight_cap_gb = 5.0;
+
+    /** Fraction of PS jobs that are embedding-heavy (sparse). */
+    double ps_sparse_prob = 0.25;
+    /** Accessed fraction of the embedding table per step: lognormal. */
+    double ps_access_frac_median = 0.01;
+    double ps_access_frac_sigma = 1.2;
+    double ps_access_frac_min = 1e-4;
+    double ps_access_frac_max = 0.5;
+    /** Share of traffic that is embedding traffic in sparse jobs. */
+    double ps_emb_traffic_lo = 0.5;
+    double ps_emb_traffic_hi = 0.95;
+    /** Hard cap on synthetic embedding tables (paper max ~300 GB). */
+    double emb_weight_cap_gb = 400.0;
+
+    // ----- misc -----
+    /** Batch size: 2^U(lo, hi), rounded. */
+    double batch_log2_lo = 5.0;
+    double batch_log2_hi = 11.0;
+    /** PS node count as a fraction of workers: U(lo, hi), >= 1. */
+    double ps_nodes_frac_lo = 0.1;
+    double ps_nodes_frac_hi = 0.5;
+    /** Weights-to-traffic ratio for dense jobs: U(lo, hi). */
+    double dense_weight_ratio_lo = 0.8;
+    double dense_weight_ratio_hi = 1.5;
+
+    /** The tuned profile reproducing the paper's aggregates. */
+    static CalibrationProfile paiDec2018();
+};
+
+} // namespace paichar::trace
+
+#endif // PAICHAR_TRACE_CALIBRATION_PROFILE_H

@@ -1,0 +1,262 @@
+#include "synthetic_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hw/units.h"
+
+namespace paichar::trace {
+
+using hw::kGB;
+using workload::ArchType;
+using workload::TrainingJob;
+using workload::WorkloadFeatures;
+
+CalibrationProfile
+CalibrationProfile::paiDec2018()
+{
+    // The member initializers *are* the tuned values; see the header
+    // for the published aggregate each knob targets.
+    return CalibrationProfile{};
+}
+
+SyntheticClusterGenerator::SyntheticClusterGenerator(
+    const CalibrationProfile &profile, const hw::ClusterSpec &base,
+    uint64_t seed)
+    : profile_(profile), base_(base), rng_(seed)
+{
+    double mix = profile_.frac_1w1g + profile_.frac_1wng +
+                 profile_.frac_ps_worker;
+    assert(std::abs(mix - 1.0) < 1e-9 &&
+           "architecture mix must sum to 1");
+    (void)mix;
+}
+
+SyntheticClusterGenerator::SyntheticClusterGenerator(uint64_t seed)
+    : SyntheticClusterGenerator(CalibrationProfile::paiDec2018(),
+                                hw::paiCluster(), seed)
+{
+}
+
+std::vector<TrainingJob>
+SyntheticClusterGenerator::generate(size_t count)
+{
+    std::vector<TrainingJob> jobs;
+    jobs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        jobs.push_back(generateJob(static_cast<int64_t>(i)));
+    return jobs;
+}
+
+TrainingJob
+SyntheticClusterGenerator::generateJob(int64_t id)
+{
+    size_t pick = rng_.categorical({profile_.frac_1w1g,
+                                    profile_.frac_1wng,
+                                    profile_.frac_ps_worker});
+    switch (pick) {
+      case 0:
+        return gen1w1g(id);
+      case 1:
+        return gen1wng(id);
+      default:
+        return genPsWorker(id);
+    }
+}
+
+double
+SyntheticClusterGenerator::sampleFraction(const FractionDist &d)
+{
+    return rng_.betaMean(d.mean, d.concentration);
+}
+
+double
+SyntheticClusterGenerator::sampleStepTime()
+{
+    return rng_.logNormal(std::log(profile_.step_time_median),
+                          profile_.step_time_sigma);
+}
+
+double
+SyntheticClusterGenerator::sampleBatch()
+{
+    double log2b =
+        rng_.uniform(profile_.batch_log2_lo, profile_.batch_log2_hi);
+    return std::round(std::pow(2.0, log2b));
+}
+
+void
+SyntheticClusterGenerator::fillCompute(WorkloadFeatures &f,
+                                       double step_time,
+                                       double frac_compute,
+                                       double frac_mem) const
+{
+    const double eff = base_.efficiency;
+    f.flop_count =
+        frac_compute * step_time * base_.server.gpu.peak_flops * eff;
+    f.mem_access_bytes =
+        frac_mem * step_time * base_.server.gpu.mem_bandwidth * eff;
+}
+
+TrainingJob
+SyntheticClusterGenerator::gen1w1g(int64_t id)
+{
+    TrainingJob job;
+    job.id = id;
+    job.arch = ArchType::OneWorkerOneGpu;
+    job.num_cnodes = 1;
+
+    double t = sampleStepTime();
+    double fd;
+    if (rng_.bernoulli(profile_.d1w1g_data_heavy_prob)) {
+        fd = rng_.uniform(profile_.d1w1g_data_heavy_lo,
+                          profile_.d1w1g_data_heavy_hi);
+    } else {
+        fd = sampleFraction(profile_.d1w1g_data);
+    }
+    double r = sampleFraction(profile_.compute_bound_ratio);
+    double fcb = (1.0 - fd) * r;
+    double fmb = (1.0 - fd) * (1.0 - r);
+
+    const double eff = base_.efficiency;
+    WorkloadFeatures &f = job.features;
+    f.batch_size = sampleBatch();
+    f.input_bytes = fd * t * base_.server.pcie_bandwidth * eff;
+    fillCompute(f, t, fcb, fmb);
+    f.comm_bytes = 0.0;
+
+    double w = rng_.logNormal(std::log(profile_.w1g_weight_median_gb),
+                              profile_.w1g_weight_sigma) *
+               kGB;
+    f.dense_weight_bytes =
+        std::clamp(w, profile_.weight_floor_bytes,
+                   profile_.w1g_weight_cap_gb * kGB);
+    f.embedding_weight_bytes = 0.0;
+    return job;
+}
+
+TrainingJob
+SyntheticClusterGenerator::gen1wng(int64_t id)
+{
+    TrainingJob job;
+    job.id = id;
+    job.arch = ArchType::OneWorkerMultiGpu;
+    std::vector<double> w(profile_.onewng_cnode_weights);
+    job.num_cnodes = profile_.onewng_cnodes[rng_.categorical(w)];
+
+    double t = sampleStepTime();
+    double fd = sampleFraction(profile_.d1wng_data);
+    double fw = sampleFraction(profile_.d1wng_weight) * (1.0 - fd);
+    double r = sampleFraction(profile_.compute_bound_ratio);
+    double rem = 1.0 - fd - fw;
+    double fcb = rem * r;
+    double fmb = rem * (1.0 - r);
+
+    const double eff = base_.efficiency;
+    const double pcie = base_.server.pcie_bandwidth * eff;
+    const int n = job.num_cnodes;
+    WorkloadFeatures &f = job.features;
+    f.batch_size = sampleBatch();
+    // Td = Sd * n / pcie  =>  Sd = fd * t * pcie / n; same for Tw.
+    f.input_bytes = fd * t * pcie / n;
+    f.comm_bytes = fw * t * pcie / n;
+    fillCompute(f, t, fcb, fmb);
+
+    double ratio = rng_.uniform(profile_.dense_weight_ratio_lo,
+                                profile_.dense_weight_ratio_hi);
+    f.dense_weight_bytes =
+        std::max(profile_.weight_floor_bytes, f.comm_bytes * ratio);
+    f.embedding_weight_bytes = 0.0;
+    return job;
+}
+
+TrainingJob
+SyntheticClusterGenerator::genPsWorker(int64_t id)
+{
+    TrainingJob job;
+    job.id = id;
+    job.arch = ArchType::PsWorker;
+
+    // cNode count: lognormal body + Pareto tail (the hundreds-to-
+    // thousands commodity-embedding / search jobs of Sec III-A).
+    double n;
+    if (rng_.bernoulli(profile_.ps_cnodes_tail_prob)) {
+        n = rng_.pareto(profile_.ps_cnodes_tail_xm,
+                        profile_.ps_cnodes_tail_alpha);
+    } else {
+        n = rng_.logNormal(std::log(profile_.ps_cnodes_median),
+                           profile_.ps_cnodes_sigma);
+    }
+    job.num_cnodes = static_cast<int>(std::clamp(
+        std::round(n), 1.0,
+        static_cast<double>(profile_.ps_cnodes_max)));
+    job.num_ps = std::max(
+        1, static_cast<int>(std::round(
+               job.num_cnodes * rng_.uniform(profile_.ps_nodes_frac_lo,
+                                             profile_.ps_nodes_frac_hi))));
+
+    double t = sampleStepTime();
+    // I/O-heavy PS jobs occur among small jobs only (large jobs are
+    // the comm-bound embedding/search workloads of Sec III-A).
+    double fd;
+    bool may_be_heavy =
+        job.num_cnodes <= profile_.ps_data_heavy_max_cnodes;
+    if (may_be_heavy && rng_.bernoulli(profile_.ps_data_heavy_prob)) {
+        fd = rng_.uniform(profile_.ps_data_heavy_lo,
+                          profile_.ps_data_heavy_hi);
+    } else {
+        fd = sampleFraction(profile_.dps_data);
+    }
+    // Communication share grows with job scale (Sec III-B: workloads
+    // with larger cNode numbers suffer more from communication).
+    double mean_fw = std::clamp(
+        profile_.ps_weight_mean_base +
+            profile_.ps_weight_mean_slope *
+                std::log2(static_cast<double>(job.num_cnodes)),
+        profile_.ps_weight_mean_lo, profile_.ps_weight_mean_hi);
+    double fw = rng_.betaMean(mean_fw, profile_.ps_weight_concentration) *
+                (1.0 - fd);
+    double r = sampleFraction(profile_.compute_bound_ratio);
+    double rem = 1.0 - fd - fw;
+    double fcb = rem * r;
+    double fmb = rem * (1.0 - r);
+
+    const double eff = base_.efficiency;
+    const double pcie = base_.server.pcie_bandwidth * eff;
+    const double eth = base_.ethernet_bandwidth * eff;
+    WorkloadFeatures &f = job.features;
+    f.batch_size = sampleBatch();
+    f.input_bytes = fd * t * pcie; // one replica per server: no sharing
+    // Tw = Sw/eth + Sw/pcie  =>  Sw = fw * t / (1/eth + 1/pcie).
+    f.comm_bytes = fw * t / (1.0 / eth + 1.0 / pcie);
+    fillCompute(f, t, fcb, fmb);
+
+    if (rng_.bernoulli(profile_.ps_sparse_prob)) {
+        // Embedding-heavy job: traffic covers only the accessed rows,
+        // so the resident table dwarfs the per-step volume.
+        double emb_share = rng_.uniform(profile_.ps_emb_traffic_lo,
+                                        profile_.ps_emb_traffic_hi);
+        double access = std::clamp(
+            rng_.logNormal(std::log(profile_.ps_access_frac_median),
+                           profile_.ps_access_frac_sigma),
+            profile_.ps_access_frac_min, profile_.ps_access_frac_max);
+        double ratio = rng_.uniform(profile_.dense_weight_ratio_lo,
+                                    profile_.dense_weight_ratio_hi);
+        f.dense_weight_bytes =
+            std::max(profile_.weight_floor_bytes,
+                     f.comm_bytes * (1.0 - emb_share) * ratio);
+        f.embedding_weight_bytes =
+            std::min(f.comm_bytes * emb_share / access,
+                     profile_.emb_weight_cap_gb * kGB);
+    } else {
+        double ratio = rng_.uniform(profile_.dense_weight_ratio_lo,
+                                    profile_.dense_weight_ratio_hi);
+        f.dense_weight_bytes =
+            std::max(profile_.weight_floor_bytes, f.comm_bytes * ratio);
+        f.embedding_weight_bytes = 0.0;
+    }
+    return job;
+}
+
+} // namespace paichar::trace

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic cluster-trace generation.
+ *
+ * Strategy: per job, sample (a) the architecture and scale, (b) a step
+ * time and its component-share vector from the calibrated
+ * distributions, then (c) *invert* the analytical model to recover the
+ * fundamental demands (FLOPs, memory-access bytes, input bytes, comm
+ * bytes) that would produce exactly that breakdown on the base
+ * hardware. Model sizes are then derived from the communication volume
+ * (dense jobs move ~their full parameter set per step; sparse
+ * embedding jobs move only the accessed rows).
+ *
+ * Inversion, rather than sampling raw demands, makes the published
+ * collective statistics directly controllable while still exercising
+ * the exact forward analysis path every experiment uses: generated
+ * demands are architecture-independent, so projections and hardware
+ * sweeps re-evaluate them under changed configurations faithfully.
+ */
+
+#ifndef PAICHAR_TRACE_SYNTHETIC_CLUSTER_H
+#define PAICHAR_TRACE_SYNTHETIC_CLUSTER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/hardware_config.h"
+#include "stats/rng.h"
+#include "trace/calibration_profile.h"
+#include "workload/training_job.h"
+
+namespace paichar::trace {
+
+/** Generates a synthetic PAI job population. */
+class SyntheticClusterGenerator
+{
+  public:
+    /**
+     * @param profile Calibration knobs (see CalibrationProfile).
+     * @param base    Hardware configuration the share-vector inversion
+     *                assumes (the paper's Table I cluster).
+     * @param seed    RNG seed; equal seeds give equal traces.
+     */
+    SyntheticClusterGenerator(const CalibrationProfile &profile,
+                              const hw::ClusterSpec &base,
+                              uint64_t seed);
+
+    /** Convenience: paiDec2018 profile on the Table I cluster. */
+    explicit SyntheticClusterGenerator(uint64_t seed);
+
+    /** Generate @p count jobs with ids 0..count-1. */
+    std::vector<workload::TrainingJob> generate(size_t count);
+
+    /** Generate a single job with the given id. */
+    workload::TrainingJob generateJob(int64_t id);
+
+    /** The profile in use. */
+    const CalibrationProfile &profile() const { return profile_; }
+
+  private:
+    workload::TrainingJob gen1w1g(int64_t id);
+    workload::TrainingJob gen1wng(int64_t id);
+    workload::TrainingJob genPsWorker(int64_t id);
+
+    /** Sample from a FractionDist, clamped into (0, 1). */
+    double sampleFraction(const FractionDist &d);
+
+    /** Sample a step time in seconds. */
+    double sampleStepTime();
+
+    /** Sample a batch size. */
+    double sampleBatch();
+
+    /**
+     * Fill compute demands given total time and the compute-bound /
+     * memory-bound shares, inverting Eq 1.
+     */
+    void fillCompute(workload::WorkloadFeatures &f, double step_time,
+                     double frac_compute, double frac_mem) const;
+
+    CalibrationProfile profile_;
+    hw::ClusterSpec base_;
+    stats::Rng rng_;
+};
+
+} // namespace paichar::trace
+
+#endif // PAICHAR_TRACE_SYNTHETIC_CLUSTER_H

@@ -1,0 +1,189 @@
+#include "trace_io.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace paichar::trace {
+
+using workload::TrainingJob;
+
+namespace {
+
+const char *kHeader =
+    "id,arch,num_cnodes,num_ps,batch_size,flop_count,"
+    "mem_access_bytes,input_bytes,comm_bytes,embedding_comm_bytes,"
+    "dense_weight_bytes,embedding_weight_bytes";
+
+constexpr size_t kFields = 12;
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else if (c != '\r') {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtod(s.c_str(), &end);
+    return errno == 0 && end == s.c_str() + s.size() &&
+           std::isfinite(out);
+}
+
+bool
+parseInt(const std::string &s, int64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtoll(s.c_str(), &end, 10);
+    return errno == 0 && end == s.c_str() + s.size();
+}
+
+ParseResult
+fail(size_t line_no, const std::string &what)
+{
+    ParseResult r;
+    r.ok = false;
+    r.error = "line " + std::to_string(line_no) + ": " + what;
+    return r;
+}
+
+} // namespace
+
+std::string
+toCsv(const std::vector<TrainingJob> &jobs)
+{
+    std::ostringstream os;
+    os << kHeader << '\n';
+    char buf[512];
+    for (const TrainingJob &j : jobs) {
+        const auto &f = j.features;
+        std::snprintf(buf, sizeof(buf),
+                      "%lld,%s,%d,%d,%.17g,%.17g,%.17g,%.17g,%.17g,"
+                      "%.17g,%.17g,%.17g\n",
+                      static_cast<long long>(j.id),
+                      workload::toString(j.arch).c_str(), j.num_cnodes,
+                      j.num_ps, f.batch_size, f.flop_count,
+                      f.mem_access_bytes, f.input_bytes, f.comm_bytes,
+                      f.embedding_comm_bytes, f.dense_weight_bytes,
+                      f.embedding_weight_bytes);
+        os << buf;
+    }
+    return os.str();
+}
+
+ParseResult
+fromCsv(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    size_t line_no = 0;
+
+    if (!std::getline(is, line))
+        return fail(1, "empty input");
+    ++line_no;
+    // Normalize trailing CR for header comparison.
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    if (line != kHeader)
+        return fail(1, "unexpected header");
+
+    ParseResult r;
+    r.ok = true;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line == "\r")
+            continue;
+        auto fields = splitCsvLine(line);
+        if (fields.size() != kFields) {
+            return fail(line_no, "expected " +
+                                     std::to_string(kFields) +
+                                     " fields, got " +
+                                     std::to_string(fields.size()));
+        }
+        TrainingJob j;
+        int64_t iv;
+        if (!parseInt(fields[0], iv))
+            return fail(line_no, "bad id '" + fields[0] + "'");
+        j.id = iv;
+        auto arch = workload::archFromString(fields[1]);
+        if (!arch)
+            return fail(line_no,
+                        "unknown architecture '" + fields[1] + "'");
+        j.arch = *arch;
+        if (!parseInt(fields[2], iv) || iv < 1)
+            return fail(line_no, "bad num_cnodes '" + fields[2] + "'");
+        j.num_cnodes = static_cast<int>(iv);
+        if (!parseInt(fields[3], iv) || iv < 0)
+            return fail(line_no, "bad num_ps '" + fields[3] + "'");
+        j.num_ps = static_cast<int>(iv);
+
+        double *slots[] = {&j.features.batch_size,
+                           &j.features.flop_count,
+                           &j.features.mem_access_bytes,
+                           &j.features.input_bytes,
+                           &j.features.comm_bytes,
+                           &j.features.embedding_comm_bytes,
+                           &j.features.dense_weight_bytes,
+                           &j.features.embedding_weight_bytes};
+        for (size_t s = 0; s < 8; ++s) {
+            if (!parseDouble(fields[4 + s], *slots[s])) {
+                return fail(line_no, "bad numeric field '" +
+                                         fields[4 + s] + "'");
+            }
+        }
+        if (!j.features.valid())
+            return fail(line_no, "features fail validation");
+        r.jobs.push_back(j);
+    }
+    return r;
+}
+
+bool
+writeCsvFile(const std::string &path,
+             const std::vector<TrainingJob> &jobs)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    os << toCsv(jobs);
+    return static_cast<bool>(os);
+}
+
+ParseResult
+readCsvFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        ParseResult r;
+        r.ok = false;
+        r.error = "cannot open '" + path + "'";
+        return r;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return fromCsv(buf.str());
+}
+
+} // namespace paichar::trace

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trace serialization: read/write job populations as CSV, so the
+ * analysis pipeline can run on externally collected traces (the
+ * production use case) as well as synthetic ones.
+ *
+ * Schema (one header line, then one line per job):
+ *   id,arch,num_cnodes,num_ps,batch_size,flop_count,
+ *   mem_access_bytes,input_bytes,comm_bytes,embedding_comm_bytes,
+ *   dense_weight_bytes,embedding_weight_bytes
+ *
+ * `arch` uses the paper-style names ("1w1g", "PS/Worker", ...); all
+ * quantities are plain decimal numbers in base units.
+ */
+
+#ifndef PAICHAR_TRACE_TRACE_IO_H
+#define PAICHAR_TRACE_TRACE_IO_H
+
+#include <string>
+#include <vector>
+
+#include "workload/training_job.h"
+
+namespace paichar::trace {
+
+/** Outcome of parsing a trace. */
+struct ParseResult
+{
+    bool ok = false;
+    /** Human-readable error with a 1-based line number when !ok. */
+    std::string error;
+    std::vector<workload::TrainingJob> jobs;
+};
+
+/** Serialize jobs to CSV (with header). */
+std::string toCsv(const std::vector<workload::TrainingJob> &jobs);
+
+/** Parse a CSV trace; validates header, field count and values. */
+ParseResult fromCsv(const std::string &text);
+
+/** Write a CSV trace to a file; returns false on I/O failure. */
+bool writeCsvFile(const std::string &path,
+                  const std::vector<workload::TrainingJob> &jobs);
+
+/** Read a CSV trace from a file. */
+ParseResult readCsvFile(const std::string &path);
+
+} // namespace paichar::trace
+
+#endif // PAICHAR_TRACE_TRACE_IO_H

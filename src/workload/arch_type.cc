@@ -1,0 +1,67 @@
+#include "arch_type.h"
+
+namespace paichar::workload {
+
+std::string
+toString(ArchType a)
+{
+    switch (a) {
+      case ArchType::OneWorkerOneGpu:
+        return "1w1g";
+      case ArchType::OneWorkerMultiGpu:
+        return "1wng";
+      case ArchType::PsWorker:
+        return "PS/Worker";
+      case ArchType::AllReduceLocal:
+        return "AllReduce-Local";
+      case ArchType::AllReduceCluster:
+        return "AllReduce-Cluster";
+      case ArchType::Pearl:
+        return "PEARL";
+    }
+    return "unknown";
+}
+
+std::optional<ArchType>
+archFromString(const std::string &name)
+{
+    for (ArchType a : kAllArchTypes) {
+        if (toString(a) == name)
+            return a;
+    }
+    return std::nullopt;
+}
+
+bool
+isCentralized(ArchType a)
+{
+    return a == ArchType::OneWorkerMultiGpu || a == ArchType::PsWorker;
+}
+
+bool
+isCluster(ArchType a)
+{
+    return a == ArchType::PsWorker || a == ArchType::AllReduceCluster;
+}
+
+std::string
+weightMovementMedium(ArchType a)
+{
+    switch (a) {
+      case ArchType::OneWorkerOneGpu:
+        return "-";
+      case ArchType::OneWorkerMultiGpu:
+        return "PCIe";
+      case ArchType::PsWorker:
+        return "Ethernet & PCIe";
+      case ArchType::AllReduceLocal:
+        return "NVLink";
+      case ArchType::AllReduceCluster:
+        return "Ethernet & NVLink";
+      case ArchType::Pearl:
+        return "NVLink";
+    }
+    return "unknown";
+}
+
+} // namespace paichar::workload

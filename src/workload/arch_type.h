@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The five production training architectures of Table II plus PEARL
+ * (Sec IV-C), and the mapping from each architecture to the hardware
+ * medium that carries its weight/gradient traffic.
+ */
+
+#ifndef PAICHAR_WORKLOAD_ARCH_TYPE_H
+#define PAICHAR_WORKLOAD_ARCH_TYPE_H
+
+#include <optional>
+#include <string>
+
+namespace paichar::workload {
+
+/** System architecture a training job runs under (Table II). */
+enum class ArchType
+{
+    /** Single worker, single GPU; no weight movement. */
+    OneWorkerOneGpu,
+    /** Centralized, single server, params on CPU, replicas on GPUs. */
+    OneWorkerMultiGpu,
+    /** Parameter servers + workers, each on its own server. */
+    PsWorker,
+    /** Decentralized AllReduce inside one NVLink server. */
+    AllReduceLocal,
+    /** Decentralized AllReduce across servers. */
+    AllReduceCluster,
+    /** Partitioned Embedding And RepLicated (Sec IV-C). */
+    Pearl,
+};
+
+/** All architecture values, in Table II order (PEARL last). */
+inline constexpr ArchType kAllArchTypes[] = {
+    ArchType::OneWorkerOneGpu,  ArchType::OneWorkerMultiGpu,
+    ArchType::PsWorker,         ArchType::AllReduceLocal,
+    ArchType::AllReduceCluster, ArchType::Pearl,
+};
+
+/** Paper-style short name: "1w1g", "1wng", "PS/Worker", ... */
+std::string toString(ArchType a);
+
+/** Inverse of toString; nullopt for unknown names. */
+std::optional<ArchType> archFromString(const std::string &name);
+
+/** True for PS/Worker and 1wng ("(parameter) centralized"). */
+bool isCentralized(ArchType a);
+
+/** True if the job spans multiple servers (Table II "Cluster"). */
+bool isCluster(ArchType a);
+
+/**
+ * Human-readable weight-movement medium for Table II, e.g.
+ * "Ethernet & PCIe" for PS/Worker, "-" for 1w1g.
+ */
+std::string weightMovementMedium(ArchType a);
+
+} // namespace paichar::workload
+
+#endif // PAICHAR_WORKLOAD_ARCH_TYPE_H

@@ -1,0 +1,566 @@
+#include "model_zoo.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "hw/units.h"
+
+namespace paichar::workload {
+
+namespace {
+
+using hw::kGB;
+using hw::kKB;
+using hw::kMB;
+using hw::kTFLOPs;
+using hw::kGFLOPs;
+
+/**
+ * Convenience wrapper that builds a forward graph and can then mirror
+ * it into a backward pass (grad ops cost ~2x the forward compute, and
+ * element-wise gradients touch the same tensor volumes), plus one
+ * optimizer-update element-wise op per weight-carrying forward op.
+ *
+ * All costs set here are *relative*; the caller pins aggregate totals
+ * to Table V via OpGraph::scaleToTargets afterwards.
+ */
+class GraphBuilder
+{
+  public:
+    OpId
+    dataLoad(double bytes)
+    {
+        Op op;
+        op.name = "input/memcpy_h2d";
+        op.type = OpType::DataLoad;
+        op.mem_bytes = bytes;
+        op.output_bytes = bytes;
+        last_ = graph_.addOp(op);
+        return last_;
+    }
+
+    OpId
+    compute(OpType type, const std::string &name, double flops,
+            double tensor_bytes)
+    {
+        assert(isComputeBound(type));
+        Op op;
+        op.name = name;
+        op.type = type;
+        op.flops = flops;
+        op.mem_bytes = tensor_bytes;
+        op.output_bytes = tensor_bytes;
+        op.inputs = lastAsInputs();
+        last_ = graph_.addOp(op);
+        fwd_.push_back(last_);
+        return last_;
+    }
+
+    OpId
+    memory(OpType type, const std::string &name, double traffic_bytes,
+           double output_bytes)
+    {
+        assert(!isComputeBound(type) && type != OpType::DataLoad);
+        Op op;
+        op.name = name;
+        op.type = type;
+        op.mem_bytes = traffic_bytes;
+        op.output_bytes = output_bytes;
+        op.inputs = lastAsInputs();
+        last_ = graph_.addOp(op);
+        fwd_.push_back(last_);
+        return last_;
+    }
+
+    /** Element-wise op whose traffic is read(in) + write(out). */
+    OpId
+    elementWise(const std::string &name, double tensor_bytes)
+    {
+        return memory(OpType::ElementWise, name, 2.0 * tensor_bytes,
+                      tensor_bytes);
+    }
+
+    /**
+     * Append the backward pass: one gradient op per forward op in
+     * reverse order, 2x compute cost for compute-bound ops (dgrad +
+     * wgrad), equal memory traffic for memory-bound ones; then one
+     * optimizer-update element-wise op per weight-carrying op.
+     */
+    void
+    mirrorBackward()
+    {
+        std::vector<OpId> weight_ops;
+        for (auto it = fwd_.rbegin(); it != fwd_.rend(); ++it) {
+            const Op fop = graph_.op(*it); // copy: addOp may reallocate
+            Op g;
+            g.name = fop.name + "_grad";
+            g.inputs = {last_};
+            if (isComputeBound(fop.type)) {
+                g.type = fop.type;
+                g.flops = 2.0 * fop.flops;
+                g.mem_bytes = 2.0 * fop.mem_bytes;
+                g.output_bytes = fop.output_bytes;
+                weight_ops.push_back(fop.id);
+            } else {
+                g.type = fop.type == OpType::EmbeddingLookup
+                             ? OpType::EmbeddingLookup
+                             : OpType::ElementWise;
+                g.mem_bytes = fop.mem_bytes;
+                g.output_bytes = fop.output_bytes;
+                if (fop.type == OpType::EmbeddingLookup)
+                    weight_ops.push_back(fop.id);
+            }
+            last_ = graph_.addOp(g);
+        }
+        for (OpId wid : weight_ops) {
+            const Op &w = graph_.op(wid);
+            Op u;
+            u.name = w.name + "_update";
+            u.type = OpType::ElementWise;
+            // Momentum-style update reads grad + weight + momentum and
+            // writes weight + momentum; proportional to the layer size.
+            u.mem_bytes = 0.5 * w.mem_bytes;
+            u.output_bytes = 0.25 * w.mem_bytes;
+            u.inputs = {last_};
+            last_ = graph_.addOp(u);
+        }
+    }
+
+    OpGraph take() { return std::move(graph_); }
+
+  private:
+    std::vector<OpId>
+    lastAsInputs() const
+    {
+        if (last_ < 0)
+            return {};
+        return {last_};
+    }
+
+    OpGraph graph_;
+    std::vector<OpId> fwd_;
+    OpId last_ = -1;
+};
+
+/** Proportional split of comm volume between dense and embedding. */
+void
+splitComm(CaseStudyModel &m)
+{
+    double dense = m.features.dense_weight_bytes;
+    double emb = m.features.embedding_weight_bytes;
+    double total = dense + emb;
+    m.features.embedding_comm_bytes =
+        total > 0.0 ? m.features.comm_bytes * emb / total : 0.0;
+}
+
+} // namespace
+
+CaseStudyModel
+ModelZoo::resnet50()
+{
+    return resnet(ResNetConfig{});
+}
+
+namespace {
+
+/** Structure and relative cost of the standard residual depths. */
+struct ResNetShape
+{
+    int blocks[4];       ///< blocks per stage
+    int convs_per_block; ///< 2 (basic) or 3 (bottleneck)
+    double rel_flops;    ///< forward GFLOPs relative to ResNet50
+    double rel_params;   ///< parameters relative to ResNet50
+};
+
+ResNetShape
+resnetShape(int depth)
+{
+    switch (depth) {
+      case 18:
+        return {{2, 2, 2, 2}, 2, 1.8 / 4.1, 11.7 / 25.6};
+      case 34:
+        return {{3, 4, 6, 3}, 2, 3.6 / 4.1, 21.8 / 25.6};
+      case 50:
+        return {{3, 4, 6, 3}, 3, 1.0, 1.0};
+      case 101:
+        return {{3, 4, 23, 3}, 3, 7.8 / 4.1, 44.5 / 25.6};
+      case 152:
+        return {{3, 8, 36, 3}, 3, 11.5 / 4.1, 60.2 / 25.6};
+      default:
+        assert(false && "supported depths: 18, 34, 50, 101, 152");
+        return {{3, 4, 6, 3}, 3, 1.0, 1.0};
+    }
+}
+
+} // namespace
+
+CaseStudyModel
+ModelZoo::resnet(const ResNetConfig &cfg)
+{
+    assert(cfg.batch_size > 0);
+    const ResNetShape shape = resnetShape(cfg.depth);
+    const double batch_ratio = cfg.batch_size / 64.0;
+    const double demand = shape.rel_flops * batch_ratio;
+
+    CaseStudyModel m;
+    m.name = "ResNet" + std::to_string(cfg.depth);
+    m.domain = "CV";
+    m.arch = ArchType::AllReduceLocal;
+    m.num_cnodes = 8;
+    m.features.batch_size = cfg.batch_size;
+    // Anchored to the Table V ResNet50 row and scaled by the family's
+    // published relative costs.
+    m.features.flop_count = 1.56 * kTFLOPs * demand;
+    m.features.mem_access_bytes = 31.9 * kGB * demand;
+    m.features.input_bytes = 38 * kMB * batch_ratio;
+    m.features.comm_bytes = 357 * kMB * shape.rel_params;
+    m.features.dense_weight_bytes = 204 * kMB * shape.rel_params;
+    m.features.embedding_weight_bytes = 0.0;
+    m.measured_efficiency = {0.8255, 0.789, 0.351, 0.494};
+    splitComm(m);
+
+    GraphBuilder b;
+    b.dataLoad(m.features.input_bytes);
+    const double act = 30 * kMB * batch_ratio;
+    b.compute(OpType::Conv, "stem/conv7x7", 120 * kGFLOPs, 2.0 * act);
+    b.memory(OpType::Normalization, "stem/bn", 2.0 * act, act);
+    b.elementWise("stem/relu", act);
+    b.memory(OpType::Reduction, "stem/maxpool", 2.0 * act, act / 4);
+    for (int stage = 0; stage < 4; ++stage) {
+        double a = act / (1 << stage); // activations shrink per stage
+        for (int blk = 0; blk < shape.blocks[stage]; ++blk) {
+            std::string p = "stage" + std::to_string(stage + 1) +
+                            "/block" + std::to_string(blk + 1) + "/";
+            for (int c = 0; c < shape.convs_per_block; ++c) {
+                double f = (c == 1 ? 90.0 : 30.0) * kGFLOPs;
+                b.compute(OpType::Conv,
+                          p + "conv" + std::to_string(c + 1), f, 2.0 * a);
+                b.memory(OpType::Normalization,
+                         p + "bn" + std::to_string(c + 1), 2.0 * a, a);
+                b.elementWise(p + "relu" + std::to_string(c + 1), a);
+            }
+            b.elementWise(p + "residual_add", a);
+        }
+    }
+    b.memory(OpType::Reduction, "head/avgpool", 4 * kMB, 0.5 * kMB);
+    b.compute(OpType::MatMul, "head/fc", 0.5 * kGFLOPs, 1 * kMB);
+    b.memory(OpType::Reduction, "head/softmax_xent", 2 * kMB, 4 * kKB);
+    b.mirrorBackward();
+
+    m.graph = b.take();
+    m.graph.scaleToTargets(m.features.flop_count,
+                           m.features.mem_access_bytes,
+                           m.features.input_bytes);
+    return m;
+}
+
+namespace {
+
+/** Shared transformer-stack emitter used by NMT and BERT. */
+void
+emitTransformerLayers(GraphBuilder &b, const std::string &prefix,
+                      int layers, double act, double gemm_flops)
+{
+    for (int l = 0; l < layers; ++l) {
+        std::string p =
+            prefix + "/layer" + std::to_string(l) + "/";
+        b.compute(OpType::MatMul, p + "attn/qkv", 3.0 * gemm_flops,
+                  3.0 * act);
+        b.compute(OpType::MatMul, p + "attn/scores", 0.5 * gemm_flops,
+                  act);
+        b.memory(OpType::Reduction, p + "attn/softmax", 3.0 * act, act);
+        b.compute(OpType::MatMul, p + "attn/context", 0.5 * gemm_flops,
+                  act);
+        b.compute(OpType::MatMul, p + "attn/out_proj", gemm_flops, act);
+        b.elementWise(p + "attn/residual_add", act);
+        b.memory(OpType::Normalization, p + "attn/layernorm", 3.0 * act,
+                 act);
+        b.compute(OpType::MatMul, p + "ffn/in", 4.0 * gemm_flops,
+                  4.0 * act);
+        b.elementWise(p + "ffn/gelu", 4.0 * act);
+        b.compute(OpType::MatMul, p + "ffn/out", 4.0 * gemm_flops, act);
+        b.elementWise(p + "ffn/residual_add", act);
+        b.memory(OpType::Normalization, p + "ffn/layernorm", 3.0 * act,
+                 act);
+    }
+}
+
+} // namespace
+
+CaseStudyModel
+ModelZoo::nmt()
+{
+    CaseStudyModel m;
+    m.name = "NMT";
+    m.domain = "Translation";
+    m.arch = ArchType::AllReduceLocal;
+    m.num_cnodes = 8;
+    m.features.batch_size = 6144;
+    m.features.flop_count = 2.5 * kTFLOPs;
+    m.features.mem_access_bytes = 101.6 * kGB;
+    m.features.input_bytes = 22 * kKB;
+    m.features.comm_bytes = 1.33 * kGB;
+    m.features.dense_weight_bytes = 706 * kMB;
+    m.features.embedding_weight_bytes = 819 * kMB;
+    m.measured_efficiency = {0.828, 0.791, 0.001, 0.352};
+    splitComm(m);
+
+    GraphBuilder b;
+    b.dataLoad(m.features.input_bytes);
+    const double act = 25 * kMB;
+    b.memory(OpType::EmbeddingLookup, "src_embedding", 2.0 * act, act);
+    emitTransformerLayers(b, "encoder", 6, act, 60 * kGFLOPs);
+    b.memory(OpType::EmbeddingLookup, "tgt_embedding", 2.0 * act, act);
+    emitTransformerLayers(b, "decoder", 6, act, 60 * kGFLOPs);
+    b.compute(OpType::MatMul, "output_projection", 400 * kGFLOPs,
+              8.0 * act);
+    b.memory(OpType::Reduction, "softmax_xent", 16.0 * act, 4 * kKB);
+    b.mirrorBackward();
+
+    m.graph = b.take();
+    m.graph.scaleToTargets(m.features.flop_count,
+                           m.features.mem_access_bytes,
+                           m.features.input_bytes);
+    return m;
+}
+
+CaseStudyModel
+ModelZoo::bert()
+{
+    return transformer(TransformerConfig{});
+}
+
+CaseStudyModel
+ModelZoo::transformer(const TransformerConfig &cfg)
+{
+    assert(cfg.layers >= 1 && cfg.width_ratio > 0.0 &&
+           cfg.batch_size > 0.0);
+    const double layer_ratio = cfg.layers / 24.0;
+    const double batch_ratio = cfg.batch_size / 12.0;
+    // Per-layer compute scales with width^2, activations with width.
+    const double w2 = cfg.width_ratio * cfg.width_ratio;
+    const double demand = layer_ratio * batch_ratio;
+
+    CaseStudyModel m;
+    m.name = cfg.layers == 24 && cfg.width_ratio == 1.0
+                 ? "BERT"
+                 : "Transformer-" + std::to_string(cfg.layers) + "L";
+    m.domain = "QA";
+    m.arch = ArchType::AllReduceLocal;
+    m.num_cnodes = 8;
+    m.features.batch_size = cfg.batch_size;
+    m.features.flop_count = 2.1 * kTFLOPs * demand * w2;
+    m.features.mem_access_bytes =
+        107.3 * kGB * demand * cfg.width_ratio;
+    m.features.input_bytes = 46 * kKB * batch_ratio;
+    m.features.comm_bytes = 1.5 * kGB * layer_ratio * w2;
+    m.features.dense_weight_bytes = 1.0 * kGB * layer_ratio * w2;
+    m.features.embedding_weight_bytes = 284 * kMB * cfg.width_ratio;
+    m.measured_efficiency = {0.816, 0.95, 0.0042, 0.471};
+    splitComm(m);
+
+    GraphBuilder b;
+    b.dataLoad(m.features.input_bytes);
+    const double act =
+        12 * kMB * batch_ratio * cfg.width_ratio; // b x seq x hidden
+    b.memory(OpType::EmbeddingLookup, "wordpiece_embedding", 2.0 * act,
+             act);
+    b.memory(OpType::Normalization, "embedding_layernorm", 3.0 * act,
+             act);
+    emitTransformerLayers(b, "encoder", cfg.layers, act,
+                          70 * kGFLOPs * w2);
+    b.compute(OpType::MatMul, "mlm_head", 150 * kGFLOPs * w2,
+              4.0 * act);
+    b.memory(OpType::Reduction, "mlm_softmax_xent", 8.0 * act, 4 * kKB);
+    b.mirrorBackward();
+
+    m.graph = b.take();
+    m.graph.scaleToTargets(m.features.flop_count,
+                           m.features.mem_access_bytes,
+                           m.features.input_bytes);
+    return m;
+}
+
+CaseStudyModel
+ModelZoo::speech()
+{
+    CaseStudyModel m;
+    m.name = "Speech";
+    m.domain = "Speech recognition";
+    m.arch = ArchType::OneWorkerOneGpu;
+    m.num_cnodes = 1;
+    m.features.batch_size = 32;
+    m.features.flop_count = 7.9 * kTFLOPs;
+    m.features.mem_access_bytes = 20.4 * kGB;
+    m.features.input_bytes = 804 * kMB;
+    m.features.comm_bytes = 728 * kMB; // within-device weight movement
+    m.features.dense_weight_bytes = 416 * kMB;
+    m.features.embedding_weight_bytes = 0.0;
+    m.measured_efficiency = {0.6086, 0.031, 0.7773, 0.405};
+    splitComm(m);
+
+    GraphBuilder b;
+    b.dataLoad(m.features.input_bytes);
+    const double act = 8 * kMB;
+    b.compute(OpType::Conv, "frontend/conv1", 300 * kGFLOPs, 2.0 * act);
+    b.elementWise("frontend/relu1", act);
+    b.compute(OpType::Conv, "frontend/conv2", 300 * kGFLOPs, 2.0 * act);
+    b.elementWise("frontend/relu2", act);
+    // CNN + LSTM with layer normalization (Sec IV-A): per (layer, t)
+    // one packed gate GEMM plus a chain of fine-grained element-wise
+    // kernels -- exactly the op mix XLA fusion targets in Fig 13(b).
+    const int lstm_layers = 5, timesteps = 25;
+    for (int l = 0; l < lstm_layers; ++l) {
+        for (int t = 0; t < timesteps; ++t) {
+            std::string p = "lstm" + std::to_string(l) + "/t" +
+                            std::to_string(t) + "/";
+            b.compute(OpType::MatMul, p + "gates_gemm", 50 * kGFLOPs,
+                      4.0 * act);
+            b.elementWise(p + "sigmoid_i", act);
+            b.elementWise(p + "sigmoid_f", act);
+            b.elementWise(p + "sigmoid_o", act);
+            b.elementWise(p + "tanh_g", act);
+            b.elementWise(p + "cell_mul_f", act);
+            b.elementWise(p + "cell_mul_i", act);
+            b.elementWise(p + "cell_add", act);
+            b.elementWise(p + "tanh_c", act);
+            b.elementWise(p + "hidden_mul_o", act);
+            b.memory(OpType::Normalization, p + "layernorm", 3.0 * act,
+                     act);
+        }
+    }
+    b.compute(OpType::MatMul, "ctc_projection", 100 * kGFLOPs,
+              2.0 * act);
+    b.memory(OpType::Reduction, "ctc_loss", 4.0 * act, 4 * kKB);
+    b.mirrorBackward();
+
+    m.graph = b.take();
+    m.graph.scaleToTargets(m.features.flop_count,
+                           m.features.mem_access_bytes,
+                           m.features.input_bytes);
+    return m;
+}
+
+CaseStudyModel
+ModelZoo::multiInterests()
+{
+    return multiInterests(MultiInterestsConfig{});
+}
+
+CaseStudyModel
+ModelZoo::multiInterests(const MultiInterestsConfig &cfg)
+{
+    assert(cfg.batch_size > 0 && cfg.attention_layers > 0);
+    const MultiInterestsConfig base{};
+    double batch_ratio = cfg.batch_size / base.batch_size;
+    double layer_ratio = static_cast<double>(cfg.attention_layers) /
+                         base.attention_layers;
+
+    CaseStudyModel m;
+    m.name = "Multi-Interests";
+    m.domain = "Recommender";
+    m.arch = ArchType::PsWorker;
+    m.num_cnodes = 32;
+    m.features.batch_size = cfg.batch_size;
+    // Compute demands scale with batch; the attention stack adds its
+    // share per extra layer (roughly 40% of base FLOPs/memory are in
+    // the attention stack at the default 2 layers).
+    double attn_scale = 0.6 + 0.4 * layer_ratio;
+    m.features.flop_count = 105.8 * kGFLOPs * batch_ratio * attn_scale;
+    m.features.mem_access_bytes =
+        100.4 * kGB * batch_ratio * attn_scale;
+    m.features.input_bytes = 261 * kMB * batch_ratio;
+    // Dense gradients are batch-independent; the embedding rows pulled
+    // per step grow sublinearly with batch (row reuse within a batch).
+    m.features.comm_bytes =
+        122 * kMB * (0.3 + 0.7 * std::sqrt(batch_ratio));
+    m.features.dense_weight_bytes = 1.19 * kMB;
+    m.features.embedding_weight_bytes = 239.45 * kGB;
+    m.measured_efficiency = {0.3271, 0.95, 0.8647, 0.6921};
+    splitComm(m);
+
+    GraphBuilder b;
+    b.dataLoad(m.features.input_bytes);
+    const double act = 16 * kMB * batch_ratio;
+    b.memory(OpType::EmbeddingLookup, "user_embedding", 6.0 * act, act);
+    b.memory(OpType::EmbeddingLookup, "item_embedding", 6.0 * act, act);
+    b.memory(OpType::EmbeddingLookup, "behavior_sequence_embedding",
+             12.0 * act, 2.0 * act);
+    for (int l = 0; l < cfg.attention_layers; ++l) {
+        std::string p = "interest_attn" + std::to_string(l) + "/";
+        b.compute(OpType::MatMul, p + "scores", 10 * kGFLOPs, act);
+        b.memory(OpType::Reduction, p + "softmax", 3.0 * act, act);
+        b.elementWise(p + "weighted_sum_mul", act);
+        b.memory(OpType::Reduction, p + "weighted_sum_reduce",
+                 2.0 * act, act / 4);
+        b.elementWise(p + "interest_act", act);
+    }
+    b.compute(OpType::MatMul, "mlp/fc1", 20 * kGFLOPs, act);
+    b.elementWise("mlp/relu1", act);
+    b.compute(OpType::MatMul, "mlp/fc2", 10 * kGFLOPs, act / 2);
+    b.elementWise("mlp/relu2", act / 2);
+    b.compute(OpType::MatMul, "mlp/fc3", 5 * kGFLOPs, act / 4);
+    b.memory(OpType::Reduction, "sampled_softmax_loss", 2.0 * act,
+             4 * kKB);
+    b.mirrorBackward();
+
+    m.graph = b.take();
+    m.graph.scaleToTargets(m.features.flop_count,
+                           m.features.mem_access_bytes,
+                           m.features.input_bytes);
+    return m;
+}
+
+CaseStudyModel
+ModelZoo::gcn()
+{
+    CaseStudyModel m;
+    m.name = "GCN";
+    m.domain = "Recommender";
+    m.arch = ArchType::Pearl;
+    m.num_cnodes = 8;
+    m.features.batch_size = 512;
+    m.features.flop_count = 330.7 * kGFLOPs;
+    m.features.mem_access_bytes = 25.79 * kGB;
+    m.features.input_bytes = 1.2 * kMB;
+    m.features.comm_bytes = 3.0 * kGB;
+    m.features.dense_weight_bytes = 207 * kMB;
+    m.features.embedding_weight_bytes = 54 * kGB;
+    m.measured_efficiency = {0.882, 0.699, 0.862, 0.2735};
+    splitComm(m);
+
+    GraphBuilder b;
+    b.dataLoad(m.features.input_bytes);
+    const double act = 10 * kMB;
+    b.memory(OpType::EmbeddingLookup, "node_embedding", 8.0 * act, act);
+    for (int hop = 0; hop < 2; ++hop) {
+        std::string p = "hop" + std::to_string(hop) + "/";
+        b.memory(OpType::EmbeddingLookup, p + "neighbor_gather",
+                 16.0 * act, 4.0 * act);
+        b.memory(OpType::Reduction, p + "neighbor_aggregate", 8.0 * act,
+                 act);
+        b.compute(OpType::MatMul, p + "graphconv_gemm", 60 * kGFLOPs,
+                  2.0 * act);
+        b.elementWise(p + "graphconv_act", act);
+        b.memory(OpType::Normalization, p + "l2_normalize", 3.0 * act,
+                 act);
+    }
+    b.compute(OpType::MatMul, "score/pairwise_dot", 30 * kGFLOPs, act);
+    b.memory(OpType::Reduction, "margin_loss", 2.0 * act, 4 * kKB);
+    b.mirrorBackward();
+
+    m.graph = b.take();
+    m.graph.scaleToTargets(m.features.flop_count,
+                           m.features.mem_access_bytes,
+                           m.features.input_bytes);
+    return m;
+}
+
+std::vector<CaseStudyModel>
+ModelZoo::all()
+{
+    return {resnet50(), nmt(),           bert(),
+            speech(),   multiInterests(), gcn()};
+}
+
+} // namespace paichar::workload

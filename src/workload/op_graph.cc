@@ -1,0 +1,141 @@
+#include "op_graph.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+namespace paichar::workload {
+
+std::string
+toString(OpType t)
+{
+    switch (t) {
+      case OpType::MatMul:
+        return "MatMul";
+      case OpType::Conv:
+        return "Conv";
+      case OpType::ElementWise:
+        return "ElementWise";
+      case OpType::Normalization:
+        return "Normalization";
+      case OpType::Reduction:
+        return "Reduction";
+      case OpType::EmbeddingLookup:
+        return "EmbeddingLookup";
+      case OpType::DataLoad:
+        return "DataLoad";
+      case OpType::Fused:
+        return "Fused";
+    }
+    return "unknown";
+}
+
+bool
+isComputeBound(OpType t)
+{
+    return t == OpType::MatMul || t == OpType::Conv;
+}
+
+bool
+isFusable(OpType t)
+{
+    return t == OpType::ElementWise || t == OpType::Normalization ||
+           t == OpType::Reduction;
+}
+
+OpId
+OpGraph::addOp(Op op)
+{
+    for (OpId in : op.inputs) {
+        assert(in >= 0 && static_cast<size_t>(in) < ops_.size() &&
+               "op inputs must already be in the graph");
+        (void)in;
+    }
+    assert(std::isfinite(op.flops) && op.flops >= 0.0);
+    assert(std::isfinite(op.mem_bytes) && op.mem_bytes >= 0.0);
+    assert(std::isfinite(op.output_bytes) && op.output_bytes >= 0.0);
+    op.id = static_cast<OpId>(ops_.size());
+    ops_.push_back(std::move(op));
+    return ops_.back().id;
+}
+
+const Op &
+OpGraph::op(OpId id) const
+{
+    assert(id >= 0 && static_cast<size_t>(id) < ops_.size());
+    return ops_[static_cast<size_t>(id)];
+}
+
+GraphTotals
+OpGraph::totals() const
+{
+    GraphTotals t;
+    for (const Op &op : ops_) {
+        if (op.type == OpType::DataLoad) {
+            t.input_bytes += op.mem_bytes;
+            continue;
+        }
+        ++t.num_kernels;
+        if (isComputeBound(op.type))
+            t.flops += op.flops;
+        else
+            t.mem_access_bytes += op.mem_bytes;
+    }
+    return t;
+}
+
+void
+OpGraph::scaleToTargets(double flops, double mem_bytes, double input_bytes)
+{
+    assert(flops >= 0.0 && mem_bytes >= 0.0 && input_bytes >= 0.0);
+    GraphTotals cur = totals();
+    auto ratio = [](double target, double current) {
+        if (target == 0.0 && current == 0.0)
+            return 1.0;
+        assert(current > 0.0 &&
+               "cannot scale a zero total to a non-zero target");
+        return target / current;
+    };
+    double rf = ratio(flops, cur.flops);
+    double rm = ratio(mem_bytes, cur.mem_access_bytes);
+    double rd = ratio(input_bytes, cur.input_bytes);
+
+    for (Op &op : ops_) {
+        if (op.type == OpType::DataLoad) {
+            op.mem_bytes *= rd;
+            op.output_bytes *= rd;
+        } else if (isComputeBound(op.type)) {
+            op.flops *= rf;
+            // Compute-bound ops also touch memory; keep their tensor
+            // sizes in step with the work they do.
+            op.mem_bytes *= rf;
+            op.output_bytes *= rf;
+        } else {
+            op.mem_bytes *= rm;
+            op.output_bytes *= rm;
+        }
+    }
+}
+
+bool
+OpGraph::validate() const
+{
+    for (size_t i = 0; i < ops_.size(); ++i) {
+        const Op &op = ops_[i];
+        if (op.id != static_cast<OpId>(i))
+            return false;
+        for (OpId in : op.inputs) {
+            if (in < 0 || static_cast<size_t>(in) >= i)
+                return false;
+        }
+        if (!(std::isfinite(op.flops) && op.flops >= 0.0))
+            return false;
+        if (!(std::isfinite(op.mem_bytes) && op.mem_bytes >= 0.0))
+            return false;
+        if (!(std::isfinite(op.output_bytes) && op.output_bytes >= 0.0))
+            return false;
+    }
+    return true;
+}
+
+} // namespace paichar::workload

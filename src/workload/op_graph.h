@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Operation-level dataflow graphs for training steps.
+ *
+ * The paper's profiling layer records per-operation kernel times and
+ * tensor attributes; its analysis then splits operations into
+ * compute-bound (conv, matmul) and memory-bound (element-wise) classes
+ * (Sec II-B). OpGraph is our equivalent substrate: the model zoo builds
+ * one graph per case-study model, the simulator executes graphs kernel
+ * by kernel, and the optimization passes (mixed precision, XLA fusion)
+ * rewrite them.
+ */
+
+#ifndef PAICHAR_WORKLOAD_OP_GRAPH_H
+#define PAICHAR_WORKLOAD_OP_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paichar::workload {
+
+/** Operation categories, coarse enough for cost classification. */
+enum class OpType
+{
+    MatMul,          ///< Dense GEMM (compute-bound; TensorCore-eligible)
+    Conv,            ///< Convolution (compute-bound; TensorCore-eligible)
+    ElementWise,     ///< Add/mul/activation/... (memory-bound; fusable)
+    Normalization,   ///< Batch/layer norm (memory-bound; fusable)
+    Reduction,       ///< Softmax/sum/... (memory-bound)
+    EmbeddingLookup, ///< Sparse gather (memory-bound)
+    DataLoad,        ///< Host->device input copy (PCIe)
+    Fused,           ///< Result of XLA-style fusion (memory-bound)
+};
+
+/** Printable op-type name. */
+std::string toString(OpType t);
+
+/** True for ops whose time is modeled as FLOPs / peak_FLOPs. */
+bool isComputeBound(OpType t);
+
+/** True for ops the XLA fusion pass may merge. */
+bool isFusable(OpType t);
+
+/** Stable operation identifier within one graph. */
+using OpId = int32_t;
+
+/** One node of the dataflow graph. */
+struct Op
+{
+    OpId id = -1;
+    std::string name;
+    OpType type = OpType::ElementWise;
+    /** Arithmetic work (only meaningful for compute-bound ops). */
+    double flops = 0.0;
+    /** Device-memory traffic this op causes (reads + writes). */
+    double mem_bytes = 0.0;
+    /** Bytes of the op's output tensor (fusion boundary cost). */
+    double output_bytes = 0.0;
+    /** Producer operations. */
+    std::vector<OpId> inputs;
+};
+
+/** Aggregate resource demands of a graph. */
+struct GraphTotals
+{
+    double flops = 0.0;            ///< compute-bound FLOPs
+    double mem_access_bytes = 0.0; ///< memory-bound ops' memory traffic
+    double input_bytes = 0.0;      ///< DataLoad bytes (PCIe)
+    int num_kernels = 0;           ///< GPU kernel launches (non-DataLoad)
+};
+
+/**
+ * A DAG of operations for one training step (forward + backward +
+ * update). Insertion order must be a valid topological order: an op may
+ * only reference previously added ops as inputs.
+ */
+class OpGraph
+{
+  public:
+    OpGraph() = default;
+
+    /**
+     * Append an operation.
+     *
+     * @param op Op to add; id is assigned by the graph, inputs must
+     *           refer to already-added ops.
+     * @return The assigned OpId.
+     */
+    OpId addOp(Op op);
+
+    /** Number of operations. */
+    size_t size() const { return ops_.size(); }
+
+    /** True if the graph has no operations. */
+    bool empty() const { return ops_.empty(); }
+
+    /** Access an op by id. */
+    const Op &op(OpId id) const;
+
+    /** All ops in insertion (= topological) order. */
+    const std::vector<Op> &ops() const { return ops_; }
+
+    /** Aggregate demands, classified per Sec II-B. */
+    GraphTotals totals() const;
+
+    /**
+     * Scale the graph so its aggregate demands match targets exactly:
+     * compute-bound FLOPs are scaled to @p flops, memory-bound traffic
+     * to @p mem_bytes, DataLoad bytes to @p input_bytes. Used to pin
+     * the model-zoo graphs to the paper's Table V totals. A target of
+     * zero with a zero current total is allowed; a non-zero target
+     * with a zero current total aborts.
+     */
+    void scaleToTargets(double flops, double mem_bytes,
+                        double input_bytes);
+
+    /**
+     * Consistency check: ids are dense, inputs precede consumers,
+     * all costs finite and non-negative.
+     */
+    bool validate() const;
+
+  private:
+    std::vector<Op> ops_;
+};
+
+} // namespace paichar::workload
+
+#endif // PAICHAR_WORKLOAD_OP_GRAPH_H

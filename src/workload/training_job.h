@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A training job as seen by the cluster-level analyses: the job meta
+ * information (architecture, resource allocation) plus the extracted
+ * workload features (Fig 4's "run metadata + job meta" pairing).
+ */
+
+#ifndef PAICHAR_WORKLOAD_TRAINING_JOB_H
+#define PAICHAR_WORKLOAD_TRAINING_JOB_H
+
+#include <cstdint>
+
+#include "workload/arch_type.h"
+#include "workload/workload_features.h"
+
+namespace paichar::workload {
+
+/** One production training job record. */
+struct TrainingJob
+{
+    /** Stable identifier within a trace. */
+    int64_t id = 0;
+
+    /** System architecture the job runs under. */
+    ArchType arch = ArchType::OneWorkerOneGpu;
+
+    /**
+     * Computation nodes: GPU devices each holding one model replica.
+     * 1 for 1w1g; <= 8 for 1wng and AllReduce-Local.
+     */
+    int num_cnodes = 1;
+
+    /** Parameter-server nodes (PS/Worker jobs only; 0 otherwise). */
+    int num_ps = 0;
+
+    /** Per-step per-cNode resource demands. */
+    WorkloadFeatures features;
+};
+
+} // namespace paichar::workload
+
+#endif // PAICHAR_WORKLOAD_TRAINING_JOB_H

@@ -1,0 +1,18 @@
+#include "workload_features.h"
+
+#include <cmath>
+
+namespace paichar::workload {
+
+bool
+WorkloadFeatures::valid() const
+{
+    auto ok = [](double v) { return std::isfinite(v) && v >= 0.0; };
+    return ok(batch_size) && batch_size > 0.0 && ok(flop_count) &&
+           ok(mem_access_bytes) && ok(input_bytes) && ok(comm_bytes) &&
+           ok(dense_weight_bytes) && ok(embedding_weight_bytes) &&
+           ok(embedding_comm_bytes) &&
+           embedding_comm_bytes <= comm_bytes * (1.0 + 1e-12);
+}
+
+} // namespace paichar::workload

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The workload feature schema of Fig 4: the per-step, per-cNode
+ * resource demands that the analytical model consumes.
+ */
+
+#ifndef PAICHAR_WORKLOAD_WORKLOAD_FEATURES_H
+#define PAICHAR_WORKLOAD_WORKLOAD_FEATURES_H
+
+namespace paichar::workload {
+
+/**
+ * Fundamental resource demands of one training step on one computation
+ * node (cNode = one GPU holding one model replica).
+ *
+ * These are *demands*, not times: the analytical model divides them by
+ * (derated) hardware capacities to predict time (Sec II-B), and the
+ * simulator replays them against simulated devices.
+ */
+struct WorkloadFeatures
+{
+    /** Mini-batch size per replica (Eq 2's batch_size). */
+    double batch_size = 1.0;
+
+    /** FLOPs of compute-bound ops (conv, matmul) per step. */
+    double flop_count = 0.0;
+
+    /** Bytes of device-memory access by memory-bound ops per step. */
+    double mem_access_bytes = 0.0;
+
+    /** Input sample bytes copied host->GPU over PCIe per step (Sd). */
+    double input_bytes = 0.0;
+
+    /**
+     * Weight/gradient bytes exchanged per step per cNode (Sw; Table V's
+     * "Network Traffic"). Includes both pull/broadcast and
+     * push/reduce directions.
+     */
+    double comm_bytes = 0.0;
+
+    /**
+     * Of comm_bytes, the portion that is embedding (sparse) traffic.
+     * PEARL partitions this across the job's GPUs (AllGatherv /
+     * ReduceScatter), so each GPU only moves its 1/n share
+     * (Sec IV-C); dense traffic is replicated. Invariant:
+     * 0 <= embedding_comm_bytes <= comm_bytes.
+     */
+    double embedding_comm_bytes = 0.0;
+
+    /** Replicated (dense) part of the per-step traffic. */
+    double
+    denseCommBytes() const
+    {
+        return comm_bytes - embedding_comm_bytes;
+    }
+
+    /** Dense trainable + optimizer-state bytes (Table IV). */
+    double dense_weight_bytes = 0.0;
+
+    /** Embedding (sparse) weight bytes (Table IV). */
+    double embedding_weight_bytes = 0.0;
+
+    /** Total model size: dense + embedding weights. */
+    double
+    weightBytes() const
+    {
+        return dense_weight_bytes + embedding_weight_bytes;
+    }
+
+    /** True when all demand fields are finite and non-negative. */
+    bool valid() const;
+};
+
+} // namespace paichar::workload
+
+#endif // PAICHAR_WORKLOAD_WORKLOAD_FEATURES_H

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the paichar CLI (driven through the library entry point).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cli/cli.h"
+
+namespace paichar::cli {
+namespace {
+
+struct CliResult
+{
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+runCli(std::vector<std::string> args)
+{
+    std::ostringstream out, err;
+    int code = run(args, out, err);
+    return {code, out.str(), err.str()};
+}
+
+TEST(CliTest, NoArgsPrintsUsageAndFails)
+{
+    auto r = runCli({});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds)
+{
+    auto r = runCli({"help"});
+    EXPECT_EQ(r.code, 0);
+    EXPECT_NE(r.out.find("paichar"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails)
+{
+    auto r = runCli({"frobnicate"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, FlagWithoutValueFails)
+{
+    auto r = runCli({"generate", "--jobs"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("expects a value"), std::string::npos);
+}
+
+TEST(CliTest, GenerateToStdout)
+{
+    auto r = runCli({"generate", "--jobs", "10", "--seed", "5"});
+    EXPECT_EQ(r.code, 0);
+    // Header + 10 rows.
+    EXPECT_EQ(std::count(r.out.begin(), r.out.end(), '\n'), 11);
+    EXPECT_NE(r.out.find("id,arch,num_cnodes"), std::string::npos);
+}
+
+TEST(CliTest, GenerateIsSeedDeterministic)
+{
+    auto a = runCli({"generate", "--jobs", "50", "--seed", "9"});
+    auto b = runCli({"generate", "--jobs", "50", "--seed", "9"});
+    auto c = runCli({"generate", "--jobs", "50", "--seed", "10"});
+    EXPECT_EQ(a.out, b.out);
+    EXPECT_NE(a.out, c.out);
+}
+
+class CliWithTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = testing::TempDir() + "/paichar_cli_trace.csv";
+        auto r = runCli({"generate", "--jobs", "2000", "--seed",
+                         "42", "--out", path_});
+        ASSERT_EQ(r.code, 0) << r.err;
+        ASSERT_NE(r.out.find("wrote 2000 jobs"), std::string::npos);
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(CliWithTraceTest, CharacterizeSummarizesTrace)
+{
+    auto r = runCli({"characterize", path_});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("PS/Worker"), std::string::npos);
+    EXPECT_NE(r.out.find("cNode-level breakdown"), std::string::npos);
+}
+
+TEST_F(CliWithTraceTest, ProjectReportsSpeedups)
+{
+    auto r = runCli({"project", path_});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("AllReduce-Local"), std::string::npos);
+    EXPECT_NE(r.out.find("mean speedup"), std::string::npos);
+
+    auto rc = runCli(
+        {"project", path_, "--target", "AllReduce-Cluster"});
+    EXPECT_EQ(rc.code, 0);
+    EXPECT_NE(rc.out.find("AllReduce-Cluster"), std::string::npos);
+}
+
+TEST_F(CliWithTraceTest, ProjectRejectsBadTarget)
+{
+    auto r = runCli({"project", path_, "--target", "warp"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown architecture"), std::string::npos);
+}
+
+TEST_F(CliWithTraceTest, SweepPrintsTableIiiGrid)
+{
+    auto r = runCli({"sweep", path_});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("Ethernet"), std::string::npos);
+    EXPECT_NE(r.out.find("GPU_memory"), std::string::npos);
+}
+
+TEST_F(CliWithTraceTest, MissingTraceFileFails)
+{
+    auto r = runCli({"characterize", "/nonexistent.csv"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, AdviseRecommendsPearlForEmbeddingModel)
+{
+    auto r = runCli({"advise", "--flops", "3.3e11", "--mem",
+                     "2.6e10", "--input", "1.2e6", "--comm", "3e9",
+                     "--dense-weights", "2e8", "--embedding-weights",
+                     "5.4e10", "--cnodes", "8"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("recommendation: PEARL"), std::string::npos);
+}
+
+TEST(CliTest, AdviseRequiresDemands)
+{
+    auto r = runCli({"advise", "--flops", "1e12"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("requires"), std::string::npos);
+}
+
+TEST(CliTest, DiagnoseCaseStudyModel)
+{
+    auto r = runCli({"diagnose", "resnet50"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("verdict: compute-bound"),
+              std::string::npos);
+    EXPECT_NE(r.out.find("best measured plan:"), std::string::npos);
+}
+
+TEST(CliTest, DiagnoseUnknownModelFails)
+{
+    auto r = runCli({"diagnose", "alexnet"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown model"), std::string::npos);
+}
+
+TEST(CliTest, DiagnoseWithoutModelFails)
+{
+    auto r = runCli({"diagnose"});
+    EXPECT_EQ(r.code, 1);
+}
+
+TEST(CliTest, ServeReportsLatencyAndCapacity)
+{
+    auto r = runCli({"serve", "bert", "--qps", "30", "--max-batch",
+                     "4"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("p99"), std::string::npos);
+    EXPECT_NE(r.out.find("max QPS"), std::string::npos);
+}
+
+TEST(CliTest, ServeUnknownModelFails)
+{
+    auto r = runCli({"serve", "vgg"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown model"), std::string::npos);
+}
+
+TEST_F(CliWithTraceTest, ScheduleReportsQueueingMetrics)
+{
+    auto r = runCli({"schedule", path_, "--servers", "32",
+                     "--nvlink-frac", "0.5", "--port", "1"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("scheduled 2000 jobs"), std::string::npos);
+    EXPECT_NE(r.out.find("GPU utilization"), std::string::npos);
+    EXPECT_NE(r.out.find("ported jobs"), std::string::npos);
+}
+
+} // namespace
+} // namespace paichar::cli

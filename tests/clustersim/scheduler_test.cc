@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the cluster-level job scheduler simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clustersim/scheduler.h"
+#include "hw/units.h"
+#include "trace/synthetic_cluster.h"
+
+namespace paichar::clustersim {
+namespace {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+TrainingJob
+makeJob(int64_t id, ArchType arch, int cnodes, double flops = 1e12)
+{
+    TrainingJob j;
+    j.id = id;
+    j.arch = arch;
+    j.num_cnodes = cnodes;
+    j.features.batch_size = 32;
+    j.features.flop_count = flops; // 7.7e12 -> 1 s steps on Table I HW
+    j.features.comm_bytes = arch == ArchType::OneWorkerOneGpu
+                                ? 0.0
+                                : 100 * hw::kMB;
+    j.features.dense_weight_bytes = 100 * hw::kMB;
+    return j;
+}
+
+JobRequest
+request(TrainingJob job, double submit, int64_t steps)
+{
+    return JobRequest{std::move(job), submit, steps};
+}
+
+SchedulerConfig
+smallCluster(int servers = 4, double nvl = 0.5)
+{
+    SchedulerConfig cfg;
+    cfg.num_servers = servers;
+    cfg.gpus_per_server = 8;
+    cfg.nvlink_fraction = nvl;
+    return cfg;
+}
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    SchedulerTest() : model_(hw::paiCluster()) {}
+    core::AnalyticalModel model_;
+};
+
+TEST_F(SchedulerTest, SingleJobRunsImmediately)
+{
+    ClusterScheduler sched(smallCluster(), model_);
+    auto job = makeJob(1, ArchType::OneWorkerOneGpu, 1, 7.7e12);
+    auto out = sched.run({request(job, 10.0, 100)});
+    ASSERT_EQ(out.jobs.size(), 1u);
+    EXPECT_DOUBLE_EQ(out.jobs[0].start_time, 10.0);
+    // 100 steps x ~1 s.
+    EXPECT_NEAR(out.jobs[0].runtime(),
+                100.0 * model_.stepTime(job), 1e-9);
+    EXPECT_DOUBLE_EQ(out.jobs[0].wait(), 0.0);
+    EXPECT_EQ(out.jobs[0].gpus, 1);
+    EXPECT_FALSE(out.jobs[0].ported);
+}
+
+TEST_F(SchedulerTest, CapacityForcesQueueing)
+{
+    // One server of 8 GPUs; two 8-GPU jobs must serialize.
+    ClusterScheduler sched(smallCluster(1, 1.0), model_);
+    auto j1 = makeJob(1, ArchType::AllReduceLocal, 8, 7.7e12);
+    auto j2 = makeJob(2, ArchType::AllReduceLocal, 8, 7.7e12);
+    auto out = sched.run(
+        {request(j1, 0.0, 100), request(j2, 0.0, 100)});
+    ASSERT_EQ(out.jobs.size(), 2u);
+    EXPECT_DOUBLE_EQ(out.jobs[0].start_time, 0.0);
+    EXPECT_NEAR(out.jobs[1].start_time, out.jobs[0].finish_time,
+                1e-9);
+    EXPECT_GT(out.jobs[1].wait(), 0.0);
+    EXPECT_GT(out.gpu_utilization, 0.95);
+}
+
+TEST_F(SchedulerTest, PsJobSpreadsAcrossServers)
+{
+    ClusterScheduler sched(smallCluster(4, 0.0), model_);
+    auto job = makeJob(1, ArchType::PsWorker, 4);
+    auto out = sched.run({request(job, 0.0, 10)});
+    ASSERT_EQ(out.jobs.size(), 1u);
+    EXPECT_EQ(out.jobs[0].gpus, 4);
+}
+
+TEST_F(SchedulerTest, AllReduceRequiresNvlinkServer)
+{
+    auto job = makeJob(1, ArchType::AllReduceLocal, 8);
+    ClusterScheduler without(smallCluster(4, 0.0), model_);
+    EXPECT_FALSE(without.placeable(job));
+    ClusterScheduler with(smallCluster(4, 0.25), model_);
+    EXPECT_TRUE(with.placeable(job));
+}
+
+TEST_F(SchedulerTest, FcfsHeadOfLineBlocks)
+{
+    // Head job needs 8 GPUs (unavailable); a 1-GPU job behind it
+    // could run but strict FCFS blocks it until the head starts.
+    SchedulerConfig cfg = smallCluster(1, 1.0);
+    cfg.policy = Policy::Fcfs;
+    ClusterScheduler sched(cfg, model_);
+    auto big1 = makeJob(1, ArchType::AllReduceLocal, 8, 7.7e12);
+    auto big2 = makeJob(2, ArchType::AllReduceLocal, 8, 7.7e12);
+    auto small = makeJob(3, ArchType::OneWorkerOneGpu, 1, 7.7e12);
+    auto out = sched.run({request(big1, 0.0, 100),
+                          request(big2, 1.0, 100),
+                          request(small, 2.0, 10)});
+    // Strict FCFS: small starts only when big2 has started.
+    const JobOutcome *small_out = nullptr, *big2_out = nullptr;
+    for (const auto &jo : out.jobs) {
+        if (jo.job_id == 3)
+            small_out = &jo;
+        if (jo.job_id == 2)
+            big2_out = &jo;
+    }
+    ASSERT_TRUE(small_out && big2_out);
+    EXPECT_GE(small_out->start_time, big2_out->start_time);
+}
+
+TEST_F(SchedulerTest, BackfillLetsSmallJobsThrough)
+{
+    SchedulerConfig cfg = smallCluster(1, 1.0);
+    cfg.policy = Policy::FcfsBackfill;
+    ClusterScheduler sched(cfg, model_);
+    auto big1 = makeJob(1, ArchType::AllReduceLocal, 8, 7.7e12);
+    auto big2 = makeJob(2, ArchType::AllReduceLocal, 6, 7.7e12);
+    auto small = makeJob(3, ArchType::OneWorkerOneGpu, 1, 7.7e12);
+    // big1 takes all 8; big2 (6 GPUs) cannot start; small (1 GPU)...
+    // also cannot: the server is full. Free 2 GPUs by shrinking big1.
+    big1.num_cnodes = 7;
+    auto out = sched.run({request(big1, 0.0, 100),
+                          request(big2, 1.0, 100),
+                          request(small, 2.0, 10)});
+    const JobOutcome *small_out = nullptr, *big2_out = nullptr;
+    for (const auto &jo : out.jobs) {
+        if (jo.job_id == 3)
+            small_out = &jo;
+        if (jo.job_id == 2)
+            big2_out = &jo;
+    }
+    ASSERT_TRUE(small_out && big2_out);
+    // Backfill: the 1-GPU job slips past the blocked 6-GPU job.
+    EXPECT_LT(small_out->start_time, big2_out->start_time);
+    EXPECT_DOUBLE_EQ(small_out->start_time, 2.0);
+}
+
+TEST_F(SchedulerTest, PortingUsesNvlinkAndSpeedsUp)
+{
+    SchedulerConfig cfg = smallCluster(16, 0.5);
+    cfg.port_ps_to_allreduce = true;
+    ClusterScheduler sched(cfg, model_);
+    // A comm-heavy dense PS job: ports to AllReduce-Local.
+    auto job = makeJob(1, ArchType::PsWorker, 16, 1e12);
+    job.features.comm_bytes = 1 * hw::kGB;
+    job.features.dense_weight_bytes = 1 * hw::kGB;
+    auto out = sched.run({request(job, 0.0, 100)});
+    ASSERT_EQ(out.jobs.size(), 1u);
+    EXPECT_TRUE(out.jobs[0].ported);
+    EXPECT_EQ(out.jobs[0].executed_arch, ArchType::AllReduceLocal);
+    EXPECT_EQ(out.jobs[0].gpus, 8); // clamped from 16
+    EXPECT_EQ(out.ported_jobs, 1);
+
+    // The ported runtime is the AllReduce-Local step time.
+    workload::TrainingJob ported = job;
+    ported.arch = ArchType::AllReduceLocal;
+    ported.num_cnodes = 8;
+    EXPECT_NEAR(out.jobs[0].runtime(),
+                100.0 * model_.stepTime(ported), 1e-9);
+}
+
+TEST_F(SchedulerTest, HugeEmbeddingJobsAreNotPorted)
+{
+    SchedulerConfig cfg = smallCluster(16, 0.5);
+    cfg.port_ps_to_allreduce = true;
+    ClusterScheduler sched(cfg, model_);
+    auto job = makeJob(1, ArchType::PsWorker, 8);
+    job.features.embedding_weight_bytes = 100 * hw::kGB;
+    auto out = sched.run({request(job, 0.0, 10)});
+    EXPECT_FALSE(out.jobs[0].ported);
+    EXPECT_EQ(out.jobs[0].executed_arch, ArchType::PsWorker);
+}
+
+TEST_F(SchedulerTest, DeterministicOnSyntheticTrace)
+{
+    trace::SyntheticClusterGenerator gen(5);
+    std::vector<workload::TrainingJob> jobs;
+    for (auto &j : gen.generate(300)) {
+        // Keep jobs placeable on the small test cluster.
+        j.num_cnodes = std::min(j.num_cnodes, 32);
+        jobs.push_back(j);
+    }
+    auto reqs = poissonRequests(jobs, 600.0, 200.0, 1.0, 77);
+    SchedulerConfig cfg = smallCluster(32, 0.5);
+    ClusterScheduler sched(cfg, model_);
+    auto a = sched.run(reqs);
+    auto b = sched.run(reqs);
+    ASSERT_EQ(a.jobs.size(), 300u);
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.mean_wait, b.mean_wait);
+    EXPECT_GT(a.gpu_utilization, 0.0);
+    EXPECT_LE(a.gpu_utilization, 1.0);
+}
+
+TEST_F(SchedulerTest, PoissonRequestsRespectOrderAndLengths)
+{
+    trace::SyntheticClusterGenerator gen(5);
+    auto jobs = gen.generate(100);
+    auto reqs = poissonRequests(jobs, 100.0, 500.0, 0.8, 3);
+    ASSERT_EQ(reqs.size(), 100u);
+    for (size_t i = 1; i < reqs.size(); ++i)
+        EXPECT_GT(reqs[i].submit_time, reqs[i - 1].submit_time);
+    for (const auto &r : reqs)
+        EXPECT_GE(r.num_steps, 1);
+}
+
+TEST_F(SchedulerTest, EmptyRequestStream)
+{
+    ClusterScheduler sched(smallCluster(), model_);
+    auto out = sched.run({});
+    EXPECT_TRUE(out.jobs.empty());
+    EXPECT_DOUBLE_EQ(out.makespan, 0.0);
+    EXPECT_DOUBLE_EQ(out.gpu_utilization, 0.0);
+}
+
+} // namespace
+} // namespace paichar::clustersim

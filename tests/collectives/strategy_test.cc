@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the per-architecture weight-sync strategies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collectives/strategy.h"
+#include "hw/units.h"
+
+namespace paichar::collectives {
+namespace {
+
+using workload::ArchType;
+using workload::WorkloadFeatures;
+
+WorkloadFeatures
+features(double comm, double emb_comm = 0.0)
+{
+    WorkloadFeatures f;
+    f.batch_size = 32;
+    f.comm_bytes = comm;
+    f.embedding_comm_bytes = emb_comm;
+    return f;
+}
+
+/** Run a strategy end-to-end and return its completion time. */
+double
+runSync(ArchType arch, int cnodes, const WorkloadFeatures &f)
+{
+    sim::TopologyConfig tc;
+    tc.cluster = hw::v100Testbed();
+    bool spread = arch == ArchType::PsWorker;
+    int gps = tc.cluster.server.gpus_per_server;
+    tc.num_servers = spread ? cnodes : (cnodes + gps - 1) / gps;
+    sim::ClusterSim cluster(tc);
+    auto group = spread ? cluster.gpuGroupOnePerServer(cnodes)
+                        : cluster.gpuGroup(cnodes);
+
+    auto strategy = makeStrategy(arch);
+    EXPECT_NE(strategy, nullptr);
+    double end = -1.0;
+    strategy->sync(cluster, group, f,
+                   [&](sim::SimTime t) { end = t; });
+    cluster.eventQueue().run();
+    EXPECT_GE(end, 0.0);
+    return end;
+}
+
+TEST(StrategyTest, FactoryCoversAllArchitectures)
+{
+    for (ArchType a : workload::kAllArchTypes) {
+        auto s = makeStrategy(a);
+        ASSERT_NE(s, nullptr) << toString(a);
+        EXPECT_FALSE(s->name().empty());
+    }
+}
+
+TEST(StrategyTest, NoSyncCompletesInstantly)
+{
+    EXPECT_DOUBLE_EQ(
+        runSync(ArchType::OneWorkerOneGpu, 1, features(1e9)), 0.0);
+    auto t = makeStrategy(ArchType::OneWorkerOneGpu)
+                 ->traffic(features(1e9), 1);
+    EXPECT_DOUBLE_EQ(t.total(), 0.0);
+}
+
+TEST(StrategyTest, LocalPsUsesPcie)
+{
+    // 1 GB over 10 GB/s * 0.7 per dedicated host link.
+    double t = runSync(ArchType::OneWorkerMultiGpu, 4, features(1e9));
+    EXPECT_NEAR(t, 1e9 / (10e9 * 0.7), 1e-9);
+    auto tr = makeStrategy(ArchType::OneWorkerMultiGpu)
+                  ->traffic(features(1e9), 4);
+    EXPECT_DOUBLE_EQ(tr.pcie_bytes, 1e9);
+    EXPECT_DOUBLE_EQ(tr.ethernet_bytes, 0.0);
+}
+
+TEST(StrategyTest, PsWorkerSerialLegs)
+{
+    // Sw over NIC then PCIe: Sw/(3.125 GB/s * 0.7) + Sw/(10 GB/s * 0.7).
+    double sw = 1e9;
+    double t = runSync(ArchType::PsWorker, 4, features(sw));
+    double expected =
+        sw / (25e9 / 8.0 * 0.7) + sw / (10e9 * 0.7);
+    EXPECT_NEAR(t, expected, 1e-9);
+    auto tr = makeStrategy(ArchType::PsWorker)->traffic(features(sw), 4);
+    EXPECT_DOUBLE_EQ(tr.pcie_bytes, sw);
+    EXPECT_DOUBLE_EQ(tr.ethernet_bytes, sw);
+}
+
+TEST(StrategyTest, LocalAllReduceIsRing)
+{
+    double sw = 1e9;
+    double t = runSync(ArchType::AllReduceLocal, 8, features(sw));
+    double rate = 50e9 * 0.7;
+    EXPECT_NEAR(t, 5e-6 + RingCost::allReduce(8, sw, rate, 5e-6),
+                1e-9);
+    auto tr = makeStrategy(ArchType::AllReduceLocal)
+                  ->traffic(features(sw), 8);
+    EXPECT_NEAR(tr.nvlink_bytes, 2.0 * 7 / 8 * sw, 1.0);
+}
+
+TEST(StrategyTest, ClusterAllReduceAddsNicRing)
+{
+    double sw = 1e9;
+    double local = runSync(ArchType::AllReduceLocal, 8, features(sw));
+    double cluster = runSync(ArchType::AllReduceCluster, 16,
+                             features(sw));
+    EXPECT_GT(cluster, local);
+    // Two servers: local rings + a 2-server NIC ring.
+    double nic_rate = 25e9 / 8.0 * 0.7;
+    double nvl_rate = 50e9 * 0.7;
+    double expected = 5e-6 +
+                      RingCost::allReduce(8, sw, nvl_rate, 5e-6) +
+                      5e-6 +
+                      RingCost::allReduce(2, sw, nic_rate, 5e-6);
+    EXPECT_NEAR(cluster, expected, 1e-9);
+}
+
+TEST(StrategyTest, PearlSplitsDenseAndEmbedding)
+{
+    // 0.1 GB dense (ring) + 2.9 GB embedding (sparse exchange).
+    double dense = 0.1e9, emb = 2.9e9;
+    double t = runSync(ArchType::Pearl, 8,
+                       features(dense + emb, emb));
+    double rate = 50e9 * 0.7;
+    double expected =
+        5e-6 + RingCost::allReduce(8, dense, rate, 5e-6) + 5e-6 +
+        RingCost::sparseExchange(8, emb * 8, rate, 6, 5e-6);
+    EXPECT_NEAR(t, expected, 1e-9);
+
+    // PEARL beats a full AllReduce of the same volume handily.
+    double replicated =
+        runSync(ArchType::AllReduceLocal, 8, features(dense + emb));
+    EXPECT_LT(t, 0.5 * replicated);
+}
+
+TEST(StrategyTest, PearlWithAllDenseDegeneratesTowardAllReduce)
+{
+    double sw = 1e9;
+    double pearl = runSync(ArchType::Pearl, 8, features(sw, 0.0));
+    double arl = runSync(ArchType::AllReduceLocal, 8, features(sw));
+    EXPECT_NEAR(pearl, arl, 2e-5); // one extra phase latency
+}
+
+} // namespace
+} // namespace paichar::collectives

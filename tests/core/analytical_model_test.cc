@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the analytical model (Sec II-B, Eq 1-3, Table II medium
+ * mapping, overlap and efficiency assumptions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analytical_model.h"
+#include "hw/units.h"
+
+namespace paichar::core {
+namespace {
+
+using hw::kGB;
+using hw::kMB;
+using hw::kTFLOPs;
+using workload::ArchType;
+using workload::TrainingJob;
+
+TrainingJob
+makeJob(ArchType arch, int cnodes, double flops, double mem,
+        double input, double comm)
+{
+    TrainingJob job;
+    job.arch = arch;
+    job.num_cnodes = cnodes;
+    job.features.batch_size = 64;
+    job.features.flop_count = flops;
+    job.features.mem_access_bytes = mem;
+    job.features.input_bytes = input;
+    job.features.comm_bytes = comm;
+    job.features.dense_weight_bytes = comm;
+    return job;
+}
+
+TEST(AnalyticalModelTest, ResNet50PaperExample)
+{
+    // Sec IV-B: "ResNet50 involves 1.56T FLOPs, while the peak ... is
+    // 15 TFLOPs; thus the compute-bound computation time is predicted
+    // via 1.56 / (15 * 70%) = 0.149s".
+    AnalyticalModel model(hw::v100Testbed());
+    TrainingJob job = makeJob(ArchType::OneWorkerOneGpu, 1,
+                              1.56 * kTFLOPs, 0, 0, 0);
+    TimeBreakdown b = model.breakdown(job);
+    EXPECT_NEAR(b.t_comp_flops, 1.56 / (15.0 * 0.7), 1e-4);
+}
+
+TEST(AnalyticalModelTest, ComponentFormulas)
+{
+    // On the Table I cluster with 70% efficiency:
+    //   flops 7.7T / (11T * 0.7)   = 1.0 s
+    //   mem   0.7TB / (1TB * 0.7)  = 1.0 s
+    //   input 7GB / (10GB * 0.7)   = 1.0 s
+    AnalyticalModel model(hw::paiCluster());
+    TrainingJob job = makeJob(ArchType::OneWorkerOneGpu, 1,
+                              7.7 * kTFLOPs, 0.7e12, 7 * kGB, 0);
+    TimeBreakdown b = model.breakdown(job);
+    EXPECT_NEAR(b.t_comp_flops, 1.0, 1e-12);
+    EXPECT_NEAR(b.t_comp_mem, 1.0, 1e-12);
+    EXPECT_NEAR(b.t_data, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(b.t_weight, 0.0);
+    EXPECT_NEAR(b.total(), 3.0, 1e-12);
+}
+
+TEST(AnalyticalModelTest, Eq3TwentyOneTimesSpeedup)
+{
+    // Eq 3: a purely communication-bound PS/Worker job ported to
+    // AllReduce-Local speeds up (Sw/25Gb70% + Sw/10GB70%) /
+    // (Sw/50GB70%) = 21x.
+    AnalyticalModel model(hw::paiCluster());
+    TrainingJob ps =
+        makeJob(ArchType::PsWorker, 16, 0, 0, 0, 1.0 * kGB);
+    TrainingJob arl =
+        makeJob(ArchType::AllReduceLocal, 8, 0, 0, 0, 1.0 * kGB);
+    double ratio = model.breakdown(ps).t_weight /
+                   model.breakdown(arl).t_weight;
+    EXPECT_NEAR(ratio, 21.0, 1e-9);
+}
+
+TEST(AnalyticalModelTest, AllReduceClusterAtMost1Point2xOverPs)
+{
+    // Sec III-C1: PS -> AllReduce-Cluster comm speedup is bounded by
+    // ~1.2x because Ethernet dominates both configurations.
+    AnalyticalModel model(hw::paiCluster());
+    TrainingJob ps =
+        makeJob(ArchType::PsWorker, 16, 0, 0, 0, 1.0 * kGB);
+    TrainingJob arc =
+        makeJob(ArchType::AllReduceCluster, 16, 0, 0, 0, 1.0 * kGB);
+    double ratio = model.breakdown(ps).t_weight /
+                   model.breakdown(arc).t_weight;
+    EXPECT_NEAR(ratio, 1.235, 0.001);
+}
+
+TEST(AnalyticalModelTest, WeightMediumMappingPerTableII)
+{
+    AnalyticalModel model(hw::paiCluster());
+    auto legs = [&](ArchType a, int n) {
+        return model.breakdown(makeJob(a, n, 0, 0, 0, 1.0 * kGB));
+    };
+
+    TimeBreakdown b = legs(ArchType::OneWorkerOneGpu, 1);
+    EXPECT_DOUBLE_EQ(b.t_weight, 0.0);
+
+    b = legs(ArchType::OneWorkerMultiGpu, 4);
+    EXPECT_GT(b.t_weight_pcie, 0.0);
+    EXPECT_DOUBLE_EQ(b.t_weight_ethernet, 0.0);
+    EXPECT_DOUBLE_EQ(b.t_weight_nvlink, 0.0);
+
+    b = legs(ArchType::PsWorker, 16);
+    EXPECT_GT(b.t_weight_ethernet, 0.0);
+    EXPECT_GT(b.t_weight_pcie, 0.0);
+    EXPECT_DOUBLE_EQ(b.t_weight_nvlink, 0.0);
+
+    b = legs(ArchType::AllReduceLocal, 8);
+    EXPECT_GT(b.t_weight_nvlink, 0.0);
+    EXPECT_DOUBLE_EQ(b.t_weight_ethernet, 0.0);
+    EXPECT_DOUBLE_EQ(b.t_weight_pcie, 0.0);
+
+    b = legs(ArchType::AllReduceCluster, 16);
+    EXPECT_GT(b.t_weight_ethernet, 0.0);
+    EXPECT_GT(b.t_weight_nvlink, 0.0);
+    EXPECT_DOUBLE_EQ(b.t_weight_pcie, 0.0);
+
+    b = legs(ArchType::Pearl, 8);
+    EXPECT_GT(b.t_weight_nvlink, 0.0);
+    EXPECT_DOUBLE_EQ(b.t_weight_ethernet, 0.0);
+}
+
+TEST(AnalyticalModelTest, PcieSharingSlowsColocatedReplicas)
+{
+    AnalyticalModel model(hw::paiCluster());
+    TrainingJob one = makeJob(ArchType::OneWorkerOneGpu, 1, 0, 0,
+                              700 * kMB, 0);
+    TrainingJob eight = makeJob(ArchType::AllReduceLocal, 8, 0, 0,
+                                700 * kMB, 0);
+    EXPECT_NEAR(model.breakdown(eight).t_data /
+                    model.breakdown(one).t_data,
+                8.0, 1e-9);
+}
+
+TEST(AnalyticalModelTest, ColocatedReplicas)
+{
+    auto spec = hw::paiCluster();
+    auto n = [&](ArchType a, int c) {
+        TrainingJob j = makeJob(a, c, 1, 1, 1, 1);
+        return AnalyticalModel::colocatedReplicas(j, spec);
+    };
+    EXPECT_EQ(n(ArchType::OneWorkerOneGpu, 1), 1);
+    EXPECT_EQ(n(ArchType::OneWorkerMultiGpu, 4), 4);
+    EXPECT_EQ(n(ArchType::PsWorker, 64), 1);
+    EXPECT_EQ(n(ArchType::AllReduceLocal, 8), 8);
+    EXPECT_EQ(n(ArchType::AllReduceCluster, 64), 8);
+    EXPECT_EQ(n(ArchType::Pearl, 4), 4);
+}
+
+TEST(AnalyticalModelTest, OverlapModes)
+{
+    AnalyticalModel model(hw::paiCluster());
+    TrainingJob job = makeJob(ArchType::PsWorker, 8, 7.7 * kTFLOPs,
+                              0.35e12, 3.5 * kGB, 1.0 * kGB);
+    TimeBreakdown b = model.breakdown(job);
+    EXPECT_NEAR(b.total(OverlapMode::NonOverlap),
+                b.t_data + b.compute() + b.t_weight, 1e-12);
+    EXPECT_NEAR(b.total(OverlapMode::IdealOverlap),
+                std::max({b.t_data, b.compute(), b.t_weight}), 1e-12);
+    EXPECT_LE(b.total(OverlapMode::IdealOverlap),
+              b.total(OverlapMode::NonOverlap));
+}
+
+TEST(AnalyticalModelTest, ThroughputEq2)
+{
+    AnalyticalModel model(hw::paiCluster());
+    TrainingJob job = makeJob(ArchType::PsWorker, 10, 7.7 * kTFLOPs,
+                              0, 0, 0);
+    // step time = 1s; throughput = 10/1 * 64.
+    EXPECT_NEAR(model.throughput(job), 640.0, 1e-9);
+}
+
+TEST(AnalyticalModelTest, EfficiencyKnobsShiftWeightShare)
+{
+    // Fig 15: lowering communication efficiency raises the weight-
+    // traffic share; lowering computation efficiency lowers it.
+    TrainingJob job = makeJob(ArchType::PsWorker, 16, 3 * kTFLOPs,
+                              0.2e12, 100 * kMB, 500 * kMB);
+    AnalyticalModel base(hw::paiCluster());
+    AnalyticalModel low_comm(hw::paiCluster(),
+                             EfficiencyAssumption{0.7, 0.5});
+    AnalyticalModel low_comp(hw::paiCluster(),
+                             EfficiencyAssumption{0.25, 0.7});
+    double f0 =
+        base.breakdown(job).fraction(Component::WeightTraffic);
+    double f_comm =
+        low_comm.breakdown(job).fraction(Component::WeightTraffic);
+    double f_comp =
+        low_comp.breakdown(job).fraction(Component::WeightTraffic);
+    EXPECT_GT(f_comm, f0);
+    EXPECT_LT(f_comp, f0);
+}
+
+TEST(AnalyticalModelTest, RingAwareModeAddsTextbookFactor)
+{
+    AnalyticalModel model(hw::paiCluster());
+    AnalyticalModel ring(hw::paiCluster());
+    ring.setRingAware(true);
+    EXPECT_FALSE(model.ringAware());
+    EXPECT_TRUE(ring.ringAware());
+
+    TrainingJob arl =
+        makeJob(ArchType::AllReduceLocal, 8, 0, 0, 0, 1.0 * kGB);
+    EXPECT_NEAR(ring.breakdown(arl).t_weight /
+                    model.breakdown(arl).t_weight,
+                2.0 * 7.0 / 8.0, 1e-12);
+    // PS/Worker legs are unaffected.
+    TrainingJob ps = makeJob(ArchType::PsWorker, 16, 0, 0, 0,
+                             1.0 * kGB);
+    EXPECT_DOUBLE_EQ(ring.breakdown(ps).t_weight,
+                     model.breakdown(ps).t_weight);
+    // A single GPU has no ring.
+    TrainingJob solo =
+        makeJob(ArchType::AllReduceLocal, 1, 0, 0, 0, 1.0 * kGB);
+    EXPECT_DOUBLE_EQ(ring.breakdown(solo).t_weight,
+                     model.breakdown(solo).t_weight);
+}
+
+TEST(AnalyticalModelTest, ComponentAndHwNamesAreStable)
+{
+    EXPECT_EQ(toString(Component::DataIo), "Data I/O");
+    EXPECT_EQ(toString(Component::WeightTraffic), "Weights traffic");
+    EXPECT_EQ(toString(Component::ComputeFlops),
+              "Comp.(compute-bound)");
+    EXPECT_EQ(toString(Component::ComputeMemory),
+              "Comp.(memory-bound)");
+    EXPECT_EQ(toString(HwComponent::NvLink), "NVLink");
+    EXPECT_EQ(toString(HwComponent::GpuMemory), "GPU_memory");
+}
+
+/** Property: for every architecture, fractions are a partition. */
+class BreakdownProperty
+    : public ::testing::TestWithParam<workload::ArchType>
+{
+};
+
+TEST_P(BreakdownProperty, FractionsPartitionUnity)
+{
+    AnalyticalModel model(hw::paiCluster());
+    TrainingJob job = makeJob(GetParam(), 8, 2 * kTFLOPs, 0.1e12,
+                              200 * kMB, 300 * kMB);
+    TimeBreakdown b = model.breakdown(job);
+
+    double comp_sum = 0.0, hw_sum = 0.0;
+    for (Component c : kAllComponents) {
+        double f = b.fraction(c);
+        ASSERT_GE(f, 0.0);
+        ASSERT_LE(f, 1.0);
+        comp_sum += f;
+    }
+    for (HwComponent h : kAllHwComponents)
+        hw_sum += b.hwFraction(h);
+    EXPECT_NEAR(comp_sum, 1.0, 1e-12);
+    EXPECT_NEAR(hw_sum, 1.0, 1e-12);
+    // Weight legs decompose Tw exactly.
+    EXPECT_NEAR(b.t_weight_ethernet + b.t_weight_pcie +
+                    b.t_weight_nvlink,
+                b.t_weight, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchs, BreakdownProperty,
+    ::testing::ValuesIn(std::begin(workload::kAllArchTypes),
+                        std::end(workload::kAllArchTypes)),
+    [](const auto &info) {
+        std::string s = workload::toString(info.param);
+        std::string out;
+        for (char c : s)
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                out += c;
+        return out;
+    });
+
+} // namespace
+} // namespace paichar::core

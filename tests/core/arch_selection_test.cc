@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the architecture advisor (Sec VI-A1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/arch_selection.h"
+#include "hw/units.h"
+#include "workload/model_zoo.h"
+
+namespace paichar::core {
+namespace {
+
+using hw::kGB;
+using hw::kMB;
+using hw::kTFLOPs;
+using workload::ArchType;
+using workload::TrainingJob;
+
+constexpr double kGpuMem = 32 * kGB; // V100-32G parameter budget
+
+TrainingJob
+jobFromModel(const workload::CaseStudyModel &m)
+{
+    TrainingJob job;
+    job.arch = m.arch;
+    job.num_cnodes = m.num_cnodes;
+    job.features = m.features;
+    return job;
+}
+
+TEST(ArchSelectionTest, EvaluatesAllSixArchitectures)
+{
+    AnalyticalModel model(hw::v100Testbed());
+    ArchitectureAdvisor advisor(model, kGpuMem);
+    auto options =
+        advisor.evaluate(jobFromModel(workload::ModelZoo::resnet50()));
+    EXPECT_EQ(options.size(), 6u);
+    // Feasible options sort before infeasible ones, by throughput.
+    for (size_t i = 1; i < options.size(); ++i) {
+        if (options[i].feasible) {
+            EXPECT_TRUE(options[i - 1].feasible);
+        }
+        if (options[i].feasible && options[i - 1].feasible) {
+            EXPECT_GE(options[i - 1].throughput,
+                      options[i].throughput);
+        }
+    }
+}
+
+TEST(ArchSelectionTest, SmallDenseModelPrefersAllReduce)
+{
+    // ResNet50 (204 MB) fits everywhere; NVLink AllReduce should win
+    // over PS/Worker, as on the paper's testbed (Table IV).
+    AnalyticalModel model(hw::v100Testbed());
+    ArchitectureAdvisor advisor(model, kGpuMem);
+    auto best =
+        advisor.recommend(jobFromModel(workload::ModelZoo::resnet50()));
+    EXPECT_TRUE(best.arch == ArchType::AllReduceLocal ||
+                best.arch == ArchType::Pearl)
+        << workload::toString(best.arch);
+    EXPECT_TRUE(best.feasible);
+}
+
+TEST(ArchSelectionTest, HugeEmbeddingModelCannotReplicate)
+{
+    // Multi-Interests: 239 GB of embeddings. Replicated AllReduce is
+    // infeasible ("the weight size supported by AllReduce is limited
+    // by single GPU's memory", Sec III-A); PEARL shards it.
+    AnalyticalModel model(hw::v100Testbed());
+    ArchitectureAdvisor advisor(model, kGpuMem);
+    auto options = advisor.evaluate(
+        jobFromModel(workload::ModelZoo::multiInterests()));
+    for (const auto &opt : options) {
+        if (opt.arch == ArchType::AllReduceLocal ||
+            opt.arch == ArchType::AllReduceCluster) {
+            EXPECT_FALSE(opt.feasible) << workload::toString(opt.arch);
+            EXPECT_FALSE(opt.reason.empty());
+        }
+        if (opt.arch == ArchType::PsWorker) {
+            EXPECT_TRUE(opt.feasible);
+        }
+    }
+    // 239.45 GB / 8 GPUs ~= 30 GB per shard: PEARL just fits at 32 GB.
+    auto pearl = *std::find_if(options.begin(), options.end(),
+                               [](const ArchOption &o) {
+                                   return o.arch == ArchType::Pearl;
+                               });
+    EXPECT_TRUE(pearl.feasible);
+    EXPECT_NEAR(pearl.per_gpu_weight_bytes,
+                1.19 * kMB + 239.45 * kGB / 8, 1 * kMB);
+}
+
+TEST(ArchSelectionTest, GcnRecommendationIsPearl)
+{
+    // The paper trains GCN with PEARL (Table IV); the advisor should
+    // agree: 54 GB embeddings rule out replication, and Ethernet
+    // strangles PS/Worker.
+    AnalyticalModel model(hw::v100Testbed());
+    ArchitectureAdvisor advisor(model, kGpuMem);
+    auto best = advisor.recommend(jobFromModel(workload::ModelZoo::gcn()));
+    EXPECT_EQ(best.arch, ArchType::Pearl);
+}
+
+TEST(ArchSelectionTest, NoNvlinkRulesOutAllReduceFamily)
+{
+    hw::ClusterSpec spec = hw::v100Testbed();
+    spec.server.has_nvlink = false;
+    AnalyticalModel model(spec);
+    ArchitectureAdvisor advisor(model, kGpuMem);
+    auto options =
+        advisor.evaluate(jobFromModel(workload::ModelZoo::resnet50()));
+    for (const auto &opt : options) {
+        if (opt.arch == ArchType::AllReduceLocal ||
+            opt.arch == ArchType::AllReduceCluster ||
+            opt.arch == ArchType::Pearl) {
+            EXPECT_FALSE(opt.feasible);
+            EXPECT_NE(opt.reason.find("NVLink"), std::string::npos);
+        }
+    }
+    auto best =
+        advisor.recommend(jobFromModel(workload::ModelZoo::resnet50()));
+    EXPECT_TRUE(best.feasible);
+}
+
+TEST(ArchSelectionTest, RecommendationIsAlwaysFeasible)
+{
+    AnalyticalModel model(hw::v100Testbed());
+    ArchitectureAdvisor advisor(model, 2 * kGB); // tiny GPU
+    for (const auto &m : workload::ModelZoo::all()) {
+        auto best = advisor.recommend(jobFromModel(m));
+        EXPECT_TRUE(best.feasible) << m.name;
+    }
+}
+
+TEST(ArchSelectionTest, ClampingRulesApplied)
+{
+    AnalyticalModel model(hw::v100Testbed());
+    ArchitectureAdvisor advisor(model, kGpuMem);
+    TrainingJob job =
+        jobFromModel(workload::ModelZoo::multiInterests());
+    job.num_cnodes = 32;
+    auto options = advisor.evaluate(job);
+    for (const auto &opt : options) {
+        switch (opt.arch) {
+          case ArchType::OneWorkerOneGpu:
+            EXPECT_EQ(opt.num_cnodes, 1);
+            break;
+          case ArchType::OneWorkerMultiGpu:
+          case ArchType::AllReduceLocal:
+          case ArchType::Pearl:
+            EXPECT_EQ(opt.num_cnodes, 8);
+            break;
+          case ArchType::PsWorker:
+          case ArchType::AllReduceCluster:
+            EXPECT_EQ(opt.num_cnodes, 32);
+            break;
+        }
+    }
+}
+
+} // namespace
+} // namespace paichar::core

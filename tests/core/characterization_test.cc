@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the cluster-level characterizer (Figs 5-8) on a small
+ * hand-built population.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.h"
+#include "hw/units.h"
+
+namespace paichar::core {
+namespace {
+
+using hw::kGB;
+using hw::kMB;
+using hw::kTFLOPs;
+using workload::ArchType;
+using workload::TrainingJob;
+
+TrainingJob
+job(int64_t id, ArchType arch, int cnodes, double flops, double input,
+    double comm, double weights)
+{
+    TrainingJob j;
+    j.id = id;
+    j.arch = arch;
+    j.num_cnodes = cnodes;
+    j.features.batch_size = 32;
+    j.features.flop_count = flops;
+    j.features.mem_access_bytes = 0.0;
+    j.features.input_bytes = input;
+    j.features.comm_bytes = comm;
+    j.features.dense_weight_bytes = weights;
+    return j;
+}
+
+std::vector<TrainingJob>
+population()
+{
+    return {
+        job(0, ArchType::OneWorkerOneGpu, 1, 1 * kTFLOPs, 100 * kMB,
+            0, 50 * kMB),
+        job(1, ArchType::OneWorkerOneGpu, 1, 2 * kTFLOPs, 10 * kMB, 0,
+            10 * kMB),
+        job(2, ArchType::PsWorker, 16, 1 * kTFLOPs, 10 * kMB,
+            500 * kMB, 1 * kGB),
+        job(3, ArchType::PsWorker, 2, 4 * kTFLOPs, 10 * kMB, 50 * kMB,
+            100 * kMB),
+    };
+}
+
+TEST(CharacterizationTest, ConstitutionCountsAndShares)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ClusterCharacterizer ch(model, population());
+    Constitution c = ch.constitution();
+
+    EXPECT_EQ(c.total_jobs, 4);
+    EXPECT_EQ(c.total_cnodes, 20);
+    EXPECT_EQ(c.job_counts[ArchType::OneWorkerOneGpu], 2);
+    EXPECT_EQ(c.job_counts[ArchType::PsWorker], 2);
+    EXPECT_EQ(c.cnode_counts[ArchType::PsWorker], 18);
+    EXPECT_DOUBLE_EQ(c.jobShare(ArchType::PsWorker), 0.5);
+    EXPECT_DOUBLE_EQ(c.cnodeShare(ArchType::PsWorker), 0.9);
+    EXPECT_DOUBLE_EQ(c.jobShare(ArchType::AllReduceLocal), 0.0);
+}
+
+TEST(CharacterizationTest, CnodeCountCdf)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ClusterCharacterizer ch(model, population());
+    auto cdf = ch.cnodeCountCdf(ArchType::PsWorker);
+    EXPECT_EQ(cdf.size(), 2u);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(8.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(16.0), 1.0);
+}
+
+TEST(CharacterizationTest, WeightSizeCdfFilters)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ClusterCharacterizer ch(model, population());
+    EXPECT_EQ(ch.weightSizeCdf(std::nullopt).size(), 4u);
+    auto ps = ch.weightSizeCdf(ArchType::PsWorker);
+    EXPECT_EQ(ps.size(), 2u);
+    EXPECT_DOUBLE_EQ(ps.max(), 1 * kGB);
+}
+
+TEST(CharacterizationTest, AvgBreakdownWeighting)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ClusterCharacterizer ch(model, population());
+
+    // Job-level average is the uniform mean of per-job fractions;
+    // cNode-level weights job 2 (16 cNodes) 8x heavier than job 3.
+    auto jl = ch.avgBreakdown(ArchType::PsWorker, Level::Job);
+    auto cl = ch.avgBreakdown(ArchType::PsWorker, Level::CNode);
+
+    double f2 = ch.breakdownOf(2).fraction(Component::WeightTraffic);
+    double f3 = ch.breakdownOf(3).fraction(Component::WeightTraffic);
+    EXPECT_NEAR(jl[1], 0.5 * (f2 + f3), 1e-12);
+    EXPECT_NEAR(cl[1], (16.0 * f2 + 2.0 * f3) / 18.0, 1e-12);
+    // Job 2 is comm-heavier, so cNode weighting raises the share.
+    EXPECT_GT(cl[1], jl[1]);
+
+    // Averages over all four components sum to 1 at both levels.
+    EXPECT_NEAR(jl[0] + jl[1] + jl[2] + jl[3], 1.0, 1e-12);
+    EXPECT_NEAR(cl[0] + cl[1] + cl[2] + cl[3], 1.0, 1e-12);
+}
+
+TEST(CharacterizationTest, ComponentCdfLevelsAndFilters)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ClusterCharacterizer ch(model, population());
+
+    auto all_job =
+        ch.componentCdf(Component::WeightTraffic, std::nullopt,
+                        Level::Job);
+    EXPECT_EQ(all_job.size(), 4u);
+    EXPECT_DOUBLE_EQ(all_job.totalWeight(), 4.0);
+
+    auto all_cnode =
+        ch.componentCdf(Component::WeightTraffic, std::nullopt,
+                        Level::CNode);
+    EXPECT_DOUBLE_EQ(all_cnode.totalWeight(), 20.0);
+
+    auto ps_only = ch.componentCdf(Component::DataIo,
+                                   ArchType::PsWorker, Level::Job);
+    EXPECT_EQ(ps_only.size(), 2u);
+}
+
+TEST(CharacterizationTest, HwComponentCdfCoversPopulation)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ClusterCharacterizer ch(model, population());
+    for (HwComponent h : kAllHwComponents) {
+        auto cdf = ch.hwComponentCdf(h, Level::CNode);
+        EXPECT_EQ(cdf.size(), 4u) << toString(h);
+        EXPECT_GE(cdf.min(), 0.0);
+        EXPECT_LE(cdf.max(), 1.0);
+    }
+    // 1w1g jobs have zero Ethernet share; PS jobs positive.
+    auto eth = ch.hwComponentCdf(HwComponent::Ethernet, Level::Job);
+    EXPECT_DOUBLE_EQ(eth.probAtOrBelow(0.0), 0.5);
+}
+
+TEST(CharacterizationTest, EmptyPopulation)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ClusterCharacterizer ch(model, {});
+    Constitution c = ch.constitution();
+    EXPECT_EQ(c.total_jobs, 0);
+    EXPECT_DOUBLE_EQ(c.jobShare(ArchType::PsWorker), 0.0);
+    auto avg = ch.avgBreakdown(std::nullopt, Level::Job);
+    EXPECT_DOUBLE_EQ(avg[0] + avg[1] + avg[2] + avg[3], 0.0);
+}
+
+} // namespace
+} // namespace paichar::core

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Property tests for the analytical model: the scaling laws implied
+ * by Eq 1-2 must hold for every architecture and for arbitrary
+ * demand vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/analytical_model.h"
+#include "core/projection.h"
+#include "core/sweep.h"
+#include "hw/units.h"
+#include "stats/rng.h"
+
+namespace paichar::core {
+namespace {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+TrainingJob
+randomJob(stats::Rng &rng, ArchType arch)
+{
+    TrainingJob job;
+    job.arch = arch;
+    job.num_cnodes =
+        arch == ArchType::OneWorkerOneGpu
+            ? 1
+            : static_cast<int>(rng.uniformInt(2, 64));
+    if (arch == ArchType::OneWorkerMultiGpu ||
+        arch == ArchType::AllReduceLocal || arch == ArchType::Pearl) {
+        job.num_cnodes = std::min(job.num_cnodes, 8);
+    }
+    job.features.batch_size = rng.uniform(16, 2048);
+    job.features.flop_count = rng.uniform(1e10, 1e13);
+    job.features.mem_access_bytes = rng.uniform(1e8, 1e12);
+    job.features.input_bytes = rng.uniform(1e4, 1e9);
+    job.features.comm_bytes =
+        arch == ArchType::OneWorkerOneGpu ? 0.0
+                                          : rng.uniform(1e6, 3e9);
+    job.features.embedding_comm_bytes =
+        job.features.comm_bytes * rng.uniform(0.0, 1.0);
+    job.features.dense_weight_bytes = rng.uniform(1e6, 1e9);
+    return job;
+}
+
+class ModelScalingProperty
+    : public ::testing::TestWithParam<workload::ArchType>
+{
+  protected:
+    AnalyticalModel model_{hw::paiCluster()};
+};
+
+TEST_P(ModelScalingProperty, ComponentsLinearInTheirDemand)
+{
+    stats::Rng rng(101);
+    for (int trial = 0; trial < 50; ++trial) {
+        TrainingJob job = randomJob(rng, GetParam());
+        TimeBreakdown b = model_.breakdown(job);
+
+        TrainingJob j2 = job;
+        j2.features.comm_bytes *= 2.0;
+        j2.features.embedding_comm_bytes *= 2.0;
+        EXPECT_NEAR(model_.breakdown(j2).t_weight, 2.0 * b.t_weight,
+                    1e-9 * (b.t_weight + 1e-30));
+
+        j2 = job;
+        j2.features.flop_count *= 3.0;
+        EXPECT_NEAR(model_.breakdown(j2).t_comp_flops,
+                    3.0 * b.t_comp_flops, 1e-9 * b.t_comp_flops);
+
+        j2 = job;
+        j2.features.input_bytes *= 5.0;
+        EXPECT_NEAR(model_.breakdown(j2).t_data, 5.0 * b.t_data,
+                    1e-9 * b.t_data);
+    }
+}
+
+TEST_P(ModelScalingProperty, UniformDemandScalingScalesTotal)
+{
+    stats::Rng rng(103);
+    for (int trial = 0; trial < 50; ++trial) {
+        TrainingJob job = randomJob(rng, GetParam());
+        double k = rng.uniform(0.1, 10.0);
+        TrainingJob scaled = job;
+        scaled.features.flop_count *= k;
+        scaled.features.mem_access_bytes *= k;
+        scaled.features.input_bytes *= k;
+        scaled.features.comm_bytes *= k;
+        scaled.features.embedding_comm_bytes *= k;
+        for (OverlapMode mode :
+             {OverlapMode::NonOverlap, OverlapMode::IdealOverlap}) {
+            EXPECT_NEAR(model_.stepTime(scaled, mode),
+                        k * model_.stepTime(job, mode),
+                        1e-9 * k * model_.stepTime(job, mode));
+        }
+    }
+}
+
+TEST_P(ModelScalingProperty, EfficiencyScalesTimesInversely)
+{
+    stats::Rng rng(107);
+    AnalyticalModel full(hw::paiCluster(),
+                         EfficiencyAssumption{1.0, 1.0});
+    AnalyticalModel half(hw::paiCluster(),
+                         EfficiencyAssumption{0.5, 0.5});
+    for (int trial = 0; trial < 50; ++trial) {
+        TrainingJob job = randomJob(rng, GetParam());
+        EXPECT_NEAR(half.stepTime(job), 2.0 * full.stepTime(job),
+                    1e-9 * full.stepTime(job));
+    }
+}
+
+TEST_P(ModelScalingProperty, ThroughputLinearInBatch)
+{
+    stats::Rng rng(109);
+    for (int trial = 0; trial < 20; ++trial) {
+        TrainingJob job = randomJob(rng, GetParam());
+        TrainingJob big = job;
+        big.features.batch_size *= 4.0;
+        // Step time ignores batch (demands already reflect it);
+        // Eq 2's throughput is linear in it.
+        EXPECT_DOUBLE_EQ(model_.stepTime(big), model_.stepTime(job));
+        EXPECT_NEAR(model_.throughput(big),
+                    4.0 * model_.throughput(job),
+                    1e-9 * model_.throughput(job));
+    }
+}
+
+TEST_P(ModelScalingProperty, ProjectionInvariantToDemandScale)
+{
+    if (GetParam() != ArchType::PsWorker)
+        GTEST_SKIP() << "projection applies to PS/Worker jobs";
+    stats::Rng rng(113);
+    ArchitectureProjector proj(model_);
+    for (int trial = 0; trial < 50; ++trial) {
+        TrainingJob job = randomJob(rng, ArchType::PsWorker);
+        TrainingJob scaled = job;
+        double k = rng.uniform(0.2, 5.0);
+        scaled.features.flop_count *= k;
+        scaled.features.mem_access_bytes *= k;
+        scaled.features.input_bytes *= k;
+        scaled.features.comm_bytes *= k;
+        scaled.features.embedding_comm_bytes *= k;
+        auto r1 = proj.project(job, ArchType::AllReduceLocal);
+        auto r2 = proj.project(scaled, ArchType::AllReduceLocal);
+        EXPECT_NEAR(r1.single_node_speedup, r2.single_node_speedup,
+                    1e-9 * r1.single_node_speedup);
+        EXPECT_NEAR(r1.throughput_speedup, r2.throughput_speedup,
+                    1e-9 * r1.throughput_speedup);
+    }
+}
+
+TEST_P(ModelScalingProperty, MoreBandwidthNeverSlows)
+{
+    stats::Rng rng(127);
+    HardwareSweep sweep(hw::paiCluster());
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<TrainingJob> jobs{randomJob(rng, GetParam())};
+        for (auto [r, v] :
+             {std::pair{hw::Resource::Ethernet, 100.0},
+              std::pair{hw::Resource::Pcie, 50.0},
+              std::pair{hw::Resource::GpuFlops, 64.0},
+              std::pair{hw::Resource::GpuMemory, 4.0}}) {
+            EXPECT_GE(sweep.avgSpeedup(jobs, r, v), 1.0 - 1e-12);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArchs, ModelScalingProperty,
+    ::testing::ValuesIn(std::begin(workload::kAllArchTypes),
+                        std::end(workload::kAllArchTypes)),
+    [](const auto &info) {
+        std::string s = workload::toString(info.param);
+        std::string out;
+        for (char c : s) {
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                out += c;
+        }
+        return out;
+    });
+
+} // namespace
+} // namespace paichar::core

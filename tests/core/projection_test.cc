@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for architecture projection (Sec III-C1, Figs 9/16).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/projection.h"
+#include "hw/units.h"
+
+namespace paichar::core {
+namespace {
+
+using hw::kGB;
+using hw::kMB;
+using hw::kTFLOPs;
+using workload::ArchType;
+using workload::TrainingJob;
+
+TrainingJob
+psJob(int cnodes, double flops, double mem, double input, double comm)
+{
+    TrainingJob job;
+    job.arch = ArchType::PsWorker;
+    job.num_cnodes = cnodes;
+    job.num_ps = std::max(1, cnodes / 4);
+    job.features.batch_size = 128;
+    job.features.flop_count = flops;
+    job.features.mem_access_bytes = mem;
+    job.features.input_bytes = input;
+    job.features.comm_bytes = comm;
+    job.features.dense_weight_bytes = comm;
+    return job;
+}
+
+TEST(ProjectionTest, RemapClampsToEightForLocal)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ArchitectureProjector proj(model);
+    TrainingJob big = psJob(64, 1, 1, 1, 1);
+    TrainingJob small = psJob(4, 1, 1, 1, 1);
+
+    EXPECT_EQ(proj.remap(big, ArchType::AllReduceLocal).num_cnodes, 8);
+    EXPECT_EQ(proj.remap(small, ArchType::AllReduceLocal).num_cnodes,
+              4);
+    EXPECT_EQ(proj.remap(big, ArchType::AllReduceCluster).num_cnodes,
+              64);
+    EXPECT_EQ(proj.remap(big, ArchType::AllReduceLocal).num_ps, 0);
+    EXPECT_EQ(proj.remap(big, ArchType::AllReduceLocal).arch,
+              ArchType::AllReduceLocal);
+}
+
+TEST(ProjectionTest, CommBoundJobGains21xSingleNode)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ArchitectureProjector proj(model);
+    TrainingJob job = psJob(16, 0, 0, 0, 2 * kGB);
+    auto r = proj.project(job, ArchType::AllReduceLocal);
+    EXPECT_NEAR(r.single_node_speedup, 21.0, 1e-9);
+    // Throughput loses the cNode clamp factor 16 -> 8.
+    EXPECT_NEAR(r.throughput_speedup, 21.0 * 8.0 / 16.0, 1e-9);
+}
+
+TEST(ProjectionTest, DataBoundJobSlowsDown)
+{
+    // A job dominated by input I/O loses from PCIe sharing when its
+    // replicas are packed onto one server (Sec III-C1).
+    AnalyticalModel model(hw::paiCluster());
+    ArchitectureProjector proj(model);
+    TrainingJob job = psJob(8, 0.1 * kTFLOPs, 0, 2 * kGB, 10 * kMB);
+    auto r = proj.project(job, ArchType::AllReduceLocal);
+    EXPECT_LT(r.single_node_speedup, 1.0);
+}
+
+TEST(ProjectionTest, SpeedupsConsistentWithStepTimes)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ArchitectureProjector proj(model);
+    TrainingJob job = psJob(32, 1 * kTFLOPs, 0.1e12, 100 * kMB,
+                            800 * kMB);
+    auto r = proj.project(job, ArchType::AllReduceCluster);
+    EXPECT_NEAR(r.old_step_time, model.stepTime(job), 1e-15);
+    EXPECT_NEAR(r.new_step_time, model.stepTime(r.projected), 1e-15);
+    EXPECT_NEAR(r.single_node_speedup,
+                r.old_step_time / r.new_step_time, 1e-12);
+    // Same cNode count for cluster projection: throughput speedup
+    // equals the single-node speedup.
+    EXPECT_NEAR(r.throughput_speedup, r.single_node_speedup, 1e-12);
+}
+
+TEST(ProjectionTest, SmallJobKeepsThroughputGain)
+{
+    AnalyticalModel model(hw::paiCluster());
+    ArchitectureProjector proj(model);
+    TrainingJob job = psJob(4, 0.5 * kTFLOPs, 0.05e12, 10 * kMB,
+                            1 * kGB);
+    auto r = proj.project(job, ArchType::AllReduceLocal);
+    EXPECT_EQ(r.projected.num_cnodes, 4);
+    EXPECT_GT(r.single_node_speedup, 1.0);
+    EXPECT_NEAR(r.throughput_speedup, r.single_node_speedup, 1e-12);
+}
+
+TEST(ProjectionTest, OverlapModeChangesSpeedupButKeepsCommBound21x)
+{
+    // Sec V-B / Fig 16: under ideal overlap, purely comm-bound jobs
+    // still see the Eq 3 ratio.
+    AnalyticalModel model(hw::paiCluster());
+    ArchitectureProjector proj(model);
+    TrainingJob job = psJob(16, 0, 0, 0, 2 * kGB);
+    auto r = proj.project(job, ArchType::AllReduceLocal,
+                          OverlapMode::IdealOverlap);
+    EXPECT_NEAR(r.single_node_speedup, 21.0, 1e-9);
+
+    // A mixed job: overlap hides part of the original comm cost, so
+    // the overlap-mode speedup differs from the non-overlap one.
+    TrainingJob mixed = psJob(16, 2 * kTFLOPs, 0.1e12, 50 * kMB,
+                              500 * kMB);
+    auto r_no = proj.project(mixed, ArchType::AllReduceLocal,
+                             OverlapMode::NonOverlap);
+    auto r_io = proj.project(mixed, ArchType::AllReduceLocal,
+                             OverlapMode::IdealOverlap);
+    EXPECT_NE(r_no.single_node_speedup, r_io.single_node_speedup);
+}
+
+} // namespace
+} // namespace paichar::core

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the hardware-evolution sweep (Table III / Fig 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sweep.h"
+#include "hw/units.h"
+
+namespace paichar::core {
+namespace {
+
+using hw::kGB;
+using hw::kMB;
+using hw::kTFLOPs;
+using workload::ArchType;
+using workload::TrainingJob;
+
+TrainingJob
+makeJob(ArchType arch, int cnodes, double flops, double mem,
+        double input, double comm)
+{
+    TrainingJob job;
+    job.arch = arch;
+    job.num_cnodes = cnodes;
+    job.features.batch_size = 64;
+    job.features.flop_count = flops;
+    job.features.mem_access_bytes = mem;
+    job.features.input_bytes = input;
+    job.features.comm_bytes = comm;
+    job.features.dense_weight_bytes = comm;
+    return job;
+}
+
+TEST(SweepTest, ComputeBoundJobTracksFlopsExactly)
+{
+    // A pure compute job speeds up exactly by the FLOPs ratio.
+    HardwareSweep sweep(hw::paiCluster());
+    std::vector<TrainingJob> jobs{
+        makeJob(ArchType::OneWorkerOneGpu, 1, 5 * kTFLOPs, 0, 0, 0)};
+    EXPECT_NEAR(sweep.avgSpeedup(jobs, hw::Resource::GpuFlops, 22.0),
+                2.0, 1e-12);
+    EXPECT_NEAR(sweep.avgSpeedup(jobs, hw::Resource::GpuFlops, 5.5),
+                0.5, 1e-12);
+}
+
+TEST(SweepTest, IrrelevantResourceIsNeutral)
+{
+    HardwareSweep sweep(hw::paiCluster());
+    std::vector<TrainingJob> jobs{
+        makeJob(ArchType::OneWorkerOneGpu, 1, 5 * kTFLOPs, 0, 0, 0)};
+    EXPECT_NEAR(sweep.avgSpeedup(jobs, hw::Resource::Ethernet, 100.0),
+                1.0, 1e-12);
+    EXPECT_NEAR(sweep.avgSpeedup(jobs, hw::Resource::GpuMemory, 4.0),
+                1.0, 1e-12);
+}
+
+TEST(SweepTest, PsJobEthernetUpgradeMatchesClosedForm)
+{
+    // Pure comm PS job: T = Sw/eth + Sw/pcie. Quadrupling Ethernet:
+    // speedup = (1/2.1875 + 1/7) / (1/8.75 + 1/7).
+    HardwareSweep sweep(hw::paiCluster());
+    std::vector<TrainingJob> jobs{
+        makeJob(ArchType::PsWorker, 16, 0, 0, 0, 1 * kGB)};
+    double expected = (1.0 / 2.1875e9 + 1.0 / 7e9) /
+                      (1.0 / 8.75e9 + 1.0 / 7e9);
+    EXPECT_NEAR(
+        sweep.avgSpeedup(jobs, hw::Resource::Ethernet, 100.0),
+        expected, 1e-9);
+}
+
+TEST(SweepTest, RunProducesTableIiiGrid)
+{
+    HardwareSweep sweep(hw::paiCluster());
+    std::vector<TrainingJob> jobs{
+        makeJob(ArchType::PsWorker, 16, 1 * kTFLOPs, 0.1e12,
+                100 * kMB, 500 * kMB),
+        makeJob(ArchType::PsWorker, 4, 2 * kTFLOPs, 0.2e12, 50 * kMB,
+                100 * kMB),
+    };
+    auto series = sweep.run(jobs);
+    ASSERT_EQ(series.size(), 4u);
+    EXPECT_EQ(series[0].resource, hw::Resource::Ethernet);
+    EXPECT_EQ(series[0].points.size(), 3u);
+    EXPECT_EQ(series[1].resource, hw::Resource::Pcie);
+    EXPECT_EQ(series[1].points.size(), 2u);
+    EXPECT_EQ(series[2].points.size(), 4u);
+    EXPECT_EQ(series[3].points.size(), 3u);
+
+    // Normalized x values match Table III over Table I.
+    EXPECT_DOUBLE_EQ(series[0].points[1].normalized, 1.0); // 25 Gbps
+    EXPECT_DOUBLE_EQ(series[0].points[2].normalized, 4.0);
+    EXPECT_DOUBLE_EQ(series[3].points[2].normalized, 4.0); // 4 TB/s
+
+    // More bandwidth never hurts within a series (monotone for these
+    // jobs), and the base point is exactly 1.0 where it appears.
+    for (const auto &s : series) {
+        for (size_t i = 1; i < s.points.size(); ++i)
+            EXPECT_GE(s.points[i].avg_speedup + 1e-12,
+                      s.points[i - 1].avg_speedup);
+        for (const auto &p : s.points) {
+            if (p.normalized == 1.0) {
+                EXPECT_NEAR(p.avg_speedup, 1.0, 1e-12);
+            }
+        }
+    }
+}
+
+TEST(SweepTest, PsPopulationMostSensitiveToEthernet)
+{
+    // Fig 11(c): for comm-heavy PS jobs, Ethernet dominates the
+    // sensitivity ranking at the top variation of each resource.
+    HardwareSweep sweep(hw::paiCluster());
+    std::vector<TrainingJob> jobs{
+        makeJob(ArchType::PsWorker, 32, 1 * kTFLOPs, 0.05e12,
+                50 * kMB, 2 * kGB),
+        makeJob(ArchType::PsWorker, 16, 0.5 * kTFLOPs, 0.1e12,
+                20 * kMB, 1 * kGB),
+    };
+    double eth = sweep.avgSpeedup(jobs, hw::Resource::Ethernet, 100.0);
+    double pcie = sweep.avgSpeedup(jobs, hw::Resource::Pcie, 50.0);
+    double fl = sweep.avgSpeedup(jobs, hw::Resource::GpuFlops, 64.0);
+    double mem = sweep.avgSpeedup(jobs, hw::Resource::GpuMemory, 4.0);
+    EXPECT_GT(eth, pcie);
+    EXPECT_GT(eth, fl);
+    EXPECT_GT(eth, mem);
+}
+
+} // namespace
+} // namespace paichar::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for hardware presets (Table I), the Table III variation grid,
+ * and resource substitution/normalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/hardware_config.h"
+#include "hw/units.h"
+
+namespace paichar::hw {
+namespace {
+
+TEST(UnitsTest, Conversions)
+{
+    EXPECT_DOUBLE_EQ(gbPerSec(10.0), 10e9);
+    EXPECT_DOUBLE_EQ(gbitPerSec(25.0), 25e9 / 8.0);
+    EXPECT_DOUBLE_EQ(kGB, 1e9);
+    EXPECT_DOUBLE_EQ(kTFLOPs, 1e12);
+}
+
+TEST(PresetTest, PaiClusterMatchesTableI)
+{
+    ClusterSpec c = paiCluster();
+    EXPECT_DOUBLE_EQ(c.server.gpu.peak_flops, 11e12);
+    EXPECT_DOUBLE_EQ(c.server.gpu.mem_bandwidth, 1e12);
+    EXPECT_DOUBLE_EQ(c.ethernet_bandwidth, 25e9 / 8.0);
+    EXPECT_DOUBLE_EQ(c.server.pcie_bandwidth, 10e9);
+    EXPECT_DOUBLE_EQ(c.server.nvlink_bandwidth, 50e9);
+    EXPECT_DOUBLE_EQ(c.efficiency, 0.7);
+    EXPECT_TRUE(c.server.has_nvlink);
+    EXPECT_EQ(c.server.gpus_per_server, 8);
+}
+
+TEST(PresetTest, V100TestbedMatchesSecIV)
+{
+    ClusterSpec c = v100Testbed();
+    EXPECT_DOUBLE_EQ(c.server.gpu.peak_flops, 15e12);
+    EXPECT_DOUBLE_EQ(c.server.gpu.mem_bandwidth, 900e9);
+    EXPECT_EQ(c.num_servers, 64);
+    EXPECT_DOUBLE_EQ(c.server.gpu.tensorcore_ratio, 8.0);
+}
+
+TEST(VariationsTest, TableIiiCandidates)
+{
+    HardwareVariations v = tableIiiVariations();
+    EXPECT_EQ(v.ethernet_gbps, (std::vector<double>{10, 25, 100}));
+    EXPECT_EQ(v.pcie_gbs, (std::vector<double>{10, 50}));
+    EXPECT_EQ(v.gpu_peak_tflops, (std::vector<double>{8, 16, 32, 64}));
+    EXPECT_EQ(v.gpu_mem_tbs, (std::vector<double>{1, 2, 4}));
+}
+
+TEST(ResourceTest, WithResourceReplacesOnlyTarget)
+{
+    ClusterSpec base = paiCluster();
+
+    ClusterSpec eth = withResource(base, Resource::Ethernet, 100.0);
+    EXPECT_DOUBLE_EQ(eth.ethernet_bandwidth, 100e9 / 8.0);
+    EXPECT_DOUBLE_EQ(eth.server.pcie_bandwidth,
+                     base.server.pcie_bandwidth);
+
+    ClusterSpec pcie = withResource(base, Resource::Pcie, 50.0);
+    EXPECT_DOUBLE_EQ(pcie.server.pcie_bandwidth, 50e9);
+    EXPECT_DOUBLE_EQ(pcie.ethernet_bandwidth, base.ethernet_bandwidth);
+
+    ClusterSpec fl = withResource(base, Resource::GpuFlops, 64.0);
+    EXPECT_DOUBLE_EQ(fl.server.gpu.peak_flops, 64e12);
+
+    ClusterSpec mem = withResource(base, Resource::GpuMemory, 4.0);
+    EXPECT_DOUBLE_EQ(mem.server.gpu.mem_bandwidth, 4e12);
+}
+
+TEST(ResourceTest, NormalizationAgainstBase)
+{
+    ClusterSpec base = paiCluster();
+    EXPECT_DOUBLE_EQ(
+        normalizedResource(base, Resource::Ethernet, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(normalizedResource(base, Resource::Pcie, 50.0),
+                     5.0);
+    EXPECT_NEAR(normalizedResource(base, Resource::GpuFlops, 64.0),
+                64.0 / 11.0, 1e-12);
+    EXPECT_DOUBLE_EQ(
+        normalizedResource(base, Resource::GpuMemory, 2.0), 2.0);
+}
+
+TEST(ResourceTest, Names)
+{
+    EXPECT_EQ(toString(Resource::Ethernet), "Ethernet");
+    EXPECT_EQ(toString(Resource::Pcie), "PCIe");
+    EXPECT_EQ(toString(Resource::GpuFlops), "GPU_FLOPs");
+    EXPECT_EQ(toString(Resource::GpuMemory), "GPU_memory");
+}
+
+} // namespace
+} // namespace paichar::hw

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the inference-serving subsystem (the paper's Sec VIII
+ * future work): workload derivation, queueing behavior, batching
+ * economics and SLO search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "inference/serving_sim.h"
+#include "workload/model_zoo.h"
+
+namespace paichar::inference {
+namespace {
+
+InferenceWorkload
+resnetServing()
+{
+    return InferenceWorkload::fromTraining(
+        workload::ModelZoo::resnet50());
+}
+
+TEST(InferenceWorkloadTest, DerivationFromTraining)
+{
+    auto m = workload::ModelZoo::resnet50();
+    auto w = resnetServing();
+    EXPECT_EQ(w.name, "ResNet50");
+    // Forward-only: a third of the step, per item.
+    EXPECT_NEAR(w.flops_per_item,
+                m.features.flop_count / 3.0 / 64.0,
+                1e-6 * w.flops_per_item);
+    EXPECT_NEAR(w.weight_bytes, 0.5 * m.features.dense_weight_bytes,
+                1.0);
+    EXPECT_GT(w.input_bytes_per_item, 0.0);
+}
+
+TEST(InferenceWorkloadTest, ServiceTimeShape)
+{
+    auto w = resnetServing();
+    auto gpu = hw::v100Testbed().server.gpu;
+    double s1 = w.serviceTime(1, gpu, 30e-6);
+    double s8 = w.serviceTime(8, gpu, 30e-6);
+    // Batching amortizes the weight stream + launch: 8 items cost
+    // much less than 8 separate launches but more than one.
+    EXPECT_GT(s8, s1);
+    EXPECT_LT(s8, 8.0 * s1);
+    // The batch-independent component equals launch + weight stream.
+    double fixed = 30e-6 + w.weight_bytes /
+                               (gpu.mem_bandwidth *
+                                w.efficiency.gpu_memory);
+    EXPECT_NEAR(s8 - s1, 7.0 * (s1 - fixed), 1e-12);
+}
+
+TEST(ServingSimTest, DeterministicForEqualSeeds)
+{
+    ServingSimulator sim;
+    auto w = resnetServing();
+    auto a = sim.run(w, 500.0, 5000, 7);
+    auto b = sim.run(w, 500.0, 5000, 7);
+    EXPECT_DOUBLE_EQ(a.p99_latency, b.p99_latency);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(ServingSimTest, IdleLoadLatencyIsServiceTime)
+{
+    // At negligible load every request is served alone, immediately.
+    ServingSimulator sim;
+    auto w = resnetServing();
+    auto r = sim.run(w, 1.0, 500, 11);
+    double solo =
+        w.inputTime(1, sim.config().server.pcie_bandwidth) +
+        w.serviceTime(1, sim.config().server.gpu,
+                      sim.config().launch_overhead);
+    EXPECT_NEAR(r.p50_latency, solo, 1e-9);
+    EXPECT_NEAR(r.mean_latency, solo, 0.01 * solo);
+    EXPECT_NEAR(r.avg_batch, 1.0, 0.01);
+    EXPECT_FALSE(r.saturated);
+}
+
+TEST(ServingSimTest, UtilizationTracksOfferedLoad)
+{
+    ServingSimulator sim;
+    auto w = resnetServing();
+    double solo = w.serviceTime(1, sim.config().server.gpu,
+                                sim.config().launch_overhead) +
+                  w.inputTime(1, sim.config().server.pcie_bandwidth);
+    double qps = 0.3 / solo; // ~30% utilization without batching
+    auto r = sim.run(w, qps, 20000, 13);
+    EXPECT_NEAR(r.gpu_utilization, 0.3, 0.05);
+    EXPECT_FALSE(r.saturated);
+}
+
+TEST(ServingSimTest, LatencyGrowsWithLoad)
+{
+    ServingSimulator sim;
+    auto w = resnetServing();
+    double prev = 0.0;
+    for (double qps : {200.0, 800.0, 2000.0}) {
+        auto r = sim.run(w, qps, 20000, 17);
+        EXPECT_GT(r.p99_latency, prev) << qps;
+        prev = r.p99_latency;
+    }
+}
+
+TEST(ServingSimTest, OverloadIsDetectedAndBatchingRaisesCapacity)
+{
+    // A weight-heavy model: the per-launch weight stream dominates,
+    // so batching multiplies capacity (the canonical batching win).
+    InferenceWorkload w;
+    w.name = "weight-heavy";
+    w.weight_bytes = 2e9;
+    w.flops_per_item = 1e9;
+    w.act_bytes_per_item = 1e6;
+    w.input_bytes_per_item = 1e4;
+
+    ServingConfig no_batch;
+    no_batch.max_batch = 1;
+    ServingConfig batch8;
+    batch8.max_batch = 8;
+
+    // A load past the unbatched capacity but well within the batched
+    // one (per-launch cost ~fixed, so batch-8 capacity is ~7x).
+    double solo = w.serviceTime(1, no_batch.server.gpu,
+                                no_batch.launch_overhead) +
+                  w.inputTime(1, no_batch.server.pcie_bandwidth);
+    double qps = 2.0 / solo;
+    auto r1 = ServingSimulator(no_batch).run(w, qps, 20000, 19);
+    auto r8 = ServingSimulator(batch8).run(w, qps, 20000, 19);
+    EXPECT_TRUE(r1.saturated);
+    EXPECT_FALSE(r8.saturated);
+    EXPECT_GT(r8.avg_batch, 1.2);
+    EXPECT_LT(r8.p99_latency, r1.p99_latency);
+}
+
+TEST(ServingSimTest, BatchingBuysLittleForPerItemBoundModels)
+{
+    // ResNet50 inference is per-item bound at batch 64-equivalent
+    // demands: batch-8 capacity exceeds unbatched by <25%.
+    auto w = resnetServing();
+    auto gpu = hw::v100Testbed().server.gpu;
+    double cap1 = 1.0 / (w.serviceTime(1, gpu, 30e-6) +
+                         w.inputTime(1, 10e9));
+    double cap8 = 8.0 / (w.serviceTime(8, gpu, 30e-6) +
+                         w.inputTime(8, 10e9));
+    EXPECT_GT(cap8, cap1);
+    EXPECT_LT(cap8, 1.25 * cap1);
+}
+
+TEST(ServingSimTest, ThroughputCapsAtServiceCapacity)
+{
+    auto w = resnetServing();
+    ServingConfig cfg;
+    cfg.max_batch = 1;
+    ServingSimulator sim(cfg);
+    double solo = w.serviceTime(1, cfg.server.gpu,
+                                cfg.launch_overhead) +
+                  w.inputTime(1, cfg.server.pcie_bandwidth);
+    auto r = sim.run(w, 10.0 / solo, 20000, 23);
+    EXPECT_TRUE(r.saturated);
+    EXPECT_NEAR(r.throughput, 1.0 / solo, 0.02 / solo);
+    EXPECT_NEAR(r.gpu_utilization, 1.0, 0.02);
+}
+
+TEST(ServingSimTest, MaxQpsUnderSloIsConsistent)
+{
+    ServingSimulator sim;
+    auto w = resnetServing();
+    double solo = w.serviceTime(1, sim.config().server.gpu,
+                                sim.config().launch_overhead) +
+                  w.inputTime(1, sim.config().server.pcie_bandwidth);
+    double slo = 5.0 * solo;
+    double qps = sim.maxQpsUnderSlo(w, slo, 20.0 / solo, 29);
+    ASSERT_GT(qps, 0.0);
+    auto at = sim.run(w, qps, 20000, 29);
+    EXPECT_LE(at.p99_latency, slo * 1.001);
+    // 15% more load breaks the SLO (or saturates).
+    auto over = sim.run(w, 1.15 * qps, 20000, 29);
+    EXPECT_TRUE(over.p99_latency > slo || over.saturated);
+}
+
+TEST(ServingSimTest, ImpossibleSloReturnsZero)
+{
+    ServingSimulator sim;
+    auto w = resnetServing();
+    EXPECT_DOUBLE_EQ(sim.maxQpsUnderSlo(w, 1e-9, 1000.0, 31), 0.0);
+}
+
+} // namespace
+} // namespace paichar::inference

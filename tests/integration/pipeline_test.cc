@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Integration tests crossing module boundaries end to end:
+ *
+ *  1. generate -> CSV -> parse -> characterize must agree with the
+ *     in-memory path bit for bit;
+ *  2. simulate -> profile -> extract -> analytical model must agree
+ *     with directly evaluating the model-zoo features;
+ *  3. the advisor, planner and projector must tell one consistent
+ *     story about a workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/arch_selection.h"
+#include "core/characterization.h"
+#include "core/projection.h"
+#include "opt/optimization_planner.h"
+#include "profiler/feature_extraction.h"
+#include "testbed/training_sim.h"
+#include "trace/synthetic_cluster.h"
+#include "trace/trace_io.h"
+
+namespace paichar {
+namespace {
+
+using workload::ArchType;
+
+TEST(PipelineIntegrationTest, CsvRoundTripPreservesAnalysis)
+{
+    core::AnalyticalModel model(hw::paiCluster());
+    trace::SyntheticClusterGenerator gen(20181201);
+    auto jobs = gen.generate(3000);
+
+    auto parsed = trace::fromCsv(trace::toCsv(jobs));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+
+    core::ClusterCharacterizer direct(model, jobs);
+    core::ClusterCharacterizer via_csv(model,
+                                       std::move(parsed.jobs));
+    for (core::Level level : {core::Level::Job, core::Level::CNode}) {
+        auto a = direct.avgBreakdown(std::nullopt, level);
+        auto b = via_csv.avgBreakdown(std::nullopt, level);
+        for (int c = 0; c < 4; ++c)
+            EXPECT_DOUBLE_EQ(a[c], b[c]);
+    }
+    EXPECT_DOUBLE_EQ(
+        direct.constitution().cnodeShare(ArchType::PsWorker),
+        via_csv.constitution().cnodeShare(ArchType::PsWorker));
+}
+
+TEST(PipelineIntegrationTest, SimulateProfileExtractPredict)
+{
+    // Fig 4's full loop: run the testbed, reduce the raw records to
+    // features, and check the analytical model sees the same job as
+    // the model zoo's ground truth.
+    testbed::TrainingSimulator sim;
+    core::AnalyticalModel model(hw::v100Testbed());
+    model.setPcieContention(false);
+    profiler::FeatureExtractor fx;
+
+    auto m = workload::ModelZoo::multiInterests(); // PS: lossless comm
+    auto extracted = fx.extract(sim.run(m).metadata);
+
+    workload::TrainingJob truth;
+    truth.arch = m.arch;
+    truth.num_cnodes = m.num_cnodes;
+    truth.features = m.features;
+
+    double t_truth = model.stepTime(truth);
+    double t_extracted = model.stepTime(extracted);
+    EXPECT_NEAR(t_extracted / t_truth, 1.0, 1e-9);
+}
+
+TEST(PipelineIntegrationTest, AdvisorProjectorPlannerAgree)
+{
+    // For a dense comm-bound PS job, all three decision tools must
+    // point the same way: to NVLink AllReduce.
+    workload::TrainingJob job;
+    job.arch = ArchType::PsWorker;
+    job.num_cnodes = 16;
+    job.features.batch_size = 128;
+    job.features.flop_count = 0.5e12;
+    job.features.mem_access_bytes = 2e10;
+    job.features.input_bytes = 1e7;
+    job.features.comm_bytes = 1.5e9;
+    job.features.dense_weight_bytes = 1.5e9;
+
+    core::AnalyticalModel model(hw::v100Testbed());
+
+    core::ArchitectureProjector proj(model);
+    auto projection =
+        proj.project(job, ArchType::AllReduceLocal);
+    EXPECT_GT(projection.throughput_speedup, 1.0);
+
+    core::ArchitectureAdvisor advisor(model, 32e9);
+    auto pick = advisor.recommend(job);
+    EXPECT_TRUE(pick.arch == ArchType::AllReduceLocal ||
+                pick.arch == ArchType::Pearl)
+        << workload::toString(pick.arch);
+
+    // The planner measures on the DES testbed rather than the
+    // analytical model; build a case-study wrapper around the job.
+    workload::CaseStudyModel cs = workload::ModelZoo::resnet50();
+    cs.arch = job.arch;
+    cs.num_cnodes = job.num_cnodes;
+    cs.features = job.features;
+    opt::OptimizationPlanner planner;
+    auto best = planner.best(cs);
+    EXPECT_TRUE(best.arch == ArchType::AllReduceLocal ||
+                best.arch == ArchType::Pearl)
+        << best.label();
+    EXPECT_GT(best.speedup, 1.0);
+}
+
+TEST(PipelineIntegrationTest, GeneratedTraceSurvivesScheduler)
+{
+    // Trace -> CSV -> scheduler CLI path shape: every generated job is
+    // placeable on a cluster at least as large as its cNode demand.
+    trace::SyntheticClusterGenerator gen(9);
+    auto jobs = gen.generate(500);
+    int max_cnodes = 0;
+    for (const auto &j : jobs)
+        max_cnodes = std::max(max_cnodes, j.num_cnodes);
+    EXPECT_GT(max_cnodes, 8); // the trace has large jobs
+}
+
+} // namespace
+} // namespace paichar

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the optimization planner (Sec IV-D / VI operationalized).
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt/optimization_planner.h"
+
+namespace paichar::opt {
+namespace {
+
+using workload::ArchType;
+using workload::ModelZoo;
+
+TEST(OptimizationPlannerTest, BaselineFirstAndSpeedupsConsistent)
+{
+    OptimizationPlanner planner;
+    auto plans = planner.evaluate(ModelZoo::resnet50());
+    ASSERT_GE(plans.size(), 4u);
+    const Plan &base = plans[0];
+    EXPECT_EQ(base.arch, ArchType::AllReduceLocal);
+    EXPECT_FALSE(base.mixed_precision);
+    EXPECT_FALSE(base.xla_fusion);
+    EXPECT_DOUBLE_EQ(base.speedup, 1.0);
+    for (size_t i = 2; i < plans.size(); ++i)
+        EXPECT_GE(plans[i - 1].speedup + 1e-12, plans[i].speedup);
+    for (const Plan &p : plans) {
+        // Speedups are Eq 2 throughput ratios against the baseline.
+        EXPECT_NEAR(p.speedup * base.throughput, p.throughput,
+                    1e-9 * p.throughput);
+        EXPECT_NEAR(p.throughput,
+                    p.num_cnodes / p.result.total_time * 64.0,
+                    1e-6 * p.throughput); // ResNet50 batch = 64
+    }
+}
+
+TEST(OptimizationPlannerTest, ComputeBoundModelWantsMixedPrecision)
+{
+    // ResNet50's bottleneck is compute: the best plan enables MP.
+    OptimizationPlanner planner;
+    Plan best = planner.best(ModelZoo::resnet50());
+    EXPECT_TRUE(best.mixed_precision);
+    EXPECT_GT(best.speedup, 1.3);
+}
+
+TEST(OptimizationPlannerTest, ElementWiseBoundModelWantsXla)
+{
+    // Speech spends most of its time in memory-bound element-wise
+    // kernels (Fig 13b): the best plan enables XLA fusion.
+    OptimizationPlanner planner;
+    Plan best = planner.best(ModelZoo::speech());
+    EXPECT_TRUE(best.xla_fusion);
+    EXPECT_GT(best.speedup, 1.3);
+}
+
+TEST(OptimizationPlannerTest, CommBoundModelWantsArchitectureChange)
+{
+    // GCN on PS/Worker is 98% communication; the planner should move
+    // it to PEARL (the paper's own fix, Sec IV-C).
+    auto gcn = ModelZoo::gcn();
+    gcn.arch = ArchType::PsWorker; // pretend it still runs on PS
+    OptimizationPlanner planner;
+    Plan best = planner.best(gcn);
+    EXPECT_EQ(best.arch, ArchType::Pearl);
+    EXPECT_GT(best.speedup, 5.0);
+}
+
+TEST(OptimizationPlannerTest, InfeasibleArchitecturesExcluded)
+{
+    // Multi-Interests (239 GB embeddings) cannot replicate; no plan
+    // may use the AllReduce family.
+    OptimizationPlanner planner;
+    auto plans = planner.evaluate(ModelZoo::multiInterests());
+    for (const Plan &p : plans) {
+        EXPECT_NE(p.arch, ArchType::AllReduceLocal) << p.label();
+        EXPECT_NE(p.arch, ArchType::AllReduceCluster) << p.label();
+        EXPECT_NE(p.arch, ArchType::OneWorkerOneGpu) << p.label();
+    }
+}
+
+TEST(OptimizationPlannerTest, ArchExplorationCanBeDisabled)
+{
+    PlannerConfig cfg;
+    cfg.explore_architectures = false;
+    OptimizationPlanner planner(cfg);
+    auto plans = planner.evaluate(ModelZoo::bert());
+    EXPECT_EQ(plans.size(), 4u); // {MP} x {XLA} on the original arch
+    for (const Plan &p : plans)
+        EXPECT_EQ(p.arch, ArchType::AllReduceLocal);
+}
+
+TEST(OptimizationPlannerTest, LabelsAreReadable)
+{
+    Plan p;
+    p.mixed_precision = true;
+    p.xla_fusion = true;
+    p.arch = ArchType::AllReduceLocal;
+    EXPECT_EQ(p.label(), "MP+XLA on AllReduce-Local");
+    Plan q;
+    q.arch = ArchType::PsWorker;
+    EXPECT_EQ(q.label(), "default on PS/Worker");
+}
+
+} // namespace
+} // namespace paichar::opt

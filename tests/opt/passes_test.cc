@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the optimization passes (Fig 13's MP and XLA).
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt/passes.h"
+#include "workload/model_zoo.h"
+
+namespace paichar::opt {
+namespace {
+
+using workload::Op;
+using workload::OpGraph;
+using workload::OpId;
+using workload::OpType;
+
+Op
+makeOp(OpType type, double flops, double mem, double out,
+       std::vector<OpId> inputs = {})
+{
+    Op op;
+    op.type = type;
+    op.flops = flops;
+    op.mem_bytes = mem;
+    op.output_bytes = out;
+    op.inputs = std::move(inputs);
+    return op;
+}
+
+TEST(MixedPrecisionTest, ScalesOnlyComputeBoundOps)
+{
+    OpGraph g;
+    g.addOp(makeOp(OpType::MatMul, 280.0, 10, 10));
+    g.addOp(makeOp(OpType::Conv, 28.0, 10, 10, {0}));
+    g.addOp(makeOp(OpType::ElementWise, 0.0, 40, 20, {1}));
+
+    MixedPrecisionPass mp(2.8);
+    OpGraph out = mp.run(g);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_DOUBLE_EQ(out.op(0).flops, 100.0);
+    EXPECT_DOUBLE_EQ(out.op(1).flops, 10.0);
+    EXPECT_DOUBLE_EQ(out.op(2).mem_bytes, 40.0);
+    EXPECT_TRUE(out.validate());
+}
+
+TEST(XlaFusionTest, FusesLinearChain)
+{
+    // matmul -> ew -> ew -> ew -> matmul
+    OpGraph g;
+    OpId mm = g.addOp(makeOp(OpType::MatMul, 100, 10, 10));
+    OpId a = g.addOp(makeOp(OpType::ElementWise, 0, 20, 10, {mm}));
+    OpId b = g.addOp(makeOp(OpType::ElementWise, 0, 20, 10, {a}));
+    OpId c = g.addOp(makeOp(OpType::ElementWise, 0, 20, 10, {b}));
+    g.addOp(makeOp(OpType::MatMul, 100, 10, 10, {c}));
+
+    XlaFusionPass xla;
+    OpGraph out = xla.run(g);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out.op(1).type, OpType::Fused);
+    // Traffic: one external input (matmul out, 10) + final write (10),
+    // versus 60 unfused.
+    EXPECT_DOUBLE_EQ(out.op(1).mem_bytes, 20.0);
+    EXPECT_DOUBLE_EQ(out.op(1).output_bytes, 10.0);
+    // The tail matmul now consumes the fused op.
+    EXPECT_EQ(out.op(2).inputs, std::vector<OpId>{1});
+    EXPECT_TRUE(out.validate());
+}
+
+TEST(XlaFusionTest, StopsAtMultiConsumerOps)
+{
+    // ew0 feeds two consumers: must not be pulled into either chain.
+    OpGraph g;
+    OpId e0 = g.addOp(makeOp(OpType::ElementWise, 0, 20, 10));
+    g.addOp(makeOp(OpType::ElementWise, 0, 20, 10, {e0}));
+    g.addOp(makeOp(OpType::ElementWise, 0, 20, 10, {e0}));
+    XlaFusionPass xla;
+    OpGraph out = xla.run(g);
+    EXPECT_EQ(out.size(), 3u);
+    for (const auto &op : out.ops())
+        EXPECT_NE(op.type, OpType::Fused);
+}
+
+TEST(XlaFusionTest, SideInputProducedAfterHeadIsHandled)
+{
+    // Chain a->b where b also reads x, and x is emitted between a and
+    // b in topological order (the tail-emission case).
+    OpGraph g;
+    OpId a = g.addOp(makeOp(OpType::ElementWise, 0, 20, 10));
+    OpId x = g.addOp(makeOp(OpType::MatMul, 50, 8, 8));
+    OpId b = g.addOp(makeOp(OpType::ElementWise, 0, 30, 10, {a, x}));
+    g.addOp(makeOp(OpType::MatMul, 50, 8, 8, {b}));
+
+    XlaFusionPass xla;
+    OpGraph out = xla.run(g);
+    ASSERT_TRUE(out.validate());
+    // a+b fused; externals: x (and nothing else).
+    bool found_fused = false;
+    for (const auto &op : out.ops()) {
+        if (op.type == OpType::Fused) {
+            found_fused = true;
+            // Traffic = x's output (8) + final output (10).
+            EXPECT_DOUBLE_EQ(op.mem_bytes, 18.0);
+        }
+    }
+    EXPECT_TRUE(found_fused);
+}
+
+TEST(XlaFusionTest, RespectsMaxChain)
+{
+    OpGraph g;
+    OpId prev = g.addOp(makeOp(OpType::ElementWise, 0, 20, 10));
+    for (int i = 0; i < 9; ++i)
+        prev = g.addOp(makeOp(OpType::ElementWise, 0, 20, 10, {prev}));
+
+    XlaFusionPass xla(5); // 10 ops -> two fusions of 5
+    OpGraph out = xla.run(g);
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_EQ(out.op(0).type, OpType::Fused);
+    EXPECT_EQ(out.op(1).type, OpType::Fused);
+}
+
+TEST(XlaFusionTest, ReducesKernelsAndTrafficOnSpeech)
+{
+    // Fig 13(b): XLA shrinks Speech's element-wise time by ~3.4x.
+    auto m = workload::ModelZoo::speech();
+    auto before = m.graph.totals();
+    XlaFusionPass xla;
+    OpGraph fused = xla.run(m.graph);
+    auto after = fused.totals();
+
+    EXPECT_LT(after.num_kernels, before.num_kernels / 2);
+    double ew_reduction =
+        before.mem_access_bytes / after.mem_access_bytes;
+    EXPECT_GT(ew_reduction, 2.5);
+    EXPECT_LT(ew_reduction, 6.0);
+    // Compute-bound work untouched.
+    EXPECT_NEAR(after.flops / before.flops, 1.0, 1e-9);
+    EXPECT_NEAR(after.input_bytes / before.input_bytes, 1.0, 1e-9);
+}
+
+TEST(PassManagerTest, RunsPassesInOrder)
+{
+    OpGraph g;
+    OpId mm = g.addOp(makeOp(OpType::MatMul, 280, 10, 10));
+    OpId a = g.addOp(makeOp(OpType::ElementWise, 0, 20, 10, {mm}));
+    g.addOp(makeOp(OpType::ElementWise, 0, 20, 10, {a}));
+
+    PassManager pm;
+    pm.add(std::make_unique<MixedPrecisionPass>(2.8))
+        .add(std::make_unique<XlaFusionPass>());
+    OpGraph out = pm.run(g);
+    EXPECT_EQ(pm.names(),
+              (std::vector<std::string>{"mixed-precision",
+                                        "xla-fusion"}));
+    EXPECT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out.op(0).flops, 100.0);
+    EXPECT_EQ(out.op(1).type, OpType::Fused);
+}
+
+TEST(PassManagerTest, EmptyManagerIsIdentity)
+{
+    OpGraph g;
+    g.addOp(makeOp(OpType::MatMul, 100, 10, 10));
+    PassManager pm;
+    OpGraph out = pm.run(g);
+    EXPECT_EQ(out.size(), 1u);
+    EXPECT_DOUBLE_EQ(out.op(0).flops, 100.0);
+}
+
+} // namespace
+} // namespace paichar::opt

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the bottleneck analyzer: hand-built profiles with known
+ * verdicts, plus end-to-end diagnoses of the case-study models that
+ * must match the paper's own remedies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiler/bottleneck_report.h"
+#include "testbed/training_sim.h"
+
+namespace paichar::profiler {
+namespace {
+
+using workload::ModelZoo;
+using workload::OpType;
+
+OpRecord
+op(const std::string &name, OpType type, double start, double end)
+{
+    OpRecord r;
+    r.name = name;
+    r.type = type;
+    r.start = start;
+    r.end = end;
+    return r;
+}
+
+TEST(BottleneckReportTest, ComputeBoundVerdict)
+{
+    RunMetadata md;
+    md.ops.push_back(op("gemm", OpType::MatMul, 0.0, 0.9));
+    md.ops.push_back(op("relu", OpType::ElementWise, 0.9, 1.0));
+    BottleneckAnalyzer an(1e-6);
+    auto r = an.analyze(md);
+    EXPECT_EQ(r.bottleneck, Bottleneck::ComputeBound);
+    EXPECT_NE(r.recommendation.find("mixed precision"),
+              std::string::npos);
+    EXPECT_NEAR(r.span, 1.0, 1e-12);
+    ASSERT_EQ(r.by_type.size(), 2u);
+    EXPECT_EQ(r.by_type[0].type, OpType::MatMul);
+}
+
+TEST(BottleneckReportTest, CommBoundVerdict)
+{
+    RunMetadata md;
+    md.ops.push_back(op("gemm", OpType::MatMul, 0.0, 0.1));
+    md.transfers.push_back({TransferKind::WeightSync,
+                            Medium::Ethernet, 0, 1e9, 0.1, 2.0});
+    BottleneckAnalyzer an;
+    auto r = an.analyze(md);
+    EXPECT_EQ(r.bottleneck, Bottleneck::CommBound);
+    EXPECT_NE(r.recommendation.find("architecture"),
+              std::string::npos);
+}
+
+TEST(BottleneckReportTest, DataBoundVerdict)
+{
+    RunMetadata md;
+    md.transfers.push_back({TransferKind::InputData, Medium::Pcie, 0,
+                            1e9, 0.0, 1.5});
+    md.ops.push_back(op("gemm", OpType::MatMul, 1.5, 1.7));
+    BottleneckAnalyzer an;
+    auto r = an.analyze(md);
+    EXPECT_EQ(r.bottleneck, Bottleneck::DataBound);
+}
+
+TEST(BottleneckReportTest, OverheadBoundVerdict)
+{
+    // Thousands of microscopic kernels with a large launch overhead.
+    RunMetadata md;
+    for (int i = 0; i < 5000; ++i) {
+        double t = i * 1e-6;
+        md.ops.push_back(op("tiny" + std::to_string(i),
+                            OpType::ElementWise, t, t + 2e-7));
+    }
+    BottleneckAnalyzer an(/*launch_overhead=*/10e-6);
+    auto r = an.analyze(md);
+    EXPECT_EQ(r.bottleneck, Bottleneck::OverheadBound);
+    EXPECT_NE(r.recommendation.find("fuse"), std::string::npos);
+}
+
+TEST(BottleneckReportTest, HotKernelsSortedAndCapped)
+{
+    RunMetadata md;
+    md.ops.push_back(op("small", OpType::ElementWise, 0.0, 0.1));
+    md.ops.push_back(op("big", OpType::MatMul, 0.1, 1.1));
+    md.ops.push_back(op("mid", OpType::Conv, 1.1, 1.6));
+    BottleneckAnalyzer an;
+    auto r = an.analyze(md, 0, 2);
+    ASSERT_EQ(r.hot_kernels.size(), 2u);
+    EXPECT_EQ(r.hot_kernels[0].name, "big");
+    EXPECT_EQ(r.hot_kernels[1].name, "mid");
+}
+
+TEST(BottleneckReportTest, DeviceFilterApplies)
+{
+    RunMetadata md;
+    md.ops.push_back(op("dev0", OpType::MatMul, 0.0, 1.0));
+    auto other = op("dev1", OpType::ElementWise, 0.0, 9.0);
+    other.device = 1;
+    md.ops.push_back(other);
+    BottleneckAnalyzer an;
+    auto r = an.analyze(md, 0);
+    EXPECT_EQ(r.by_type.size(), 1u);
+    EXPECT_NEAR(r.compute_seconds, 1.0, 1e-12);
+}
+
+TEST(BottleneckReportTest, EmptyMetadataIsSafe)
+{
+    BottleneckAnalyzer an;
+    auto r = an.analyze(RunMetadata{});
+    EXPECT_DOUBLE_EQ(r.span, 0.0);
+    EXPECT_TRUE(r.by_type.empty());
+    EXPECT_FALSE(r.render().empty());
+}
+
+TEST(BottleneckReportTest, CaseStudyDiagnosesMatchThePaper)
+{
+    // End to end: simulate, capture, diagnose. The verdicts must
+    // match the remedies the paper applies per model (Sec IV-D).
+    testbed::TrainingSimulator sim;
+    BottleneckAnalyzer an(sim.options().kernel_launch_overhead);
+
+    auto diagnose = [&](const workload::CaseStudyModel &m) {
+        return an.analyze(sim.run(m).metadata).bottleneck;
+    };
+    // ResNet50: compute-dominated -> mixed precision (Fig 13a).
+    EXPECT_EQ(diagnose(ModelZoo::resnet50()),
+              Bottleneck::ComputeBound);
+    // Speech: its 3.1% HBM efficiency inflates the element-wise time
+    // to nearly the size of the compute time (0.73 s vs 0.87 s in
+    // Fig 12); the verdict is on-device either way, and the memory
+    // cost must be within 25% of the compute cost for the paper's
+    // XLA remedy (Fig 13b) to pay off the way it does.
+    {
+        testbed::TrainingSimulator s2;
+        auto r2 = s2.run(ModelZoo::speech());
+        auto rep = an.analyze(r2.metadata);
+        EXPECT_TRUE(rep.bottleneck == Bottleneck::ComputeBound ||
+                    rep.bottleneck == Bottleneck::MemoryBound);
+        EXPECT_GT(r2.compute_mem_time, 0.75 * r2.compute_flops_time);
+    }
+    // GCN forced onto PS/Worker: communication-bound (Fig 13d).
+    auto gcn = ModelZoo::gcn();
+    auto r = sim.run(gcn.graph, gcn.features,
+                     workload::ArchType::PsWorker, gcn.num_cnodes,
+                     gcn.measured_efficiency);
+    EXPECT_EQ(an.analyze(r.metadata).bottleneck,
+              Bottleneck::CommBound);
+}
+
+TEST(BottleneckReportTest, RenderContainsVerdict)
+{
+    RunMetadata md;
+    md.ops.push_back(op("gemm", OpType::MatMul, 0.0, 1.0));
+    BottleneckAnalyzer an;
+    std::string text = an.analyze(md).render();
+    EXPECT_NE(text.find("verdict: compute-bound"), std::string::npos);
+    EXPECT_NE(text.find("MatMul"), std::string::npos);
+}
+
+} // namespace
+} // namespace paichar::profiler

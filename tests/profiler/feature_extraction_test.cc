@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the profiling layer: run-metadata reduction must recover
+ * the workload features the simulator executed (the Fig 4 pipeline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiler/feature_extraction.h"
+#include "testbed/training_sim.h"
+#include "workload/model_zoo.h"
+
+namespace paichar::profiler {
+namespace {
+
+using workload::ArchType;
+using workload::ModelZoo;
+
+TEST(FeatureExtractionTest, HandBuiltMetadata)
+{
+    RunMetadata md;
+    md.meta = {ArchType::PsWorker, 16, 4, 256.0};
+    md.ops.push_back({"mm", workload::OpType::MatMul, 0, 0.0, 1.0,
+                      5e12, 1e9});
+    md.ops.push_back({"ew", workload::OpType::ElementWise, 0, 1.0,
+                      1.5, 0.0, 2e9});
+    md.ops.push_back({"other_dev", workload::OpType::MatMul, 1, 0.0,
+                      1.0, 9e12, 1e9});
+    md.transfers.push_back({TransferKind::InputData, Medium::Pcie, 0,
+                            3e8, 0.0, 0.1});
+    md.transfers.push_back({TransferKind::WeightSync, Medium::Ethernet,
+                            0, 5e8, 2.0, 2.5});
+    md.transfers.push_back({TransferKind::WeightSync, Medium::Pcie, 0,
+                            5e8, 2.5, 3.0});
+
+    FeatureExtractor fx;
+    auto job = fx.extract(md);
+    EXPECT_EQ(job.arch, ArchType::PsWorker);
+    EXPECT_EQ(job.num_cnodes, 16);
+    EXPECT_EQ(job.num_ps, 4);
+    EXPECT_DOUBLE_EQ(job.features.batch_size, 256.0);
+    EXPECT_DOUBLE_EQ(job.features.flop_count, 5e12);
+    EXPECT_DOUBLE_EQ(job.features.mem_access_bytes, 2e9);
+    EXPECT_DOUBLE_EQ(job.features.input_bytes, 3e8);
+    // Serial legs: the logical volume is the max per-medium sum.
+    EXPECT_DOUBLE_EQ(job.features.comm_bytes, 5e8);
+
+    EXPECT_DOUBLE_EQ(fx.kernelBusyTime(md, 0), 1.5);
+    EXPECT_DOUBLE_EQ(fx.kernelBusyTime(md, 1), 1.0);
+    EXPECT_DOUBLE_EQ(fx.span(md), 3.0);
+}
+
+TEST(FeatureExtractionTest, RoundTripThroughSimulatorPsWorker)
+{
+    // Simulate Multi-Interests (PS/Worker) and re-extract features
+    // from the profile: compute/input/comm demands must round-trip.
+    testbed::TrainingSimulator sim;
+    auto m = ModelZoo::multiInterests();
+    auto r = sim.run(m);
+
+    FeatureExtractor fx;
+    auto job = fx.extract(r.metadata);
+    EXPECT_EQ(job.arch, m.arch);
+    EXPECT_EQ(job.num_cnodes, m.num_cnodes);
+    EXPECT_NEAR(job.features.flop_count / m.features.flop_count, 1.0,
+                1e-9);
+    EXPECT_NEAR(job.features.mem_access_bytes /
+                    m.features.mem_access_bytes,
+                1.0, 1e-9);
+    EXPECT_NEAR(job.features.input_bytes / m.features.input_bytes,
+                1.0, 1e-9);
+    EXPECT_NEAR(job.features.comm_bytes / m.features.comm_bytes, 1.0,
+                1e-9);
+}
+
+TEST(FeatureExtractionTest, RoundTripAllReduceWithinRingFactor)
+{
+    // For AllReduce the recorded traffic is the *moved* volume,
+    // 2(n-1)/n of the logical buffer.
+    testbed::TrainingSimulator sim;
+    auto m = ModelZoo::resnet50();
+    auto r = sim.run(m);
+    FeatureExtractor fx;
+    auto job = fx.extract(r.metadata);
+    double n = m.num_cnodes;
+    EXPECT_NEAR(job.features.comm_bytes,
+                2.0 * (n - 1) / n * m.features.comm_bytes,
+                1e-6 * m.features.comm_bytes);
+}
+
+TEST(FeatureExtractionTest, EmptyMetadata)
+{
+    FeatureExtractor fx;
+    RunMetadata md;
+    auto job = fx.extract(md);
+    EXPECT_DOUBLE_EQ(job.features.flop_count, 0.0);
+    EXPECT_DOUBLE_EQ(fx.span(md), 0.0);
+    EXPECT_DOUBLE_EQ(fx.kernelBusyTime(md), 0.0);
+}
+
+} // namespace
+} // namespace paichar::profiler

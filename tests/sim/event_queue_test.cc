@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace paichar::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(2.0, [&] { order.push_back(2); });
+    eq.schedule(1.0, [&] { order.push_back(1); });
+    eq.schedule(3.0, [&] { order.push_back(3); });
+    EXPECT_EQ(eq.pending(), 3u);
+    EXPECT_DOUBLE_EQ(eq.run(), 3.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueueTest, TiesBreakInSchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(1.0, [&, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NowAdvancesDuringRun)
+{
+    EventQueue eq;
+    double seen = -1.0;
+    eq.schedule(5.0, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_DOUBLE_EQ(seen, 5.0);
+    EXPECT_DOUBLE_EQ(eq.now(), 5.0);
+}
+
+TEST(EventQueueTest, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1.0, [&] {
+        ++fired;
+        eq.scheduleAfter(1.0, [&] { ++fired; });
+    });
+    EXPECT_DOUBLE_EQ(eq.run(), 2.0);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunUntilLeavesLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1.0, [&] { ++fired; });
+    eq.schedule(10.0, [&] { ++fired; });
+    EXPECT_DOUBLE_EQ(eq.runUntil(5.0), 5.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EmptyRunReturnsNow)
+{
+    EventQueue eq;
+    EXPECT_DOUBLE_EQ(eq.run(), 0.0);
+}
+
+} // namespace
+} // namespace paichar::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the simulated cluster topology.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/topology.h"
+
+namespace paichar::sim {
+namespace {
+
+TopologyConfig
+testbedConfig(int servers)
+{
+    TopologyConfig tc;
+    tc.cluster = hw::v100Testbed();
+    tc.num_servers = servers;
+    return tc;
+}
+
+TEST(TopologyTest, BuildsServersAndGpus)
+{
+    ClusterSim cluster(testbedConfig(2));
+    EXPECT_EQ(cluster.servers().size(), 2u);
+    EXPECT_EQ(cluster.numGpus(), 16);
+    EXPECT_EQ(cluster.gpu(0).serverId(), 0);
+    EXPECT_EQ(cluster.gpu(8).serverId(), 1);
+    EXPECT_EQ(cluster.gpu(9).localId(), 1);
+}
+
+TEST(TopologyTest, NvlinkLinksPresentWhenEquipped)
+{
+    ClusterSim cluster(testbedConfig(1));
+    Gpu &g = cluster.gpu(0);
+    EXPECT_EQ(g.numNvlinkLinks(), 6);
+    EXPECT_NE(g.nvlinkOut(), nullptr);
+    // Rate = 50 GB/s * 0.7 default efficiency.
+    EXPECT_DOUBLE_EQ(g.nvlinkOut()->rate(), 50e9 * 0.7);
+}
+
+TEST(TopologyTest, NoNvlinkWhenAbsent)
+{
+    TopologyConfig tc = testbedConfig(1);
+    tc.cluster.server.has_nvlink = false;
+    ClusterSim cluster(tc);
+    EXPECT_EQ(cluster.gpu(0).numNvlinkLinks(), 0);
+    EXPECT_EQ(cluster.gpu(0).nvlinkOut(), nullptr);
+}
+
+TEST(TopologyTest, DedicatedVsSharedPcie)
+{
+    {
+        ClusterSim cluster(testbedConfig(1));
+        EXPECT_NE(&cluster.gpu(0).hostLink(),
+                  &cluster.gpu(1).hostLink());
+    }
+    {
+        TopologyConfig tc = testbedConfig(1);
+        tc.shared_pcie = true;
+        ClusterSim cluster(tc);
+        EXPECT_EQ(&cluster.gpu(0).hostLink(),
+                  &cluster.gpu(1).hostLink());
+    }
+}
+
+TEST(TopologyTest, EfficiencyDeratesRates)
+{
+    TopologyConfig tc = testbedConfig(1);
+    tc.efficiency = {0.5, 0.5, 0.25, 0.1};
+    ClusterSim cluster(tc);
+    EXPECT_DOUBLE_EQ(cluster.gpu(0).hostLink().rate(), 10e9 * 0.25);
+    EXPECT_DOUBLE_EQ(cluster.servers()[0]->nic().rate(),
+                     25e9 / 8.0 * 0.1);
+    EXPECT_DOUBLE_EQ(cluster.gpu(0).nvlinkOut()->rate(), 50e9 * 0.1);
+}
+
+TEST(TopologyTest, GpuGroups)
+{
+    ClusterSim cluster(testbedConfig(4));
+    auto packed = cluster.gpuGroup(10);
+    ASSERT_EQ(packed.size(), 10u);
+    EXPECT_EQ(packed[9]->serverId(), 1);
+
+    auto spread = cluster.gpuGroupOnePerServer(4);
+    ASSERT_EQ(spread.size(), 4u);
+    EXPECT_EQ(spread[3]->serverId(), 3);
+    EXPECT_EQ(spread[3]->localId(), 0);
+}
+
+} // namespace
+} // namespace paichar::sim

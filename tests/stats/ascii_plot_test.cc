@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for the ASCII CDF and bar-chart rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/ascii_plot.h"
+
+namespace paichar::stats {
+namespace {
+
+TEST(AsciiPlotTest, CdfPlotHasLegendAndAxis)
+{
+    WeightedCdf a, b;
+    for (double v : {1.0, 2.0, 3.0})
+        a.add(v);
+    for (double v : {2.0, 4.0})
+        b.add(v);
+    std::string s = renderCdfPlot({{"alpha", &a}, {"beta", &b}}, 32, 8);
+    EXPECT_NE(s.find("legend:"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("beta"), std::string::npos);
+    EXPECT_NE(s.find("1.00 |"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, CdfPlotLogScaleLabels)
+{
+    WeightedCdf a;
+    a.add(0.001);
+    a.add(1000.0);
+    std::string s = renderCdfPlot({{"w", &a}}, 32, 8, /*log_x=*/true,
+                                  "weight (GB)");
+    EXPECT_NE(s.find("(log scale)"), std::string::npos);
+    EXPECT_NE(s.find("weight (GB)"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, StackedBarsNormalizedPercentages)
+{
+    std::vector<StackedBar> bars{
+        {"jobA", {{"comm", 3.0}, {"comp", 1.0}}},
+    };
+    std::string s = renderStackedBars(bars, 40, /*normalize=*/true);
+    EXPECT_NE(s.find("75%"), std::string::npos);
+    EXPECT_NE(s.find("25%"), std::string::npos);
+    EXPECT_NE(s.find("legend:"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, StackedBarsAbsoluteShowsTotal)
+{
+    std::vector<StackedBar> bars{
+        {"jobA", {{"x", 2.0}, {"y", 2.0}}},
+        {"jobB", {{"x", 1.0}}},
+    };
+    std::string s = renderStackedBars(bars, 40, /*normalize=*/false);
+    EXPECT_NE(s.find("4.000"), std::string::npos);
+    EXPECT_NE(s.find("1.000"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, PlainBarsScaleToMax)
+{
+    std::string s = renderBars({{"a", 2.0}, {"b", 1.0}}, 10, "x");
+    // "a" gets 10 glyphs, "b" 5.
+    EXPECT_NE(s.find("##########"), std::string::npos);
+    EXPECT_NE(s.find("2.000 x"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, ZeroValuesHandled)
+{
+    std::string s = renderBars({{"a", 0.0}}, 10);
+    EXPECT_NE(s.find("0.000"), std::string::npos);
+}
+
+} // namespace
+} // namespace paichar::stats

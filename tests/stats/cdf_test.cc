@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the weighted empirical CDF.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/cdf.h"
+#include "stats/rng.h"
+
+namespace paichar::stats {
+namespace {
+
+TEST(WeightedCdfTest, EmptyAndCounts)
+{
+    WeightedCdf cdf;
+    EXPECT_TRUE(cdf.empty());
+    EXPECT_EQ(cdf.size(), 0u);
+    cdf.add(1.0);
+    cdf.add(2.0, 3.0);
+    EXPECT_FALSE(cdf.empty());
+    EXPECT_EQ(cdf.size(), 2u);
+    EXPECT_DOUBLE_EQ(cdf.totalWeight(), 4.0);
+}
+
+TEST(WeightedCdfTest, ProbAtOrBelowUnweighted)
+{
+    WeightedCdf cdf;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        cdf.add(v);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(100.0), 1.0);
+}
+
+TEST(WeightedCdfTest, ProbAtOrBelowWeighted)
+{
+    WeightedCdf cdf;
+    cdf.add(1.0, 1.0);
+    cdf.add(2.0, 9.0);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(1.5), 0.1);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(2.0), 1.0);
+}
+
+TEST(WeightedCdfTest, QuantilesAndMedian)
+{
+    WeightedCdf cdf;
+    for (int i = 1; i <= 100; ++i)
+        cdf.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(cdf.median(), 50.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 25.0);
+}
+
+TEST(WeightedCdfTest, WeightedQuantile)
+{
+    WeightedCdf cdf;
+    cdf.add(10.0, 1.0);
+    cdf.add(20.0, 1.0);
+    cdf.add(30.0, 8.0);
+    EXPECT_DOUBLE_EQ(cdf.median(), 30.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.1), 10.0);
+}
+
+TEST(WeightedCdfTest, MinMaxMean)
+{
+    WeightedCdf cdf;
+    cdf.add(5.0, 1.0);
+    cdf.add(-1.0, 1.0);
+    cdf.add(3.0, 2.0);
+    EXPECT_DOUBLE_EQ(cdf.min(), -1.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 5.0);
+    EXPECT_DOUBLE_EQ(cdf.mean(), (5.0 - 1.0 + 6.0) / 4.0);
+}
+
+TEST(WeightedCdfTest, ZeroWeightSamplesDoNotMoveProbability)
+{
+    WeightedCdf cdf;
+    cdf.add(1.0, 0.0);
+    cdf.add(2.0, 1.0);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(2.0), 1.0);
+}
+
+TEST(WeightedCdfTest, CurveEndpointsAndLength)
+{
+    WeightedCdf cdf;
+    for (double v : {0.0, 1.0, 2.0, 3.0})
+        cdf.add(v);
+    auto curve = cdf.curve(11);
+    ASSERT_EQ(curve.size(), 11u);
+    EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+    EXPECT_DOUBLE_EQ(curve.back().first, 3.0);
+    EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(WeightedCdfTest, InsertAfterQueryReSorts)
+{
+    WeightedCdf cdf;
+    cdf.add(2.0);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(2.0), 1.0);
+    cdf.add(1.0);
+    EXPECT_DOUBLE_EQ(cdf.probAtOrBelow(1.0), 0.5);
+}
+
+/** Property: CDF is monotone and quantile is a left inverse. */
+class CdfProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CdfProperty, MonotoneAndInverse)
+{
+    Rng rng(GetParam());
+    WeightedCdf cdf;
+    for (int i = 0; i < 500; ++i)
+        cdf.add(rng.normal(0.0, 10.0), rng.uniform(0.0, 2.0));
+
+    double prev = -1.0;
+    for (double x = cdf.min(); x <= cdf.max(); x += 0.5) {
+        double p = cdf.probAtOrBelow(x);
+        ASSERT_GE(p, prev);
+        ASSERT_GE(p, 0.0);
+        ASSERT_LE(p, 1.0);
+        prev = p;
+    }
+    for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+        double v = cdf.quantile(q);
+        ASSERT_GE(cdf.probAtOrBelow(v), q - 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace paichar::stats

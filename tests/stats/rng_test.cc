@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG and its
+ * distribution samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace paichar::stats {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively)
+{
+    Rng rng(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.uniformInt(1, 6);
+        ASSERT_GE(v, 1);
+        ASSERT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformIntDegenerateRange)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 50000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalShiftScale)
+{
+    Rng rng(17);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedian)
+{
+    Rng rng(19);
+    const int n = 20001;
+    std::vector<double> xs(n);
+    for (double &x : xs)
+        x = rng.logNormal(std::log(3.0), 0.9);
+    std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+    EXPECT_NEAR(xs[n / 2], 3.0, 0.15);
+}
+
+TEST(RngTest, ParetoRespectsScaleAndTail)
+{
+    Rng rng(23);
+    const int n = 20000;
+    int above = 0;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.pareto(2.0, 1.5);
+        ASSERT_GE(x, 2.0);
+        above += x > 4.0;
+    }
+    // P(X > 4) = (2/4)^1.5 ~= 0.3536.
+    EXPECT_NEAR(static_cast<double>(above) / n, 0.3536, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFrequencies)
+{
+    Rng rng(31);
+    std::vector<double> w{1.0, 3.0, 6.0};
+    std::vector<int> counts(3, 0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.categorical(w)];
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalSingleBucket)
+{
+    Rng rng(37);
+    EXPECT_EQ(rng.categorical({5.0}), 0u);
+}
+
+TEST(RngTest, CategoricalZeroWeightNeverPicked)
+{
+    Rng rng(41);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_NE(rng.categorical({1.0, 0.0, 1.0}), 1u);
+}
+
+TEST(RngTest, GammaMeanMatchesShape)
+{
+    Rng rng(43);
+    for (double shape : {0.5, 1.0, 2.5, 9.0}) {
+        double sum = 0.0;
+        const int n = 30000;
+        for (int i = 0; i < n; ++i)
+            sum += rng.gamma(shape);
+        EXPECT_NEAR(sum / n, shape, 0.05 * std::max(1.0, shape))
+            << "shape=" << shape;
+    }
+}
+
+TEST(RngTest, SplitStreamsAreIndependent)
+{
+    Rng parent(47);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.nextU64() == child.nextU64();
+    EXPECT_LT(same, 3);
+}
+
+/** Property sweep: betaMean(mean, kappa) lands in (0,1) with the
+ * requested mean, across a grid of parameters. */
+class BetaMeanProperty
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(BetaMeanProperty, MeanAndSupport)
+{
+    auto [mean, kappa] = GetParam();
+    Rng rng(53);
+    double sum = 0.0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        double x = rng.betaMean(mean, kappa);
+        ASSERT_GT(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, mean, 0.015) << "kappa=" << kappa;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BetaMeanProperty,
+    ::testing::Values(std::pair{0.05, 2.0}, std::pair{0.1, 5.0},
+                      std::pair{0.3, 4.0}, std::pair{0.5, 1.0},
+                      std::pair{0.7, 4.0}, std::pair{0.92, 8.0}));
+
+} // namespace
+} // namespace paichar::stats

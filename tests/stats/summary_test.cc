@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for the numeric summary helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.h"
+
+namespace paichar::stats {
+namespace {
+
+TEST(SummaryTest, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+}
+
+TEST(SummaryTest, WeightedMean)
+{
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5);
+    EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {0.0, 2.0}), 3.0);
+}
+
+TEST(SummaryTest, Stddev)
+{
+    EXPECT_DOUBLE_EQ(stddev({2.0, 2.0, 2.0}), 0.0);
+    EXPECT_NEAR(stddev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(SummaryTest, GeoMean)
+{
+    EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geoMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(SummaryTest, FracAbove)
+{
+    EXPECT_DOUBLE_EQ(fracAbove({1.0, 2.0, 3.0, 4.0}, 2.0), 0.5);
+    EXPECT_DOUBLE_EQ(fracAbove({}, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(fracAbove({1.0}, 5.0), 0.0);
+}
+
+TEST(SummaryTest, RelDiff)
+{
+    EXPECT_DOUBLE_EQ(relDiff(11.0, 10.0), 0.1);
+    EXPECT_DOUBLE_EQ(relDiff(9.0, 10.0), -0.1);
+}
+
+TEST(SummaryTest, Clamp)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+} // namespace
+} // namespace paichar::stats

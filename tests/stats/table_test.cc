@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for ASCII table rendering and value formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/table.h"
+
+namespace paichar::stats {
+namespace {
+
+TEST(TableTest, RenderContainsHeadersAndCells)
+{
+    Table t({"model", "time"});
+    t.addRow({"ResNet50", "0.25 s"});
+    t.addRow({"BERT", "0.40 s"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("model"), std::string::npos);
+    EXPECT_NE(s.find("ResNet50"), std::string::npos);
+    EXPECT_NE(s.find("0.40 s"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TableTest, SeparatorDoesNotCountAsRow)
+{
+    Table t({"a"});
+    t.addRow({"x"});
+    t.addSeparator();
+    t.addRow({"y"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    // top sep + header + sep + row + inner sep + row + bottom sep.
+    std::string s = t.render();
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 7);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell)
+{
+    Table t({"h", "hh"});
+    t.addRow({"looooong", "x"});
+    std::string s = t.render();
+    // Every line has identical length.
+    size_t first_nl = s.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    size_t line_len = first_nl;
+    for (size_t pos = 0; pos < s.size();) {
+        size_t nl = s.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos);
+        EXPECT_EQ(nl - pos, line_len);
+        pos = nl + 1;
+    }
+}
+
+TEST(FormatTest, Fmt)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(1.0, 0), "1");
+}
+
+TEST(FormatTest, FmtPct)
+{
+    EXPECT_EQ(fmtPct(0.618, 1), "61.8%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+TEST(FormatTest, FmtBytes)
+{
+    EXPECT_EQ(fmtBytes(500.0), "500 B");
+    EXPECT_EQ(fmtBytes(1.33e9), "1.33 GB");
+    EXPECT_EQ(fmtBytes(2.5e12), "2.5 TB");
+}
+
+TEST(FormatTest, FmtSeconds)
+{
+    EXPECT_EQ(fmtSeconds(1.5), "1.500 s");
+    EXPECT_EQ(fmtSeconds(0.0021), "2.100 ms");
+    EXPECT_EQ(fmtSeconds(3.2e-6), "3.200 us");
+}
+
+} // namespace
+} // namespace paichar::stats

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Coverage for the multi-server paths: AllReduce-Cluster training in
+ * the testbed, cross-server placement in the scheduler, and analyses
+ * over populations containing every architecture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clustersim/scheduler.h"
+#include "core/characterization.h"
+#include "core/sweep.h"
+#include "hw/units.h"
+#include "testbed/training_sim.h"
+
+namespace paichar {
+namespace {
+
+using workload::ArchType;
+using workload::ModelZoo;
+using workload::TrainingJob;
+
+TEST(ClusterArchTest, TestbedRunsAllReduceClusterAcrossServers)
+{
+    testbed::TrainingSimulator sim;
+    auto m = ModelZoo::bert();
+    // 16 replicas -> two full NVLink servers, hierarchical AllReduce.
+    auto r16 = sim.run(m.graph, m.features, ArchType::AllReduceCluster,
+                       16, m.measured_efficiency);
+    auto r8 = sim.run(m.graph, m.features, ArchType::AllReduceLocal,
+                      8, m.measured_efficiency);
+    EXPECT_GT(r16.comm_time, r8.comm_time); // Ethernet leg added
+    EXPECT_GT(r16.total_time, 0.0);
+    EXPECT_NEAR(r16.compute_time, r8.compute_time, 1e-9);
+    EXPECT_EQ(r16.metadata.meta.num_cnodes, 16);
+}
+
+TEST(ClusterArchTest, ClusterAllReduceCommGrowsWithServerCount)
+{
+    testbed::TrainingSimulator sim;
+    auto m = ModelZoo::bert();
+    double prev = 0.0;
+    for (int n : {16, 32, 64}) {
+        auto r = sim.run(m.graph, m.features,
+                         ArchType::AllReduceCluster, n,
+                         m.measured_efficiency);
+        // More servers -> more NIC ring phases -> longer sync.
+        EXPECT_GT(r.comm_time, prev) << n;
+        prev = r.comm_time;
+    }
+}
+
+TEST(ClusterArchTest, SchedulerPlacesAllReduceClusterOnWholeServers)
+{
+    core::AnalyticalModel model(hw::paiCluster());
+    clustersim::SchedulerConfig cfg;
+    cfg.num_servers = 4;
+    cfg.gpus_per_server = 8;
+    cfg.nvlink_fraction = 1.0;
+    clustersim::ClusterScheduler sched(cfg, model);
+
+    TrainingJob job;
+    job.id = 1;
+    job.arch = ArchType::AllReduceCluster;
+    job.num_cnodes = 24; // three full servers
+    job.features.batch_size = 64;
+    job.features.flop_count = 1e12;
+    job.features.comm_bytes = 1e9;
+    job.features.dense_weight_bytes = 1e9;
+    ASSERT_TRUE(sched.placeable(job));
+
+    auto out = sched.run({clustersim::JobRequest{job, 0.0, 10}});
+    ASSERT_EQ(out.jobs.size(), 1u);
+    EXPECT_EQ(out.jobs[0].gpus, 24);
+
+    // Without NVLink servers it cannot be placed at all.
+    cfg.nvlink_fraction = 0.0;
+    clustersim::ClusterScheduler no_nvl(cfg, model);
+    EXPECT_FALSE(no_nvl.placeable(job));
+}
+
+TEST(ClusterArchTest, CharacterizerHandlesEveryArchitecture)
+{
+    core::AnalyticalModel model(hw::paiCluster());
+    std::vector<TrainingJob> jobs;
+    int64_t id = 0;
+    for (ArchType arch : workload::kAllArchTypes) {
+        TrainingJob j;
+        j.id = id++;
+        j.arch = arch;
+        j.num_cnodes = arch == ArchType::OneWorkerOneGpu ? 1 : 8;
+        j.features.batch_size = 32;
+        j.features.flop_count = 1e12;
+        j.features.mem_access_bytes = 1e10;
+        j.features.input_bytes = 1e7;
+        j.features.comm_bytes =
+            arch == ArchType::OneWorkerOneGpu ? 0.0 : 5e8;
+        j.features.embedding_comm_bytes =
+            arch == ArchType::Pearl ? 4e8 : 0.0;
+        j.features.dense_weight_bytes = 5e8;
+        jobs.push_back(j);
+    }
+    core::ClusterCharacterizer ch(model, jobs);
+    auto c = ch.constitution();
+    EXPECT_EQ(c.total_jobs, 6);
+    for (core::Level level : {core::Level::Job, core::Level::CNode}) {
+        auto avg = ch.avgBreakdown(std::nullopt, level);
+        EXPECT_NEAR(avg[0] + avg[1] + avg[2] + avg[3], 1.0, 1e-12);
+    }
+    // PEARL's partitioned comm is cheaper than AllReduce-Local's
+    // replicated comm at the same volume.
+    size_t arl = 0, pearl = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].arch == ArchType::AllReduceLocal)
+            arl = i;
+        if (jobs[i].arch == ArchType::Pearl)
+            pearl = i;
+    }
+    EXPECT_LT(ch.breakdownOf(pearl).t_weight,
+              ch.breakdownOf(arl).t_weight);
+}
+
+TEST(ClusterArchTest, SweepUnderIdealOverlap)
+{
+    // Under ideal overlap, only the bottleneck resource matters: a
+    // comm-bound PS job gains nothing from GPU upgrades but the full
+    // factor from Ethernet until compute becomes the bottleneck.
+    core::HardwareSweep sweep(hw::paiCluster());
+    TrainingJob job;
+    job.arch = ArchType::PsWorker;
+    job.num_cnodes = 8;
+    job.features.batch_size = 32;
+    job.features.flop_count = 0.1e12;
+    job.features.mem_access_bytes = 1e9;
+    job.features.input_bytes = 1e6;
+    job.features.comm_bytes = 2e9;
+    job.features.dense_weight_bytes = 2e9;
+    std::vector<TrainingJob> jobs{job};
+
+    double gpu = sweep.avgSpeedup(jobs, hw::Resource::GpuFlops, 64.0,
+                                  core::OverlapMode::IdealOverlap);
+    double eth = sweep.avgSpeedup(jobs, hw::Resource::Ethernet, 100.0,
+                                  core::OverlapMode::IdealOverlap);
+    EXPECT_NEAR(gpu, 1.0, 1e-12);
+    EXPECT_GT(eth, 1.5);
+}
+
+} // namespace
+} // namespace paichar

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for pipelined multi-step simulation (Sec V-B overlap) and
+ * PS-tier contention modeling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "testbed/training_sim.h"
+
+namespace paichar::testbed {
+namespace {
+
+using workload::ModelZoo;
+
+TEST(PipelineTest, SteadyStateApproachesMaxOfPhases)
+{
+    // For a comm-heavy model, the overlapped steady-state period
+    // should approach max{Td, Tc, Tw}, well below the sequential sum.
+    TrainingSimulator sim;
+    auto m = ModelZoo::bert();
+    auto seq = sim.run(m);
+    auto pipe = sim.runPipelined(m, 12);
+
+    double max_phase = std::max(
+        {seq.data_time, seq.compute_time, seq.comm_time});
+    EXPECT_NEAR(pipe.nonoverlap_step_time, seq.total_time, 1e-9);
+    EXPECT_LT(pipe.steady_step_time, seq.total_time);
+    // Within 15% of the ideal-overlap bound (pipeline fill effects
+    // and phase latencies keep it slightly above).
+    EXPECT_GT(pipe.steady_step_time, 0.95 * max_phase);
+    EXPECT_LT(pipe.steady_step_time, 1.15 * max_phase);
+    EXPECT_GT(pipe.hiddenFraction(), 0.0);
+}
+
+TEST(PipelineTest, SingleStepMatchesSequentialRoughly)
+{
+    TrainingSimulator sim;
+    auto m = ModelZoo::resnet50();
+    auto pipe = sim.runPipelined(m, 1);
+    EXPECT_EQ(pipe.steps, 1);
+    // One step has nothing to overlap with.
+    EXPECT_NEAR(pipe.total_time, pipe.nonoverlap_step_time,
+                0.05 * pipe.nonoverlap_step_time);
+}
+
+TEST(PipelineTest, GatingOnCommSlowsTheSteadyState)
+{
+    TrainingSimulator sim;
+    auto m = ModelZoo::bert();
+    auto free_run = sim.runPipelined(m, 12, /*gate_on_comm=*/false);
+    auto gated = sim.runPipelined(m, 12, /*gate_on_comm=*/true);
+    EXPECT_GE(gated.steady_step_time,
+              free_run.steady_step_time - 1e-12);
+    // Gated steady state ~ max{Td, Tc + Tw}.
+    auto seq = sim.run(m);
+    double bound =
+        std::max(seq.data_time, seq.compute_time + seq.comm_time);
+    EXPECT_NEAR(gated.steady_step_time, bound, 0.15 * bound);
+}
+
+TEST(PipelineTest, OneWorkerOneGpuOverlapsDataOnly)
+{
+    TrainingSimulator sim;
+    auto m = ModelZoo::speech(); // 1w1g, heavy data phase
+    auto seq = sim.run(m);
+    auto pipe = sim.runPipelined(m, 8);
+    // Data I/O hides under compute: steady ~ max{Td, Tc}.
+    double bound = std::max(seq.data_time, seq.compute_time);
+    EXPECT_NEAR(pipe.steady_step_time, bound, 0.1 * bound);
+}
+
+TEST(PipelineTest, ThroughputScalesWithSteps)
+{
+    TrainingSimulator sim;
+    auto m = ModelZoo::nmt();
+    auto p4 = sim.runPipelined(m, 4);
+    auto p16 = sim.runPipelined(m, 16);
+    // Total time grows ~linearly in steps at the steady period.
+    EXPECT_NEAR(p16.total_time - p4.total_time,
+                12 * p16.steady_step_time,
+                0.15 * 12 * p16.steady_step_time);
+}
+
+TEST(PsContentionTest, UnderProvisionedPsTierBottlenecks)
+{
+    auto m = ModelZoo::multiInterests(); // 32 workers
+    SimOptions few, many;
+    few.num_ps = 1;
+    few.model_ps_contention = true;
+    many.num_ps = 32;
+    many.model_ps_contention = true;
+
+    auto r_few = TrainingSimulator(few).run(m);
+    auto r_many = TrainingSimulator(many).run(m);
+    auto r_off = TrainingSimulator().run(m);
+
+    // One PS NIC carries all 32 workers' traffic: far slower.
+    EXPECT_GT(r_few.comm_time, 8.0 * r_many.comm_time);
+    // A well-provisioned tier adds only the extra serial leg.
+    EXPECT_LT(r_many.comm_time, 2.5 * r_off.comm_time);
+    // Compute/data phases are unaffected by the PS tier.
+    EXPECT_NEAR(r_few.compute_time, r_off.compute_time, 1e-9);
+    EXPECT_NEAR(r_few.data_time, r_off.data_time, 1e-9);
+}
+
+TEST(PsContentionTest, MorePsNodesMonotonicallyHelps)
+{
+    auto m = ModelZoo::multiInterests();
+    double prev = 0.0;
+    for (int ps : {1, 2, 4, 8, 16}) {
+        SimOptions o;
+        o.num_ps = ps;
+        o.model_ps_contention = true;
+        double t = TrainingSimulator(o).run(m).comm_time;
+        if (prev > 0.0) {
+            EXPECT_LE(t, prev + 1e-9) << "num_ps=" << ps;
+        }
+        prev = t;
+    }
+}
+
+} // namespace
+} // namespace paichar::testbed

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Calibration tests: the synthetic trace must reproduce the paper's
+ * published aggregate statistics (Sec III). Each expectation cites the
+ * paper number it targets; bands reflect that we match a population
+ * statistic, not an exact value.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.h"
+#include "core/projection.h"
+#include "core/sweep.h"
+#include "hw/units.h"
+#include "trace/synthetic_cluster.h"
+
+namespace paichar::trace {
+namespace {
+
+using core::AnalyticalModel;
+using core::ArchitectureProjector;
+using core::ClusterCharacterizer;
+using core::Component;
+using core::Level;
+using workload::ArchType;
+using workload::TrainingJob;
+
+class CalibrationTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        spec_ = new hw::ClusterSpec(hw::paiCluster());
+        model_ = new AnalyticalModel(*spec_);
+        SyntheticClusterGenerator gen(20181201);
+        characterizer_ =
+            new ClusterCharacterizer(*model_, gen.generate(20000));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete characterizer_;
+        delete model_;
+        delete spec_;
+        characterizer_ = nullptr;
+        model_ = nullptr;
+        spec_ = nullptr;
+    }
+
+    static hw::ClusterSpec *spec_;
+    static AnalyticalModel *model_;
+    static ClusterCharacterizer *characterizer_;
+};
+
+hw::ClusterSpec *CalibrationTest::spec_ = nullptr;
+AnalyticalModel *CalibrationTest::model_ = nullptr;
+ClusterCharacterizer *CalibrationTest::characterizer_ = nullptr;
+
+TEST_F(CalibrationTest, PsWorkerHolds81PercentOfCnodes)
+{
+    // Fig 5(b): "PS/Worker jobs consume the largest portion of
+    // resources, up to 81%".
+    auto c = characterizer_->constitution();
+    EXPECT_NEAR(c.cnodeShare(ArchType::PsWorker), 0.81, 0.05);
+}
+
+TEST_F(CalibrationTest, HalfOfPsJobsExceedEightCnodes)
+{
+    // Fig 6(a): "about half of PS/Worker workloads are placed on more
+    // than 8 cNodes".
+    auto cdf = characterizer_->cnodeCountCdf(ArchType::PsWorker);
+    EXPECT_NEAR(cdf.probAtOrBelow(8.0), 0.5, 0.08);
+}
+
+TEST_F(CalibrationTest, LargeJobsRareButResourceHungry)
+{
+    // Sec III-A: "only 0.7% of all workloads have more than 128
+    // cNodes; however, they consume more than 16% computation
+    // resource".
+    const auto &jobs = characterizer_->jobs();
+    int64_t big_jobs = 0, big_cnodes = 0, all_cnodes = 0;
+    for (const auto &j : jobs) {
+        all_cnodes += j.num_cnodes;
+        if (j.num_cnodes > 128) {
+            ++big_jobs;
+            big_cnodes += j.num_cnodes;
+        }
+    }
+    double job_frac =
+        static_cast<double>(big_jobs) / static_cast<double>(jobs.size());
+    double res_frac = static_cast<double>(big_cnodes) /
+                      static_cast<double>(all_cnodes);
+    EXPECT_NEAR(job_frac, 0.007, 0.004);
+    EXPECT_GT(res_frac, 0.16);
+}
+
+TEST_F(CalibrationTest, NinetyPercentOfModelsUnder10Gb)
+{
+    // Sec III-D: "90% jobs train small-scale models, i.e., model size
+    // less than 10GB", with a 100-300 GB tail.
+    auto cdf = characterizer_->weightSizeCdf(std::nullopt);
+    EXPECT_NEAR(cdf.probAtOrBelow(10.0 * hw::kGB), 0.90, 0.06);
+    EXPECT_GT(cdf.max(), 100.0 * hw::kGB);
+}
+
+TEST_F(CalibrationTest, CnodeLevelCommShareIsAbout62Percent)
+{
+    // Abstract / Sec III-D: "weight/gradient communication ... takes
+    // almost 62% of the total execution time among all our workloads
+    // on average" (cNode level).
+    auto avg = characterizer_->avgBreakdown(std::nullopt, Level::CNode);
+    EXPECT_NEAR(avg[1], 0.62, 0.05); // kAllComponents[1] = weights
+}
+
+TEST_F(CalibrationTest, JobLevelCommShareIsAbout22Percent)
+{
+    // Sec III-B: "On average, weight/gradient communication
+    // contributes approximately 22% to the total execution time."
+    auto avg = characterizer_->avgBreakdown(std::nullopt, Level::Job);
+    EXPECT_NEAR(avg[1], 0.22, 0.05);
+}
+
+TEST_F(CalibrationTest, ComputationSharesMatchSecIIID)
+{
+    // Sec III-D: computation ~35% of cNode-level time; compute-bound
+    // ~13%, memory-bound ~22% (memory-bound exceeds compute-bound).
+    auto avg = characterizer_->avgBreakdown(std::nullopt, Level::CNode);
+    double compute_bound = avg[2], memory_bound = avg[3];
+    EXPECT_NEAR(compute_bound + memory_bound, 0.35, 0.06);
+    EXPECT_GT(memory_bound, compute_bound);
+}
+
+TEST_F(CalibrationTest, FortyPercentOfPsJobsSpendOver80PercentInComm)
+{
+    // Sec III-B: "more than 40% PS/Worker jobs spend more than 80%
+    // time in communication".
+    auto cdf = characterizer_->componentCdf(
+        Component::WeightTraffic, ArchType::PsWorker, Level::Job);
+    double frac_above = 1.0 - cdf.probAtOrBelow(0.8);
+    EXPECT_GT(frac_above, 0.35);
+    EXPECT_LT(frac_above, 0.60);
+}
+
+TEST_F(CalibrationTest, DataIoSharesMatchSecIIIB)
+{
+    // Sec III-B: data I/O ~3% for distributed workloads (cNode
+    // level), ~10% for 1w1g, and ~5% of 1w1g jobs spend > 50% on
+    // input movement.
+    auto ps = characterizer_->avgBreakdown(ArchType::PsWorker,
+                                           Level::CNode);
+    EXPECT_NEAR(ps[0], 0.03, 0.025);
+    auto w1 = characterizer_->avgBreakdown(ArchType::OneWorkerOneGpu,
+                                           Level::Job);
+    EXPECT_NEAR(w1[0], 0.10, 0.04);
+    auto cdf = characterizer_->componentCdf(
+        Component::DataIo, ArchType::OneWorkerOneGpu, Level::Job);
+    EXPECT_NEAR(1.0 - cdf.probAtOrBelow(0.5), 0.05, 0.03);
+}
+
+TEST_F(CalibrationTest, AllReduceLocalProjectionMatchesFig9a)
+{
+    // Fig 9(a): ~22.6% of PS jobs see no single-cNode speedup; ~40.2%
+    // see no overall-throughput gain (i.e. ~60% improve).
+    ArchitectureProjector proj(*model_);
+    int n = 0, no_single = 0, no_tp = 0;
+    for (const auto &j : characterizer_->jobs()) {
+        if (j.arch != ArchType::PsWorker)
+            continue;
+        ++n;
+        auto r = proj.project(j, ArchType::AllReduceLocal);
+        no_single += r.single_node_speedup <= 1.0;
+        no_tp += r.throughput_speedup <= 1.0;
+    }
+    ASSERT_GT(n, 1000);
+    EXPECT_NEAR(static_cast<double>(no_single) / n, 0.226, 0.08);
+    EXPECT_NEAR(static_cast<double>(no_tp) / n, 0.402, 0.08);
+}
+
+TEST_F(CalibrationTest, AllReduceClusterProjectionMatchesFig9b)
+{
+    // Fig 9(b): ~67.9% of PS jobs gain from AllReduce-Cluster; among
+    // jobs NOT sped up by AllReduce-Local, ~37.8% gain.
+    ArchitectureProjector proj(*model_);
+    int n = 0, sped = 0, local_losers = 0, rescued = 0;
+    for (const auto &j : characterizer_->jobs()) {
+        if (j.arch != ArchType::PsWorker)
+            continue;
+        ++n;
+        auto rc = proj.project(j, ArchType::AllReduceCluster);
+        auto rl = proj.project(j, ArchType::AllReduceLocal);
+        sped += rc.throughput_speedup > 1.0;
+        if (rl.throughput_speedup <= 1.0) {
+            ++local_losers;
+            rescued += rc.throughput_speedup > 1.0;
+        }
+    }
+    ASSERT_GT(local_losers, 100);
+    EXPECT_NEAR(static_cast<double>(sped) / n, 0.679, 0.10);
+    EXPECT_NEAR(static_cast<double>(rescued) / local_losers, 0.378,
+                0.15);
+}
+
+TEST_F(CalibrationTest, EthernetUpgradeYields1Point7xOnPsJobs)
+{
+    // Abstract: "on average 1.7X speedup can be achieved when Ethernet
+    // bandwidth is upgraded from 25 Gbps to 100 Gbps".
+    std::vector<TrainingJob> ps;
+    for (const auto &j : characterizer_->jobs()) {
+        if (j.arch == ArchType::PsWorker)
+            ps.push_back(j);
+    }
+    core::HardwareSweep sweep(*spec_);
+    double s = sweep.avgSpeedup(ps, hw::Resource::Ethernet, 100.0);
+    EXPECT_NEAR(s, 1.7, 0.15);
+}
+
+TEST_F(CalibrationTest, BottleneckShiftAfterProjection)
+{
+    // Fig 10: after mapping PS jobs to AllReduce-Local, the data-I/O
+    // (PCIe) share grows the most and comm shrinks drastically.
+    ArchitectureProjector proj(*model_);
+    double comm_before = 0, comm_after = 0, data_before = 0,
+           data_after = 0;
+    int n = 0;
+    for (const auto &j : characterizer_->jobs()) {
+        if (j.arch != ArchType::PsWorker)
+            continue;
+        ++n;
+        auto b0 = model_->breakdown(j);
+        auto b1 = model_->breakdown(
+            proj.remap(j, ArchType::AllReduceLocal));
+        comm_before += b0.fraction(Component::WeightTraffic);
+        comm_after += b1.fraction(Component::WeightTraffic);
+        data_before += b0.fraction(Component::DataIo);
+        data_after += b1.fraction(Component::DataIo);
+    }
+    EXPECT_LT(comm_after / n, 0.35 * (comm_before / n));
+    EXPECT_GT(data_after / n, 2.0 * (data_before / n));
+}
+
+} // namespace
+} // namespace paichar::trace

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multi-seed calibration stability: the headline aggregates must hold
+ * for *any* seed, not just the one the benches print. Uses wider
+ * bands than calibration_test.cc (smaller populations per seed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.h"
+#include "core/projection.h"
+#include "hw/units.h"
+#include "trace/synthetic_cluster.h"
+
+namespace paichar::trace {
+namespace {
+
+using core::AnalyticalModel;
+using core::ClusterCharacterizer;
+using core::Level;
+using workload::ArchType;
+
+class MultiSeedCalibration : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(MultiSeedCalibration, HeadlineAggregatesAreSeedStable)
+{
+    AnalyticalModel model(hw::paiCluster());
+    SyntheticClusterGenerator gen(GetParam());
+    ClusterCharacterizer ch(model, gen.generate(8000));
+
+    // Fig 5: PS/Worker resource dominance.
+    auto c = ch.constitution();
+    EXPECT_NEAR(c.cnodeShare(ArchType::PsWorker), 0.81, 0.08);
+    EXPECT_NEAR(c.jobShare(ArchType::PsWorker), 0.29, 0.03);
+
+    // Fig 7: comm shares at both levels.
+    auto cl = ch.avgBreakdown(std::nullopt, Level::CNode);
+    auto jl = ch.avgBreakdown(std::nullopt, Level::Job);
+    EXPECT_NEAR(cl[1], 0.62, 0.07);
+    EXPECT_NEAR(jl[1], 0.21, 0.05);
+
+    // Fig 6b: model-size distribution.
+    auto w = ch.weightSizeCdf(std::nullopt);
+    EXPECT_NEAR(w.probAtOrBelow(10 * hw::kGB), 0.93, 0.06);
+
+    // Fig 9a: projection loser fraction.
+    core::ArchitectureProjector proj(model);
+    int n = 0, losers = 0;
+    for (const auto &job : ch.jobs()) {
+        if (job.arch != ArchType::PsWorker)
+            continue;
+        ++n;
+        losers += proj.project(job, ArchType::AllReduceLocal)
+                      .single_node_speedup <= 1.0;
+    }
+    EXPECT_NEAR(static_cast<double>(losers) / n, 0.226, 0.09);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiSeedCalibration,
+                         ::testing::Values(1ull, 424242ull,
+                                           20190101ull,
+                                           0xdeadbeefull));
+
+} // namespace
+} // namespace paichar::trace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Structural tests for the synthetic trace generator: determinism,
+ * per-architecture invariants, and feature validity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/units.h"
+#include "trace/synthetic_cluster.h"
+
+namespace paichar::trace {
+namespace {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+TEST(SyntheticClusterTest, DeterministicForEqualSeeds)
+{
+    SyntheticClusterGenerator a(123), b(123);
+    auto ja = a.generate(200);
+    auto jb = b.generate(200);
+    ASSERT_EQ(ja.size(), jb.size());
+    for (size_t i = 0; i < ja.size(); ++i) {
+        EXPECT_EQ(ja[i].arch, jb[i].arch);
+        EXPECT_EQ(ja[i].num_cnodes, jb[i].num_cnodes);
+        EXPECT_DOUBLE_EQ(ja[i].features.flop_count,
+                         jb[i].features.flop_count);
+        EXPECT_DOUBLE_EQ(ja[i].features.comm_bytes,
+                         jb[i].features.comm_bytes);
+    }
+}
+
+TEST(SyntheticClusterTest, DifferentSeedsDiffer)
+{
+    SyntheticClusterGenerator a(1), b(2);
+    auto ja = a.generate(100);
+    auto jb = b.generate(100);
+    int same = 0;
+    for (size_t i = 0; i < ja.size(); ++i)
+        same += ja[i].features.flop_count == jb[i].features.flop_count;
+    EXPECT_LT(same, 5);
+}
+
+TEST(SyntheticClusterTest, IdsAreSequential)
+{
+    SyntheticClusterGenerator gen(5);
+    auto jobs = gen.generate(50);
+    for (size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].id, static_cast<int64_t>(i));
+}
+
+TEST(SyntheticClusterTest, PerArchitectureInvariants)
+{
+    SyntheticClusterGenerator gen(7);
+    auto jobs = gen.generate(5000);
+    const auto &p = gen.profile();
+    for (const TrainingJob &job : jobs) {
+        ASSERT_TRUE(job.features.valid());
+        switch (job.arch) {
+          case ArchType::OneWorkerOneGpu:
+            EXPECT_EQ(job.num_cnodes, 1);
+            EXPECT_EQ(job.num_ps, 0);
+            EXPECT_DOUBLE_EQ(job.features.comm_bytes, 0.0);
+            EXPECT_DOUBLE_EQ(job.features.embedding_weight_bytes, 0.0);
+            break;
+          case ArchType::OneWorkerMultiGpu:
+            EXPECT_TRUE(job.num_cnodes == 2 || job.num_cnodes == 4 ||
+                        job.num_cnodes == 8);
+            EXPECT_GT(job.features.comm_bytes, 0.0);
+            break;
+          case ArchType::PsWorker:
+            EXPECT_GE(job.num_cnodes, 1);
+            EXPECT_LE(job.num_cnodes, p.ps_cnodes_max);
+            EXPECT_GE(job.num_ps, 1);
+            EXPECT_GT(job.features.comm_bytes, 0.0);
+            break;
+          default:
+            FAIL() << "unexpected architecture "
+                   << toString(job.arch);
+        }
+        EXPECT_GE(job.features.dense_weight_bytes,
+                  p.weight_floor_bytes);
+        EXPECT_LE(job.features.embedding_weight_bytes,
+                  p.emb_weight_cap_gb * 1e9);
+        EXPECT_GE(job.features.batch_size,
+                  std::pow(2.0, p.batch_log2_lo) - 1);
+        EXPECT_LE(job.features.batch_size,
+                  std::pow(2.0, p.batch_log2_hi) + 1);
+    }
+}
+
+TEST(SyntheticClusterTest, ArchitectureMixMatchesProfile)
+{
+    SyntheticClusterGenerator gen(11);
+    const size_t n = 20000;
+    auto jobs = gen.generate(n);
+    size_t c1 = 0, cn = 0, cps = 0;
+    for (const auto &j : jobs) {
+        c1 += j.arch == ArchType::OneWorkerOneGpu;
+        cn += j.arch == ArchType::OneWorkerMultiGpu;
+        cps += j.arch == ArchType::PsWorker;
+    }
+    const auto &p = gen.profile();
+    EXPECT_NEAR(static_cast<double>(c1) / n, p.frac_1w1g, 0.015);
+    EXPECT_NEAR(static_cast<double>(cn) / n, p.frac_1wng, 0.01);
+    EXPECT_NEAR(static_cast<double>(cps) / n, p.frac_ps_worker, 0.015);
+}
+
+TEST(SyntheticClusterTest, SparsePsJobsHaveLargeEmbeddings)
+{
+    SyntheticClusterGenerator gen(13);
+    auto jobs = gen.generate(20000);
+    int sparse = 0, ps = 0;
+    for (const auto &j : jobs) {
+        if (j.arch != ArchType::PsWorker)
+            continue;
+        ++ps;
+        if (j.features.embedding_weight_bytes > 0.0) {
+            ++sparse;
+            // Embedding tables dwarf per-step traffic.
+            EXPECT_GT(j.features.embedding_weight_bytes,
+                      j.features.comm_bytes);
+        }
+    }
+    ASSERT_GT(ps, 0);
+    EXPECT_NEAR(static_cast<double>(sparse) / ps,
+                gen.profile().ps_sparse_prob, 0.03);
+}
+
+} // namespace
+} // namespace paichar::trace

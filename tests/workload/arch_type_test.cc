@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for architecture classification (Table II).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/arch_type.h"
+
+namespace paichar::workload {
+namespace {
+
+TEST(ArchTypeTest, Names)
+{
+    EXPECT_EQ(toString(ArchType::OneWorkerOneGpu), "1w1g");
+    EXPECT_EQ(toString(ArchType::OneWorkerMultiGpu), "1wng");
+    EXPECT_EQ(toString(ArchType::PsWorker), "PS/Worker");
+    EXPECT_EQ(toString(ArchType::AllReduceLocal), "AllReduce-Local");
+    EXPECT_EQ(toString(ArchType::AllReduceCluster),
+              "AllReduce-Cluster");
+    EXPECT_EQ(toString(ArchType::Pearl), "PEARL");
+}
+
+TEST(ArchTypeTest, CentralizedPerTableII)
+{
+    EXPECT_FALSE(isCentralized(ArchType::OneWorkerOneGpu));
+    EXPECT_TRUE(isCentralized(ArchType::OneWorkerMultiGpu));
+    EXPECT_TRUE(isCentralized(ArchType::PsWorker));
+    EXPECT_FALSE(isCentralized(ArchType::AllReduceLocal));
+    EXPECT_FALSE(isCentralized(ArchType::AllReduceCluster));
+    EXPECT_FALSE(isCentralized(ArchType::Pearl));
+}
+
+TEST(ArchTypeTest, ClusterPerTableII)
+{
+    EXPECT_FALSE(isCluster(ArchType::OneWorkerOneGpu));
+    EXPECT_FALSE(isCluster(ArchType::OneWorkerMultiGpu));
+    EXPECT_TRUE(isCluster(ArchType::PsWorker));
+    EXPECT_FALSE(isCluster(ArchType::AllReduceLocal));
+    EXPECT_TRUE(isCluster(ArchType::AllReduceCluster));
+}
+
+TEST(ArchTypeTest, WeightMovementMediumPerTableII)
+{
+    EXPECT_EQ(weightMovementMedium(ArchType::OneWorkerOneGpu), "-");
+    EXPECT_EQ(weightMovementMedium(ArchType::OneWorkerMultiGpu),
+              "PCIe");
+    EXPECT_EQ(weightMovementMedium(ArchType::PsWorker),
+              "Ethernet & PCIe");
+    EXPECT_EQ(weightMovementMedium(ArchType::AllReduceLocal),
+              "NVLink");
+    EXPECT_EQ(weightMovementMedium(ArchType::AllReduceCluster),
+              "Ethernet & NVLink");
+    EXPECT_EQ(weightMovementMedium(ArchType::Pearl), "NVLink");
+}
+
+TEST(ArchTypeTest, AllArchTypesEnumerationIsComplete)
+{
+    EXPECT_EQ(std::size(kAllArchTypes), 6u);
+}
+
+} // namespace
+} // namespace paichar::workload

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the parameterized model families (depth/width sweeps).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/units.h"
+#include "workload/model_zoo.h"
+
+namespace paichar::workload {
+namespace {
+
+using hw::kGB;
+using hw::kMB;
+using hw::kTFLOPs;
+
+TEST(ModelFamilyTest, DefaultResnetConfigIsResnet50)
+{
+    auto a = ModelZoo::resnet50();
+    auto b = ModelZoo::resnet(ResNetConfig{});
+    EXPECT_EQ(a.name, "ResNet50");
+    EXPECT_EQ(b.name, "ResNet50");
+    EXPECT_DOUBLE_EQ(a.features.flop_count, b.features.flop_count);
+    EXPECT_DOUBLE_EQ(a.features.dense_weight_bytes,
+                     b.features.dense_weight_bytes);
+    EXPECT_EQ(a.graph.size(), b.graph.size());
+}
+
+TEST(ModelFamilyTest, DefaultTransformerConfigIsBert)
+{
+    auto a = ModelZoo::bert();
+    auto b = ModelZoo::transformer(TransformerConfig{});
+    EXPECT_EQ(a.name, "BERT");
+    EXPECT_EQ(b.name, "BERT");
+    EXPECT_DOUBLE_EQ(a.features.flop_count, b.features.flop_count);
+    EXPECT_NEAR(a.features.comm_bytes, 1.5 * kGB, 1.0);
+}
+
+class ResNetDepthProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ResNetDepthProperty, DemandsScaleWithPublishedRatios)
+{
+    int depth = GetParam();
+    auto m = ModelZoo::resnet(ResNetConfig{depth, 64});
+    EXPECT_EQ(m.name, "ResNet" + std::to_string(depth));
+    ASSERT_TRUE(m.graph.validate());
+    ASSERT_TRUE(m.features.valid());
+    // Graph totals pinned to the scaled targets.
+    auto t = m.graph.totals();
+    EXPECT_NEAR(t.flops / m.features.flop_count, 1.0, 1e-6);
+    EXPECT_NEAR(t.mem_access_bytes / m.features.mem_access_bytes,
+                1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ResNetDepthProperty,
+                         ::testing::Values(18, 34, 50, 101, 152));
+
+TEST(ModelFamilyTest, DeeperResnetsCostMore)
+{
+    double prev_flops = 0.0, prev_weights = 0.0;
+    int prev_kernels = 0;
+    for (int depth : {18, 34, 50, 101, 152}) {
+        auto m = ModelZoo::resnet(ResNetConfig{depth, 64});
+        EXPECT_GT(m.features.flop_count, prev_flops) << depth;
+        EXPECT_GT(m.features.dense_weight_bytes, prev_weights)
+            << depth;
+        int kernels = m.graph.totals().num_kernels;
+        EXPECT_GE(kernels, prev_kernels) << depth;
+        prev_flops = m.features.flop_count;
+        prev_weights = m.features.dense_weight_bytes;
+        prev_kernels = kernels;
+    }
+}
+
+TEST(ModelFamilyTest, ResnetBatchScalesComputeNotWeights)
+{
+    auto small = ModelZoo::resnet(ResNetConfig{50, 32});
+    auto big = ModelZoo::resnet(ResNetConfig{50, 128});
+    EXPECT_NEAR(big.features.flop_count / small.features.flop_count,
+                4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(big.features.dense_weight_bytes,
+                     small.features.dense_weight_bytes);
+    EXPECT_DOUBLE_EQ(big.features.comm_bytes,
+                     small.features.comm_bytes);
+}
+
+TEST(ModelFamilyTest, TransformerLayerAndWidthScaling)
+{
+    auto base = ModelZoo::transformer(TransformerConfig{});
+    auto deep = ModelZoo::transformer({48, 1.0, 12});
+    auto wide = ModelZoo::transformer({24, 2.0, 12});
+
+    EXPECT_NEAR(deep.features.flop_count / base.features.flop_count,
+                2.0, 0.01);
+    EXPECT_NEAR(deep.features.dense_weight_bytes /
+                    base.features.dense_weight_bytes,
+                2.0, 1e-9);
+    // Width scales compute and weights quadratically.
+    EXPECT_NEAR(wide.features.flop_count / base.features.flop_count,
+                4.0, 1e-9);
+    EXPECT_NEAR(wide.features.dense_weight_bytes /
+                    base.features.dense_weight_bytes,
+                4.0, 1e-9);
+    // Deeper graphs have more kernels; wider ones the same count.
+    EXPECT_GT(deep.graph.size(), base.graph.size());
+    EXPECT_EQ(wide.graph.size(), base.graph.size());
+    EXPECT_NE(deep.name, "BERT");
+}
+
+} // namespace
+} // namespace paichar::workload

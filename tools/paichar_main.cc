@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Entry point for the `paichar` command-line tool; all logic lives in
+ * the testable pai_cli library.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return paichar::cli::run(args, std::cout, std::cerr);
+}
