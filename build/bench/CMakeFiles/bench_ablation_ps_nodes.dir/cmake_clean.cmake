@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ps_nodes.dir/bench_ablation_ps_nodes.cc.o"
+  "CMakeFiles/bench_ablation_ps_nodes.dir/bench_ablation_ps_nodes.cc.o.d"
+  "bench_ablation_ps_nodes"
+  "bench_ablation_ps_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ps_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cluster_provisioning.dir/bench_ext_cluster_provisioning.cc.o"
+  "CMakeFiles/bench_ext_cluster_provisioning.dir/bench_ext_cluster_provisioning.cc.o.d"
+  "bench_ext_cluster_provisioning"
+  "bench_ext_cluster_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cluster_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_constitution.dir/bench_fig5_constitution.cc.o"
+  "CMakeFiles/bench_fig5_constitution.dir/bench_fig5_constitution.cc.o.d"
+  "bench_fig5_constitution"
+  "bench_fig5_constitution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_constitution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_allreduce_projection.cc" "bench/CMakeFiles/bench_fig9_allreduce_projection.dir/bench_fig9_allreduce_projection.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_allreduce_projection.dir/bench_fig9_allreduce_projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/clustersim/CMakeFiles/pai_clustersim.dir/DependInfo.cmake"
+  "/root/repo/build/src/inference/CMakeFiles/pai_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pai_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/pai_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/pai_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pai_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/pai_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/pai_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pai_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pai_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pai_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

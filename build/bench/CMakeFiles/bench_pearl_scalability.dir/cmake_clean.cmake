@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pearl_scalability.dir/bench_pearl_scalability.cc.o"
+  "CMakeFiles/bench_pearl_scalability.dir/bench_pearl_scalability.cc.o.d"
+  "bench_pearl_scalability"
+  "bench_pearl_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pearl_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_3_settings.dir/bench_table1_3_settings.cc.o"
+  "CMakeFiles/bench_table1_3_settings.dir/bench_table1_3_settings.cc.o.d"
+  "bench_table1_3_settings"
+  "bench_table1_3_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_3_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_5_models.dir/bench_table4_5_models.cc.o"
+  "CMakeFiles/bench_table4_5_models.dir/bench_table4_5_models.cc.o.d"
+  "bench_table4_5_models"
+  "bench_table4_5_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_5_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_pearl.dir/case_study_pearl.cpp.o"
+  "CMakeFiles/case_study_pearl.dir/case_study_pearl.cpp.o.d"
+  "case_study_pearl"
+  "case_study_pearl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_pearl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

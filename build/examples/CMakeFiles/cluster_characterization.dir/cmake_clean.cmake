@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_characterization.dir/cluster_characterization.cpp.o"
+  "CMakeFiles/cluster_characterization.dir/cluster_characterization.cpp.o.d"
+  "cluster_characterization"
+  "cluster_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

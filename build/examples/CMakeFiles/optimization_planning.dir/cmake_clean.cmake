@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimization_planning.dir/optimization_planning.cpp.o"
+  "CMakeFiles/optimization_planning.dir/optimization_planning.cpp.o.d"
+  "optimization_planning"
+  "optimization_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimization_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

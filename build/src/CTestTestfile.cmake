@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("hw")
+subdirs("workload")
+subdirs("trace")
+subdirs("core")
+subdirs("sim")
+subdirs("collectives")
+subdirs("profiler")
+subdirs("opt")
+subdirs("testbed")
+subdirs("inference")
+subdirs("clustersim")
+subdirs("cli")

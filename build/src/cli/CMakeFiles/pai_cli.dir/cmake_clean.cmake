@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_cli.dir/cli.cc.o"
+  "CMakeFiles/pai_cli.dir/cli.cc.o.d"
+  "libpai_cli.a"
+  "libpai_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

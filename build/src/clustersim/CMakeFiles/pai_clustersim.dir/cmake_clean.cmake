@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_clustersim.dir/scheduler.cc.o"
+  "CMakeFiles/pai_clustersim.dir/scheduler.cc.o.d"
+  "libpai_clustersim.a"
+  "libpai_clustersim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_clustersim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

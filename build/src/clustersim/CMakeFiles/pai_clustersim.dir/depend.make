@@ -1,0 +1,2 @@
+# Empty dependencies file for pai_clustersim.
+# This may be replaced when dependencies are built.

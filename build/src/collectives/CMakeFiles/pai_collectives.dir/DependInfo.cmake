@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/collective_ops.cc" "src/collectives/CMakeFiles/pai_collectives.dir/collective_ops.cc.o" "gcc" "src/collectives/CMakeFiles/pai_collectives.dir/collective_ops.cc.o.d"
+  "/root/repo/src/collectives/strategy.cc" "src/collectives/CMakeFiles/pai_collectives.dir/strategy.cc.o" "gcc" "src/collectives/CMakeFiles/pai_collectives.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pai_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pai_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pai_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_collectives.dir/collective_ops.cc.o"
+  "CMakeFiles/pai_collectives.dir/collective_ops.cc.o.d"
+  "CMakeFiles/pai_collectives.dir/strategy.cc.o"
+  "CMakeFiles/pai_collectives.dir/strategy.cc.o.d"
+  "libpai_collectives.a"
+  "libpai_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytical_model.cc" "src/core/CMakeFiles/pai_core.dir/analytical_model.cc.o" "gcc" "src/core/CMakeFiles/pai_core.dir/analytical_model.cc.o.d"
+  "/root/repo/src/core/arch_selection.cc" "src/core/CMakeFiles/pai_core.dir/arch_selection.cc.o" "gcc" "src/core/CMakeFiles/pai_core.dir/arch_selection.cc.o.d"
+  "/root/repo/src/core/characterization.cc" "src/core/CMakeFiles/pai_core.dir/characterization.cc.o" "gcc" "src/core/CMakeFiles/pai_core.dir/characterization.cc.o.d"
+  "/root/repo/src/core/projection.cc" "src/core/CMakeFiles/pai_core.dir/projection.cc.o" "gcc" "src/core/CMakeFiles/pai_core.dir/projection.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/core/CMakeFiles/pai_core.dir/sweep.cc.o" "gcc" "src/core/CMakeFiles/pai_core.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pai_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pai_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pai_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_core.dir/analytical_model.cc.o"
+  "CMakeFiles/pai_core.dir/analytical_model.cc.o.d"
+  "CMakeFiles/pai_core.dir/arch_selection.cc.o"
+  "CMakeFiles/pai_core.dir/arch_selection.cc.o.d"
+  "CMakeFiles/pai_core.dir/characterization.cc.o"
+  "CMakeFiles/pai_core.dir/characterization.cc.o.d"
+  "CMakeFiles/pai_core.dir/projection.cc.o"
+  "CMakeFiles/pai_core.dir/projection.cc.o.d"
+  "CMakeFiles/pai_core.dir/sweep.cc.o"
+  "CMakeFiles/pai_core.dir/sweep.cc.o.d"
+  "libpai_core.a"
+  "libpai_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_hw.dir/hardware_config.cc.o"
+  "CMakeFiles/pai_hw.dir/hardware_config.cc.o.d"
+  "libpai_hw.a"
+  "libpai_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

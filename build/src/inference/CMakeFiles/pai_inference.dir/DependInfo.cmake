@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/inference_workload.cc" "src/inference/CMakeFiles/pai_inference.dir/inference_workload.cc.o" "gcc" "src/inference/CMakeFiles/pai_inference.dir/inference_workload.cc.o.d"
+  "/root/repo/src/inference/serving_sim.cc" "src/inference/CMakeFiles/pai_inference.dir/serving_sim.cc.o" "gcc" "src/inference/CMakeFiles/pai_inference.dir/serving_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pai_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pai_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pai_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

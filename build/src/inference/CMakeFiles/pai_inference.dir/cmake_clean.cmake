@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_inference.dir/inference_workload.cc.o"
+  "CMakeFiles/pai_inference.dir/inference_workload.cc.o.d"
+  "CMakeFiles/pai_inference.dir/serving_sim.cc.o"
+  "CMakeFiles/pai_inference.dir/serving_sim.cc.o.d"
+  "libpai_inference.a"
+  "libpai_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/optimization_planner.cc" "src/opt/CMakeFiles/pai_opt.dir/optimization_planner.cc.o" "gcc" "src/opt/CMakeFiles/pai_opt.dir/optimization_planner.cc.o.d"
+  "/root/repo/src/opt/passes.cc" "src/opt/CMakeFiles/pai_opt.dir/passes.cc.o" "gcc" "src/opt/CMakeFiles/pai_opt.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pai_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/pai_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/pai_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pai_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/pai_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pai_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pai_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

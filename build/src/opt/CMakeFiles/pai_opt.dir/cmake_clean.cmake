@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_opt.dir/optimization_planner.cc.o"
+  "CMakeFiles/pai_opt.dir/optimization_planner.cc.o.d"
+  "CMakeFiles/pai_opt.dir/passes.cc.o"
+  "CMakeFiles/pai_opt.dir/passes.cc.o.d"
+  "libpai_opt.a"
+  "libpai_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

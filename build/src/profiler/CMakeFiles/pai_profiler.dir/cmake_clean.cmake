@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_profiler.dir/bottleneck_report.cc.o"
+  "CMakeFiles/pai_profiler.dir/bottleneck_report.cc.o.d"
+  "CMakeFiles/pai_profiler.dir/feature_extraction.cc.o"
+  "CMakeFiles/pai_profiler.dir/feature_extraction.cc.o.d"
+  "libpai_profiler.a"
+  "libpai_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pai_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pai_sim.dir/resource.cc.o"
+  "CMakeFiles/pai_sim.dir/resource.cc.o.d"
+  "CMakeFiles/pai_sim.dir/topology.cc.o"
+  "CMakeFiles/pai_sim.dir/topology.cc.o.d"
+  "libpai_sim.a"
+  "libpai_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

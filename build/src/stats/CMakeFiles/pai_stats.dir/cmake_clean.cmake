@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_stats.dir/ascii_plot.cc.o"
+  "CMakeFiles/pai_stats.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/pai_stats.dir/cdf.cc.o"
+  "CMakeFiles/pai_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/pai_stats.dir/rng.cc.o"
+  "CMakeFiles/pai_stats.dir/rng.cc.o.d"
+  "CMakeFiles/pai_stats.dir/summary.cc.o"
+  "CMakeFiles/pai_stats.dir/summary.cc.o.d"
+  "CMakeFiles/pai_stats.dir/table.cc.o"
+  "CMakeFiles/pai_stats.dir/table.cc.o.d"
+  "libpai_stats.a"
+  "libpai_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_testbed.dir/training_sim.cc.o"
+  "CMakeFiles/pai_testbed.dir/training_sim.cc.o.d"
+  "libpai_testbed.a"
+  "libpai_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_trace.dir/synthetic_cluster.cc.o"
+  "CMakeFiles/pai_trace.dir/synthetic_cluster.cc.o.d"
+  "CMakeFiles/pai_trace.dir/trace_io.cc.o"
+  "CMakeFiles/pai_trace.dir/trace_io.cc.o.d"
+  "libpai_trace.a"
+  "libpai_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

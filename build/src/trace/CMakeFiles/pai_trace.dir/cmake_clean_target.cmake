@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpai_trace.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arch_type.cc" "src/workload/CMakeFiles/pai_workload.dir/arch_type.cc.o" "gcc" "src/workload/CMakeFiles/pai_workload.dir/arch_type.cc.o.d"
+  "/root/repo/src/workload/model_zoo.cc" "src/workload/CMakeFiles/pai_workload.dir/model_zoo.cc.o" "gcc" "src/workload/CMakeFiles/pai_workload.dir/model_zoo.cc.o.d"
+  "/root/repo/src/workload/op_graph.cc" "src/workload/CMakeFiles/pai_workload.dir/op_graph.cc.o" "gcc" "src/workload/CMakeFiles/pai_workload.dir/op_graph.cc.o.d"
+  "/root/repo/src/workload/workload_features.cc" "src/workload/CMakeFiles/pai_workload.dir/workload_features.cc.o" "gcc" "src/workload/CMakeFiles/pai_workload.dir/workload_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pai_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pai_workload.dir/arch_type.cc.o"
+  "CMakeFiles/pai_workload.dir/arch_type.cc.o.d"
+  "CMakeFiles/pai_workload.dir/model_zoo.cc.o"
+  "CMakeFiles/pai_workload.dir/model_zoo.cc.o.d"
+  "CMakeFiles/pai_workload.dir/op_graph.cc.o"
+  "CMakeFiles/pai_workload.dir/op_graph.cc.o.d"
+  "CMakeFiles/pai_workload.dir/workload_features.cc.o"
+  "CMakeFiles/pai_workload.dir/workload_features.cc.o.d"
+  "libpai_workload.a"
+  "libpai_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pai_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

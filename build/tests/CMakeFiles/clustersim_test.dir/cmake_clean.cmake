@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustersim_test.dir/clustersim/scheduler_test.cc.o"
+  "CMakeFiles/clustersim_test.dir/clustersim/scheduler_test.cc.o.d"
+  "clustersim_test"
+  "clustersim_test.pdb"
+  "clustersim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustersim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

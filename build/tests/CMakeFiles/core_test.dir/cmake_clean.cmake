@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analytical_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/analytical_model_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/arch_selection_test.cc.o"
+  "CMakeFiles/core_test.dir/core/arch_selection_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/characterization_test.cc.o"
+  "CMakeFiles/core_test.dir/core/characterization_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/model_properties_test.cc.o"
+  "CMakeFiles/core_test.dir/core/model_properties_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/projection_test.cc.o"
+  "CMakeFiles/core_test.dir/core/projection_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sweep_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sweep_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_test.dir/testbed/cluster_arch_test.cc.o"
+  "CMakeFiles/testbed_test.dir/testbed/cluster_arch_test.cc.o.d"
+  "CMakeFiles/testbed_test.dir/testbed/pipeline_test.cc.o"
+  "CMakeFiles/testbed_test.dir/testbed/pipeline_test.cc.o.d"
+  "CMakeFiles/testbed_test.dir/testbed/training_sim_test.cc.o"
+  "CMakeFiles/testbed_test.dir/testbed/training_sim_test.cc.o.d"
+  "testbed_test"
+  "testbed_test.pdb"
+  "testbed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

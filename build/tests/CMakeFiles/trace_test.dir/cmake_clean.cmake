@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/trace/calibration_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/calibration_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/multi_seed_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/multi_seed_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/synthetic_cluster_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/synthetic_cluster_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/trace_io_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/trace_io_test.cc.o.d"
+  "trace_test"
+  "trace_test.pdb"
+  "trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paichar.dir/paichar_main.cc.o"
+  "CMakeFiles/paichar.dir/paichar_main.cc.o.d"
+  "paichar"
+  "paichar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paichar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for paichar.
+# This may be replaced when dependencies are built.
