@@ -100,5 +100,17 @@ main()
     std::printf("PS/Worker mean speedup at 100 Gbps Ethernet: %.2fx "
                 "(paper: ~1.7x)\n",
                 s_eth);
+
+    auto ps_jobs = a.jobsOf(ArchType::PsWorker);
+    bench::reportSerialVsParallel(
+        "Table III sweep over PS/Worker jobs",
+        [&](runtime::ThreadPool *pool) {
+            core::HardwareSweep timed_sweep(a.spec, pool);
+            auto series = timed_sweep.run(ps_jobs);
+            std::size_t points = 0;
+            for (const auto &s : series)
+                points += s.points.size();
+            (void)points;
+        });
     return 0;
 }

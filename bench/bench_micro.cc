@@ -4,14 +4,26 @@
  * analytical model, trace synthesis, cluster characterization, the
  * DES engine, collectives, the fusion pass, and a full simulated
  * training step.
+ *
+ * Before the google-benchmark suite runs, a thread-scaling section
+ * times the 10k-job characterization pipeline (generate + per-job
+ * breakdowns + cluster aggregates) at 1/2/4/N threads and emits one
+ * JSON row per point, seeding the perf trajectory across PRs.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "collectives/collective_ops.h"
 #include "core/characterization.h"
 #include "core/projection.h"
 #include "opt/passes.h"
+#include "runtime/parallel.h"
 #include "testbed/training_sim.h"
 #include "trace/synthetic_cluster.h"
 
@@ -42,9 +54,12 @@ BM_Projection(benchmark::State &state)
     core::AnalyticalModel model(hw::paiCluster());
     core::ArchitectureProjector proj(model);
     trace::SyntheticClusterGenerator gen(7);
+    // Scan ids until we hit a PS/Worker job (generateJob is a pure
+    // function of (seed, id), so retrying one id would never change).
     workload::TrainingJob job;
+    int64_t id = 0;
     do {
-        job = gen.generateJob(0);
+        job = gen.generateJob(id++);
     } while (job.arch != workload::ArchType::PsWorker);
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -140,6 +155,79 @@ BM_TrainingStep(benchmark::State &state)
 }
 BENCHMARK(BM_TrainingStep);
 
+/**
+ * Thread-scaling section: the full characterization pipeline
+ * (generate + ClusterCharacterizer + cluster aggregates) at each
+ * thread count, printed as JSON rows.
+ */
+void
+runThreadScalingSection()
+{
+    constexpr size_t kJobs = 10000;
+    constexpr int kReps = 3;
+
+    std::vector<int> counts = {1, 2, 4};
+    int configured = runtime::threadCount();
+    if (std::find(counts.begin(), counts.end(), configured) ==
+        counts.end())
+        counts.push_back(configured);
+
+    core::AnalyticalModel model(hw::paiCluster());
+    trace::SyntheticClusterGenerator gen(7);
+
+    std::printf("# thread-scaling: characterization pipeline, %zu "
+                "jobs, best of %d reps\n",
+                kJobs, kReps);
+    double serial_seconds = 0.0;
+    for (int t : counts) {
+        std::unique_ptr<runtime::ThreadPool> owned;
+        runtime::ThreadPool *pool = nullptr;
+        if (t > 1) {
+            owned = std::make_unique<runtime::ThreadPool>(t);
+            pool = owned.get();
+        }
+        double best = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            auto t0 = std::chrono::steady_clock::now();
+            auto jobs = gen.generate(kJobs, pool);
+            core::ClusterCharacterizer ch(model, std::move(jobs),
+                                          pool);
+            auto avg =
+                ch.avgBreakdown(std::nullopt, core::Level::CNode);
+            benchmark::DoNotOptimize(avg);
+            auto cdf = ch.componentCdf(core::Component::WeightTraffic,
+                                       std::nullopt,
+                                       core::Level::CNode);
+            benchmark::DoNotOptimize(cdf.totalWeight());
+            auto t1 = std::chrono::steady_clock::now();
+            double sec =
+                std::chrono::duration<double>(t1 - t0).count();
+            if (rep == 0 || sec < best)
+                best = sec;
+        }
+        if (t == 1)
+            serial_seconds = best;
+        std::printf("{\"bench\":\"thread_scaling\",\"pipeline\":"
+                    "\"generate+characterize\",\"jobs\":%zu,"
+                    "\"threads\":%d,\"seconds\":%.6f,"
+                    "\"speedup_vs_1\":%.3f}\n",
+                    kJobs, t, best,
+                    serial_seconds > 0.0 ? serial_seconds / best
+                                         : 1.0);
+    }
+    std::printf("\n");
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    runThreadScalingSection();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -8,6 +8,7 @@
 #ifndef PAICHAR_BENCH_COMMON_H
 #define PAICHAR_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -16,6 +17,7 @@
 #include "core/analytical_model.h"
 #include "core/characterization.h"
 #include "hw/hardware_config.h"
+#include "runtime/parallel.h"
 #include "trace/synthetic_cluster.h"
 
 namespace paichar::bench {
@@ -43,9 +45,47 @@ inline void
 printTraceInfo()
 {
     std::printf("Synthetic trace: %zu jobs, seed %llu (calibrated to "
-                "the paper's published aggregates; see DESIGN.md)\n\n",
+                "the paper's published aggregates; see DESIGN.md)\n",
                 kTraceJobs,
                 static_cast<unsigned long long>(kTraceSeed));
+    std::printf("Execution runtime: %d thread(s) (--threads / "
+                "PAICHAR_THREADS; results are thread-count "
+                "invariant)\n\n",
+                runtime::threadCount());
+}
+
+/** Wall-clock one invocation of @p body, in seconds. */
+template <typename Body>
+inline double
+timedSeconds(Body &&body)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    body();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Runtime hook for every bench: time @p body once serially
+ * (body(nullptr)) and once on the configured global pool, and print
+ * the comparison. No-ops the parallel leg when the runtime is serial.
+ */
+template <typename Body>
+inline void
+reportSerialVsParallel(const char *label, Body &&body)
+{
+    double t1 = timedSeconds(
+        [&] { body(static_cast<runtime::ThreadPool *>(nullptr)); });
+    runtime::ThreadPool *pool = runtime::globalPool();
+    if (!pool) {
+        std::printf("[runtime] %s: %.3fs serial (1 thread)\n", label,
+                    t1);
+        return;
+    }
+    double tn = timedSeconds([&] { body(pool); });
+    std::printf("[runtime] %s: %.3fs serial vs %.3fs on %d threads "
+                "(%.2fx)\n",
+                label, t1, tn, pool->size(), t1 / tn);
 }
 
 /** Bundle of everything a cluster-level bench needs. */

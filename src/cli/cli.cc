@@ -1,9 +1,11 @@
 #include "cli.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <map>
 #include <optional>
+#include <stdexcept>
 
 #include "clustersim/scheduler.h"
 #include "core/arch_selection.h"
@@ -14,6 +16,7 @@
 #include "inference/serving_sim.h"
 #include "opt/optimization_planner.h"
 #include "profiler/bottleneck_report.h"
+#include "runtime/parallel.h"
 #include "stats/table.h"
 #include "testbed/training_sim.h"
 #include "trace/synthetic_cluster.h"
@@ -25,6 +28,12 @@ namespace {
 
 using workload::ArchType;
 using workload::TrainingJob;
+
+/** A malformed flag value; caught in run() and reported on err. */
+struct UsageError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
 
 /** Parsed --flag value pairs plus positional arguments. */
 struct Args
@@ -45,7 +54,19 @@ struct Args
     numFlag(const std::string &name, double fallback) const
     {
         auto v = flag(name);
-        return v ? std::strtod(v->c_str(), nullptr) : fallback;
+        if (!v)
+            return fallback;
+        const char *s = v->c_str();
+        char *end = nullptr;
+        double parsed = std::strtod(s, &end);
+        while (end && *end != '\0' &&
+               std::isspace(static_cast<unsigned char>(*end)))
+            ++end;
+        if (end == s || *end != '\0') {
+            throw UsageError("error: flag --" + name +
+                             " expects a number, got '" + *v + "'");
+        }
+        return parsed;
     }
 };
 
@@ -93,7 +114,11 @@ printUsage(std::ostream &out)
            "\n"
            "Quantities are base units (FLOPs, bytes); ARCH uses the "
            "paper names\n(\"PS/Worker\", \"AllReduce-Local\", "
-           "\"AllReduce-Cluster\", \"PEARL\", ...).\n";
+           "\"AllReduce-Cluster\", \"PEARL\", ...).\n"
+           "\n"
+           "Every command accepts --threads N (default: "
+           "$PAICHAR_THREADS, else all\nhardware threads; 1 = serial). "
+           "Outputs are identical for every N.\n";
 }
 
 std::optional<std::vector<TrainingJob>>
@@ -180,19 +205,21 @@ cmdProject(const Args &args, std::ostream &out, std::ostream &err)
     }
     core::AnalyticalModel model(hw::paiCluster());
     core::ArchitectureProjector proj(model);
-    int n = 0, sped = 0;
-    double sum = 0.0;
+    std::vector<TrainingJob> ps;
     for (const auto &job : *jobs) {
-        if (job.arch != ArchType::PsWorker)
-            continue;
-        ++n;
-        auto r = proj.project(job, *target);
-        sped += r.throughput_speedup > 1.0;
-        sum += r.throughput_speedup;
+        if (job.arch == ArchType::PsWorker)
+            ps.push_back(job);
     }
-    if (n == 0) {
+    if (ps.empty()) {
         err << "error: trace has no PS/Worker jobs to project\n";
         return 1;
+    }
+    auto results = proj.projectAll(ps, *target);
+    int n = static_cast<int>(results.size()), sped = 0;
+    double sum = 0.0;
+    for (const auto &r : results) {
+        sped += r.throughput_speedup > 1.0;
+        sum += r.throughput_speedup;
     }
     out << "projected " << n << " PS/Worker jobs to " << target_name
         << ": "
@@ -435,22 +462,37 @@ run(const std::vector<std::string> &args, std::ostream &out,
         return 1;
 
     const std::string &cmd = args[0];
-    if (cmd == "generate")
-        return cmdGenerate(*parsed, out, err);
-    if (cmd == "characterize")
-        return cmdCharacterize(*parsed, out, err);
-    if (cmd == "project")
-        return cmdProject(*parsed, out, err);
-    if (cmd == "sweep")
-        return cmdSweep(*parsed, out, err);
-    if (cmd == "advise")
-        return cmdAdvise(*parsed, out, err);
-    if (cmd == "diagnose")
-        return cmdDiagnose(*parsed, out, err);
-    if (cmd == "serve")
-        return cmdServe(*parsed, out, err);
-    if (cmd == "schedule")
-        return cmdSchedule(*parsed, out, err);
+    try {
+        if (parsed->flag("threads")) {
+            double t = parsed->numFlag("threads", 0);
+            if (t < 1 || t != std::floor(t)) {
+                err << "error: --threads expects a positive "
+                       "integer\n";
+                return 1;
+            }
+            runtime::setThreadCount(static_cast<int>(t));
+        }
+
+        if (cmd == "generate")
+            return cmdGenerate(*parsed, out, err);
+        if (cmd == "characterize")
+            return cmdCharacterize(*parsed, out, err);
+        if (cmd == "project")
+            return cmdProject(*parsed, out, err);
+        if (cmd == "sweep")
+            return cmdSweep(*parsed, out, err);
+        if (cmd == "advise")
+            return cmdAdvise(*parsed, out, err);
+        if (cmd == "diagnose")
+            return cmdDiagnose(*parsed, out, err);
+        if (cmd == "serve")
+            return cmdServe(*parsed, out, err);
+        if (cmd == "schedule")
+            return cmdSchedule(*parsed, out, err);
+    } catch (const UsageError &e) {
+        err << e.what() << "\n";
+        return 1;
+    }
 
     err << "error: unknown command '" << cmd << "'\n";
     printUsage(err);

@@ -18,6 +18,11 @@
 
  * All quantities are base units (FLOPs, bytes); architectures use the
  * paper names ("PS/Worker", "AllReduce-Local", ...).
+ *
+ * Every command accepts a global `--threads N` flag controlling the
+ * paichar::runtime worker pool (default: the PAICHAR_THREADS
+ * environment variable, else hardware concurrency; 1 runs the exact
+ * serial path). Command outputs are byte-identical for every N.
  */
 
 #ifndef PAICHAR_CLI_CLI_H

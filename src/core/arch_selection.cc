@@ -114,4 +114,14 @@ ArchitectureAdvisor::recommend(const TrainingJob &job,
     return options.front();
 }
 
+std::vector<ArchOption>
+ArchitectureAdvisor::recommendAll(const std::vector<TrainingJob> &jobs,
+                                  OverlapMode mode,
+                                  runtime::ThreadPool *pool) const
+{
+    return runtime::parallelMap<ArchOption>(
+        pool, jobs.size(),
+        [&](size_t i) { return recommend(jobs[i], mode); });
+}
+
 } // namespace paichar::core

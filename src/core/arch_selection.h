@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/analytical_model.h"
+#include "runtime/parallel.h"
 #include "workload/training_job.h"
 
 namespace paichar::core {
@@ -77,6 +78,17 @@ class ArchitectureAdvisor
     ArchOption recommend(const workload::TrainingJob &job,
                          OverlapMode mode = OverlapMode::NonOverlap)
         const;
+
+    /**
+     * Recommend for a whole population, fanning out over @p pool
+     * (nullptr = serial). out[i] is the recommendation for jobs[i]
+     * regardless of thread count.
+     */
+    std::vector<ArchOption>
+    recommendAll(const std::vector<workload::TrainingJob> &jobs,
+                 OverlapMode mode = OverlapMode::NonOverlap,
+                 runtime::ThreadPool *pool =
+                     runtime::globalPool()) const;
 
   private:
     ArchOption evaluateOne(const workload::TrainingJob &job,

@@ -1,11 +1,36 @@
 #include "characterization.h"
 
 #include <cassert>
+#include <utility>
 
 namespace paichar::core {
 
 using workload::ArchType;
 using workload::TrainingJob;
+
+namespace {
+
+/** Weighted samples collected per fixed-size chunk; appending the
+ *  chunks in order reproduces the serial insertion order exactly. */
+using SampleVec = std::vector<std::pair<double, double>>;
+
+SampleVec
+appendSamples(SampleVec acc, SampleVec part)
+{
+    acc.insert(acc.end(), part.begin(), part.end());
+    return acc;
+}
+
+stats::WeightedCdf
+toCdf(const SampleVec &samples)
+{
+    stats::WeightedCdf cdf;
+    for (const auto &[value, weight] : samples)
+        cdf.add(value, weight);
+    return cdf;
+}
+
+} // namespace
 
 double
 Constitution::jobShare(ArchType a) const
@@ -32,12 +57,14 @@ Constitution::cnodeShare(ArchType a) const
 }
 
 ClusterCharacterizer::ClusterCharacterizer(const AnalyticalModel &model,
-                                           std::vector<TrainingJob> jobs)
-    : model_(model), jobs_(std::move(jobs))
+                                           std::vector<TrainingJob> jobs,
+                                           runtime::ThreadPool *pool)
+    : model_(model), jobs_(std::move(jobs)), pool_(pool)
 {
-    breakdowns_.reserve(jobs_.size());
-    for (const TrainingJob &job : jobs_)
-        breakdowns_.push_back(model_.breakdown(job));
+    breakdowns_.resize(jobs_.size());
+    runtime::parallelFor(pool_, jobs_.size(), [&](size_t i) {
+        breakdowns_[i] = model_.breakdown(jobs_[i]);
+    });
 }
 
 const TimeBreakdown &
@@ -63,23 +90,37 @@ ClusterCharacterizer::constitution() const
 stats::WeightedCdf
 ClusterCharacterizer::cnodeCountCdf(ArchType arch) const
 {
-    stats::WeightedCdf cdf;
-    for (const TrainingJob &job : jobs_) {
-        if (job.arch == arch)
-            cdf.add(static_cast<double>(job.num_cnodes));
-    }
-    return cdf;
+    auto samples = runtime::parallelReduce(
+        pool_, jobs_.size(), SampleVec{},
+        [&](size_t lo, size_t hi) {
+            SampleVec part;
+            for (size_t i = lo; i < hi; ++i) {
+                if (jobs_[i].arch == arch)
+                    part.emplace_back(
+                        static_cast<double>(jobs_[i].num_cnodes), 1.0);
+            }
+            return part;
+        },
+        appendSamples);
+    return toCdf(samples);
 }
 
 stats::WeightedCdf
 ClusterCharacterizer::weightSizeCdf(std::optional<ArchType> arch) const
 {
-    stats::WeightedCdf cdf;
-    for (const TrainingJob &job : jobs_) {
-        if (!arch || job.arch == *arch)
-            cdf.add(job.features.weightBytes());
-    }
-    return cdf;
+    auto samples = runtime::parallelReduce(
+        pool_, jobs_.size(), SampleVec{},
+        [&](size_t lo, size_t hi) {
+            SampleVec part;
+            for (size_t i = lo; i < hi; ++i) {
+                if (!arch || jobs_[i].arch == *arch)
+                    part.emplace_back(jobs_[i].features.weightBytes(),
+                                      1.0);
+            }
+            return part;
+        },
+        appendSamples);
+    return toCdf(samples);
 }
 
 double
@@ -94,21 +135,37 @@ std::array<double, 4>
 ClusterCharacterizer::avgBreakdown(std::optional<ArchType> arch,
                                    Level level) const
 {
-    std::array<double, 4> acc{};
-    double total_weight = 0.0;
-    for (size_t i = 0; i < jobs_.size(); ++i) {
-        if (arch && jobs_[i].arch != *arch)
-            continue;
-        double w = levelWeight(jobs_[i], level);
-        for (size_t c = 0; c < 4; ++c)
-            acc[c] += w * breakdowns_[i].fraction(kAllComponents[c]);
-        total_weight += w;
+    struct Partial
+    {
+        std::array<double, 4> acc{};
+        double weight = 0.0;
+    };
+    Partial p = runtime::parallelReduce(
+        pool_, jobs_.size(), Partial{},
+        [&](size_t lo, size_t hi) {
+            Partial part;
+            for (size_t i = lo; i < hi; ++i) {
+                if (arch && jobs_[i].arch != *arch)
+                    continue;
+                double w = levelWeight(jobs_[i], level);
+                for (size_t c = 0; c < 4; ++c)
+                    part.acc[c] +=
+                        w * breakdowns_[i].fraction(kAllComponents[c]);
+                part.weight += w;
+            }
+            return part;
+        },
+        [](Partial a, Partial b) {
+            for (size_t c = 0; c < 4; ++c)
+                a.acc[c] += b.acc[c];
+            a.weight += b.weight;
+            return a;
+        });
+    if (p.weight > 0.0) {
+        for (double &v : p.acc)
+            v /= p.weight;
     }
-    if (total_weight > 0.0) {
-        for (double &v : acc)
-            v /= total_weight;
-    }
-    return acc;
+    return p.acc;
 }
 
 stats::WeightedCdf
@@ -116,25 +173,37 @@ ClusterCharacterizer::componentCdf(Component c,
                                    std::optional<ArchType> arch,
                                    Level level) const
 {
-    stats::WeightedCdf cdf;
-    for (size_t i = 0; i < jobs_.size(); ++i) {
-        if (arch && jobs_[i].arch != *arch)
-            continue;
-        cdf.add(breakdowns_[i].fraction(c),
-                levelWeight(jobs_[i], level));
-    }
-    return cdf;
+    auto samples = runtime::parallelReduce(
+        pool_, jobs_.size(), SampleVec{},
+        [&](size_t lo, size_t hi) {
+            SampleVec part;
+            for (size_t i = lo; i < hi; ++i) {
+                if (arch && jobs_[i].arch != *arch)
+                    continue;
+                part.emplace_back(breakdowns_[i].fraction(c),
+                                  levelWeight(jobs_[i], level));
+            }
+            return part;
+        },
+        appendSamples);
+    return toCdf(samples);
 }
 
 stats::WeightedCdf
 ClusterCharacterizer::hwComponentCdf(HwComponent h, Level level) const
 {
-    stats::WeightedCdf cdf;
-    for (size_t i = 0; i < jobs_.size(); ++i) {
-        cdf.add(breakdowns_[i].hwFraction(h),
-                levelWeight(jobs_[i], level));
-    }
-    return cdf;
+    auto samples = runtime::parallelReduce(
+        pool_, jobs_.size(), SampleVec{},
+        [&](size_t lo, size_t hi) {
+            SampleVec part;
+            for (size_t i = lo; i < hi; ++i) {
+                part.emplace_back(breakdowns_[i].hwFraction(h),
+                                  levelWeight(jobs_[i], level));
+            }
+            return part;
+        },
+        appendSamples);
+    return toCdf(samples);
 }
 
 } // namespace paichar::core

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/analytical_model.h"
+#include "runtime/parallel.h"
 #include "stats/cdf.h"
 #include "workload/training_job.h"
 
@@ -47,6 +48,10 @@ struct Constitution
  * Computes the paper's collective statistics over a job population.
  * Breakdowns are evaluated once with the supplied analytical model and
  * cached; all queries are side-effect free afterwards.
+ *
+ * Per-job breakdowns and the CDF/average accumulators fan out over
+ * the runtime thread pool; every result is bit-identical regardless
+ * of the thread count (see runtime/parallel.h).
  */
 class ClusterCharacterizer
 {
@@ -55,9 +60,13 @@ class ClusterCharacterizer
      * @param model Analytical model to evaluate every job with; must
      *              outlive the characterizer.
      * @param jobs  The job population (a synthetic or real trace).
+     * @param pool  Worker pool for the fan-out paths (nullptr =
+     *              serial); must outlive the characterizer.
      */
     ClusterCharacterizer(const AnalyticalModel &model,
-                         std::vector<workload::TrainingJob> jobs);
+                         std::vector<workload::TrainingJob> jobs,
+                         runtime::ThreadPool *pool =
+                             runtime::globalPool());
 
     /** The analyzed jobs. */
     const std::vector<workload::TrainingJob> &jobs() const
@@ -105,6 +114,7 @@ class ClusterCharacterizer
     const AnalyticalModel &model_;
     std::vector<workload::TrainingJob> jobs_;
     std::vector<TimeBreakdown> breakdowns_;
+    runtime::ThreadPool *pool_;
 };
 
 } // namespace paichar::core

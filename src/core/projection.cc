@@ -39,4 +39,14 @@ ArchitectureProjector::project(const TrainingJob &job, ArchType target,
     return r;
 }
 
+std::vector<ProjectionResult>
+ArchitectureProjector::projectAll(const std::vector<TrainingJob> &jobs,
+                                  ArchType target, OverlapMode mode,
+                                  runtime::ThreadPool *pool) const
+{
+    return runtime::parallelMap<ProjectionResult>(
+        pool, jobs.size(),
+        [&](size_t i) { return project(jobs[i], target, mode); });
+}
+
 } // namespace paichar::core

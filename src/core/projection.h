@@ -18,7 +18,10 @@
 #ifndef PAICHAR_CORE_PROJECTION_H
 #define PAICHAR_CORE_PROJECTION_H
 
+#include <vector>
+
 #include "core/analytical_model.h"
+#include "runtime/parallel.h"
 #include "workload/training_job.h"
 
 namespace paichar::core {
@@ -64,6 +67,17 @@ class ArchitectureProjector
     ProjectionResult
     project(const workload::TrainingJob &job, workload::ArchType target,
             OverlapMode mode = OverlapMode::NonOverlap) const;
+
+    /**
+     * Project a whole population, fanning out over @p pool (nullptr =
+     * serial). Results are slot-by-index: out[i] corresponds to
+     * jobs[i] for every thread count.
+     */
+    std::vector<ProjectionResult>
+    projectAll(const std::vector<workload::TrainingJob> &jobs,
+               workload::ArchType target,
+               OverlapMode mode = OverlapMode::NonOverlap,
+               runtime::ThreadPool *pool = runtime::globalPool()) const;
 
   private:
     const AnalyticalModel &model_;

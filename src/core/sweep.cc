@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "runtime/parallel.h"
+
 namespace paichar::core {
 
 using workload::TrainingJob;
@@ -14,13 +16,22 @@ HardwareSweep::avgSpeedup(const std::vector<TrainingJob> &jobs,
     assert(!jobs.empty());
     AnalyticalModel base_model(base_);
     AnalyticalModel new_model(hw::withResource(base_, resource, value));
-    double acc = 0.0;
-    for (const TrainingJob &job : jobs) {
-        double t0 = base_model.stepTime(job, mode);
-        double t1 = new_model.stepTime(job, mode);
-        assert(t0 > 0.0 && t1 > 0.0);
-        acc += t0 / t1;
-    }
+    // Fixed-grain chunked sum: bit-identical for every thread count,
+    // and identical whether called directly or from a run() task
+    // (nested calls fall back to the same chunk order inline).
+    double acc = runtime::parallelReduce(
+        pool_, jobs.size(), 0.0,
+        [&](size_t lo, size_t hi) {
+            double s = 0.0;
+            for (size_t i = lo; i < hi; ++i) {
+                double t0 = base_model.stepTime(jobs[i], mode);
+                double t1 = new_model.stepTime(jobs[i], mode);
+                assert(t0 > 0.0 && t1 > 0.0);
+                s += t0 / t1;
+            }
+            return s;
+        },
+        [](double a, double b) { return a + b; });
     return acc / static_cast<double>(jobs.size());
 }
 
@@ -29,25 +40,45 @@ HardwareSweep::run(const std::vector<TrainingJob> &jobs,
                    const hw::HardwareVariations &variations,
                    OverlapMode mode) const
 {
-    std::vector<SweepSeries> out;
+    // Flatten the grid so every (resource, value) point is one task.
+    struct GridPoint
+    {
+        hw::Resource resource;
+        double value;
+    };
+    std::vector<GridPoint> grid;
     auto addSeries = [&](hw::Resource r,
                          const std::vector<double> &values) {
-        SweepSeries s;
-        s.resource = r;
-        for (double v : values) {
-            SweepPoint p;
-            p.resource = r;
-            p.value = v;
-            p.normalized = hw::normalizedResource(base_, r, v);
-            p.avg_speedup = avgSpeedup(jobs, r, v, mode);
-            s.points.push_back(p);
-        }
-        out.push_back(std::move(s));
+        for (double v : values)
+            grid.push_back({r, v});
     };
     addSeries(hw::Resource::Ethernet, variations.ethernet_gbps);
     addSeries(hw::Resource::Pcie, variations.pcie_gbs);
     addSeries(hw::Resource::GpuFlops, variations.gpu_peak_tflops);
     addSeries(hw::Resource::GpuMemory, variations.gpu_mem_tbs);
+
+    auto points = runtime::parallelMap<SweepPoint>(
+        pool_, grid.size(), [&](size_t i) {
+            SweepPoint p;
+            p.resource = grid[i].resource;
+            p.value = grid[i].value;
+            p.normalized =
+                hw::normalizedResource(base_, p.resource, p.value);
+            p.avg_speedup =
+                avgSpeedup(jobs, p.resource, p.value, mode);
+            return p;
+        });
+
+    // Regroup into series, preserving Table III order.
+    std::vector<SweepSeries> out;
+    for (const SweepPoint &p : points) {
+        if (out.empty() || out.back().resource != p.resource) {
+            SweepSeries s;
+            s.resource = p.resource;
+            out.push_back(std::move(s));
+        }
+        out.back().points.push_back(p);
+    }
     return out;
 }
 

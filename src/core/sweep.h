@@ -12,6 +12,7 @@
 
 #include "core/analytical_model.h"
 #include "hw/hardware_config.h"
+#include "runtime/parallel.h"
 #include "workload/training_job.h"
 
 namespace paichar::core {
@@ -42,8 +43,16 @@ class HardwareSweep
     /**
      * @param base Base cluster configuration (speedups are relative
      *             to it); its `efficiency` is used for both axes.
+     * @param pool Worker pool: run() fans out one task per sweep
+     *             point, avgSpeedup() chunks over the jobs (nullptr =
+     *             serial). Results are bit-identical either way.
      */
-    explicit HardwareSweep(const hw::ClusterSpec &base) : base_(base) {}
+    explicit HardwareSweep(const hw::ClusterSpec &base,
+                           runtime::ThreadPool *pool =
+                               runtime::globalPool())
+        : base_(base), pool_(pool)
+    {
+    }
 
     /**
      * Evaluate every variation against @p jobs.
@@ -68,6 +77,7 @@ class HardwareSweep
 
   private:
     hw::ClusterSpec base_;
+    runtime::ThreadPool *pool_;
 };
 
 } // namespace paichar::core

@@ -1,0 +1,151 @@
+#include "parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <latch>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace paichar::runtime {
+
+namespace {
+
+std::mutex g_mu;
+int g_configured = 0; // explicit setThreadCount() override, 0 = unset
+int g_resolved = 0;   // cached resolution, 0 = stale
+std::unique_ptr<ThreadPool> g_pool;
+
+int
+resolveLocked()
+{
+    if (g_configured > 0)
+        return g_configured;
+    if (const char *env = std::getenv("PAICHAR_THREADS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 1 << 16)
+            return static_cast<int>(v);
+    }
+    return hardwareThreads();
+}
+
+} // namespace
+
+int
+hardwareThreads()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int
+threadCount()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_resolved == 0)
+        g_resolved = resolveLocked();
+    return g_resolved;
+}
+
+void
+setThreadCount(int n)
+{
+    std::unique_ptr<ThreadPool> doomed; // destroy outside the lock
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_configured = n > 0 ? n : 0;
+    g_resolved = 0;
+    doomed = std::move(g_pool);
+}
+
+ThreadPool *
+globalPool()
+{
+    std::unique_ptr<ThreadPool> doomed;
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_resolved == 0)
+        g_resolved = resolveLocked();
+    if (g_resolved <= 1)
+        return nullptr;
+    if (g_pool && g_pool->size() != g_resolved)
+        doomed = std::move(g_pool);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(g_resolved);
+    return g_pool.get();
+}
+
+void
+parallelForChunks(ThreadPool *pool, size_t n, size_t grain,
+                  const std::function<void(size_t, size_t)> &chunk)
+{
+    if (n == 0)
+        return;
+    grain = std::max<size_t>(1, grain);
+    size_t nchunks = (n + grain - 1) / grain;
+
+    // Serial path: no pool, trivial split, or nested inside a pool
+    // task (running inline avoids queueing behind ourselves).
+    if (!pool || pool->size() <= 1 || nchunks <= 1 ||
+        ThreadPool::onWorkerThread()) {
+        for (size_t c = 0; c < nchunks; ++c)
+            chunk(c * grain, std::min(n, c * grain + grain));
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    size_t first_error_chunk = ~size_t{0};
+
+    int drivers =
+        static_cast<int>(std::min<size_t>(
+            static_cast<size_t>(pool->size()), nchunks));
+    std::latch done(drivers);
+    auto drive = [&] {
+        for (;;) {
+            size_t c = next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= nchunks)
+                break;
+            if (failed.load(std::memory_order_relaxed))
+                continue; // drain the index space, skip the work
+            try {
+                chunk(c * grain, std::min(n, c * grain + grain));
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mu);
+                if (c < first_error_chunk) {
+                    first_error_chunk = c;
+                    first_error = std::current_exception();
+                }
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+        done.count_down();
+    };
+    for (int i = 0; i < drivers; ++i)
+        pool->post(drive);
+    done.wait();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+void
+parallelFor(ThreadPool *pool, size_t n,
+            const std::function<void(size_t)> &body)
+{
+    size_t grain = n;
+    if (pool && pool->size() > 1) {
+        // ~8 chunks per worker for load balance; results are written
+        // by index, so the grain never affects the output.
+        grain = std::max<size_t>(
+            1, n / (8 * static_cast<size_t>(pool->size())));
+    }
+    parallelForChunks(pool, n, grain, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+            body(i);
+    });
+}
+
+} // namespace paichar::runtime

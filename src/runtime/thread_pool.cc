@@ -1,0 +1,63 @@
+#include "thread_pool.h"
+
+namespace paichar::runtime {
+
+namespace {
+thread_local bool t_on_worker = false;
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    int n = num_threads < 1 ? 1 : num_threads;
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_on_worker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_on_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and fully drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace paichar::runtime

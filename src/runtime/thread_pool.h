@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fixed-size worker thread pool: the execution engine behind every
+ * cluster-scale fan-out in the analysis core.
+ *
+ * The pool is deliberately minimal: a condition-variable task queue,
+ * N worker threads, futures for result/exception propagation, and a
+ * graceful shutdown that completes all queued work before joining.
+ * Parallel-loop structure (chunking, determinism) lives on top of it
+ * in runtime/parallel.h.
+ */
+
+#ifndef PAICHAR_RUNTIME_THREAD_POOL_H
+#define PAICHAR_RUNTIME_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace paichar::runtime {
+
+/**
+ * A fixed-size pool of worker threads draining a FIFO task queue.
+ *
+ * Thread-safety: post()/submit() may be called concurrently from any
+ * thread, including from inside a pool task. Destruction is graceful:
+ * every task queued before the destructor runs is completed first.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads workers (clamped to at least 1). */
+    explicit ThreadPool(int num_threads);
+
+    /** Completes all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue fire-and-forget work. The task must not throw; use
+     * submit() when the work can fail.
+     */
+    void post(std::function<void()> task);
+
+    /**
+     * Enqueue work whose result -- or exception -- is delivered
+     * through the returned future.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        post([task] { (*task)(); });
+        return task->get_future();
+    }
+
+    /**
+     * True on a thread currently executing a pool task. The parallel
+     * helpers use this to run nested loops inline instead of
+     * deadlocking on their own pool.
+     */
+    static bool onWorkerThread();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace paichar::runtime
+
+#endif // PAICHAR_RUNTIME_THREAD_POOL_H

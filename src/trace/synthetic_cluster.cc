@@ -24,7 +24,7 @@ CalibrationProfile::paiDec2018()
 SyntheticClusterGenerator::SyntheticClusterGenerator(
     const CalibrationProfile &profile, const hw::ClusterSpec &base,
     uint64_t seed)
-    : profile_(profile), base_(base), rng_(seed)
+    : profile_(profile), base_(base), seed_(seed)
 {
     double mix = profile_.frac_1w1g + profile_.frac_1wng +
                  profile_.frac_ps_worker;
@@ -39,50 +39,66 @@ SyntheticClusterGenerator::SyntheticClusterGenerator(uint64_t seed)
 {
 }
 
-std::vector<TrainingJob>
-SyntheticClusterGenerator::generate(size_t count)
+stats::Rng
+SyntheticClusterGenerator::jobRng(int64_t id) const
 {
-    std::vector<TrainingJob> jobs;
-    jobs.reserve(count);
-    for (size_t i = 0; i < count; ++i)
-        jobs.push_back(generateJob(static_cast<int64_t>(i)));
+    // Hash (seed, id) into a scattered SplitMix64 start state so job
+    // i's stream is independent of how many draws job i-1 made --
+    // this is what makes generation order-free and parallelizable.
+    // Two split rounds scramble the (seed, id) lattice before any
+    // sample is drawn from the stream.
+    stats::Rng h(seed_ ^ (0x9e3779b97f4a7c15ULL *
+                          (static_cast<uint64_t>(id) + 1)));
+    return h.split().split();
+}
+
+std::vector<TrainingJob>
+SyntheticClusterGenerator::generate(size_t count,
+                                    runtime::ThreadPool *pool) const
+{
+    std::vector<TrainingJob> jobs(count);
+    runtime::parallelFor(pool, count, [&](size_t i) {
+        jobs[i] = generateJob(static_cast<int64_t>(i));
+    });
     return jobs;
 }
 
 TrainingJob
-SyntheticClusterGenerator::generateJob(int64_t id)
+SyntheticClusterGenerator::generateJob(int64_t id) const
 {
-    size_t pick = rng_.categorical({profile_.frac_1w1g,
-                                    profile_.frac_1wng,
-                                    profile_.frac_ps_worker});
+    stats::Rng rng = jobRng(id);
+    size_t pick = rng.categorical({profile_.frac_1w1g,
+                                   profile_.frac_1wng,
+                                   profile_.frac_ps_worker});
     switch (pick) {
       case 0:
-        return gen1w1g(id);
+        return gen1w1g(id, rng);
       case 1:
-        return gen1wng(id);
+        return gen1wng(id, rng);
       default:
-        return genPsWorker(id);
+        return genPsWorker(id, rng);
     }
 }
 
 double
-SyntheticClusterGenerator::sampleFraction(const FractionDist &d)
+SyntheticClusterGenerator::sampleFraction(stats::Rng &rng,
+                                          const FractionDist &d) const
 {
-    return rng_.betaMean(d.mean, d.concentration);
+    return rng.betaMean(d.mean, d.concentration);
 }
 
 double
-SyntheticClusterGenerator::sampleStepTime()
+SyntheticClusterGenerator::sampleStepTime(stats::Rng &rng) const
 {
-    return rng_.logNormal(std::log(profile_.step_time_median),
-                          profile_.step_time_sigma);
+    return rng.logNormal(std::log(profile_.step_time_median),
+                         profile_.step_time_sigma);
 }
 
 double
-SyntheticClusterGenerator::sampleBatch()
+SyntheticClusterGenerator::sampleBatch(stats::Rng &rng) const
 {
     double log2b =
-        rng_.uniform(profile_.batch_log2_lo, profile_.batch_log2_hi);
+        rng.uniform(profile_.batch_log2_lo, profile_.batch_log2_hi);
     return std::round(std::pow(2.0, log2b));
 }
 
@@ -100,34 +116,34 @@ SyntheticClusterGenerator::fillCompute(WorkloadFeatures &f,
 }
 
 TrainingJob
-SyntheticClusterGenerator::gen1w1g(int64_t id)
+SyntheticClusterGenerator::gen1w1g(int64_t id, stats::Rng &rng) const
 {
     TrainingJob job;
     job.id = id;
     job.arch = ArchType::OneWorkerOneGpu;
     job.num_cnodes = 1;
 
-    double t = sampleStepTime();
+    double t = sampleStepTime(rng);
     double fd;
-    if (rng_.bernoulli(profile_.d1w1g_data_heavy_prob)) {
-        fd = rng_.uniform(profile_.d1w1g_data_heavy_lo,
-                          profile_.d1w1g_data_heavy_hi);
+    if (rng.bernoulli(profile_.d1w1g_data_heavy_prob)) {
+        fd = rng.uniform(profile_.d1w1g_data_heavy_lo,
+                         profile_.d1w1g_data_heavy_hi);
     } else {
-        fd = sampleFraction(profile_.d1w1g_data);
+        fd = sampleFraction(rng, profile_.d1w1g_data);
     }
-    double r = sampleFraction(profile_.compute_bound_ratio);
+    double r = sampleFraction(rng, profile_.compute_bound_ratio);
     double fcb = (1.0 - fd) * r;
     double fmb = (1.0 - fd) * (1.0 - r);
 
     const double eff = base_.efficiency;
     WorkloadFeatures &f = job.features;
-    f.batch_size = sampleBatch();
+    f.batch_size = sampleBatch(rng);
     f.input_bytes = fd * t * base_.server.pcie_bandwidth * eff;
     fillCompute(f, t, fcb, fmb);
     f.comm_bytes = 0.0;
 
-    double w = rng_.logNormal(std::log(profile_.w1g_weight_median_gb),
-                              profile_.w1g_weight_sigma) *
+    double w = rng.logNormal(std::log(profile_.w1g_weight_median_gb),
+                             profile_.w1g_weight_sigma) *
                kGB;
     f.dense_weight_bytes =
         std::clamp(w, profile_.weight_floor_bytes,
@@ -137,18 +153,18 @@ SyntheticClusterGenerator::gen1w1g(int64_t id)
 }
 
 TrainingJob
-SyntheticClusterGenerator::gen1wng(int64_t id)
+SyntheticClusterGenerator::gen1wng(int64_t id, stats::Rng &rng) const
 {
     TrainingJob job;
     job.id = id;
     job.arch = ArchType::OneWorkerMultiGpu;
     std::vector<double> w(profile_.onewng_cnode_weights);
-    job.num_cnodes = profile_.onewng_cnodes[rng_.categorical(w)];
+    job.num_cnodes = profile_.onewng_cnodes[rng.categorical(w)];
 
-    double t = sampleStepTime();
-    double fd = sampleFraction(profile_.d1wng_data);
-    double fw = sampleFraction(profile_.d1wng_weight) * (1.0 - fd);
-    double r = sampleFraction(profile_.compute_bound_ratio);
+    double t = sampleStepTime(rng);
+    double fd = sampleFraction(rng, profile_.d1wng_data);
+    double fw = sampleFraction(rng, profile_.d1wng_weight) * (1.0 - fd);
+    double r = sampleFraction(rng, profile_.compute_bound_ratio);
     double rem = 1.0 - fd - fw;
     double fcb = rem * r;
     double fmb = rem * (1.0 - r);
@@ -157,14 +173,14 @@ SyntheticClusterGenerator::gen1wng(int64_t id)
     const double pcie = base_.server.pcie_bandwidth * eff;
     const int n = job.num_cnodes;
     WorkloadFeatures &f = job.features;
-    f.batch_size = sampleBatch();
+    f.batch_size = sampleBatch(rng);
     // Td = Sd * n / pcie  =>  Sd = fd * t * pcie / n; same for Tw.
     f.input_bytes = fd * t * pcie / n;
     f.comm_bytes = fw * t * pcie / n;
     fillCompute(f, t, fcb, fmb);
 
-    double ratio = rng_.uniform(profile_.dense_weight_ratio_lo,
-                                profile_.dense_weight_ratio_hi);
+    double ratio = rng.uniform(profile_.dense_weight_ratio_lo,
+                               profile_.dense_weight_ratio_hi);
     f.dense_weight_bytes =
         std::max(profile_.weight_floor_bytes, f.comm_bytes * ratio);
     f.embedding_weight_bytes = 0.0;
@@ -172,7 +188,8 @@ SyntheticClusterGenerator::gen1wng(int64_t id)
 }
 
 TrainingJob
-SyntheticClusterGenerator::genPsWorker(int64_t id)
+SyntheticClusterGenerator::genPsWorker(int64_t id,
+                                       stats::Rng &rng) const
 {
     TrainingJob job;
     job.id = id;
@@ -181,32 +198,32 @@ SyntheticClusterGenerator::genPsWorker(int64_t id)
     // cNode count: lognormal body + Pareto tail (the hundreds-to-
     // thousands commodity-embedding / search jobs of Sec III-A).
     double n;
-    if (rng_.bernoulli(profile_.ps_cnodes_tail_prob)) {
-        n = rng_.pareto(profile_.ps_cnodes_tail_xm,
-                        profile_.ps_cnodes_tail_alpha);
+    if (rng.bernoulli(profile_.ps_cnodes_tail_prob)) {
+        n = rng.pareto(profile_.ps_cnodes_tail_xm,
+                       profile_.ps_cnodes_tail_alpha);
     } else {
-        n = rng_.logNormal(std::log(profile_.ps_cnodes_median),
-                           profile_.ps_cnodes_sigma);
+        n = rng.logNormal(std::log(profile_.ps_cnodes_median),
+                          profile_.ps_cnodes_sigma);
     }
     job.num_cnodes = static_cast<int>(std::clamp(
         std::round(n), 1.0,
         static_cast<double>(profile_.ps_cnodes_max)));
     job.num_ps = std::max(
         1, static_cast<int>(std::round(
-               job.num_cnodes * rng_.uniform(profile_.ps_nodes_frac_lo,
-                                             profile_.ps_nodes_frac_hi))));
+               job.num_cnodes * rng.uniform(profile_.ps_nodes_frac_lo,
+                                            profile_.ps_nodes_frac_hi))));
 
-    double t = sampleStepTime();
+    double t = sampleStepTime(rng);
     // I/O-heavy PS jobs occur among small jobs only (large jobs are
     // the comm-bound embedding/search workloads of Sec III-A).
     double fd;
     bool may_be_heavy =
         job.num_cnodes <= profile_.ps_data_heavy_max_cnodes;
-    if (may_be_heavy && rng_.bernoulli(profile_.ps_data_heavy_prob)) {
-        fd = rng_.uniform(profile_.ps_data_heavy_lo,
-                          profile_.ps_data_heavy_hi);
+    if (may_be_heavy && rng.bernoulli(profile_.ps_data_heavy_prob)) {
+        fd = rng.uniform(profile_.ps_data_heavy_lo,
+                         profile_.ps_data_heavy_hi);
     } else {
-        fd = sampleFraction(profile_.dps_data);
+        fd = sampleFraction(rng, profile_.dps_data);
     }
     // Communication share grows with job scale (Sec III-B: workloads
     // with larger cNode numbers suffer more from communication).
@@ -215,9 +232,9 @@ SyntheticClusterGenerator::genPsWorker(int64_t id)
             profile_.ps_weight_mean_slope *
                 std::log2(static_cast<double>(job.num_cnodes)),
         profile_.ps_weight_mean_lo, profile_.ps_weight_mean_hi);
-    double fw = rng_.betaMean(mean_fw, profile_.ps_weight_concentration) *
+    double fw = rng.betaMean(mean_fw, profile_.ps_weight_concentration) *
                 (1.0 - fd);
-    double r = sampleFraction(profile_.compute_bound_ratio);
+    double r = sampleFraction(rng, profile_.compute_bound_ratio);
     double rem = 1.0 - fd - fw;
     double fcb = rem * r;
     double fmb = rem * (1.0 - r);
@@ -226,23 +243,23 @@ SyntheticClusterGenerator::genPsWorker(int64_t id)
     const double pcie = base_.server.pcie_bandwidth * eff;
     const double eth = base_.ethernet_bandwidth * eff;
     WorkloadFeatures &f = job.features;
-    f.batch_size = sampleBatch();
+    f.batch_size = sampleBatch(rng);
     f.input_bytes = fd * t * pcie; // one replica per server: no sharing
     // Tw = Sw/eth + Sw/pcie  =>  Sw = fw * t / (1/eth + 1/pcie).
     f.comm_bytes = fw * t / (1.0 / eth + 1.0 / pcie);
     fillCompute(f, t, fcb, fmb);
 
-    if (rng_.bernoulli(profile_.ps_sparse_prob)) {
+    if (rng.bernoulli(profile_.ps_sparse_prob)) {
         // Embedding-heavy job: traffic covers only the accessed rows,
         // so the resident table dwarfs the per-step volume.
-        double emb_share = rng_.uniform(profile_.ps_emb_traffic_lo,
-                                        profile_.ps_emb_traffic_hi);
+        double emb_share = rng.uniform(profile_.ps_emb_traffic_lo,
+                                       profile_.ps_emb_traffic_hi);
         double access = std::clamp(
-            rng_.logNormal(std::log(profile_.ps_access_frac_median),
-                           profile_.ps_access_frac_sigma),
+            rng.logNormal(std::log(profile_.ps_access_frac_median),
+                          profile_.ps_access_frac_sigma),
             profile_.ps_access_frac_min, profile_.ps_access_frac_max);
-        double ratio = rng_.uniform(profile_.dense_weight_ratio_lo,
-                                    profile_.dense_weight_ratio_hi);
+        double ratio = rng.uniform(profile_.dense_weight_ratio_lo,
+                                   profile_.dense_weight_ratio_hi);
         f.dense_weight_bytes =
             std::max(profile_.weight_floor_bytes,
                      f.comm_bytes * (1.0 - emb_share) * ratio);
@@ -250,8 +267,8 @@ SyntheticClusterGenerator::genPsWorker(int64_t id)
             std::min(f.comm_bytes * emb_share / access,
                      profile_.emb_weight_cap_gb * kGB);
     } else {
-        double ratio = rng_.uniform(profile_.dense_weight_ratio_lo,
-                                    profile_.dense_weight_ratio_hi);
+        double ratio = rng.uniform(profile_.dense_weight_ratio_lo,
+                                   profile_.dense_weight_ratio_hi);
         f.dense_weight_bytes =
             std::max(profile_.weight_floor_bytes, f.comm_bytes * ratio);
         f.embedding_weight_bytes = 0.0;

@@ -16,6 +16,11 @@
  * the exact forward analysis path every experiment uses: generated
  * demands are architecture-independent, so projections and hardware
  * sweeps re-evaluate them under changed configurations faithfully.
+ *
+ * Each job draws from its own RNG stream derived from (seed, id), so
+ * generation is embarrassingly parallel and a trace is a pure
+ * function of the seed: the same bytes come out for any thread count
+ * and for any generate()/generateJob() call pattern.
  */
 
 #ifndef PAICHAR_TRACE_SYNTHETIC_CLUSTER_H
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "hw/hardware_config.h"
+#include "runtime/parallel.h"
 #include "stats/rng.h"
 #include "trace/calibration_profile.h"
 #include "workload/training_job.h"
@@ -48,28 +54,38 @@ class SyntheticClusterGenerator
     /** Convenience: paiDec2018 profile on the Table I cluster. */
     explicit SyntheticClusterGenerator(uint64_t seed);
 
-    /** Generate @p count jobs with ids 0..count-1. */
-    std::vector<workload::TrainingJob> generate(size_t count);
+    /**
+     * Generate @p count jobs with ids 0..count-1, fanning out over
+     * @p pool (nullptr = serial). The trace depends only on the seed,
+     * never on the thread count.
+     */
+    std::vector<workload::TrainingJob>
+    generate(size_t count,
+             runtime::ThreadPool *pool = runtime::globalPool()) const;
 
     /** Generate a single job with the given id. */
-    workload::TrainingJob generateJob(int64_t id);
+    workload::TrainingJob generateJob(int64_t id) const;
 
     /** The profile in use. */
     const CalibrationProfile &profile() const { return profile_; }
 
   private:
-    workload::TrainingJob gen1w1g(int64_t id);
-    workload::TrainingJob gen1wng(int64_t id);
-    workload::TrainingJob genPsWorker(int64_t id);
+    /** The job's own RNG stream, a pure function of (seed, id). */
+    stats::Rng jobRng(int64_t id) const;
+
+    workload::TrainingJob gen1w1g(int64_t id, stats::Rng &rng) const;
+    workload::TrainingJob gen1wng(int64_t id, stats::Rng &rng) const;
+    workload::TrainingJob genPsWorker(int64_t id,
+                                      stats::Rng &rng) const;
 
     /** Sample from a FractionDist, clamped into (0, 1). */
-    double sampleFraction(const FractionDist &d);
+    double sampleFraction(stats::Rng &rng, const FractionDist &d) const;
 
     /** Sample a step time in seconds. */
-    double sampleStepTime();
+    double sampleStepTime(stats::Rng &rng) const;
 
     /** Sample a batch size. */
-    double sampleBatch();
+    double sampleBatch(stats::Rng &rng) const;
 
     /**
      * Fill compute demands given total time and the compute-bound /
@@ -80,7 +96,7 @@ class SyntheticClusterGenerator
 
     CalibrationProfile profile_;
     hw::ClusterSpec base_;
-    stats::Rng rng_;
+    uint64_t seed_;
 };
 
 } // namespace paichar::trace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <sstream>
 
@@ -56,6 +58,43 @@ TEST(CliTest, FlagWithoutValueFails)
     EXPECT_NE(r.err.find("expects a value"), std::string::npos);
 }
 
+TEST(CliTest, NonNumericFlagValueFails)
+{
+    auto r = runCli({"generate", "--jobs", "abc"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("expects a number"), std::string::npos);
+    EXPECT_NE(r.err.find("--jobs"), std::string::npos);
+    EXPECT_NE(r.err.find("abc"), std::string::npos);
+}
+
+TEST(CliTest, TrailingGarbageInFlagValueFails)
+{
+    auto r = runCli({"generate", "--jobs", "10x"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("expects a number"), std::string::npos);
+}
+
+TEST(CliTest, ThreadsFlagRejectsNonPositiveValues)
+{
+    auto r = runCli({"generate", "--jobs", "10", "--threads", "0"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("--threads"), std::string::npos);
+
+    auto bad = runCli({"generate", "--jobs", "10", "--threads", "x"});
+    EXPECT_EQ(bad.code, 1);
+}
+
+TEST(CliTest, ThreadCountDoesNotChangeOutput)
+{
+    auto a = runCli({"generate", "--jobs", "200", "--seed", "11",
+                     "--threads", "1"});
+    auto b = runCli({"generate", "--jobs", "200", "--seed", "11",
+                     "--threads", "4"});
+    EXPECT_EQ(a.code, 0);
+    EXPECT_EQ(b.code, 0);
+    EXPECT_EQ(a.out, b.out);
+}
+
 TEST(CliTest, GenerateToStdout)
 {
     auto r = runCli({"generate", "--jobs", "10", "--seed", "5"});
@@ -80,7 +119,11 @@ class CliWithTraceTest : public ::testing::Test
     void
     SetUp() override
     {
-        path_ = testing::TempDir() + "/paichar_cli_trace.csv";
+        // Unique per process: ctest -j runs each test in its own
+        // process, and a shared path would let one test's TearDown
+        // delete the trace another test is reading.
+        path_ = testing::TempDir() + "/paichar_cli_trace_" +
+                std::to_string(::getpid()) + ".csv";
         auto r = runCli({"generate", "--jobs", "2000", "--seed",
                          "42", "--out", path_});
         ASSERT_EQ(r.code, 0) << r.err;

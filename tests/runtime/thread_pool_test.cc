@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the runtime layer: task completion, futures and
+ * exception propagation, graceful shutdown under load, nested-loop
+ * safety, and the deterministic parallel helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace paichar::runtime {
+namespace {
+
+TEST(ThreadPoolTest, CompletesEveryPostedTask)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 500; ++i)
+            pool.post([&] { ++counter; });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, SubmitDeliversResults)
+{
+    ThreadPool pool(2);
+    auto f1 = pool.submit([] { return 42; });
+    auto f2 = pool.submit([] { return std::string("pai"); });
+    EXPECT_EQ(f1.get(), 42);
+    EXPECT_EQ(f2.get(), "pai");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The pool stays usable after a failed task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownUnderLoadCompletesQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i) {
+            pool.post([&] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                ++done;
+            });
+        }
+    }
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, SizeIsClampedToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+    EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadIsVisibleInsideTasks)
+{
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+    ThreadPool pool(1);
+    EXPECT_TRUE(
+        pool.submit([] { return ThreadPool::onWorkerThread(); })
+            .get());
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(10000, 0);
+    parallelFor(&pool, hits.size(), [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelForTest, SerialPathsMatchPooledPath)
+{
+    std::vector<int> serial(777, 0), pooled(777, 0);
+    parallelFor(nullptr, serial.size(),
+                [&](size_t i) { serial[i] = static_cast<int>(i) * 3; });
+    ThreadPool pool(8);
+    parallelFor(&pool, pooled.size(),
+                [&](size_t i) { pooled[i] = static_cast<int>(i) * 3; });
+    EXPECT_EQ(serial, pooled);
+}
+
+TEST(ParallelForTest, PropagatesBodyExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(parallelFor(&pool, 5000,
+                             [&](size_t i) {
+                                 if (i == 1234)
+                                     throw std::invalid_argument(
+                                         "bad index");
+                             }),
+                 std::invalid_argument);
+    // The pool survives for later loops.
+    std::atomic<int> n{0};
+    parallelFor(&pool, 100, [&](size_t) { ++n; });
+    EXPECT_EQ(n.load(), 100);
+}
+
+TEST(ParallelForTest, NestedLoopsRunInlineWithoutDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> inner{0};
+    auto f = pool.submit([&] {
+        parallelFor(&pool, 256, [&](size_t) { ++inner; });
+    });
+    f.get();
+    EXPECT_EQ(inner.load(), 256);
+}
+
+TEST(ParallelMapTest, MapsByIndexInOrder)
+{
+    ThreadPool pool(4);
+    auto out = parallelMap<int>(&pool, 1000, [](size_t i) {
+        return static_cast<int>(i * i % 97);
+    });
+    ASSERT_EQ(out.size(), 1000u);
+    for (size_t i = 0; i < out.size(); ++i)
+        ASSERT_EQ(out[i], static_cast<int>(i * i % 97));
+}
+
+TEST(ParallelReduceTest, BitIdenticalAcrossThreadCounts)
+{
+    // Floating-point accumulation with awkward magnitudes: the fixed
+    // chunking must make every thread count agree to the last bit.
+    std::vector<double> values(50000);
+    for (size_t i = 0; i < values.size(); ++i)
+        values[i] = 1e-7 + 1e3 * static_cast<double>(i % 13) +
+                    (i % 2 ? 1e-9 : -1e-9);
+
+    auto sum = [&](ThreadPool *pool) {
+        return parallelReduce(
+            pool, values.size(), 0.0,
+            [&](size_t lo, size_t hi) {
+                double s = 0.0;
+                for (size_t i = lo; i < hi; ++i)
+                    s += values[i];
+                return s;
+            },
+            [](double a, double b) { return a + b; });
+    };
+
+    double serial = sum(nullptr);
+    ThreadPool p2(2), p8(8);
+    EXPECT_EQ(serial, sum(&p2));
+    EXPECT_EQ(serial, sum(&p8));
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsInit)
+{
+    ThreadPool pool(2);
+    double r = parallelReduce(
+        &pool, 0, 3.5, [](size_t, size_t) { return 1.0; },
+        [](double a, double b) { return a + b; });
+    EXPECT_EQ(r, 3.5);
+}
+
+TEST(ThreadCountTest, SetThreadCountOverridesResolution)
+{
+    setThreadCount(3);
+    EXPECT_EQ(threadCount(), 3);
+    ThreadPool *pool = globalPool();
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(pool->size(), 3);
+
+    setThreadCount(1);
+    EXPECT_EQ(threadCount(), 1);
+    EXPECT_EQ(globalPool(), nullptr);
+
+    setThreadCount(0); // back to env / hardware resolution
+    EXPECT_GE(threadCount(), 1);
+}
+
+TEST(ThreadCountTest, EnvOverrideIsHonored)
+{
+    ASSERT_EQ(setenv("PAICHAR_THREADS", "5", 1), 0);
+    setThreadCount(0); // drop cache so the env var is re-read
+    EXPECT_EQ(threadCount(), 5);
+    ASSERT_EQ(unsetenv("PAICHAR_THREADS"), 0);
+    setThreadCount(0);
+    EXPECT_GE(threadCount(), 1);
+}
+
+} // namespace
+} // namespace paichar::runtime
