@@ -5,18 +5,26 @@
  * DES engine, collectives, the fusion pass, and a full simulated
  * training step.
  *
- * Before the google-benchmark suite runs, a thread-scaling section
- * times the 10k-job characterization pipeline (generate + per-job
- * breakdowns + cluster aggregates) at 1/2/4/N threads and emits one
- * JSON row per point, seeding the perf trajectory across PRs.
+ * Before the google-benchmark suite runs, two JSON sections seed the
+ * perf trajectory across PRs: a trace-I/O section comparing the
+ * legacy serial CSV parser against the zero-copy serial/parallel
+ * parsers and the paib binary codec on a 1M-job trace (recorded in
+ * BENCH_trace_io.json), and a thread-scaling section timing the
+ * 10k-job characterization pipeline at 1/2/4/N threads.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "collectives/collective_ops.h"
@@ -25,7 +33,9 @@
 #include "opt/passes.h"
 #include "runtime/parallel.h"
 #include "testbed/training_sim.h"
+#include "trace/binary_trace.h"
 #include "trace/synthetic_cluster.h"
+#include "trace/trace_io.h"
 
 using namespace paichar;
 
@@ -156,6 +166,213 @@ BM_TrainingStep(benchmark::State &state)
 BENCHMARK(BM_TrainingStep);
 
 /**
+ * The pre-PR-2 serial CSV parser, kept verbatim as the trace-I/O
+ * baseline: per-character splitting into freshly allocated
+ * std::string fields, strtod/strtoll conversion, istringstream line
+ * iteration. The JSON rows below report every other path's speedup
+ * against this.
+ */
+namespace legacy {
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else if (c != '\r') {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtod(s.c_str(), &end);
+    return errno == 0 && end == s.c_str() + s.size() &&
+           std::isfinite(out);
+}
+
+bool
+parseInt(const std::string &s, int64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    out = std::strtoll(s.c_str(), &end, 10);
+    return errno == 0 && end == s.c_str() + s.size();
+}
+
+trace::ParseResult
+fromCsv(const std::string &text)
+{
+    constexpr size_t kFields = 12;
+    std::istringstream is(text);
+    std::string line;
+
+    trace::ParseResult bad;
+    bad.ok = false;
+    if (!std::getline(is, line))
+        return bad;
+
+    trace::ParseResult r;
+    r.ok = true;
+    while (std::getline(is, line)) {
+        if (line.empty() || line == "\r")
+            continue;
+        auto fields = splitCsvLine(line);
+        if (fields.size() != kFields)
+            return bad;
+        workload::TrainingJob j;
+        int64_t iv;
+        if (!parseInt(fields[0], iv))
+            return bad;
+        j.id = iv;
+        auto arch = workload::archFromString(fields[1]);
+        if (!arch)
+            return bad;
+        j.arch = *arch;
+        if (!parseInt(fields[2], iv) || iv < 1)
+            return bad;
+        j.num_cnodes = static_cast<int>(iv);
+        if (!parseInt(fields[3], iv) || iv < 0)
+            return bad;
+        j.num_ps = static_cast<int>(iv);
+        double *slots[] = {&j.features.batch_size,
+                           &j.features.flop_count,
+                           &j.features.mem_access_bytes,
+                           &j.features.input_bytes,
+                           &j.features.comm_bytes,
+                           &j.features.embedding_comm_bytes,
+                           &j.features.dense_weight_bytes,
+                           &j.features.embedding_weight_bytes};
+        for (size_t s = 0; s < 8; ++s) {
+            if (!parseDouble(fields[4 + s], *slots[s]))
+                return bad;
+        }
+        if (!j.features.valid())
+            return bad;
+        r.jobs.push_back(j);
+    }
+    return r;
+}
+
+} // namespace legacy
+
+/**
+ * Trace-I/O section: serial legacy CSV, the new serial and parallel
+ * CSV parsers, and the paib binary codec over the same synthetic
+ * trace, reported as jobs/s and MB/s JSON rows (the contents of
+ * BENCH_trace_io.json). Job count defaults to 1M; override with
+ * PAICHAR_TRACE_BENCH_JOBS for quick runs.
+ */
+void
+runTraceIoSection()
+{
+    size_t jobs_n = 1000000;
+    if (const char *env = std::getenv("PAICHAR_TRACE_BENCH_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            jobs_n = static_cast<size_t>(v);
+    }
+    constexpr int kReps = 3;
+
+    trace::SyntheticClusterGenerator gen(7);
+    auto jobs = gen.generate(jobs_n, runtime::globalPool());
+    std::string csv = trace::toCsv(jobs);
+    std::string bin = trace::toBinary(jobs);
+    int threads = runtime::threadCount();
+
+    std::printf("# trace-io: %zu jobs, csv %.1f MB, bin %.1f MB, "
+                "best of %d reps, %d threads\n",
+                jobs_n, static_cast<double>(csv.size()) / 1e6,
+                static_cast<double>(bin.size()) / 1e6, kReps,
+                threads);
+
+    struct Row
+    {
+        const char *op;
+        const char *format;
+        size_t bytes;
+        std::function<void()> body;
+    };
+    std::vector<Row> rows = {
+        {"parse", "csv_serial_legacy", csv.size(),
+         [&] {
+             auto r = legacy::fromCsv(csv);
+             benchmark::DoNotOptimize(r.jobs.size());
+         }},
+        {"parse", "csv_serial", csv.size(),
+         [&] {
+             auto r = trace::fromCsv(csv, nullptr);
+             benchmark::DoNotOptimize(r.jobs.size());
+         }},
+        {"parse", "csv_parallel", csv.size(),
+         [&] {
+             auto r = trace::fromCsv(csv, runtime::globalPool());
+             benchmark::DoNotOptimize(r.jobs.size());
+         }},
+        {"parse", "bin", bin.size(),
+         [&] {
+             auto r = trace::fromBinary(bin);
+             benchmark::DoNotOptimize(r.jobs.size());
+         }},
+        {"write", "csv", csv.size(),
+         [&] {
+             auto s = trace::toCsv(jobs);
+             benchmark::DoNotOptimize(s.size());
+         }},
+        {"write", "bin", bin.size(),
+         [&] {
+             auto s = trace::toBinary(jobs);
+             benchmark::DoNotOptimize(s.size());
+         }},
+    };
+
+    double legacy_parse_seconds = 0.0;
+    for (const Row &row : rows) {
+        double best = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            auto t0 = std::chrono::steady_clock::now();
+            row.body();
+            auto t1 = std::chrono::steady_clock::now();
+            double sec =
+                std::chrono::duration<double>(t1 - t0).count();
+            if (rep == 0 || sec < best)
+                best = sec;
+        }
+        if (row.format == std::string("csv_serial_legacy"))
+            legacy_parse_seconds = best;
+        double speedup =
+            (std::string(row.op) == "parse" &&
+             legacy_parse_seconds > 0.0)
+                ? legacy_parse_seconds / best
+                : 0.0;
+        std::printf(
+            "{\"bench\":\"trace_io\",\"op\":\"%s\",\"format\":"
+            "\"%s\",\"jobs\":%zu,\"bytes\":%zu,\"threads\":%d,"
+            "\"seconds\":%.6f,\"jobs_per_s\":%.0f,\"mb_per_s\":"
+            "%.1f,\"speedup_vs_legacy_parse\":%.2f}\n",
+            row.op, row.format, jobs_n, row.bytes, threads, best,
+            static_cast<double>(jobs_n) / best,
+            static_cast<double>(row.bytes) / 1e6 / best, speedup);
+    }
+    std::printf("\n");
+}
+
+/**
  * Thread-scaling section: the full characterization pipeline
  * (generate + ClusterCharacterizer + cluster aggregates) at each
  * thread count, printed as JSON rows.
@@ -223,6 +440,7 @@ runThreadScalingSection()
 int
 main(int argc, char **argv)
 {
+    runTraceIoSection();
     runThreadScalingSection();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

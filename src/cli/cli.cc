@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "clustersim/scheduler.h"
+#include "trace/binary_trace.h"
 #include "core/arch_selection.h"
 #include "core/characterization.h"
 #include "core/projection.h"
@@ -99,9 +100,11 @@ printUsage(std::ostream &out)
            "\n"
            "usage:\n"
            "  paichar generate --jobs N [--seed S] [--out FILE]\n"
-           "  paichar characterize TRACE.csv\n"
-           "  paichar project TRACE.csv [--target ARCH]\n"
-           "  paichar sweep TRACE.csv [--arch ARCH]\n"
+           "                   [--trace-format csv|bin]\n"
+           "  paichar convert IN OUT [--trace-format csv|bin]\n"
+           "  paichar characterize TRACE\n"
+           "  paichar project TRACE [--target ARCH]\n"
+           "  paichar sweep TRACE [--arch ARCH]\n"
            "  paichar advise --flops F --mem M --input I --comm C\n"
            "                 [--dense-weights D] "
            "[--embedding-weights E]\n"
@@ -109,12 +112,17 @@ printUsage(std::ostream &out)
            "  paichar diagnose MODEL\n"
            "  paichar serve MODEL [--qps Q] [--max-batch B] "
            "[--slo-ms MS]\n"
-           "  paichar schedule TRACE.csv [--servers N] "
+           "  paichar schedule TRACE [--servers N] "
            "[--nvlink-frac F] [--port 0|1] [--rate R]\n"
            "\n"
            "Quantities are base units (FLOPs, bytes); ARCH uses the "
            "paper names\n(\"PS/Worker\", \"AllReduce-Local\", "
            "\"AllReduce-Cluster\", \"PEARL\", ...).\n"
+           "\n"
+           "TRACE files may be CSV or paib binary; the format is "
+           "auto-detected.\nconvert infers the output format from "
+           "the extension (.paib/.bin = binary)\nunless "
+           "--trace-format is given.\n"
            "\n"
            "Every command accepts --threads N (default: "
            "$PAICHAR_THREADS, else all\nhardware threads; 1 = serial). "
@@ -128,7 +136,10 @@ loadTrace(const Args &args, std::ostream &err)
         err << "error: expected a trace file\n";
         return std::nullopt;
     }
-    auto r = trace::readCsvFile(args.positional[1]);
+    // Format (CSV or paib binary) is auto-detected by magic; CSV
+    // bodies parse in parallel on the global pool.
+    auto r = trace::readTraceFile(args.positional[1],
+                                  runtime::globalPool());
     if (!r.ok) {
         err << "error: " << r.error << "\n";
         return std::nullopt;
@@ -136,24 +147,95 @@ loadTrace(const Args &args, std::ostream &err)
     return std::move(r.jobs);
 }
 
+/**
+ * The --trace-format flag ("csv" | "bin"). @p fallback covers the
+ * unset case: cmdGenerate defaults to CSV, cmdConvert infers from
+ * the output file extension.
+ */
+std::optional<trace::TraceFormat>
+traceFormatFlag(const Args &args, trace::TraceFormat fallback,
+                std::ostream &err)
+{
+    auto v = args.flag("trace-format");
+    if (!v)
+        return fallback;
+    auto f = trace::traceFormatFromString(*v);
+    if (!f) {
+        err << "error: --trace-format expects csv or bin, got '"
+            << *v << "'\n";
+        return std::nullopt;
+    }
+    return f;
+}
+
+/** bin for .paib/.bin output paths, csv otherwise. */
+trace::TraceFormat
+formatFromExtension(const std::string &path)
+{
+    auto dot = path.rfind('.');
+    std::string ext = dot == std::string::npos ? ""
+                                               : path.substr(dot);
+    return (ext == ".paib" || ext == ".bin")
+               ? trace::TraceFormat::Binary
+               : trace::TraceFormat::Csv;
+}
+
 int
 cmdGenerate(const Args &args, std::ostream &out, std::ostream &err)
 {
     auto jobs_n = static_cast<size_t>(args.numFlag("jobs", 20000));
     auto seed = static_cast<uint64_t>(args.numFlag("seed", 20181201));
+    auto format =
+        traceFormatFlag(args, trace::TraceFormat::Csv, err);
+    if (!format)
+        return 1;
     trace::SyntheticClusterGenerator gen(seed);
-    auto jobs = gen.generate(jobs_n);
+    auto jobs = gen.generate(jobs_n, runtime::globalPool());
     auto out_file = args.flag("out");
     if (out_file) {
-        if (!trace::writeCsvFile(*out_file, jobs)) {
+        if (!trace::writeTraceFile(*out_file, jobs, *format)) {
             err << "error: cannot write '" << *out_file << "'\n";
             return 1;
         }
         out << "wrote " << jobs.size() << " jobs (seed " << seed
-            << ") to " << *out_file << "\n";
+            << ", " << trace::toString(*format) << ") to "
+            << *out_file << "\n";
+    } else if (*format == trace::TraceFormat::Binary) {
+        err << "error: --trace-format bin requires --out FILE\n";
+        return 1;
     } else {
         out << trace::toCsv(jobs);
     }
+    return 0;
+}
+
+int
+cmdConvert(const Args &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() < 3) {
+        err << "error: convert expects an input and an output trace "
+               "file\n";
+        return 1;
+    }
+    const std::string &in_path = args.positional[1];
+    const std::string &out_path = args.positional[2];
+    auto format =
+        traceFormatFlag(args, formatFromExtension(out_path), err);
+    if (!format)
+        return 1;
+
+    auto r = trace::readTraceFile(in_path, runtime::globalPool());
+    if (!r.ok) {
+        err << "error: " << r.error << "\n";
+        return 1;
+    }
+    if (!trace::writeTraceFile(out_path, r.jobs, *format)) {
+        err << "error: cannot write '" << out_path << "'\n";
+        return 1;
+    }
+    out << "converted " << r.jobs.size() << " jobs: " << in_path
+        << " -> " << out_path << " ("
+        << trace::toString(*format) << ")\n";
     return 0;
 }
 
@@ -475,6 +557,8 @@ run(const std::vector<std::string> &args, std::ostream &out,
 
         if (cmd == "generate")
             return cmdGenerate(*parsed, out, err);
+        if (cmd == "convert")
+            return cmdConvert(*parsed, out, err);
         if (cmd == "characterize")
             return cmdCharacterize(*parsed, out, err);
         if (cmd == "project")

@@ -4,6 +4,8 @@
  * drive it. Subcommands cover the production workflow end to end:
  *
  *   paichar generate   --jobs N --seed S --out trace.csv
+ *                      [--trace-format csv|bin]
+ *   paichar convert    in.csv out.paib [--trace-format csv|bin]
  *   paichar characterize trace.csv
  *   paichar project    trace.csv [--target <arch>]
  *   paichar sweep      trace.csv [--arch <arch>]
@@ -18,6 +20,12 @@
 
  * All quantities are base units (FLOPs, bytes); architectures use the
  * paper names ("PS/Worker", "AllReduce-Local", ...).
+ *
+ * Trace files may be CSV or the `paib` binary columnar format; every
+ * command that reads a trace auto-detects the format by magic.
+ * `generate` and `convert` pick the output encoding via
+ * `--trace-format csv|bin` (convert falls back to the output
+ * extension: .paib/.bin means binary).
  *
  * Every command accepts a global `--threads N` flag controlling the
  * paichar::runtime worker pool (default: the PAICHAR_THREADS

@@ -131,6 +131,28 @@ parallelForChunks(ThreadPool *pool, size_t n, size_t grain,
         std::rethrow_exception(first_error);
 }
 
+std::vector<std::pair<size_t, size_t>>
+alignedChunks(size_t n, size_t max_chunks,
+              const std::function<size_t(size_t)> &snap)
+{
+    std::vector<std::pair<size_t, size_t>> out;
+    if (n == 0)
+        return out;
+    max_chunks = std::max<size_t>(1, max_chunks);
+    // Every range is at least `target` long, so the count can only
+    // shrink below max_chunks as snapping merges short tails.
+    size_t target = (n + max_chunks - 1) / max_chunks;
+    size_t lo = 0;
+    while (lo < n) {
+        size_t hi = n;
+        if (lo + target < n)
+            hi = std::min(n, std::max(lo + target, snap(lo + target)));
+        out.emplace_back(lo, hi);
+        lo = hi;
+    }
+    return out;
+}
+
 void
 parallelFor(ThreadPool *pool, size_t n,
             const std::function<void(size_t)> &body)

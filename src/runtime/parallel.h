@@ -76,6 +76,21 @@ void parallelForChunks(ThreadPool *pool, size_t n, size_t grain,
 void parallelFor(ThreadPool *pool, size_t n,
                  const std::function<void(size_t)> &body);
 
+/**
+ * Split [0, n) into at most @p max_chunks contiguous ranges whose
+ * interior boundaries are moved forward by @p snap — e.g. to the next
+ * record or line start, so each range covers only whole records.
+ *
+ * @p snap receives a tentative boundary in (0, n) and must return a
+ * boundary position in [pos, n]. Boundaries depend only on n,
+ * max_chunks and the record layout, never on the thread count, so a
+ * caller that processes the ranges and splices the per-range results
+ * in order gets output independent of how the ranges were scheduled.
+ */
+std::vector<std::pair<size_t, size_t>>
+alignedChunks(size_t n, size_t max_chunks,
+              const std::function<size_t(size_t)> &snap);
+
 /** Map [0, n) through @p fn into a pre-sized vector, slot by index. */
 template <typename T, typename Fn>
 std::vector<T>

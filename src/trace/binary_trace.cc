@@ -1,0 +1,227 @@
+#include "binary_trace.h"
+
+#include <bit>
+#include <cstring>
+#include <iterator>
+
+namespace paichar::trace {
+
+using workload::ArchType;
+using workload::TrainingJob;
+using workload::WorkloadFeatures;
+
+// The columns are written and read back with raw memcpy, which is
+// only the on-disk little-endian layout on a little-endian host.
+static_assert(std::endian::native == std::endian::little,
+              "paib serialization assumes a little-endian host");
+
+namespace {
+
+/** Feature columns in schema order. */
+constexpr double WorkloadFeatures::*kFeatureColumns[] = {
+    &WorkloadFeatures::batch_size,
+    &WorkloadFeatures::flop_count,
+    &WorkloadFeatures::mem_access_bytes,
+    &WorkloadFeatures::input_bytes,
+    &WorkloadFeatures::comm_bytes,
+    &WorkloadFeatures::embedding_comm_bytes,
+    &WorkloadFeatures::dense_weight_bytes,
+    &WorkloadFeatures::embedding_weight_bytes,
+};
+
+constexpr size_t kNumFeatures = std::size(kFeatureColumns);
+
+/** Fixed-size header (magic + version + count) and footer. */
+constexpr size_t kHeaderBytes = 4 + sizeof(uint32_t) + sizeof(uint64_t);
+constexpr size_t kFooterBytes = sizeof(uint64_t);
+
+/** Serialized bytes per job across all columns. */
+constexpr size_t kBytesPerJob = sizeof(int64_t) + sizeof(uint8_t) +
+                                2 * sizeof(int32_t) +
+                                kNumFeatures * sizeof(double);
+
+/**
+ * FNV-1a folded over 8-byte words (byte-at-a-time for the tail):
+ * the classic constants, but ~8x the scan rate, which keeps the
+ * checksum sweep off the critical path at million-job scale.
+ */
+uint64_t
+checksum(const char *p, size_t n)
+{
+    constexpr uint64_t kPrime = 1099511628211ull;
+    uint64_t h = 14695981039346656037ull;
+    size_t words = n / 8;
+    for (size_t i = 0; i < words; ++i) {
+        uint64_t w;
+        std::memcpy(&w, p + i * 8, 8);
+        h = (h ^ w) * kPrime;
+    }
+    for (size_t i = words * 8; i < n; ++i) {
+        h = (h ^ static_cast<unsigned char>(p[i])) * kPrime;
+    }
+    return h;
+}
+
+ParseResult
+fail(const std::string &what)
+{
+    ParseResult r;
+    r.ok = false;
+    r.error = what;
+    return r;
+}
+
+ParseResult
+failJob(size_t index, const std::string &what)
+{
+    return fail("job " + std::to_string(index) + ": " + what);
+}
+
+template <typename T>
+void
+appendRaw(std::string &out, T v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+template <typename T>
+T
+readRaw(const char *p)
+{
+    T v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+} // namespace
+
+bool
+looksBinary(std::string_view data)
+{
+    return data.size() >= sizeof kBinaryMagic &&
+           std::memcmp(data.data(), kBinaryMagic,
+                       sizeof kBinaryMagic) == 0;
+}
+
+std::string
+toBinary(const std::vector<TrainingJob> &jobs)
+{
+    const size_t n = jobs.size();
+    std::string out;
+    out.reserve(kHeaderBytes + n * kBytesPerJob + kFooterBytes);
+    out.append(kBinaryMagic, sizeof kBinaryMagic);
+    appendRaw(out, kBinaryVersion);
+    appendRaw(out, static_cast<uint64_t>(n));
+
+    // One gather pass per column keeps every array contiguous so the
+    // loader can bulk-copy it back.
+    for (const TrainingJob &j : jobs)
+        appendRaw(out, static_cast<int64_t>(j.id));
+    for (const TrainingJob &j : jobs)
+        appendRaw(out, static_cast<uint8_t>(j.arch));
+    for (const TrainingJob &j : jobs)
+        appendRaw(out, static_cast<int32_t>(j.num_cnodes));
+    for (const TrainingJob &j : jobs)
+        appendRaw(out, static_cast<int32_t>(j.num_ps));
+    for (double WorkloadFeatures::*col : kFeatureColumns) {
+        for (const TrainingJob &j : jobs)
+            appendRaw(out, j.features.*col);
+    }
+
+    appendRaw(out, checksum(out.data(), out.size()));
+    return out;
+}
+
+ParseResult
+fromBinary(std::string_view data)
+{
+    if (!looksBinary(data))
+        return fail("bad magic: not a paib trace");
+    if (data.size() < kHeaderBytes + kFooterBytes)
+        return fail("truncated paib header");
+
+    const char *base = data.data();
+    uint32_t version = readRaw<uint32_t>(base + 4);
+    if (version != kBinaryVersion) {
+        return fail("unsupported paib version " +
+                    std::to_string(version) + " (expected " +
+                    std::to_string(kBinaryVersion) + ")");
+    }
+    uint64_t count = readRaw<uint64_t>(base + 8);
+    if (count > (data.size() - kHeaderBytes - kFooterBytes) /
+                    kBytesPerJob) {
+        return fail("truncated paib trace: columns for " +
+                    std::to_string(count) + " jobs exceed the payload");
+    }
+    size_t expected = kHeaderBytes +
+                      static_cast<size_t>(count) * kBytesPerJob +
+                      kFooterBytes;
+    if (data.size() != expected) {
+        return fail("paib size mismatch: expected " +
+                    std::to_string(expected) + " bytes for " +
+                    std::to_string(count) + " jobs, got " +
+                    std::to_string(data.size()));
+    }
+
+    uint64_t stored = readRaw<uint64_t>(base + data.size() -
+                                        kFooterBytes);
+    if (stored != checksum(base, data.size() - kFooterBytes))
+        return fail("paib checksum mismatch");
+
+    const size_t n = static_cast<size_t>(count);
+    ParseResult r;
+    r.ok = true;
+    r.jobs.reserve(n);
+
+    // Column base pointers in schema order.
+    const char *p = base + kHeaderBytes;
+    const char *ids = p;
+    p += n * sizeof(int64_t);
+    const char *archs = p;
+    p += n * sizeof(uint8_t);
+    const char *cnodes = p;
+    p += n * sizeof(int32_t);
+    const char *ps = p;
+    p += n * sizeof(int32_t);
+    const char *feat[std::size(kFeatureColumns)];
+    for (size_t k = 0; k < std::size(kFeatureColumns); ++k) {
+        feat[k] = p;
+        p += n * sizeof(double);
+    }
+
+    // One row-major pass: the column reads stream sequentially and
+    // every destination cache line is written exactly once, instead
+    // of eight sparse passes over a jobs array far bigger than the
+    // LLC. Rows are validated in index order, so the first bad job
+    // is the one reported.
+    constexpr size_t kNumArch = std::size(workload::kAllArchTypes);
+    for (size_t i = 0; i < n; ++i) {
+        TrainingJob j;
+        j.id = readRaw<int64_t>(ids + i * sizeof(int64_t));
+        uint8_t a = readRaw<uint8_t>(archs + i);
+        if (a >= kNumArch) {
+            return failJob(i, "bad architecture code " +
+                                  std::to_string(a));
+        }
+        j.arch = static_cast<ArchType>(a);
+        j.num_cnodes =
+            readRaw<int32_t>(cnodes + i * sizeof(int32_t));
+        if (j.num_cnodes < 1)
+            return failJob(i, "bad num_cnodes " +
+                                  std::to_string(j.num_cnodes));
+        j.num_ps = readRaw<int32_t>(ps + i * sizeof(int32_t));
+        if (j.num_ps < 0)
+            return failJob(i,
+                           "bad num_ps " + std::to_string(j.num_ps));
+        for (size_t k = 0; k < std::size(kFeatureColumns); ++k) {
+            j.features.*kFeatureColumns[k] =
+                readRaw<double>(feat[k] + i * sizeof(double));
+        }
+        if (!j.features.valid())
+            return failJob(i, "features fail validation");
+        r.jobs.push_back(j);
+    }
+    return r;
+}
+
+} // namespace paichar::trace

@@ -1,11 +1,14 @@
 #include "trace_io.h"
 
-#include <cerrno>
+#include <array>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <sstream>
+
+#include "runtime/parallel.h"
+#include "trace/binary_trace.h"
 
 namespace paichar::trace {
 
@@ -13,51 +16,33 @@ using workload::TrainingJob;
 
 namespace {
 
-const char *kHeader =
+constexpr std::string_view kHeader =
     "id,arch,num_cnodes,num_ps,batch_size,flop_count,"
     "mem_access_bytes,input_bytes,comm_bytes,embedding_comm_bytes,"
     "dense_weight_bytes,embedding_weight_bytes";
 
 constexpr size_t kFields = 12;
 
-std::vector<std::string>
-splitCsvLine(const std::string &line)
+/** Chunks below this size are not worth a pool dispatch. */
+constexpr size_t kMinChunkBytes = size_t{64} * 1024;
+
+bool
+parseDouble(std::string_view s, double &out)
 {
-    std::vector<std::string> out;
-    std::string cur;
-    for (char c : line) {
-        if (c == ',') {
-            out.push_back(cur);
-            cur.clear();
-        } else if (c != '\r') {
-            cur += c;
-        }
-    }
-    out.push_back(cur);
-    return out;
+    // from_chars is locale-free and rejects leading whitespace and
+    // '+' signs, so the accepted grammar is exactly the one toCsv
+    // emits; "inf"/"nan" parse but fail the finiteness check.
+    const char *end = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(s.data(), end, out);
+    return ec == std::errc() && ptr == end && std::isfinite(out);
 }
 
 bool
-parseDouble(const std::string &s, double &out)
+parseInt(std::string_view s, int64_t &out)
 {
-    if (s.empty())
-        return false;
-    char *end = nullptr;
-    errno = 0;
-    out = std::strtod(s.c_str(), &end);
-    return errno == 0 && end == s.c_str() + s.size() &&
-           std::isfinite(out);
-}
-
-bool
-parseInt(const std::string &s, int64_t &out)
-{
-    if (s.empty())
-        return false;
-    char *end = nullptr;
-    errno = 0;
-    out = std::strtoll(s.c_str(), &end, 10);
-    return errno == 0 && end == s.c_str() + s.size();
+    const char *end = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(s.data(), end, out);
+    return ec == std::errc() && ptr == end;
 }
 
 ParseResult
@@ -69,121 +54,473 @@ fail(size_t line_no, const std::string &what)
     return r;
 }
 
+/**
+ * Append @p v in the shortest form that parses back to the exact
+ * same double. to_chars cannot fail on a 40-byte buffer (shortest
+ * doubles need at most 24 characters), but the error path still
+ * sizes an exact fallback rather than ever truncating a row.
+ */
+void
+appendNumber(std::string &out, double v)
+{
+    char buf[40];
+    auto res = std::to_chars(buf, buf + sizeof buf, v);
+    if (res.ec == std::errc()) {
+        out.append(buf, res.ptr);
+        return;
+    }
+    int need = std::snprintf(nullptr, 0, "%.17g", v);
+    if (need <= 0)
+        return;
+    size_t base = out.size();
+    out.resize(base + static_cast<size_t>(need) + 1);
+    std::snprintf(out.data() + base, static_cast<size_t>(need) + 1,
+                  "%.17g", v);
+    out.resize(base + static_cast<size_t>(need));
+}
+
+void
+appendNumber(std::string &out, int64_t v)
+{
+    char buf[24];
+    auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, res.ptr);
+}
+
+/**
+ * Everything one line-aligned chunk of the body produces. Chunks are
+ * parsed independently and spliced in index order, so the combined
+ * jobs — and the first error's global line number — are identical to
+ * a serial scan no matter how many chunks or threads were used.
+ */
+struct ChunkOutcome
+{
+    std::vector<TrainingJob> jobs;
+    /**
+     * Lines consumed: all lines in the chunk (including blank ones),
+     * or, when has_error, the 1-based index of the offending line
+     * within the chunk.
+     */
+    size_t lines = 0;
+    bool has_error = false;
+    /** Error text without the "line N: " prefix. */
+    std::string error;
+};
+
+/**
+ * Hot path: parse one row by walking a pointer through [p, end),
+ * letting from_chars do the delimiting (no field pre-split, no
+ * allocation). Returns the position just past the row's newline on
+ * success, nullptr on *any* mismatch — the caller then re-parses the
+ * line on the slow path to produce the exact diagnostic.
+ *
+ * @p end is the chunk end; a scan can only reach a later line of the
+ * same chunk through a malformed row, in which case the arch lookup
+ * (names never contain '\n') or a delimiter check fails and the slow
+ * path takes over with the true line extent.
+ */
+/**
+ * Branchy arch lookup for the hot path: the six names have nearly
+ * unique lengths, so one length dispatch plus one memcmp decides.
+ * Must accept exactly the archFromString() vocabulary.
+ */
+bool
+fastArch(const char *p, size_t len, workload::ArchType &out)
+{
+    using workload::ArchType;
+    switch (len) {
+      case 4:
+        if (std::memcmp(p, "1w1g", 4) == 0) {
+            out = ArchType::OneWorkerOneGpu;
+            return true;
+        }
+        if (std::memcmp(p, "1wng", 4) == 0) {
+            out = ArchType::OneWorkerMultiGpu;
+            return true;
+        }
+        return false;
+      case 5:
+        out = ArchType::Pearl;
+        return std::memcmp(p, "PEARL", 5) == 0;
+      case 9:
+        out = ArchType::PsWorker;
+        return std::memcmp(p, "PS/Worker", 9) == 0;
+      case 15:
+        out = ArchType::AllReduceLocal;
+        return std::memcmp(p, "AllReduce-Local", 15) == 0;
+      case 17:
+        out = ArchType::AllReduceCluster;
+        return std::memcmp(p, "AllReduce-Cluster", 17) == 0;
+      default:
+        return false;
+    }
+}
+
+const char *
+fastParseLine(const char *p, const char *end, TrainingJob &j)
+{
+    int64_t iv;
+    auto ri = std::from_chars(p, end, iv);
+    if (ri.ec != std::errc() || ri.ptr == end || *ri.ptr != ',')
+        return nullptr;
+    j.id = iv;
+    p = ri.ptr + 1;
+
+    const char *c = static_cast<const char *>(
+        std::memchr(p, ',', static_cast<size_t>(end - p)));
+    if (!c || !fastArch(p, static_cast<size_t>(c - p), j.arch))
+        return nullptr;
+    p = c + 1;
+
+    ri = std::from_chars(p, end, iv);
+    if (ri.ec != std::errc() || ri.ptr == end || *ri.ptr != ',' ||
+        iv < 1)
+        return nullptr;
+    j.num_cnodes = static_cast<int>(iv);
+    p = ri.ptr + 1;
+
+    ri = std::from_chars(p, end, iv);
+    if (ri.ec != std::errc() || ri.ptr == end || *ri.ptr != ',' ||
+        iv < 0)
+        return nullptr;
+    j.num_ps = static_cast<int>(iv);
+    p = ri.ptr + 1;
+
+    // Unrolled so each value lands straight in its member instead of
+    // through a pointer table the optimizer cannot hoist.
+#define PAICHAR_PARSE_FEATURE(member, delim)                          \
+    {                                                                 \
+        auto rd = std::from_chars(p, end, j.features.member);         \
+        if (rd.ec != std::errc() ||                                   \
+            !std::isfinite(j.features.member))                        \
+            return nullptr;                                           \
+        p = rd.ptr;                                                   \
+        if (delim) {                                                  \
+            if (p == end || *p != ',')                                \
+                return nullptr;                                       \
+            ++p;                                                      \
+        }                                                             \
+    }
+    PAICHAR_PARSE_FEATURE(batch_size, true)
+    PAICHAR_PARSE_FEATURE(flop_count, true)
+    PAICHAR_PARSE_FEATURE(mem_access_bytes, true)
+    PAICHAR_PARSE_FEATURE(input_bytes, true)
+    PAICHAR_PARSE_FEATURE(comm_bytes, true)
+    PAICHAR_PARSE_FEATURE(embedding_comm_bytes, true)
+    PAICHAR_PARSE_FEATURE(dense_weight_bytes, true)
+    PAICHAR_PARSE_FEATURE(embedding_weight_bytes, false)
+#undef PAICHAR_PARSE_FEATURE
+    // Row terminator: end of chunk, LF, or CRLF.
+    if (p != end) {
+        if (*p == '\n') {
+            ++p;
+        } else if (*p == '\r' && (p + 1 == end || p[1] == '\n')) {
+            p += (p + 1 == end) ? 1 : 2;
+        } else {
+            return nullptr; // extra fields or trailing junk
+        }
+    }
+    if (!j.features.valid())
+        return nullptr;
+    return p;
+}
+
+/**
+ * Cold path: re-parse a row the fast path rejected, with the field
+ * splitting needed for precise messages ("expected 12 fields, got
+ * 9", the offending field's text, ...). Returns the error text
+ * (without the "line N: " prefix), or empty if the line is valid
+ * after all — unreachable in practice since both paths accept the
+ * same grammar, but then the parse simply proceeds with @p j.
+ */
+std::string
+parseLineSlow(std::string_view line, TrainingJob &j)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+
+    std::array<std::string_view, kFields> fields;
+    size_t nfields = 0;
+    size_t start = 0;
+    bool overflow = false;
+    for (size_t i = 0;; ++i) {
+        if (i == line.size() || line[i] == ',') {
+            if (nfields < kFields)
+                fields[nfields] = line.substr(start, i - start);
+            else
+                overflow = true;
+            ++nfields;
+            start = i + 1;
+            if (i == line.size())
+                break;
+        }
+    }
+    if (overflow || nfields != kFields) {
+        return "expected " + std::to_string(kFields) +
+               " fields, got " + std::to_string(nfields);
+    }
+
+    int64_t iv;
+    if (!parseInt(fields[0], iv))
+        return "bad id '" + std::string(fields[0]) + "'";
+    j.id = iv;
+    auto arch = workload::archFromString(fields[1]);
+    if (!arch)
+        return "unknown architecture '" + std::string(fields[1]) +
+               "'";
+    j.arch = *arch;
+    if (!parseInt(fields[2], iv) || iv < 1)
+        return "bad num_cnodes '" + std::string(fields[2]) + "'";
+    j.num_cnodes = static_cast<int>(iv);
+    if (!parseInt(fields[3], iv) || iv < 0)
+        return "bad num_ps '" + std::string(fields[3]) + "'";
+    j.num_ps = static_cast<int>(iv);
+
+    double *slots[] = {&j.features.batch_size,
+                       &j.features.flop_count,
+                       &j.features.mem_access_bytes,
+                       &j.features.input_bytes,
+                       &j.features.comm_bytes,
+                       &j.features.embedding_comm_bytes,
+                       &j.features.dense_weight_bytes,
+                       &j.features.embedding_weight_bytes};
+    for (size_t s = 0; s < 8; ++s) {
+        if (!parseDouble(fields[4 + s], *slots[s]))
+            return "bad numeric field '" +
+                   std::string(fields[4 + s]) + "'";
+    }
+    if (!j.features.valid())
+        return "features fail validation";
+    return {};
+}
+
+/** Parse body[lo, hi); lo and hi sit on line starts (or at the end). */
+ChunkOutcome
+parseChunk(std::string_view body, size_t lo, size_t hi)
+{
+    ChunkOutcome out;
+    // Rows are ~90-180 bytes; an 80-byte estimate over-reserves
+    // slightly instead of reallocating mid-chunk.
+    out.jobs.reserve((hi - lo) / 80 + 1);
+
+    const char *p = body.data() + lo;
+    const char *end = body.data() + hi;
+    while (p < end) {
+        ++out.lines;
+        // Blank lines ("" or lone "\r") are skipped but counted.
+        if (*p == '\n') {
+            ++p;
+            continue;
+        }
+        if (*p == '\r' && (p + 1 == end || p[1] == '\n')) {
+            p += (p + 1 == end) ? 1 : 2;
+            continue;
+        }
+
+        TrainingJob &j = out.jobs.emplace_back();
+        if (const char *next = fastParseLine(p, end, j)) {
+            p = next;
+            continue;
+        }
+
+        const char *nl = static_cast<const char *>(std::memchr(
+            p, '\n', static_cast<size_t>(end - p)));
+        std::string_view line(
+            p, static_cast<size_t>((nl ? nl : end) - p));
+        std::string err = parseLineSlow(line, j);
+        if (!err.empty()) {
+            out.jobs.pop_back();
+            out.has_error = true;
+            out.error = std::move(err);
+            return out;
+        }
+        p = nl ? nl + 1 : end;
+    }
+    return out;
+}
+
+std::optional<std::string>
+readFileToString(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is)
+        return std::nullopt;
+    auto size = is.tellg();
+    if (size < 0)
+        return std::nullopt;
+    std::string data;
+    data.resize(static_cast<size_t>(size));
+    is.seekg(0);
+    if (size > 0 && !is.read(data.data(), size))
+        return std::nullopt;
+    return data;
+}
+
 } // namespace
+
+std::string
+toString(TraceFormat f)
+{
+    return f == TraceFormat::Binary ? "bin" : "csv";
+}
+
+std::optional<TraceFormat>
+traceFormatFromString(std::string_view name)
+{
+    if (name == "csv")
+        return TraceFormat::Csv;
+    if (name == "bin")
+        return TraceFormat::Binary;
+    return std::nullopt;
+}
 
 std::string
 toCsv(const std::vector<TrainingJob> &jobs)
 {
-    std::ostringstream os;
-    os << kHeader << '\n';
-    char buf[512];
+    std::string out;
+    // Typical rows are under 120 bytes; a slight over-reserve means
+    // the writer appends into one allocation end to end.
+    out.reserve(kHeader.size() + 1 + jobs.size() * 128);
+    out += kHeader;
+    out += '\n';
     for (const TrainingJob &j : jobs) {
         const auto &f = j.features;
-        std::snprintf(buf, sizeof(buf),
-                      "%lld,%s,%d,%d,%.17g,%.17g,%.17g,%.17g,%.17g,"
-                      "%.17g,%.17g,%.17g\n",
-                      static_cast<long long>(j.id),
-                      workload::toString(j.arch).c_str(), j.num_cnodes,
-                      j.num_ps, f.batch_size, f.flop_count,
-                      f.mem_access_bytes, f.input_bytes, f.comm_bytes,
-                      f.embedding_comm_bytes, f.dense_weight_bytes,
-                      f.embedding_weight_bytes);
-        os << buf;
+        appendNumber(out, static_cast<int64_t>(j.id));
+        out += ',';
+        out += workload::toString(j.arch);
+        out += ',';
+        appendNumber(out, static_cast<int64_t>(j.num_cnodes));
+        out += ',';
+        appendNumber(out, static_cast<int64_t>(j.num_ps));
+        for (double v : {f.batch_size, f.flop_count,
+                         f.mem_access_bytes, f.input_bytes,
+                         f.comm_bytes, f.embedding_comm_bytes,
+                         f.dense_weight_bytes,
+                         f.embedding_weight_bytes}) {
+            out += ',';
+            appendNumber(out, v);
+        }
+        out += '\n';
     }
-    return os.str();
+    return out;
 }
 
 ParseResult
-fromCsv(const std::string &text)
+fromCsv(std::string_view text, runtime::ThreadPool *pool)
 {
-    std::istringstream is(text);
-    std::string line;
-    size_t line_no = 0;
-
-    if (!std::getline(is, line))
+    if (text.empty())
         return fail(1, "empty input");
-    ++line_no;
-    // Normalize trailing CR for header comparison.
-    if (!line.empty() && line.back() == '\r')
-        line.pop_back();
-    if (line != kHeader)
+
+    size_t header_end = text.find('\n');
+    std::string_view header = header_end == std::string_view::npos
+                                  ? text
+                                  : text.substr(0, header_end);
+    if (!header.empty() && header.back() == '\r')
+        header.remove_suffix(1);
+    if (header != kHeader)
         return fail(1, "unexpected header");
+
+    std::string_view body = header_end == std::string_view::npos
+                                ? std::string_view{}
+                                : text.substr(header_end + 1);
+
+    // Line-aligned chunks; boundaries never depend on the thread
+    // count, and splicing in chunk order makes the thread count
+    // unobservable in the output either way.
+    size_t max_chunks = 1;
+    if (pool && pool->size() > 1) {
+        max_chunks = std::min<size_t>(
+            static_cast<size_t>(pool->size()) * 4,
+            std::max<size_t>(1, body.size() / kMinChunkBytes));
+    }
+    auto chunks = runtime::alignedChunks(
+        body.size(), max_chunks, [&](size_t pos) {
+            size_t nl = body.find('\n', pos);
+            return nl == std::string_view::npos ? body.size()
+                                                : nl + 1;
+        });
+
+    std::vector<ChunkOutcome> outcomes(chunks.size());
+    runtime::parallelFor(pool, chunks.size(), [&](size_t i) {
+        outcomes[i] =
+            parseChunk(body, chunks[i].first, chunks[i].second);
+    });
+
+    // Stitch in chunk order: global line numbers are the header (line
+    // 1) plus every line of the preceding chunks.
+    size_t line_base = 1;
+    size_t total = 0;
+    for (const ChunkOutcome &o : outcomes) {
+        if (o.has_error)
+            return fail(line_base + o.lines, o.error);
+        line_base += o.lines;
+        total += o.jobs.size();
+    }
 
     ParseResult r;
     r.ok = true;
-    while (std::getline(is, line)) {
-        ++line_no;
-        if (line.empty() || line == "\r")
-            continue;
-        auto fields = splitCsvLine(line);
-        if (fields.size() != kFields) {
-            return fail(line_no, "expected " +
-                                     std::to_string(kFields) +
-                                     " fields, got " +
-                                     std::to_string(fields.size()));
+    if (outcomes.size() == 1) {
+        // Serial path: adopt the chunk's vector instead of copying
+        // ~100 MB of jobs through a second allocation.
+        r.jobs = std::move(outcomes[0].jobs);
+    } else {
+        r.jobs.reserve(total);
+        for (ChunkOutcome &o : outcomes) {
+            r.jobs.insert(r.jobs.end(), o.jobs.begin(),
+                          o.jobs.end());
         }
-        TrainingJob j;
-        int64_t iv;
-        if (!parseInt(fields[0], iv))
-            return fail(line_no, "bad id '" + fields[0] + "'");
-        j.id = iv;
-        auto arch = workload::archFromString(fields[1]);
-        if (!arch)
-            return fail(line_no,
-                        "unknown architecture '" + fields[1] + "'");
-        j.arch = *arch;
-        if (!parseInt(fields[2], iv) || iv < 1)
-            return fail(line_no, "bad num_cnodes '" + fields[2] + "'");
-        j.num_cnodes = static_cast<int>(iv);
-        if (!parseInt(fields[3], iv) || iv < 0)
-            return fail(line_no, "bad num_ps '" + fields[3] + "'");
-        j.num_ps = static_cast<int>(iv);
-
-        double *slots[] = {&j.features.batch_size,
-                           &j.features.flop_count,
-                           &j.features.mem_access_bytes,
-                           &j.features.input_bytes,
-                           &j.features.comm_bytes,
-                           &j.features.embedding_comm_bytes,
-                           &j.features.dense_weight_bytes,
-                           &j.features.embedding_weight_bytes};
-        for (size_t s = 0; s < 8; ++s) {
-            if (!parseDouble(fields[4 + s], *slots[s])) {
-                return fail(line_no, "bad numeric field '" +
-                                         fields[4 + s] + "'");
-            }
-        }
-        if (!j.features.valid())
-            return fail(line_no, "features fail validation");
-        r.jobs.push_back(j);
     }
     return r;
+}
+
+bool
+writeTraceFile(const std::string &path,
+               const std::vector<TrainingJob> &jobs,
+               TraceFormat format)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    std::string data = format == TraceFormat::Binary ? toBinary(jobs)
+                                                     : toCsv(jobs);
+    os.write(data.data(),
+             static_cast<std::streamsize>(data.size()));
+    return static_cast<bool>(os);
+}
+
+ParseResult
+readTraceFile(const std::string &path, runtime::ThreadPool *pool)
+{
+    auto data = readFileToString(path);
+    if (!data) {
+        ParseResult r;
+        r.ok = false;
+        r.error = "cannot open '" + path + "'";
+        return r;
+    }
+    if (looksBinary(*data))
+        return fromBinary(*data);
+    return fromCsv(*data, pool);
 }
 
 bool
 writeCsvFile(const std::string &path,
              const std::vector<TrainingJob> &jobs)
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        return false;
-    os << toCsv(jobs);
-    return static_cast<bool>(os);
+    return writeTraceFile(path, jobs, TraceFormat::Csv);
 }
 
 ParseResult
 readCsvFile(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) {
+    auto data = readFileToString(path);
+    if (!data) {
         ParseResult r;
         r.ok = false;
         r.error = "cannot open '" + path + "'";
         return r;
     }
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    return fromCsv(buf.str());
+    return fromCsv(*data);
 }
 
 } // namespace paichar::trace

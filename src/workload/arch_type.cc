@@ -1,5 +1,7 @@
 #include "arch_type.h"
 
+#include <iterator>
+
 namespace paichar::workload {
 
 std::string
@@ -23,11 +25,18 @@ toString(ArchType a)
 }
 
 std::optional<ArchType>
-archFromString(const std::string &name)
+archFromString(std::string_view name)
 {
-    for (ArchType a : kAllArchTypes) {
-        if (toString(a) == name)
-            return a;
+    // Names are fixed string literals; comparing string_views keeps
+    // this allocation-free on the trace-parsing hot path.
+    constexpr std::string_view kNames[] = {
+        "1w1g", "1wng", "PS/Worker", "AllReduce-Local",
+        "AllReduce-Cluster", "PEARL",
+    };
+    static_assert(std::size(kNames) == std::size(kAllArchTypes));
+    for (size_t i = 0; i < std::size(kNames); ++i) {
+        if (kNames[i] == name)
+            return kAllArchTypes[i];
     }
     return std::nullopt;
 }

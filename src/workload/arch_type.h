@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace paichar::workload {
 
@@ -40,8 +41,11 @@ inline constexpr ArchType kAllArchTypes[] = {
 /** Paper-style short name: "1w1g", "1wng", "PS/Worker", ... */
 std::string toString(ArchType a);
 
-/** Inverse of toString; nullopt for unknown names. */
-std::optional<ArchType> archFromString(const std::string &name);
+/**
+ * Inverse of toString; nullopt for unknown names. Allocation-free so
+ * hot parsers (trace I/O) can call it once per record.
+ */
+std::optional<ArchType> archFromString(std::string_view name);
 
 /** True for PS/Worker and 1wng ("(parameter) centralized"). */
 bool isCentralized(ArchType a);

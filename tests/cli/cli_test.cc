@@ -143,6 +143,68 @@ TEST_F(CliWithTraceTest, CharacterizeSummarizesTrace)
     EXPECT_NE(r.out.find("cNode-level breakdown"), std::string::npos);
 }
 
+TEST_F(CliWithTraceTest, ConvertRoundTripsThroughBinary)
+{
+    std::string bin_path = path_ + ".paib";
+    std::string back_path = path_ + ".back.csv";
+
+    // Output format is inferred from the .paib extension.
+    auto to_bin = runCli({"convert", path_, bin_path});
+    ASSERT_EQ(to_bin.code, 0) << to_bin.err;
+    EXPECT_NE(to_bin.out.find("(bin)"), std::string::npos);
+
+    auto to_csv = runCli(
+        {"convert", bin_path, back_path, "--trace-format", "csv"});
+    ASSERT_EQ(to_csv.code, 0) << to_csv.err;
+    EXPECT_NE(to_csv.out.find("2000 jobs"), std::string::npos);
+
+    // Binary traces feed every analysis command transparently.
+    auto ch = runCli({"characterize", bin_path});
+    EXPECT_EQ(ch.code, 0) << ch.err;
+    auto ch_csv = runCli({"characterize", path_});
+    EXPECT_EQ(ch.out, ch_csv.out);
+
+    std::remove(bin_path.c_str());
+    std::remove(back_path.c_str());
+}
+
+TEST_F(CliWithTraceTest, ConvertRejectsBadFormatAndMissingArgs)
+{
+    auto bad_fmt = runCli({"convert", path_, path_ + ".x",
+                           "--trace-format", "parquet"});
+    EXPECT_EQ(bad_fmt.code, 1);
+    EXPECT_NE(bad_fmt.err.find("--trace-format"), std::string::npos);
+
+    auto missing = runCli({"convert", path_});
+    EXPECT_EQ(missing.code, 1);
+    EXPECT_NE(missing.err.find("convert expects"), std::string::npos);
+
+    auto nofile = runCli({"convert", "/nonexistent.csv", "/tmp/x"});
+    EXPECT_EQ(nofile.code, 1);
+    EXPECT_NE(nofile.err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, GenerateBinaryRequiresOut)
+{
+    auto r = runCli({"generate", "--jobs", "5", "--trace-format",
+                     "bin"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("--out"), std::string::npos);
+}
+
+TEST(CliTest, GenerateBinaryWritesLoadableTrace)
+{
+    std::string path = testing::TempDir() + "/paichar_cli_bin_" +
+                       std::to_string(::getpid()) + ".paib";
+    auto w = runCli({"generate", "--jobs", "100", "--seed", "3",
+                     "--trace-format", "bin", "--out", path});
+    ASSERT_EQ(w.code, 0) << w.err;
+    EXPECT_NE(w.out.find("bin"), std::string::npos);
+    auto r = runCli({"characterize", path});
+    EXPECT_EQ(r.code, 0) << r.err;
+    std::remove(path.c_str());
+}
+
 TEST_F(CliWithTraceTest, ProjectReportsSpeedups)
 {
     auto r = runCli({"project", path_});

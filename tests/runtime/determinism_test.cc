@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/arch_selection.h"
@@ -21,6 +22,7 @@
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 #include "trace/synthetic_cluster.h"
+#include "trace/trace_io.h"
 
 namespace paichar {
 namespace {
@@ -235,6 +237,71 @@ TEST(DeterminismTest, BatchProjectionMatchesAcrossThreadCounts)
         EXPECT_EQ(a0[i].arch, a1[i].arch) << "job " << i;
         EXPECT_EQ(a0[i].step_time, a1[i].step_time) << "job " << i;
         EXPECT_EQ(a0[i].throughput, a1[i].throughput) << "job " << i;
+    }
+}
+
+TEST(DeterminismTest, CsvParseMatchesAcrossThreadCounts)
+{
+    trace::SyntheticClusterGenerator gen(kSeed);
+    auto jobs = gen.generate(kJobs, nullptr);
+    std::string csv = trace::toCsv(jobs);
+
+    auto serial = trace::fromCsv(csv, nullptr);
+    ASSERT_TRUE(serial.ok) << serial.error;
+    expectSameJobs(jobs, serial.jobs);
+
+    runtime::ThreadPool p2(2), p8(8);
+    for (runtime::ThreadPool *pool :
+         {static_cast<runtime::ThreadPool *>(&p2), &p8}) {
+        auto parallel = trace::fromCsv(csv, pool);
+        ASSERT_TRUE(parallel.ok) << parallel.error;
+        expectSameJobs(serial.jobs, parallel.jobs);
+    }
+
+    // Errors carry the same line number for every thread count.
+    std::string bad = csv;
+    size_t pos = bad.find('\n', bad.size() / 2);
+    ASSERT_NE(pos, std::string::npos);
+    bad[pos + 1] = '!';
+    auto e0 = trace::fromCsv(bad, nullptr);
+    ASSERT_FALSE(e0.ok);
+    for (runtime::ThreadPool *pool :
+         {static_cast<runtime::ThreadPool *>(&p2), &p8}) {
+        auto e1 = trace::fromCsv(bad, pool);
+        ASSERT_FALSE(e1.ok);
+        EXPECT_EQ(e0.error, e1.error);
+    }
+}
+
+TEST(AlignedChunksTest, CoversRangeWithSnappedBoundaries)
+{
+    // Records of length 10; snap moves a tentative boundary forward
+    // to the next multiple of 10.
+    auto snap = [](size_t pos) { return ((pos + 9) / 10) * 10; };
+    for (size_t n : {size_t{0}, size_t{1}, size_t{10}, size_t{95},
+                     size_t{1000}}) {
+        for (size_t max_chunks : {size_t{1}, size_t{3}, size_t{7},
+                                  size_t{64}}) {
+            auto chunks = runtime::alignedChunks(n, max_chunks, snap);
+            if (n == 0) {
+                EXPECT_TRUE(chunks.empty());
+                continue;
+            }
+            ASSERT_FALSE(chunks.empty());
+            EXPECT_LE(chunks.size(), max_chunks);
+            EXPECT_EQ(chunks.front().first, 0u);
+            EXPECT_EQ(chunks.back().second, n);
+            for (size_t i = 0; i < chunks.size(); ++i) {
+                EXPECT_LT(chunks[i].first, chunks[i].second);
+                if (i > 0) {
+                    EXPECT_EQ(chunks[i - 1].second, chunks[i].first);
+                }
+                // Interior boundaries sit on record starts.
+                if (chunks[i].second != n) {
+                    EXPECT_EQ(chunks[i].second % 10, 0u);
+                }
+            }
+        }
     }
 }
 

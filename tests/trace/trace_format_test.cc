@@ -1,0 +1,356 @@
+/**
+ * @file
+ * The trace-format contract, exercised property-style: CSV and paib
+ * binary round trips are byte-identical across seeds, sizes, every
+ * architecture and extreme feature magnitudes; parallel CSV parsing
+ * is indistinguishable from serial (jobs and error line numbers
+ * alike); malformed binary payloads fail with clean errors.
+ *
+ * Runs under `ctest -L trace`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "trace/binary_trace.h"
+#include "trace/synthetic_cluster.h"
+#include "trace/trace_io.h"
+
+namespace paichar::trace {
+namespace {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+void
+expectSameJobs(const std::vector<TrainingJob> &a,
+               const std::vector<TrainingJob> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id) << "job " << i;
+        EXPECT_EQ(a[i].arch, b[i].arch) << "job " << i;
+        EXPECT_EQ(a[i].num_cnodes, b[i].num_cnodes) << "job " << i;
+        EXPECT_EQ(a[i].num_ps, b[i].num_ps) << "job " << i;
+        const auto &fa = a[i].features, &fb = b[i].features;
+        EXPECT_EQ(fa.batch_size, fb.batch_size) << "job " << i;
+        EXPECT_EQ(fa.flop_count, fb.flop_count) << "job " << i;
+        EXPECT_EQ(fa.mem_access_bytes, fb.mem_access_bytes)
+            << "job " << i;
+        EXPECT_EQ(fa.input_bytes, fb.input_bytes) << "job " << i;
+        EXPECT_EQ(fa.comm_bytes, fb.comm_bytes) << "job " << i;
+        EXPECT_EQ(fa.embedding_comm_bytes, fb.embedding_comm_bytes)
+            << "job " << i;
+        EXPECT_EQ(fa.dense_weight_bytes, fb.dense_weight_bytes)
+            << "job " << i;
+        EXPECT_EQ(fa.embedding_weight_bytes,
+                  fb.embedding_weight_bytes)
+            << "job " << i;
+    }
+}
+
+/** One job per architecture, pushing every numeric field to an edge. */
+std::vector<TrainingJob>
+extremeJobs()
+{
+    std::vector<TrainingJob> jobs;
+    constexpr double kEdges[] = {
+        0.0,
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::min(),
+        0.1,
+        1.0 / 3.0,
+        6.02214076e23,
+        std::numeric_limits<double>::max(),
+    };
+    int64_t id = std::numeric_limits<int64_t>::max();
+    size_t e = 0;
+    auto next = [&] { return kEdges[e++ % std::size(kEdges)]; };
+    for (ArchType arch : workload::kAllArchTypes) {
+        TrainingJob j;
+        j.id = id--;
+        j.arch = arch;
+        j.num_cnodes = std::numeric_limits<int32_t>::max();
+        j.num_ps = std::numeric_limits<int32_t>::max();
+        j.features.batch_size =
+            std::max(next(), std::numeric_limits<double>::min());
+        j.features.flop_count = next();
+        j.features.mem_access_bytes = next();
+        j.features.input_bytes = next();
+        // Invariant: embedding_comm_bytes <= comm_bytes.
+        j.features.comm_bytes = std::numeric_limits<double>::max();
+        j.features.embedding_comm_bytes = next();
+        j.features.dense_weight_bytes = next();
+        j.features.embedding_weight_bytes = next();
+        EXPECT_TRUE(j.features.valid());
+        jobs.push_back(j);
+    }
+    return jobs;
+}
+
+TEST(TraceFormatTest, CsvRoundTripIsByteIdenticalAcrossSeedsAndSizes)
+{
+    for (uint64_t seed : {1u, 2u, 99u}) {
+        for (size_t n : {size_t{0}, size_t{1}, size_t{17},
+                         size_t{500}}) {
+            SyntheticClusterGenerator gen(seed);
+            auto jobs = gen.generate(n, nullptr);
+            std::string csv = toCsv(jobs);
+            ParseResult r = fromCsv(csv);
+            ASSERT_TRUE(r.ok) << r.error;
+            expectSameJobs(jobs, r.jobs);
+            EXPECT_EQ(csv, toCsv(r.jobs))
+                << "seed " << seed << " n " << n;
+        }
+    }
+}
+
+TEST(TraceFormatTest, BinaryRoundTripIsByteIdenticalAcrossSeedsAndSizes)
+{
+    for (uint64_t seed : {1u, 2u, 99u}) {
+        for (size_t n : {size_t{0}, size_t{1}, size_t{17},
+                         size_t{500}}) {
+            SyntheticClusterGenerator gen(seed);
+            auto jobs = gen.generate(n, nullptr);
+            std::string bin = toBinary(jobs);
+            ParseResult r = fromBinary(bin);
+            ASSERT_TRUE(r.ok) << r.error;
+            expectSameJobs(jobs, r.jobs);
+            EXPECT_EQ(bin, toBinary(r.jobs))
+                << "seed " << seed << " n " << n;
+        }
+    }
+}
+
+TEST(TraceFormatTest, AllArchesAndExtremeMagnitudesRoundTripExactly)
+{
+    auto jobs = extremeJobs();
+
+    std::string csv = toCsv(jobs);
+    ParseResult rc = fromCsv(csv);
+    ASSERT_TRUE(rc.ok) << rc.error;
+    expectSameJobs(jobs, rc.jobs);
+    EXPECT_EQ(csv, toCsv(rc.jobs));
+
+    std::string bin = toBinary(jobs);
+    ParseResult rb = fromBinary(bin);
+    ASSERT_TRUE(rb.ok) << rb.error;
+    expectSameJobs(jobs, rb.jobs);
+    EXPECT_EQ(bin, toBinary(rb.jobs));
+}
+
+TEST(TraceFormatTest, CsvAndBinaryAgree)
+{
+    SyntheticClusterGenerator gen(7);
+    auto jobs = gen.generate(200, nullptr);
+    ParseResult via_csv = fromCsv(toCsv(jobs));
+    ParseResult via_bin = fromBinary(toBinary(jobs));
+    ASSERT_TRUE(via_csv.ok) << via_csv.error;
+    ASSERT_TRUE(via_bin.ok) << via_bin.error;
+    expectSameJobs(via_csv.jobs, via_bin.jobs);
+}
+
+TEST(TraceFormatTest, ParallelCsvParseMatchesSerial)
+{
+    SyntheticClusterGenerator gen(20181201);
+    auto jobs = gen.generate(20000, nullptr);
+    std::string csv = toCsv(jobs);
+
+    ParseResult serial = fromCsv(csv, nullptr);
+    ASSERT_TRUE(serial.ok) << serial.error;
+    expectSameJobs(jobs, serial.jobs);
+
+    runtime::ThreadPool p2(2), p8(8);
+    for (runtime::ThreadPool *pool :
+         {static_cast<runtime::ThreadPool *>(&p2), &p8}) {
+        ParseResult parallel = fromCsv(csv, pool);
+        ASSERT_TRUE(parallel.ok) << parallel.error;
+        expectSameJobs(serial.jobs, parallel.jobs);
+        EXPECT_EQ(toCsv(serial.jobs), toCsv(parallel.jobs));
+    }
+}
+
+TEST(TraceFormatTest, ParallelCsvErrorsMatchSerialByteForByte)
+{
+    SyntheticClusterGenerator gen(3);
+    auto jobs = gen.generate(20000, nullptr);
+    std::string base = toCsv(jobs);
+
+    // Corrupt one row early, one in the middle and one at the end;
+    // every pool size must report the identical first error.
+    for (double frac : {0.001, 0.5, 0.999}) {
+        std::string csv = base;
+        size_t pos = csv.find('\n', static_cast<size_t>(
+                                        frac * (csv.size() - 2)));
+        ASSERT_NE(pos, std::string::npos);
+        csv[pos + 1] = 'x'; // clobber the next row's id digit
+        ParseResult serial = fromCsv(csv, nullptr);
+        ASSERT_FALSE(serial.ok);
+        EXPECT_NE(serial.error.find("line "), std::string::npos);
+
+        runtime::ThreadPool p2(2), p8(8);
+        for (runtime::ThreadPool *pool :
+             {static_cast<runtime::ThreadPool *>(&p2), &p8}) {
+            ParseResult parallel = fromCsv(csv, pool);
+            ASSERT_FALSE(parallel.ok);
+            EXPECT_EQ(serial.error, parallel.error)
+                << "at frac " << frac;
+        }
+    }
+}
+
+TEST(TraceFormatTest, LooksBinaryDetectsMagic)
+{
+    EXPECT_TRUE(looksBinary(toBinary({})));
+    EXPECT_FALSE(looksBinary(""));
+    EXPECT_FALSE(looksBinary("PAI"));
+    EXPECT_FALSE(looksBinary(toCsv({})));
+}
+
+TEST(TraceFormatTest, BinaryRejectsBadMagic)
+{
+    SyntheticClusterGenerator gen(5);
+    std::string bin = toBinary(gen.generate(10, nullptr));
+    bin[0] = 'X';
+    ParseResult r = fromBinary(bin);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("magic"), std::string::npos);
+}
+
+TEST(TraceFormatTest, BinaryRejectsWrongVersion)
+{
+    SyntheticClusterGenerator gen(5);
+    std::string bin = toBinary(gen.generate(10, nullptr));
+    bin[4] = 42; // version little-endian low byte
+    ParseResult r = fromBinary(bin);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("version"), std::string::npos);
+    EXPECT_NE(r.error.find("42"), std::string::npos);
+}
+
+TEST(TraceFormatTest, BinaryRejectsTruncatedColumns)
+{
+    SyntheticClusterGenerator gen(5);
+    std::string bin = toBinary(gen.generate(10, nullptr));
+    ParseResult r = fromBinary(bin.substr(0, bin.size() - 16));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("truncated"), std::string::npos);
+
+    // Header-only truncation.
+    ParseResult rh = fromBinary(bin.substr(0, 10));
+    EXPECT_FALSE(rh.ok);
+    EXPECT_NE(rh.error.find("truncated"), std::string::npos);
+
+    // Trailing garbage is a size mismatch, not a silent accept.
+    ParseResult rt = fromBinary(bin + "junk");
+    EXPECT_FALSE(rt.ok);
+    EXPECT_NE(rt.error.find("mismatch"), std::string::npos);
+}
+
+TEST(TraceFormatTest, BinaryRejectsChecksumMismatch)
+{
+    SyntheticClusterGenerator gen(5);
+    std::string bin = toBinary(gen.generate(10, nullptr));
+    bin[bin.size() / 2] ^= 0x40; // flip a bit inside a column
+    ParseResult r = fromBinary(bin);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("checksum"), std::string::npos);
+}
+
+/** Mirror of the paib word-folded FNV-1a-64, to forge payloads. */
+uint64_t
+refChecksum(const std::string &data)
+{
+    constexpr uint64_t kPrime = 1099511628211ull;
+    uint64_t h = 14695981039346656037ull;
+    size_t words = data.size() / 8;
+    for (size_t i = 0; i < words; ++i) {
+        uint64_t w;
+        std::memcpy(&w, data.data() + i * 8, 8);
+        h = (h ^ w) * kPrime;
+    }
+    for (size_t i = words * 8; i < data.size(); ++i)
+        h = (h ^ static_cast<unsigned char>(data[i])) * kPrime;
+    return h;
+}
+
+/** Patch @p body at @p pos with @p byte and append a valid checksum. */
+std::string
+forge(std::string bin, size_t pos, char byte)
+{
+    bin[pos] = byte;
+    std::string body = bin.substr(0, bin.size() - 8);
+    uint64_t sum = refChecksum(body);
+    body.append(reinterpret_cast<const char *>(&sum), sizeof sum);
+    return body;
+}
+
+TEST(TraceFormatTest, BinaryRejectsInvalidJobValues)
+{
+    // Forged payloads (checksum fixed up) with out-of-range values
+    // must fail the per-job validation, never crash.
+    SyntheticClusterGenerator gen(5);
+    auto jobs = gen.generate(3, nullptr);
+    std::string bin = toBinary(jobs);
+    size_t arch_col = 16 + jobs.size() * 8; // after the id column
+
+    ParseResult r = fromBinary(forge(bin, arch_col + 1, 17));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("job 1"), std::string::npos);
+    EXPECT_NE(r.error.find("architecture"), std::string::npos);
+
+    size_t cnode_col = arch_col + jobs.size();
+    ParseResult rc = fromBinary(forge(bin, cnode_col, 0));
+    EXPECT_FALSE(rc.ok);
+    EXPECT_NE(rc.error.find("num_cnodes"), std::string::npos);
+}
+
+TEST(TraceFormatTest, TraceFormatNamesRoundTrip)
+{
+    EXPECT_EQ(toString(TraceFormat::Csv), "csv");
+    EXPECT_EQ(toString(TraceFormat::Binary), "bin");
+    EXPECT_EQ(traceFormatFromString("csv"), TraceFormat::Csv);
+    EXPECT_EQ(traceFormatFromString("bin"), TraceFormat::Binary);
+    EXPECT_FALSE(traceFormatFromString("json").has_value());
+}
+
+TEST(TraceFormatTest, ReadTraceFileAutoDetectsBothFormats)
+{
+    SyntheticClusterGenerator gen(13);
+    auto jobs = gen.generate(64, nullptr);
+    std::string csv_path =
+        testing::TempDir() + "/paichar_fmt_test.csv";
+    std::string bin_path =
+        testing::TempDir() + "/paichar_fmt_test.paib";
+
+    ASSERT_TRUE(writeTraceFile(csv_path, jobs, TraceFormat::Csv));
+    ASSERT_TRUE(writeTraceFile(bin_path, jobs, TraceFormat::Binary));
+
+    ParseResult rc = readTraceFile(csv_path);
+    ASSERT_TRUE(rc.ok) << rc.error;
+    expectSameJobs(jobs, rc.jobs);
+
+    ParseResult rb = readTraceFile(bin_path);
+    ASSERT_TRUE(rb.ok) << rb.error;
+    expectSameJobs(jobs, rb.jobs);
+
+    std::remove(csv_path.c_str());
+    std::remove(bin_path.c_str());
+}
+
+TEST(TraceFormatTest, ReadTraceFileReportsMissingFile)
+{
+    ParseResult r = readTraceFile("/nonexistent/paichar.paib");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace paichar::trace

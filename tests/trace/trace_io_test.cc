@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "stats/rng.h"
 #include "trace/synthetic_cluster.h"
@@ -178,6 +179,66 @@ TEST(TraceIoTest, FuzzedMutationsNeverCrash)
             for (const auto &j : r.jobs)
                 EXPECT_TRUE(j.features.valid());
         }
+    }
+}
+
+TEST(TraceIoTest, ExtremeRowsRenderUntruncated)
+{
+    // Regression for the old snprintf-into-512-bytes writer, which
+    // silently truncated any row that outgrew its stack buffer. The
+    // worst-case row — extreme id/counts and max-magnitude doubles —
+    // must survive a full round trip bit for bit.
+    TrainingJob j;
+    j.id = std::numeric_limits<int64_t>::min();
+    j.arch = workload::ArchType::Pearl;
+    j.num_cnodes = std::numeric_limits<int>::max();
+    j.num_ps = std::numeric_limits<int>::max();
+    j.features.batch_size = std::numeric_limits<double>::max();
+    j.features.flop_count = std::numeric_limits<double>::max();
+    j.features.mem_access_bytes = std::numeric_limits<double>::max();
+    j.features.input_bytes = std::numeric_limits<double>::max();
+    j.features.comm_bytes = std::numeric_limits<double>::max();
+    j.features.embedding_comm_bytes =
+        std::numeric_limits<double>::max();
+    j.features.dense_weight_bytes =
+        std::numeric_limits<double>::denorm_min();
+    j.features.embedding_weight_bytes =
+        std::numeric_limits<double>::max();
+    ASSERT_TRUE(j.features.valid());
+
+    std::string csv = toCsv({j});
+    // Every row must end in a newline: a truncated render would lose
+    // trailing fields or the terminator.
+    ASSERT_FALSE(csv.empty());
+    EXPECT_EQ(csv.back(), '\n');
+
+    ParseResult r = fromCsv(csv);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.jobs.size(), 1u);
+    EXPECT_EQ(r.jobs[0].id, j.id);
+    EXPECT_EQ(r.jobs[0].num_cnodes, j.num_cnodes);
+    EXPECT_EQ(r.jobs[0].num_ps, j.num_ps);
+    EXPECT_EQ(r.jobs[0].features.comm_bytes, j.features.comm_bytes);
+    EXPECT_EQ(r.jobs[0].features.dense_weight_bytes,
+              j.features.dense_weight_bytes);
+    EXPECT_EQ(csv, toCsv(r.jobs));
+}
+
+TEST(TraceIoTest, ShortestFormattingRoundTripsExactDoubles)
+{
+    // The writer emits the shortest decimal that parses back to the
+    // same bits; spot-check classic troublemakers.
+    for (double v : {0.1, 1.0 / 3.0, 2.2250738585072011e-308,
+                     9007199254740993.0, 1e22, 1.7e308}) {
+        TrainingJob j;
+        j.num_cnodes = 1;
+        j.features.batch_size = 1.0;
+        j.features.flop_count = v;
+        ASSERT_TRUE(j.features.valid());
+        ParseResult r = fromCsv(toCsv({j}));
+        ASSERT_TRUE(r.ok) << r.error;
+        ASSERT_EQ(r.jobs.size(), 1u);
+        EXPECT_EQ(r.jobs[0].features.flop_count, v);
     }
 }
 
