@@ -1,0 +1,125 @@
+#include "differential.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "core/analytical_model.h"
+#include "testbed/training_sim.h"
+#include "testkit/property.h"
+
+namespace paichar::testkit {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+DifferentialOracle::DifferentialOracle(DiffOptions opts)
+    : opts_(std::move(opts)), gen_(opts_.ranges)
+{
+    assert(opts_.efficiency > 0.0 && opts_.efficiency <= 1.0);
+    assert(opts_.tolerance > 0.0);
+}
+
+DiffCase
+DifferentialOracle::evaluate(const TrainingJob &job, uint64_t seed) const
+{
+    DiffCase c;
+    c.seed = seed;
+    c.job = job;
+
+    // Analytical side, aligned with the simulator's physics (see the
+    // header): ring-aware collectives, PCIe contention only where the
+    // simulated topology actually shares the root (1wng).
+    core::AnalyticalModel model(
+        opts_.cluster,
+        core::EfficiencyAssumption{opts_.efficiency, opts_.efficiency});
+    model.setRingAware(true);
+    model.setPcieContention(job.arch == ArchType::OneWorkerMultiGpu);
+    c.analytical = model.stepTime(job, core::OverlapMode::NonOverlap);
+
+    // Simulated side: same hardware, same uniform derate, no
+    // framework overhead (the analytical model has no overhead term).
+    testbed::SimOptions so;
+    so.cluster = opts_.cluster;
+    so.kernel_launch_overhead = 0.0;
+    so.preprocessing_rate = 0.0;
+    testbed::TrainingSimulator sim(so);
+    workload::EfficiencyProfile eff;
+    eff.gpu_flops = eff.gpu_memory = eff.pcie = eff.network =
+        opts_.efficiency;
+    auto graph = JobGenerator::graphFor(job.features, seed);
+    c.simulated = sim.run(graph, job.features, job.arch,
+                          job.num_cnodes, eff)
+                      .total_time;
+
+    // Relative to the simulated ("measured") side, as in Fig 12.
+    // Degenerate all-zero jobs (post-shrinking) compare equal.
+    double denom = std::max(c.simulated, 1e-15);
+    c.rel_error = c.simulated <= 0.0 && c.analytical <= 0.0
+                      ? 0.0
+                      : std::abs(c.analytical - c.simulated) / denom;
+    return c;
+}
+
+DiffCase
+DifferentialOracle::evaluateSeed(uint64_t seed) const
+{
+    return evaluate(gen_.job(seed), seed);
+}
+
+DifferentialOracle::Report
+DifferentialOracle::run(uint64_t base_seed, int count,
+                        runtime::ThreadPool *pool) const
+{
+    assert(count > 0);
+    auto cases = runtime::parallelMap<DiffCase>(
+        pool, static_cast<size_t>(count), [&](size_t i) {
+            return evaluateSeed(base_seed + static_cast<uint64_t>(i));
+        });
+
+    Report r;
+    r.count = count;
+    r.worst = cases.front();
+    for (const DiffCase &c : cases) {
+        r.mean_rel_error += c.rel_error;
+        if (c.rel_error > opts_.tolerance)
+            ++r.violations;
+        if (c.rel_error > r.worst.rel_error)
+            r.worst = c;
+    }
+    r.mean_rel_error /= count;
+    return r;
+}
+
+std::string
+DifferentialOracle::explain(const DiffCase &c) const
+{
+    // Shrink while the disagreement stays beyond tolerance, so the
+    // printed counterexample isolates the divergent term.
+    auto beyond = [&](const TrainingJob &j) {
+        return evaluate(j, c.seed).rel_error > opts_.tolerance;
+    };
+    TrainingJob shrunk = beyond(c.job) ? shrinkJob(c.job, beyond) : c.job;
+    DiffCase sc = evaluate(shrunk, c.seed);
+
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "analytical %.6g s vs simulated %.6g s "
+                  "(rel err %.2f%%, tolerance %.0f%%)",
+                  sc.analytical, sc.simulated, 100.0 * sc.rel_error,
+                  100.0 * opts_.tolerance);
+
+    std::string s;
+    s += "differential violation at seed " + std::to_string(c.seed) +
+         " (" + workload::toString(c.job.arch) + ")\n";
+    s += std::string("  ") + buf;
+    s += "\n  generated: " + jobCsvRow(c.job);
+    s += "\n  shrunk:    " + jobCsvRow(shrunk);
+    s += "\n  reproduce: PAICHAR_DIFF_SEED=" + std::to_string(c.seed) +
+         " ./tests/differential_test "
+         "--gtest_filter=DifferentialTest.SingleSeedReproducer\n";
+    return s;
+}
+
+} // namespace paichar::testkit

@@ -1,0 +1,199 @@
+#include "gen.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "trace/trace_io.h"
+
+namespace paichar::testkit {
+
+using workload::ArchType;
+using workload::Op;
+using workload::OpGraph;
+using workload::OpType;
+using workload::TrainingJob;
+using workload::WorkloadFeatures;
+
+double
+sampleLog(stats::Rng &rng, const LogRange &r)
+{
+    assert(r.lo > 0.0 && r.lo <= r.hi);
+    if (r.lo == r.hi)
+        return r.lo;
+    return std::exp(rng.uniform(std::log(r.lo), std::log(r.hi)));
+}
+
+int
+sampleInt(stats::Rng &rng, const IntRange &r)
+{
+    assert(r.lo <= r.hi);
+    return static_cast<int>(rng.uniformInt(r.lo, r.hi));
+}
+
+GenRanges
+GenRanges::differential()
+{
+    GenRanges r;
+    r.cnodes_ar_cluster = {9, 16}; // exactly two 8-GPU servers
+    r.archs = {
+        ArchType::OneWorkerOneGpu, ArchType::OneWorkerMultiGpu,
+        ArchType::PsWorker,        ArchType::AllReduceLocal,
+        ArchType::AllReduceCluster,
+    };
+    return r;
+}
+
+JobGenerator::JobGenerator(GenRanges ranges) : ranges_(std::move(ranges))
+{
+    assert(!ranges_.archs.empty());
+}
+
+WorkloadFeatures
+JobGenerator::features(stats::Rng &rng) const
+{
+    WorkloadFeatures f;
+    f.batch_size = sampleLog(rng, ranges_.batch_size);
+    f.flop_count = sampleLog(rng, ranges_.flop_count);
+    f.mem_access_bytes = sampleLog(rng, ranges_.mem_access_bytes);
+    f.input_bytes = sampleLog(rng, ranges_.input_bytes);
+    f.comm_bytes = sampleLog(rng, ranges_.comm_bytes);
+    if (rng.bernoulli(ranges_.embedding_prob)) {
+        f.embedding_comm_bytes =
+            f.comm_bytes * rng.uniform(ranges_.embedding_frac_lo,
+                                       ranges_.embedding_frac_hi);
+    }
+    // Model sizes follow the traffic volumes (dense jobs move ~their
+    // parameter set per step; sparse jobs only the accessed rows).
+    f.dense_weight_bytes = f.comm_bytes - f.embedding_comm_bytes;
+    f.embedding_weight_bytes =
+        f.embedding_comm_bytes * rng.uniform(1.0, 64.0);
+    assert(f.valid());
+    return f;
+}
+
+int
+JobGenerator::cnodesFor(ArchType arch, stats::Rng &rng) const
+{
+    switch (arch) {
+      case ArchType::OneWorkerOneGpu:
+        return 1;
+      case ArchType::OneWorkerMultiGpu:
+        return sampleInt(rng, ranges_.cnodes_1wng);
+      case ArchType::PsWorker:
+        return sampleInt(rng, ranges_.cnodes_ps);
+      case ArchType::AllReduceLocal:
+        return sampleInt(rng, ranges_.cnodes_ar_local);
+      case ArchType::AllReduceCluster:
+        return sampleInt(rng, ranges_.cnodes_ar_cluster);
+      case ArchType::Pearl:
+        return sampleInt(rng, ranges_.cnodes_pearl);
+    }
+    return 1;
+}
+
+TrainingJob
+JobGenerator::job(uint64_t seed) const
+{
+    stats::Rng rng(seed);
+    auto arch = ranges_.archs[static_cast<size_t>(rng.uniformInt(
+        0, static_cast<int64_t>(ranges_.archs.size()) - 1))];
+    return job(seed, arch);
+}
+
+TrainingJob
+JobGenerator::job(uint64_t seed, ArchType arch) const
+{
+    // Separate stream from the arch draw so that pinning the arch
+    // still explores the full demand space per seed.
+    stats::Rng rng(seed);
+    stats::Rng demand = rng.split();
+
+    TrainingJob j;
+    j.id = static_cast<int64_t>(seed);
+    j.arch = arch;
+    j.num_cnodes = cnodesFor(arch, demand);
+    j.num_ps = arch == ArchType::PsWorker
+                   ? sampleInt(demand, ranges_.num_ps)
+                   : 0;
+    j.features = features(demand);
+    if (arch != ArchType::Pearl) {
+        // Only PEARL partitions sparse traffic; elsewhere the split is
+        // inert, so keep non-PEARL jobs dense for clearer shrinking.
+        j.features.dense_weight_bytes += j.features.embedding_weight_bytes;
+        j.features.embedding_comm_bytes = 0.0;
+        j.features.embedding_weight_bytes = 0.0;
+    }
+    return j;
+}
+
+hw::ClusterSpec
+JobGenerator::cluster(uint64_t seed) const
+{
+    stats::Rng rng(seed);
+    hw::ClusterSpec spec = hw::paiCluster();
+    spec.name = "generated-" + std::to_string(seed);
+    spec.ethernet_bandwidth =
+        hw::gbitPerSec(sampleLog(rng, ranges_.ethernet_gbps));
+    spec.server.pcie_bandwidth =
+        hw::gbPerSec(sampleLog(rng, ranges_.pcie_gbs));
+    spec.server.gpu.peak_flops =
+        sampleLog(rng, ranges_.gpu_peak_tflops) * hw::kTFLOPs;
+    spec.server.gpu.mem_bandwidth =
+        sampleLog(rng, ranges_.gpu_mem_tbs) * hw::kTB;
+    spec.num_servers = sampleInt(rng, ranges_.num_servers);
+    return spec;
+}
+
+OpGraph
+JobGenerator::graphFor(const WorkloadFeatures &f, uint64_t seed)
+{
+    stats::Rng rng(seed);
+    OpGraph g;
+    Op load;
+    load.name = "input_load";
+    load.type = OpType::DataLoad;
+    load.mem_bytes = 1.0; // placeholder; rescaled below
+    workload::OpId prev = g.addOp(load);
+
+    // Alternating compute-bound / memory-bound kernel chain with
+    // random relative weights; scaleToTargets pins the totals.
+    constexpr OpType kCompute[] = {OpType::MatMul, OpType::Conv};
+    constexpr OpType kMemory[] = {OpType::ElementWise,
+                                  OpType::Normalization,
+                                  OpType::Reduction};
+    int layers = static_cast<int>(rng.uniformInt(1, 16));
+    for (int l = 0; l < layers; ++l) {
+        Op c;
+        c.name = "compute_" + std::to_string(l);
+        c.type = kCompute[rng.uniformInt(0, 1)];
+        c.flops = rng.uniform(0.5, 2.0);
+        c.inputs = {prev};
+        prev = g.addOp(c);
+
+        Op m;
+        m.name = "memory_" + std::to_string(l);
+        m.type = kMemory[rng.uniformInt(0, 2)];
+        m.mem_bytes = rng.uniform(0.5, 2.0);
+        m.output_bytes = m.mem_bytes / 2.0;
+        m.inputs = {prev};
+        prev = g.addOp(m);
+    }
+    g.scaleToTargets(f.flop_count, f.mem_access_bytes, f.input_bytes);
+    assert(g.validate());
+    return g;
+}
+
+std::string
+jobCsvRow(const TrainingJob &job)
+{
+    // Reuse the canonical serializer; drop its header line.
+    std::string csv = trace::toCsv({job});
+    auto nl = csv.find('\n');
+    std::string row =
+        nl == std::string::npos ? csv : csv.substr(nl + 1);
+    if (!row.empty() && row.back() == '\n')
+        row.pop_back();
+    return row;
+}
+
+} // namespace paichar::testkit

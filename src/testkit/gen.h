@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic generative fuzzing for the verification layer: random
+ * TrainingJobs, op graphs and hardware configurations spanning the
+ * ranges the paper observed in production (Figs 5-8, Tables I/III).
+ *
+ * Every artifact is a pure function of a single 64-bit seed, so a
+ * failing property or differential case is reproducible from one
+ * printed number: generators derive a private SplitMix64 stream from
+ * the seed and never consult global state. Ranges are sampled
+ * log-uniformly — the paper's populations are heavy-tailed, and
+ * log-uniform coverage exercises both the tiny 1w1g jobs and the
+ * multi-gigabyte PS/Worker embedding jobs with equal probability.
+ */
+
+#ifndef PAICHAR_TESTKIT_GEN_H
+#define PAICHAR_TESTKIT_GEN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/hardware_config.h"
+#include "stats/rng.h"
+#include "workload/op_graph.h"
+#include "workload/training_job.h"
+
+namespace paichar::testkit {
+
+/** Closed positive interval sampled log-uniformly. */
+struct LogRange
+{
+    double lo = 1.0;
+    double hi = 1.0;
+};
+
+/** Closed integer interval sampled uniformly. */
+struct IntRange
+{
+    int lo = 1;
+    int hi = 1;
+};
+
+/**
+ * Sampling ranges for generated jobs and hardware. Defaults span the
+ * paper's observed production population; differential() narrows them
+ * to the regime where the analytical model and the event-driven
+ * simulator implement the same physics (see differential.h).
+ */
+struct GenRanges
+{
+    // ----- per-step per-cNode demands (Fig 4 schema, Table V spans) --
+    LogRange flop_count{1e10, 2e12};
+    LogRange mem_access_bytes{1e9, 2e11};
+    LogRange input_bytes{1e5, 5e8};
+    LogRange comm_bytes{1e6, 5e9};
+    LogRange batch_size{16, 4096};
+
+    /** Probability a job carries sparse (embedding) traffic. */
+    double embedding_prob = 0.3;
+    /** Embedding share of comm_bytes when present (uniform). */
+    double embedding_frac_lo = 0.05;
+    double embedding_frac_hi = 0.9;
+
+    // ----- scale per architecture (Table II placement rules) --------
+    IntRange cnodes_1wng{2, 8};       ///< single server
+    IntRange cnodes_ps{2, 64};        ///< one worker per server
+    IntRange num_ps{1, 8};
+    IntRange cnodes_ar_local{2, 8};   ///< single NVLink server
+    IntRange cnodes_ar_cluster{2, 64};
+    IntRange cnodes_pearl{2, 8};
+
+    /** Architectures in the mix (uniform choice). */
+    std::vector<workload::ArchType> archs{
+        workload::ArchType::OneWorkerOneGpu,
+        workload::ArchType::OneWorkerMultiGpu,
+        workload::ArchType::PsWorker,
+        workload::ArchType::AllReduceLocal,
+        workload::ArchType::AllReduceCluster,
+        workload::ArchType::Pearl,
+    };
+
+    // ----- hardware configurations (Table III grid spans) -----------
+    LogRange ethernet_gbps{10.0, 100.0};
+    LogRange pcie_gbs{10.0, 50.0};
+    LogRange gpu_peak_tflops{8.0, 64.0};
+    LogRange gpu_mem_tbs{1.0, 4.0};
+    IntRange num_servers{1, 64};
+
+    /**
+     * Ranges for the differential analytical-vs-simulator suite.
+     * Two documented restrictions (details in differential.h):
+     *  - AllReduce-Cluster is confined to two-server placements
+     *    (9..16 cNodes): beyond that the simulator's hierarchical
+     *    ring charges 2(s-1)/s of the buffer per NIC while the paper's
+     *    model charges exactly one buffer, a >10% modeling divergence
+     *    by design.
+     *  - PEARL is excluded from the 10% population (its partitioned
+     *    sparse exchange has no analytical counterpart at this
+     *    fidelity) and asserted separately under a looser bound.
+     */
+    static GenRanges differential();
+};
+
+/**
+ * Seed-addressed generator: every product is a pure function of
+ * (ranges, seed). Copyable, stateless between calls.
+ */
+class JobGenerator
+{
+  public:
+    explicit JobGenerator(GenRanges ranges = GenRanges{});
+
+    /** A random TrainingJob; arch, scale and demands from @p seed. */
+    workload::TrainingJob job(uint64_t seed) const;
+
+    /** A random job pinned to @p arch. */
+    workload::TrainingJob job(uint64_t seed,
+                              workload::ArchType arch) const;
+
+    /** Per-step demands alone (no arch-dependent fields). */
+    workload::WorkloadFeatures features(stats::Rng &rng) const;
+
+    /** A random hardware configuration spanning the Table III grid. */
+    hw::ClusterSpec cluster(uint64_t seed) const;
+
+    /**
+     * A structurally random op graph whose aggregate demands equal
+     * @p f exactly (via OpGraph::scaleToTargets): one DataLoad op,
+     * then alternating compute-bound (MatMul/Conv) and memory-bound
+     * (ElementWise/Normalization/Reduction) kernels with random
+     * relative weights. Feeding it to the testbed simulator therefore
+     * reproduces the analytical model's demand totals while still
+     * exercising kernel-by-kernel execution.
+     */
+    static workload::OpGraph graphFor(const workload::WorkloadFeatures &f,
+                                      uint64_t seed);
+
+    const GenRanges &ranges() const { return ranges_; }
+
+  private:
+    int cnodesFor(workload::ArchType arch, stats::Rng &rng) const;
+
+    GenRanges ranges_;
+};
+
+/** Log-uniform draw from @p r (lo == hi returns lo). */
+double sampleLog(stats::Rng &rng, const LogRange &r);
+
+/** Uniform integer draw from @p r. */
+int sampleInt(stats::Rng &rng, const IntRange &r);
+
+/** One CSV row (no header) for a job — printable reproducer. */
+std::string jobCsvRow(const workload::TrainingJob &job);
+
+} // namespace paichar::testkit
+
+#endif // PAICHAR_TESTKIT_GEN_H

@@ -1,0 +1,132 @@
+#include "golden.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+#include "runtime/parallel.h"
+
+namespace paichar::testkit {
+
+namespace {
+
+/** First byte offset where @p a and @p b differ, with line context. */
+std::string
+firstDifference(const std::string &a, const std::string &b)
+{
+    size_t n = std::min(a.size(), b.size());
+    size_t pos = 0;
+    while (pos < n && a[pos] == b[pos])
+        ++pos;
+    size_t line = 1 + static_cast<size_t>(std::count(
+                          a.begin(),
+                          a.begin() + static_cast<ptrdiff_t>(pos), '\n'));
+    auto context = [pos](const std::string &s) {
+        size_t start = s.rfind('\n', pos == 0 ? 0 : pos - 1);
+        start = start == std::string::npos ? 0 : start + 1;
+        size_t end = s.find('\n', pos);
+        end = end == std::string::npos ? s.size() : end;
+        return s.substr(start, std::min<size_t>(end - start, 120));
+    };
+    std::string msg = "first difference at byte " + std::to_string(pos) +
+                      " (line " + std::to_string(line) + ")";
+    msg += "\n  expected: " +
+           (pos >= a.size() ? std::string("<end of golden>")
+                            : context(a));
+    msg += "\n  actual:   " +
+           (pos >= b.size() ? std::string("<end of output>")
+                            : context(b));
+    return msg;
+}
+
+} // namespace
+
+bool
+updateGoldensRequested()
+{
+    const char *v = std::getenv("PAICHAR_UPDATE_GOLDENS");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+GoldenResult
+checkGolden(const std::string &name,
+            const std::vector<std::string> &args,
+            const GoldenOptions &opts)
+{
+    assert(!opts.dir.empty());
+    assert(!opts.thread_counts.empty());
+
+    GoldenResult r;
+
+    // Run under every thread count; require identical bytes (the
+    // binary-level determinism contract of the runtime layer).
+    std::string output;
+    for (size_t i = 0; i < opts.thread_counts.size(); ++i) {
+        int threads = opts.thread_counts[i];
+        std::vector<std::string> full = args;
+        full.push_back("--threads");
+        full.push_back(std::to_string(threads));
+
+        std::ostringstream out, err;
+        int code = cli::run(full, out, err);
+        // Leave the process-wide pool as the environment dictates.
+        runtime::setThreadCount(0);
+        if (code != 0 || !err.str().empty()) {
+            r.message = name + ": CLI exited " + std::to_string(code) +
+                        " under --threads " + std::to_string(threads) +
+                        "\n  stderr: " + err.str();
+            return r;
+        }
+        if (i == 0) {
+            output = out.str();
+        } else if (out.str() != output) {
+            r.message = name + ": output differs between --threads " +
+                        std::to_string(opts.thread_counts[0]) +
+                        " and --threads " + std::to_string(threads) +
+                        "\n" + firstDifference(output, out.str());
+            return r;
+        }
+    }
+
+    const std::string path = opts.dir + "/" + name + ".golden";
+    if (updateGoldensRequested()) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        if (!f || !(f << output)) {
+            r.message = name + ": cannot write golden '" + path + "'";
+            return r;
+        }
+        r.ok = true;
+        r.updated = true;
+        r.message = name + ": recorded " +
+                    std::to_string(output.size()) + " bytes";
+        return r;
+    }
+
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        r.message = name + ": missing golden '" + path +
+                    "' — record with PAICHAR_UPDATE_GOLDENS=1";
+        return r;
+    }
+    std::ostringstream expected;
+    expected << f.rdbuf();
+    if (expected.str() != output) {
+        r.message = name + ": output does not match '" + path + "'\n" +
+                    firstDifference(expected.str(), output) +
+                    "\n  re-record with PAICHAR_UPDATE_GOLDENS=1 "
+                    "after reviewing";
+        return r;
+    }
+    r.ok = true;
+    r.message = name + ": matched (" +
+                std::to_string(output.size()) + " bytes, " +
+                std::to_string(opts.thread_counts.size()) +
+                " thread counts)";
+    return r;
+}
+
+} // namespace paichar::testkit

@@ -1,0 +1,131 @@
+#include "property.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paichar::testkit {
+
+using workload::TrainingJob;
+using workload::WorkloadFeatures;
+
+namespace {
+
+/** Re-establish feature invariants after a field was reduced. */
+void
+clampFeatures(WorkloadFeatures &f)
+{
+    f.embedding_comm_bytes =
+        std::min(f.embedding_comm_bytes, f.comm_bytes);
+}
+
+/** The candidate simplifications, most aggressive first. */
+std::vector<TrainingJob>
+candidates(const TrainingJob &job)
+{
+    std::vector<TrainingJob> out;
+    auto push = [&](auto &&mutate) {
+        TrainingJob c = job;
+        mutate(c);
+        clampFeatures(c.features);
+        out.push_back(std::move(c));
+    };
+
+    if (job.num_cnodes > 1) {
+        push([](TrainingJob &c) { c.num_cnodes = 1; });
+        push([](TrainingJob &c) {
+            c.num_cnodes = std::max(1, c.num_cnodes / 2);
+        });
+    }
+    if (job.num_ps > 0)
+        push([](TrainingJob &c) { c.num_ps = 0; });
+
+    double WorkloadFeatures::*fields[] = {
+        &WorkloadFeatures::flop_count,
+        &WorkloadFeatures::mem_access_bytes,
+        &WorkloadFeatures::input_bytes,
+        &WorkloadFeatures::comm_bytes,
+        &WorkloadFeatures::embedding_comm_bytes,
+        &WorkloadFeatures::dense_weight_bytes,
+        &WorkloadFeatures::embedding_weight_bytes,
+    };
+    for (auto field : fields) {
+        if (job.features.*field > 0.0) {
+            push([field](TrainingJob &c) { c.features.*field = 0.0; });
+            push([field](TrainingJob &c) { c.features.*field /= 2.0; });
+        }
+    }
+    // batch_size must stay positive (WorkloadFeatures::valid()), so it
+    // shrinks toward 1 rather than 0.
+    if (job.features.batch_size > 1.0) {
+        push([](TrainingJob &c) { c.features.batch_size = 1.0; });
+        push([](TrainingJob &c) {
+            c.features.batch_size =
+                std::max(1.0, c.features.batch_size / 2.0);
+        });
+    }
+    return out;
+}
+
+} // namespace
+
+TrainingJob
+shrinkJob(const TrainingJob &job,
+          const std::function<bool(const TrainingJob &)> &stillFails)
+{
+    assert(stillFails(job) && "shrinkJob needs a failing input");
+    TrainingJob cur = job;
+    // Greedy descent: take the first candidate that still fails;
+    // halving steps are bounded, so this terminates.
+    for (int round = 0; round < 512; ++round) {
+        bool improved = false;
+        for (TrainingJob &c : candidates(cur)) {
+            if (stillFails(c)) {
+                cur = std::move(c);
+                improved = true;
+                break;
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return cur;
+}
+
+std::string
+describe(const PropertyFailure &f)
+{
+    std::string s;
+    s += "property violated at seed " + std::to_string(f.seed) + "\n";
+    s += "  " + f.message + "\n";
+    s += "  generated: " + jobCsvRow(f.job) + "\n";
+    s += "  shrunk:    " + jobCsvRow(f.shrunk) + "\n";
+    s += "  reproduce: " + f.repro + "\n";
+    return s;
+}
+
+std::optional<PropertyFailure>
+checkJobs(const JobGenerator &gen, uint64_t base_seed, int count,
+          const JobProperty &prop, const std::string &repro_template)
+{
+    for (int i = 0; i < count; ++i) {
+        uint64_t seed = base_seed + static_cast<uint64_t>(i);
+        TrainingJob job = gen.job(seed);
+        auto msg = prop(job);
+        if (!msg)
+            continue;
+
+        PropertyFailure f;
+        f.seed = seed;
+        f.job = job;
+        f.shrunk = shrinkJob(
+            job, [&](const TrainingJob &c) { return prop(c).has_value(); });
+        f.message = prop(f.shrunk).value_or(*msg);
+        f.repro = repro_template;
+        if (auto pos = f.repro.find("{seed}"); pos != std::string::npos)
+            f.repro.replace(pos, 6, std::to_string(seed));
+        return f;
+    }
+    return std::nullopt;
+}
+
+} // namespace paichar::testkit

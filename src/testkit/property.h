@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Metamorphic/property checking over generated jobs, with shrinking.
+ *
+ * A property maps a TrainingJob to nullopt (holds) or a failure
+ * message. checkJobs() sweeps seeds base..base+count-1, and on the
+ * first violation *shrinks* the counterexample: it repeatedly tries
+ * simplifying transformations (drop to one cNode, zero a demand
+ * field, halve a demand field) and keeps any that still violate the
+ * property, so the reported job is close to minimal — usually a
+ * single non-zero field. The failure report carries the original
+ * seed, the shrunk job as a CSV row, and a copy-pasteable one-seed
+ * reproducer command.
+ */
+
+#ifndef PAICHAR_TESTKIT_PROPERTY_H
+#define PAICHAR_TESTKIT_PROPERTY_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "testkit/gen.h"
+
+namespace paichar::testkit {
+
+/** nullopt when the property holds, else a failure description. */
+using JobProperty =
+    std::function<std::optional<std::string>(const workload::TrainingJob &)>;
+
+/** A shrunk counterexample. */
+struct PropertyFailure
+{
+    /** Seed whose generated job violated the property. */
+    uint64_t seed = 0;
+    /** The original generated counterexample. */
+    workload::TrainingJob job;
+    /** The minimized counterexample. */
+    workload::TrainingJob shrunk;
+    /** The property's message for the shrunk job. */
+    std::string message;
+    /** One-seed reproducer command ("{seed}" already substituted). */
+    std::string repro;
+};
+
+/** Render a failure (seed, messages, CSV rows, repro command). */
+std::string describe(const PropertyFailure &f);
+
+/**
+ * Minimize @p job under @p stillFails (true = still a counterexample).
+ * Deterministic greedy descent to a fixpoint; the result always still
+ * fails. Feature invariants (embedding_comm_bytes <= comm_bytes) are
+ * preserved by every candidate transformation.
+ */
+workload::TrainingJob
+shrinkJob(const workload::TrainingJob &job,
+          const std::function<bool(const workload::TrainingJob &)>
+              &stillFails);
+
+/**
+ * Check @p prop over @p count jobs generated from consecutive seeds.
+ *
+ * @param gen   Generator (job is a pure function of the seed).
+ * @param base_seed First seed; iteration i uses base_seed + i.
+ * @param count Number of generated jobs.
+ * @param prop  The property.
+ * @param repro_template Command template for reproduction; the first
+ *        "{seed}" occurrence is replaced with the failing seed.
+ * @return nullopt if every job satisfies the property, else the first
+ *         failure, shrunk.
+ */
+std::optional<PropertyFailure>
+checkJobs(const JobGenerator &gen, uint64_t base_seed, int count,
+          const JobProperty &prop,
+          const std::string &repro_template =
+              "PAICHAR_TESTKIT_SEED={seed} <test binary>");
+
+} // namespace paichar::testkit
+
+#endif // PAICHAR_TESTKIT_PROPERTY_H

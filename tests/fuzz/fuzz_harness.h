@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared entry point for the trace-parser fuzz target and the corpus
+ * replay test: one input buffer in, parsed through the same
+ * auto-detection path the CLI uses (`paib` magic -> binary decoder,
+ * anything else -> CSV parser), with round-trip cross-checks on
+ * accepted inputs.
+ *
+ * The harness must never crash, assert, or hang on arbitrary bytes —
+ * that is the contract being fuzzed (trace/binary_trace.h promises a
+ * clean ParseResult error for malformed input).
+ */
+
+#ifndef PAICHAR_TESTS_FUZZ_FUZZ_HARNESS_H
+#define PAICHAR_TESTS_FUZZ_FUZZ_HARNESS_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "trace/binary_trace.h"
+#include "trace/trace_io.h"
+
+namespace paichar::testkit_fuzz {
+
+/** Parse @p data the way readTraceFile() would (by magic). */
+inline trace::ParseResult
+fuzzParse(std::string_view data)
+{
+    if (trace::looksBinary(data))
+        return trace::fromBinary(data);
+    return trace::fromCsv(data);
+}
+
+/**
+ * One fuzz iteration. Accepted inputs are additionally round-tripped
+ * through both encoders: a value the parser accepted must serialize
+ * and re-parse to the same jobs, in both CSV and `paib`. A round-trip
+ * mismatch aborts, which libFuzzer reports as a crash with the
+ * offending input preserved.
+ */
+inline void
+fuzzOne(std::string_view data)
+{
+    trace::ParseResult r = fuzzParse(data);
+    if (!r.ok) {
+        // Errors must be described; a silent failure is a bug.
+        if (r.error.empty()) {
+            std::fprintf(stderr, "rejected input with empty error\n");
+            std::abort();
+        }
+        return;
+    }
+    const std::string csv = trace::toCsv(r.jobs);
+    trace::ParseResult rt_csv = trace::fromCsv(csv);
+    const std::string bin = trace::toBinary(r.jobs);
+    trace::ParseResult rt_bin = trace::fromBinary(bin);
+    if (!rt_csv.ok || !rt_bin.ok ||
+        rt_csv.jobs.size() != r.jobs.size() ||
+        rt_bin.jobs.size() != r.jobs.size() ||
+        trace::toCsv(rt_csv.jobs) != csv ||
+        trace::toCsv(rt_bin.jobs) != csv) {
+        std::fprintf(stderr, "round-trip mismatch on accepted input\n");
+        std::abort();
+    }
+}
+
+} // namespace paichar::testkit_fuzz
+
+#endif // PAICHAR_TESTS_FUZZ_FUZZ_HARNESS_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fuzz target for the trace parsers (build with -DPAICHAR_FUZZ=ON).
+ *
+ * Under clang this links against libFuzzer (+ASan) and explores
+ * inputs coverage-guided:
+ *   ./tests/trace_fuzzer tests/fuzz/corpus -max_total_time=60
+ * Under gcc (no libFuzzer) the same translation unit is built with
+ * PAICHAR_FUZZ_STANDALONE, giving a file-replay driver over the same
+ * entry point:
+ *   ./tests/trace_fuzzer tests/fuzz/corpus/<file>...
+ */
+
+#include <cstdint>
+
+#include "fuzz_harness.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    paichar::testkit_fuzz::fuzzOne(
+        {reinterpret_cast<const char *>(data), size});
+    return 0;
+}
+
+#ifdef PAICHAR_FUZZ_STANDALONE
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: trace_fuzzer <input file>...\n";
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream f(argv[i], std::ios::binary);
+        if (!f) {
+            std::cerr << "cannot read " << argv[i] << "\n";
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << f.rdbuf();
+        const std::string data = buf.str();
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const uint8_t *>(data.data()), data.size());
+        std::cout << argv[i] << ": ok (" << data.size() << " bytes)\n";
+    }
+    return 0;
+}
+
+#endif // PAICHAR_FUZZ_STANDALONE

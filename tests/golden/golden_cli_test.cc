@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Golden-snapshot tests for the CLI surface (`ctest -L golden`).
+ *
+ * Each test drives cli::run() in-process and byte-compares stdout
+ * against a committed snapshot under tests/golden/goldens/. Every
+ * invocation runs under --threads 1, 2 and 8 and must produce
+ * identical bytes first (the runtime determinism contract), then
+ * match the snapshot exactly.
+ *
+ * To (re-)record after an intentional output change:
+ *   PAICHAR_UPDATE_GOLDENS=1 ctest -L golden
+ * then review the snapshot diff like any other code change. A missing
+ * snapshot is a hard failure, never a skip.
+ *
+ * The fixture chdirs into a scratch directory and uses fixed relative
+ * file names, so paths echoed in CLI output are byte-stable across
+ * machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "testkit/golden.h"
+
+namespace paichar::testkit {
+namespace {
+
+namespace fs = std::filesystem;
+
+class GoldenCliTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        previous_dir_ = fs::current_path();
+        scratch_ = fs::temp_directory_path() /
+                   ("paichar_golden_" + std::to_string(::getpid()));
+        fs::create_directories(scratch_);
+        fs::current_path(scratch_);
+
+        // A fixed synthetic trace all snapshot commands consume.
+        std::ostringstream out, err;
+        int code = cli::run({"generate", "--jobs", "400", "--seed",
+                             "20190601", "--out", "golden_trace.csv"},
+                            out, err);
+        ASSERT_EQ(code, 0) << err.str();
+    }
+
+    void
+    TearDown() override
+    {
+        fs::current_path(previous_dir_);
+        fs::remove_all(scratch_);
+    }
+
+    void
+    expectGolden(const std::string &name,
+                 const std::vector<std::string> &args)
+    {
+        GoldenOptions opts;
+        opts.dir = PAICHAR_GOLDEN_DIR;
+        GoldenResult r = checkGolden(name, args, opts);
+        EXPECT_TRUE(r.ok) << r.message;
+        if (r.updated)
+            std::cout << "[golden] " << r.message << "\n";
+    }
+
+  private:
+    fs::path previous_dir_;
+    fs::path scratch_;
+};
+
+TEST_F(GoldenCliTest, Generate)
+{
+    expectGolden("generate", {"generate", "--jobs", "50", "--seed", "7"});
+}
+
+TEST_F(GoldenCliTest, Characterize)
+{
+    expectGolden("characterize", {"characterize", "golden_trace.csv"});
+}
+
+TEST_F(GoldenCliTest, Sweep)
+{
+    expectGolden("sweep", {"sweep", "golden_trace.csv"});
+}
+
+TEST_F(GoldenCliTest, Project)
+{
+    expectGolden("project", {"project", "golden_trace.csv"});
+}
+
+TEST_F(GoldenCliTest, Convert)
+{
+    expectGolden("convert", {"convert", "golden_trace.csv",
+                             "golden_trace.paib", "--trace-format",
+                             "bin"});
+}
+
+} // namespace
+} // namespace paichar::testkit

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the testkit generators and the shrinking property harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testkit/gen.h"
+#include "testkit/property.h"
+
+namespace paichar::testkit {
+namespace {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+TEST(GenTest, JobIsAPureFunctionOfTheSeed)
+{
+    JobGenerator gen;
+    for (uint64_t seed : {0ull, 1ull, 42ull, 20181201ull}) {
+        EXPECT_EQ(jobCsvRow(gen.job(seed)), jobCsvRow(gen.job(seed)));
+    }
+    EXPECT_NE(jobCsvRow(gen.job(7)), jobCsvRow(gen.job(8)));
+}
+
+TEST(GenTest, JobsSpanTheConfiguredRanges)
+{
+    JobGenerator gen;
+    const GenRanges &r = gen.ranges();
+    std::set<ArchType> seen;
+    for (uint64_t seed = 0; seed < 400; ++seed) {
+        TrainingJob j = gen.job(seed);
+        seen.insert(j.arch);
+        ASSERT_TRUE(j.features.valid()) << "seed " << seed;
+        EXPECT_GE(j.features.flop_count, r.flop_count.lo);
+        EXPECT_LE(j.features.flop_count, r.flop_count.hi);
+        EXPECT_GE(j.features.comm_bytes, r.comm_bytes.lo);
+        EXPECT_LE(j.features.comm_bytes, r.comm_bytes.hi);
+        EXPECT_GE(j.features.input_bytes, r.input_bytes.lo);
+        EXPECT_LE(j.features.input_bytes, r.input_bytes.hi);
+        EXPECT_LE(j.features.embedding_comm_bytes,
+                  j.features.comm_bytes);
+        switch (j.arch) {
+          case ArchType::OneWorkerOneGpu:
+            EXPECT_EQ(j.num_cnodes, 1);
+            break;
+          case ArchType::OneWorkerMultiGpu:
+            EXPECT_GE(j.num_cnodes, r.cnodes_1wng.lo);
+            EXPECT_LE(j.num_cnodes, r.cnodes_1wng.hi);
+            break;
+          case ArchType::PsWorker:
+            EXPECT_GE(j.num_cnodes, r.cnodes_ps.lo);
+            EXPECT_LE(j.num_cnodes, r.cnodes_ps.hi);
+            EXPECT_GE(j.num_ps, r.num_ps.lo);
+            EXPECT_LE(j.num_ps, r.num_ps.hi);
+            break;
+          case ArchType::AllReduceLocal:
+            EXPECT_LE(j.num_cnodes, r.cnodes_ar_local.hi);
+            break;
+          case ArchType::AllReduceCluster:
+            EXPECT_LE(j.num_cnodes, r.cnodes_ar_cluster.hi);
+            break;
+          case ArchType::Pearl:
+            EXPECT_LE(j.num_cnodes, r.cnodes_pearl.hi);
+            break;
+        }
+        if (j.arch != ArchType::Pearl) {
+            EXPECT_EQ(j.features.embedding_comm_bytes, 0.0);
+            EXPECT_EQ(j.features.embedding_weight_bytes, 0.0);
+        }
+        if (j.arch != ArchType::PsWorker) {
+            EXPECT_EQ(j.num_ps, 0);
+        }
+    }
+    // 400 seeds over a uniform 6-way mix cover every architecture.
+    EXPECT_EQ(seen.size(), gen.ranges().archs.size());
+}
+
+TEST(GenTest, PinnedArchJobKeepsTheArch)
+{
+    JobGenerator gen;
+    for (uint64_t seed = 0; seed < 50; ++seed) {
+        EXPECT_EQ(gen.job(seed, ArchType::Pearl).arch, ArchType::Pearl);
+        EXPECT_EQ(gen.job(seed, ArchType::PsWorker).arch,
+                  ArchType::PsWorker);
+    }
+}
+
+TEST(GenTest, DifferentialRangesRestrictTheRegime)
+{
+    GenRanges r = GenRanges::differential();
+    // PEARL is on the exception list, not in the 10% population.
+    for (ArchType a : r.archs)
+        EXPECT_NE(a, ArchType::Pearl);
+    // AllReduce-Cluster is confined to two-server placements.
+    EXPECT_GE(r.cnodes_ar_cluster.lo, 9);
+    EXPECT_LE(r.cnodes_ar_cluster.hi, 16);
+}
+
+TEST(GenTest, GraphTotalsArePinnedToTheFeatures)
+{
+    JobGenerator gen;
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+        TrainingJob j = gen.job(seed);
+        auto g = JobGenerator::graphFor(j.features, seed);
+        ASSERT_TRUE(g.validate());
+        auto t = g.totals();
+        EXPECT_NEAR(t.flops, j.features.flop_count,
+                    1e-9 * j.features.flop_count);
+        EXPECT_NEAR(t.mem_access_bytes, j.features.mem_access_bytes,
+                    1e-9 * j.features.mem_access_bytes);
+        EXPECT_NEAR(t.input_bytes, j.features.input_bytes,
+                    1e-9 * j.features.input_bytes);
+        EXPECT_GE(t.num_kernels, 2);
+    }
+}
+
+TEST(GenTest, GeneratedClustersSpanTheTableIiiGrid)
+{
+    JobGenerator gen;
+    const GenRanges &r = gen.ranges();
+    for (uint64_t seed = 0; seed < 100; ++seed) {
+        auto spec = gen.cluster(seed);
+        EXPECT_GE(spec.ethernet_bandwidth,
+                  hw::gbitPerSec(r.ethernet_gbps.lo));
+        EXPECT_LE(spec.ethernet_bandwidth,
+                  hw::gbitPerSec(r.ethernet_gbps.hi));
+        EXPECT_GE(spec.server.pcie_bandwidth,
+                  hw::gbPerSec(r.pcie_gbs.lo));
+        EXPECT_LE(spec.server.pcie_bandwidth,
+                  hw::gbPerSec(r.pcie_gbs.hi));
+        EXPECT_GE(spec.server.gpu.peak_flops,
+                  r.gpu_peak_tflops.lo * hw::kTFLOPs);
+        EXPECT_LE(spec.server.gpu.peak_flops,
+                  r.gpu_peak_tflops.hi * hw::kTFLOPs);
+        EXPECT_GE(spec.num_servers, r.num_servers.lo);
+        EXPECT_LE(spec.num_servers, r.num_servers.hi);
+    }
+    EXPECT_EQ(gen.cluster(3).name, gen.cluster(3).name);
+    EXPECT_NE(gen.cluster(3).ethernet_bandwidth,
+              gen.cluster(4).ethernet_bandwidth);
+}
+
+TEST(ShrinkTest, ShrinksToTheSingleRelevantField)
+{
+    JobGenerator gen;
+    TrainingJob job = gen.job(11, ArchType::PsWorker);
+    ASSERT_GT(job.features.comm_bytes, 0.0);
+
+    // "Fails" whenever the job has any communication volume: the
+    // minimal counterexample keeps comm_bytes and drops the rest.
+    auto fails = [](const TrainingJob &j) {
+        return j.features.comm_bytes > 0.0;
+    };
+    TrainingJob shrunk = shrinkJob(job, fails);
+    EXPECT_TRUE(fails(shrunk));
+    EXPECT_EQ(shrunk.num_cnodes, 1);
+    EXPECT_EQ(shrunk.num_ps, 0);
+    EXPECT_EQ(shrunk.features.flop_count, 0.0);
+    EXPECT_EQ(shrunk.features.mem_access_bytes, 0.0);
+    EXPECT_EQ(shrunk.features.input_bytes, 0.0);
+    EXPECT_GT(shrunk.features.comm_bytes, 0.0);
+    // Halving rounds shave the surviving field close to zero too.
+    EXPECT_LT(shrunk.features.comm_bytes, job.features.comm_bytes);
+}
+
+TEST(ShrinkTest, PreservesFeatureInvariants)
+{
+    JobGenerator gen;
+    TrainingJob job = gen.job(23, ArchType::Pearl);
+    // Force a sparse split if this seed produced a dense job.
+    if (job.features.embedding_comm_bytes == 0.0)
+        job.features.embedding_comm_bytes = job.features.comm_bytes / 2;
+
+    auto fails = [](const TrainingJob &j) {
+        return j.features.embedding_comm_bytes > 0.0;
+    };
+    TrainingJob shrunk = shrinkJob(job, fails);
+    EXPECT_LE(shrunk.features.embedding_comm_bytes,
+              shrunk.features.comm_bytes);
+    EXPECT_TRUE(shrunk.features.valid());
+}
+
+TEST(PropertyTest, PassingPropertyReturnsNoFailure)
+{
+    JobGenerator gen;
+    auto ok = checkJobs(gen, 100, 50, [](const TrainingJob &) {
+        return std::optional<std::string>{};
+    });
+    EXPECT_FALSE(ok.has_value());
+}
+
+TEST(PropertyTest, FailureCarriesSeedShrunkJobAndRepro)
+{
+    JobGenerator gen;
+    auto fail = checkJobs(
+        gen, 0, 200,
+        [](const TrainingJob &j) -> std::optional<std::string> {
+            if (j.arch == ArchType::PsWorker)
+                return "PS/Worker jobs are rejected by this property";
+            return std::nullopt;
+        },
+        "PAICHAR_TESTKIT_SEED={seed} ./tests/testkit_test");
+    ASSERT_TRUE(fail.has_value());
+    EXPECT_EQ(fail->job.arch, ArchType::PsWorker);
+    EXPECT_EQ(fail->shrunk.arch, ArchType::PsWorker);
+    // The seed reproduces the same generated job.
+    EXPECT_EQ(jobCsvRow(gen.job(fail->seed)), jobCsvRow(fail->job));
+    // The template's {seed} placeholder was substituted.
+    EXPECT_NE(fail->repro.find("PAICHAR_TESTKIT_SEED=" +
+                               std::to_string(fail->seed)),
+              std::string::npos);
+    std::string report = describe(*fail);
+    EXPECT_NE(report.find("reproduce:"), std::string::npos);
+    EXPECT_NE(report.find("shrunk:"), std::string::npos);
+}
+
+} // namespace
+} // namespace paichar::testkit

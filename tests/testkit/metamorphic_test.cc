@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Metamorphic properties of the analytical model (Sec II-B), checked
+ * over generated job populations via the testkit property harness.
+ *
+ * Each property states a relation that must hold for *every* job —
+ * raising a hardware capacity never increases the term it feeds,
+ * component times add up to the step time, derating scales linearly —
+ * rather than pinning specific numbers. Violations shrink to a
+ * near-minimal counterexample with a one-seed reproducer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <string>
+
+#include "core/analytical_model.h"
+#include "core/projection.h"
+#include "hw/hardware_config.h"
+#include "testkit/gen.h"
+#include "testkit/property.h"
+
+namespace paichar::testkit {
+namespace {
+
+using core::AnalyticalModel;
+using core::Component;
+using core::EfficiencyAssumption;
+using core::HwComponent;
+using core::OverlapMode;
+using core::TimeBreakdown;
+using workload::ArchType;
+using workload::TrainingJob;
+
+constexpr int kJobsPerProperty = 300;
+constexpr uint64_t kBaseSeed = 20190301;
+constexpr const char *kRepro =
+    "PAICHAR_TESTKIT_SEED={seed} ./tests/metamorphic_test";
+
+/** EXPECT wrapper: render the shrunk counterexample on failure. */
+void
+expectHolds(const JobGenerator &gen, const JobProperty &prop)
+{
+    auto failure = checkJobs(gen, kBaseSeed, kJobsPerProperty, prop,
+                             kRepro);
+    EXPECT_FALSE(failure.has_value())
+        << (failure ? describe(*failure) : "");
+}
+
+/** Relative closeness that tolerates both operands being zero. */
+bool
+near(double a, double b, double rel = 1e-9)
+{
+    return std::abs(a - b) <= rel * std::max({std::abs(a), std::abs(b),
+                                              1e-300});
+}
+
+TEST(MetamorphicTest, ComponentTimesAddUpToTheStepTime)
+{
+    AnalyticalModel model(hw::paiCluster());
+    expectHolds(JobGenerator{}, [&](const TrainingJob &j)
+                    -> std::optional<std::string> {
+        TimeBreakdown b = model.breakdown(j);
+        double total = b.total(OverlapMode::NonOverlap);
+        double sum = b.t_data + b.compute() + b.t_weight;
+        if (!near(total, sum))
+            return "Td + Tc + Tw != Ttotal";
+        double legs =
+            b.t_weight_ethernet + b.t_weight_pcie + b.t_weight_nvlink;
+        if (!near(b.t_weight, legs))
+            return "Tw legs do not sum to Tw";
+        double comp_sum = 0.0;
+        for (Component c : core::kAllComponents)
+            comp_sum += b.time(c);
+        if (!near(comp_sum, total))
+            return "component times do not sum to Ttotal";
+        double hw_sum = 0.0;
+        for (HwComponent h : core::kAllHwComponents)
+            hw_sum += b.hwTime(h);
+        if (!near(hw_sum, total))
+            return "hardware attribution does not sum to Ttotal";
+        if (total > 0.0) {
+            double frac_sum = 0.0;
+            for (Component c : core::kAllComponents)
+                frac_sum += b.fraction(c);
+            if (!near(frac_sum, 1.0))
+                return "component fractions do not sum to 1";
+        }
+        return std::nullopt;
+    });
+}
+
+TEST(MetamorphicTest, RaisingACapacityNeverRaisesItsTermOrTheTotal)
+{
+    struct Case
+    {
+        hw::Resource resource;
+        double upgraded_value; // Table III row units
+        HwComponent term;
+    };
+    // Double each Table I capacity (25 Gbps Ethernet, 10 GB/s PCIe,
+    // 11 TFLOPs GPUs, 1 TB/s HBM).
+    const Case cases[] = {
+        {hw::Resource::Ethernet, 50.0, HwComponent::Ethernet},
+        {hw::Resource::Pcie, 20.0, HwComponent::Pcie},
+        {hw::Resource::GpuFlops, 22.0, HwComponent::GpuFlops},
+        {hw::Resource::GpuMemory, 2.0, HwComponent::GpuMemory},
+    };
+    const hw::ClusterSpec base = hw::paiCluster();
+    for (const Case &c : cases) {
+        AnalyticalModel before(base);
+        AnalyticalModel after(
+            hw::withResource(base, c.resource, c.upgraded_value));
+        expectHolds(JobGenerator{}, [&](const TrainingJob &j)
+                        -> std::optional<std::string> {
+            TimeBreakdown b0 = before.breakdown(j);
+            TimeBreakdown b1 = after.breakdown(j);
+            const std::string what = hw::toString(c.resource);
+            if (b1.hwTime(c.term) > b0.hwTime(c.term) * (1 + 1e-12))
+                return "raising " + what + " increased its own term";
+            if (b1.total() > b0.total() * (1 + 1e-12))
+                return "raising " + what + " increased Ttotal";
+            // Untargeted hardware terms must be untouched.
+            for (HwComponent h : core::kAllHwComponents) {
+                // PCIe feeds both data I/O and (1wng) weight legs, but
+                // it is still a single hardware term; others are
+                // independent of this resource.
+                if (h == c.term)
+                    continue;
+                if (!near(b1.hwTime(h), b0.hwTime(h)))
+                    return "raising " + what + " changed the " +
+                           core::toString(h) + " term";
+            }
+            return std::nullopt;
+        });
+    }
+}
+
+TEST(MetamorphicTest, UniformDeratingScalesTimeExactlyLinearly)
+{
+    const hw::ClusterSpec spec = hw::paiCluster();
+    AnalyticalModel ideal(spec, EfficiencyAssumption{1.0, 1.0});
+    AnalyticalModel paper(spec, EfficiencyAssumption{0.7, 0.7});
+    AnalyticalModel half(spec, EfficiencyAssumption{0.35, 0.35});
+    expectHolds(JobGenerator{}, [&](const TrainingJob &j)
+                    -> std::optional<std::string> {
+        double t1 = ideal.stepTime(j);
+        double t07 = paper.stepTime(j);
+        double t035 = half.stepTime(j);
+        if (!near(t07, t1 / 0.7))
+            return "70% derate is not a 1/0.7 slowdown";
+        if (!near(t035, 2.0 * t07))
+            return "halving the efficiency did not double the time";
+        if (t035 + 1e-300 < t07 || t07 + 1e-300 < t1)
+            return "step time is not monotone in the derate";
+        return std::nullopt;
+    });
+}
+
+TEST(MetamorphicTest, OverlapModeBoundsTheStepTime)
+{
+    AnalyticalModel model(hw::paiCluster());
+    expectHolds(JobGenerator{}, [&](const TrainingJob &j)
+                    -> std::optional<std::string> {
+        double overlap = model.stepTime(j, OverlapMode::IdealOverlap);
+        double serial = model.stepTime(j, OverlapMode::NonOverlap);
+        if (overlap > serial * (1 + 1e-12))
+            return "ideal overlap is slower than non-overlap";
+        if (serial > 3.0 * overlap * (1 + 1e-12))
+            return "non-overlap exceeds 3x the ideal-overlap bound";
+        return std::nullopt;
+    });
+}
+
+TEST(MetamorphicTest, ThroughputFollowsEq2)
+{
+    AnalyticalModel model(hw::paiCluster());
+    expectHolds(JobGenerator{}, [&](const TrainingJob &j)
+                    -> std::optional<std::string> {
+        double t = model.stepTime(j);
+        if (t <= 0.0) // degenerate shrink artifacts have no throughput
+            return std::nullopt;
+        double expected = j.num_cnodes / t * j.features.batch_size;
+        if (!near(model.throughput(j), expected))
+            return "throughput != #cNode / Ttotal * batch_size";
+        return std::nullopt;
+    });
+}
+
+TEST(MetamorphicTest, ProjectionRemapPreservesDemandsAndClampsScale)
+{
+    AnalyticalModel model(hw::paiCluster());
+    core::ArchitectureProjector projector(model);
+    const int gpus = hw::paiCluster().server.gpus_per_server;
+    expectHolds(JobGenerator{}, [&](const TrainingJob &j)
+                    -> std::optional<std::string> {
+        TrainingJob local = projector.remap(j, ArchType::AllReduceLocal);
+        if (local.arch != ArchType::AllReduceLocal || local.num_ps != 0)
+            return "remap to AllReduce-Local left stale meta info";
+        if (local.num_cnodes != std::min(j.num_cnodes, gpus))
+            return "AllReduce-Local remap did not clamp to one server";
+        TrainingJob cluster =
+            projector.remap(j, ArchType::AllReduceCluster);
+        if (cluster.num_cnodes != j.num_cnodes)
+            return "AllReduce-Cluster remap changed the cNode count";
+        if (jobCsvRow(local) !=
+            jobCsvRow([&] {
+                TrainingJob expect = j;
+                expect.arch = ArchType::AllReduceLocal;
+                expect.num_ps = 0;
+                expect.num_cnodes = std::min(j.num_cnodes, gpus);
+                return expect;
+            }()))
+            return "remap altered the workload features";
+        return std::nullopt;
+    });
+}
+
+TEST(MetamorphicTest, ProjectionSpeedupsAreConsistent)
+{
+    AnalyticalModel model(hw::paiCluster());
+    core::ArchitectureProjector projector(model);
+    expectHolds(JobGenerator{}, [&](const TrainingJob &j)
+                    -> std::optional<std::string> {
+        for (ArchType target :
+             {ArchType::AllReduceLocal, ArchType::AllReduceCluster}) {
+            auto r = projector.project(j, target);
+            if (r.new_step_time <= 0.0 || r.old_step_time <= 0.0)
+                continue;
+            if (!near(r.single_node_speedup,
+                      r.old_step_time / r.new_step_time))
+                return "single-node speedup != old/new step time";
+            double scale = static_cast<double>(r.projected.num_cnodes) /
+                           j.num_cnodes;
+            if (!near(r.throughput_speedup,
+                      r.single_node_speedup * scale))
+                return "throughput speedup inconsistent with Eq 2";
+            // Weight traffic moved off the old medium: a local
+            // AllReduce job must not touch Ethernet.
+            if (target == ArchType::AllReduceLocal &&
+                model.breakdown(r.projected).t_weight_ethernet != 0.0)
+                return "projected AllReduce-Local job still "
+                       "charges Ethernet";
+        }
+        return std::nullopt;
+    });
+}
+
+TEST(MetamorphicTest, PearlPartitionsOnlyTheSparseTraffic)
+{
+    AnalyticalModel model(hw::paiCluster());
+    GenRanges pearl_only;
+    pearl_only.archs = {ArchType::Pearl};
+    pearl_only.embedding_prob = 1.0;
+    expectHolds(JobGenerator{pearl_only}, [&](const TrainingJob &j)
+                    -> std::optional<std::string> {
+        if (j.features.comm_bytes <= 0.0)
+            return std::nullopt;
+        TrainingJob two = j, eight = j;
+        two.num_cnodes = 2;
+        eight.num_cnodes = 8;
+        double w2 = model.breakdown(two).t_weight;
+        double w8 = model.breakdown(eight).t_weight;
+        if (w8 > w2 * (1 + 1e-12))
+            return "more GPUs increased PEARL weight traffic";
+        double dense = j.features.denseCommBytes();
+        double emb = j.features.embedding_comm_bytes;
+        // Tw ratio must follow (dense + emb/n)/NVLink exactly.
+        double expected = (dense + emb / 8.0) / (dense + emb / 2.0);
+        if (w2 > 0.0 && !near(w8 / w2, expected, 1e-9))
+            return "PEARL Tw does not follow (dense + sparse/n)";
+        return std::nullopt;
+    });
+}
+
+TEST(MetamorphicTest, RingAwarenessAppliesTheRingFactor)
+{
+    const hw::ClusterSpec spec = hw::paiCluster();
+    AnalyticalModel plain(spec);
+    AnalyticalModel ring(spec);
+    ring.setRingAware(true);
+    GenRanges ar_only;
+    ar_only.archs = {ArchType::AllReduceLocal};
+    expectHolds(JobGenerator{ar_only}, [&](const TrainingJob &j)
+                    -> std::optional<std::string> {
+        if (j.arch != ArchType::AllReduceLocal || j.num_cnodes < 2)
+            return std::nullopt;
+        double w0 = plain.breakdown(j).t_weight;
+        double w1 = ring.breakdown(j).t_weight;
+        double n = j.num_cnodes;
+        if (w0 > 0.0 && !near(w1 / w0, 2.0 * (n - 1) / n, 1e-9))
+            return "ring-aware Tw is not 2(n-1)/n of the paper's Tw";
+        return std::nullopt;
+    });
+}
+
+TEST(MetamorphicTest, PcieContentionMultipliesByColocatedReplicas)
+{
+    const hw::ClusterSpec spec = hw::paiCluster();
+    AnalyticalModel shared(spec);
+    AnalyticalModel solo(spec);
+    shared.setPcieContention(true);
+    solo.setPcieContention(false);
+    expectHolds(JobGenerator{}, [&](const TrainingJob &j)
+                    -> std::optional<std::string> {
+        double d0 = solo.breakdown(j).t_data;
+        double d1 = shared.breakdown(j).t_data;
+        int replicas = AnalyticalModel::colocatedReplicas(j, spec);
+        if (replicas < 1)
+            return "colocatedReplicas below 1";
+        if (d0 > 0.0 && !near(d1 / d0, replicas, 1e-9))
+            return "PCIe contention is not a per-replica slowdown";
+        return std::nullopt;
+    });
+}
+
+} // namespace
+} // namespace paichar::testkit
