@@ -5,12 +5,14 @@
  * DES engine, collectives, the fusion pass, and a full simulated
  * training step.
  *
- * Before the google-benchmark suite runs, two JSON sections seed the
- * perf trajectory across PRs: a trace-I/O section comparing the
+ * Before the google-benchmark suite runs, three JSON sections seed
+ * the perf trajectory across PRs: a trace-I/O section comparing the
  * legacy serial CSV parser against the zero-copy serial/parallel
  * parsers and the paib binary codec on a 1M-job trace (recorded in
- * BENCH_trace_io.json), and a thread-scaling section timing the
- * 10k-job characterization pipeline at 1/2/4/N threads.
+ * BENCH_trace_io.json), a thread-scaling section timing the 10k-job
+ * characterization pipeline at 1/2/4/N threads, and an obs-overhead
+ * section proving the observability layer stays inside its <2%
+ * budget on the 1M-job parse (recorded in BENCH_obs_overhead.json).
  */
 
 #include <benchmark/benchmark.h>
@@ -30,6 +32,7 @@
 #include "collectives/collective_ops.h"
 #include "core/characterization.h"
 #include "core/projection.h"
+#include "obs/obs.h"
 #include "opt/passes.h"
 #include "runtime/parallel.h"
 #include "testbed/training_sim.h"
@@ -435,6 +438,81 @@ runThreadScalingSection()
     std::printf("\n");
 }
 
+/**
+ * Observability-overhead section: the parallel CSV parse of a 1M-job
+ * trace with obs fully disabled, with metrics recording on (the
+ * shipping default), and with span profiling active on top. Each row
+ * reports the percent overhead over the disabled baseline; DESIGN.md
+ * Sec 10 budgets <2% for the metrics and profiling modes, and CI
+ * greps this section to prove it still exists. Job count honors
+ * PAICHAR_TRACE_BENCH_JOBS like the trace-I/O section.
+ */
+void
+runObsOverheadSection()
+{
+    size_t jobs_n = 1000000;
+    if (const char *env = std::getenv("PAICHAR_TRACE_BENCH_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            jobs_n = static_cast<size_t>(v);
+    }
+    constexpr int kReps = 5;
+
+    trace::SyntheticClusterGenerator gen(7);
+    auto jobs = gen.generate(jobs_n, runtime::globalPool());
+    std::string csv = trace::toCsv(jobs);
+    int threads = runtime::threadCount();
+
+    std::printf("# obs-overhead: parallel csv parse, %zu jobs, "
+                "best of %d reps, %d threads\n",
+                jobs_n, kReps, threads);
+
+    struct Mode
+    {
+        const char *name;
+        bool metrics;
+        bool profiling;
+    };
+    const Mode modes[] = {
+        {"disabled", false, false},
+        {"metrics", true, false},
+        {"metrics+profile", true, true},
+    };
+
+    double baseline = 0.0;
+    for (const Mode &mode : modes) {
+        obs::setEnabled(mode.metrics);
+        double best = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            if (mode.profiling)
+                obs::startProfiling();
+            auto t0 = std::chrono::steady_clock::now();
+            auto r = trace::fromCsv(csv, runtime::globalPool());
+            benchmark::DoNotOptimize(r.jobs.size());
+            auto t1 = std::chrono::steady_clock::now();
+            if (mode.profiling)
+                obs::stopProfiling();
+            double sec =
+                std::chrono::duration<double>(t1 - t0).count();
+            if (rep == 0 || sec < best)
+                best = sec;
+        }
+        if (!mode.metrics)
+            baseline = best;
+        double overhead_pct =
+            baseline > 0.0 ? (best / baseline - 1.0) * 100.0 : 0.0;
+        std::printf(
+            "{\"bench\":\"obs_overhead\",\"mode\":\"%s\","
+            "\"jobs\":%zu,\"threads\":%d,\"seconds\":%.6f,"
+            "\"jobs_per_s\":%.0f,\"overhead_pct\":%.2f}\n",
+            mode.name, jobs_n, threads, best,
+            static_cast<double>(jobs_n) / best, overhead_pct);
+    }
+    obs::setEnabled(true);
+    std::printf("\n");
+}
+
 } // namespace
 
 int
@@ -442,6 +520,7 @@ main(int argc, char **argv)
 {
     runTraceIoSection();
     runThreadScalingSection();
+    runObsOverheadSection();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

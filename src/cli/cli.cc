@@ -3,11 +3,13 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <stdexcept>
 
 #include "clustersim/scheduler.h"
+#include "obs/obs.h"
 #include "trace/binary_trace.h"
 #include "core/arch_selection.h"
 #include "core/characterization.h"
@@ -71,20 +73,40 @@ struct Args
     }
 };
 
-/** Split args into flags (--name value) and positionals. */
+/** Flags that may appear bare, without a value. */
+bool
+isValuelessFlag(const std::string &name)
+{
+    // Bare --metrics sends the summary to stderr; --metrics=FILE
+    // redirects it.
+    return name == "metrics";
+}
+
+/**
+ * Split args into flags and positionals. Flags take their value
+ * either as the next argument (--name value) or inline
+ * (--name=value); valueless flags record an empty value.
+ */
 std::optional<Args>
 parseArgs(const std::vector<std::string> &raw, std::ostream &err)
 {
     Args a;
     for (size_t i = 0; i < raw.size(); ++i) {
         if (raw[i].rfind("--", 0) == 0) {
-            if (i + 1 >= raw.size()) {
+            std::string body = raw[i].substr(2);
+            auto eq = body.find('=');
+            if (eq != std::string::npos) {
+                a.flags[body.substr(0, eq)] = body.substr(eq + 1);
+            } else if (isValuelessFlag(body)) {
+                a.flags.emplace(body, "");
+            } else if (i + 1 >= raw.size()) {
                 err << "error: flag " << raw[i]
                     << " expects a value\n";
                 return std::nullopt;
+            } else {
+                a.flags[body] = raw[i + 1];
+                ++i;
             }
-            a.flags[raw[i].substr(2)] = raw[i + 1];
-            ++i;
         } else {
             a.positional.push_back(raw[i]);
         }
@@ -126,7 +148,16 @@ printUsage(std::ostream &out)
            "\n"
            "Every command accepts --threads N (default: "
            "$PAICHAR_THREADS, else all\nhardware threads; 1 = serial). "
-           "Outputs are identical for every N.\n";
+           "Outputs are identical for every N.\n"
+           "\n"
+           "Observability (never touches stdout):\n"
+           "  --metrics[=FILE]  write the metric summary to FILE "
+           "(default: stderr)\n"
+           "  --profile FILE    write Chrome trace-event JSON of the "
+           "run to FILE\n                    (load in Perfetto or "
+           "chrome://tracing)\n"
+           "\n"
+           "Flags may be written --flag VALUE or --flag=VALUE.\n";
 }
 
 std::optional<std::vector<TrainingJob>>
@@ -529,6 +560,47 @@ cmdSchedule(const Args &args, std::ostream &out, std::ostream &err)
     return 0;
 }
 
+/** Dispatch to the subcommand; nullopt for an unknown command. */
+std::optional<int>
+dispatch(const std::string &cmd, const Args &args, std::ostream &out,
+         std::ostream &err)
+{
+    if (cmd == "generate")
+        return cmdGenerate(args, out, err);
+    if (cmd == "convert")
+        return cmdConvert(args, out, err);
+    if (cmd == "characterize")
+        return cmdCharacterize(args, out, err);
+    if (cmd == "project")
+        return cmdProject(args, out, err);
+    if (cmd == "sweep")
+        return cmdSweep(args, out, err);
+    if (cmd == "advise")
+        return cmdAdvise(args, out, err);
+    if (cmd == "diagnose")
+        return cmdDiagnose(args, out, err);
+    if (cmd == "serve")
+        return cmdServe(args, out, err);
+    if (cmd == "schedule")
+        return cmdSchedule(args, out, err);
+    return std::nullopt;
+}
+
+/** Write @p text to @p path, reporting failure on @p err. */
+bool
+writeTextFile(const std::string &path, const std::string &text,
+              std::ostream &err)
+{
+    std::ofstream f(path, std::ios::binary);
+    f << text;
+    f.flush();
+    if (!f) {
+        err << "error: cannot write '" << path << "'\n";
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -555,24 +627,45 @@ run(const std::vector<std::string> &args, std::ostream &out,
             runtime::setThreadCount(static_cast<int>(t));
         }
 
-        if (cmd == "generate")
-            return cmdGenerate(*parsed, out, err);
-        if (cmd == "convert")
-            return cmdConvert(*parsed, out, err);
-        if (cmd == "characterize")
-            return cmdCharacterize(*parsed, out, err);
-        if (cmd == "project")
-            return cmdProject(*parsed, out, err);
-        if (cmd == "sweep")
-            return cmdSweep(*parsed, out, err);
-        if (cmd == "advise")
-            return cmdAdvise(*parsed, out, err);
-        if (cmd == "diagnose")
-            return cmdDiagnose(*parsed, out, err);
-        if (cmd == "serve")
-            return cmdServe(*parsed, out, err);
-        if (cmd == "schedule")
-            return cmdSchedule(*parsed, out, err);
+        auto metrics_dest = parsed->flag("metrics");
+        auto profile_path = parsed->flag("profile");
+        if (profile_path && profile_path->empty()) {
+            err << "error: --profile expects an output file\n";
+            return 1;
+        }
+        if (profile_path)
+            obs::startProfiling();
+
+        std::optional<int> rc;
+        {
+            // The root span: everything a subcommand does nests
+            // under cli.<cmd> in the exported trace.
+            obs::Span span(obs::internName("cli." + cmd));
+            rc = dispatch(cmd, *parsed, out, err);
+        }
+
+        // Exporters write to files or err only -- stdout stays
+        // byte-identical with and without observability flags.
+        if (profile_path) {
+            obs::stopProfiling();
+            if (rc &&
+                !writeTextFile(*profile_path, obs::profileToJson(),
+                               err) &&
+                rc == 0) {
+                rc = 1;
+            }
+        }
+        if (metrics_dest && rc) {
+            std::string text = obs::renderMetricsSummary();
+            if (metrics_dest->empty()) {
+                err << text;
+            } else if (!writeTextFile(*metrics_dest, text, err) &&
+                       rc == 0) {
+                rc = 1;
+            }
+        }
+        if (rc)
+            return *rc;
     } catch (const UsageError &e) {
         err << e.what() << "\n";
         return 1;

@@ -7,6 +7,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/obs.h"
 #include "stats/cdf.h"
 #include "stats/rng.h"
 
@@ -130,6 +131,13 @@ ClusterScheduler::placeable(const TrainingJob &job) const
 ClusterOutcome
 ClusterScheduler::run(std::vector<JobRequest> requests) const
 {
+    obs::Span run_span("clustersim.run",
+                       static_cast<int64_t>(requests.size()));
+    static obs::Counter &placement_attempts =
+        obs::counter("clustersim.placement_attempts");
+    static obs::Counter &placement_failures =
+        obs::counter("clustersim.placement_failures");
+
     std::stable_sort(requests.begin(), requests.end(),
                      [](const JobRequest &a, const JobRequest &b) {
                          return a.submit_time < b.submit_time;
@@ -171,7 +179,7 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
     // Attempt to place one request; on success records the outcome
     // and consumes capacity.
     auto tryPlace = [&](const JobRequest &req) -> bool {
-        assert(placeable(req.job));
+        placement_attempts.add();
         const TrainingJob &job = req.job;
         Allocation alloc;
         TrainingJob executed = job;
@@ -226,8 +234,10 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
                 break;
               }
             }
-            if (!found)
+            if (!found) {
+                placement_failures.add();
                 return false;
+            }
         }
 
         cap.take(alloc);
@@ -255,10 +265,19 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
 
     while (arrival < requests.size() || !pending.empty() ||
            !running.empty()) {
-        // Admit all submissions up to `now`.
+        // Admit all submissions up to `now`, dropping jobs the
+        // cluster can never host (e.g. more cNodes than NVLink
+        // capacity). Admitting them would starve the queue forever
+        // under FCFS -- this must hold in release builds too, so it
+        // is a counted drop rather than an assert.
         while (arrival < requests.size() &&
                requests[arrival].submit_time <= now) {
-            pending.push_back(arrival);
+            if (placeable(requests[arrival].job)) {
+                pending.push_back(arrival);
+            } else {
+                ++out.unplaceable_jobs;
+                obs::counter("clustersim.unplaceable_jobs").add();
+            }
             ++arrival;
         }
 
@@ -299,13 +318,21 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
             running.pop();
         }
     }
-    assert(pending.empty() && "unplaceable job starved the queue");
+    // Every admitted job is placeable on an empty cluster, so the
+    // queue always drains once the running set does.
+    assert(pending.empty() && "placeable job starved the queue");
 
     // Aggregate metrics.
+    obs::counter("clustersim.jobs_scheduled").add(out.jobs.size());
+    obs::counter("clustersim.jobs_ported")
+        .add(static_cast<uint64_t>(out.ported_jobs));
+    static obs::Histogram &wait_hist =
+        obs::histogram("clustersim.wait_s");
     stats::WeightedCdf waits;
     for (const JobOutcome &jo : out.jobs) {
         out.makespan = std::max(out.makespan, jo.finish_time);
         waits.add(jo.wait());
+        wait_hist.observe(jo.wait());
     }
     if (!out.jobs.empty()) {
         out.mean_wait = waits.mean();

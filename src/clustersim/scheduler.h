@@ -97,6 +97,12 @@ struct ClusterOutcome
     double gpu_utilization = 0.0;
     /** Jobs ported to AllReduce-Local. */
     int64_t ported_jobs = 0;
+    /**
+     * Submitted jobs the cluster can never host (placeable() false),
+     * dropped at admission instead of starving the queue. Also
+     * counted in the `clustersim.unplaceable_jobs` obs counter.
+     */
+    int64_t unplaceable_jobs = 0;
 };
 
 /** Simulates job scheduling on a finite cluster. */

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace paichar::core {
 
 using workload::ArchType;
@@ -119,6 +121,8 @@ ArchitectureAdvisor::recommendAll(const std::vector<TrainingJob> &jobs,
                                   OverlapMode mode,
                                   runtime::ThreadPool *pool) const
 {
+    obs::Span span("core.advise", static_cast<int64_t>(jobs.size()));
+    obs::counter("core.jobs_advised").add(jobs.size());
     return runtime::parallelMap<ArchOption>(
         pool, jobs.size(),
         [&](size_t i) { return recommend(jobs[i], mode); });

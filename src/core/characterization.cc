@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace paichar::core {
 
 using workload::ArchType;
@@ -61,6 +63,11 @@ ClusterCharacterizer::ClusterCharacterizer(const AnalyticalModel &model,
                                            runtime::ThreadPool *pool)
     : model_(model), jobs_(std::move(jobs)), pool_(pool)
 {
+    // The model-evaluation hot path: every job's analytical
+    // breakdown, computed once up front.
+    obs::Span span("core.model_breakdowns",
+                   static_cast<int64_t>(jobs_.size()));
+    obs::counter("core.jobs_evaluated").add(jobs_.size());
     breakdowns_.resize(jobs_.size());
     runtime::parallelFor(pool_, jobs_.size(), [&](size_t i) {
         breakdowns_[i] = model_.breakdown(jobs_[i]);
@@ -135,6 +142,8 @@ std::array<double, 4>
 ClusterCharacterizer::avgBreakdown(std::optional<ArchType> arch,
                                    Level level) const
 {
+    obs::Span span("core.avg_breakdown",
+                   static_cast<int64_t>(jobs_.size()));
     struct Partial
     {
         std::array<double, 4> acc{};
@@ -173,6 +182,8 @@ ClusterCharacterizer::componentCdf(Component c,
                                    std::optional<ArchType> arch,
                                    Level level) const
 {
+    obs::Span span("core.component_cdf",
+                   static_cast<int64_t>(jobs_.size()));
     auto samples = runtime::parallelReduce(
         pool_, jobs_.size(), SampleVec{},
         [&](size_t lo, size_t hi) {

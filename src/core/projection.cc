@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace paichar::core {
 
 using workload::ArchType;
@@ -44,6 +46,9 @@ ArchitectureProjector::projectAll(const std::vector<TrainingJob> &jobs,
                                   ArchType target, OverlapMode mode,
                                   runtime::ThreadPool *pool) const
 {
+    obs::Span span("core.project_all",
+                   static_cast<int64_t>(jobs.size()));
+    obs::counter("core.jobs_projected").add(jobs.size());
     return runtime::parallelMap<ProjectionResult>(
         pool, jobs.size(),
         [&](size_t i) { return project(jobs[i], target, mode); });

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 
 namespace paichar::core {
@@ -57,6 +58,8 @@ HardwareSweep::run(const std::vector<TrainingJob> &jobs,
     addSeries(hw::Resource::GpuFlops, variations.gpu_peak_tflops);
     addSeries(hw::Resource::GpuMemory, variations.gpu_mem_tbs);
 
+    obs::Span span("core.sweep", static_cast<int64_t>(grid.size()));
+    obs::counter("core.sweep_points").add(grid.size());
     auto points = runtime::parallelMap<SweepPoint>(
         pool_, grid.size(), [&](size_t i) {
             SweepPoint p;

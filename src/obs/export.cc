@@ -1,0 +1,55 @@
+#include "obs.h"
+
+#include <cstdio>
+
+namespace paichar::obs {
+
+namespace {
+
+/** snprintf into a std::string, growing to fit (never truncates). */
+template <typename... Args>
+std::string
+format(const char *fmt, Args... args)
+{
+    char buf[128];
+    int n = std::snprintf(buf, sizeof buf, fmt, args...);
+    if (n < 0)
+        return {};
+    if (static_cast<size_t>(n) < sizeof buf)
+        return std::string(buf, static_cast<size_t>(n));
+    std::string s(static_cast<size_t>(n), '\0');
+    std::snprintf(s.data(), s.size() + 1, fmt, args...);
+    return s;
+}
+
+} // namespace
+
+std::string
+renderMetricsSummary()
+{
+    std::string out = "# paichar metrics\n";
+    // visitMetrics walks the registry in name order (std::map), so
+    // the summary is stable across runs for deterministic metrics.
+    visitMetrics(
+        [&](const std::string &name, const Counter &c) {
+            out += format("counter   %-34s %llu\n", name.c_str(),
+                          static_cast<unsigned long long>(c.value()));
+        },
+        [&](const std::string &name, const Gauge &g) {
+            out += format("gauge     %-34s %lld peak %lld\n",
+                          name.c_str(),
+                          static_cast<long long>(g.value()),
+                          static_cast<long long>(g.peak()));
+        },
+        [&](const std::string &name, const Histogram &h) {
+            out += format(
+                "histogram %-34s count %llu mean %.3f p50 %.0f "
+                "p95 %.0f max %.3f\n",
+                name.c_str(),
+                static_cast<unsigned long long>(h.count()), h.mean(),
+                h.quantile(0.5), h.quantile(0.95), h.max());
+        });
+    return out;
+}
+
+} // namespace paichar::obs

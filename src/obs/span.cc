@@ -1,0 +1,200 @@
+#include "obs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace paichar::obs {
+
+namespace {
+
+/** One closed span, as recorded in its owning thread's buffer. */
+struct SpanEvent
+{
+    const char *name;
+    int64_t start_ns;
+    int64_t dur_ns;
+    /** Global open order; the deterministic merge tie-breaker. */
+    uint64_t seq;
+    int64_t arg;
+    bool has_arg;
+};
+
+/**
+ * Per-thread append buffer. The mutex is uncontended in steady state
+ * (only the owner appends); it exists so startProfiling() can clear
+ * and profileToJson() can read buffers of still-live threads without
+ * a data race.
+ */
+struct ThreadBuffer
+{
+    std::mutex mu;
+    std::vector<SpanEvent> events;
+    int tid;
+};
+
+struct SpanRegistry
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    /** Interned dynamic span names (node-stable storage). */
+    std::set<std::string, std::less<>> names;
+    int64_t session_t0_ns = 0;
+};
+
+SpanRegistry &
+spanRegistry()
+{
+    // Leaked: worker threads may record past static destruction.
+    static SpanRegistry *r = new SpanRegistry;
+    return *r;
+}
+
+std::atomic<uint64_t> g_next_seq{0};
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+        auto b = std::make_shared<ThreadBuffer>();
+        SpanRegistry &r = spanRegistry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        b->tid = static_cast<int>(r.buffers.size());
+        r.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+} // namespace
+
+int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+startProfiling()
+{
+    SpanRegistry &r = spanRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &buf : r.buffers) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        buf->events.clear();
+    }
+    g_next_seq.store(0, std::memory_order_relaxed);
+    r.session_t0_ns = nowNs();
+    detail::g_profiling.store(true, std::memory_order_relaxed);
+}
+
+void
+stopProfiling()
+{
+    detail::g_profiling.store(false, std::memory_order_relaxed);
+}
+
+const char *
+internName(std::string_view name)
+{
+    SpanRegistry &r = spanRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.names.emplace(name).first->c_str();
+}
+
+Span::Span(const char *name, int64_t arg, bool has_arg)
+{
+    if (!profiling())
+        return;
+    name_ = name;
+    arg_ = arg;
+    has_arg_ = has_arg;
+    seq_ = g_next_seq.fetch_add(1, std::memory_order_relaxed);
+    start_ns_ = nowNs();
+}
+
+void
+Span::close()
+{
+    int64_t dur = nowNs() - start_ns_;
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.events.push_back(SpanEvent{name_, start_ns_,
+                                   dur < 0 ? 0 : dur, seq_, arg_,
+                                   has_arg_});
+}
+
+std::string
+profileToJson()
+{
+    struct Merged
+    {
+        SpanEvent ev;
+        int tid;
+    };
+    std::vector<Merged> merged;
+    int64_t t0;
+    int num_tids;
+    {
+        SpanRegistry &r = spanRegistry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        t0 = r.session_t0_ns;
+        num_tids = static_cast<int>(r.buffers.size());
+        for (auto &buf : r.buffers) {
+            std::lock_guard<std::mutex> buf_lock(buf->mu);
+            for (const SpanEvent &ev : buf->events)
+                merged.push_back(Merged{ev, buf->tid});
+        }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Merged &a, const Merged &b) {
+                  if (a.ev.start_ns != b.ev.start_ns)
+                      return a.ev.start_ns < b.ev.start_ns;
+                  return a.ev.seq < b.ev.seq;
+              });
+
+    std::string out;
+    out.reserve(128 + merged.size() * 120);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    char buf[192];
+    bool first = true;
+    for (int tid = 0; tid < num_tids; ++tid) {
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":\"thread_name\",\"ph\":\"M\","
+                      "\"pid\":1,\"tid\":%d,\"args\":{\"name\":"
+                      "\"%s-%d\"}}",
+                      first ? "" : ",", tid,
+                      tid == 0 ? "main" : "worker", tid);
+        out += buf;
+        first = false;
+    }
+    for (const Merged &m : merged) {
+        double ts_us =
+            static_cast<double>(m.ev.start_ns - t0) / 1000.0;
+        double dur_us = static_cast<double>(m.ev.dur_ns) / 1000.0;
+        int n = std::snprintf(
+            buf, sizeof buf,
+            "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+            "\"ts\":%.3f,\"dur\":%.3f",
+            first ? "" : ",", m.ev.name, m.tid, ts_us, dur_us);
+        out.append(buf, static_cast<size_t>(n));
+        if (m.ev.has_arg) {
+            n = std::snprintf(buf, sizeof buf,
+                              ",\"args\":{\"value\":%lld}",
+                              static_cast<long long>(m.ev.arg));
+            out.append(buf, static_cast<size_t>(n));
+        }
+        out += '}';
+        first = false;
+    }
+    out += "]}\n";
+    return out;
+}
+
+} // namespace paichar::obs

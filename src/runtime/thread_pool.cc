@@ -1,9 +1,39 @@
 #include "thread_pool.h"
 
+#include "obs/obs.h"
+
 namespace paichar::runtime {
 
 namespace {
+
 thread_local bool t_on_worker = false;
+
+/**
+ * Pool metrics, interned once. Updates are per *task* (a task is a
+ * whole parallel-loop chunk driver), so the cost is invisible next
+ * to the work each task performs.
+ */
+obs::Counter &
+tasksCounter()
+{
+    static obs::Counter &c = obs::counter("runtime.tasks");
+    return c;
+}
+
+obs::Gauge &
+queueDepthGauge()
+{
+    static obs::Gauge &g = obs::gauge("runtime.queue_depth");
+    return g;
+}
+
+obs::Histogram &
+taskMicrosHistogram()
+{
+    static obs::Histogram &h = obs::histogram("runtime.task_us");
+    return h;
+}
+
 } // namespace
 
 ThreadPool::ThreadPool(int num_threads)
@@ -32,6 +62,8 @@ ThreadPool::post(std::function<void()> task)
         std::lock_guard<std::mutex> lock(mu_);
         queue_.push_back(std::move(task));
     }
+    tasksCounter().add();
+    queueDepthGauge().add(1);
     cv_.notify_one();
 }
 
@@ -56,7 +88,16 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        queueDepthGauge().add(-1);
+        if (obs::enabled()) {
+            obs::Span span("runtime.task");
+            int64_t t0 = obs::nowNs();
+            task();
+            taskMicrosHistogram().observe(
+                static_cast<double>(obs::nowNs() - t0) / 1000.0);
+        } else {
+            task();
+        }
     }
 }
 

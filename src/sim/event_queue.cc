@@ -1,26 +1,80 @@
 #include "event_queue.h"
 
-#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/obs.h"
 
 namespace paichar::sim {
+
+namespace {
+
+/**
+ * Past-time schedules clamped to now(). A non-zero value in a run's
+ * metrics summary flags a model emitting causally-suspect events.
+ */
+obs::Counter &
+clampedCounter()
+{
+    static obs::Counter &c =
+        obs::counter("sim.past_events_clamped");
+    return c;
+}
+
+obs::Counter &
+executedCounter()
+{
+    static obs::Counter &c = obs::counter("sim.events_executed");
+    return c;
+}
+
+/** Last simulated time reached by a drain, in microseconds. */
+obs::Gauge &
+simTimeGauge()
+{
+    static obs::Gauge &g = obs::gauge("sim.time_us");
+    return g;
+}
+
+} // namespace
 
 void
 EventQueue::schedule(SimTime when, std::function<void()> fn)
 {
-    assert(when >= now_ && "cannot schedule into the past");
+    // A NaN/inf time would poison the heap order (every comparison
+    // against NaN is false, so events leapfrog arbitrarily) -- this
+    // must hold in release builds, not only under assert.
+    if (!std::isfinite(when)) {
+        throw std::invalid_argument(
+            "EventQueue::schedule: non-finite time");
+    }
+    if (when < now_) {
+        // Enforce the documented @pre in every build: a past-time
+        // event fires "now" instead of silently rewriting history
+        // for later-scheduled events, and the clamp is counted so
+        // runs can assert it never happens.
+        when = now_;
+        clampedCounter().add();
+    }
     heap_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
 void
 EventQueue::scheduleAfter(SimTime delay, std::function<void()> fn)
 {
-    assert(delay >= 0.0);
+    if (!std::isfinite(delay)) {
+        throw std::invalid_argument(
+            "EventQueue::scheduleAfter: non-finite delay");
+    }
+    // Negative delays land in the past and take the clamp path.
     schedule(now_ + delay, std::move(fn));
 }
 
 SimTime
 EventQueue::run()
 {
+    obs::Span span("sim.run");
+    uint64_t before = executed_;
     while (!heap_.empty()) {
         // Moving out of a priority_queue top requires a const_cast;
         // the element is popped immediately after, so this is safe.
@@ -30,12 +84,15 @@ EventQueue::run()
         ++executed_;
         ev.fn();
     }
+    finishDrain(span, executed_ - before);
     return now_;
 }
 
 SimTime
 EventQueue::runUntil(SimTime until)
 {
+    obs::Span span("sim.run_until");
+    uint64_t before = executed_;
     while (!heap_.empty() && heap_.top().when <= until) {
         Event ev = std::move(const_cast<Event &>(heap_.top()));
         heap_.pop();
@@ -45,7 +102,16 @@ EventQueue::runUntil(SimTime until)
     }
     if (now_ < until)
         now_ = until;
+    finishDrain(span, executed_ - before);
     return now_;
+}
+
+void
+EventQueue::finishDrain(obs::Span &span, uint64_t executed_delta)
+{
+    executedCounter().add(executed_delta);
+    simTimeGauge().set(static_cast<int64_t>(now_ * 1e6));
+    span.setArg(static_cast<int64_t>(executed_delta));
 }
 
 } // namespace paichar::sim

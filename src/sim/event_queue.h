@@ -15,6 +15,10 @@
 #include <queue>
 #include <vector>
 
+namespace paichar::obs {
+class Span;
+}
+
 namespace paichar::sim {
 
 /** Simulated time in seconds. */
@@ -33,11 +37,21 @@ class EventQueue
 
     /**
      * Schedule @p fn to run at absolute time @p when.
-     * @pre when >= now().
+     *
+     * @pre when >= now(). Enforced in every build type: a past time
+     * is clamped to now() (the event fires at the current time, never
+     * before already-scheduled same-time events) and counted in the
+     * `sim.past_events_clamped` obs counter so runs can assert it
+     * never happened. A non-finite @p when throws
+     * std::invalid_argument -- a NaN would corrupt the heap order.
      */
     void schedule(SimTime when, std::function<void()> fn);
 
-    /** Schedule @p fn to run @p delay seconds from now. */
+    /**
+     * Schedule @p fn to run @p delay seconds from now. Negative
+     * delays clamp to now() (counted, see schedule()); non-finite
+     * delays throw std::invalid_argument.
+     */
     void scheduleAfter(SimTime delay, std::function<void()> fn);
 
     /** Number of pending events. */
@@ -56,6 +70,9 @@ class EventQueue
     uint64_t executed() const { return executed_; }
 
   private:
+    /** Record per-drain obs metrics and close the drain span. */
+    void finishDrain(obs::Span &span, uint64_t executed_delta);
+
     struct Event
     {
         SimTime when;

@@ -57,23 +57,24 @@ renderCdfPlot(const std::vector<CdfSeries> &series, size_t width,
         }
     }
 
+    // Labels go through the allocating stats formatters (fmt/fmtG),
+    // never fixed char buffers, so extreme axis magnitudes render in
+    // full instead of truncating.
     std::ostringstream os;
     for (size_t r = 0; r < height; ++r) {
         double p_top = 1.0 - static_cast<double>(r) /
                                  static_cast<double>(height);
-        char axis[16];
-        std::snprintf(axis, sizeof(axis), "%4.2f |", p_top);
-        os << axis << grid[r] << '\n';
+        std::string axis = fmt(p_top, 2);
+        if (axis.size() < 4)
+            axis.insert(0, 4 - axis.size(), ' ');
+        os << axis << " |" << grid[r] << '\n';
     }
     os << "     +" << std::string(width, '-') << '\n';
     {
-        char lobuf[32], hibuf[32];
         double lo_v = log_x ? std::pow(10.0, lo) : lo;
         double hi_v = log_x ? std::pow(10.0, hi) : hi;
-        std::snprintf(lobuf, sizeof(lobuf), "%.3g", lo_v);
-        std::snprintf(hibuf, sizeof(hibuf), "%.3g", hi_v);
-        std::string lab = lobuf;
-        std::string right = hibuf;
+        std::string lab = fmtG(lo_v, 3);
+        std::string right = fmtG(hi_v, 3);
         size_t pad = width > lab.size() + right.size()
                          ? width - lab.size() - right.size()
                          : 1;

@@ -1,16 +1,39 @@
 #include "cdf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace paichar::stats {
+
+namespace {
+
+/**
+ * Empty-CDF queries and out-of-domain arguments are real errors in
+ * release builds too (a CDF over a filtered job population can
+ * legitimately come out empty), so they throw instead of asserting.
+ */
+[[noreturn]] void
+throwEmpty(const char *fn)
+{
+    throw std::logic_error(std::string("WeightedCdf::") + fn +
+                           ": no samples added");
+}
+
+} // namespace
 
 void
 WeightedCdf::add(double value, double weight)
 {
-    assert(weight >= 0.0);
-    assert(std::isfinite(value) && std::isfinite(weight));
+    if (!std::isfinite(value)) {
+        throw std::invalid_argument(
+            "WeightedCdf::add: value must be finite");
+    }
+    // The comparison is written to reject NaN weights as well.
+    if (!(weight >= 0.0) || !std::isfinite(weight)) {
+        throw std::invalid_argument(
+            "WeightedCdf::add: weight must be finite and >= 0");
+    }
     samples_.emplace_back(value, weight);
     total_weight_ += weight;
     sorted_ = false;
@@ -35,7 +58,8 @@ WeightedCdf::ensureSorted() const
 double
 WeightedCdf::probAtOrBelow(double x) const
 {
-    assert(!empty());
+    if (empty())
+        throwEmpty("probAtOrBelow");
     ensureSorted();
     // Index of first sample strictly greater than x.
     auto it = std::upper_bound(
@@ -50,8 +74,13 @@ WeightedCdf::probAtOrBelow(double x) const
 double
 WeightedCdf::quantile(double q) const
 {
-    assert(!empty());
-    assert(q >= 0.0 && q <= 1.0);
+    if (empty())
+        throwEmpty("quantile");
+    // Written to reject NaN along with out-of-range q.
+    if (!(q >= 0.0 && q <= 1.0)) {
+        throw std::invalid_argument(
+            "WeightedCdf::quantile: q must be in [0, 1]");
+    }
     ensureSorted();
     double target = q * total_weight_;
     auto it = std::lower_bound(cum_weight_.begin(), cum_weight_.end(),
@@ -64,7 +93,8 @@ WeightedCdf::quantile(double q) const
 double
 WeightedCdf::mean() const
 {
-    assert(!empty());
+    if (empty())
+        throwEmpty("mean");
     double acc = 0.0;
     for (const auto &[v, w] : samples_)
         acc += v * w;
@@ -74,7 +104,8 @@ WeightedCdf::mean() const
 double
 WeightedCdf::min() const
 {
-    assert(!empty());
+    if (empty())
+        throwEmpty("min");
     ensureSorted();
     return samples_.front().first;
 }
@@ -82,7 +113,8 @@ WeightedCdf::min() const
 double
 WeightedCdf::max() const
 {
-    assert(!empty());
+    if (empty())
+        throwEmpty("max");
     ensureSorted();
     return samples_.back().first;
 }
@@ -90,8 +122,12 @@ WeightedCdf::max() const
 std::vector<std::pair<double, double>>
 WeightedCdf::curve(size_t n) const
 {
-    assert(!empty());
-    assert(n >= 2);
+    if (empty())
+        throwEmpty("curve");
+    if (n < 2) {
+        throw std::invalid_argument(
+            "WeightedCdf::curve: need at least 2 grid points");
+    }
     ensureSorted();
     double lo = min(), hi = max();
     std::vector<std::pair<double, double>> out;

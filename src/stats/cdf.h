@@ -22,6 +22,12 @@ namespace paichar::stats {
  * Samples are added with a weight (default 1.0); queries are valid after
  * at least one sample has been added. All queries are lazily backed by a
  * sort of the sample vector, cached until the next insertion.
+ *
+ * Error handling is real (exceptions), not assert-only: querying an
+ * empty CDF throws std::logic_error, and out-of-domain arguments
+ * (non-finite samples, negative/NaN weights, q outside [0, 1], curve
+ * grids under 2 points) throw std::invalid_argument -- in release
+ * builds too.
  */
 class WeightedCdf
 {
@@ -31,7 +37,11 @@ class WeightedCdf
     /** Add one sample with weight 1. */
     void add(double value) { add(value, 1.0); }
 
-    /** Add one sample with the given non-negative weight. */
+    /**
+     * Add one sample with the given non-negative weight.
+     * @throws std::invalid_argument if @p value is non-finite or
+     *         @p weight is negative, NaN or infinite.
+     */
     void add(double value, double weight);
 
     /** Number of samples added. */
@@ -45,32 +55,45 @@ class WeightedCdf
 
     /**
      * P(X <= x): fraction of total weight at or below x.
-     * Requires a non-empty CDF.
+     * @throws std::logic_error on an empty CDF.
      */
     double probAtOrBelow(double x) const;
 
     /**
      * Weighted quantile: smallest sample value v such that
-     * P(X <= v) >= q, for q in [0, 1]. Requires non-empty.
+     * P(X <= v) >= q.
+     * @throws std::logic_error on an empty CDF.
+     * @throws std::invalid_argument unless q is in [0, 1].
      */
     double quantile(double q) const;
 
     /** Convenience: quantile(0.5). */
     double median() const { return quantile(0.5); }
 
-    /** Weighted mean of the samples. Requires non-empty. */
+    /**
+     * Weighted mean of the samples.
+     * @throws std::logic_error on an empty CDF.
+     */
     double mean() const;
 
-    /** Smallest sample. Requires non-empty. */
+    /**
+     * Smallest sample.
+     * @throws std::logic_error on an empty CDF.
+     */
     double min() const;
 
-    /** Largest sample. Requires non-empty. */
+    /**
+     * Largest sample.
+     * @throws std::logic_error on an empty CDF.
+     */
     double max() const;
 
     /**
      * Evaluate the CDF on a regular grid of n points spanning
      * [min, max]; returns (x, P(X <= x)) pairs. Useful for rendering
-     * the paper's CDF figures. Requires non-empty and n >= 2.
+     * the paper's CDF figures.
+     * @throws std::logic_error on an empty CDF.
+     * @throws std::invalid_argument if n < 2.
      */
     std::vector<std::pair<double, double>> curve(size_t n) const;
 

@@ -77,20 +77,47 @@ Table::render() const
     return os.str();
 }
 
+namespace {
+
+/**
+ * snprintf into a string, retrying with an exact-size allocation when
+ * the text outgrows the stack buffer. %f of a magnitude like 1e300
+ * runs to 300+ characters; the previous fixed 64-byte buffers
+ * silently truncated (and unterminated) such values.
+ */
+template <typename... Args>
+std::string
+format(const char *f, Args... args)
+{
+    char buf[64];
+    int n = std::snprintf(buf, sizeof buf, f, args...);
+    if (n < 0)
+        return std::string();
+    if (static_cast<size_t>(n) < sizeof buf)
+        return std::string(buf, static_cast<size_t>(n));
+    std::string out(static_cast<size_t>(n), '\0');
+    std::snprintf(out.data(), out.size() + 1, f, args...);
+    return out;
+}
+
+} // namespace
+
 std::string
 fmt(double v, int precision)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-    return buf;
+    return format("%.*f", precision, v);
 }
 
 std::string
 fmtPct(double fraction, int precision)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
-    return buf;
+    return format("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string
+fmtG(double v, int significant)
+{
+    return format("%.*g", significant, v);
 }
 
 std::string
@@ -103,23 +130,18 @@ fmtBytes(double bytes)
         v /= 1000.0;
         ++u;
     }
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.3g %s", v, units[u]);
-    return buf;
+    return format("%.3g %s", v, units[u]);
 }
 
 std::string
 fmtSeconds(double seconds)
 {
-    char buf[64];
     double a = std::abs(seconds);
     if (a >= 1.0)
-        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
-    else if (a >= 1e-3)
-        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
-    else
-        std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
-    return buf;
+        return format("%.3f s", seconds);
+    if (a >= 1e-3)
+        return format("%.3f ms", seconds * 1e3);
+    return format("%.3f us", seconds * 1e6);
 }
 
 } // namespace paichar::stats

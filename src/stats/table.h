@@ -46,11 +46,20 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
-/** Format a double with the given precision, e.g. fmt(3.14159, 2). */
+/**
+ * Format a double with the given precision, e.g. fmt(3.14159, 2).
+ *
+ * All formatters here allocate to fit: extreme magnitudes (%f of
+ * 1e300 is 300+ digits) come back complete, never truncated to some
+ * fixed buffer width.
+ */
 std::string fmt(double v, int precision = 3);
 
 /** Format a fraction as a percentage string, e.g. "61.8%". */
 std::string fmtPct(double fraction, int precision = 1);
+
+/** printf %.*g: @p significant digits, any magnitude. */
+std::string fmtG(double v, int significant = 3);
 
 /** Human-readable byte count: "1.33 GB", "22 KB", ... */
 std::string fmtBytes(double bytes);

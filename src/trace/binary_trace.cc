@@ -4,6 +4,8 @@
 #include <cstring>
 #include <iterator>
 
+#include "obs/obs.h"
+
 namespace paichar::trace {
 
 using workload::ArchType;
@@ -106,6 +108,8 @@ looksBinary(std::string_view data)
 std::string
 toBinary(const std::vector<TrainingJob> &jobs)
 {
+    obs::Span span("trace.serialize_bin",
+                   static_cast<int64_t>(jobs.size()));
     const size_t n = jobs.size();
     std::string out;
     out.reserve(kHeaderBytes + n * kBytesPerJob + kFooterBytes);
@@ -129,12 +133,16 @@ toBinary(const std::vector<TrainingJob> &jobs)
     }
 
     appendRaw(out, checksum(out.data(), out.size()));
+    obs::counter("trace.rows_serialized").add(jobs.size());
+    obs::counter("trace.bytes_serialized").add(out.size());
     return out;
 }
 
 ParseResult
 fromBinary(std::string_view data)
 {
+    obs::Span span("trace.parse_bin",
+                   static_cast<int64_t>(data.size()));
     if (!looksBinary(data))
         return fail("bad magic: not a paib trace");
     if (data.size() < kHeaderBytes + kFooterBytes)
@@ -221,6 +229,8 @@ fromBinary(std::string_view data)
             return failJob(i, "features fail validation");
         r.jobs.push_back(j);
     }
+    obs::counter("trace.rows_parsed").add(r.jobs.size());
+    obs::counter("trace.bytes_parsed").add(data.size());
     return r;
 }
 

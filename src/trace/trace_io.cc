@@ -3,10 +3,11 @@
 #include <array>
 #include <charconv>
 #include <cmath>
-#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 
+#include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "trace/binary_trace.h"
 
@@ -56,27 +57,23 @@ fail(size_t line_no, const std::string &what)
 
 /**
  * Append @p v in the shortest form that parses back to the exact
- * same double. to_chars cannot fail on a 40-byte buffer (shortest
- * doubles need at most 24 characters), but the error path still
- * sizes an exact fallback rather than ever truncating a row.
+ * same double -- always via to_chars, so every number in a CSV row
+ * carries the round-trip guarantee (a %.17g fallback used to live
+ * here and emitted a *different* spelling for the same value). The
+ * 40-byte buffer has headroom over the 24-character worst case of
+ * shortest-form doubles, so to_chars cannot fail; the defensive
+ * throw keeps the failure mode defined (never a truncated row) if
+ * that invariant is ever broken.
  */
 void
 appendNumber(std::string &out, double v)
 {
     char buf[40];
     auto res = std::to_chars(buf, buf + sizeof buf, v);
-    if (res.ec == std::errc()) {
-        out.append(buf, res.ptr);
-        return;
-    }
-    int need = std::snprintf(nullptr, 0, "%.17g", v);
-    if (need <= 0)
-        return;
-    size_t base = out.size();
-    out.resize(base + static_cast<size_t>(need) + 1);
-    std::snprintf(out.data() + base, static_cast<size_t>(need) + 1,
-                  "%.17g", v);
-    out.resize(base + static_cast<size_t>(need));
+    if (res.ec != std::errc())
+        throw std::logic_error(
+            "toCsv: to_chars overflowed its buffer");
+    out.append(buf, res.ptr);
 }
 
 void
@@ -377,6 +374,8 @@ traceFormatFromString(std::string_view name)
 std::string
 toCsv(const std::vector<TrainingJob> &jobs)
 {
+    obs::Span span("trace.serialize_csv",
+                   static_cast<int64_t>(jobs.size()));
     std::string out;
     // Typical rows are under 120 bytes; a slight over-reserve means
     // the writer appends into one allocation end to end.
@@ -402,14 +401,22 @@ toCsv(const std::vector<TrainingJob> &jobs)
         }
         out += '\n';
     }
+    obs::counter("trace.rows_serialized").add(jobs.size());
+    obs::counter("trace.bytes_serialized").add(out.size());
     return out;
 }
 
 ParseResult
 fromCsv(std::string_view text, runtime::ThreadPool *pool)
 {
-    if (text.empty())
+    obs::Span span("trace.parse_csv",
+                   static_cast<int64_t>(text.size()));
+    static obs::Counter &parse_errors =
+        obs::counter("trace.parse_errors");
+    if (text.empty()) {
+        parse_errors.add();
         return fail(1, "empty input");
+    }
 
     size_t header_end = text.find('\n');
     std::string_view header = header_end == std::string_view::npos
@@ -417,8 +424,10 @@ fromCsv(std::string_view text, runtime::ThreadPool *pool)
                                   : text.substr(0, header_end);
     if (!header.empty() && header.back() == '\r')
         header.remove_suffix(1);
-    if (header != kHeader)
+    if (header != kHeader) {
+        parse_errors.add();
         return fail(1, "unexpected header");
+    }
 
     std::string_view body = header_end == std::string_view::npos
                                 ? std::string_view{}
@@ -442,6 +451,10 @@ fromCsv(std::string_view text, runtime::ThreadPool *pool)
 
     std::vector<ChunkOutcome> outcomes(chunks.size());
     runtime::parallelFor(pool, chunks.size(), [&](size_t i) {
+        obs::Span chunk_span(
+            "trace.parse_chunk",
+            static_cast<int64_t>(chunks[i].second -
+                                 chunks[i].first));
         outcomes[i] =
             parseChunk(body, chunks[i].first, chunks[i].second);
     });
@@ -451,11 +464,15 @@ fromCsv(std::string_view text, runtime::ThreadPool *pool)
     size_t line_base = 1;
     size_t total = 0;
     for (const ChunkOutcome &o : outcomes) {
-        if (o.has_error)
+        if (o.has_error) {
+            parse_errors.add();
             return fail(line_base + o.lines, o.error);
+        }
         line_base += o.lines;
         total += o.jobs.size();
     }
+    obs::counter("trace.rows_parsed").add(total);
+    obs::counter("trace.bytes_parsed").add(text.size());
 
     ParseResult r;
     r.ok = true;

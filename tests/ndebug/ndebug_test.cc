@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Release-mode regression tests for the hardened edge cases: this
+ * binary compiles the fixed sources directly with NDEBUG forced on
+ * (the rest of the tree keeps assertions), so every check exercised
+ * here is real error handling that survives a release build, not an
+ * assert standing in front of undefined behavior.
+ *
+ * Covers the three bugfix classes:
+ *  - WeightedCdf rejects empty-CDF queries and out-of-domain
+ *    arguments by throwing;
+ *  - EventQueue clamps past-time events (counted in obs) and throws
+ *    on non-finite times;
+ *  - the stats formatters allocate to fit, so extreme magnitudes
+ *    render completely instead of truncating at a fixed buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#ifndef NDEBUG
+#error "ndebug_test must be compiled with NDEBUG"
+#endif
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.h"
+#include "sim/event_queue.h"
+#include "stats/ascii_plot.h"
+#include "stats/cdf.h"
+#include "stats/table.h"
+
+namespace paichar {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(NdebugCdfTest, EmptyQueriesThrowLogicError)
+{
+    stats::WeightedCdf cdf;
+    EXPECT_THROW(cdf.quantile(0.5), std::logic_error);
+    EXPECT_THROW(cdf.median(), std::logic_error);
+    EXPECT_THROW(cdf.mean(), std::logic_error);
+    EXPECT_THROW(cdf.min(), std::logic_error);
+    EXPECT_THROW(cdf.max(), std::logic_error);
+    EXPECT_THROW(cdf.probAtOrBelow(0.0), std::logic_error);
+    EXPECT_THROW(cdf.curve(10), std::logic_error);
+}
+
+TEST(NdebugCdfTest, AddRejectsNonFiniteValuesAndBadWeights)
+{
+    stats::WeightedCdf cdf;
+    EXPECT_THROW(cdf.add(kNan), std::invalid_argument);
+    EXPECT_THROW(cdf.add(kInf), std::invalid_argument);
+    EXPECT_THROW(cdf.add(-kInf, 1.0), std::invalid_argument);
+    EXPECT_THROW(cdf.add(1.0, -1.0), std::invalid_argument);
+    EXPECT_THROW(cdf.add(1.0, kNan), std::invalid_argument);
+    EXPECT_THROW(cdf.add(1.0, kInf), std::invalid_argument);
+    // Rejected samples must not corrupt the CDF.
+    EXPECT_TRUE(cdf.empty());
+    EXPECT_DOUBLE_EQ(cdf.totalWeight(), 0.0);
+    cdf.add(2.0, 0.0); // zero weight is legal
+    cdf.add(3.0);
+    EXPECT_EQ(cdf.size(), 2u);
+}
+
+TEST(NdebugCdfTest, QuantileRejectsOutOfRangeQ)
+{
+    stats::WeightedCdf cdf;
+    cdf.add(1.0);
+    EXPECT_THROW(cdf.quantile(-0.01), std::invalid_argument);
+    EXPECT_THROW(cdf.quantile(1.01), std::invalid_argument);
+    EXPECT_THROW(cdf.quantile(kNan), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 1.0);
+}
+
+TEST(NdebugCdfTest, CurveRejectsDegenerateGrids)
+{
+    stats::WeightedCdf cdf;
+    cdf.add(1.0);
+    EXPECT_THROW(cdf.curve(0), std::invalid_argument);
+    EXPECT_THROW(cdf.curve(1), std::invalid_argument);
+    EXPECT_EQ(cdf.curve(2).size(), 2u);
+}
+
+TEST(NdebugEventQueueTest, PastTimesClampToNowAndAreCounted)
+{
+    obs::Counter &clamped =
+        obs::counter("sim.past_events_clamped");
+    uint64_t before = clamped.value();
+
+    sim::EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5.0, [&] {
+        order.push_back(1);
+        // now() is 5.0 here; an event "scheduled" at 1.0 must fire
+        // at 5.0, after same-time events already in the queue.
+        eq.schedule(1.0, [&] { order.push_back(3); });
+    });
+    eq.schedule(5.0, [&] { order.push_back(2); });
+    EXPECT_DOUBLE_EQ(eq.run(), 5.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(clamped.value(), before + 1);
+}
+
+TEST(NdebugEventQueueTest, NegativeDelaysClampViaScheduleAfter)
+{
+    obs::Counter &clamped =
+        obs::counter("sim.past_events_clamped");
+    uint64_t before = clamped.value();
+
+    sim::EventQueue eq;
+    double fired_at = -1.0;
+    eq.schedule(2.0, [&] {
+        eq.scheduleAfter(-10.0, [&] { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_DOUBLE_EQ(fired_at, 2.0);
+    EXPECT_EQ(clamped.value(), before + 1);
+}
+
+TEST(NdebugEventQueueTest, NonFiniteTimesThrow)
+{
+    sim::EventQueue eq;
+    EXPECT_THROW(eq.schedule(kNan, [] {}), std::invalid_argument);
+    EXPECT_THROW(eq.schedule(kInf, [] {}), std::invalid_argument);
+    EXPECT_THROW(eq.scheduleAfter(kNan, [] {}),
+                 std::invalid_argument);
+    EXPECT_THROW(eq.scheduleAfter(kInf, [] {}),
+                 std::invalid_argument);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(NdebugFormatTest, ExtremeMagnitudesRenderCompletely)
+{
+    // %f of 1e300 is a 301-digit integer part; the old fixed 64-byte
+    // buffers truncated it.
+    std::string s = stats::fmt(1e300, 0);
+    EXPECT_EQ(s.size(), 301u);
+    EXPECT_EQ(s.front(), '1');
+    EXPECT_EQ(s.find('.'), std::string::npos);
+
+    // sign + 301 digits + '.' + 3 decimals
+    std::string neg = stats::fmt(-1e300, 3);
+    EXPECT_EQ(neg.size(), 306u);
+}
+
+TEST(NdebugFormatTest, PctSecondsAndBytesSurviveExtremes)
+{
+    std::string pct = stats::fmtPct(1e300, 0);
+    EXPECT_EQ(pct.size(), 303u + 1u); // 1e302 digits + '%'
+    EXPECT_EQ(pct.back(), '%');
+
+    std::string sec = stats::fmtSeconds(1e300);
+    EXPECT_GT(sec.size(), 300u);
+    EXPECT_EQ(sec.substr(sec.size() - 2), " s");
+
+    // fmtBytes divides down and uses %g, so it stays short but must
+    // still be complete.
+    std::string bytes = stats::fmtBytes(1e300);
+    EXPECT_NE(bytes.find("TB"), std::string::npos);
+
+    EXPECT_EQ(stats::fmtG(std::numeric_limits<double>::max(), 17),
+              "1.7976931348623157e+308");
+}
+
+TEST(NdebugFormatTest, CdfPlotAxisLabelsSurviveExtremeRanges)
+{
+    stats::WeightedCdf cdf;
+    cdf.add(1.0);
+    cdf.add(1e300);
+    std::string plot = stats::renderCdfPlot(
+        {{"extreme", &cdf}}, 40, 8, /*log_x=*/true, "bytes");
+    EXPECT_NE(plot.find("e+300"), std::string::npos);
+    EXPECT_EQ(plot.back(), '\n');
+}
+
+} // namespace
+} // namespace paichar

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the paichar::obs observability layer: metric registry
+ * semantics, span capture and Chrome-trace export, and the CLI
+ * --metrics/--profile integration -- including the contract that
+ * observability never perturbs stdout, for any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace paichar::obs {
+namespace {
+
+/** Re-enables metric recording even when a test fails mid-way. */
+struct EnabledGuard
+{
+    ~EnabledGuard() { setEnabled(true); }
+};
+
+TEST(ObsMetricsTest, CounterAccumulatesAndResets)
+{
+    Counter &c = counter("test.counter_basic");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetricsTest, LookupReturnsTheSameInstance)
+{
+    Counter &a = counter("test.counter_identity");
+    Counter &b = counter("test.counter_identity");
+    EXPECT_EQ(&a, &b);
+    a.add(7);
+    EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(ObsMetricsTest, KindMismatchThrows)
+{
+    counter("test.kind_clash");
+    EXPECT_THROW(gauge("test.kind_clash"), std::logic_error);
+    EXPECT_THROW(histogram("test.kind_clash"), std::logic_error);
+}
+
+TEST(ObsMetricsTest, GaugeTracksLevelAndPeak)
+{
+    Gauge &g = gauge("test.gauge_basic");
+    g.add(3);
+    g.add(4);
+    g.add(-5);
+    EXPECT_EQ(g.value(), 2);
+    EXPECT_EQ(g.peak(), 7);
+    g.set(100);
+    EXPECT_EQ(g.value(), 100);
+    EXPECT_EQ(g.peak(), 100);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(g.peak(), 0);
+}
+
+TEST(ObsMetricsTest, HistogramStatsAreExactWhereDocumented)
+{
+    Histogram &h = histogram("test.hist_basic");
+    for (double v : {1.0, 2.0, 3.0, 100.0})
+        h.observe(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 26.5);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    // Quantiles are bucketed: the answer is the power-of-two upper
+    // bound of the bucket holding the quantile, never below the true
+    // value's bucket.
+    EXPECT_GE(h.quantile(1.0), 100.0);
+    EXPECT_LE(h.quantile(0.0), 1.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(ObsMetricsTest, HistogramMaxHandlesNegativeObservations)
+{
+    Histogram &h = histogram("test.hist_negative");
+    h.observe(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.max(), -5.0);
+    h.observe(-2.0);
+    EXPECT_DOUBLE_EQ(h.max(), -2.0);
+}
+
+TEST(ObsMetricsTest, DisabledRecordingDropsEverything)
+{
+    EnabledGuard guard;
+    Counter &c = counter("test.disabled_counter");
+    Gauge &g = gauge("test.disabled_gauge");
+    Histogram &h = histogram("test.disabled_hist");
+    setEnabled(false);
+    EXPECT_FALSE(enabled());
+    c.add(5);
+    g.add(5);
+    h.observe(5.0);
+    setEnabled(true);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(ObsMetricsTest, ConcurrentCountsAreExact)
+{
+    Counter &c = counter("test.concurrent_counter");
+    Histogram &h = histogram("test.concurrent_hist");
+    runtime::ThreadPool pool(8);
+    constexpr size_t kIters = 20000;
+    runtime::parallelFor(&pool, kIters, [&](size_t i) {
+        c.add();
+        h.observe(static_cast<double>(i % 16));
+    });
+    EXPECT_EQ(c.value(), kIters);
+    EXPECT_EQ(h.count(), kIters);
+}
+
+TEST(ObsMetricsTest, ResetMetricsZeroesTheRegistry)
+{
+    Counter &c = counter("test.reset_all");
+    c.add(9);
+    resetMetrics();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetricsTest, SummaryRendersSortedWithValues)
+{
+    counter("test.zz_summary").add(123);
+    gauge("test.aa_summary").set(4);
+    std::string s = renderMetricsSummary();
+    EXPECT_NE(s.find("# paichar metrics"), std::string::npos);
+    auto a = s.find("test.aa_summary");
+    auto z = s.find("test.zz_summary");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(z, std::string::npos);
+    EXPECT_LT(a, z); // name-sorted
+    EXPECT_NE(s.find("123"), std::string::npos);
+}
+
+TEST(ObsSpanTest, ProfileJsonIsChromeTraceShaped)
+{
+    startProfiling();
+    {
+        Span outer("test.span_outer", 42);
+        Span inner("test.span_inner");
+    }
+    stopProfiling();
+    std::string json = profileToJson();
+    EXPECT_EQ(json.rfind("{\"displayTimeUnit\"", 0), 0u);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("test.span_outer"), std::string::npos);
+    EXPECT_NE(json.find("test.span_inner"), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"value\":42}"),
+              std::string::npos);
+    // Deterministic merge order: outer opened first, so it sorts
+    // first (earlier start, lower sequence number on ties).
+    EXPECT_LT(json.find("test.span_outer"),
+              json.find("test.span_inner"));
+    EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+}
+
+TEST(ObsSpanTest, SpansOutsideProfilingAreNotCaptured)
+{
+    startProfiling();
+    stopProfiling();
+    { Span s("test.span_after_stop"); }
+    EXPECT_EQ(profileToJson().find("test.span_after_stop"),
+              std::string::npos);
+}
+
+TEST(ObsSpanTest, StartProfilingClearsEarlierSessions)
+{
+    startProfiling();
+    { Span s("test.span_session_one"); }
+    stopProfiling();
+    startProfiling();
+    { Span s("test.span_session_two"); }
+    stopProfiling();
+    std::string json = profileToJson();
+    EXPECT_EQ(json.find("test.span_session_one"), std::string::npos);
+    EXPECT_NE(json.find("test.span_session_two"), std::string::npos);
+}
+
+TEST(ObsSpanTest, WorkerSpansCarryThreadMetadata)
+{
+    runtime::ThreadPool pool(2);
+    startProfiling();
+    runtime::parallelFor(&pool, 64, [](size_t) {
+        Span s("test.span_worker");
+    });
+    stopProfiling();
+    std::string json = profileToJson();
+    EXPECT_NE(json.find("test.span_worker"), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(ObsSpanTest, InternNameIsStableAndDeduplicated)
+{
+    const char *a = internName(std::string("test.interned"));
+    const char *b = internName(std::string("test.interned"));
+    EXPECT_EQ(a, b);
+    EXPECT_STREQ(a, "test.interned");
+}
+
+} // namespace
+} // namespace paichar::obs
+
+namespace paichar::cli {
+namespace {
+
+struct CliResult
+{
+    int code;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+runCli(std::vector<std::string> args)
+{
+    std::ostringstream out, err;
+    int code = run(args, out, err);
+    return {code, out.str(), err.str()};
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Value of a counter/gauge line in a rendered metrics summary, or
+ * uint64_t(-1) if the metric is missing.
+ */
+uint64_t
+metricValue(const std::string &summary, const std::string &name)
+{
+    std::istringstream lines(summary);
+    std::string line;
+    while (std::getline(lines, line)) {
+        std::istringstream fields(line);
+        std::string kind, metric;
+        uint64_t value = 0;
+        if (fields >> kind >> metric >> value && metric == name)
+            return value;
+    }
+    return static_cast<uint64_t>(-1);
+}
+
+class ObsCliTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        std::string base = testing::TempDir() + "/paichar_obs_" +
+                           std::to_string(::getpid());
+        trace_ = base + ".csv";
+        metrics_ = base + ".metrics";
+        profile_ = base + ".trace.json";
+        auto r = runCli({"generate", "--jobs", "5000", "--seed",
+                         "42", "--out", trace_});
+        ASSERT_EQ(r.code, 0) << r.err;
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(trace_.c_str());
+        std::remove(metrics_.c_str());
+        std::remove(profile_.c_str());
+    }
+
+    std::string trace_, metrics_, profile_;
+};
+
+TEST_F(ObsCliTest, MetricsFileCountersMatchTheRun)
+{
+    obs::resetMetrics();
+    auto r = runCli({"characterize", trace_,
+                     "--metrics=" + metrics_});
+    ASSERT_EQ(r.code, 0) << r.err;
+    std::string summary = readFile(metrics_);
+    // Every row the parser consumed is a job in the trace.
+    EXPECT_EQ(metricValue(summary, "trace.rows_parsed"), 5000u);
+    EXPECT_EQ(metricValue(summary, "core.jobs_evaluated"), 5000u);
+    EXPECT_GT(metricValue(summary, "trace.bytes_parsed"), 0u);
+}
+
+TEST_F(ObsCliTest, BareMetricsFlagWritesSummaryToStderr)
+{
+    obs::resetMetrics();
+    auto plain = runCli({"characterize", trace_});
+    auto flagged = runCli({"characterize", trace_, "--metrics"});
+    ASSERT_EQ(flagged.code, 0);
+    EXPECT_EQ(plain.out, flagged.out);
+    EXPECT_NE(flagged.err.find("# paichar metrics"),
+              std::string::npos);
+    EXPECT_NE(flagged.err.find("trace.rows_parsed"),
+              std::string::npos);
+}
+
+TEST_F(ObsCliTest, ProfileEmitsChromeTraceWithExpectedSpans)
+{
+    auto r = runCli({"characterize", trace_, "--threads", "2",
+                     "--profile", profile_});
+    ASSERT_EQ(r.code, 0) << r.err;
+    std::string json = readFile(profile_);
+    EXPECT_EQ(json.rfind("{\"displayTimeUnit\"", 0), 0u);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    // The root command span, the parse phase, the model-evaluation
+    // phase and the pool's task spans all show up.
+    EXPECT_NE(json.find("cli.characterize"), std::string::npos);
+    EXPECT_NE(json.find("trace.parse_csv"), std::string::npos);
+    EXPECT_NE(json.find("core.model_breakdowns"),
+              std::string::npos);
+    EXPECT_NE(json.find("runtime.task"), std::string::npos);
+}
+
+TEST_F(ObsCliTest, StdoutIsByteIdenticalAcrossThreadsAndObsFlags)
+{
+    auto baseline = runCli({"characterize", trace_});
+    ASSERT_EQ(baseline.code, 0) << baseline.err;
+    for (const char *threads : {"1", "2", "8"}) {
+        auto plain =
+            runCli({"characterize", trace_, "--threads", threads});
+        EXPECT_EQ(plain.code, 0);
+        EXPECT_EQ(plain.out, baseline.out) << threads << " threads";
+
+        auto observed = runCli({"characterize", trace_, "--threads",
+                                threads, "--profile", profile_,
+                                "--metrics=" + metrics_});
+        EXPECT_EQ(observed.code, 0);
+        EXPECT_EQ(observed.out, baseline.out)
+            << threads << " threads with --profile/--metrics";
+        EXPECT_EQ(observed.err, "");
+    }
+}
+
+TEST_F(ObsCliTest, EqualsSyntaxAndPairSyntaxAgree)
+{
+    auto pair = runCli({"generate", "--jobs", "100", "--seed", "7"});
+    auto eq = runCli({"generate", "--jobs=100", "--seed=7"});
+    ASSERT_EQ(pair.code, 0);
+    ASSERT_EQ(eq.code, 0);
+    EXPECT_EQ(pair.out, eq.out);
+}
+
+TEST_F(ObsCliTest, EmptyProfilePathIsAUsageError)
+{
+    auto r = runCli({"characterize", trace_, "--profile="});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("--profile"), std::string::npos);
+}
+
+TEST_F(ObsCliTest, UnwritableMetricsPathFailsTheRun)
+{
+    auto r = runCli({"characterize", trace_,
+                     "--metrics=/nonexistent-dir/m.txt"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("cannot write"), std::string::npos);
+}
+
+} // namespace
+} // namespace paichar::cli

@@ -146,6 +146,40 @@ TEST(TraceFormatTest, AllArchesAndExtremeMagnitudesRoundTripExactly)
     EXPECT_EQ(bin, toBinary(rb.jobs));
 }
 
+TEST(TraceFormatTest, CsvNumberSpellingIsShortestToCharsForm)
+{
+    TrainingJob j;
+    j.id = 42;
+    j.arch = ArchType::PsWorker;
+    j.num_cnodes = 4;
+    j.num_ps = 2;
+    j.features.batch_size = 0.1;
+    j.features.flop_count = 1.0 / 3.0;
+    j.features.mem_access_bytes = std::numeric_limits<double>::max();
+    j.features.input_bytes =
+        std::numeric_limits<double>::denorm_min();
+    j.features.comm_bytes = 1024.0;
+    j.features.embedding_comm_bytes = 0.0;
+    j.features.dense_weight_bytes = 1e100;
+    j.features.embedding_weight_bytes = 2.5;
+    ASSERT_TRUE(j.features.valid());
+
+    // Golden spelling: every double is the shortest to_chars form
+    // that round-trips exactly. A %.17g fallback used to respell
+    // some of these (e.g. "0.10000000000000001").
+    std::string csv = toCsv({j});
+    std::string row = csv.substr(csv.find('\n') + 1);
+    EXPECT_EQ(row,
+              "42,PS/Worker,4,2,0.1,0.3333333333333333,"
+              "1.7976931348623157e+308,5e-324,1024,0,1e+100,2.5\n");
+
+    // The spelling is a fixed point: toCsv(fromCsv(x)) == x, byte
+    // for byte.
+    ParseResult r = fromCsv(csv);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(toCsv(r.jobs), csv);
+}
+
 TEST(TraceFormatTest, CsvAndBinaryAgree)
 {
     SyntheticClusterGenerator gen(7);
