@@ -29,10 +29,15 @@
 #include <string>
 #include <vector>
 
+#include "clustersim/scheduler.h"
 #include "collectives/collective_ops.h"
 #include "core/characterization.h"
 #include "core/projection.h"
+#include "inference/inference_workload.h"
+#include "inference/serving_sim.h"
+#include "obs/job_log.h"
 #include "obs/obs.h"
+#include "workload/model_zoo.h"
 #include "opt/passes.h"
 #include "runtime/parallel.h"
 #include "testbed/training_sim.h"
@@ -513,6 +518,140 @@ runObsOverheadSection()
     std::printf("\n");
 }
 
+/**
+ * Overhead of the newly instrumented hot paths (inference serving,
+ * PR 5) and of the job-log sink on the cluster scheduler: same
+ * best-of-reps protocol and <2% budget as the parse section above;
+ * rows extend BENCH_obs_overhead.json.
+ */
+void
+runObsInstrumentationOverheadSection()
+{
+    constexpr int kReps = 5;
+    int threads = runtime::threadCount();
+
+    // --- serving-sim: span + counters added in src/inference ---
+    {
+        int64_t requests_n = 200000;
+        if (const char *env =
+                std::getenv("PAICHAR_TRACE_BENCH_JOBS")) {
+            char *end = nullptr;
+            long v = std::strtol(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0)
+                requests_n = std::max<long>(v, 100);
+        }
+        auto model = workload::ModelZoo::all().front();
+        auto w = inference::InferenceWorkload::fromTraining(model);
+        inference::ServingSimulator sim(
+            inference::ServingConfig{});
+        double qps = 5000.0;
+
+        std::printf("# obs-overhead: serving sim, %lld requests, "
+                    "best of %d reps\n",
+                    static_cast<long long>(requests_n), kReps);
+        struct Mode
+        {
+            const char *name;
+            bool metrics;
+            bool profiling;
+        };
+        const Mode modes[] = {
+            {"disabled", false, false},
+            {"metrics", true, false},
+            {"metrics+profile", true, true},
+        };
+        double baseline = 0.0;
+        for (const Mode &mode : modes) {
+            obs::setEnabled(mode.metrics);
+            double best = 0.0;
+            for (int rep = 0; rep < kReps; ++rep) {
+                if (mode.profiling)
+                    obs::startProfiling();
+                auto t0 = std::chrono::steady_clock::now();
+                auto r = sim.run(w, qps, requests_n, 42);
+                benchmark::DoNotOptimize(r.throughput);
+                auto t1 = std::chrono::steady_clock::now();
+                if (mode.profiling)
+                    obs::stopProfiling();
+                double sec =
+                    std::chrono::duration<double>(t1 - t0).count();
+                if (rep == 0 || sec < best)
+                    best = sec;
+            }
+            if (!mode.metrics)
+                baseline = best;
+            double overhead_pct =
+                baseline > 0.0 ? (best / baseline - 1.0) * 100.0
+                               : 0.0;
+            std::printf(
+                "{\"bench\":\"obs_overhead_serving\","
+                "\"mode\":\"%s\",\"requests\":%lld,"
+                "\"threads\":%d,\"seconds\":%.6f,"
+                "\"overhead_pct\":%.2f}\n",
+                mode.name, static_cast<long long>(requests_n),
+                threads, best, overhead_pct);
+        }
+        obs::setEnabled(true);
+    }
+
+    // --- cluster scheduler: the per-job JobRecord sink ---
+    {
+        size_t jobs_n = 10000;
+        if (const char *env =
+                std::getenv("PAICHAR_TRACE_BENCH_JOBS")) {
+            char *end = nullptr;
+            long v = std::strtol(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0)
+                jobs_n = std::max<size_t>(
+                    static_cast<size_t>(v) / 10, 100);
+        }
+        trace::SyntheticClusterGenerator gen(7);
+        auto jobs = gen.generate(jobs_n, runtime::globalPool());
+        clustersim::SchedulerConfig cfg;
+        cfg.num_servers = 64;
+        for (auto &j : jobs)
+            j.num_cnodes = std::min(j.num_cnodes, cfg.num_servers);
+        auto requests = clustersim::poissonRequests(jobs, 1000.0,
+                                                    2000.0, 1.2, 7);
+        core::AnalyticalModel model(hw::paiCluster());
+        clustersim::ClusterScheduler sched(cfg, model);
+
+        std::printf("# obs-overhead: cluster schedule, %zu jobs, "
+                    "best of %d reps\n",
+                    jobs_n, kReps);
+        double baseline = 0.0;
+        for (bool joblog : {false, true}) {
+            double best = 0.0;
+            for (int rep = 0; rep < kReps; ++rep) {
+                if (joblog)
+                    obs::startJobLog();
+                auto t0 = std::chrono::steady_clock::now();
+                auto r = sched.run(requests);
+                benchmark::DoNotOptimize(r.makespan);
+                auto t1 = std::chrono::steady_clock::now();
+                if (joblog)
+                    obs::stopJobLog();
+                double sec =
+                    std::chrono::duration<double>(t1 - t0).count();
+                if (rep == 0 || sec < best)
+                    best = sec;
+            }
+            if (!joblog)
+                baseline = best;
+            double overhead_pct =
+                baseline > 0.0 ? (best / baseline - 1.0) * 100.0
+                               : 0.0;
+            std::printf("{\"bench\":\"obs_overhead_joblog\","
+                        "\"mode\":\"%s\",\"jobs\":%zu,"
+                        "\"threads\":%d,\"seconds\":%.6f,"
+                        "\"overhead_pct\":%.2f}\n",
+                        joblog ? "joblog" : "off", jobs_n, threads,
+                        best, overhead_pct);
+        }
+    }
+    std::printf("\n");
+}
+
 } // namespace
 
 int
@@ -521,6 +660,7 @@ main(int argc, char **argv)
     runTraceIoSection();
     runThreadScalingSection();
     runObsOverheadSection();
+    runObsInstrumentationOverheadSection();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

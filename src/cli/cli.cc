@@ -1,14 +1,20 @@
 #include "cli.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
 #include "clustersim/scheduler.h"
+#include "obs/analyze.h"
+#include "obs/job_log.h"
 #include "obs/obs.h"
 #include "trace/binary_trace.h"
 #include "core/arch_selection.h"
@@ -136,6 +142,9 @@ printUsage(std::ostream &out)
            "[--slo-ms MS]\n"
            "  paichar schedule TRACE [--servers N] "
            "[--nvlink-frac F] [--port 0|1] [--rate R]\n"
+           "  paichar obs report RUN\n"
+           "  paichar obs diff A B [--tolerance PCT]\n"
+           "  paichar obs top JOBLOG [--limit N]\n"
            "\n"
            "Quantities are base units (FLOPs, bytes); ARCH uses the "
            "paper names\n(\"PS/Worker\", \"AllReduce-Local\", "
@@ -153,9 +162,21 @@ printUsage(std::ostream &out)
            "Observability (never touches stdout):\n"
            "  --metrics[=FILE]  write the metric summary to FILE "
            "(default: stderr)\n"
+           "  --metrics-format text|openmetrics\n"
+           "                    metric summary format (default: "
+           "text)\n"
            "  --profile FILE    write Chrome trace-event JSON of the "
            "run to FILE\n                    (load in Perfetto or "
            "chrome://tracing)\n"
+           "  --job-log FILE    write one schema-v1 JSONL record per "
+           "simulated job\n                    (schedule, diagnose; "
+           "feed to paichar obs)\n"
+           "  --job-trace FILE  write a per-worker Chrome trace of "
+           "the job timeline\n"
+           "\n"
+           "obs RUN files are --job-log JSONL or --metrics dumps; "
+           "obs diff exits 2\nwhen a shared scalar moves past "
+           "--tolerance (default 10%).\n"
            "\n"
            "Flags may be written --flag VALUE or --flag=VALUE.\n";
 }
@@ -560,6 +581,90 @@ cmdSchedule(const Args &args, std::ostream &out, std::ostream &err)
     return 0;
 }
 
+std::optional<std::string> readTextFile(const std::string &path,
+                                        std::ostream &err);
+
+int
+cmdObs(const Args &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() < 2) {
+        err << "error: obs expects a verb: report | diff | top\n";
+        return 1;
+    }
+    const std::string &verb = args.positional[1];
+
+    auto load =
+        [&](const std::string &path) -> std::optional<obs::RunData> {
+        auto text = readTextFile(path, err);
+        if (!text)
+            return std::nullopt;
+        auto r = obs::loadRunData(*text);
+        if (!r.ok) {
+            err << "error: " << path << ": " << r.error << "\n";
+            return std::nullopt;
+        }
+        return std::move(r.data);
+    };
+
+    if (verb == "report") {
+        if (args.positional.size() < 3) {
+            err << "error: obs report expects a run file\n";
+            return 1;
+        }
+        auto run = load(args.positional[2]);
+        if (!run)
+            return 1;
+        out << obs::reportText(*run);
+        return 0;
+    }
+    if (verb == "top") {
+        if (args.positional.size() < 3) {
+            err << "error: obs top expects a job-log file\n";
+            return 1;
+        }
+        auto run = load(args.positional[2]);
+        if (!run)
+            return 1;
+        if (run->kind != obs::RunData::Kind::JobLog) {
+            err << "error: obs top requires a job log "
+                   "(--job-log output)\n";
+            return 1;
+        }
+        double limit = args.numFlag("limit", 10);
+        if (limit < 1 || limit != std::floor(limit)) {
+            err << "error: --limit expects a positive integer\n";
+            return 1;
+        }
+        out << obs::topText(*run, static_cast<size_t>(limit));
+        return 0;
+    }
+    if (verb == "diff") {
+        if (args.positional.size() < 4) {
+            err << "error: obs diff expects two run files\n";
+            return 1;
+        }
+        auto a = load(args.positional[2]);
+        if (!a)
+            return 1;
+        auto b = load(args.positional[3]);
+        if (!b)
+            return 1;
+        double tolerance = args.numFlag("tolerance", 10.0);
+        if (tolerance < 0.0) {
+            err << "error: --tolerance expects a percentage >= 0\n";
+            return 1;
+        }
+        auto diff = obs::diffRuns(*a, *b, tolerance);
+        out << obs::renderDiff(diff);
+        // Exit 2 on regression so scripts can tell "worse than the
+        // baseline" from "could not run" (exit 1).
+        return diff.regression ? 2 : 0;
+    }
+    err << "error: unknown obs verb '" << verb
+        << "' (report | diff | top)\n";
+    return 1;
+}
+
 /** Dispatch to the subcommand; nullopt for an unknown command. */
 std::optional<int>
 dispatch(const std::string &cmd, const Args &args, std::ostream &out,
@@ -583,22 +688,64 @@ dispatch(const std::string &cmd, const Args &args, std::ostream &out,
         return cmdServe(args, out, err);
     if (cmd == "schedule")
         return cmdSchedule(args, out, err);
+    if (cmd == "obs")
+        return cmdObs(args, out, err);
     return std::nullopt;
 }
 
-/** Write @p text to @p path, reporting failure on @p err. */
+/**
+ * Write @p text to @p path, creating missing parent directories and
+ * reporting failure (with the OS reason) on @p err.
+ */
 bool
 writeTextFile(const std::string &path, const std::string &text,
               std::ostream &err)
 {
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        if (ec) {
+            err << "error: cannot create directory '"
+                << parent.string() << "': " << ec.message() << "\n";
+            return false;
+        }
+    }
+    errno = 0;
     std::ofstream f(path, std::ios::binary);
     f << text;
     f.flush();
     if (!f) {
-        err << "error: cannot write '" << path << "'\n";
+        err << "error: cannot write '" << path << "'";
+        if (errno != 0)
+            err << ": " << std::strerror(errno);
+        err << "\n";
         return false;
     }
     return true;
+}
+
+/** Read @p path whole, reporting failure on @p err. */
+std::optional<std::string>
+readTextFile(const std::string &path, std::ostream &err)
+{
+    errno = 0;
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+        err << "error: cannot read '" << path << "'";
+        if (errno != 0)
+            err << ": " << std::strerror(errno);
+        err << "\n";
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    if (f.bad()) {
+        err << "error: cannot read '" << path << "'\n";
+        return std::nullopt;
+    }
+    return std::move(buf).str();
 }
 
 } // namespace
@@ -633,8 +780,27 @@ run(const std::vector<std::string> &args, std::ostream &out,
             err << "error: --profile expects an output file\n";
             return 1;
         }
+        std::string metrics_format =
+            parsed->flag("metrics-format").value_or("text");
+        if (metrics_format != "text" &&
+            metrics_format != "openmetrics") {
+            err << "error: --metrics-format expects text or "
+                   "openmetrics, got '"
+                << metrics_format << "'\n";
+            return 1;
+        }
+        auto job_log_path = parsed->flag("job-log");
+        auto job_trace_path = parsed->flag("job-trace");
+        if ((job_log_path && job_log_path->empty()) ||
+            (job_trace_path && job_trace_path->empty())) {
+            err << "error: --job-log/--job-trace expect an output "
+                   "file\n";
+            return 1;
+        }
         if (profile_path)
             obs::startProfiling();
+        if (job_log_path || job_trace_path)
+            obs::startJobLog();
 
         std::optional<int> rc;
         {
@@ -655,8 +821,31 @@ run(const std::vector<std::string> &args, std::ostream &out,
                 rc = 1;
             }
         }
+        if (job_log_path || job_trace_path) {
+            obs::stopJobLog();
+            if (rc) {
+                auto records = obs::collectJobLog();
+                if (job_log_path &&
+                    !writeTextFile(*job_log_path,
+                                   obs::renderJobLogJsonl(records),
+                                   err) &&
+                    rc == 0) {
+                    rc = 1;
+                }
+                if (job_trace_path &&
+                    !writeTextFile(
+                        *job_trace_path,
+                        obs::renderJobChromeTrace(records), err) &&
+                    rc == 0) {
+                    rc = 1;
+                }
+            }
+        }
         if (metrics_dest && rc) {
-            std::string text = obs::renderMetricsSummary();
+            std::string text =
+                metrics_format == "openmetrics"
+                    ? obs::renderMetricsOpenMetrics()
+                    : obs::renderMetricsSummary();
             if (metrics_dest->empty()) {
                 err << text;
             } else if (!writeTextFile(*metrics_dest, text, err) &&

@@ -16,8 +16,9 @@
  *                                    multi-interests|gcn)
  *   paichar schedule   trace.csv [--servers N] [--nvlink-frac F]
  *                      [--port 0|1] [--rate JOBS_PER_HOUR]
+ *   paichar obs        report RUN | diff A B [--tolerance PCT] |
+ *                      top JOBLOG [--limit N]
  *
-
  * All quantities are base units (FLOPs, bytes); architectures use the
  * paper names ("PS/Worker", "AllReduce-Local", ...).
  *
@@ -31,6 +32,15 @@
  * paichar::runtime worker pool (default: the PAICHAR_THREADS
  * environment variable, else hardware concurrency; 1 runs the exact
  * serial path). Command outputs are byte-identical for every N.
+ *
+ * Observability flags (`--metrics[=FILE]`,
+ * `--metrics-format text|openmetrics`, `--profile FILE`,
+ * `--job-log FILE`, `--job-trace FILE`) write to files or err only;
+ * stdout stays byte-identical with and without them. `obs` analyzes
+ * the artifacts: `report` summarizes a run, `top` lists the slowest
+ * jobs/phases of a job log, and `diff` compares two runs, exiting 2
+ * when any shared scalar moves past `--tolerance` percent (the CI
+ * perf gate; see DESIGN.md Sec 10).
  */
 
 #ifndef PAICHAR_CLI_CLI_H

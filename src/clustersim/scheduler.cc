@@ -7,6 +7,7 @@
 #include <limits>
 #include <queue>
 
+#include "obs/job_log.h"
 #include "obs/obs.h"
 #include "stats/cdf.h"
 #include "stats/rng.h"
@@ -176,10 +177,16 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
     double now = 0.0;
     double gpu_seconds = 0.0;
 
+    // Per-request attempt counts, recorded in the job log so queue
+    // behavior (how often the head was retried) is visible per job.
+    std::vector<int64_t> attempts(requests.size(), 0);
+
     // Attempt to place one request; on success records the outcome
     // and consumes capacity.
-    auto tryPlace = [&](const JobRequest &req) -> bool {
+    auto tryPlace = [&](size_t req_index) -> bool {
+        const JobRequest &req = requests[req_index];
         placement_attempts.add();
+        ++attempts[req_index];
         const TrainingJob &job = req.job;
         Allocation alloc;
         TrainingJob executed = job;
@@ -257,6 +264,39 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
         }
         gpu_seconds += jo.gpus * runtime;
         out.ported_jobs += ported;
+
+        if (obs::jobLogActive()) {
+            obs::JobRecord rec;
+            rec.job_id = jo.job_id;
+            rec.source = "clustersim";
+            rec.arch = workload::toString(job.arch);
+            rec.executed_arch = workload::toString(executed.arch);
+            rec.ported = ported;
+            rec.num_cnodes = executed.num_cnodes;
+            rec.gpus = jo.gpus;
+            rec.server = alloc.empty() ? -1 : alloc.front().first;
+            rec.num_steps = req.num_steps;
+            rec.placement_attempts = attempts[req_index];
+            rec.submit_s = jo.submit_time;
+            rec.start_s = jo.start_time;
+            rec.finish_s = jo.finish_time;
+            // Predicted = the job as submitted; simulated = the job
+            // as executed under its actual placement, so porting and
+            // clamping effects become the recorded skew.
+            core::TimeBreakdown pred = model_.breakdown(job);
+            rec.pred_td_s = pred.t_data;
+            rec.pred_tc_flops_s = pred.t_comp_flops;
+            rec.pred_tc_mem_s = pred.t_comp_mem;
+            rec.pred_tw_s = pred.t_weight;
+            rec.pred_step_s = pred.total();
+            core::TimeBreakdown sim = model_.breakdown(executed);
+            rec.sim_td_s = sim.t_data;
+            rec.sim_tc_s = sim.compute();
+            rec.sim_tw_s = sim.t_weight;
+            rec.sim_step_s = step;
+            obs::recordJob(std::move(rec));
+        }
+
         out.jobs.push_back(jo);
         running.push(
             {jo.finish_time, seq++, out.jobs.size() - 1, alloc});
@@ -277,6 +317,28 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
             } else {
                 ++out.unplaceable_jobs;
                 obs::counter("clustersim.unplaceable_jobs").add();
+                if (obs::jobLogActive()) {
+                    const JobRequest &req = requests[arrival];
+                    obs::JobRecord rec;
+                    rec.job_id = req.job.id;
+                    rec.source = "clustersim";
+                    rec.status = "dropped";
+                    rec.arch = workload::toString(req.job.arch);
+                    rec.executed_arch = rec.arch;
+                    rec.num_cnodes = req.job.num_cnodes;
+                    rec.num_steps = req.num_steps;
+                    rec.submit_s = req.submit_time;
+                    rec.start_s = req.submit_time;
+                    rec.finish_s = req.submit_time;
+                    core::TimeBreakdown pred =
+                        model_.breakdown(req.job);
+                    rec.pred_td_s = pred.t_data;
+                    rec.pred_tc_flops_s = pred.t_comp_flops;
+                    rec.pred_tc_mem_s = pred.t_comp_mem;
+                    rec.pred_tw_s = pred.t_weight;
+                    rec.pred_step_s = pred.total();
+                    obs::recordJob(std::move(rec));
+                }
             }
             ++arrival;
         }
@@ -286,14 +348,14 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
         while (progress && !pending.empty()) {
             progress = false;
             if (cfg_.policy == Policy::Fcfs) {
-                if (tryPlace(requests[pending.front()])) {
+                if (tryPlace(pending.front())) {
                     pending.pop_front();
                     progress = true;
                 }
             } else {
                 for (auto it = pending.begin();
                      it != pending.end(); ++it) {
-                    if (tryPlace(requests[*it])) {
+                    if (tryPlace(*it)) {
                         pending.erase(it);
                         progress = true;
                         break;

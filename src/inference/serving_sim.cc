@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/obs.h"
 #include "stats/rng.h"
 
 namespace paichar::inference {
@@ -22,6 +23,16 @@ ServingSimulator::run(const InferenceWorkload &workload, double qps,
 {
     assert(qps > 0.0);
     assert(num_requests >= 1);
+
+    // Run-grained instrumentation (one span + counter update per
+    // call, never per request or batch -- the <2% budget applies).
+    obs::Span run_span("inference.run", num_requests);
+    static obs::Counter &requests_ctr =
+        obs::counter("inference.requests");
+    static obs::Counter &batches_ctr =
+        obs::counter("inference.batches");
+    static obs::Counter &saturated_ctr =
+        obs::counter("inference.saturated_runs");
 
     // Poisson arrivals: exponential inter-arrival times.
     stats::Rng rng(seed);
@@ -103,6 +114,11 @@ ServingSimulator::run(const InferenceWorkload &workload, double qps,
         double tail = mean_range(4 * n / 5, n);
         r.saturated = tail > 1.45 * mid;
     }
+
+    requests_ctr.add(static_cast<uint64_t>(num_requests));
+    batches_ctr.add(static_cast<uint64_t>(batches));
+    if (r.saturated)
+        saturated_ctr.add();
     return r;
 }
 
@@ -112,8 +128,12 @@ ServingSimulator::maxQpsUnderSlo(const InferenceWorkload &workload,
                                  uint64_t seed) const
 {
     assert(slo > 0.0 && qps_hi > 1.0);
+    obs::Span slo_span("inference.max_qps_under_slo");
+    static obs::Counter &probes_ctr =
+        obs::counter("inference.slo_probes");
     const int64_t kProbeRequests = 20000;
     auto ok = [&](double qps) {
+        probes_ctr.add();
         ServingResult r =
             run(workload, qps, kProbeRequests, seed);
         return !r.saturated && r.p99_latency <= slo;

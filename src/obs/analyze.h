@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Analysis toolchain over recorded runs: the library behind the
+ * `paichar obs` CLI family (report / diff / top).
+ *
+ * A "run" here is a file a previous invocation produced: either a
+ * schema-v1 JSONL job log (`--job-log`) or a metrics dump
+ * (`--metrics`, in summary-text or OpenMetrics form). `loadRunData()`
+ * sniffs the format, and every loaded run exposes a flat
+ * name -> value scalar map -- job logs contribute derived
+ * distribution statistics (`job.queue_s.p95`, ...), metrics dumps
+ * contribute their counters/gauges/histogram summaries -- so two runs
+ * of either kind diff uniformly: `diffRuns()` flags any shared scalar
+ * whose relative change exceeds a tolerance, which is the CI
+ * perf-regression gate (DESIGN.md Sec 10).
+ *
+ * All rendering is deterministic: fixed column widths, fixed key
+ * order (sorted maps), snprintf-fixed decimals.
+ */
+
+#ifndef PAICHAR_OBS_ANALYZE_H
+#define PAICHAR_OBS_ANALYZE_H
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "job_log.h"
+
+namespace paichar::obs {
+
+/** One loaded run: its kind, records (job logs only) and scalars. */
+struct RunData
+{
+    enum class Kind
+    {
+        JobLog,  ///< schema-v1 JSONL job log
+        Metrics, ///< metrics dump (summary text or OpenMetrics)
+    };
+
+    Kind kind = Kind::Metrics;
+    /** Parsed job records; empty for metrics dumps. */
+    std::vector<JobRecord> records;
+    /** Flat scalar view of the run, the diffable surface. */
+    std::map<std::string, double> scalars;
+};
+
+/** Result of loading a run file's contents. */
+struct RunLoad
+{
+    bool ok = true;
+    std::string error;
+    RunData data;
+};
+
+/**
+ * Detect and parse a run file: a leading '{' means a JSONL job log, a
+ * `# paichar metrics` header means summary text, `# TYPE`/`# EOF`
+ * markers mean OpenMetrics. Anything else is an error.
+ */
+RunLoad loadRunData(std::string_view text);
+
+/**
+ * Human summary of a run. For a job log: lifecycle counts, a
+ * count/mean/p50/p95/max table over queue/run/step/skew/attempt
+ * distributions and the mean Td/Tc/Tw phase shares. For a metrics
+ * dump: the sorted scalar table.
+ */
+std::string reportText(const RunData &run);
+
+/** One compared scalar in a diff. */
+struct DiffEntry
+{
+    std::string key;
+    double a = 0.0;
+    double b = 0.0;
+    /** Relative change in percent ((b-a)/|a|*100; +inf from zero). */
+    double delta_pct = 0.0;
+    /** True when |delta_pct| exceeded the tolerance. */
+    bool violation = false;
+};
+
+/** Result of diffing two runs. */
+struct DiffResult
+{
+    /** Shared keys in sorted order. */
+    std::vector<DiffEntry> entries;
+    /** Keys present in only one run (informational, never fatal). */
+    std::vector<std::string> only_in_a;
+    std::vector<std::string> only_in_b;
+    /** True when any entry violated the tolerance. */
+    bool regression = false;
+    double tolerance_pct = 0.0;
+};
+
+/**
+ * Compare every scalar the two runs share. A scalar violates when its
+ * relative change in either direction exceeds @p tolerance_pct (a
+ * change from exactly zero to nonzero is always a violation). Keys
+ * present in only one run are reported but never violate, so adding a
+ * metric does not break an existing baseline.
+ */
+DiffResult diffRuns(const RunData &a, const RunData &b,
+                    double tolerance_pct);
+
+/** Render a diff as an aligned table plus a one-line verdict. */
+std::string renderDiff(const DiffResult &diff);
+
+/**
+ * The slowest-jobs table (by running time, descending; job id breaks
+ * ties) over the top @p n completed jobs, with each job's dominant
+ * simulated phase, followed by the aggregate per-phase time split.
+ * Requires a job-log run (Kind::JobLog).
+ */
+std::string topText(const RunData &run, size_t n);
+
+} // namespace paichar::obs
+
+#endif // PAICHAR_OBS_ANALYZE_H

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "json_util.h"
+
 namespace paichar::obs {
 
 namespace {
@@ -49,6 +51,93 @@ renderMetricsSummary()
                 static_cast<unsigned long long>(h.count()), h.mean(),
                 h.quantile(0.5), h.quantile(0.95), h.max());
         });
+    return out;
+}
+
+namespace {
+
+/** A metric name restricted to the OpenMetrics charset
+ * [a-zA-Z0-9_:], invalid characters replaced by '_'. */
+std::string
+openMetricsName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void
+appendSample(std::string &out, const std::string &name, double value)
+{
+    out += name;
+    out += ' ';
+    appendJsonNumber(out, value);
+    out += '\n';
+}
+
+void
+appendSample(std::string &out, const std::string &name,
+             uint64_t value)
+{
+    out += name;
+    out += ' ';
+    out += format("%llu", static_cast<unsigned long long>(value));
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+renderMetricsOpenMetrics()
+{
+    std::string out;
+    visitMetrics(
+        [&](const std::string &raw, const Counter &c) {
+            std::string name = openMetricsName(raw);
+            out += "# TYPE " + name + " counter\n";
+            appendSample(out, name + "_total", c.value());
+        },
+        [&](const std::string &raw, const Gauge &g) {
+            std::string name = openMetricsName(raw);
+            out += "# TYPE " + name + " gauge\n";
+            appendSample(out, name,
+                         static_cast<double>(g.value()));
+            out += "# TYPE " + name + "_peak gauge\n";
+            appendSample(out, name + "_peak",
+                         static_cast<double>(g.peak()));
+        },
+        [&](const std::string &raw, const Histogram &h) {
+            std::string name = openMetricsName(raw);
+            out += "# TYPE " + name + " histogram\n";
+            // Cumulative buckets up to the last non-empty one;
+            // everything after collapses into +Inf.
+            int last = -1;
+            for (int b = 0; b < Histogram::kBuckets; ++b)
+                if (h.bucketCount(b))
+                    last = b;
+            uint64_t acc = 0;
+            for (int b = 0; b <= last; ++b) {
+                acc += h.bucketCount(b);
+                std::string le;
+                appendJsonNumber(le,
+                                 Histogram::bucketUpperBound(b));
+                appendSample(out,
+                             name + "_bucket{le=\"" + le + "\"}",
+                             acc);
+            }
+            appendSample(out, name + "_bucket{le=\"+Inf\"}",
+                         h.count());
+            appendSample(out, name + "_count", h.count());
+            appendSample(out, name + "_sum", h.sum());
+        });
+    out += "# EOF\n";
     return out;
 }
 

@@ -1,0 +1,584 @@
+#include "job_log.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "json_util.h"
+
+namespace paichar::obs {
+
+namespace detail {
+std::atomic<bool> g_job_log_active{false};
+} // namespace detail
+
+namespace {
+
+/** A recorded job plus its global record order (merge tie-breaker). */
+struct Recorded
+{
+    JobRecord rec;
+    uint64_t seq;
+};
+
+/**
+ * Per-thread append buffer, same discipline as the Span buffers: the
+ * mutex is uncontended in steady state (only the owner appends) and
+ * exists so startJobLog() can clear and collectJobLog() can read
+ * buffers of still-live threads without a data race.
+ */
+struct JobBuffer
+{
+    std::mutex mu;
+    std::vector<Recorded> records;
+};
+
+struct JobLogRegistry
+{
+    std::mutex mu;
+    std::vector<std::shared_ptr<JobBuffer>> buffers;
+};
+
+JobLogRegistry &
+jobLogRegistry()
+{
+    // Leaked: worker threads may record past static destruction.
+    static JobLogRegistry *r = new JobLogRegistry;
+    return *r;
+}
+
+std::atomic<uint64_t> g_next_job_seq{0};
+
+JobBuffer &
+jobBuffer()
+{
+    thread_local std::shared_ptr<JobBuffer> buf = [] {
+        auto b = std::make_shared<JobBuffer>();
+        JobLogRegistry &r = jobLogRegistry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.buffers.push_back(b);
+        return b;
+    }();
+    return *buf;
+}
+
+void
+appendField(std::string &out, const char *key, const std::string &v,
+            bool first = false)
+{
+    if (!first)
+        out += ',';
+    out += '"';
+    out += key;
+    out += "\":\"";
+    appendJsonEscaped(out, v);
+    out += '"';
+}
+
+template <typename Num>
+void
+appendField(std::string &out, const char *key, Num v)
+{
+    out += ",\"";
+    out += key;
+    out += "\":";
+    appendJsonNumber(out, v);
+}
+
+void
+appendField(std::string &out, const char *key, bool v)
+{
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += v ? "true" : "false";
+}
+
+} // namespace
+
+void
+startJobLog()
+{
+    JobLogRegistry &r = jobLogRegistry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &buf : r.buffers) {
+        std::lock_guard<std::mutex> buf_lock(buf->mu);
+        buf->records.clear();
+    }
+    g_next_job_seq.store(0, std::memory_order_relaxed);
+    detail::g_job_log_active.store(true, std::memory_order_relaxed);
+}
+
+void
+stopJobLog()
+{
+    detail::g_job_log_active.store(false, std::memory_order_relaxed);
+}
+
+void
+recordJob(JobRecord rec)
+{
+    if (!jobLogActive())
+        return;
+    uint64_t seq =
+        g_next_job_seq.fetch_add(1, std::memory_order_relaxed);
+    JobBuffer &buf = jobBuffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.records.push_back(Recorded{std::move(rec), seq});
+}
+
+std::vector<JobRecord>
+collectJobLog()
+{
+    std::vector<Recorded> merged;
+    {
+        JobLogRegistry &r = jobLogRegistry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (auto &buf : r.buffers) {
+            std::lock_guard<std::mutex> buf_lock(buf->mu);
+            merged.insert(merged.end(), buf->records.begin(),
+                          buf->records.end());
+        }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const Recorded &a, const Recorded &b) {
+                  if (a.rec.job_id != b.rec.job_id)
+                      return a.rec.job_id < b.rec.job_id;
+                  return a.seq < b.seq;
+              });
+    std::vector<JobRecord> out;
+    out.reserve(merged.size());
+    for (Recorded &m : merged)
+        out.push_back(std::move(m.rec));
+    return out;
+}
+
+std::string
+renderJobLogJsonl(const std::vector<JobRecord> &records)
+{
+    std::string out;
+    out.reserve(records.size() * 512);
+    for (const JobRecord &r : records) {
+        out += "{\"schema\":\"";
+        out += kJobLogSchema;
+        out += '"';
+        appendField(out, "source", r.source);
+        appendField(out, "job_id", r.job_id);
+        appendField(out, "name", r.name);
+        appendField(out, "status", r.status);
+        appendField(out, "arch", r.arch);
+        appendField(out, "executed_arch", r.executed_arch);
+        appendField(out, "ported", r.ported);
+        appendField(out, "num_cnodes",
+                    static_cast<int64_t>(r.num_cnodes));
+        appendField(out, "gpus", static_cast<int64_t>(r.gpus));
+        appendField(out, "server", static_cast<int64_t>(r.server));
+        appendField(out, "num_steps", r.num_steps);
+        appendField(out, "placement_attempts", r.placement_attempts);
+        appendField(out, "submit_s", r.submit_s);
+        appendField(out, "start_s", r.start_s);
+        appendField(out, "finish_s", r.finish_s);
+        // Derived, re-emitted for jq/human use; the parser ignores
+        // them and recomputes, so round-trips stay byte-exact.
+        appendField(out, "queue_s", r.queueSeconds());
+        appendField(out, "run_s", r.runSeconds());
+        appendField(out, "pred_td_s", r.pred_td_s);
+        appendField(out, "pred_tc_flops_s", r.pred_tc_flops_s);
+        appendField(out, "pred_tc_mem_s", r.pred_tc_mem_s);
+        appendField(out, "pred_tw_s", r.pred_tw_s);
+        appendField(out, "pred_step_s", r.pred_step_s);
+        appendField(out, "sim_td_s", r.sim_td_s);
+        appendField(out, "sim_tc_s", r.sim_tc_s);
+        appendField(out, "sim_tw_s", r.sim_tw_s);
+        appendField(out, "sim_step_s", r.sim_step_s);
+        appendField(out, "skew_pct", r.skewPct());
+        out += "}\n";
+    }
+    return out;
+}
+
+namespace {
+
+/** Cursor over one JSONL line during parsing. */
+struct Scanner
+{
+    const char *p;
+    const char *end;
+
+    void
+    skipWs()
+    {
+        while (p < end &&
+               (*p == ' ' || *p == '\t' || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    /** Parse a quoted JSON string (cursor on the opening quote). */
+    bool
+    parseString(std::string *out)
+    {
+        skipWs();
+        if (p >= end || *p != '"')
+            return false;
+        ++p;
+        out->clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (p >= end)
+                return false;
+            char e = *p++;
+            switch (e) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'n': *out += '\n'; break;
+              case 't': *out += '\t'; break;
+              case 'r': *out += '\r'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'u': {
+                  if (end - p < 4)
+                      return false;
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = *p++;
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return false;
+                  }
+                  // UTF-8 encode (BMP only; surrogates emitted by our
+                  // writer never occur -- it escapes bytes < 0x20).
+                  if (cp < 0x80) {
+                      *out += static_cast<char>(cp);
+                  } else if (cp < 0x800) {
+                      *out += static_cast<char>(0xC0 | (cp >> 6));
+                      *out +=
+                          static_cast<char>(0x80 | (cp & 0x3F));
+                  } else {
+                      *out += static_cast<char>(0xE0 | (cp >> 12));
+                      *out += static_cast<char>(0x80 |
+                                                ((cp >> 6) & 0x3F));
+                      *out +=
+                          static_cast<char>(0x80 | (cp & 0x3F));
+                  }
+                  break;
+              }
+              default:
+                return false;
+            }
+        }
+        if (p >= end)
+            return false;
+        ++p; // closing quote
+        return true;
+    }
+
+    /** Parse a JSON number into a double. */
+    bool
+    parseNumber(double *out)
+    {
+        skipWs();
+        auto [ptr, ec] = std::from_chars(p, end, *out);
+        if (ec != std::errc() || ptr == p)
+            return false;
+        p = ptr;
+        return true;
+    }
+
+    bool
+    parseLiteral(std::string_view lit)
+    {
+        skipWs();
+        if (static_cast<size_t>(end - p) < lit.size() ||
+            std::string_view(p, lit.size()) != lit)
+            return false;
+        p += lit.size();
+        return true;
+    }
+};
+
+/** Assign one parsed key/value into @p rec; unknown keys ignored. */
+void
+assignField(JobRecord &rec, const std::string &key,
+            const std::string &sval, double nval, bool bval,
+            char kind)
+{
+    if (kind == 's') {
+        if (key == "source")
+            rec.source = sval;
+        else if (key == "name")
+            rec.name = sval;
+        else if (key == "status")
+            rec.status = sval;
+        else if (key == "arch")
+            rec.arch = sval;
+        else if (key == "executed_arch")
+            rec.executed_arch = sval;
+        return;
+    }
+    if (kind == 'b') {
+        if (key == "ported")
+            rec.ported = bval;
+        return;
+    }
+    if (key == "job_id")
+        rec.job_id = static_cast<int64_t>(nval);
+    else if (key == "num_cnodes")
+        rec.num_cnodes = static_cast<int>(nval);
+    else if (key == "gpus")
+        rec.gpus = static_cast<int>(nval);
+    else if (key == "server")
+        rec.server = static_cast<int>(nval);
+    else if (key == "num_steps")
+        rec.num_steps = static_cast<int64_t>(nval);
+    else if (key == "placement_attempts")
+        rec.placement_attempts = static_cast<int64_t>(nval);
+    else if (key == "submit_s")
+        rec.submit_s = nval;
+    else if (key == "start_s")
+        rec.start_s = nval;
+    else if (key == "finish_s")
+        rec.finish_s = nval;
+    else if (key == "pred_td_s")
+        rec.pred_td_s = nval;
+    else if (key == "pred_tc_flops_s")
+        rec.pred_tc_flops_s = nval;
+    else if (key == "pred_tc_mem_s")
+        rec.pred_tc_mem_s = nval;
+    else if (key == "pred_tw_s")
+        rec.pred_tw_s = nval;
+    else if (key == "pred_step_s")
+        rec.pred_step_s = nval;
+    else if (key == "sim_td_s")
+        rec.sim_td_s = nval;
+    else if (key == "sim_tc_s")
+        rec.sim_tc_s = nval;
+    else if (key == "sim_tw_s")
+        rec.sim_tw_s = nval;
+    else if (key == "sim_step_s")
+        rec.sim_step_s = nval;
+    // queue_s / run_s / skew_pct are derived; recomputed on render.
+}
+
+JobLogParse
+failParse(size_t line_no, const std::string &what)
+{
+    JobLogParse r;
+    r.ok = false;
+    r.error = "line " + std::to_string(line_no) + ": " + what;
+    return r;
+}
+
+} // namespace
+
+JobLogParse
+parseJobLogJsonl(std::string_view text)
+{
+    JobLogParse result;
+    size_t line_no = 0;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        std::string_view line = text.substr(
+            pos, nl == std::string_view::npos ? std::string_view::npos
+                                              : nl - pos);
+        pos = nl == std::string_view::npos ? text.size() : nl + 1;
+        ++line_no;
+        // Skip blank (or whitespace-only) lines.
+        if (line.find_first_not_of(" \t\r") == std::string_view::npos)
+            continue;
+
+        Scanner sc{line.data(), line.data() + line.size()};
+        if (!sc.consume('{'))
+            return failParse(line_no, "expected a JSON object");
+        JobRecord rec;
+        bool saw_schema = false;
+        bool first = true;
+        while (true) {
+            if (sc.consume('}'))
+                break;
+            if (!first && !sc.consume(','))
+                return failParse(line_no, "expected ',' or '}'");
+            first = false;
+            std::string key;
+            if (!sc.parseString(&key))
+                return failParse(line_no, "expected a key string");
+            if (!sc.consume(':'))
+                return failParse(line_no, "expected ':' after key");
+            sc.skipWs();
+            if (sc.p < sc.end && *sc.p == '"') {
+                std::string sval;
+                if (!sc.parseString(&sval))
+                    return failParse(line_no, "bad string value");
+                if (key == "schema") {
+                    if (sval != kJobLogSchema) {
+                        return failParse(
+                            line_no, "unsupported schema '" + sval +
+                                         "' (expected " +
+                                         kJobLogSchema + ")");
+                    }
+                    saw_schema = true;
+                } else {
+                    assignField(rec, key, sval, 0.0, false, 's');
+                }
+            } else if (sc.parseLiteral("true")) {
+                assignField(rec, key, {}, 0.0, true, 'b');
+            } else if (sc.parseLiteral("false")) {
+                assignField(rec, key, {}, 0.0, false, 'b');
+            } else if (sc.parseLiteral("null")) {
+                // ignored
+            } else {
+                double nval = 0.0;
+                if (!sc.parseNumber(&nval))
+                    return failParse(line_no, "bad value for key '" +
+                                                  key + "'");
+                assignField(rec, key, {}, nval, false, 'n');
+            }
+        }
+        sc.skipWs();
+        if (sc.p != sc.end)
+            return failParse(line_no,
+                             "trailing bytes after the object");
+        if (!saw_schema)
+            return failParse(line_no, "record has no schema field");
+        result.records.push_back(std::move(rec));
+    }
+    return result;
+}
+
+std::string
+renderJobChromeTrace(const std::vector<JobRecord> &records)
+{
+    // Track ids: clustersim records track their first server;
+    // everything else (testbed, unplaced) shares track 0.
+    auto trackOf = [](const JobRecord &r) {
+        return r.server >= 0 ? r.server : 0;
+    };
+
+    // Name each used track once, in tid order.
+    std::map<int, const JobRecord *> tracks;
+    for (const JobRecord &r : records) {
+        if (r.status != "completed")
+            continue;
+        tracks.emplace(trackOf(r), &r);
+    }
+
+    std::string out;
+    out.reserve(128 + records.size() * 400);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[tid, rec] : tracks) {
+        out += first ? "" : ",";
+        first = false;
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":";
+        appendJsonNumber(out, static_cast<int64_t>(tid));
+        out += ",\"args\":{\"name\":\"";
+        if (rec->server >= 0) {
+            out += "server-";
+            appendJsonNumber(out, static_cast<int64_t>(tid));
+        } else {
+            appendJsonEscaped(out, rec->source.empty()
+                                       ? std::string("worker")
+                                       : rec->source);
+        }
+        out += "\"}}";
+    }
+
+    auto appendEvent = [&](const std::string &name, int tid,
+                           double start_s, double dur_s,
+                           const std::string &args_json) {
+        out += first ? "" : ",";
+        first = false;
+        out += "{\"name\":\"";
+        appendJsonEscaped(out, name);
+        out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        appendJsonNumber(out, static_cast<int64_t>(tid));
+        out += ",\"ts\":";
+        appendJsonNumber(out, start_s * 1e6);
+        out += ",\"dur\":";
+        appendJsonNumber(out, dur_s * 1e6);
+        if (!args_json.empty()) {
+            out += ",\"args\":";
+            out += args_json;
+        }
+        out += '}';
+    };
+
+    for (const JobRecord &r : records) {
+        if (r.status != "completed")
+            continue;
+        int tid = trackOf(r);
+        double run = r.runSeconds();
+
+        std::string label = r.name.empty()
+                                ? "job " + std::to_string(r.job_id)
+                                : r.name;
+        std::string args = "{\"arch\":\"" + jsonEscape(r.arch) +
+                           "\",\"executed_arch\":\"" +
+                           jsonEscape(r.executed_arch) + "\"";
+        args += ",\"queue_s\":";
+        appendJsonNumber(args, r.queueSeconds());
+        args += ",\"num_steps\":";
+        appendJsonNumber(args, r.num_steps);
+        args += ",\"skew_pct\":";
+        appendJsonNumber(args, r.skewPct());
+        args += '}';
+        appendEvent(label, tid, r.start_s, run, args);
+
+        // Phase slices nested inside the job span, scaled to the
+        // simulated (fallback: predicted) per-step proportions.
+        double td = r.sim_td_s, tc = r.sim_tc_s, tw = r.sim_tw_s;
+        double sum = td + tc + tw;
+        if (sum <= 0.0) {
+            td = r.pred_td_s;
+            tc = r.pred_tc_flops_s + r.pred_tc_mem_s;
+            tw = r.pred_tw_s;
+            sum = td + tc + tw;
+        }
+        if (sum > 0.0 && run > 0.0) {
+            double cursor = r.start_s;
+            const struct
+            {
+                const char *name;
+                double share;
+            } phases[] = {{"phase.Td", td / sum},
+                          {"phase.Tc", tc / sum},
+                          {"phase.Tw", tw / sum}};
+            for (const auto &ph : phases) {
+                double dur = run * ph.share;
+                appendEvent(ph.name, tid, cursor, dur, {});
+                cursor += dur;
+            }
+        }
+    }
+    out += "]}\n";
+    return out;
+}
+
+} // namespace paichar::obs

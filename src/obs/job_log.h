@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Per-job structured telemetry: the run-metadata the simulators emit
+ * about themselves (DESIGN.md Sec 10).
+ *
+ * The paper's characterization pipeline ingests TensorFlow
+ * run-metadata profiles; this module makes our own simulators produce
+ * the equivalent. A `JobRecord` captures one job's full lifecycle --
+ * submit, queue, placement, the per-step Td/Tc/Tw phase execution and
+ * completion -- *and* the analytical model's predicted breakdown for
+ * the same job, so predicted-vs-simulated skew is a recorded
+ * first-class quantity rather than something recomputed after the
+ * fact.
+ *
+ * Recording follows the Span-buffer discipline: `recordJob()` appends
+ * to a per-thread buffer (one uncontended mutex per buffer, no
+ * allocation beyond the vector push), gated on a relaxed-atomic
+ * active flag so an inactive call site costs a load and a branch.
+ * `collectJobLog()` merges every buffer and sorts by (job_id, seq),
+ * which makes the exported log deterministic for any thread count:
+ * job ids are unique within a trace, and the global sequence number
+ * breaks ties for sources that reuse an id.
+ *
+ * Exports:
+ *  - `renderJobLogJsonl()`: the versioned schema-v1 JSONL
+ *    "run-metadata" file (`--job-log FILE`), one self-describing
+ *    object per line, round-trippable through `parseJobLogJsonl()`;
+ *  - `renderJobChromeTrace()`: Chrome trace-event JSON where job
+ *    spans sit on per-worker (server) tracks with their Td/Tc/Tw
+ *    phase slices nested inside (`--job-trace FILE`).
+ *
+ * Schema v1 field reference lives in DESIGN.md Sec 10.
+ */
+
+#ifndef PAICHAR_OBS_JOB_LOG_H
+#define PAICHAR_OBS_JOB_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paichar::obs {
+
+namespace detail {
+extern std::atomic<bool> g_job_log_active;
+} // namespace detail
+
+/** Schema identifier emitted (and required) on every JSONL record. */
+inline constexpr const char *kJobLogSchema = "paichar.job.v1";
+
+/** One job's lifecycle, as recorded by a simulator. */
+struct JobRecord
+{
+    /** Trace job id; unique per run for clustersim sources. */
+    int64_t job_id = 0;
+    /** Optional human label (case-study model name); may be empty. */
+    std::string name;
+    /** Which simulator produced this record ("clustersim", "testbed"). */
+    std::string source;
+    /** "completed" or "dropped" (admission-rejected, never ran). */
+    std::string status = "completed";
+    /** Architecture as submitted. */
+    std::string arch;
+    /** Architecture actually executed (after porting/clamping). */
+    std::string executed_arch;
+    /** True when a PS/Worker job was ported to AllReduce-Local. */
+    bool ported = false;
+    /** Replicas actually executed. */
+    int num_cnodes = 0;
+    /** GPUs occupied while running. */
+    int gpus = 0;
+    /** First server of the placement; -1 when not applicable. */
+    int server = -1;
+    /** Training length in steps. */
+    int64_t num_steps = 1;
+    /** Placement attempts before the job started (>= 1), 0 if dropped. */
+    int64_t placement_attempts = 0;
+
+    /** Lifecycle timestamps in simulated seconds. */
+    double submit_s = 0.0;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+
+    /** Analytical per-step prediction for the *submitted* job. */
+    double pred_td_s = 0.0;
+    double pred_tc_flops_s = 0.0;
+    double pred_tc_mem_s = 0.0;
+    double pred_tw_s = 0.0;
+    double pred_step_s = 0.0;
+
+    /** Simulated/executed per-step phase times. */
+    double sim_td_s = 0.0;
+    double sim_tc_s = 0.0;
+    double sim_tw_s = 0.0;
+    double sim_step_s = 0.0;
+
+    /** Queue wait in simulated seconds. */
+    double queueSeconds() const { return start_s - submit_s; }
+
+    /** Running time in simulated seconds. */
+    double runSeconds() const { return finish_s - start_s; }
+
+    /** Predicted-vs-simulated step-time skew in percent (0 when no
+     * prediction was recorded). */
+    double
+    skewPct() const
+    {
+        return pred_step_s > 0.0
+                   ? (sim_step_s / pred_step_s - 1.0) * 100.0
+                   : 0.0;
+    }
+};
+
+/** True while job recording is active. One relaxed load. */
+inline bool
+jobLogActive()
+{
+    return detail::g_job_log_active.load(std::memory_order_relaxed);
+}
+
+/** Clear all per-thread job buffers and begin recording. */
+void startJobLog();
+
+/** Stop recording; captured records remain collectable. */
+void stopJobLog();
+
+/** Append one record to the calling thread's buffer (no-op when
+ * recording is inactive). */
+void recordJob(JobRecord rec);
+
+/**
+ * Merge every thread's records into (job_id, seq) order -- the
+ * deterministic export order -- leaving the buffers untouched. Call
+ * after stopJobLog(), while no recording site is in flight.
+ */
+std::vector<JobRecord> collectJobLog();
+
+/** The schema-v1 JSONL document: one object per line, fixed key
+ * order, shortest-round-trip numbers. */
+std::string renderJobLogJsonl(const std::vector<JobRecord> &records);
+
+/** Result of parsing a JSONL job log. */
+struct JobLogParse
+{
+    bool ok = true;
+    /** "line N: ..." on failure. */
+    std::string error;
+    std::vector<JobRecord> records;
+};
+
+/**
+ * Parse a schema-v1 JSONL job log (the renderJobLogJsonl() format;
+ * unknown keys are ignored for forward compatibility, an unknown
+ * schema value is an error). Blank lines are skipped.
+ * renderJobLogJsonl(parse(text).records) == text for any text this
+ * renderer produced.
+ */
+JobLogParse parseJobLogJsonl(std::string_view text);
+
+/**
+ * Chrome trace-event JSON of a job log: one track per worker (server
+ * for clustersim records, a single "testbed" track otherwise), each
+ * completed job an "X" span over its running interval with its
+ * Td/Tc/Tw phase slices nested inside (scaled to the simulated phase
+ * proportions), queue wait and skew attached as args. Loadable in
+ * Perfetto or chrome://tracing; dropped jobs are skipped.
+ */
+std::string renderJobChromeTrace(const std::vector<JobRecord> &records);
+
+} // namespace paichar::obs
+
+#endif // PAICHAR_OBS_JOB_LOG_H

@@ -164,6 +164,12 @@ Histogram::atomicMaxDouble(std::atomic<uint64_t> &bits, double d)
 }
 
 double
+Histogram::bucketUpperBound(int i)
+{
+    return std::ldexp(1.0, i);
+}
+
+double
 Histogram::quantile(double q) const
 {
     uint64_t n = count();

@@ -156,11 +156,13 @@ class Gauge
 /**
  * A power-of-two bucketed histogram over non-negative values.
  *
- * Bucket i counts observations in (2^(i-1), 2^i] (bucket 0 covers
- * [0, 1]), so quantile() is exact only up to the 2x bucket width;
- * count/sum/max are exact. Negative and non-finite observations are
- * counted in the bottom/top buckets respectively rather than dropped,
- * so totals always reconcile.
+ * Bucket i >= 1 counts observations in (2^(i-1), 2^i]; bucket 0
+ * counts everything <= 1 -- including 0, negative and NaN
+ * observations, which are accepted rather than dropped so totals
+ * always reconcile (+infinity lands in the top bucket). quantile() is
+ * therefore exact only up to the 2x bucket width; count/sum/max are
+ * exact. The bucket-0 catch-all is pinned by unit test
+ * (HistogramBucketZeroContract).
  */
 class Histogram
 {
@@ -212,6 +214,16 @@ class Histogram
      */
     double quantile(double q) const;
 
+    /** Observation count of bucket @p i (0 <= i < kBuckets). */
+    uint64_t
+    bucketCount(int i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Inclusive upper bound of bucket @p i: 2^i (1.0 for i = 0). */
+    static double bucketUpperBound(int i);
+
     void reset();
 
   private:
@@ -262,6 +274,17 @@ void visitMetrics(
  *   histogram runtime.task_us  count 96 mean 412.3 p50 512 p95 4096 max 3012.4
  */
 std::string renderMetricsSummary();
+
+/**
+ * The registry in OpenMetrics text format (`--metrics-format
+ * openmetrics`): counters as `<name>_total`, gauges as `<name>` plus
+ * a `<name>_peak` companion gauge, histograms as cumulative
+ * `_bucket{le="..."}` samples (power-of-two bounds, trailing empty
+ * buckets collapsed into `le="+Inf"`) with `_count`/`_sum`, metric
+ * names sanitized to [a-zA-Z0-9_:], terminated by `# EOF`. Mapping
+ * documented in DESIGN.md Sec 10.
+ */
+std::string renderMetricsOpenMetrics();
 
 // ---------------------------------------------------------------------------
 // Spans

@@ -8,6 +8,8 @@
 #include <set>
 #include <vector>
 
+#include "json_util.h"
+
 namespace paichar::obs {
 
 namespace {
@@ -178,11 +180,15 @@ profileToJson()
         double ts_us =
             static_cast<double>(m.ev.start_ns - t0) / 1000.0;
         double dur_us = static_cast<double>(m.ev.dur_ns) / 1000.0;
+        // Span names are not guaranteed JSON-safe (dynamic names go
+        // through internName() unvalidated) -- escape them.
+        out += first ? "{\"name\":\"" : ",{\"name\":\"";
+        appendJsonEscaped(out, m.ev.name);
         int n = std::snprintf(
             buf, sizeof buf,
-            "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+            "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
             "\"ts\":%.3f,\"dur\":%.3f",
-            first ? "" : ",", m.ev.name, m.tid, ts_us, dur_us);
+            m.tid, ts_us, dur_us);
         out.append(buf, static_cast<size_t>(n));
         if (m.ev.has_arg) {
             n = std::snprintf(buf, sizeof buf,

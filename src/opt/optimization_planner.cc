@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.h"
 #include "opt/passes.h"
 
 namespace paichar::opt {
@@ -76,6 +77,11 @@ OptimizationPlanner::archFeasible(const CaseStudyModel &model,
 std::vector<Plan>
 OptimizationPlanner::evaluate(const CaseStudyModel &model) const
 {
+    // Plan-grained instrumentation: one span per evaluate() call,
+    // one counter bump per simulated candidate plan.
+    obs::Span span("opt.evaluate");
+    static obs::Counter &plans_ctr =
+        obs::counter("opt.plans_evaluated");
     testbed::TrainingSimulator sim(cfg_.sim);
 
     std::vector<ArchType> archs{model.arch};
@@ -114,6 +120,7 @@ OptimizationPlanner::evaluate(const CaseStudyModel &model) const
                                   model.features.batch_size;
                 if (arch == model.arch && !mp && !xla)
                     baseline = plan;
+                plans_ctr.add();
                 plans.push_back(std::move(plan));
             }
         }

@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/obs.h"
+
 namespace paichar::opt {
 
 using workload::Op;
@@ -150,9 +152,14 @@ PassManager::add(std::unique_ptr<Pass> pass)
 OpGraph
 PassManager::run(const OpGraph &in) const
 {
+    // One span per pipeline run (pass-grained, not per-op).
+    obs::Span span("opt.pass_pipeline",
+                   static_cast<int64_t>(in.ops().size()));
+    static obs::Counter &passes_run = obs::counter("opt.passes_run");
     OpGraph g = in; // copy
     for (const auto &pass : passes_)
         g = pass->run(g);
+    passes_run.add(passes_.size());
     return g;
 }
 

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the run-analysis library (obs/analyze.h) behind the
+ * `paichar obs` CLI family: format sniffing, scalar derivation from
+ * job logs and metrics dumps, diff semantics (the CI perf gate) and
+ * the report/top renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.h"
+#include "obs/job_log.h"
+
+namespace paichar::obs {
+namespace {
+
+JobRecord
+makeJob(int64_t id, double queue_s, double run_s, double step_s)
+{
+    JobRecord r;
+    r.job_id = id;
+    r.name = "job-" + std::to_string(id);
+    r.source = "clustersim";
+    r.arch = "PS/Worker";
+    r.executed_arch = "PS/Worker";
+    r.num_cnodes = 2;
+    r.gpus = 2;
+    r.server = 0;
+    r.num_steps = 10;
+    r.placement_attempts = 1;
+    r.submit_s = 0.0;
+    r.start_s = queue_s;
+    r.finish_s = queue_s + run_s;
+    r.pred_step_s = step_s;
+    r.pred_td_s = step_s * 0.2;
+    r.pred_tc_flops_s = step_s * 0.5;
+    r.pred_tc_mem_s = step_s * 0.1;
+    r.pred_tw_s = step_s * 0.3;
+    r.sim_td_s = step_s * 0.2;
+    r.sim_tc_s = step_s * 0.5;
+    r.sim_tw_s = step_s * 0.3;
+    r.sim_step_s = step_s;
+    return r;
+}
+
+std::string
+jobLogText()
+{
+    std::vector<JobRecord> records;
+    for (int i = 0; i < 4; ++i)
+        records.push_back(
+            makeJob(i + 1, 1.0 + i, 10.0 * (i + 1), 0.5));
+    JobRecord dropped = makeJob(5, 0.0, 0.0, 0.5);
+    dropped.status = "dropped";
+    records.push_back(dropped);
+    return renderJobLogJsonl(records);
+}
+
+TEST(LoadRunDataTest, SniffsJobLogFromLeadingBrace)
+{
+    RunLoad load = loadRunData(jobLogText());
+    ASSERT_TRUE(load.ok) << load.error;
+    EXPECT_EQ(load.data.kind, RunData::Kind::JobLog);
+    EXPECT_EQ(load.data.records.size(), 5u);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("job.count"), 5.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("job.completed"), 4.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("job.dropped"), 1.0);
+    // Distribution stats over the 4 completed jobs.
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("job.queue_s.mean"), 2.5);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("job.queue_s.max"), 4.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("job.run_s.max"), 40.0);
+    // Nearest-rank p50 of {10,20,30,40} is the 2nd value.
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("job.run_s.p50"), 20.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("job.run_s.p95"), 40.0);
+    // Phase-share scalars are fractions of the constructed 20/50/30
+    // split (reportText renders them as percentages).
+    EXPECT_NEAR(load.data.scalars.at("job.phase_share.td"), 0.2,
+                1e-9);
+    EXPECT_NEAR(load.data.scalars.at("job.phase_share.tc"), 0.5,
+                1e-9);
+    EXPECT_NEAR(load.data.scalars.at("job.phase_share.tw"), 0.3,
+                1e-9);
+}
+
+TEST(LoadRunDataTest, ParsesMetricsSummaryText)
+{
+    std::string text =
+        "# paichar metrics (3 registered)\n"
+        "counter   trace.rows_parsed                  5000\n"
+        "gauge     runtime.queue_depth                0 peak 12\n"
+        "histogram runtime.task_us                    count 96 "
+        "mean 412.300 p50 512 p95 4096 max 3012.400\n";
+    RunLoad load = loadRunData(text);
+    ASSERT_TRUE(load.ok) << load.error;
+    EXPECT_EQ(load.data.kind, RunData::Kind::Metrics);
+    EXPECT_TRUE(load.data.records.empty());
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("trace.rows_parsed"),
+                     5000.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("runtime.queue_depth"),
+                     0.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("runtime.queue_depth.peak"),
+                     12.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("runtime.task_us.count"),
+                     96.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("runtime.task_us.mean"),
+                     412.3);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("runtime.task_us.p95"),
+                     4096.0);
+}
+
+TEST(LoadRunDataTest, ParsesOpenMetricsText)
+{
+    std::string text =
+        "# TYPE trace_rows_parsed counter\n"
+        "trace_rows_parsed_total 5000\n"
+        "# TYPE runtime_task_us histogram\n"
+        "runtime_task_us_bucket{le=\"512\"} 48\n"
+        "runtime_task_us_bucket{le=\"+Inf\"} 96\n"
+        "runtime_task_us_count 96\n"
+        "runtime_task_us_sum 39580.8\n"
+        "# EOF\n";
+    RunLoad load = loadRunData(text);
+    ASSERT_TRUE(load.ok) << load.error;
+    EXPECT_EQ(load.data.kind, RunData::Kind::Metrics);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("trace_rows_parsed_total"),
+                     5000.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("runtime_task_us_count"),
+                     96.0);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("runtime_task_us_sum"),
+                     39580.8);
+    // Labeled bucket samples are skipped, not misparsed.
+    EXPECT_EQ(load.data.scalars.count("runtime_task_us_bucket"), 0u);
+}
+
+TEST(LoadRunDataTest, RejectsUnrecognizedText)
+{
+    RunLoad load = loadRunData("job_id,arch\n1,PS/Worker\n");
+    EXPECT_FALSE(load.ok);
+    EXPECT_FALSE(load.error.empty());
+    EXPECT_FALSE(loadRunData("").ok);
+}
+
+TEST(LoadRunDataTest, PropagatesJobLogParseErrors)
+{
+    RunLoad load = loadRunData("{\"schema\":\"paichar.job.v9\"}\n");
+    EXPECT_FALSE(load.ok);
+    EXPECT_NE(load.error.find("line 1"), std::string::npos);
+}
+
+TEST(DiffRunsTest, WithinToleranceIsClean)
+{
+    RunData a = loadRunData(jobLogText()).data;
+    RunData b = a;
+    b.scalars["job.run_s.mean"] *= 1.05; // +5% under a 10% gate
+    DiffResult diff = diffRuns(a, b, 10.0);
+    EXPECT_FALSE(diff.regression);
+    for (const DiffEntry &e : diff.entries)
+        EXPECT_FALSE(e.violation) << e.key;
+    EXPECT_TRUE(diff.only_in_a.empty());
+    EXPECT_TRUE(diff.only_in_b.empty());
+}
+
+TEST(DiffRunsTest, PastToleranceEitherDirectionViolates)
+{
+    RunData a = loadRunData(jobLogText()).data;
+    RunData up = a, down = a;
+    up.scalars["job.run_s.mean"] *= 1.25;
+    down.scalars["job.run_s.mean"] *= 0.70;
+    for (const RunData *b : {&up, &down}) {
+        DiffResult diff = diffRuns(a, *b, 10.0);
+        EXPECT_TRUE(diff.regression);
+        size_t violations = 0;
+        for (const DiffEntry &e : diff.entries) {
+            if (e.violation) {
+                ++violations;
+                EXPECT_EQ(e.key, "job.run_s.mean");
+            }
+        }
+        EXPECT_EQ(violations, 1u);
+    }
+}
+
+TEST(DiffRunsTest, ZeroToNonzeroIsAlwaysAViolation)
+{
+    RunData a, b;
+    a.scalars["x"] = 0.0;
+    b.scalars["x"] = 0.001;
+    DiffResult diff = diffRuns(a, b, 1e6); // any finite tolerance
+    ASSERT_EQ(diff.entries.size(), 1u);
+    EXPECT_TRUE(diff.entries[0].violation);
+    EXPECT_TRUE(std::isinf(diff.entries[0].delta_pct));
+    EXPECT_TRUE(diff.regression);
+    // Zero to zero is no change.
+    b.scalars["x"] = 0.0;
+    EXPECT_FALSE(diffRuns(a, b, 10.0).regression);
+}
+
+TEST(DiffRunsTest, UnsharedKeysAreInformationalNotFatal)
+{
+    RunData a, b;
+    a.scalars["shared"] = 1.0;
+    a.scalars["old_metric"] = 5.0;
+    b.scalars["shared"] = 1.0;
+    b.scalars["new_metric"] = 7.0;
+    DiffResult diff = diffRuns(a, b, 10.0);
+    EXPECT_FALSE(diff.regression);
+    ASSERT_EQ(diff.only_in_a.size(), 1u);
+    EXPECT_EQ(diff.only_in_a[0], "old_metric");
+    ASSERT_EQ(diff.only_in_b.size(), 1u);
+    EXPECT_EQ(diff.only_in_b[0], "new_metric");
+    std::string rendered = renderDiff(diff);
+    EXPECT_NE(rendered.find("only in a: old_metric"),
+              std::string::npos);
+    EXPECT_NE(rendered.find("only in b: new_metric"),
+              std::string::npos);
+    EXPECT_NE(rendered.find("ok: 1 shared scalars within tolerance"),
+              std::string::npos);
+}
+
+TEST(RenderDiffTest, MarksViolationsAndVerdictLine)
+{
+    RunData a, b;
+    a.scalars["m"] = 100.0;
+    b.scalars["m"] = 150.0;
+    DiffResult diff = diffRuns(a, b, 10.0);
+    std::string out = renderDiff(diff);
+    EXPECT_EQ(out.rfind("# paichar obs diff (tolerance 10%)", 0), 0u);
+    EXPECT_NE(out.find("+50.0"), std::string::npos);
+    EXPECT_NE(out.find("VIOLATION"), std::string::npos);
+    EXPECT_NE(out.find("REGRESSION: 1 of 1 shared scalars"),
+              std::string::npos);
+}
+
+TEST(ReportTextTest, JobLogReportHasCountsTableAndShares)
+{
+    RunData run = loadRunData(jobLogText()).data;
+    std::string out = reportText(run);
+    EXPECT_EQ(out.rfind("# paichar obs report (job log)", 0), 0u);
+    EXPECT_NE(out.find("jobs 5"), std::string::npos);
+    EXPECT_NE(out.find("completed 4"), std::string::npos);
+    EXPECT_NE(out.find("dropped 1"), std::string::npos);
+    for (const char *row :
+         {"queue_s", "run_s", "step_s", "skew_pct",
+          "placement_attempts"})
+        EXPECT_NE(out.find(row), std::string::npos) << row;
+    EXPECT_NE(out.find("phase shares (mean): Td 20.0%"),
+              std::string::npos);
+}
+
+TEST(ReportTextTest, MetricsReportListsScalarsSorted)
+{
+    RunData run;
+    run.kind = RunData::Kind::Metrics;
+    run.scalars["zz.metric"] = 2.0;
+    run.scalars["aa.metric"] = 1.0;
+    std::string out = reportText(run);
+    EXPECT_NE(out.find("aa.metric"), std::string::npos);
+    EXPECT_LT(out.find("aa.metric"), out.find("zz.metric"));
+}
+
+TEST(TopTextTest, OrdersBySlownessAndNamesDominantPhase)
+{
+    std::vector<JobRecord> records;
+    records.push_back(makeJob(1, 0.5, 5.0, 0.5));
+    records.push_back(makeJob(2, 0.5, 50.0, 0.5)); // slowest
+    JobRecord comm_bound = makeJob(3, 0.5, 20.0, 0.5);
+    comm_bound.sim_td_s = 0.05;
+    comm_bound.sim_tc_s = 0.05;
+    comm_bound.sim_tw_s = 0.40;
+    records.push_back(comm_bound);
+    RunData run = loadRunData(renderJobLogJsonl(records)).data;
+
+    std::string out = topText(run, 2);
+    EXPECT_EQ(out.rfind("# paichar obs top (2 slowest jobs", 0), 0u);
+    // Only the top two appear, slowest first.
+    size_t p2 = out.find("job-2");
+    size_t p3 = out.find("job-3");
+    ASSERT_NE(p2, std::string::npos);
+    ASSERT_NE(p3, std::string::npos);
+    EXPECT_LT(p2, p3);
+    EXPECT_EQ(out.find("job-1\n"), std::string::npos);
+    // Dominant phase column: job 3 is weight-update bound.
+    EXPECT_NE(out.find("Tw"), std::string::npos);
+    EXPECT_NE(out.find("phase totals:"), std::string::npos);
+}
+
+} // namespace
+} // namespace paichar::obs

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the per-job telemetry sink (obs/job_log.h): recording
+ * discipline and deterministic merge, schema-v1 JSONL render/parse
+ * round-tripping, parser error reporting, and the job-level Chrome
+ * trace export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/job_log.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace paichar::obs {
+namespace {
+
+/** Stops job recording even when a test fails mid-way. */
+struct JobLogGuard
+{
+    JobLogGuard() { startJobLog(); }
+    ~JobLogGuard() { stopJobLog(); }
+};
+
+JobRecord
+sampleRecord(int64_t id)
+{
+    JobRecord r;
+    r.job_id = id;
+    r.name = "job-" + std::to_string(id);
+    r.source = "clustersim";
+    r.arch = "PS/Worker";
+    r.executed_arch = "AllReduce-Local";
+    r.ported = true;
+    r.num_cnodes = 4;
+    r.gpus = 4;
+    r.server = 2;
+    r.num_steps = 100;
+    r.placement_attempts = 3;
+    r.submit_s = 1.5;
+    r.start_s = 2.25;
+    r.finish_s = 10.75;
+    r.pred_td_s = 0.01;
+    r.pred_tc_flops_s = 0.02;
+    r.pred_tc_mem_s = 0.015;
+    r.pred_tw_s = 0.03;
+    r.pred_step_s = 0.06;
+    r.sim_td_s = 0.012;
+    r.sim_tc_s = 0.021;
+    r.sim_tw_s = 0.031;
+    r.sim_step_s = 0.064;
+    return r;
+}
+
+TEST(JobLogTest, InactiveRecordingIsDropped)
+{
+    stopJobLog();
+    recordJob(sampleRecord(99));
+    startJobLog();
+    stopJobLog();
+    EXPECT_TRUE(collectJobLog().empty());
+}
+
+TEST(JobLogTest, StartClearsEarlierSessions)
+{
+    startJobLog();
+    recordJob(sampleRecord(1));
+    stopJobLog();
+    startJobLog();
+    recordJob(sampleRecord(2));
+    stopJobLog();
+    auto records = collectJobLog();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].job_id, 2);
+}
+
+TEST(JobLogTest, CollectSortsByJobIdThenSequence)
+{
+    JobLogGuard guard;
+    recordJob(sampleRecord(30));
+    recordJob(sampleRecord(10));
+    JobRecord dup = sampleRecord(10);
+    dup.name = "second-with-same-id";
+    recordJob(dup);
+    recordJob(sampleRecord(20));
+    stopJobLog();
+    auto records = collectJobLog();
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[0].job_id, 10);
+    EXPECT_EQ(records[0].name, "job-10"); // recorded first, seq wins
+    EXPECT_EQ(records[1].job_id, 10);
+    EXPECT_EQ(records[1].name, "second-with-same-id");
+    EXPECT_EQ(records[2].job_id, 20);
+    EXPECT_EQ(records[3].job_id, 30);
+}
+
+TEST(JobLogTest, ConcurrentRecordingMergesDeterministically)
+{
+    constexpr size_t kJobs = 2000;
+    std::string serial_render;
+    {
+        JobLogGuard guard;
+        for (size_t i = 0; i < kJobs; ++i)
+            recordJob(sampleRecord(static_cast<int64_t>(i)));
+        stopJobLog();
+        serial_render = renderJobLogJsonl(collectJobLog());
+    }
+    {
+        JobLogGuard guard;
+        runtime::ThreadPool pool(8);
+        runtime::parallelFor(&pool, kJobs, [](size_t i) {
+            recordJob(sampleRecord(static_cast<int64_t>(i)));
+        });
+        stopJobLog();
+        auto records = collectJobLog();
+        ASSERT_EQ(records.size(), kJobs);
+        // Unique job ids: merge order is fully determined, and the
+        // rendered log matches the serial one byte for byte.
+        EXPECT_EQ(renderJobLogJsonl(records), serial_render);
+    }
+}
+
+TEST(JobLogJsonlTest, RenderEmitsSchemaAndOneLinePerRecord)
+{
+    std::vector<JobRecord> records{sampleRecord(1), sampleRecord(2)};
+    std::string text = renderJobLogJsonl(records);
+    size_t lines = 0;
+    for (char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 2u);
+    EXPECT_EQ(text.rfind("{\"schema\":\"paichar.job.v1\"", 0), 0u);
+    // Derived quantities are materialized for human readers.
+    EXPECT_NE(text.find("\"queue_s\":0.75"), std::string::npos);
+    EXPECT_NE(text.find("\"run_s\":8.5"), std::string::npos);
+    EXPECT_NE(text.find("\"skew_pct\":"), std::string::npos);
+}
+
+TEST(JobLogJsonlTest, RoundTripIsByteIdentical)
+{
+    std::vector<JobRecord> records;
+    records.push_back(sampleRecord(1));
+    JobRecord dropped = sampleRecord(2);
+    dropped.status = "dropped";
+    dropped.sim_td_s = dropped.sim_tc_s = 0.0;
+    dropped.sim_tw_s = dropped.sim_step_s = 0.0;
+    records.push_back(dropped);
+    JobRecord odd = sampleRecord(3);
+    odd.name = "weird \"name\" with \\ and \ttab";
+    odd.pred_step_s = 0.1234567890123; // shortest-round-trip digits
+    records.push_back(odd);
+
+    std::string text = renderJobLogJsonl(records);
+    JobLogParse parsed = parseJobLogJsonl(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    ASSERT_EQ(parsed.records.size(), records.size());
+    EXPECT_EQ(parsed.records[1].status, "dropped");
+    EXPECT_EQ(parsed.records[2].name, odd.name);
+    EXPECT_DOUBLE_EQ(parsed.records[2].pred_step_s, odd.pred_step_s);
+    // render . parse . render is the identity on rendered output.
+    EXPECT_EQ(renderJobLogJsonl(parsed.records), text);
+}
+
+TEST(JobLogJsonlTest, DerivedFieldsAreRecomputedNotTrusted)
+{
+    JobRecord r = sampleRecord(7);
+    std::string text = renderJobLogJsonl({r});
+    // Corrupt the materialized queue_s; the parser must recompute it
+    // from submit_s/start_s rather than believe the file.
+    size_t pos = text.find("\"queue_s\":0.75");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, std::string("\"queue_s\":0.75").size(),
+                 "\"queue_s\":999.0");
+    JobLogParse parsed = parseJobLogJsonl(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_DOUBLE_EQ(parsed.records[0].queueSeconds(), 0.75);
+}
+
+TEST(JobLogJsonlTest, BlankLinesAreSkipped)
+{
+    std::string text = renderJobLogJsonl({sampleRecord(1)});
+    JobLogParse parsed = parseJobLogJsonl("\n" + text + "\n\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.records.size(), 1u);
+}
+
+TEST(JobLogJsonlTest, UnknownKeysAreIgnoredForForwardCompat)
+{
+    JobLogParse parsed = parseJobLogJsonl(
+        "{\"schema\":\"paichar.job.v1\",\"job_id\":5,"
+        "\"future_field\":\"ignored\",\"status\":\"completed\"}\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    ASSERT_EQ(parsed.records.size(), 1u);
+    EXPECT_EQ(parsed.records[0].job_id, 5);
+}
+
+TEST(JobLogJsonlTest, ParserRejectsBadInputWithLineNumbers)
+{
+    struct Case
+    {
+        const char *text;
+        const char *why;
+    };
+    for (const Case &c : std::vector<Case>{
+             {"{\"job_id\":1}\n", "missing schema"},
+             {"{\"schema\":\"paichar.job.v2\",\"job_id\":1}\n",
+              "unknown schema version"},
+             {"{\"schema\":\"paichar.job.v1\",\"job_id\":}\n",
+              "malformed value"},
+             {"not json at all\n", "not an object"},
+             {"{\"schema\":\"paichar.job.v1\"\n", "unterminated"},
+         }) {
+        JobLogParse parsed = parseJobLogJsonl(c.text);
+        EXPECT_FALSE(parsed.ok) << c.why;
+        EXPECT_EQ(parsed.error.rfind("line 1:", 0), 0u)
+            << c.why << ": " << parsed.error;
+    }
+    // Error on a later line carries that line's number.
+    std::string good = renderJobLogJsonl({sampleRecord(1)});
+    JobLogParse parsed = parseJobLogJsonl(good + "{\"job_id\":2}\n");
+    EXPECT_FALSE(parsed.ok);
+    EXPECT_EQ(parsed.error.rfind("line 2:", 0), 0u) << parsed.error;
+}
+
+TEST(JobLogJsonlTest, EscapedNamesSurviveTheRoundTrip)
+{
+    JobRecord r = sampleRecord(1);
+    r.name = std::string("quote\" back\\slash ctrl\x01 nl\n") +
+             "caf\xc3\xa9"; // UTF-8 passthrough
+    std::string text = renderJobLogJsonl({r});
+    // Raw control bytes must not appear inside the JSON string.
+    EXPECT_EQ(text.find('\x01'), std::string::npos);
+    EXPECT_NE(text.find("\\u0001"), std::string::npos);
+    EXPECT_NE(text.find("\\\""), std::string::npos);
+    EXPECT_NE(text.find("\\n"), std::string::npos);
+    JobLogParse parsed = parseJobLogJsonl(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.records[0].name, r.name);
+}
+
+TEST(JobLogJsonlTest, ParserDecodesUnicodeEscapes)
+{
+    JobLogParse parsed = parseJobLogJsonl(
+        "{\"schema\":\"paichar.job.v1\",\"job_id\":1,"
+        "\"name\":\"caf\\u00e9 \\u0394t\"}\n");
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.records[0].name, "caf\xc3\xa9 \xce\x94t");
+}
+
+TEST(JobChromeTraceTest, CompletedJobsGetPerServerTracksAndPhases)
+{
+    std::vector<JobRecord> records;
+    JobRecord a = sampleRecord(1);
+    a.server = 0;
+    records.push_back(a);
+    JobRecord b = sampleRecord(2);
+    b.server = 5;
+    records.push_back(b);
+    JobRecord dropped = sampleRecord(3);
+    dropped.status = "dropped";
+    records.push_back(dropped);
+
+    std::string json = renderJobChromeTrace(records);
+    EXPECT_EQ(json.rfind("{\"displayTimeUnit\"", 0), 0u);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    // Per-server thread-name metadata.
+    EXPECT_NE(json.find("server-0"), std::string::npos);
+    EXPECT_NE(json.find("server-5"), std::string::npos);
+    // Job spans with nested phase slices.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("phase.Td"), std::string::npos);
+    EXPECT_NE(json.find("phase.Tc"), std::string::npos);
+    EXPECT_NE(json.find("phase.Tw"), std::string::npos);
+    // Skew and queueing ride along as args.
+    EXPECT_NE(json.find("\"skew_pct\":"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_s\":"), std::string::npos);
+    // The dropped job never ran, so it has no span.
+    EXPECT_EQ(json.find("job-3"), std::string::npos);
+    EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+}
+
+TEST(JobChromeTraceTest, TestbedRecordsShareOneNamedTrack)
+{
+    JobRecord r = sampleRecord(1);
+    r.source = "testbed";
+    r.server = -1;
+    std::string json = renderJobChromeTrace({r});
+    EXPECT_NE(json.find("\"testbed\""), std::string::npos);
+    EXPECT_EQ(json.find("server-"), std::string::npos);
+}
+
+} // namespace
+} // namespace paichar::obs

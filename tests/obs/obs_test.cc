@@ -10,7 +10,9 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -101,6 +103,88 @@ TEST(ObsMetricsTest, HistogramMaxHandlesNegativeObservations)
     EXPECT_DOUBLE_EQ(h.max(), -5.0);
     h.observe(-2.0);
     EXPECT_DOUBLE_EQ(h.max(), -2.0);
+}
+
+TEST(ObsMetricsTest, HistogramBucketZeroContract)
+{
+    // Pins the documented bucket contract: bucket i >= 1 covers
+    // (2^(i-1), 2^i], bucket 0 is the catch-all for everything <= 1
+    // -- including exact zero, negatives and NaN -- so counts always
+    // reconcile with count().
+    Histogram &h = histogram("test.hist_bucket_zero");
+    h.observe(0.0);
+    h.observe(0.5);
+    h.observe(1.0); // boundary: 1.0 is *inside* bucket 0
+    h.observe(-3.0);
+    h.observe(std::nan(""));
+    EXPECT_EQ(h.bucketCount(0), 5u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+
+    // Anything even slightly above 1 leaves bucket 0 for (1, 2].
+    h.observe(1.0000001);
+    EXPECT_EQ(h.bucketCount(0), 5u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+    // Upper bucket edges are exact powers of two and inclusive.
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(0), 1.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(1), 2.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(10), 1024.0);
+    h.observe(2.0);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+}
+
+TEST(ObsMetricsTest, OpenMetricsRenderFollowsTheFormat)
+{
+    resetMetrics();
+    counter("test.om_counter").add(42);
+    Gauge &g = gauge("test.om_gauge");
+    g.add(5);
+    g.add(-3);
+    Histogram &h = histogram("test.om_hist");
+    h.observe(0.5);
+    h.observe(3.0);
+    h.observe(3.5);
+    std::string om = renderMetricsOpenMetrics();
+    // Names sanitized to [a-zA-Z0-9_:]; counters end in _total.
+    EXPECT_NE(om.find("# TYPE test_om_counter counter"),
+              std::string::npos);
+    EXPECT_NE(om.find("test_om_counter_total 42"), std::string::npos);
+    // Gauges carry level and a _peak companion.
+    EXPECT_NE(om.find("# TYPE test_om_gauge gauge"),
+              std::string::npos);
+    EXPECT_NE(om.find("test_om_gauge 2"), std::string::npos);
+    EXPECT_NE(om.find("test_om_gauge_peak 5"), std::string::npos);
+    // Histogram buckets are cumulative with an +Inf closing bucket.
+    EXPECT_NE(om.find("# TYPE test_om_hist histogram"),
+              std::string::npos);
+    EXPECT_NE(om.find("test_om_hist_bucket{le=\"1\"} 1"),
+              std::string::npos);
+    EXPECT_NE(om.find("test_om_hist_bucket{le=\"4\"} 3"),
+              std::string::npos);
+    EXPECT_NE(om.find("test_om_hist_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(om.find("test_om_hist_count 3"), std::string::npos);
+    EXPECT_NE(om.find("test_om_hist_sum 7"), std::string::npos);
+    // Exposition ends with the mandatory EOF marker.
+    EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+}
+
+TEST(ObsSpanTest, ProfileJsonEscapesSpanNames)
+{
+    const char *name = internName(
+        std::string("bad \"quoted\\name\"\twith ctrl\x02 caf\xc3\xa9"));
+    startProfiling();
+    { Span s(name); }
+    stopProfiling();
+    std::string json = profileToJson();
+    // Golden escaped form of the hostile name, embedded verbatim.
+    EXPECT_NE(json.find("\"name\":\"bad \\\"quoted\\\\name\\\"\\t"
+                        "with ctrl\\u0002 caf\xc3\xa9\""),
+              std::string::npos);
+    // No raw control bytes or unescaped quotes survive into the JSON.
+    EXPECT_EQ(json.find('\x02'), std::string::npos);
+    EXPECT_EQ(json.find('\t'), std::string::npos);
 }
 
 TEST(ObsMetricsTest, DisabledRecordingDropsEverything)
@@ -377,12 +461,228 @@ TEST_F(ObsCliTest, EmptyProfilePathIsAUsageError)
     EXPECT_NE(r.err.find("--profile"), std::string::npos);
 }
 
-TEST_F(ObsCliTest, UnwritableMetricsPathFailsTheRun)
+TEST_F(ObsCliTest, UnwritableMetricsPathFailsWithStrerror)
 {
+    // /dev/null is a file, so a path *under* it can never be created:
+    // the failure must carry the OS reason, not just "cannot write".
     auto r = runCli({"characterize", trace_,
-                     "--metrics=/nonexistent-dir/m.txt"});
+                     "--metrics=/dev/null/sub/m.txt"});
     EXPECT_EQ(r.code, 1);
-    EXPECT_NE(r.err.find("cannot write"), std::string::npos);
+    EXPECT_NE(r.err.find("/dev/null/sub"), std::string::npos);
+    EXPECT_NE(r.err.find("Not a directory"), std::string::npos)
+        << r.err;
+}
+
+TEST_F(ObsCliTest, MetricsWriterCreatesMissingParentDirectories)
+{
+    std::string dir = testing::TempDir() + "/paichar_obs_mkdir_" +
+                      std::to_string(::getpid());
+    std::string path = dir + "/nested/deep/m.txt";
+    auto r = runCli({"characterize", trace_, "--metrics=" + path});
+    ASSERT_EQ(r.code, 0) << r.err;
+    std::string summary = readFile(path);
+    EXPECT_NE(summary.find("# paichar metrics"), std::string::npos);
+    std::remove(path.c_str());
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsCliTest, OpenMetricsFormatIsSelectable)
+{
+    obs::resetMetrics();
+    auto r = runCli({"characterize", trace_, "--metrics=" + metrics_,
+                     "--metrics-format", "openmetrics"});
+    ASSERT_EQ(r.code, 0) << r.err;
+    std::string om = readFile(metrics_);
+    EXPECT_NE(om.find("# TYPE trace_rows_parsed counter"),
+              std::string::npos);
+    EXPECT_NE(om.find("trace_rows_parsed_total 5000"),
+              std::string::npos);
+    EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+
+    auto bad = runCli({"characterize", trace_,
+                       "--metrics-format", "yaml"});
+    EXPECT_EQ(bad.code, 1);
+    EXPECT_NE(bad.err.find("--metrics-format"), std::string::npos);
+}
+
+/**
+ * CLI fixture for the job-telemetry flags and the `obs` analysis
+ * family, on a trace small enough to schedule quickly.
+ */
+class JobLogCliTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        base_ = testing::TempDir() + "/paichar_joblog_" +
+                std::to_string(::getpid());
+        trace_ = base_ + ".csv";
+        auto r = runCli({"generate", "--jobs", "60", "--seed",
+                         "20180801", "--out", trace_});
+        ASSERT_EQ(r.code, 0) << r.err;
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(trace_.c_str());
+        for (const std::string &f : cleanup_)
+            std::remove(f.c_str());
+    }
+
+    std::string
+    path(const std::string &suffix)
+    {
+        std::string p = base_ + suffix;
+        cleanup_.push_back(p);
+        return p;
+    }
+
+    CliResult
+    schedule(std::vector<std::string> extra)
+    {
+        std::vector<std::string> args{"schedule", trace_, "--servers",
+                                      "16", "--rate", "400"};
+        args.insert(args.end(), extra.begin(), extra.end());
+        return runCli(args);
+    }
+
+    std::string base_, trace_;
+    std::vector<std::string> cleanup_;
+};
+
+TEST_F(JobLogCliTest, JobLogEmitsOneSchemaRecordPerJob)
+{
+    std::string log = path(".jsonl");
+    auto r = schedule({"--job-log", log});
+    ASSERT_EQ(r.code, 0) << r.err;
+    std::string text = readFile(log);
+    size_t lines = 0, schemas = 0;
+    for (size_t pos = 0;
+         (pos = text.find('\n', pos)) != std::string::npos; ++pos)
+        ++lines;
+    for (size_t pos = 0;
+         (pos = text.find("\"schema\":\"paichar.job.v1\"", pos)) !=
+         std::string::npos;
+         ++pos)
+        ++schemas;
+    EXPECT_EQ(lines, 60u);
+    EXPECT_EQ(schemas, 60u);
+    EXPECT_NE(text.find("\"source\":\"clustersim\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"pred_step_s\":"), std::string::npos);
+    EXPECT_NE(text.find("\"sim_step_s\":"), std::string::npos);
+}
+
+TEST_F(JobLogCliTest, JobLogIsByteIdenticalAcrossThreadCounts)
+{
+    std::string log1 = path(".t1.jsonl");
+    std::string log8 = path(".t8.jsonl");
+    auto r1 = schedule({"--threads", "1", "--job-log", log1});
+    auto r8 = schedule({"--threads", "8", "--job-log", log8});
+    ASSERT_EQ(r1.code, 0) << r1.err;
+    ASSERT_EQ(r8.code, 0) << r8.err;
+    EXPECT_EQ(readFile(log1), readFile(log8));
+}
+
+TEST_F(JobLogCliTest, StdoutUnchangedByJobTelemetryFlags)
+{
+    auto plain = schedule({});
+    ASSERT_EQ(plain.code, 0) << plain.err;
+    auto flagged = schedule({"--job-log", path(".jsonl"),
+                             "--job-trace", path(".trace.json")});
+    ASSERT_EQ(flagged.code, 0) << flagged.err;
+    EXPECT_EQ(flagged.out, plain.out);
+    EXPECT_EQ(flagged.err, "");
+}
+
+TEST_F(JobLogCliTest, JobTraceIsChromeTraceShaped)
+{
+    std::string trace_json = path(".trace.json");
+    auto r = schedule({"--job-trace", trace_json});
+    ASSERT_EQ(r.code, 0) << r.err;
+    std::string json = readFile(trace_json);
+    EXPECT_EQ(json.rfind("{\"displayTimeUnit\"", 0), 0u);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("server-"), std::string::npos);
+    EXPECT_NE(json.find("phase.Tc"), std::string::npos);
+}
+
+TEST_F(JobLogCliTest, ObsReportAndTopReadTheLogBack)
+{
+    std::string log = path(".jsonl");
+    ASSERT_EQ(schedule({"--job-log", log}).code, 0);
+
+    auto report = runCli({"obs", "report", log});
+    ASSERT_EQ(report.code, 0) << report.err;
+    EXPECT_NE(report.out.find("# paichar obs report (job log)"),
+              std::string::npos);
+    EXPECT_NE(report.out.find("jobs 60"), std::string::npos);
+    EXPECT_NE(report.out.find("phase shares (mean):"),
+              std::string::npos);
+
+    auto top = runCli({"obs", "top", log, "--limit", "5"});
+    ASSERT_EQ(top.code, 0) << top.err;
+    EXPECT_NE(top.out.find("# paichar obs top (5 slowest jobs"),
+              std::string::npos);
+    EXPECT_NE(top.out.find("phase totals:"), std::string::npos);
+
+    // top requires a job log, not a metrics dump.
+    std::string metrics = path(".metrics");
+    ASSERT_EQ(schedule({"--metrics=" + metrics}).code, 0);
+    auto bad = runCli({"obs", "top", metrics});
+    EXPECT_EQ(bad.code, 1);
+}
+
+TEST_F(JobLogCliTest, ObsDiffGatesOnToleranceWithExitTwo)
+{
+    std::string log_a = path(".a.jsonl");
+    std::string log_b = path(".b.jsonl");
+    ASSERT_EQ(schedule({"--job-log", log_a}).code, 0);
+    ASSERT_EQ(schedule({"--job-log", log_b}).code, 0);
+
+    // Identical runs diff clean at any tolerance.
+    auto clean = runCli({"obs", "diff", log_a, log_b,
+                         "--tolerance", "0.1"});
+    EXPECT_EQ(clean.code, 0) << clean.out;
+    EXPECT_NE(clean.out.find("within tolerance"), std::string::npos);
+
+    // A run under observable congestion (fewer servers) moves the
+    // queueing scalars far past a tight gate: exit 2, not 1.
+    std::string log_c = path(".c.jsonl");
+    auto r = runCli({"schedule", trace_, "--servers", "4", "--rate",
+                     "400", "--job-log", log_c});
+    ASSERT_EQ(r.code, 0) << r.err;
+    auto gate = runCli({"obs", "diff", log_a, log_c,
+                        "--tolerance", "0.5"});
+    EXPECT_EQ(gate.code, 2) << gate.out;
+    EXPECT_NE(gate.out.find("REGRESSION:"), std::string::npos);
+    EXPECT_NE(gate.out.find("VIOLATION"), std::string::npos);
+
+    // Usage errors stay exit 1, distinct from the regression signal.
+    EXPECT_EQ(runCli({"obs", "diff", log_a}).code, 1);
+    EXPECT_EQ(runCli({"obs", "diff", log_a, log_b, "--tolerance",
+                      "-5"})
+                  .code,
+              1);
+    EXPECT_EQ(runCli({"obs", "report", base_ + ".missing"}).code, 1);
+}
+
+TEST_F(JobLogCliTest, DiagnoseRecordsTestbedJobsWithSkew)
+{
+    std::string log = path(".diag.jsonl");
+    auto r = runCli({"diagnose", "resnet50", "--job-log", log});
+    ASSERT_EQ(r.code, 0) << r.err;
+    std::string text = readFile(log);
+    EXPECT_NE(text.find("\"source\":\"testbed\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"ResNet50\""),
+              std::string::npos);
+    // The testbed measures, the model predicts: skew is a real
+    // nonzero recorded quantity here.
+    EXPECT_NE(text.find("\"skew_pct\":"), std::string::npos);
+    EXPECT_EQ(text.find("\"skew_pct\":0,"), std::string::npos);
+    EXPECT_EQ(text.find("\"skew_pct\":0\n"), std::string::npos);
 }
 
 } // namespace
