@@ -5,14 +5,19 @@
  * DES engine, collectives, the fusion pass, and a full simulated
  * training step.
  *
- * Before the google-benchmark suite runs, three JSON sections seed
+ * Before the google-benchmark suite runs, four JSON sections seed
  * the perf trajectory across PRs: a trace-I/O section comparing the
  * legacy serial CSV parser against the zero-copy serial/parallel
  * parsers and the paib binary codec on a 1M-job trace (recorded in
  * BENCH_trace_io.json), a thread-scaling section timing the 10k-job
- * characterization pipeline at 1/2/4/N threads, and an obs-overhead
+ * characterization pipeline at 1/2/4/N threads, an obs-overhead
  * section proving the observability layer stays inside its <2%
- * budget on the 1M-job parse (recorded in BENCH_obs_overhead.json).
+ * budget on the 1M-job parse (recorded in BENCH_obs_overhead.json),
+ * and a planner section recording candidate-evaluation throughput
+ * for the analytical and simulated cost models over the enumerated
+ * plan space of two case-study models (BENCH_opt_planner.json) --
+ * the ratio between the two evaluators is what makes the planner's
+ * analytical-prune-then-simulate-top-K search pay off.
  */
 
 #include <benchmark/benchmark.h>
@@ -38,6 +43,8 @@
 #include "obs/job_log.h"
 #include "obs/obs.h"
 #include "workload/model_zoo.h"
+#include "opt/cost_model.h"
+#include "opt/optimization_planner.h"
 #include "opt/passes.h"
 #include "runtime/parallel.h"
 #include "testbed/training_sim.h"
@@ -652,6 +659,87 @@ runObsInstrumentationOverheadSection()
     std::printf("\n");
 }
 
+/**
+ * Planner section: candidate-evaluation throughput of the two
+ * opt::CostModel evaluators over the full enumerated plan space of a
+ * Conv-heavy model (ResNet50, channel-split dimension) and a
+ * transformer (BERT, sub-graph-partition dimension), reported as
+ * candidates/s JSON rows (the contents of BENCH_opt_planner.json).
+ * Each candidate is priced end to end -- preparePlan (the pass
+ * pipeline) plus the evaluator's estimate() -- fanned out over the
+ * global pool exactly like OptimizationPlanner::evaluate. The gap
+ * between the analytical and simulated rows is the economics of the
+ * analytical-prune-then-simulate-top-K search; CI greps this section
+ * to prove it still exists.
+ */
+void
+runPlannerSection()
+{
+    constexpr int kReps = 3;
+    int threads = runtime::threadCount();
+
+    struct Case
+    {
+        const char *key;
+        workload::CaseStudyModel model;
+    };
+    std::vector<Case> cases = {
+        {"resnet50", workload::ModelZoo::resnet50()},
+        {"bert", workload::ModelZoo::bert()},
+    };
+
+    std::printf("# opt-planner: full enumerated plan space per "
+                "model, best of %d reps, %d threads\n",
+                kReps, threads);
+
+    opt::AnalyticalCostModel analytical;
+    opt::SimulatedCostModel simulated;
+    opt::PlannerConfig planner_cfg;
+    opt::OptimizationPlanner planner(planner_cfg);
+    for (const Case &c : cases) {
+        auto specs = planner.enumerate(c.model);
+
+        double analytical_best = 0.0;
+        for (const opt::CostModel *evaluator :
+             {static_cast<const opt::CostModel *>(&analytical),
+              static_cast<const opt::CostModel *>(&simulated)}) {
+            double best = 0.0;
+            for (int rep = 0; rep < kReps; ++rep) {
+                auto t0 = std::chrono::steady_clock::now();
+                auto tp = runtime::parallelMap<double>(
+                    runtime::globalPool(), specs.size(),
+                    [&](size_t i) {
+                        auto prep =
+                            opt::preparePlan(c.model, specs[i]);
+                        return evaluator->estimate(prep).throughput;
+                    });
+                benchmark::DoNotOptimize(tp.size());
+                auto t1 = std::chrono::steady_clock::now();
+                double sec =
+                    std::chrono::duration<double>(t1 - t0).count();
+                if (rep == 0 || sec < best)
+                    best = sec;
+            }
+            if (evaluator == &analytical)
+                analytical_best = best;
+            double cost_ratio = analytical_best > 0.0
+                                    ? best / analytical_best
+                                    : 1.0;
+            std::printf(
+                "{\"bench\":\"opt_planner\",\"model\":\"%s\","
+                "\"evaluator\":\"%s\",\"candidates\":%zu,"
+                "\"threads\":%d,\"seconds\":%.6f,"
+                "\"candidates_per_s\":%.0f,"
+                "\"cost_vs_analytical\":%.1f}\n",
+                c.key, evaluator->name().c_str(), specs.size(),
+                threads,
+                best, static_cast<double>(specs.size()) / best,
+                cost_ratio);
+        }
+    }
+    std::printf("\n");
+}
+
 } // namespace
 
 int
@@ -661,6 +749,7 @@ main(int argc, char **argv)
     runThreadScalingSection();
     runObsOverheadSection();
     runObsInstrumentationOverheadSection();
+    runPlannerSection();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

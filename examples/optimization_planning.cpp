@@ -44,18 +44,20 @@ main(int argc, char **argv)
     std::printf("== step profile: %s ==\n%s\n", m.name.c_str(),
                 analyzer.analyze(step.metadata).render().c_str());
 
-    // 2. Measure every optimization plan.
+    // 2. Search the plan space (analytical prune + simulate top-K).
     opt::OptimizationPlanner planner;
     auto plans = planner.evaluate(m);
     stats::Table t({"plan", "cNodes", "step time", "throughput",
-                    "speedup"});
+                    "speedup", "evaluator"});
     for (const auto &p : plans) {
-        t.addRow({p.label(), std::to_string(p.num_cnodes),
-                  stats::fmtSeconds(p.result.total_time),
+        const auto &est = p.simulated ? p.measured : p.analytical;
+        t.addRow({p.label(), std::to_string(p.spec.num_cnodes),
+                  stats::fmtSeconds(est.step_time),
                   stats::fmt(p.throughput, 0) + "/s",
-                  stats::fmt(p.speedup, 2) + "x"});
+                  stats::fmt(p.speedup, 2) + "x",
+                  p.simulated ? "simulated" : "analytical"});
     }
-    std::printf("== measured plans (baseline first) ==\n%s",
+    std::printf("== ranked plans (baseline first) ==\n%s",
                 t.render().c_str());
 
     auto best = planner.best(m);

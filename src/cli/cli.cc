@@ -15,6 +15,7 @@
 #include "clustersim/scheduler.h"
 #include "obs/analyze.h"
 #include "obs/job_log.h"
+#include "obs/json_util.h"
 #include "obs/obs.h"
 #include "trace/binary_trace.h"
 #include "core/arch_selection.h"
@@ -138,6 +139,10 @@ printUsage(std::ostream &out)
            "[--embedding-weights E]\n"
            "                 [--cnodes N] [--gpu-mem BYTES]\n"
            "  paichar diagnose MODEL\n"
+           "  paichar plan MODEL [--search exhaustive|beam] "
+           "[--top K] [--beam W]\n"
+           "               [--passes LIST] [--gpu-mem BYTES] "
+           "[--format table|json]\n"
            "  paichar serve MODEL [--qps Q] [--max-batch B] "
            "[--slo-ms MS]\n"
            "  paichar schedule TRACE [--servers N] "
@@ -149,6 +154,15 @@ printUsage(std::ostream &out)
            "Quantities are base units (FLOPs, bytes); ARCH uses the "
            "paper names\n(\"PS/Worker\", \"AllReduce-Local\", "
            "\"AllReduce-Cluster\", \"PEARL\", ...).\n"
+           "\n"
+           "plan searches the optimization space (mixed precision, "
+           "XLA fusion,\narchitecture, sub-graph / channel "
+           "partitioning, micro-batching):\nevery feasible candidate "
+           "is priced analytically, the best --top K are\nmeasured "
+           "on the testbed. --passes restricts the dimensions "
+           "(comma list\nof mixed-precision, xla-fusion, "
+           "subgraph-partition, channel-split,\nmicro-batch, "
+           "arch).\n"
            "\n"
            "TRACE files may be CSV or paib binary; the format is "
            "auto-detected.\nconvert infers the output format from "
@@ -453,6 +467,24 @@ cmdAdvise(const Args &args, std::ostream &out, std::ostream &err)
     return 0;
 }
 
+/** Case-study model by lowercase name, or nullopt + err report. */
+std::optional<workload::CaseStudyModel>
+findModel(const std::string &name, std::ostream &err)
+{
+    for (const auto &m : workload::ModelZoo::all()) {
+        std::string lower;
+        for (char c : m.name)
+            lower += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (lower == name)
+            return m;
+    }
+    err << "error: unknown model '" << name
+        << "' (try resnet50, nmt, bert, speech, "
+           "multi-interests, gcn)\n";
+    return std::nullopt;
+}
+
 int
 cmdDiagnose(const Args &args, std::ostream &out, std::ostream &err)
 {
@@ -460,24 +492,9 @@ cmdDiagnose(const Args &args, std::ostream &out, std::ostream &err)
         err << "error: diagnose expects a model name\n";
         return 1;
     }
-    const std::string &name = args.positional[1];
-    std::optional<workload::CaseStudyModel> model;
-    for (const auto &m : workload::ModelZoo::all()) {
-        std::string lower;
-        for (char c : m.name)
-            lower += static_cast<char>(
-                std::tolower(static_cast<unsigned char>(c)));
-        if (lower == name) {
-            model = m;
-            break;
-        }
-    }
-    if (!model) {
-        err << "error: unknown model '" << name
-            << "' (try resnet50, nmt, bert, speech, "
-               "multi-interests, gcn)\n";
+    auto model = findModel(args.positional[1], err);
+    if (!model)
         return 1;
-    }
 
     testbed::TrainingSimulator sim;
     auto result = sim.run(*model);
@@ -495,6 +512,199 @@ cmdDiagnose(const Args &args, std::ostream &out, std::ostream &err)
     return 0;
 }
 
+/** One --passes token applied onto the planner config. */
+bool
+applyPassToken(const std::string &token, opt::PlannerConfig &cfg)
+{
+    if (token == "mixed-precision")
+        cfg.enable_mixed_precision = true;
+    else if (token == "xla-fusion")
+        cfg.enable_xla_fusion = true;
+    else if (token == "subgraph-partition")
+        cfg.enable_subgraph_partition = true;
+    else if (token == "channel-split")
+        cfg.enable_channel_split = true;
+    else if (token == "micro-batch")
+        cfg.enable_micro_batching = true;
+    else if (token == "arch")
+        cfg.explore_architectures = true;
+    else
+        return false;
+    return true;
+}
+
+/** JSON spelling of one evaluated plan. */
+void
+appendPlanJson(std::string &j, const opt::Plan &p)
+{
+    const opt::CostEstimate &est =
+        p.simulated ? p.measured : p.analytical;
+    j += "{\"plan\":\"";
+    obs::appendJsonEscaped(j, p.label());
+    j += "\",\"arch\":\"";
+    obs::appendJsonEscaped(j, workload::toString(p.spec.arch));
+    j += "\",\"cnodes\":";
+    obs::appendJsonNumber(j, int64_t{p.spec.num_cnodes});
+    j += ",\"data_parallel\":";
+    obs::appendJsonNumber(j, int64_t{p.spec.dataParallel()});
+    j += ",\"split_ways\":";
+    obs::appendJsonNumber(j, int64_t{p.spec.splitWays()});
+    j += ",\"micro_batches\":";
+    obs::appendJsonNumber(j, int64_t{p.spec.micro_batches});
+    j += ",\"evaluator\":\"";
+    j += p.simulated ? "simulated" : "analytical";
+    j += "\",\"step_time\":";
+    obs::appendJsonNumber(j, est.step_time);
+    j += ",\"throughput\":";
+    obs::appendJsonNumber(j, est.throughput);
+    j += ",\"speedup\":";
+    obs::appendJsonNumber(j, p.speedup);
+    j += ",\"traffic\":{\"pcie_bytes\":";
+    obs::appendJsonNumber(j, est.traffic.pcie_bytes);
+    j += ",\"ethernet_bytes\":";
+    obs::appendJsonNumber(j, est.traffic.ethernet_bytes);
+    j += ",\"nvlink_bytes\":";
+    obs::appendJsonNumber(j, est.traffic.nvlink_bytes);
+    j += "}}";
+}
+
+int
+cmdPlan(const Args &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() < 2) {
+        err << "error: plan expects a model name\n";
+        return 1;
+    }
+    auto model = findModel(args.positional[1], err);
+    if (!model)
+        return 1;
+
+    opt::PlannerConfig cfg;
+    std::string search =
+        args.flag("search").value_or("exhaustive");
+    if (search == "beam") {
+        cfg.search = opt::SearchMode::Beam;
+    } else if (search != "exhaustive") {
+        err << "error: --search expects exhaustive or beam, got '"
+            << search << "'\n";
+        return 1;
+    }
+    double top = args.numFlag("top", cfg.top_k);
+    if (top < 0 || top != std::floor(top)) {
+        err << "error: --top expects a non-negative integer\n";
+        return 1;
+    }
+    cfg.top_k = static_cast<int>(top);
+    double beam = args.numFlag("beam", cfg.beam_width);
+    if (beam < 1 || beam != std::floor(beam)) {
+        err << "error: --beam expects a positive integer\n";
+        return 1;
+    }
+    cfg.beam_width = static_cast<int>(beam);
+    cfg.gpu_memory_bytes =
+        args.numFlag("gpu-mem", cfg.gpu_memory_bytes);
+    if (cfg.gpu_memory_bytes <= 0.0) {
+        err << "error: --gpu-mem expects a positive byte count\n";
+        return 1;
+    }
+    if (auto passes = args.flag("passes")) {
+        cfg.enable_mixed_precision = false;
+        cfg.enable_xla_fusion = false;
+        cfg.enable_subgraph_partition = false;
+        cfg.enable_channel_split = false;
+        cfg.enable_micro_batching = false;
+        cfg.explore_architectures = false;
+        std::stringstream ss(*passes);
+        std::string token;
+        while (std::getline(ss, token, ',')) {
+            if (!applyPassToken(token, cfg)) {
+                err << "error: --passes: unknown pass '" << token
+                    << "' (mixed-precision, xla-fusion, "
+                       "subgraph-partition, channel-split, "
+                       "micro-batch, arch)\n";
+                return 1;
+            }
+        }
+    }
+    std::string format = args.flag("format").value_or("table");
+    if (format != "table" && format != "json") {
+        err << "error: --format expects table or json, got '"
+            << format << "'\n";
+        return 1;
+    }
+
+    opt::OptimizationPlanner planner(cfg);
+    auto plans = planner.evaluate(*model);
+    // Same pick rule as OptimizationPlanner::best, without paying
+    // for a second search.
+    const opt::Plan &best =
+        plans.size() > 1 && plans[1].simulated &&
+                plans[1].speedup >= 1.0
+            ? plans[1]
+            : plans[0];
+
+    if (format == "json") {
+        std::string j = "{\"model\":\"";
+        obs::appendJsonEscaped(j, model->name);
+        j += "\",\"search\":\"";
+        j += search;
+        j += "\",\"plans\":[";
+        for (size_t i = 0; i < plans.size(); ++i) {
+            if (i)
+                j += ",";
+            appendPlanJson(j, plans[i]);
+        }
+        j += "],\"best\":\"";
+        obs::appendJsonEscaped(j, best.label());
+        j += "\"}";
+        out << j << "\n";
+        return 0;
+    }
+
+    out << "=== plan: " << model->name << " ("
+        << workload::toString(model->arch) << ", "
+        << model->num_cnodes << " cNodes, batch "
+        << stats::fmt(model->features.batch_size, 0) << ", "
+        << search << " search) ===\n";
+    stats::Table t({"plan", "cNodes", "dp x ways x acc", "step time",
+                    "throughput", "speedup", "evaluator"});
+    for (const auto &p : plans) {
+        const opt::CostEstimate &est =
+            p.simulated ? p.measured : p.analytical;
+        t.addRow({p.label(), std::to_string(p.spec.num_cnodes),
+                  std::to_string(p.spec.dataParallel()) + " x " +
+                      std::to_string(p.spec.splitWays()) + " x " +
+                      std::to_string(p.spec.micro_batches),
+                  stats::fmtSeconds(est.step_time),
+                  stats::fmt(est.throughput, 0) + "/s",
+                  stats::fmt(p.speedup, 2) + "x",
+                  p.simulated ? "simulated" : "analytical"});
+    }
+    out << t.render();
+
+    if (!best.diagnostics.empty()) {
+        out << "pass diagnostics (" << best.label() << "):\n";
+        for (const auto &d : best.diagnostics) {
+            out << "  " << d.pass << ": ops " << d.ops_before
+                << " -> " << d.ops_after << ", kernels "
+                << d.kernels_before << " -> " << d.kernels_after
+                << ", " << stats::fmtG(d.flops_before) << " -> "
+                << stats::fmtG(d.flops_after) << " FLOPs, "
+                << stats::fmtBytes(d.mem_bytes_before) << " -> "
+                << stats::fmtBytes(d.mem_bytes_after) << " mem";
+            if (d.exchange_nvlink_bytes > 0.0) {
+                out << ", +"
+                    << stats::fmtBytes(d.exchange_nvlink_bytes)
+                    << "/GPU NVLink exchange";
+            }
+            out << "\n";
+        }
+    }
+    out << "best plan: " << best.label() << " ("
+        << stats::fmt(best.speedup, 2) << "x over the baseline)\n";
+    return 0;
+}
+
 int
 cmdServe(const Args &args, std::ostream &out, std::ostream &err)
 {
@@ -502,22 +712,9 @@ cmdServe(const Args &args, std::ostream &out, std::ostream &err)
         err << "error: serve expects a model name\n";
         return 1;
     }
-    const std::string &name = args.positional[1];
-    std::optional<workload::CaseStudyModel> model;
-    for (const auto &m : workload::ModelZoo::all()) {
-        std::string lower;
-        for (char c : m.name)
-            lower += static_cast<char>(
-                std::tolower(static_cast<unsigned char>(c)));
-        if (lower == name) {
-            model = m;
-            break;
-        }
-    }
-    if (!model) {
-        err << "error: unknown model '" << name << "'\n";
+    auto model = findModel(args.positional[1], err);
+    if (!model)
         return 1;
-    }
     auto w = inference::InferenceWorkload::fromTraining(*model);
 
     inference::ServingConfig cfg;
@@ -684,6 +881,8 @@ dispatch(const std::string &cmd, const Args &args, std::ostream &out,
         return cmdAdvise(args, out, err);
     if (cmd == "diagnose")
         return cmdDiagnose(args, out, err);
+    if (cmd == "plan")
+        return cmdPlan(args, out, err);
     if (cmd == "serve")
         return cmdServe(args, out, err);
     if (cmd == "schedule")

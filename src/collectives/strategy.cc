@@ -282,6 +282,94 @@ class PearlStrategy final : public SyncStrategy
     }
 };
 
+/** See makeShardedStrategy(). */
+class ShardedSyncStrategy final : public SyncStrategy
+{
+  public:
+    ShardedSyncStrategy(std::unique_ptr<SyncStrategy> inner, int ways)
+        : inner_(std::move(inner)), ways_(ways)
+    {
+        assert(inner_);
+        assert(ways_ >= 1);
+    }
+
+    std::string
+    name() const override
+    {
+        return "sharded/" + std::to_string(ways_) + "(" +
+               inner_->name() + ")";
+    }
+
+    void
+    sync(sim::ClusterSim &cluster,
+         const std::vector<sim::Gpu *> &group,
+         const WorkloadFeatures &f, Done done) override
+    {
+        inner_->sync(cluster, group, scaled(f), std::move(done));
+    }
+
+    SyncTraffic
+    traffic(const WorkloadFeatures &f, int group_size) const override
+    {
+        return inner_->traffic(scaled(f), group_size);
+    }
+
+  private:
+    WorkloadFeatures
+    scaled(const WorkloadFeatures &f) const
+    {
+        WorkloadFeatures s = f;
+        s.comm_bytes /= ways_;
+        s.embedding_comm_bytes /= ways_;
+        return s;
+    }
+
+    std::unique_ptr<SyncStrategy> inner_;
+    int ways_;
+};
+
+/** See makeActivationExchange(). */
+class ActivationExchangeStrategy final : public SyncStrategy
+{
+  public:
+    explicit ActivationExchangeStrategy(double per_gpu_bytes)
+        : per_gpu_bytes_(per_gpu_bytes)
+    {
+        assert(per_gpu_bytes_ >= 0.0);
+    }
+
+    std::string name() const override { return "activation-exchange"; }
+
+    void
+    sync(sim::ClusterSim &cluster,
+         const std::vector<sim::Gpu *> &group,
+         const WorkloadFeatures &, Done done) override
+    {
+        if (per_gpu_bytes_ <= 0.0 || group.size() < 2) {
+            auto &eq = cluster.eventQueue();
+            eq.scheduleAfter(0.0, [done, &eq] { done(eq.now()); });
+            return;
+        }
+        auto ops =
+            std::make_shared<CollectiveOps>(cluster.eventQueue());
+        double total =
+            per_gpu_bytes_ * static_cast<double>(group.size());
+        ops->sparseAllToAll(group, total,
+                            [ops, done = std::move(done)](
+                                sim::SimTime t) { done(t); });
+    }
+
+    SyncTraffic
+    traffic(const WorkloadFeatures &, int group_size) const override
+    {
+        return {.nvlink_bytes =
+                    group_size > 1 ? per_gpu_bytes_ : 0.0};
+    }
+
+  private:
+    double per_gpu_bytes_;
+};
+
 } // namespace
 
 std::unique_ptr<SyncStrategy>
@@ -302,6 +390,19 @@ makeStrategy(ArchType arch, const StrategyOptions &opts)
         return std::make_unique<PearlStrategy>();
     }
     return nullptr;
+}
+
+std::unique_ptr<SyncStrategy>
+makeShardedStrategy(std::unique_ptr<SyncStrategy> inner, int ways)
+{
+    return std::make_unique<ShardedSyncStrategy>(std::move(inner),
+                                                 ways);
+}
+
+std::unique_ptr<SyncStrategy>
+makeActivationExchange(double per_gpu_bytes)
+{
+    return std::make_unique<ActivationExchangeStrategy>(per_gpu_bytes);
 }
 
 } // namespace paichar::collectives

@@ -88,6 +88,28 @@ std::unique_ptr<SyncStrategy> makeStrategy(workload::ArchType arch,
                                            const StrategyOptions &opts =
                                                StrategyOptions{});
 
+/**
+ * Hybrid data+model parallelism decorator: with the model split
+ * `ways` ways, each GPU owns 1/ways of the parameters, so the
+ * wrapped architecture's weight sync moves 1/ways of the gradient
+ * volume (both dense and embedding traffic scale down). The
+ * underlying collective still spans the whole group -- `ways`
+ * shard rings running concurrently over disjoint parameter shards
+ * are modeled as one ring carrying the combined (scaled) volume.
+ */
+std::unique_ptr<SyncStrategy>
+makeShardedStrategy(std::unique_ptr<SyncStrategy> inner, int ways);
+
+/**
+ * Per-step activation exchange of a partitioned model (sub-graph or
+ * channel/filter parallelism): every GPU moves @p per_gpu_bytes of
+ * boundary activations across the server's NVLink mesh, realized as
+ * an owner-to-requester sparse exchange. Used by the testbed as a
+ * separate step phase so the exchange cost is measurable on its own.
+ */
+std::unique_ptr<SyncStrategy>
+makeActivationExchange(double per_gpu_bytes);
+
 } // namespace paichar::collectives
 
 #endif // PAICHAR_COLLECTIVES_STRATEGY_H

@@ -144,17 +144,24 @@ AnalyticalModel::breakdown(const TrainingJob &job) const
 
     const auto &f = job.features;
     const auto &srv = spec_.server;
-    const double comp_eff = eff_.computation;
-    const double comm_eff = eff_.communication;
+    const double flops_eff =
+        component_eff_ ? component_eff_->gpu_flops : eff_.computation;
+    const double mem_eff =
+        component_eff_ ? component_eff_->gpu_memory
+                       : eff_.computation;
+    const double pcie_eff =
+        component_eff_ ? component_eff_->pcie : eff_.communication;
+    const double net_eff =
+        component_eff_ ? component_eff_->network : eff_.communication;
 
     TimeBreakdown b;
-    b.t_comp_flops = f.flop_count / (srv.gpu.peak_flops * comp_eff);
+    b.t_comp_flops = f.flop_count / (srv.gpu.peak_flops * flops_eff);
     b.t_comp_mem =
-        f.mem_access_bytes / (srv.gpu.mem_bandwidth * comp_eff);
+        f.mem_access_bytes / (srv.gpu.mem_bandwidth * mem_eff);
 
-    const double pcie_bw = srv.pcie_bandwidth * comm_eff;
-    const double eth_bw = spec_.ethernet_bandwidth * comm_eff;
-    const double nvl_bw = srv.nvlink_bandwidth * comm_eff;
+    const double pcie_bw = srv.pcie_bandwidth * pcie_eff;
+    const double eth_bw = spec_.ethernet_bandwidth * net_eff;
+    const double nvl_bw = srv.nvlink_bandwidth * net_eff;
     const int share =
         pcie_contention_ ? colocatedReplicas(job, spec_) : 1;
 

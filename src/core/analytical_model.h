@@ -21,9 +21,11 @@
 #ifndef PAICHAR_CORE_ANALYTICAL_MODEL_H
 #define PAICHAR_CORE_ANALYTICAL_MODEL_H
 
+#include <optional>
 #include <string>
 
 #include "hw/hardware_config.h"
+#include "workload/model_zoo.h"
 #include "workload/training_job.h"
 
 namespace paichar::core {
@@ -191,9 +193,27 @@ class AnalyticalModel
     /** Whether ring traffic factors are applied. */
     bool ringAware() const { return ring_aware_; }
 
+    /**
+     * Derate each hardware component by a measured Table VI profile
+     * instead of the two-knob computation/communication assumption:
+     * GPU FLOPs, GPU memory, PCIe and network (Ethernet + NVLink)
+     * each get their own efficiency. Used by the planner's analytical
+     * cost model so its ranking tracks the testbed, which always
+     * runs on the measured profile.
+     */
+    void
+    setComponentEfficiency(const workload::EfficiencyProfile &eff)
+    {
+        component_eff_ = eff;
+    }
+
+    /** Back to the uniform computation/communication knobs. */
+    void clearComponentEfficiency() { component_eff_.reset(); }
+
   private:
     hw::ClusterSpec spec_;
     EfficiencyAssumption eff_;
+    std::optional<workload::EfficiencyProfile> component_eff_;
     bool pcie_contention_ = true;
     bool ring_aware_ = false;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/arch_feasibility.h"
 #include "obs/obs.h"
 
 namespace paichar::core {
@@ -21,63 +22,20 @@ ArchOption
 ArchitectureAdvisor::evaluateOne(const TrainingJob &job, ArchType arch,
                                  OverlapMode mode) const
 {
-    const auto &f = job.features;
-    const auto &spec = model_.spec();
+    // Placement and feasibility come from the shared rules (also used
+    // by the optimization planner's cost models).
+    Placement p =
+        resolvePlacement(job.features, arch, job.num_cnodes,
+                         model_.spec().server, gpu_memory_bytes_);
 
     ArchOption opt;
     opt.arch = arch;
-    opt.num_cnodes = job.num_cnodes;
-
-    switch (arch) {
-      case ArchType::OneWorkerOneGpu:
-        opt.num_cnodes = 1;
-        opt.per_gpu_weight_bytes = f.weightBytes();
-        break;
-      case ArchType::OneWorkerMultiGpu:
-        opt.num_cnodes = std::min(job.num_cnodes,
-                                  spec.server.gpus_per_server);
-        // Parameters live in host memory; GPUs hold working copies of
-        // the dense part only.
-        opt.per_gpu_weight_bytes = f.dense_weight_bytes;
-        break;
-      case ArchType::PsWorker:
-        // Parameters are partitioned across PS hosts; a worker GPU
-        // holds the dense replica plus the rows of the current batch.
-        opt.per_gpu_weight_bytes = f.dense_weight_bytes + f.comm_bytes;
-        break;
-      case ArchType::AllReduceLocal:
-        opt.num_cnodes = std::min(job.num_cnodes,
-                                  spec.server.gpus_per_server);
-        opt.per_gpu_weight_bytes = f.weightBytes();
-        break;
-      case ArchType::AllReduceCluster:
-        opt.per_gpu_weight_bytes = f.weightBytes();
-        break;
-      case ArchType::Pearl:
-        opt.num_cnodes = std::min(job.num_cnodes,
-                                  spec.server.gpus_per_server);
-        opt.per_gpu_weight_bytes =
-            f.dense_weight_bytes +
-            f.embedding_weight_bytes /
-                std::max(1, opt.num_cnodes);
-        break;
-    }
-
-    bool needs_nvlink = arch == ArchType::AllReduceLocal ||
-                        arch == ArchType::AllReduceCluster ||
-                        arch == ArchType::Pearl;
-    if (needs_nvlink && !spec.server.has_nvlink) {
-        opt.feasible = false;
-        opt.reason = "requires NVLink servers";
+    opt.num_cnodes = p.num_cnodes;
+    opt.per_gpu_weight_bytes = p.per_gpu_weight_bytes;
+    opt.feasible = p.feasible;
+    opt.reason = p.reason;
+    if (!opt.feasible)
         return opt;
-    }
-    if (opt.per_gpu_weight_bytes > gpu_memory_bytes_) {
-        opt.feasible = false;
-        opt.reason = "weights exceed per-GPU memory budget";
-        return opt;
-    }
-
-    opt.feasible = true;
     TrainingJob variant = job;
     variant.arch = arch;
     variant.num_cnodes = opt.num_cnodes;

@@ -5,15 +5,10 @@
  * architectures, predict each one's step time and throughput with the
  * analytical model, and recommend the best.
  *
- * Feasibility encodes the paper's constraints:
- *  - replicated AllReduce requires the full parameter set (dense +
- *    embedding + optimizer state) to fit in one GPU's memory
- *    ("only weight-replica mode is supported", Sec III-A);
- *  - PEARL requires NVLink and only needs the dense weights plus an
- *    embedding shard per GPU (Sec IV-C);
- *  - AllReduce-Local additionally caps the job at one server's GPUs;
- *  - PS/Worker and 1wng park parameters in host memory and are always
- *    feasible (the paper's fallback for 100-300 GB models).
+ * Placement and feasibility rules are shared with the optimization
+ * planner's cost models: see core/arch_feasibility.h for the single
+ * statement of the paper's constraints (weight residency, NVLink,
+ * per-server GPU caps).
  */
 
 #ifndef PAICHAR_CORE_ARCH_SELECTION_H

@@ -1,0 +1,208 @@
+#include "cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "core/analytical_model.h"
+#include "obs/obs.h"
+
+namespace paichar::opt {
+
+using workload::ArchType;
+using workload::CaseStudyModel;
+
+std::string
+PlanSpec::label() const
+{
+    std::string parts;
+    auto append = [&parts](const std::string &p) {
+        parts += parts.empty() ? p : "+" + p;
+    };
+    if (mixed_precision)
+        append("MP");
+    if (xla_fusion)
+        append("XLA");
+    if (partition_ways > 1)
+        append("part" + std::to_string(partition_ways));
+    if (channel_split_ways > 1)
+        append("ch" + std::to_string(channel_split_ways));
+    if (micro_batches > 1)
+        append("acc" + std::to_string(micro_batches));
+    if (parts.empty())
+        parts = "default";
+    return parts + " on " + workload::toString(arch);
+}
+
+bool
+PlanSpec::orderBefore(const PlanSpec &other) const
+{
+    auto key = [](const PlanSpec &s) {
+        return std::make_tuple(static_cast<int>(s.arch),
+                               s.mixed_precision, s.xla_fusion,
+                               s.partition_ways, s.channel_split_ways,
+                               s.micro_batches, s.num_cnodes);
+    };
+    return key(*this) < key(other);
+}
+
+PreparedPlan
+preparePlan(const CaseStudyModel &model, const PlanSpec &spec)
+{
+    assert(spec.partition_ways == 1 || spec.channel_split_ways == 1);
+    PassManager pm;
+    if (spec.mixed_precision)
+        pm.add(std::make_unique<MixedPrecisionPass>());
+    if (spec.xla_fusion)
+        pm.add(std::make_unique<XlaFusionPass>());
+    if (spec.partition_ways > 1) {
+        pm.add(std::make_unique<SubGraphPartitionPass>(
+            spec.partition_ways));
+    }
+    if (spec.channel_split_ways > 1) {
+        pm.add(std::make_unique<ChannelFilterSplitPass>(
+            spec.channel_split_ways));
+    }
+    auto pipeline = pm.runDiagnosed(model.graph);
+
+    PreparedPlan plan;
+    plan.spec = spec;
+    plan.graph = std::move(pipeline.graph);
+    plan.features = model.features;
+    plan.efficiency = model.measured_efficiency;
+    plan.exchange_nvlink_bytes = pipeline.exchange_nvlink_bytes;
+    plan.diagnostics = std::move(pipeline.diagnostics);
+    return plan;
+}
+
+double
+samplesPerStep(const PlanSpec &spec, double batch_size)
+{
+    return static_cast<double>(spec.dataParallel()) * batch_size *
+           spec.micro_batches;
+}
+
+collectives::SyncTraffic
+planTraffic(const PreparedPlan &plan)
+{
+    const PlanSpec &spec = plan.spec;
+    auto strategy = collectives::makeStrategy(spec.arch);
+    if (spec.splitWays() > 1) {
+        strategy = collectives::makeShardedStrategy(
+            std::move(strategy), spec.splitWays());
+    }
+    auto traffic =
+        strategy->traffic(plan.features, spec.num_cnodes);
+    traffic.nvlink_bytes += plan.exchange_nvlink_bytes *
+                            spec.micro_batches;
+    return traffic;
+}
+
+AnalyticalCostModel::AnalyticalCostModel(testbed::SimOptions opts)
+    : opts_(std::move(opts))
+{
+}
+
+CostEstimate
+AnalyticalCostModel::estimate(const PreparedPlan &plan) const
+{
+    obs::Span span("opt.cost.analytical");
+    static obs::Counter &ctr =
+        obs::counter("opt.candidates_analytical");
+    ctr.add();
+
+    const PlanSpec &spec = plan.spec;
+    const int ways = spec.splitWays();
+    const int k = spec.micro_batches;
+    auto totals = plan.graph.totals();
+
+    workload::TrainingJob job;
+    job.arch = spec.arch;
+    job.num_cnodes = spec.num_cnodes;
+    job.num_ps = spec.arch == ArchType::PsWorker
+                     ? std::max(1, spec.num_cnodes / 4)
+                     : 0;
+    job.features = plan.features;
+    job.features.flop_count = totals.flops;
+    job.features.mem_access_bytes = totals.mem_access_bytes;
+    job.features.input_bytes = totals.input_bytes;
+    // Each GPU owns a 1/ways parameter shard; the strategy layer
+    // makes the same scaling in the simulated path.
+    job.features.comm_bytes /= ways;
+    job.features.embedding_comm_bytes /= ways;
+
+    core::AnalyticalModel model(opts_.cluster);
+    // Align with the testbed: measured per-component efficiencies,
+    // contention folded into them, ring traffic modeled (Fig 12).
+    model.setComponentEfficiency(plan.efficiency);
+    model.setPcieContention(false);
+    model.setRingAware(true);
+    core::TimeBreakdown b = model.breakdown(job);
+
+    CostEstimate est;
+    est.data_time = k * b.t_data;
+    est.compute_time =
+        k * (b.compute() +
+             totals.num_kernels * opts_.kernel_launch_overhead);
+    double nvl_rate = opts_.cluster.server.nvlink_bandwidth *
+                      plan.efficiency.network;
+    est.exchange_time =
+        k * plan.exchange_nvlink_bytes / nvl_rate;
+    est.comm_time = b.t_weight;
+    est.step_time = est.data_time + est.compute_time +
+                    est.exchange_time + est.comm_time;
+    est.throughput =
+        samplesPerStep(spec, plan.features.batch_size) /
+        est.step_time;
+    est.traffic = planTraffic(plan);
+    return est;
+}
+
+SimulatedCostModel::SimulatedCostModel(testbed::SimOptions opts)
+    : opts_(std::move(opts))
+{
+}
+
+testbed::StepResult
+SimulatedCostModel::simulate(const PreparedPlan &plan) const
+{
+    obs::Span span("opt.cost.simulated");
+    static obs::Counter &ctr =
+        obs::counter("opt.candidates_simulated");
+    ctr.add();
+
+    const PlanSpec &spec = plan.spec;
+    testbed::StepOptions so;
+    so.micro_batches = spec.micro_batches;
+    so.partition_ways = spec.splitWays();
+    so.exchange_nvlink_bytes =
+        plan.exchange_nvlink_bytes * spec.micro_batches;
+    testbed::TrainingSimulator sim(opts_);
+    return sim.run(plan.graph, plan.features, spec.arch,
+                   spec.num_cnodes, plan.efficiency, so);
+}
+
+CostEstimate
+estimateFromResult(const PreparedPlan &plan,
+                   const testbed::StepResult &r)
+{
+    CostEstimate est;
+    est.data_time = r.data_time;
+    est.compute_time = r.compute_time;
+    est.exchange_time = r.exchange_time;
+    est.comm_time = r.comm_time;
+    est.step_time = r.total_time;
+    est.throughput =
+        samplesPerStep(plan.spec, plan.features.batch_size) /
+        r.total_time;
+    est.traffic = planTraffic(plan);
+    return est;
+}
+
+CostEstimate
+SimulatedCostModel::estimate(const PreparedPlan &plan) const
+{
+    return estimateFromResult(plan, simulate(plan));
+}
+
+} // namespace paichar::opt

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The planner's shared cost-model interface. A candidate plan
+ * (PlanSpec) is first *prepared* -- its passes run over the model's
+ * op graph, producing the per-GPU shard graph plus the partition's
+ * activation-exchange traffic -- and then *estimated* by a
+ * CostModel:
+ *
+ *  - AnalyticalCostModel: fast closed-form estimate reusing
+ *    core::AnalyticalModel (Sec II-B) with the model's measured
+ *    Table VI efficiencies, plus kernel-launch overhead and the
+ *    NVLink exchange term. Used to prune the plan space.
+ *  - SimulatedCostModel: precise event-driven measurement via
+ *    testbed::TrainingSimulator. Used on the analytically top-K
+ *    candidates.
+ *
+ * Both models price communication through the same
+ * collectives::SyncStrategy per-medium traffic accounting, and both
+ * resolve placement through core::resolvePlacement() -- the planner
+ * and ArchitectureAdvisor share one statement of feasibility.
+ */
+
+#ifndef PAICHAR_OPT_COST_MODEL_H
+#define PAICHAR_OPT_COST_MODEL_H
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "collectives/strategy.h"
+#include "opt/passes.h"
+#include "testbed/training_sim.h"
+#include "workload/model_zoo.h"
+
+namespace paichar::opt {
+
+/**
+ * The search dimensions of one candidate plan (Sec IV-D's MP/XLA and
+ * architecture choice, widened with the hybrid-parallelism
+ * dimensions: sub-graph partitioning, channel/filter splitting and
+ * gradient-accumulation micro-batching). At most one of
+ * partition_ways / channel_split_ways exceeds 1.
+ */
+struct PlanSpec
+{
+    bool mixed_precision = false;
+    bool xla_fusion = false;
+    workload::ArchType arch = workload::ArchType::AllReduceLocal;
+    /** cNodes (total GPUs) after the placement rules. */
+    int num_cnodes = 1;
+    /** Sub-graph parallelism degree (transformer-shaped graphs). */
+    int partition_ways = 1;
+    /** Channel/filter parallelism degree (Conv-heavy graphs). */
+    int channel_split_ways = 1;
+    /** Gradient-accumulation micro-batches per step. */
+    int micro_batches = 1;
+
+    /** The model-parallel degree (either partition dimension). */
+    int
+    splitWays() const
+    {
+        return partition_ways > 1 ? partition_ways
+                                  : channel_split_ways;
+    }
+
+    /** Data-parallel replicas: shard groups of splitWays() GPUs. */
+    int
+    dataParallel() const
+    {
+        return std::max(1, num_cnodes / splitWays());
+    }
+
+    /** True for the no-op plan on the given architecture. */
+    bool
+    isDefault() const
+    {
+        return !mixed_precision && !xla_fusion && splitWays() == 1 &&
+               micro_batches == 1;
+    }
+
+    /** "MP+XLA+part4+acc2 on AllReduce-Local"-style label. */
+    std::string label() const;
+
+    /** Deterministic total order for tie-breaking sorts. */
+    bool orderBefore(const PlanSpec &other) const;
+};
+
+/** A candidate with its passes applied, ready for cost evaluation. */
+struct PreparedPlan
+{
+    PlanSpec spec;
+    /** Per-GPU graph after the plan's passes. */
+    workload::OpGraph graph;
+    /** Original per-cNode demands (sharding is priced by the
+     * strategy layer, not baked into the features). */
+    workload::WorkloadFeatures features;
+    /** Measured Table VI efficiencies in effect. */
+    workload::EfficiencyProfile efficiency;
+    /** Per-GPU NVLink activation exchange, one micro-batch. */
+    double exchange_nvlink_bytes = 0.0;
+    /** Per-pass before/after records. */
+    std::vector<PassDiagnostics> diagnostics;
+};
+
+/** One cost-model verdict on a prepared plan. */
+struct CostEstimate
+{
+    double step_time = 0.0;
+    double data_time = 0.0;
+    double compute_time = 0.0;
+    double exchange_time = 0.0;
+    double comm_time = 0.0;
+    /** Eq 2 generalized: dp x batch x micro_batches / step_time. */
+    double throughput = 0.0;
+    /** Per-GPU per-step sync + exchange traffic by medium. */
+    collectives::SyncTraffic traffic;
+};
+
+/** Interface shared by the analytical and simulated evaluators. */
+class CostModel
+{
+  public:
+    virtual ~CostModel() = default;
+
+    /** Evaluator name for reports ("analytical" | "simulated"). */
+    virtual std::string name() const = 0;
+
+    /** Price one prepared plan. */
+    virtual CostEstimate estimate(const PreparedPlan &plan) const = 0;
+};
+
+/** Closed-form estimate via core::AnalyticalModel. */
+class AnalyticalCostModel final : public CostModel
+{
+  public:
+    explicit AnalyticalCostModel(
+        testbed::SimOptions opts = testbed::SimOptions{});
+
+    std::string name() const override { return "analytical"; }
+    CostEstimate estimate(const PreparedPlan &plan) const override;
+
+  private:
+    testbed::SimOptions opts_;
+};
+
+/** Event-driven measurement via testbed::TrainingSimulator. */
+class SimulatedCostModel final : public CostModel
+{
+  public:
+    explicit SimulatedCostModel(
+        testbed::SimOptions opts = testbed::SimOptions{});
+
+    std::string name() const override { return "simulated"; }
+    CostEstimate estimate(const PreparedPlan &plan) const override;
+
+    /** The raw testbed measurement behind estimate(). */
+    testbed::StepResult simulate(const PreparedPlan &plan) const;
+
+  private:
+    testbed::SimOptions opts_;
+};
+
+/**
+ * Run @p spec's passes over @p model's graph: mixed precision, XLA
+ * fusion, then the partition pass (fusion first, so partition
+ * boundaries see the fused tensors).
+ */
+PreparedPlan preparePlan(const workload::CaseStudyModel &model,
+                         const PlanSpec &spec);
+
+/** Samples one step trains: dp x batch_size x micro_batches. */
+double samplesPerStep(const PlanSpec &spec, double batch_size);
+
+/** Convert a raw testbed measurement into a CostEstimate. */
+CostEstimate estimateFromResult(const PreparedPlan &plan,
+                                const testbed::StepResult &r);
+
+/**
+ * Per-GPU per-step traffic of @p plan by medium: the architecture's
+ * sync strategy at the sharded gradient volume, plus the partition's
+ * NVLink activation exchange across all micro-batches.
+ */
+collectives::SyncTraffic planTraffic(const PreparedPlan &plan);
+
+} // namespace paichar::opt
+
+#endif // PAICHAR_OPT_COST_MODEL_H

@@ -1,14 +1,24 @@
 /**
  * @file
- * Optimization planning (Sec IV-D / VI): enumerate the combinations
- * of the techniques the paper evaluates -- mixed precision, XLA
- * fusion, and the training-architecture choice -- run each candidate
- * on the simulated testbed, and rank them by measured step time.
+ * Optimization planning (Sec IV-D / VI operationalized, widened per
+ * ROADMAP item 4): enumerate candidate plans over the full strategy
+ * space -- mixed precision, XLA fusion, the training-architecture
+ * choice, sub-graph / channel-filter model partitioning and
+ * gradient-accumulation micro-batching -- then search it with an
+ * analytical-prune + simulate-top-K pipeline:
  *
- * This operationalizes the paper's workflow: characterize a workload,
- * then pick the software configuration that attacks its actual
- * bottleneck (MP for compute-bound, XLA for memory-bound, an
- * architecture/strategy change for communication-bound).
+ *   1. every feasible candidate is priced by the fast
+ *      AnalyticalCostModel (core/analytical_model under the model's
+ *      measured efficiencies),
+ *   2. the analytically best K candidates (plus the baseline) are
+ *      measured precisely on the event-driven testbed,
+ *   3. plans are ranked by measured speedup; candidates that were
+ *      pruned keep their analytical estimate.
+ *
+ * Both evaluators share core::resolvePlacement() feasibility and the
+ * collectives::SyncStrategy traffic accounting (see cost_model.h).
+ * Candidate evaluation fans out over runtime::parallelMap, so results
+ * are byte-identical for any --threads value.
  */
 
 #ifndef PAICHAR_OPT_OPTIMIZATION_PLANNER_H
@@ -17,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "opt/cost_model.h"
+#include "runtime/parallel.h"
 #include "testbed/training_sim.h"
 #include "workload/model_zoo.h"
 
@@ -25,25 +37,50 @@ namespace paichar::opt {
 /** One evaluated optimization plan. */
 struct Plan
 {
-    bool mixed_precision = false;
-    bool xla_fusion = false;
-    workload::ArchType arch = workload::ArchType::AllReduceLocal;
-    /** cNodes after the architecture's placement rules. */
-    int num_cnodes = 1;
-    /** Measured on the simulated testbed. */
+    /** The candidate's search-space coordinates. */
+    PlanSpec spec;
+    /** Fast closed-form estimate (always present). */
+    CostEstimate analytical;
+    /** Testbed measurement; valid only when simulated is true. */
+    CostEstimate measured;
+    /** Whether this plan survived the prune and was simulated. */
+    bool simulated = false;
+    /** Raw testbed step result (valid when simulated). */
     testbed::StepResult result;
-    /** Overall throughput, Eq 2 (samples per second). */
+    /** Per-pass diagnostics from preparing the plan. */
+    std::vector<PassDiagnostics> diagnostics;
+
+    /**
+     * Best-available throughput, Eq 2 generalized to
+     * dp x batch x micro_batches samples per step: the measurement
+     * when simulated, the analytical estimate otherwise.
+     */
     double throughput = 0.0;
     /**
      * Throughput speedup over the unmodified baseline. Plans change
      * the cNode count (e.g. PS -> AllReduce-Local clamps to 8), so
      * step-time ratios alone would be misleading; Eq 2 is the
-     * comparable metric.
+     * comparable metric. Simulated plans compare measured against
+     * the measured baseline; pruned plans compare analytical against
+     * the analytical baseline.
      */
     double speedup = 1.0;
 
-    /** "MP+XLA on AllReduce-Local"-style label. */
-    std::string label() const;
+    /** "MP+XLA+part4 on AllReduce-Local"-style label. */
+    std::string label() const { return spec.label(); }
+};
+
+/** How the plan space is traversed. */
+enum class SearchMode
+{
+    /** Analytically price every feasible candidate. */
+    Exhaustive,
+    /**
+     * Staged beam search: fix the placement (arch x partition) beam
+     * first, then branch mixed precision, fusion and micro-batching,
+     * keeping the analytically best beam_width candidates per stage.
+     */
+    Beam,
 };
 
 /** Planner configuration. */
@@ -55,6 +92,28 @@ struct PlannerConfig
     bool explore_architectures = true;
     /** Simulator used for measurements. */
     testbed::SimOptions sim;
+
+    /** Plan-space traversal mode. */
+    SearchMode search = SearchMode::Exhaustive;
+    /**
+     * Candidates simulated after the analytical prune (the baseline
+     * is always simulated on top); <= 0 simulates every candidate.
+     */
+    int top_k = 12;
+    /** Beam width for SearchMode::Beam. */
+    int beam_width = 6;
+
+    /** Model-partition degrees explored (1 is implicit). */
+    std::vector<int> split_ways = {2, 4, 8};
+    /** Micro-batch counts explored (1 is implicit). */
+    std::vector<int> micro_batch_options = {4};
+
+    /** Dimension toggles (the CLI's --passes filter). */
+    bool enable_mixed_precision = true;
+    bool enable_xla_fusion = true;
+    bool enable_subgraph_partition = true;
+    bool enable_channel_split = true;
+    bool enable_micro_batching = true;
 };
 
 /** Enumerates and ranks optimization plans for a workload. */
@@ -64,21 +123,39 @@ class OptimizationPlanner
     explicit OptimizationPlanner(PlannerConfig cfg = PlannerConfig{});
 
     /**
-     * Evaluate all candidate plans for @p model. The first entry is
-     * the measured baseline (no passes, original architecture);
-     * remaining entries are sorted by decreasing speedup. Only
-     * feasible architectures are considered (weight residency and
-     * NVLink availability, as in ArchitectureAdvisor).
+     * Search the plan space for @p model. The first entry is the
+     * measured baseline (no passes, original architecture); then the
+     * simulated plans sorted by decreasing measured speedup; then
+     * the analytically pruned candidates by decreasing estimated
+     * speedup. Only feasible placements are considered
+     * (core::resolvePlacement, as in ArchitectureAdvisor).
      */
-    std::vector<Plan> evaluate(const workload::CaseStudyModel &model)
-        const;
+    std::vector<Plan>
+    evaluate(const workload::CaseStudyModel &model,
+             runtime::ThreadPool *pool = runtime::globalPool()) const;
 
-    /** The fastest plan (never the baseline unless nothing beats it). */
-    Plan best(const workload::CaseStudyModel &model) const;
+    /** The fastest measured plan (the baseline only if nothing beats
+     * it). */
+    Plan best(const workload::CaseStudyModel &model,
+              runtime::ThreadPool *pool = runtime::globalPool()) const;
+
+    /**
+     * The feasible candidate specs evaluate() prices, in
+     * deterministic enumeration order (exposed for tests/bench).
+     * Sub-graph partitioning applies to transformer-shaped graphs,
+     * channel/filter splitting to Conv-dominated ones (> 50% of
+     * compute-bound FLOPs in convolutions); the dimensions never
+     * combine.
+     */
+    std::vector<PlanSpec>
+    enumerate(const workload::CaseStudyModel &model) const;
+
+    const PlannerConfig &config() const { return cfg_; }
 
   private:
-    bool archFeasible(const workload::CaseStudyModel &model,
-                      workload::ArchType arch, int *cnodes) const;
+    std::vector<PlanSpec>
+    beamSearch(const workload::CaseStudyModel &model,
+               runtime::ThreadPool *pool) const;
 
     PlannerConfig cfg_;
 };

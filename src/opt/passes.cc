@@ -141,6 +141,102 @@ XlaFusionPass::run(const OpGraph &in) const
     return out;
 }
 
+SubGraphPartitionPass::SubGraphPartitionPass(int ways) : ways_(ways)
+{
+    assert(ways_ >= 2);
+}
+
+OpGraph
+SubGraphPartitionPass::run(const OpGraph &in) const
+{
+    // The per-GPU shard in expectation: 1/ways of every operation's
+    // demands; input loading stays per-GPU (the input pipeline feeds
+    // each shard its boundary slice at full batch volume --
+    // a conservative accounting choice).
+    OpGraph out;
+    for (const Op &op : in.ops()) {
+        Op copy = op;
+        copy.id = -1;
+        if (op.type != OpType::DataLoad) {
+            copy.flops /= ways_;
+            copy.mem_bytes /= ways_;
+            copy.output_bytes /= ways_;
+        }
+        out.addOp(std::move(copy));
+    }
+    return out;
+}
+
+double
+SubGraphPartitionPass::exchangeBytes(const OpGraph &in) const
+{
+    // Interior edges (producer has a consumer) cross shards with
+    // probability (ways-1)/ways under a uniform spread of whole ops;
+    // each GPU sends/receives its 1/ways share of the cut.
+    std::vector<bool> has_consumer(in.size(), false);
+    for (const Op &op : in.ops()) {
+        for (OpId src : op.inputs)
+            has_consumer[static_cast<size_t>(src)] = true;
+    }
+    double interior = 0.0;
+    for (const Op &op : in.ops()) {
+        if (op.type != OpType::DataLoad &&
+            has_consumer[static_cast<size_t>(op.id)]) {
+            interior += op.output_bytes;
+        }
+    }
+    double w = ways_;
+    return (w - 1.0) / w * interior / w;
+}
+
+ChannelFilterSplitPass::ChannelFilterSplitPass(int ways) : ways_(ways)
+{
+    assert(ways_ >= 2);
+}
+
+namespace {
+
+/** Ops that ride on conv activations and split with them. */
+bool
+splitsWithConv(OpType t)
+{
+    return t == OpType::Conv || t == OpType::ElementWise ||
+           t == OpType::Normalization || t == OpType::Fused;
+}
+
+} // namespace
+
+OpGraph
+ChannelFilterSplitPass::run(const OpGraph &in) const
+{
+    OpGraph out;
+    for (const Op &op : in.ops()) {
+        Op copy = op;
+        copy.id = -1;
+        if (splitsWithConv(op.type)) {
+            copy.flops /= ways_;
+            copy.mem_bytes /= ways_;
+            copy.output_bytes /= ways_;
+        }
+        out.addOp(std::move(copy));
+    }
+    return out;
+}
+
+double
+ChannelFilterSplitPass::exchangeBytes(const OpGraph &in) const
+{
+    // Channel-sum reassembly: a ring all-reduce over each conv's
+    // activation share, 2(ways-1)/ways of the per-GPU 1/ways slice.
+    double conv_out = 0.0;
+    for (const Op &op : in.ops()) {
+        if (op.type == OpType::Conv)
+            conv_out += op.output_bytes;
+    }
+    double w = ways_;
+    return 2.0 * (w - 1.0) / w * conv_out / w;
+}
+
 PassManager &
 PassManager::add(std::unique_ptr<Pass> pass)
 {
@@ -161,6 +257,39 @@ PassManager::run(const OpGraph &in) const
         g = pass->run(g);
     passes_run.add(passes_.size());
     return g;
+}
+
+PassManager::PipelineResult
+PassManager::runDiagnosed(const OpGraph &in) const
+{
+    obs::Span span("opt.pass_pipeline",
+                   static_cast<int64_t>(in.ops().size()));
+    static obs::Counter &passes_run = obs::counter("opt.passes_run");
+    PipelineResult result;
+    result.graph = in;
+    for (const auto &pass : passes_) {
+        obs::Span pass_span(
+            obs::internName("opt.pass." + pass->name()));
+        PassDiagnostics d;
+        d.pass = pass->name();
+        auto before = result.graph.totals();
+        d.ops_before = result.graph.size();
+        d.kernels_before = before.num_kernels;
+        d.flops_before = before.flops;
+        d.mem_bytes_before = before.mem_access_bytes;
+        d.exchange_nvlink_bytes =
+            pass->exchangeBytes(result.graph);
+        result.graph = pass->run(result.graph);
+        auto after = result.graph.totals();
+        d.ops_after = result.graph.size();
+        d.kernels_after = after.num_kernels;
+        d.flops_after = after.flops;
+        d.mem_bytes_after = after.mem_access_bytes;
+        result.exchange_nvlink_bytes += d.exchange_nvlink_bytes;
+        result.diagnostics.push_back(std::move(d));
+    }
+    passes_run.add(passes_.size());
+    return result;
 }
 
 std::vector<std::string>

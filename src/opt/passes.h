@@ -1,6 +1,9 @@
 /**
  * @file
- * Graph optimization passes evaluated in Sec IV-D (Fig 13):
+ * Graph optimization passes. The first two are the techniques
+ * evaluated in Sec IV-D (Fig 13); the partition passes extend the
+ * plan space to the hybrid-parallelism strategies of the follow-on
+ * literature (ROADMAP item 4):
  *
  *  - MixedPrecisionPass: run TensorCore-eligible compute kernels
  *    (MatMul/Conv) in FP16 mixed precision. Volta's peak is 8x FP32,
@@ -12,6 +15,25 @@
  *    collapse into one kernel whose memory traffic is only the chain's
  *    external inputs plus its final output -- intermediates stay in
  *    registers/cache -- and which costs a single kernel launch.
+ *
+ *  - SubGraphPartitionPass: per-layer sub-graph parallelism for
+ *    transformer-shaped graphs (SUPER, Jain et al.): the step graph
+ *    is split into `ways` shards of whole operations; each GPU
+ *    executes 1/ways of the work and boundary activations cross the
+ *    NVLink mesh.
+ *
+ *  - ChannelFilterSplitPass: channel/filter parallelism for
+ *    Conv-heavy graphs (Dryden et al., SC'19 / LBANN): convolutions
+ *    and their pointwise successors split along the channel/filter
+ *    dimension; halo/activation reassembly costs an NVLink exchange
+ *    proportional to the conv activations.
+ *
+ * Passes transform graphs only; the per-GPU traffic a partition pass
+ * implies is reported via exchangeBytes() and accounted by the
+ * planner's cost models as per-medium SyncTraffic, so communication
+ * cost stays honest. PassManager::runDiagnosed() additionally
+ * returns structured per-pass diagnostics (op/kernel/FLOP/traffic
+ * deltas) for reports and the `paichar plan` CLI.
  */
 
 #ifndef PAICHAR_OPT_PASSES_H
@@ -36,6 +58,34 @@ class Pass
 
     /** Produce the transformed graph (input is untouched). */
     virtual workload::OpGraph run(const workload::OpGraph &in) const = 0;
+
+    /**
+     * Per-GPU boundary-activation bytes (one micro-batch) this pass
+     * moves across the NVLink mesh when applied to @p in. Non-zero
+     * only for partition passes.
+     */
+    virtual double
+    exchangeBytes(const workload::OpGraph &in) const
+    {
+        (void)in;
+        return 0.0;
+    }
+};
+
+/** Structured before/after record of one pass application. */
+struct PassDiagnostics
+{
+    std::string pass;
+    size_t ops_before = 0;
+    size_t ops_after = 0;
+    int kernels_before = 0;
+    int kernels_after = 0;
+    double flops_before = 0.0;
+    double flops_after = 0.0;
+    double mem_bytes_before = 0.0;
+    double mem_bytes_after = 0.0;
+    /** Per-GPU NVLink activation traffic the pass adds per step. */
+    double exchange_nvlink_bytes = 0.0;
 };
 
 /** TensorCore mixed precision for MatMul/Conv. */
@@ -74,15 +124,77 @@ class XlaFusionPass final : public Pass
     int max_chain_;
 };
 
+/**
+ * Sub-graph parallelism: distribute whole operations over `ways`
+ * GPUs inside one server. The produced graph is the per-GPU shard
+ * in expectation -- every non-DataLoad op's demands divide by
+ * `ways` (exact conservation: ways x shard totals == original).
+ * Boundary tensors crossing shards move over NVLink; with ops
+ * spread uniformly, an expected (ways-1)/ways of the interior
+ * edges cross, and each GPU carries a 1/ways share of that cut.
+ */
+class SubGraphPartitionPass final : public Pass
+{
+  public:
+    explicit SubGraphPartitionPass(int ways);
+
+    std::string name() const override { return "subgraph-partition"; }
+    workload::OpGraph run(const workload::OpGraph &in) const override;
+    double
+    exchangeBytes(const workload::OpGraph &in) const override;
+
+    int ways() const { return ways_; }
+
+  private:
+    int ways_;
+};
+
+/**
+ * Channel/filter parallelism: convolutions (and the pointwise /
+ * normalization / fused ops riding on their activations) split along
+ * the channel dimension over `ways` GPUs. Compute-heavy MatMul,
+ * reductions and embedding lookups stay replicated (their demands
+ * are untouched). Each split conv costs an activation all-reduce
+ * over the NVLink mesh to reassemble channel sums: per GPU,
+ * 2(ways-1)/ways of its 1/ways activation share, per conv.
+ */
+class ChannelFilterSplitPass final : public Pass
+{
+  public:
+    explicit ChannelFilterSplitPass(int ways);
+
+    std::string name() const override { return "channel-split"; }
+    workload::OpGraph run(const workload::OpGraph &in) const override;
+    double
+    exchangeBytes(const workload::OpGraph &in) const override;
+
+    int ways() const { return ways_; }
+
+  private:
+    int ways_;
+};
+
 /** Applies a sequence of passes in order. */
 class PassManager
 {
   public:
+    /** A pipeline run with per-pass diagnostics. */
+    struct PipelineResult
+    {
+        workload::OpGraph graph;
+        std::vector<PassDiagnostics> diagnostics;
+        /** Sum of the passes' per-GPU NVLink exchange traffic. */
+        double exchange_nvlink_bytes = 0.0;
+    };
+
     /** Append a pass; returns *this for chaining. */
     PassManager &add(std::unique_ptr<Pass> pass);
 
     /** Run all passes over @p in. */
     workload::OpGraph run(const workload::OpGraph &in) const;
+
+    /** Run all passes, collecting per-pass diagnostics. */
+    PipelineResult runDiagnosed(const workload::OpGraph &in) const;
 
     /** Names of the registered passes, in order. */
     std::vector<std::string> names() const;

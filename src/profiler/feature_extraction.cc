@@ -39,6 +39,10 @@ FeatureExtractor::extract(const RunMetadata &md, int device) const
           case TransferKind::WeightSync:
             sync_by_medium[static_cast<int>(tr.medium)] += tr.bytes;
             break;
+          case TransferKind::ActivationExchange:
+            // Model-parallel boundary traffic is per-step exchange,
+            // not weight sync; it does not contribute to Sw.
+            break;
         }
     }
     job.features.comm_bytes =

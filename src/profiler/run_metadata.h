@@ -36,8 +36,9 @@ struct OpRecord
 /** What a recorded transfer carried. */
 enum class TransferKind
 {
-    InputData,  ///< training samples, host -> GPU
-    WeightSync, ///< weight/gradient movement
+    InputData,          ///< training samples, host -> GPU
+    WeightSync,         ///< weight/gradient movement
+    ActivationExchange, ///< model-parallel boundary activations
 };
 
 /** The medium a transfer used. */

@@ -78,8 +78,21 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
                        ArchType arch, int num_cnodes,
                        const workload::EfficiencyProfile &eff) const
 {
+    return run(graph, f, arch, num_cnodes, eff, StepOptions{});
+}
+
+StepResult
+TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
+                       ArchType arch, int num_cnodes,
+                       const workload::EfficiencyProfile &eff,
+                       const StepOptions &so) const
+{
     assert(num_cnodes >= 1);
     assert(f.valid());
+    assert(so.micro_batches >= 1);
+    assert(so.partition_ways >= 1);
+    assert(so.exchange_nvlink_bytes >= 0.0);
+    const int micro = so.micro_batches;
 
     // --- build the topology for this job's placement ---
     sim::TopologyConfig tc;
@@ -117,27 +130,33 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
     result.metadata.meta.batch_size = f.batch_size;
 
     // --- phase 1: input preprocessing + host->GPU copy ---
+    // Micro-batches queue FIFO behind each other on the host links;
+    // host preprocessing pipelines one micro-batch ahead.
     sim::SimTime data_end = 0.0;
     {
         double prep = opts_.preprocessing_rate > 0.0
                           ? f.input_bytes / opts_.preprocessing_rate
                           : 0.0;
-        size_t waiting = group.size();
-        for (sim::Gpu *gpu : group) {
-            eq.scheduleAfter(prep, [&, gpu] {
-                gpu->hostLink().submit(
-                    f.input_bytes,
-                    [&, gpu](sim::SimTime start, sim::SimTime end) {
-                        if (gpu == group[0]) {
-                            result.metadata.transfers.push_back(
-                                {profiler::TransferKind::InputData,
-                                 profiler::Medium::Pcie, 0,
-                                 f.input_bytes, start, end});
-                        }
-                        data_end = std::max(data_end, end);
-                        --waiting;
-                    });
-            });
+        size_t waiting = group.size() * static_cast<size_t>(micro);
+        for (int m = 0; m < micro; ++m) {
+            bool meta = m == 0;
+            for (sim::Gpu *gpu : group) {
+                eq.scheduleAfter(prep * (m + 1), [&, gpu, meta] {
+                    gpu->hostLink().submit(
+                        f.input_bytes,
+                        [&, gpu, meta](sim::SimTime start,
+                                       sim::SimTime end) {
+                            if (meta && gpu == group[0]) {
+                                result.metadata.transfers.push_back(
+                                    {profiler::TransferKind::InputData,
+                                     profiler::Medium::Pcie, 0,
+                                     f.input_bytes, start, end});
+                            }
+                            data_end = std::max(data_end, end);
+                            --waiting;
+                        });
+                });
+            }
         }
         eq.run();
         assert(waiting == 0);
@@ -150,45 +169,72 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
     const double flops_rate = gpu_spec.peak_flops * eff.gpu_flops;
     const double mem_rate = gpu_spec.mem_bandwidth * eff.gpu_memory;
     sim::SimTime comp_end = data_end;
-    for (size_t r = 0; r < group.size(); ++r) {
-        sim::Gpu *gpu = group[r];
-        bool record = r == 0;
-        for (const workload::Op &op : graph.ops()) {
-            if (op.type == workload::OpType::DataLoad)
-                continue; // covered by phase 1
-            double seconds;
-            if (workload::isComputeBound(op.type)) {
-                seconds = op.flops / flops_rate;
-                if (record)
-                    result.compute_flops_time += seconds;
-            } else {
-                seconds = op.mem_bytes / mem_rate;
-                if (record)
-                    result.compute_mem_time += seconds;
+    for (int m = 0; m < micro; ++m) {
+        for (size_t r = 0; r < group.size(); ++r) {
+            sim::Gpu *gpu = group[r];
+            bool record = r == 0;
+            bool meta = record && m == 0;
+            for (const workload::Op &op : graph.ops()) {
+                if (op.type == workload::OpType::DataLoad)
+                    continue; // covered by phase 1
+                double seconds;
+                if (workload::isComputeBound(op.type)) {
+                    seconds = op.flops / flops_rate;
+                    if (record)
+                        result.compute_flops_time += seconds;
+                } else {
+                    seconds = op.mem_bytes / mem_rate;
+                    if (record)
+                        result.compute_mem_time += seconds;
+                }
+                if (record) {
+                    result.overhead_time +=
+                        opts_.kernel_launch_overhead;
+                    ++result.num_kernels;
+                }
+                gpu->exec().submit(
+                    seconds,
+                    meta
+                        ? sim::Completion(
+                              [&result, &comp_end, &op](
+                                  sim::SimTime start,
+                                  sim::SimTime end) {
+                                  result.metadata.ops.push_back(
+                                      {op.name, op.type, 0, start,
+                                       end, op.flops, op.mem_bytes});
+                                  comp_end = std::max(comp_end, end);
+                              })
+                        : sim::Completion(
+                              [&comp_end](sim::SimTime,
+                                          sim::SimTime end) {
+                                  comp_end =
+                                      std::max(comp_end, end);
+                              }));
             }
-            if (record) {
-                result.overhead_time += opts_.kernel_launch_overhead;
-                ++result.num_kernels;
-            }
-            gpu->exec().submit(
-                seconds,
-                record
-                    ? sim::Completion(
-                          [&result, &comp_end, &op](
-                              sim::SimTime start, sim::SimTime end) {
-                              result.metadata.ops.push_back(
-                                  {op.name, op.type, 0, start, end,
-                                   op.flops, op.mem_bytes});
-                              comp_end = std::max(comp_end, end);
-                          })
-                    : sim::Completion([&comp_end](sim::SimTime,
-                                                  sim::SimTime end) {
-                          comp_end = std::max(comp_end, end);
-                      }));
         }
     }
     eq.run();
     result.compute_time = comp_end - data_end;
+
+    // --- phase 2.5: model-parallel activation exchange ---
+    sim::SimTime exch_end = comp_end;
+    if (so.exchange_nvlink_bytes > 0.0 && group.size() > 1) {
+        auto exchange = collectives::makeActivationExchange(
+            so.exchange_nvlink_bytes);
+        bool exch_done = false;
+        exchange->sync(cluster, group, f, [&](sim::SimTime end) {
+            exch_end = std::max(exch_end, end);
+            exch_done = true;
+        });
+        eq.run();
+        assert(exch_done);
+        (void)exch_done;
+        result.metadata.transfers.push_back(
+            {profiler::TransferKind::ActivationExchange,
+             profiler::Medium::NvLink, 0, so.exchange_nvlink_bytes,
+             comp_end, exch_end});
+    }
+    result.exchange_time = exch_end - comp_end;
 
     // --- phase 3: weight/gradient synchronization ---
     collectives::StrategyOptions sopts;
@@ -196,7 +242,11 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
     sopts.model_ps_contention = ps_tier;
     auto strategy = collectives::makeStrategy(arch, sopts);
     assert(strategy);
-    sim::SimTime sync_end = comp_end;
+    if (so.partition_ways > 1) {
+        strategy = collectives::makeShardedStrategy(
+            std::move(strategy), so.partition_ways);
+    }
+    sim::SimTime sync_end = exch_end;
     bool sync_done = false;
     strategy->sync(cluster, group, f, [&](sim::SimTime end) {
         sync_end = std::max(sync_end, end);
@@ -205,7 +255,7 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
     eq.run();
     assert(sync_done);
     (void)sync_done;
-    result.comm_time = sync_end - comp_end;
+    result.comm_time = sync_end - exch_end;
     result.total_time = sync_end;
 
     // Record the sync traffic for cNode 0 by medium.
@@ -215,7 +265,7 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
         if (bytes > 0.0) {
             result.metadata.transfers.push_back(
                 {profiler::TransferKind::WeightSync, m, 0, bytes,
-                 comp_end, sync_end});
+                 exch_end, sync_end});
         }
     };
     addSync(profiler::Medium::Pcie, traffic.pcie_bytes);

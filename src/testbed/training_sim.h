@@ -48,6 +48,31 @@ struct SimOptions
     bool model_ps_contention = false;
 };
 
+/**
+ * Per-step execution shape beyond pure data parallelism (the
+ * planner's hybrid-parallelism dimensions).
+ */
+struct StepOptions
+{
+    /**
+     * Gradient-accumulation micro-batches per step: input load and
+     * graph execution repeat this many times before one weight sync.
+     */
+    int micro_batches = 1;
+    /**
+     * Model-partition degree (sub-graph or channel/filter split).
+     * The weight sync then moves 1/ways of the gradient volume (each
+     * GPU owns a parameter shard); the caller passes the already
+     * partitioned per-GPU graph.
+     */
+    int partition_ways = 1;
+    /**
+     * Per-GPU boundary-activation bytes exchanged over NVLink per
+     * step (all micro-batches included); 0 disables the phase.
+     */
+    double exchange_nvlink_bytes = 0.0;
+};
+
 /** Measured decomposition of one simulated training step. */
 struct StepResult
 {
@@ -58,6 +83,8 @@ struct StepResult
     double data_time = 0.0;
     /** Graph-execution phase duration. */
     double compute_time = 0.0;
+    /** Activation-exchange phase duration (partitioned plans). */
+    double exchange_time = 0.0;
     /** Weight-synchronization phase duration. */
     double comm_time = 0.0;
 
@@ -100,6 +127,19 @@ class TrainingSimulator
                    const workload::WorkloadFeatures &f,
                    workload::ArchType arch, int num_cnodes,
                    const workload::EfficiencyProfile &eff) const;
+
+    /**
+     * As above, with an explicit execution shape: @p so adds
+     * gradient-accumulation micro-batching, a model-partition degree
+     * (scaling the weight sync to the per-shard gradient volume) and
+     * a per-step NVLink activation-exchange phase. The default
+     * StepOptions reproduce the 5-argument overload exactly.
+     */
+    StepResult run(const workload::OpGraph &graph,
+                   const workload::WorkloadFeatures &f,
+                   workload::ArchType arch, int num_cnodes,
+                   const workload::EfficiencyProfile &eff,
+                   const StepOptions &so) const;
 
     /** The options in use. */
     const SimOptions &options() const { return opts_; }

@@ -279,6 +279,95 @@ TEST(CliTest, DiagnoseWithoutModelFails)
     EXPECT_EQ(r.code, 1);
 }
 
+TEST(CliTest, PlanRanksCandidatesAndPicksBest)
+{
+    auto r = runCli({"plan", "gcn", "--top", "4"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("=== plan: GCN"), std::string::npos);
+    EXPECT_NE(r.out.find("default on PEARL"), std::string::npos);
+    EXPECT_NE(r.out.find("simulated"), std::string::npos);
+    EXPECT_NE(r.out.find("analytical"), std::string::npos);
+    EXPECT_NE(r.out.find("best plan:"), std::string::npos);
+}
+
+TEST(CliTest, PlanJsonOutputIsWellFormed)
+{
+    auto r = runCli({"plan", "gcn", "--top", "2", "--format",
+                     "json"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_EQ(r.out.rfind("{\"model\":\"GCN\"", 0), 0u) << r.out;
+    EXPECT_NE(r.out.find("\"evaluator\":\"simulated\""),
+              std::string::npos);
+    EXPECT_NE(r.out.find("\"best\":\""), std::string::npos);
+}
+
+TEST(CliTest, PlanRejectsNonNumericTop)
+{
+    // --top runs through Args::numFlag: exact existing error shape.
+    auto r = runCli({"plan", "gcn", "--top", "many"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("error: flag --top expects a number, "
+                         "got 'many'"),
+              std::string::npos)
+        << r.err;
+}
+
+TEST(CliTest, PlanRejectsNonNumericBeam)
+{
+    auto r = runCli({"plan", "gcn", "--search", "beam", "--beam",
+                     "wide"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("error: flag --beam expects a number, "
+                         "got 'wide'"),
+              std::string::npos)
+        << r.err;
+}
+
+TEST(CliTest, PlanValidatesFlagDomains)
+{
+    auto top = runCli({"plan", "gcn", "--top", "-1"});
+    EXPECT_EQ(top.code, 1);
+    EXPECT_NE(top.err.find("--top expects a non-negative integer"),
+              std::string::npos);
+    auto beam = runCli({"plan", "gcn", "--beam", "0"});
+    EXPECT_EQ(beam.code, 1);
+    EXPECT_NE(beam.err.find("--beam expects a positive integer"),
+              std::string::npos);
+    auto search = runCli({"plan", "gcn", "--search", "dfs"});
+    EXPECT_EQ(search.code, 1);
+    EXPECT_NE(search.err.find("--search expects exhaustive or beam"),
+              std::string::npos);
+    auto fmt = runCli({"plan", "gcn", "--format", "yaml"});
+    EXPECT_EQ(fmt.code, 1);
+    EXPECT_NE(fmt.err.find("--format expects table or json"),
+              std::string::npos);
+}
+
+TEST(CliTest, PlanPassesFilterRestrictsDimensions)
+{
+    auto r = runCli({"plan", "gcn", "--passes", "mixed-precision"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("MP on PEARL"), std::string::npos);
+    EXPECT_EQ(r.out.find("XLA"), std::string::npos) << r.out;
+    EXPECT_EQ(r.out.find("acc4"), std::string::npos) << r.out;
+
+    auto bad = runCli({"plan", "gcn", "--passes", "loop-unroll"});
+    EXPECT_EQ(bad.code, 1);
+    EXPECT_NE(bad.err.find("unknown pass 'loop-unroll'"),
+              std::string::npos);
+}
+
+TEST(CliTest, PlanUnknownModelFails)
+{
+    auto r = runCli({"plan", "vgg"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("unknown model"), std::string::npos);
+    auto none = runCli({"plan"});
+    EXPECT_EQ(none.code, 1);
+    EXPECT_NE(none.err.find("plan expects a model name"),
+              std::string::npos);
+}
+
 TEST(CliTest, ServeReportsLatencyAndCapacity)
 {
     auto r = runCli({"serve", "bert", "--qps", "30", "--max-batch",

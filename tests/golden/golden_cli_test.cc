@@ -107,5 +107,21 @@ TEST_F(GoldenCliTest, Convert)
                              "bin"});
 }
 
+// Two case-study `plan` snapshots: a Conv-heavy model (channel/filter
+// split dimension) and a transformer (sub-graph partition dimension).
+// The planner fans candidate evaluation out over the thread pool, so
+// these double as determinism checks on the search pipeline.
+
+TEST_F(GoldenCliTest, PlanResnet50)
+{
+    expectGolden("plan_resnet50", {"plan", "resnet50", "--top", "6"});
+}
+
+TEST_F(GoldenCliTest, PlanBertJson)
+{
+    expectGolden("plan_bert_json",
+                 {"plan", "bert", "--top", "6", "--format", "json"});
+}
+
 } // namespace
 } // namespace paichar::testkit

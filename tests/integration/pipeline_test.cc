@@ -107,8 +107,8 @@ TEST(PipelineIntegrationTest, AdvisorProjectorPlannerAgree)
     cs.features = job.features;
     opt::OptimizationPlanner planner;
     auto best = planner.best(cs);
-    EXPECT_TRUE(best.arch == ArchType::AllReduceLocal ||
-                best.arch == ArchType::Pearl)
+    EXPECT_TRUE(best.spec.arch == ArchType::AllReduceLocal ||
+                best.spec.arch == ArchType::Pearl)
         << best.label();
     EXPECT_GT(best.speedup, 1.0);
 }

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the planner's shared cost-model layer: plan preparation,
+ * the analytical/simulated evaluator pair and the per-medium traffic
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt/cost_model.h"
+
+namespace paichar::opt {
+namespace {
+
+using workload::ArchType;
+using workload::ModelZoo;
+
+TEST(CostModelTest, PreparePlanRunsRequestedPasses)
+{
+    auto model = ModelZoo::bert();
+    PlanSpec spec;
+    spec.arch = model.arch;
+    spec.num_cnodes = model.num_cnodes;
+    spec.mixed_precision = true;
+    spec.xla_fusion = true;
+    spec.partition_ways = 2;
+    auto plan = preparePlan(model, spec);
+    ASSERT_EQ(plan.diagnostics.size(), 3u);
+    EXPECT_EQ(plan.diagnostics[0].pass, "mixed-precision");
+    EXPECT_EQ(plan.diagnostics[1].pass, "xla-fusion");
+    EXPECT_EQ(plan.diagnostics[2].pass, "subgraph-partition");
+    // MP shrinks FLOPs, fusion shrinks kernels, the partition adds
+    // NVLink exchange traffic.
+    EXPECT_LT(plan.diagnostics[0].flops_after,
+              plan.diagnostics[0].flops_before);
+    EXPECT_LT(plan.diagnostics[1].kernels_after,
+              plan.diagnostics[1].kernels_before);
+    EXPECT_GT(plan.diagnostics[2].exchange_nvlink_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(plan.exchange_nvlink_bytes,
+                     plan.diagnostics[2].exchange_nvlink_bytes);
+    // Features keep the ORIGINAL per-cNode demands; sharding is the
+    // strategy layer's job.
+    EXPECT_DOUBLE_EQ(plan.features.comm_bytes,
+                     model.features.comm_bytes);
+}
+
+TEST(CostModelTest, EstimatesDecomposeAndAgreeOnThroughput)
+{
+    auto model = ModelZoo::resnet50();
+    PlanSpec spec;
+    spec.arch = model.arch;
+    spec.num_cnodes = model.num_cnodes;
+    auto plan = preparePlan(model, spec);
+
+    AnalyticalCostModel ana;
+    SimulatedCostModel sim;
+    for (const CostModel *m :
+         {static_cast<const CostModel *>(&ana),
+          static_cast<const CostModel *>(&sim)}) {
+        CostEstimate e = m->estimate(plan);
+        EXPECT_GT(e.step_time, 0.0) << m->name();
+        EXPECT_NEAR(e.step_time,
+                    e.data_time + e.compute_time + e.exchange_time +
+                        e.comm_time,
+                    1e-9 * e.step_time)
+            << m->name();
+        EXPECT_NEAR(e.throughput,
+                    samplesPerStep(spec,
+                                   model.features.batch_size) /
+                        e.step_time,
+                    1e-9 * e.throughput)
+            << m->name();
+        EXPECT_DOUBLE_EQ(e.exchange_time, 0.0) << m->name();
+    }
+}
+
+TEST(CostModelTest, SimulatedMatchesPlainTrainingSimOnDefaults)
+{
+    // The default plan must price exactly like the raw testbed run
+    // the rest of the repo uses -- same graph, same physics.
+    for (const auto &model : ModelZoo::all()) {
+        PlanSpec spec;
+        spec.arch = model.arch;
+        spec.num_cnodes = model.num_cnodes;
+        auto plan = preparePlan(model, spec);
+        SimulatedCostModel cost;
+        auto r = cost.simulate(plan);
+        testbed::TrainingSimulator sim;
+        auto expected = sim.run(model);
+        EXPECT_DOUBLE_EQ(r.total_time, expected.total_time)
+            << model.name;
+        EXPECT_DOUBLE_EQ(r.comm_time, expected.comm_time)
+            << model.name;
+    }
+}
+
+TEST(CostModelTest, ShardedPlanDividesSyncTraffic)
+{
+    auto model = ModelZoo::bert(); // AllReduce-Local: NVLink sync
+    PlanSpec base;
+    base.arch = ArchType::AllReduceLocal;
+    base.num_cnodes = 8;
+    auto base_plan = preparePlan(model, base);
+    auto base_traffic = planTraffic(base_plan);
+    ASSERT_GT(base_traffic.nvlink_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(base_traffic.ethernet_bytes, 0.0);
+
+    PlanSpec part = base;
+    part.partition_ways = 2;
+    auto part_plan = preparePlan(model, part);
+    auto part_traffic = planTraffic(part_plan);
+    // Gradient sync halves (each GPU owns half the parameters);
+    // the activation exchange rides on top.
+    EXPECT_GT(part_plan.exchange_nvlink_bytes, 0.0);
+    EXPECT_NEAR(part_traffic.nvlink_bytes,
+                base_traffic.nvlink_bytes / 2.0 +
+                    part_plan.exchange_nvlink_bytes,
+                1e-6 * part_traffic.nvlink_bytes);
+}
+
+TEST(CostModelTest, MicroBatchingAmortizesWeightSync)
+{
+    // Gradient accumulation: k micro-batches pay compute k times but
+    // sync weights once, so samples/s improves on comm-heavy jobs
+    // under both evaluators.
+    auto model = ModelZoo::gcn();
+    PlanSpec base;
+    base.arch = model.arch;
+    base.num_cnodes = model.num_cnodes;
+    PlanSpec acc = base;
+    acc.micro_batches = 4;
+    auto base_plan = preparePlan(model, base);
+    auto acc_plan = preparePlan(model, acc);
+    AnalyticalCostModel ana;
+    SimulatedCostModel sim;
+    EXPECT_GT(ana.estimate(acc_plan).throughput,
+              ana.estimate(base_plan).throughput);
+    EXPECT_GT(sim.estimate(acc_plan).throughput,
+              sim.estimate(base_plan).throughput);
+}
+
+TEST(CostModelTest, AnalyticalTracksSimulatedOnDefaults)
+{
+    // The pruning model need not be exact, but it must stay within a
+    // small factor of the testbed on the six calibrated models --
+    // otherwise prune-then-simulate would be meaningless.
+    for (const auto &model : ModelZoo::all()) {
+        PlanSpec spec;
+        spec.arch = model.arch;
+        spec.num_cnodes = model.num_cnodes;
+        auto plan = preparePlan(model, spec);
+        double ana = AnalyticalCostModel().estimate(plan).step_time;
+        double sim = SimulatedCostModel().estimate(plan).step_time;
+        EXPECT_GT(ana, 0.4 * sim) << model.name;
+        EXPECT_LT(ana, 2.5 * sim) << model.name;
+    }
+}
+
+} // namespace
+} // namespace paichar::opt

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Search-quality tests for the planner (`ctest -L opt`): the
+ * analytical-prune + simulate-top-K pipeline must agree with
+ * exhaustive simulation on every case-study model, the advisor and
+ * planner must share one statement of feasibility, and beam search
+ * must land on the exhaustive winner for the calibrated zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/arch_feasibility.h"
+#include "core/arch_selection.h"
+#include "opt/optimization_planner.h"
+
+namespace paichar::opt {
+namespace {
+
+using workload::ArchType;
+using workload::ModelZoo;
+
+TEST(PlannerSearchTest, TopKPruningMatchesExhaustiveSimulation)
+{
+    // The oracle: for every zoo model, the default prune (top_k
+    // candidates simulated) must select the same best plan as
+    // simulating every feasible candidate.
+    for (const auto &model : ModelZoo::all()) {
+        OptimizationPlanner pruned; // default top_k
+        PlannerConfig full_cfg;
+        full_cfg.top_k = 0; // simulate everything
+        OptimizationPlanner full(full_cfg);
+        Plan a = pruned.best(model);
+        Plan b = full.best(model);
+        EXPECT_EQ(a.label(), b.label()) << model.name;
+        EXPECT_NEAR(a.speedup, b.speedup, 1e-9 * b.speedup)
+            << model.name;
+    }
+}
+
+TEST(PlannerSearchTest, BeamSearchFindsExhaustiveWinner)
+{
+    for (const auto &model : ModelZoo::all()) {
+        PlannerConfig beam_cfg;
+        beam_cfg.search = SearchMode::Beam;
+        OptimizationPlanner beam(beam_cfg);
+        OptimizationPlanner exhaustive;
+        EXPECT_EQ(beam.best(model).label(),
+                  exhaustive.best(model).label())
+            << model.name;
+    }
+}
+
+TEST(PlannerSearchTest, AdvisorAndPlannerShareFeasibility)
+{
+    // Satellite of the refactor: both layers now delegate to
+    // core::resolvePlacement, so their verdicts must be identical
+    // architecture by architecture, model by model.
+    const double gpu_mem = 32e9;
+    core::AnalyticalModel analytical(hw::v100Testbed());
+    core::ArchitectureAdvisor advisor(analytical, gpu_mem);
+    PlannerConfig cfg;
+    cfg.gpu_memory_bytes = gpu_mem;
+    OptimizationPlanner planner(cfg);
+
+    for (const auto &model : ModelZoo::all()) {
+        workload::TrainingJob job;
+        job.arch = model.arch;
+        job.num_cnodes = model.num_cnodes;
+        job.features = model.features;
+
+        auto specs = planner.enumerate(model);
+        for (const auto &option : advisor.evaluate(job)) {
+            core::Placement p = core::resolvePlacement(
+                model.features, option.arch, model.num_cnodes,
+                analytical.spec().server, gpu_mem);
+            EXPECT_EQ(option.feasible, p.feasible)
+                << model.name << " "
+                << workload::toString(option.arch);
+            EXPECT_EQ(option.num_cnodes, p.num_cnodes)
+                << model.name << " "
+                << workload::toString(option.arch);
+            EXPECT_EQ(option.reason, p.reason)
+                << model.name << " "
+                << workload::toString(option.arch);
+
+            // The planner enumerates un-partitioned plans on an
+            // architecture exactly when the advisor deems it
+            // feasible.
+            bool planner_has = false;
+            for (const PlanSpec &s : specs) {
+                if (s.arch == option.arch && s.splitWays() == 1) {
+                    planner_has = true;
+                    EXPECT_EQ(s.num_cnodes, p.num_cnodes)
+                        << model.name << " " << s.label();
+                }
+            }
+            EXPECT_EQ(planner_has, option.feasible)
+                << model.name << " "
+                << workload::toString(option.arch);
+        }
+    }
+}
+
+TEST(PlannerSearchTest, PartitioningUnlocksReplicaArchitectures)
+{
+    // Multi-Interests' 239 GB of embeddings cannot replicate on a
+    // 32 GB GPU, but an 8-way shard fits: the hybrid search must
+    // surface AllReduce plans the pure data-parallel advisor cannot.
+    OptimizationPlanner planner;
+    auto specs = planner.enumerate(ModelZoo::multiInterests());
+    bool partitioned_replica = false;
+    for (const PlanSpec &s : specs) {
+        EXPECT_TRUE(s.arch != ArchType::AllReduceLocal ||
+                    s.splitWays() > 1)
+            << s.label();
+        if (s.arch == ArchType::AllReduceLocal && s.splitWays() == 8)
+            partitioned_replica = true;
+    }
+    EXPECT_TRUE(partitioned_replica);
+}
+
+} // namespace
+} // namespace paichar::opt
