@@ -17,19 +17,25 @@
  * for the analytical and simulated cost models over the enumerated
  * plan space of two case-study models (BENCH_opt_planner.json) --
  * the ratio between the two evaluators is what makes the planner's
- * analytical-prune-then-simulate-top-K search pay off.
+ * analytical-prune-then-simulate-top-K search pay off. A fifth
+ * sim-engine section compares the seed priority_queue event engine
+ * against the arena/ladder EventQueue and the sharded engine on an
+ * 8M-event drain (recorded in BENCH_sim_engine.json).
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,6 +53,8 @@
 #include "opt/optimization_planner.h"
 #include "opt/passes.h"
 #include "runtime/parallel.h"
+#include "sim/event_queue.h"
+#include "sim/sharded_engine.h"
 #include "testbed/training_sim.h"
 #include "trace/binary_trace.h"
 #include "trace/synthetic_cluster.h"
@@ -740,6 +748,221 @@ runPlannerSection()
     std::printf("\n");
 }
 
+/**
+ * The seed repo's event engine, kept verbatim as the sim_engine
+ * baseline (mirroring the legacy CSV parser above): a
+ * std::priority_queue of std::function events with the
+ * const_cast-move pop. Everything the ladder/sharded engines are
+ * measured against.
+ */
+namespace seed_sim {
+
+class EventQueue
+{
+  public:
+    void
+    schedule(double when, std::function<void()> fn)
+    {
+        if (when < now_)
+            when = now_;
+        heap_.push(Event{when, next_seq_++, std::move(fn)});
+    }
+
+    double
+    run()
+    {
+        while (!heap_.empty()) {
+            Event ev =
+                std::move(const_cast<Event &>(heap_.top()));
+            heap_.pop();
+            now_ = ev.when;
+            ++executed_;
+            ev.fn();
+        }
+        return now_;
+    }
+
+    uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        double when;
+        uint64_t seq;
+        std::function<void()> fn;
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>>
+        heap_;
+    double now_ = 0.0;
+    uint64_t next_seq_ = 0;
+    uint64_t executed_ = 0;
+};
+
+} // namespace seed_sim
+
+/** splitmix64 for reproducible event times without <random>. */
+uint64_t
+simBenchMix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Event-engine section: bulk-schedule-then-drain throughput of the
+ * seed priority_queue engine, the arena/ladder EventQueue, and the
+ * sharded engine at 2 and 8 shards on the global pool, over the same
+ * splitmix64-timed event population (the contents of
+ * BENCH_sim_engine.json). Event count defaults to 8M; override with
+ * PAICHAR_SIM_BENCH_EVENTS for quick runs. CI greps the
+ * speedup_vs_seed column.
+ */
+void
+runSimEngineSection()
+{
+    size_t events_n = 8000000;
+    if (const char *env =
+            std::getenv("PAICHAR_SIM_BENCH_EVENTS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            events_n = static_cast<size_t>(v);
+    }
+    constexpr int kReps = 3;
+    constexpr double kHorizon = 1000.0;
+    int threads = runtime::threadCount();
+
+    // Event times are a pure function of the index so every engine
+    // drains the identical population.
+    auto whenAt = [&](size_t i) {
+        return kHorizon *
+               static_cast<double>(simBenchMix(i) >> 11) *
+               0x1.0p-53;
+    };
+
+    std::printf("# sim-engine: %zu events over %.0f simulated "
+                "seconds, best of %d reps, %d threads\n",
+                events_n, kHorizon, kReps, threads);
+
+    // Each rep schedules the population (the one-time trace-load
+    // cost, timed separately) and then times the drain — the phase a
+    // simulation spends its life in, and where the seed's 8M-entry
+    // binary heap of 48-byte events pays ~log2(n) cache misses per
+    // pop.
+    struct Timing
+    {
+        double schedule_sec;
+        double drain_sec;
+        uint64_t executed;
+    };
+    struct Row
+    {
+        const char *engine;
+        int shards;
+        std::function<Timing()> body;
+    };
+    auto timeDrain = [](auto &engine, auto &&scheduleAll) {
+        auto t0 = std::chrono::steady_clock::now();
+        scheduleAll();
+        auto t1 = std::chrono::steady_clock::now();
+        engine.run();
+        auto t2 = std::chrono::steady_clock::now();
+        return Timing{
+            std::chrono::duration<double>(t1 - t0).count(),
+            std::chrono::duration<double>(t2 - t1).count(),
+            engine.executed()};
+    };
+    std::vector<Row> rows = {
+        {"serial_seed", 1,
+         [&] {
+             seed_sim::EventQueue eq;
+             uint64_t acc = 0;
+             Timing t = timeDrain(eq, [&] {
+                 for (size_t i = 0; i < events_n; ++i)
+                     eq.schedule(whenAt(i), [&acc] { ++acc; });
+             });
+             benchmark::DoNotOptimize(acc);
+             return t;
+         }},
+        {"ladder", 1,
+         [&] {
+             sim::EventQueue eq;
+             uint64_t acc = 0;
+             Timing t = timeDrain(eq, [&] {
+                 for (size_t i = 0; i < events_n; ++i)
+                     eq.schedule(whenAt(i), [&acc] { ++acc; });
+             });
+             benchmark::DoNotOptimize(acc);
+             return t;
+         }},
+    };
+    for (int shards : {2, 8}) {
+        rows.push_back(
+            {"sharded", shards, [&, shards]() -> Timing {
+                 sim::ShardedEngine engine(shards, /*lookahead=*/0.1,
+                                           runtime::globalPool());
+                 // One cache line per shard accumulator so parallel
+                 // drains do not false-share.
+                 std::vector<uint64_t> acc(
+                     static_cast<size_t>(shards) * 8, 0);
+                 Timing t = timeDrain(engine, [&] {
+                     for (size_t i = 0; i < events_n; ++i) {
+                         int s = static_cast<int>(
+                             i % static_cast<size_t>(shards));
+                         engine.schedule(
+                             s, whenAt(i), [&acc, s] {
+                                 ++acc[static_cast<size_t>(s) * 8];
+                             });
+                     }
+                 });
+                 benchmark::DoNotOptimize(acc.data());
+                 return t;
+             }});
+    }
+
+    double seed_drain = 0.0;
+    for (const Row &row : rows) {
+        Timing best{0.0, 0.0, 0};
+        for (int rep = 0; rep < kReps; ++rep) {
+            Timing t = row.body();
+            if (t.executed != events_n) {
+                std::fprintf(stderr,
+                             "sim_engine %s: executed %llu of %zu "
+                             "events\n",
+                             row.engine,
+                             static_cast<unsigned long long>(
+                                 t.executed),
+                             events_n);
+                std::exit(1);
+            }
+            if (rep == 0 || t.drain_sec < best.drain_sec)
+                best = t;
+        }
+        if (row.engine == std::string("serial_seed"))
+            seed_drain = best.drain_sec;
+        std::printf(
+            "{\"bench\":\"sim_engine\",\"engine\":\"%s\","
+            "\"shards\":%d,\"events\":%zu,\"threads\":%d,"
+            "\"schedule_seconds\":%.6f,\"seconds\":%.6f,"
+            "\"events_per_s\":%.0f,\"speedup_vs_seed\":%.2f}\n",
+            row.engine, row.shards, events_n, threads,
+            best.schedule_sec, best.drain_sec,
+            static_cast<double>(events_n) / best.drain_sec,
+            seed_drain > 0.0 ? seed_drain / best.drain_sec : 0.0);
+    }
+    std::printf("\n");
+}
+
 } // namespace
 
 int
@@ -750,6 +973,7 @@ main(int argc, char **argv)
     runObsOverheadSection();
     runObsInstrumentationOverheadSection();
     runPlannerSection();
+    runSimEngineSection();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -95,7 +95,7 @@ struct ClusterAnalysis
     std::unique_ptr<core::AnalyticalModel> model;
     std::unique_ptr<core::ClusterCharacterizer> characterizer;
 
-    const std::vector<workload::TrainingJob> &
+    const workload::JobStore &
     jobs() const
     {
         return characterizer->jobs();

@@ -27,6 +27,7 @@
 #include "opt/optimization_planner.h"
 #include "profiler/bottleneck_report.h"
 #include "runtime/parallel.h"
+#include "sim/sharded_engine.h"
 #include "stats/table.h"
 #include "testbed/training_sim.h"
 #include "trace/synthetic_cluster.h"
@@ -165,13 +166,15 @@ printUsage(std::ostream &out)
            "arch).\n"
            "\n"
            "TRACE files may be CSV or paib binary; the format is "
-           "auto-detected.\nconvert infers the output format from "
-           "the extension (.paib/.bin = binary)\nunless "
-           "--trace-format is given.\n"
+           "auto-detected.\ngenerate and convert infer the output "
+           "format from the --out extension\n(.paib/.bin = binary) "
+           "unless --trace-format is given.\n"
            "\n"
            "Every command accepts --threads N (default: "
-           "$PAICHAR_THREADS, else all\nhardware threads; 1 = serial). "
-           "Outputs are identical for every N.\n"
+           "$PAICHAR_THREADS, else all\nhardware threads; 1 = serial) "
+           "and --shards K (default: $PAICHAR_SHARDS,\nelse 1) to "
+           "shard the discrete-event engine by server domain.\n"
+           "Outputs are identical for every N and K.\n"
            "\n"
            "Observability (never touches stdout):\n"
            "  --metrics[=FILE]  write the metric summary to FILE "
@@ -214,6 +217,28 @@ loadTrace(const Args &args, std::ostream &err)
 }
 
 /**
+ * Like loadTrace, but keeps `paib` traces in their mmap'd columnar
+ * form: jobs decode on access instead of being materialized up
+ * front. Rejects exactly the inputs loadTrace rejects, with the
+ * same error text.
+ */
+std::optional<workload::JobStore>
+loadTraceStore(const Args &args, std::ostream &err)
+{
+    if (args.positional.size() < 2) {
+        err << "error: expected a trace file\n";
+        return std::nullopt;
+    }
+    auto r = trace::readTraceStore(args.positional[1],
+                                   runtime::globalPool());
+    if (!r.ok) {
+        err << "error: " << r.error << "\n";
+        return std::nullopt;
+    }
+    return std::move(r.store);
+}
+
+/**
  * The --trace-format flag ("csv" | "bin"). @p fallback covers the
  * unset case: cmdGenerate defaults to CSV, cmdConvert infers from
  * the output file extension.
@@ -251,13 +276,18 @@ cmdGenerate(const Args &args, std::ostream &out, std::ostream &err)
 {
     auto jobs_n = static_cast<size_t>(args.numFlag("jobs", 20000));
     auto seed = static_cast<uint64_t>(args.numFlag("seed", 20181201));
-    auto format =
-        traceFormatFlag(args, trace::TraceFormat::Csv, err);
+    auto out_file = args.flag("out");
+    // Like convert: the --out extension picks the format (.paib/.bin
+    // = binary), --trace-format overrides.
+    auto format = traceFormatFlag(
+        args,
+        out_file ? formatFromExtension(*out_file)
+                 : trace::TraceFormat::Csv,
+        err);
     if (!format)
         return 1;
     trace::SyntheticClusterGenerator gen(seed);
     auto jobs = gen.generate(jobs_n, runtime::globalPool());
-    auto out_file = args.flag("out");
     if (out_file) {
         if (!trace::writeTraceFile(*out_file, jobs, *format)) {
             err << "error: cannot write '" << *out_file << "'\n";
@@ -308,7 +338,7 @@ cmdConvert(const Args &args, std::ostream &out, std::ostream &err)
 int
 cmdCharacterize(const Args &args, std::ostream &out, std::ostream &err)
 {
-    auto jobs = loadTrace(args, err);
+    auto jobs = loadTraceStore(args, err);
     if (!jobs)
         return 1;
     core::AnalyticalModel model(hw::paiCluster());
@@ -745,9 +775,10 @@ cmdServe(const Args &args, std::ostream &out, std::ostream &err)
 int
 cmdSchedule(const Args &args, std::ostream &out, std::ostream &err)
 {
-    auto jobs = loadTrace(args, err);
-    if (!jobs)
+    auto store = loadTraceStore(args, err);
+    if (!store)
         return 1;
+    auto jobs = std::move(*store).materialize();
     clustersim::SchedulerConfig cfg;
     cfg.num_servers =
         static_cast<int>(args.numFlag("servers", 64));
@@ -756,10 +787,10 @@ cmdSchedule(const Args &args, std::ostream &out, std::ostream &err)
     double rate = args.numFlag("rate", 150.0);
 
     // Clamp jobs to the cluster and build a submission stream.
-    for (auto &j : *jobs)
+    for (auto &j : jobs)
         j.num_cnodes = std::min(j.num_cnodes, cfg.num_servers);
     auto requests = clustersim::poissonRequests(
-        *jobs, rate, 2000.0, 1.2, 20181201);
+        jobs, rate, 2000.0, 1.2, 20181201);
 
     core::AnalyticalModel model(hw::paiCluster());
     clustersim::ClusterScheduler sched(cfg, model);
@@ -971,6 +1002,15 @@ run(const std::vector<std::string> &args, std::ostream &out,
                 return 1;
             }
             runtime::setThreadCount(static_cast<int>(t));
+        }
+        if (parsed->flag("shards")) {
+            double k = parsed->numFlag("shards", 0);
+            if (k < 1 || k != std::floor(k)) {
+                err << "error: --shards expects a positive "
+                       "integer\n";
+                return 1;
+            }
+            sim::setShardCount(static_cast<int>(k));
         }
 
         auto metrics_dest = parsed->flag("metrics");

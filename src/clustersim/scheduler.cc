@@ -5,10 +5,12 @@
 #include <cmath>
 #include <deque>
 #include <limits>
-#include <queue>
 
 #include "obs/job_log.h"
 #include "obs/obs.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+#include "sim/sharded_engine.h"
 #include "stats/cdf.h"
 #include "stats/rng.h"
 
@@ -153,29 +155,41 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
     for (int s = 0; s < nvl_servers; ++s)
         cap.nvlink[static_cast<size_t>(s)] = true;
 
-    struct Running
-    {
-        double finish;
-        uint64_t seq;
-        size_t outcome;
-        Allocation alloc;
-        bool operator>(const Running &o) const
-        {
-            return finish != o.finish ? finish > o.finish
-                                      : seq > o.seq;
-        }
-    };
-    std::priority_queue<Running, std::vector<Running>,
-                        std::greater<Running>>
-        running;
+    // Completion events run on a sharded discrete-event engine: a
+    // job's finish event lives on the shard of its first allocated
+    // server, so completions at the same timestamp on different
+    // domains drain in parallel. Releases commute (they only add
+    // capacity back), which keeps the outcome byte-identical for any
+    // shard count, including the serial shards=1 fast path.
+    int num_shards = sim::shardCount();
+    sim::ShardedEngine engine(num_shards, /*lookahead=*/0.0,
+                              runtime::globalPool());
+
+    // Allocations of in-flight jobs, indexed by slot; finished slots
+    // are recycled through a free list so long traces do not grow the
+    // table past the peak concurrency.
+    std::vector<Allocation> slots;
+    std::vector<size_t> free_slots;
+    // Per-shard buffers of slots whose jobs finished in the last
+    // drain; a shard's completion callbacks are the only writers of
+    // its buffer, so no locks are needed.
+    std::vector<std::vector<size_t>> finished(
+        static_cast<size_t>(engine.numShards()));
 
     ClusterOutcome out;
     out.jobs.reserve(requests.size());
     std::deque<size_t> pending; // indices into requests
     size_t arrival = 0;
-    uint64_t seq = 0;
     double now = 0.0;
     double gpu_seconds = 0.0;
+
+    // As-submitted step times are pure per-job model evaluations:
+    // price them up front in parallel. Ported placements execute a
+    // different architecture and are priced on demand.
+    std::vector<double> submitted_step = runtime::parallelMap<double>(
+        runtime::globalPool(), requests.size(), [&](size_t i) {
+            return model_.stepTime(requests[i].job);
+        });
 
     // Per-request attempt counts, recorded in the job log so queue
     // behavior (how often the head was retried) is visible per job.
@@ -248,7 +262,8 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
         }
 
         cap.take(alloc);
-        double step = model_.stepTime(executed);
+        double step = ported ? model_.stepTime(executed)
+                             : submitted_step[req_index];
         double runtime = step * static_cast<double>(req.num_steps);
 
         JobOutcome jo;
@@ -298,13 +313,32 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
         }
 
         out.jobs.push_back(jo);
-        running.push(
-            {jo.finish_time, seq++, out.jobs.size() - 1, alloc});
+        if (std::isfinite(jo.finish_time)) {
+            size_t slot;
+            if (!free_slots.empty()) {
+                slot = free_slots.back();
+                free_slots.pop_back();
+                slots[slot] = std::move(alloc);
+            } else {
+                slot = slots.size();
+                slots.push_back(std::move(alloc));
+            }
+            int shard = slots[slot].front().first %
+                        engine.numShards();
+            engine.schedule(shard, jo.finish_time,
+                            [&finished, shard, slot] {
+                                finished[static_cast<size_t>(shard)]
+                                    .push_back(slot);
+                            });
+        }
+        // A non-finite finish never fires: the job holds its GPUs
+        // forever, exactly as the old priority-queue loop (which
+        // broke out before ever popping it) behaved.
         return true;
     };
 
     while (arrival < requests.size() || !pending.empty() ||
-           !running.empty()) {
+           engine.pending() > 0) {
         // Admit all submissions up to `now`, dropping jobs the
         // cluster can never host (e.g. more cNodes than NVLink
         // capacity). Admitting them would starve the queue forever
@@ -368,16 +402,20 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
         double next = std::numeric_limits<double>::infinity();
         if (arrival < requests.size())
             next = requests[arrival].submit_time;
-        if (!running.empty())
-            next = std::min(next, running.top().finish);
+        next = std::min(next, engine.nextEventTime());
         if (!std::isfinite(next))
             break; // queue non-empty but nothing can ever finish
         now = std::max(now, next);
 
-        // Release everything finishing at `now`.
-        while (!running.empty() && running.top().finish <= now) {
-            cap.release(running.top().alloc);
-            running.pop();
+        // Fire every completion up to `now` and release its GPUs.
+        engine.runUntil(now);
+        for (std::vector<size_t> &shard_done : finished) {
+            for (size_t slot : shard_done) {
+                cap.release(slots[slot]);
+                slots[slot].clear();
+                free_slots.push_back(slot);
+            }
+            shard_done.clear();
         }
     }
     // Every admitted job is placeable on an empty cluster, so the

@@ -61,6 +61,14 @@ Constitution::cnodeShare(ArchType a) const
 ClusterCharacterizer::ClusterCharacterizer(const AnalyticalModel &model,
                                            std::vector<TrainingJob> jobs,
                                            runtime::ThreadPool *pool)
+    : ClusterCharacterizer(model,
+                           workload::JobStore(std::move(jobs)), pool)
+{
+}
+
+ClusterCharacterizer::ClusterCharacterizer(const AnalyticalModel &model,
+                                           workload::JobStore jobs,
+                                           runtime::ThreadPool *pool)
     : model_(model), jobs_(std::move(jobs)), pool_(pool)
 {
     // The model-evaluation hot path: every job's analytical
@@ -70,7 +78,7 @@ ClusterCharacterizer::ClusterCharacterizer(const AnalyticalModel &model,
     obs::counter("core.jobs_evaluated").add(jobs_.size());
     breakdowns_.resize(jobs_.size());
     runtime::parallelFor(pool_, jobs_.size(), [&](size_t i) {
-        breakdowns_[i] = model_.breakdown(jobs_[i]);
+        breakdowns_[i] = model_.breakdown(jobs_.job(i));
     });
 }
 
@@ -102,9 +110,10 @@ ClusterCharacterizer::cnodeCountCdf(ArchType arch) const
         [&](size_t lo, size_t hi) {
             SampleVec part;
             for (size_t i = lo; i < hi; ++i) {
-                if (jobs_[i].arch == arch)
+                const TrainingJob job = jobs_.job(i);
+                if (job.arch == arch)
                     part.emplace_back(
-                        static_cast<double>(jobs_[i].num_cnodes), 1.0);
+                        static_cast<double>(job.num_cnodes), 1.0);
             }
             return part;
         },
@@ -120,8 +129,9 @@ ClusterCharacterizer::weightSizeCdf(std::optional<ArchType> arch) const
         [&](size_t lo, size_t hi) {
             SampleVec part;
             for (size_t i = lo; i < hi; ++i) {
-                if (!arch || jobs_[i].arch == *arch)
-                    part.emplace_back(jobs_[i].features.weightBytes(),
+                const TrainingJob job = jobs_.job(i);
+                if (!arch || job.arch == *arch)
+                    part.emplace_back(job.features.weightBytes(),
                                       1.0);
             }
             return part;
@@ -154,9 +164,10 @@ ClusterCharacterizer::avgBreakdown(std::optional<ArchType> arch,
         [&](size_t lo, size_t hi) {
             Partial part;
             for (size_t i = lo; i < hi; ++i) {
-                if (arch && jobs_[i].arch != *arch)
+                const TrainingJob job = jobs_.job(i);
+                if (arch && job.arch != *arch)
                     continue;
-                double w = levelWeight(jobs_[i], level);
+                double w = levelWeight(job, level);
                 for (size_t c = 0; c < 4; ++c)
                     part.acc[c] +=
                         w * breakdowns_[i].fraction(kAllComponents[c]);
@@ -189,10 +200,11 @@ ClusterCharacterizer::componentCdf(Component c,
         [&](size_t lo, size_t hi) {
             SampleVec part;
             for (size_t i = lo; i < hi; ++i) {
-                if (arch && jobs_[i].arch != *arch)
+                const TrainingJob job = jobs_.job(i);
+                if (arch && job.arch != *arch)
                     continue;
                 part.emplace_back(breakdowns_[i].fraction(c),
-                                  levelWeight(jobs_[i], level));
+                                  levelWeight(job, level));
             }
             return part;
         },
@@ -209,7 +221,7 @@ ClusterCharacterizer::hwComponentCdf(HwComponent h, Level level) const
             SampleVec part;
             for (size_t i = lo; i < hi; ++i) {
                 part.emplace_back(breakdowns_[i].hwFraction(h),
-                                  levelWeight(jobs_[i], level));
+                                  levelWeight(jobs_.job(i), level));
             }
             return part;
         },

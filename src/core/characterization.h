@@ -17,6 +17,7 @@
 #include "core/analytical_model.h"
 #include "runtime/parallel.h"
 #include "stats/cdf.h"
+#include "workload/job_store.h"
 #include "workload/training_job.h"
 
 namespace paichar::core {
@@ -68,11 +69,19 @@ class ClusterCharacterizer
                          runtime::ThreadPool *pool =
                              runtime::globalPool());
 
-    /** The analyzed jobs. */
-    const std::vector<workload::TrainingJob> &jobs() const
-    {
-        return jobs_;
-    }
+    /**
+     * Same, over a JobStore — the zero-copy path: a store borrowed
+     * from an mmap'd `paib` trace is analyzed without ever
+     * materializing a jobs vector.
+     */
+    ClusterCharacterizer(const AnalyticalModel &model,
+                         workload::JobStore jobs,
+                         runtime::ThreadPool *pool =
+                             runtime::globalPool());
+
+    /** The analyzed jobs (iterable; jobs assemble on access in the
+        zero-copy case). */
+    const workload::JobStore &jobs() const { return jobs_; }
 
     /** Cached breakdown of jobs()[i]. */
     const TimeBreakdown &breakdownOf(size_t i) const;
@@ -112,7 +121,7 @@ class ClusterCharacterizer
                        Level level) const;
 
     const AnalyticalModel &model_;
-    std::vector<workload::TrainingJob> jobs_;
+    workload::JobStore jobs_;
     std::vector<TimeBreakdown> breakdowns_;
     runtime::ThreadPool *pool_;
 };

@@ -1,0 +1,289 @@
+#include "sharded_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "obs/obs.h"
+#include "runtime/parallel.h"
+
+namespace paichar::sim {
+
+namespace {
+
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+/** Per-shard executed counters, capped so the registry stays small. */
+constexpr int kMaxShardCounters = 16;
+
+obs::Counter &
+shardCounter(int s)
+{
+    int idx = std::min(s, kMaxShardCounters);
+    std::string name =
+        idx == kMaxShardCounters
+            ? std::string("sim.shard_rest.events_executed")
+            : "sim.shard" + std::to_string(idx) +
+                  ".events_executed";
+    return obs::counter(obs::internName(name));
+}
+
+obs::Counter &
+crossShardCounter()
+{
+    static obs::Counter &c = obs::counter("sim.cross_shard_events");
+    return c;
+}
+
+obs::Counter &
+crossShardClampedCounter()
+{
+    static obs::Counter &c =
+        obs::counter("sim.cross_shard_clamped");
+    return c;
+}
+
+obs::Counter &
+syncRoundsCounter()
+{
+    static obs::Counter &c = obs::counter("sim.sync_rounds");
+    return c;
+}
+
+/** Events executed per synchronization round: the parallel grain. */
+obs::Histogram &
+roundEventsHistogram()
+{
+    static obs::Histogram &h =
+        obs::histogram("sim.sync_round_events");
+    return h;
+}
+
+int g_shard_count = 0; // 0 = unset, fall back to the environment
+
+int
+envShardCount()
+{
+    const char *v = std::getenv("PAICHAR_SHARDS");
+    if (v != nullptr) {
+        int n = std::atoi(v);
+        if (n >= 1)
+            return n;
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+shardCount()
+{
+    return g_shard_count >= 1 ? g_shard_count : envShardCount();
+}
+
+void
+setShardCount(int n)
+{
+    g_shard_count = n >= 1 ? n : 0;
+}
+
+ShardedEngine::ShardedEngine(int num_shards, SimTime lookahead,
+                             runtime::ThreadPool *pool)
+    : pool_(pool), lookahead_(lookahead)
+{
+    if (!(lookahead_ >= 0.0) || !std::isfinite(lookahead_)) {
+        throw std::invalid_argument(
+            "ShardedEngine: lookahead must be finite and >= 0");
+    }
+    int n = std::max(num_shards, 1);
+    shards_.reserve(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s) {
+        shards_.push_back(std::make_unique<EventQueue>());
+        shard_counters_.push_back(&shardCounter(s));
+    }
+    outbox_.resize(static_cast<size_t>(n));
+}
+
+void
+ShardedEngine::schedule(int s, SimTime when,
+                        std::function<void()> fn)
+{
+    shards_[static_cast<size_t>(s)]->schedule(when, std::move(fn));
+}
+
+void
+ShardedEngine::post(int src, int dst, SimTime when,
+                    std::function<void()> fn)
+{
+    if (!std::isfinite(when)) {
+        throw std::invalid_argument(
+            "ShardedEngine::post: non-finite time");
+    }
+    crossShardCounter().add();
+    if (!in_round_ || src == dst) {
+        shards_[static_cast<size_t>(dst)]->schedule(when,
+                                                    std::move(fn));
+        return;
+    }
+    SimTime floor =
+        shards_[static_cast<size_t>(src)]->now() + lookahead_;
+    if (when < floor) {
+        // A message below the conservative bound would land inside a
+        // window another shard may already have drained. Clamping to
+        // the round's safe horizon keeps delivery deterministic (the
+        // horizon depends only on event times); the count lets runs
+        // assert the protocol was never violated.
+        when = std::max(round_safe_, when);
+        crossShardClampedCounter().add();
+    }
+    std::vector<Message> &box = outbox_[static_cast<size_t>(src)];
+    box.push_back(Message{when, src,
+                          static_cast<uint64_t>(box.size()), dst,
+                          std::move(fn)});
+}
+
+size_t
+ShardedEngine::pending() const
+{
+    size_t n = 0;
+    for (const auto &q : shards_)
+        n += q->pending();
+    return n;
+}
+
+SimTime
+ShardedEngine::nextEventTime()
+{
+    SimTime m = kInf;
+    for (const auto &q : shards_)
+        m = std::min(m, q->nextEventTime());
+    return m;
+}
+
+uint64_t
+ShardedEngine::executed() const
+{
+    uint64_t n = 0;
+    for (const auto &q : shards_)
+        n += q->executed();
+    return n;
+}
+
+void
+ShardedEngine::deliverMessages()
+{
+    // Deterministic merge: delivery order — and therefore the
+    // destination queue's tie-breaking sequence numbers — is a pure
+    // function of (when, source shard, source send order).
+    std::vector<Message *> msgs;
+    for (auto &box : outbox_)
+        for (Message &m : box)
+            msgs.push_back(&m);
+    if (msgs.empty())
+        return;
+    std::sort(msgs.begin(), msgs.end(),
+              [](const Message *a, const Message *b) {
+                  if (a->when != b->when)
+                      return a->when < b->when;
+                  if (a->src != b->src)
+                      return a->src < b->src;
+                  return a->order < b->order;
+              });
+    for (Message *m : msgs) {
+        shards_[static_cast<size_t>(m->dst)]->schedule(
+            m->when, std::move(m->fn));
+    }
+    for (auto &box : outbox_)
+        box.clear();
+}
+
+void
+ShardedEngine::round(SimTime m, SimTime cap)
+{
+    // Window: [m, m + L) for L > 0, the single point m for L == 0
+    // (or when m + L rounds back to m). Inclusive execution is capped
+    // at `cap` so runUntil() semantics ("time <= until") hold at the
+    // boundary.
+    SimTime bound = lookahead_ > 0.0 ? m + lookahead_ : m;
+    bool strict = lookahead_ > 0.0 && bound > m && bound <= cap;
+    ++rounds_;
+    syncRoundsCounter().add();
+    in_round_ = true;
+    round_safe_ = strict ? bound : std::min(std::max(m, bound), cap);
+    uint64_t before = executed();
+
+    // Only shards with work inside the window take part; a
+    // single-shard round stays on the calling thread (the common
+    // clustersim case: one completion per timestamp).
+    size_t n = shards_.size();
+    active_.clear();
+    for (size_t s = 0; s < n; ++s) {
+        SimTime next = shards_[s]->nextEventTime();
+        bool has = strict ? next < bound
+                          : next <= std::min(bound, cap);
+        if (has)
+            active_.push_back(s);
+    }
+    auto drain = [&](size_t idx) {
+        size_t s = active_[idx];
+        uint64_t shard_before = shards_[s]->executed();
+        if (strict)
+            shards_[s]->runBefore(bound);
+        else
+            shards_[s]->runUntil(std::min(bound, cap));
+        shard_counters_[s]->add(shards_[s]->executed() -
+                                shard_before);
+    };
+    if (active_.size() == 1)
+        drain(0);
+    else
+        runtime::parallelFor(pool_, active_.size(), drain);
+
+    in_round_ = false;
+    roundEventsHistogram().observe(
+        static_cast<double>(executed() - before));
+    deliverMessages();
+    now_ = std::max(now_, std::min(round_safe_, cap));
+}
+
+SimTime
+ShardedEngine::run()
+{
+    if (shards_.size() == 1 && outbox_[0].empty())
+        return now_ = shards_[0]->run();
+    obs::Span span("sim.sharded_run");
+    uint64_t before = executed();
+    while (true) {
+        SimTime m = nextEventTime();
+        if (m == kInf)
+            break;
+        round(m, kInf);
+    }
+    span.setArg(static_cast<int64_t>(executed() - before));
+    return now_;
+}
+
+SimTime
+ShardedEngine::runUntil(SimTime until)
+{
+    if (shards_.size() == 1 && outbox_[0].empty())
+        return now_ = shards_[0]->runUntil(until);
+    obs::Span span("sim.sharded_run_until");
+    uint64_t before = executed();
+    while (true) {
+        SimTime m = nextEventTime();
+        if (m > until)
+            break;
+        round(m, until);
+    }
+    for (auto &q : shards_)
+        q->advanceTo(until);
+    now_ = std::max(now_, until);
+    span.setArg(static_cast<int64_t>(executed() - before));
+    return now_;
+}
+
+} // namespace paichar::sim

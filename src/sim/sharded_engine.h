@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Sharded parallel discrete-event engine with conservative-lookahead
+ * synchronization (Chandy-Misra-Bryant style).
+ *
+ * The simulation is partitioned into shards (one per server/topology
+ * domain); each shard owns a private EventQueue. Shards advance in
+ * synchronized rounds:
+ *
+ *   1. The engine takes the minimum next event time `m` across all
+ *      shards. With lookahead L > 0 the safe window is [m, m + L)
+ *      (no cross-shard message sent at or after `m` can arrive
+ *      before m + L); with L == 0 the window degenerates to the
+ *      single time point `m`.
+ *   2. Every shard with work inside the window drains it in parallel
+ *      on `paichar::runtime` workers. Shard-local state is touched
+ *      only by the shard's own drain, so no locks are needed.
+ *   3. Barrier. Cross-shard messages buffered by post() during the
+ *      round are merged deterministically — sorted by
+ *      (when, source shard, source order) — and delivered to their
+ *      destination queues before the next round.
+ *
+ * Because every shard drains a window whose boundaries depend only on
+ * event times (never on the worker count), and the merge order is a
+ * pure function of the messages, the executed event sequence — and
+ * therefore every simulation output — is byte-identical for any
+ * shard count x thread count combination, including the shards=1
+ * degenerate case which delegates straight to the single EventQueue.
+ *
+ * Cross-shard messages must respect the lookahead: post() requires
+ * when >= sender now + lookahead. A violating message is clamped to
+ * the current round's safe horizon (deterministically) and counted
+ * in `sim.cross_shard_clamped`, mirroring EventQueue's past-time
+ * clamp policy.
+ */
+
+#ifndef PAICHAR_SIM_SHARDED_ENGINE_H
+#define PAICHAR_SIM_SHARDED_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace paichar::runtime {
+class ThreadPool;
+}
+
+namespace paichar::obs {
+class Counter;
+}
+
+namespace paichar::sim {
+
+/**
+ * Process-wide default shard count for simulation engines, set by
+ * the CLI --shards flag (mirroring runtime::threadCount for
+ * --threads). Defaults to $PAICHAR_SHARDS, else 1.
+ */
+int shardCount();
+
+/** Set the default shard count; n <= 0 restores the environment
+    default. */
+void setShardCount(int n);
+
+/** A parallel discrete-event engine over sharded event queues. */
+class ShardedEngine
+{
+  public:
+    /**
+     * @param num_shards Shards (>= 1; clamped up to 1).
+     * @param lookahead  Cross-shard latency lower bound in seconds
+     *                   (>= 0). 0 = lockstep rounds, one distinct
+     *                   timestamp per round.
+     * @param pool       Workers for parallel rounds (nullptr =
+     *                   serial; still shard-deterministic).
+     */
+    explicit ShardedEngine(int num_shards, SimTime lookahead = 0.0,
+                           runtime::ThreadPool *pool = nullptr);
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    int numShards() const
+    {
+        return static_cast<int>(shards_.size());
+    }
+
+    /** Committed global time: every shard has advanced at least this
+        far. */
+    SimTime now() const { return now_; }
+
+    /** Direct access to shard @p s's queue (e.g. to bind topology
+        resources). Outside a parallel round only — or from shard
+        @p s's own callbacks. */
+    EventQueue &shard(int s) { return *shards_[static_cast<size_t>(s)]; }
+
+    /**
+     * Schedule a shard-local event. Callbacks running on shard
+     * @p s may schedule onto their own shard freely; scheduling onto
+     * a *different* shard from inside a round must go through post().
+     */
+    void schedule(int s, SimTime when, std::function<void()> fn);
+
+    /**
+     * Send a cross-shard event from @p src to @p dst, firing at
+     * @p when. Inside a round this buffers the message for the
+     * post-barrier merge; @p when must be >= shard(src).now() +
+     * lookahead() (violations clamp, see file comment). Outside a
+     * round it schedules directly.
+     */
+    void post(int src, int dst, SimTime when,
+              std::function<void()> fn);
+
+    SimTime lookahead() const { return lookahead_; }
+
+    /** Total pending events across all shards. */
+    size_t pending() const;
+
+    /** Earliest pending event time across shards; +inf when empty. */
+    SimTime nextEventTime();
+
+    /** Total events executed across all shards. */
+    uint64_t executed() const;
+
+    /** Synchronization rounds run so far. */
+    uint64_t rounds() const { return rounds_; }
+
+    /** Drain every shard; returns the committed time. */
+    SimTime run();
+
+    /**
+     * Run events with time <= @p until on every shard, then commit
+     * all clocks to @p until. Pending later events remain.
+     */
+    SimTime runUntil(SimTime until);
+
+  private:
+    struct Message
+    {
+        SimTime when;
+        int src;
+        uint64_t order; ///< per-source send order within the round
+        int dst;
+        std::function<void()> fn;
+    };
+
+    /** One synchronized round ending at the window for @p m; @p cap
+        bounds inclusive execution (runUntil). */
+    void round(SimTime m, SimTime cap);
+    void deliverMessages();
+
+    std::vector<std::unique_ptr<EventQueue>> shards_;
+    /** Per-source outboxes; source s's drain thread is the only
+        writer of outbox_[s] during a round. */
+    std::vector<std::vector<Message>> outbox_;
+    /** Per-shard events-executed counters, resolved at construction
+        so worker threads never touch the registry. */
+    std::vector<obs::Counter *> shard_counters_;
+    /** Scratch: shards with work inside the current window. */
+    std::vector<size_t> active_;
+    runtime::ThreadPool *pool_;
+    SimTime lookahead_;
+    SimTime now_ = 0.0;
+    /** Safe horizon of the in-flight round (clamp target). */
+    SimTime round_safe_ = 0.0;
+    bool in_round_ = false;
+    uint64_t rounds_ = 0;
+};
+
+} // namespace paichar::sim
+
+#endif // PAICHAR_SIM_SHARDED_ENGINE_H

@@ -19,6 +19,7 @@
 #include "hw/hardware_config.h"
 #include "sim/event_queue.h"
 #include "sim/resource.h"
+#include "sim/sharded_engine.h"
 #include "workload/model_zoo.h"
 
 namespace paichar::sim {
@@ -47,6 +48,13 @@ struct TopologyConfig
     bool shared_pcie = false;
     /** Servers to instantiate. */
     int num_servers = 1;
+    /**
+     * Event-engine shards the servers are partitioned over (server s
+     * lives on shard s % num_shards; clamped to num_servers). The
+     * default of 1 is the degenerate single-queue engine with the
+     * classic serial semantics; see ClusterSim::engine().
+     */
+    int num_shards = 1;
 };
 
 /** One simulated GPU. */
@@ -116,13 +124,35 @@ class Server
     std::vector<std::unique_ptr<Gpu>> gpus_;
 };
 
-/** A simulated cluster: event queue + servers. */
+/** A simulated cluster: sharded event engine + servers. */
 class ClusterSim
 {
   public:
     explicit ClusterSim(const TopologyConfig &cfg);
 
-    EventQueue &eventQueue() { return eq_; }
+    /**
+     * Shard 0's queue. With the default num_shards == 1 this is the
+     * whole simulation (the classic serial engine); with more shards
+     * it is only the first domain -- drive the simulation with
+     * drain() so every shard advances.
+     */
+    EventQueue &eventQueue() { return engine_.shard(0); }
+
+    /** The sharded engine driving the cluster. */
+    ShardedEngine &engine() { return engine_; }
+
+    /** Shard hosting server @p server_id's resources. */
+    int shardOf(int server_id) const
+    {
+        return server_id % num_shards_;
+    }
+
+    /**
+     * Run the simulation to completion across all shards; returns
+     * the final simulated time.
+     */
+    SimTime drain() { return engine_.run(); }
+
     const TopologyConfig &config() const { return cfg_; }
 
     std::vector<std::unique_ptr<Server>> &servers() { return servers_; }
@@ -147,7 +177,15 @@ class ClusterSim
 
   private:
     TopologyConfig cfg_;
-    EventQueue eq_;
+    int num_shards_;
+    /**
+     * Rounds drain serially (no worker pool): resource task chains
+     * schedule continuations directly across server domains, which is
+     * safe when at most one shard drains at a time. Parallel rounds
+     * are for workloads that keep scheduling shard-local (e.g. the
+     * clustersim completion engine).
+     */
+    ShardedEngine engine_;
     std::vector<std::unique_ptr<Server>> servers_;
 };
 

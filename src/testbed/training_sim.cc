@@ -100,6 +100,7 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
     tc.efficiency = eff;
     tc.kernel_launch_overhead = opts_.kernel_launch_overhead;
     tc.nvlink_links_per_gpu = opts_.nvlink_links_per_gpu;
+    tc.num_shards = opts_.num_shards;
     // Centralized local training shares the host PCIe root; other
     // placements use dedicated links (contention is folded into the
     // measured PCIe efficiency, Sec IV).
@@ -158,7 +159,7 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
                 });
             }
         }
-        eq.run();
+        cluster.drain();
         assert(waiting == 0);
         (void)waiting;
     }
@@ -213,7 +214,7 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
             }
         }
     }
-    eq.run();
+    cluster.drain();
     result.compute_time = comp_end - data_end;
 
     // --- phase 2.5: model-parallel activation exchange ---
@@ -226,7 +227,7 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
             exch_end = std::max(exch_end, end);
             exch_done = true;
         });
-        eq.run();
+        cluster.drain();
         assert(exch_done);
         (void)exch_done;
         result.metadata.transfers.push_back(
@@ -252,7 +253,7 @@ TrainingSimulator::run(const OpGraph &graph, const WorkloadFeatures &f,
         sync_end = std::max(sync_end, end);
         sync_done = true;
     });
-    eq.run();
+    cluster.drain();
     assert(sync_done);
     (void)sync_done;
     result.comm_time = sync_end - exch_end;
@@ -290,6 +291,7 @@ TrainingSimulator::runPipelined(const workload::CaseStudyModel &model,
     tc.efficiency = eff;
     tc.kernel_launch_overhead = opts_.kernel_launch_overhead;
     tc.nvlink_links_per_gpu = opts_.nvlink_links_per_gpu;
+    tc.num_shards = opts_.num_shards;
     tc.shared_pcie = arch == ArchType::OneWorkerMultiGpu;
     const int gps = tc.cluster.server.gpus_per_server;
     bool one_per_server = arch == ArchType::PsWorker;
@@ -316,7 +318,7 @@ TrainingSimulator::runPipelined(const workload::CaseStudyModel &model,
                 : op.mem_bytes / mem_rate);
     }
 
-    // Shared pipeline state; closures keep it alive until eq.run()
+    // Shared pipeline state; closures keep it alive until the drain
     // finishes (all events drain inside this function).
     struct State
     {
@@ -398,7 +400,7 @@ TrainingSimulator::runPipelined(const workload::CaseStudyModel &model,
                 });
         }
     }
-    eq.run();
+    cluster.drain();
 
     PipelineResult result;
     result.steps = steps;

@@ -8,6 +8,7 @@
 
 #include "cli/cli.h"
 #include "runtime/parallel.h"
+#include "sim/sharded_engine.h"
 
 namespace paichar::testkit {
 
@@ -59,36 +60,51 @@ checkGolden(const std::string &name,
 {
     assert(!opts.dir.empty());
     assert(!opts.thread_counts.empty());
+    assert(!opts.shard_counts.empty());
 
     GoldenResult r;
 
-    // Run under every thread count; require identical bytes (the
-    // binary-level determinism contract of the runtime layer).
+    // Run under the full thread x shard matrix; require identical
+    // bytes everywhere (the binary-level determinism contracts of
+    // the runtime layer and the sharded event engine).
     std::string output;
-    for (size_t i = 0; i < opts.thread_counts.size(); ++i) {
-        int threads = opts.thread_counts[i];
-        std::vector<std::string> full = args;
-        full.push_back("--threads");
-        full.push_back(std::to_string(threads));
+    bool first = true;
+    for (int threads : opts.thread_counts) {
+        for (int shards : opts.shard_counts) {
+            std::vector<std::string> full = args;
+            full.push_back("--threads");
+            full.push_back(std::to_string(threads));
+            full.push_back("--shards");
+            full.push_back(std::to_string(shards));
 
-        std::ostringstream out, err;
-        int code = cli::run(full, out, err);
-        // Leave the process-wide pool as the environment dictates.
-        runtime::setThreadCount(0);
-        if (code != 0 || !err.str().empty()) {
-            r.message = name + ": CLI exited " + std::to_string(code) +
-                        " under --threads " + std::to_string(threads) +
-                        "\n  stderr: " + err.str();
-            return r;
-        }
-        if (i == 0) {
-            output = out.str();
-        } else if (out.str() != output) {
-            r.message = name + ": output differs between --threads " +
-                        std::to_string(opts.thread_counts[0]) +
-                        " and --threads " + std::to_string(threads) +
-                        "\n" + firstDifference(output, out.str());
-            return r;
+            std::ostringstream out, err;
+            int code = cli::run(full, out, err);
+            // Leave the process-wide pool and shard default as the
+            // environment dictates.
+            runtime::setThreadCount(0);
+            sim::setShardCount(0);
+            std::string combo = "--threads " +
+                                std::to_string(threads) +
+                                " --shards " + std::to_string(shards);
+            if (code != 0 || !err.str().empty()) {
+                r.message = name + ": CLI exited " +
+                            std::to_string(code) + " under " + combo +
+                            "\n  stderr: " + err.str();
+                return r;
+            }
+            if (first) {
+                output = out.str();
+                first = false;
+            } else if (out.str() != output) {
+                r.message = name + ": output differs between " +
+                            "--threads " +
+                            std::to_string(opts.thread_counts[0]) +
+                            " --shards " +
+                            std::to_string(opts.shard_counts[0]) +
+                            " and " + combo + "\n" +
+                            firstDifference(output, out.str());
+                return r;
+            }
         }
     }
 
@@ -124,8 +140,9 @@ checkGolden(const std::string &name,
     r.ok = true;
     r.message = name + ": matched (" +
                 std::to_string(output.size()) + " bytes, " +
-                std::to_string(opts.thread_counts.size()) +
-                " thread counts)";
+                std::to_string(opts.thread_counts.size() *
+                               opts.shard_counts.size()) +
+                " thread x shard combinations)";
     return r;
 }
 

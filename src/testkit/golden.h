@@ -39,6 +39,13 @@ struct GoldenOptions
      * produce byte-identical stdout.
      */
     std::vector<int> thread_counts{1, 2, 8};
+    /**
+     * --shards values to cross with every thread count; all
+     * thread x shard combinations must produce byte-identical
+     * stdout (the sharded-engine determinism contract). The default
+     * keeps commands that never touch the event engine cheap.
+     */
+    std::vector<int> shard_counts{1};
 };
 
 /** Outcome of one golden check. */
@@ -61,7 +68,7 @@ bool updateGoldensRequested();
  *
  * @param name Snapshot name (file becomes <name>.golden).
  * @param args CLI arguments, excluding the program name and
- *             --threads (the harness appends it).
+ *             --threads/--shards (the harness appends both).
  */
 GoldenResult checkGolden(const std::string &name,
                          const std::vector<std::string> &args,

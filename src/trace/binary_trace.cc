@@ -19,19 +19,10 @@ static_assert(std::endian::native == std::endian::little,
 
 namespace {
 
-/** Feature columns in schema order. */
-constexpr double WorkloadFeatures::*kFeatureColumns[] = {
-    &WorkloadFeatures::batch_size,
-    &WorkloadFeatures::flop_count,
-    &WorkloadFeatures::mem_access_bytes,
-    &WorkloadFeatures::input_bytes,
-    &WorkloadFeatures::comm_bytes,
-    &WorkloadFeatures::embedding_comm_bytes,
-    &WorkloadFeatures::dense_weight_bytes,
-    &WorkloadFeatures::embedding_weight_bytes,
-};
+/** Feature columns in schema order (shared with the JobStore view). */
+constexpr auto &kFeatureColumns = workload::kFeatureColumnOrder;
 
-constexpr size_t kNumFeatures = std::size(kFeatureColumns);
+constexpr size_t kNumFeatures = workload::kNumFeatureColumns;
 
 /** Fixed-size header (magic + version + count) and footer. */
 constexpr size_t kHeaderBytes = 4 + sizeof(uint32_t) + sizeof(uint64_t);
@@ -71,12 +62,6 @@ fail(const std::string &what)
     r.ok = false;
     r.error = what;
     return r;
-}
-
-ParseResult
-failJob(size_t index, const std::string &what)
-{
-    return fail("job " + std::to_string(index) + ": " + what);
 }
 
 template <typename T>
@@ -138,96 +123,123 @@ toBinary(const std::vector<TrainingJob> &jobs)
     return out;
 }
 
-ParseResult
-fromBinary(std::string_view data)
+BinaryEnvelope
+validateBinaryEnvelope(std::string_view data)
 {
-    obs::Span span("trace.parse_bin",
-                   static_cast<int64_t>(data.size()));
+    BinaryEnvelope env;
+    auto envFail = [&env](std::string what) {
+        env.error = std::move(what);
+        return env;
+    };
     if (!looksBinary(data))
-        return fail("bad magic: not a paib trace");
+        return envFail("bad magic: not a paib trace");
     if (data.size() < kHeaderBytes + kFooterBytes)
-        return fail("truncated paib header");
+        return envFail("truncated paib header");
 
     const char *base = data.data();
     uint32_t version = readRaw<uint32_t>(base + 4);
     if (version != kBinaryVersion) {
-        return fail("unsupported paib version " +
-                    std::to_string(version) + " (expected " +
-                    std::to_string(kBinaryVersion) + ")");
+        return envFail("unsupported paib version " +
+                       std::to_string(version) + " (expected " +
+                       std::to_string(kBinaryVersion) + ")");
     }
     uint64_t count = readRaw<uint64_t>(base + 8);
     if (count > (data.size() - kHeaderBytes - kFooterBytes) /
                     kBytesPerJob) {
-        return fail("truncated paib trace: columns for " +
-                    std::to_string(count) + " jobs exceed the payload");
+        return envFail("truncated paib trace: columns for " +
+                       std::to_string(count) +
+                       " jobs exceed the payload");
     }
     size_t expected = kHeaderBytes +
                       static_cast<size_t>(count) * kBytesPerJob +
                       kFooterBytes;
     if (data.size() != expected) {
-        return fail("paib size mismatch: expected " +
-                    std::to_string(expected) + " bytes for " +
-                    std::to_string(count) + " jobs, got " +
-                    std::to_string(data.size()));
+        return envFail("paib size mismatch: expected " +
+                       std::to_string(expected) + " bytes for " +
+                       std::to_string(count) + " jobs, got " +
+                       std::to_string(data.size()));
     }
 
     uint64_t stored = readRaw<uint64_t>(base + data.size() -
                                         kFooterBytes);
     if (stored != checksum(base, data.size() - kFooterBytes))
-        return fail("paib checksum mismatch");
+        return envFail("paib checksum mismatch");
 
+    // Column base pointers in schema order. Columns are packed with
+    // no padding, so everything after the uint8 arch array is
+    // unaligned whenever n % 8 != 0 -- hence memcpy-only access.
     const size_t n = static_cast<size_t>(count);
-    ParseResult r;
-    r.ok = true;
-    r.jobs.reserve(n);
-
-    // Column base pointers in schema order.
     const char *p = base + kHeaderBytes;
-    const char *ids = p;
+    env.columns.ids = p;
     p += n * sizeof(int64_t);
-    const char *archs = p;
+    env.columns.archs = p;
     p += n * sizeof(uint8_t);
-    const char *cnodes = p;
+    env.columns.cnodes = p;
     p += n * sizeof(int32_t);
-    const char *ps = p;
+    env.columns.ps = p;
     p += n * sizeof(int32_t);
-    const char *feat[std::size(kFeatureColumns)];
-    for (size_t k = 0; k < std::size(kFeatureColumns); ++k) {
-        feat[k] = p;
+    for (size_t k = 0; k < kNumFeatures; ++k) {
+        env.columns.features[k] = p;
         p += n * sizeof(double);
     }
+    env.count = n;
+    env.ok = true;
+    return env;
+}
+
+std::string
+validateBinaryRow(const workload::JobColumns &cols, size_t i)
+{
+    auto rowFail = [i](const std::string &what) {
+        return "job " + std::to_string(i) + ": " + what;
+    };
+    constexpr size_t kNumArch = std::size(workload::kAllArchTypes);
+    uint8_t a = readRaw<uint8_t>(cols.archs + i);
+    if (a >= kNumArch)
+        return rowFail("bad architecture code " + std::to_string(a));
+    int32_t num_cnodes =
+        readRaw<int32_t>(cols.cnodes + i * sizeof(int32_t));
+    if (num_cnodes < 1)
+        return rowFail("bad num_cnodes " +
+                       std::to_string(num_cnodes));
+    int32_t num_ps = readRaw<int32_t>(cols.ps + i * sizeof(int32_t));
+    if (num_ps < 0)
+        return rowFail("bad num_ps " + std::to_string(num_ps));
+    WorkloadFeatures f;
+    for (size_t k = 0; k < kNumFeatures; ++k) {
+        f.*kFeatureColumns[k] = readRaw<double>(
+            cols.features[k] + i * sizeof(double));
+    }
+    if (!f.valid())
+        return rowFail("features fail validation");
+    return {};
+}
+
+ParseResult
+fromBinary(std::string_view data)
+{
+    obs::Span span("trace.parse_bin",
+                   static_cast<int64_t>(data.size()));
+    BinaryEnvelope env = validateBinaryEnvelope(data);
+    if (!env.ok)
+        return fail(env.error);
+
+    ParseResult r;
+    r.ok = true;
+    r.jobs.reserve(env.count);
 
     // One row-major pass: the column reads stream sequentially and
     // every destination cache line is written exactly once, instead
     // of eight sparse passes over a jobs array far bigger than the
     // LLC. Rows are validated in index order, so the first bad job
     // is the one reported.
-    constexpr size_t kNumArch = std::size(workload::kAllArchTypes);
-    for (size_t i = 0; i < n; ++i) {
-        TrainingJob j;
-        j.id = readRaw<int64_t>(ids + i * sizeof(int64_t));
-        uint8_t a = readRaw<uint8_t>(archs + i);
-        if (a >= kNumArch) {
-            return failJob(i, "bad architecture code " +
-                                  std::to_string(a));
-        }
-        j.arch = static_cast<ArchType>(a);
-        j.num_cnodes =
-            readRaw<int32_t>(cnodes + i * sizeof(int32_t));
-        if (j.num_cnodes < 1)
-            return failJob(i, "bad num_cnodes " +
-                                  std::to_string(j.num_cnodes));
-        j.num_ps = readRaw<int32_t>(ps + i * sizeof(int32_t));
-        if (j.num_ps < 0)
-            return failJob(i,
-                           "bad num_ps " + std::to_string(j.num_ps));
-        for (size_t k = 0; k < std::size(kFeatureColumns); ++k) {
-            j.features.*kFeatureColumns[k] =
-                readRaw<double>(feat[k] + i * sizeof(double));
-        }
-        if (!j.features.valid())
-            return failJob(i, "features fail validation");
-        r.jobs.push_back(j);
+    workload::JobStore view = workload::JobStore::fromColumns(
+        env.count, env.columns, nullptr);
+    for (size_t i = 0; i < env.count; ++i) {
+        std::string row_error = validateBinaryRow(env.columns, i);
+        if (!row_error.empty())
+            return fail(row_error);
+        r.jobs.push_back(view.job(i));
     }
     obs::counter("trace.rows_parsed").add(r.jobs.size());
     obs::counter("trace.bytes_parsed").add(data.size());

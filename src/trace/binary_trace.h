@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "trace/trace_io.h"
+#include "workload/job_store.h"
 #include "workload/training_job.h"
 
 namespace paichar::trace {
@@ -57,6 +58,35 @@ std::string toBinary(const std::vector<workload::TrainingJob> &jobs);
  * values — yields a clean ParseResult error, never a crash.
  */
 ParseResult fromBinary(std::string_view data);
+
+/**
+ * Envelope of a validated `paib` payload: the job count and the
+ * column base pointers (into the caller's buffer). Shared between
+ * fromBinary() and the zero-copy store loader so both reject
+ * malformed input with identical error text.
+ */
+struct BinaryEnvelope
+{
+    bool ok = false;
+    /** fromBinary()-identical error text when !ok. */
+    std::string error;
+    size_t count = 0;
+    workload::JobColumns columns;
+};
+
+/**
+ * Validate magic, version, size and checksum of @p data and locate
+ * the columns. No row values are inspected (see validateBinaryRow).
+ */
+BinaryEnvelope validateBinaryEnvelope(std::string_view data);
+
+/**
+ * Validate row @p i of a validated envelope's columns. Returns the
+ * empty string when the row is well-formed, else the exact
+ * fromBinary() error text ("job N: ...").
+ */
+std::string validateBinaryRow(const workload::JobColumns &cols,
+                              size_t i);
 
 } // namespace paichar::trace
 

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Read-only memory-mapped file (RAII). The zero-copy trace path maps
+ * a `paib` file and hands its pages straight to the columnar
+ * JobStore; the kernel then faults in only the pages the analyses
+ * actually touch, and a 100M-job trace never transits a read()
+ * buffer.
+ *
+ * On platforms without mmap (or when mapping fails — pipes, procfs,
+ * exotic filesystems) callers fall back to buffered reads; see
+ * trace::readTraceStore.
+ */
+
+#ifndef PAICHAR_TRACE_MMAP_FILE_H
+#define PAICHAR_TRACE_MMAP_FILE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace paichar::trace {
+
+/** A read-only mapping of a regular file. Move-only. */
+class MappedFile
+{
+  public:
+    /**
+     * Map @p path read-only. nullopt when the file cannot be opened
+     * or mapped (the caller should fall back to buffered reads; a
+     * nonexistent path fails here too). An empty file maps to a
+     * valid empty view.
+     */
+    static std::optional<MappedFile> map(const std::string &path);
+
+    MappedFile(MappedFile &&o) noexcept;
+    MappedFile &operator=(MappedFile &&o) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+    ~MappedFile();
+
+    /** The mapped bytes. */
+    std::string_view view() const { return {data_, size_}; }
+
+    size_t size() const { return size_; }
+
+  private:
+    MappedFile() = default;
+
+    const char *data_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace paichar::trace
+
+#endif // PAICHAR_TRACE_MMAP_FILE_H

@@ -10,6 +10,7 @@
 #include "obs/obs.h"
 #include "runtime/parallel.h"
 #include "trace/binary_trace.h"
+#include "trace/mmap_file.h"
 
 namespace paichar::trace {
 
@@ -518,6 +519,77 @@ readTraceFile(const std::string &path, runtime::ThreadPool *pool)
     if (looksBinary(*data))
         return fromBinary(*data);
     return fromCsv(*data, pool);
+}
+
+StoreResult
+readTraceStore(const std::string &path, runtime::ThreadPool *pool)
+{
+    auto storeFail = [](std::string what) {
+        StoreResult r;
+        r.error = std::move(what);
+        return r;
+    };
+    auto fromParse = [&storeFail](ParseResult pr) {
+        if (!pr.ok)
+            return storeFail(std::move(pr.error));
+        StoreResult r;
+        r.ok = true;
+        r.store = workload::JobStore(std::move(pr.jobs));
+        return r;
+    };
+
+    auto mapped = MappedFile::map(path);
+    if (!mapped) {
+        // Unmappable (nonexistent, pipe, exotic fs): the buffered
+        // reader supplies both the fallback and the error text
+        // ("cannot open ..." for the nonexistent case).
+        return fromParse(readTraceFile(path, pool));
+    }
+    std::string_view data = mapped->view();
+    if (!looksBinary(data))
+        return fromParse(fromCsv(data, pool));
+
+    obs::Span span("trace.map_bin",
+                   static_cast<int64_t>(data.size()));
+    BinaryEnvelope env = validateBinaryEnvelope(data);
+    if (!env.ok)
+        return storeFail(std::move(env.error));
+
+    // Validate rows in place, in parallel. Each range reports its
+    // first bad row; the minimum across ranges is the global first
+    // bad row, so acceptance AND the reported error are identical to
+    // the serial fromBinary() pass for every pool size.
+    size_t max_chunks = 1;
+    if (pool && pool->size() > 1) {
+        max_chunks = std::min<size_t>(
+            static_cast<size_t>(pool->size()) * 4,
+            std::max<size_t>(1, env.count / 4096));
+    }
+    auto chunks = runtime::alignedChunks(env.count, max_chunks,
+                                         [](size_t pos) { return pos; });
+    std::vector<size_t> first_bad(chunks.size(), env.count);
+    runtime::parallelFor(pool, chunks.size(), [&](size_t c) {
+        for (size_t i = chunks[c].first; i < chunks[c].second; ++i) {
+            if (!validateBinaryRow(env.columns, i).empty()) {
+                first_bad[c] = i;
+                return;
+            }
+        }
+    });
+    size_t bad = env.count;
+    for (size_t b : first_bad)
+        bad = std::min(bad, b);
+    if (bad < env.count)
+        return storeFail(validateBinaryRow(env.columns, bad));
+
+    obs::counter("trace.rows_mapped").add(env.count);
+    obs::counter("trace.bytes_mapped").add(data.size());
+    StoreResult r;
+    r.ok = true;
+    r.store = workload::JobStore::fromColumns(
+        env.count, env.columns,
+        std::make_shared<MappedFile>(std::move(*mapped)));
+    return r;
 }
 
 bool

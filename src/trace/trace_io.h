@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "workload/job_store.h"
 #include "workload/training_job.h"
 
 namespace paichar::runtime {
@@ -91,6 +92,31 @@ bool writeTraceFile(const std::string &path,
  */
 ParseResult readTraceFile(const std::string &path,
                           runtime::ThreadPool *pool = nullptr);
+
+/** Outcome of loading a trace into a JobStore. */
+struct StoreResult
+{
+    bool ok = false;
+    /** readTraceFile()-identical error text when !ok. */
+    std::string error;
+    workload::JobStore store;
+};
+
+/**
+ * Read a trace into a JobStore, zero-copy where possible.
+ *
+ * `paib` files are memory-mapped and validated in place (rows in
+ * parallel on @p pool); the returned store borrows the mapping's
+ * columns and keeps it alive, so jobs are assembled on access and a
+ * 100M-job trace costs no per-job heap state. CSV files (and any
+ * file that cannot be mapped) take the buffered readTraceFile()
+ * path and come back as an owned store.
+ *
+ * Rejection behavior is identical to readTraceFile(): the same
+ * malformed inputs fail with the same error text.
+ */
+StoreResult readTraceStore(const std::string &path,
+                           runtime::ThreadPool *pool = nullptr);
 
 /** Write a CSV trace to a file; returns false on I/O failure. */
 bool writeCsvFile(const std::string &path,

@@ -147,7 +147,8 @@ TEST(CharacterizationTest, HwComponentCdfCoversPopulation)
 TEST(CharacterizationTest, EmptyPopulation)
 {
     AnalyticalModel model(hw::paiCluster());
-    ClusterCharacterizer ch(model, {});
+    ClusterCharacterizer ch(model,
+                            std::vector<workload::TrainingJob>{});
     Constitution c = ch.constitution();
     EXPECT_EQ(c.total_jobs, 0);
     EXPECT_DOUBLE_EQ(c.jobShare(ArchType::PsWorker), 0.0);

@@ -87,5 +87,26 @@ TEST(FuzzReplayTest, EveryCorpusFileReplaysCleanly)
     }
 }
 
+// The zero-copy mmap reader is a second consumer of the same wire
+// format: every corpus file must be accepted/rejected exactly like
+// the buffered parser, with byte-identical error text.
+TEST(FuzzReplayTest, StoreReaderAgreesWithParserOnWholeCorpus)
+{
+    for (const auto &p : corpusFiles()) {
+        SCOPED_TRACE(p.filename().string());
+        const std::string data = slurp(p);
+        trace::ParseResult parsed = fuzzParse(data);
+        trace::StoreResult store =
+            trace::readTraceStore(p.string());
+        EXPECT_EQ(store.ok, parsed.ok);
+        EXPECT_EQ(store.error, parsed.error);
+        if (parsed.ok) {
+            ASSERT_EQ(store.store.size(), parsed.jobs.size());
+            EXPECT_EQ(trace::toCsv(store.store.materialize()),
+                      trace::toCsv(parsed.jobs));
+        }
+    }
+}
+
 } // namespace
 } // namespace paichar::testkit_fuzz

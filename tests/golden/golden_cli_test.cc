@@ -65,10 +65,12 @@ class GoldenCliTest : public ::testing::Test
 
     void
     expectGolden(const std::string &name,
-                 const std::vector<std::string> &args)
+                 const std::vector<std::string> &args,
+                 std::vector<int> shard_counts = {1})
     {
         GoldenOptions opts;
         opts.dir = PAICHAR_GOLDEN_DIR;
+        opts.shard_counts = std::move(shard_counts);
         GoldenResult r = checkGolden(name, args, opts);
         EXPECT_TRUE(r.ok) << r.message;
         if (r.updated)
@@ -87,7 +89,19 @@ TEST_F(GoldenCliTest, Generate)
 
 TEST_F(GoldenCliTest, Characterize)
 {
-    expectGolden("characterize", {"characterize", "golden_trace.csv"});
+    expectGolden("characterize", {"characterize", "golden_trace.csv"},
+                 {1, 2, 8});
+}
+
+// The scheduler drives the sharded event engine directly, so this
+// snapshot crosses every --threads with every --shards count: the
+// 3x3 matrix must be byte-identical before it may match the golden.
+TEST_F(GoldenCliTest, Schedule)
+{
+    expectGolden("schedule",
+                 {"schedule", "golden_trace.csv", "--servers", "48",
+                  "--rate", "120"},
+                 {1, 2, 8});
 }
 
 TEST_F(GoldenCliTest, Sweep)

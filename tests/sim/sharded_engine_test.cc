@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the conservative-lookahead sharded event engine
+ * (`ctest -L sim`).
+ *
+ * The load-bearing property: for a fixed logical workload, the
+ * flattened execution log is identical for every (shard count,
+ * worker pool, lookahead) combination, and identical to a
+ * single-queue serial run. Workloads are fuzzed from fixed seeds;
+ * every event derives its children purely from its own key, so the
+ * spawned event tree is independent of execution interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "obs/obs.h"
+#include "runtime/thread_pool.h"
+#include "sim/sharded_engine.h"
+#include "testbed/training_sim.h"
+#include "testkit/gen.h"
+
+namespace paichar::sim {
+namespace {
+
+/** splitmix64: child keys are a pure function of the parent key. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+double
+unitReal(uint64_t key)
+{
+    return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
+struct LogEntry
+{
+    double when;
+    int domain;
+    uint64_t key;
+
+    auto
+    tie() const
+    {
+        return std::make_tuple(when, domain, key);
+    }
+    bool
+    operator==(const LogEntry &o) const
+    {
+        return tie() == o.tie();
+    }
+    bool
+    operator<(const LogEntry &o) const
+    {
+        return tie() < o.tie();
+    }
+};
+
+/** Cross-domain children land this far ahead — a workload constant,
+ *  so the spawned event tree is identical for every engine
+ *  lookahead <= kPostGap. */
+constexpr double kPostGap = 0.6;
+
+/**
+ * A self-similar workload over @p domains logical domains: every
+ * event appends (when, domain, key) to its engine shard's log, then
+ * spawns up to two children derived from its key — one local, one
+ * cross-domain via post() at >= kPostGap ahead. Returns the
+ * flatten-sorted log plus (executed, final now).
+ */
+struct WorkloadResult
+{
+    std::vector<LogEntry> log;
+    uint64_t executed = 0;
+    double end_time = 0.0;
+    uint64_t rounds = 0;
+};
+
+WorkloadResult
+runWorkload(uint64_t seed, int domains, int num_shards,
+            double lookahead, runtime::ThreadPool *pool)
+{
+    ShardedEngine engine(num_shards, lookahead, pool);
+    const int K = engine.numShards();
+    std::vector<std::vector<LogEntry>> logs(
+        static_cast<size_t>(K));
+
+    // Recursive event body; shard-local state only, so parallel
+    // rounds never race on the logs.
+    struct Spawner
+    {
+        ShardedEngine &engine;
+        std::vector<std::vector<LogEntry>> &logs;
+        int domains;
+        int K;
+
+        void
+        fire(int domain, double when, uint64_t key, int depth)
+        {
+            int shard = domain % K;
+            logs[static_cast<size_t>(shard)].push_back(
+                {when, domain, key});
+            if (depth >= 4)
+                return;
+            uint64_t k1 = mix(key);
+            if ((k1 & 3u) != 0) { // 75%: local child
+                double child = when + 0.25 + unitReal(k1);
+                engine.schedule(
+                    shard, child, [this, domain, child, k1, depth] {
+                        fire(domain, child, k1, depth + 1);
+                    });
+            }
+            uint64_t k2 = mix(k1);
+            if ((k2 & 1u) != 0) { // 50%: cross-domain child
+                int dst = static_cast<int>(
+                    k2 % static_cast<uint64_t>(domains));
+                double child =
+                    when + kPostGap + 0.125 + unitReal(mix(k2));
+                engine.post(shard, dst % K, child,
+                            [this, dst, child, k2, depth] {
+                                fire(dst, child, k2, depth + 1);
+                            });
+            }
+        }
+    } spawner{engine, logs, domains, K};
+
+    for (int d = 0; d < domains; ++d) {
+        uint64_t key = mix(seed * 1000003ull +
+                           static_cast<uint64_t>(d));
+        double when = unitReal(key);
+        engine.schedule(d % K, when, [&spawner, d, when, key] {
+            spawner.fire(d, when, key, 0);
+        });
+    }
+
+    WorkloadResult r;
+    r.end_time = engine.run();
+    r.executed = engine.executed();
+    r.rounds = engine.rounds();
+    for (int s = 0; s < K; ++s) {
+        const auto &log = logs[static_cast<size_t>(s)];
+        // Per-shard logs must be locally time-ordered regardless of
+        // the global interleaving.
+        EXPECT_TRUE(std::is_sorted(
+            log.begin(), log.end(),
+            [](const LogEntry &a, const LogEntry &b) {
+                return a.when < b.when;
+            }))
+            << "shard " << s << " executed out of time order";
+        r.log.insert(r.log.end(), log.begin(), log.end());
+    }
+    std::sort(r.log.begin(), r.log.end());
+    return r;
+}
+
+TEST(ShardedEngineTest, SingleShardDelegatesToEventQueue)
+{
+    ShardedEngine engine(1);
+    std::vector<int> order;
+    engine.schedule(0, 2.0, [&] { order.push_back(2); });
+    engine.schedule(0, 1.0, [&] { order.push_back(1); });
+    EXPECT_EQ(engine.pending(), 2u);
+    EXPECT_DOUBLE_EQ(engine.nextEventTime(), 1.0);
+    EXPECT_DOUBLE_EQ(engine.run(), 2.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(engine.executed(), 2u);
+    EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(ShardedEngineTest, ShardCountIsClampedUpToOne)
+{
+    ShardedEngine engine(0);
+    EXPECT_EQ(engine.numShards(), 1);
+}
+
+// The determinism contract: identical flattened logs across every
+// shard count, worker pool, and lookahead, on fuzzed workloads.
+TEST(ShardedEngineTest, ExecutionLogInvariantAcrossShardsAndPools)
+{
+    runtime::ThreadPool pool(4);
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        WorkloadResult serial =
+            runWorkload(seed, /*domains=*/12, /*num_shards=*/1,
+                        /*lookahead=*/0.0, nullptr);
+        ASSERT_FALSE(serial.log.empty());
+        for (int shards : {2, 3, 8}) {
+            for (runtime::ThreadPool *p :
+                 {static_cast<runtime::ThreadPool *>(nullptr),
+                  &pool}) {
+                SCOPED_TRACE("shards " + std::to_string(shards) +
+                             (p ? " pooled" : " serial"));
+                WorkloadResult got =
+                    runWorkload(seed, 12, shards, 0.0, p);
+                EXPECT_EQ(got.log, serial.log);
+                EXPECT_EQ(got.executed, serial.executed);
+                EXPECT_DOUBLE_EQ(got.end_time, serial.end_time);
+            }
+        }
+    }
+}
+
+// Lookahead widens the synchronization window: far fewer rounds,
+// same execution log (posts are always >= lookahead ahead here).
+TEST(ShardedEngineTest, LookaheadReducesRoundsWithoutChangingOutput)
+{
+    WorkloadResult tight =
+        runWorkload(42, 10, 4, /*lookahead=*/0.0, nullptr);
+    WorkloadResult wide =
+        runWorkload(42, 10, 4, /*lookahead=*/0.5, nullptr);
+    EXPECT_EQ(wide.log, tight.log);
+    EXPECT_EQ(wide.executed, tight.executed);
+    EXPECT_LT(wide.rounds, tight.rounds);
+}
+
+TEST(ShardedEngineTest, RunUntilCommitsClocksAndKeepsLaterEvents)
+{
+    ShardedEngine engine(4);
+    int fired = 0;
+    engine.schedule(1, 1.0, [&] { ++fired; });
+    engine.schedule(3, 10.0, [&] { ++fired; });
+    EXPECT_DOUBLE_EQ(engine.runUntil(5.0), 5.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(engine.pending(), 1u);
+    EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+    EXPECT_DOUBLE_EQ(engine.nextEventTime(), 10.0);
+    engine.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(ShardedEngineTest, CrossShardPostViolationClampsAndCounts)
+{
+    obs::resetMetrics();
+    ShardedEngine engine(2, /*lookahead=*/1.0);
+    std::vector<double> fired_at;
+    engine.schedule(0, 5.0, [&] {
+        // when < shard(0).now() + lookahead: must clamp to the
+        // round-safe horizon instead of firing in shard 1's past.
+        engine.post(0, 1, 5.2, [&] {
+            fired_at.push_back(engine.shard(1).now());
+        });
+    });
+    engine.schedule(1, 5.1, [] {});
+    engine.run();
+    ASSERT_EQ(fired_at.size(), 1u);
+    EXPECT_GE(fired_at[0], 5.1);
+    EXPECT_GE(obs::counter("sim.cross_shard_clamped").value(), 1);
+}
+
+TEST(ShardedEngineTest, EmptyRunReturnsNow)
+{
+    ShardedEngine engine(3);
+    EXPECT_DOUBLE_EQ(engine.run(), 0.0);
+    EXPECT_EQ(engine.nextEventTime(),
+              std::numeric_limits<double>::infinity());
+}
+
+// Fuzzed-topology end-to-end property: a full simulated training
+// step is bit-identical whether the simulated servers live on one
+// event shard or many (TrainingSimulator wires its cluster topology
+// through sim::TopologyConfig::num_shards).
+TEST(ShardedEngineTest, TrainingStepShardInvariantOnFuzzedJobs)
+{
+    testkit::JobGenerator gen;
+    for (uint64_t seed = 100; seed < 112; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        workload::TrainingJob job = gen.job(seed);
+        auto graph =
+            testkit::JobGenerator::graphFor(job.features, seed);
+        workload::EfficiencyProfile eff;
+
+        auto step = [&](int num_shards) {
+            testbed::SimOptions so;
+            so.num_shards = num_shards;
+            testbed::TrainingSimulator sim(so);
+            return sim.run(graph, job.features, job.arch,
+                           job.num_cnodes, eff);
+        };
+        testbed::StepResult base = step(1);
+        for (int shards : {2, 8}) {
+            testbed::StepResult got = step(shards);
+            EXPECT_EQ(got.total_time, base.total_time)
+                << shards << " shards";
+            EXPECT_EQ(got.data_time, base.data_time);
+            EXPECT_EQ(got.compute_time, base.compute_time);
+            EXPECT_EQ(got.comm_time, base.comm_time);
+            EXPECT_EQ(got.num_kernels, base.num_kernels);
+        }
+    }
+}
+
+} // namespace
+} // namespace paichar::sim

@@ -386,5 +386,137 @@ TEST(TraceFormatTest, ReadTraceFileReportsMissingFile)
     EXPECT_NE(r.error.find("cannot open"), std::string::npos);
 }
 
+// ---------------------------------------------------------------
+// readTraceStore: the zero-copy mmap path. Contract: accepts and
+// rejects *exactly* what readTraceFile does, with byte-identical
+// error text, while keeping paib traces columnar.
+
+/** Write @p bytes to a fresh temp file and return its path. */
+std::string
+writeTemp(const std::string &name, const std::string &bytes)
+{
+    std::string path = testing::TempDir() + "/" + name;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    EXPECT_NE(f, nullptr);
+    if (!bytes.empty())
+        EXPECT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                  bytes.size());
+    std::fclose(f);
+    return path;
+}
+
+/** Both readers on one file; errors must agree byte for byte. */
+void
+expectStoreParity(const std::string &path)
+{
+    ParseResult file = readTraceFile(path);
+    StoreResult store = readTraceStore(path);
+    EXPECT_EQ(file.ok, store.ok) << path;
+    EXPECT_EQ(file.error, store.error) << path;
+    if (file.ok)
+        expectSameJobs(file.jobs, store.store.materialize());
+}
+
+TEST(TraceFormatTest, StoreMatchesFileReaderOnValidInputs)
+{
+    SyntheticClusterGenerator gen(21);
+    // 17 jobs: not a multiple of 8, so every column after the arch
+    // bytes is misaligned — the store must still decode exactly.
+    for (size_t n : {size_t{0}, size_t{17}, size_t{256}}) {
+        auto jobs = gen.generate(n, nullptr);
+        expectStoreParity(writeTemp("store_ok.paib", toBinary(jobs)));
+        expectStoreParity(writeTemp("store_ok.csv", toCsv(jobs)));
+    }
+}
+
+TEST(TraceFormatTest, StoreKeepsPaibColumnarAndCsvOwned)
+{
+    SyntheticClusterGenerator gen(22);
+    auto jobs = gen.generate(33, nullptr);
+    std::string bin_path = writeTemp("store_col.paib", toBinary(jobs));
+    std::string csv_path = writeTemp("store_col.csv", toCsv(jobs));
+
+    StoreResult bin = readTraceStore(bin_path);
+    ASSERT_TRUE(bin.ok) << bin.error;
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_TRUE(bin.store.columnar());
+#endif
+    expectSameJobs(jobs, bin.store.materialize());
+
+    StoreResult csv = readTraceStore(csv_path);
+    ASSERT_TRUE(csv.ok) << csv.error;
+    EXPECT_FALSE(csv.store.columnar());
+
+    std::remove(bin_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+TEST(TraceFormatTest, StoreRejectionsMatchFileReaderByteForByte)
+{
+    SyntheticClusterGenerator gen(23);
+    auto jobs = gen.generate(24, nullptr);
+    std::string bin = toBinary(jobs);
+
+    // Every malformed-paib class the buffered reader rejects.
+    expectStoreParity(
+        writeTemp("store_trunc.paib", bin.substr(0, bin.size() - 16)));
+    expectStoreParity(
+        writeTemp("store_hdr.paib", bin.substr(0, 10)));
+    expectStoreParity(writeTemp("store_junk.paib", bin + "junk"));
+    {
+        std::string bad = bin;
+        bad[bad.size() / 2] ^= 0x40;
+        expectStoreParity(writeTemp("store_sum.paib", bad));
+    }
+    {
+        std::string bad = bin;
+        bad[4] = 42; // unsupported version
+        expectStoreParity(writeTemp("store_ver.paib", bad));
+    }
+    // Valid envelope, invalid row values (checksum forged back).
+    size_t arch_col = 16 + jobs.size() * 8;
+    expectStoreParity(
+        writeTemp("store_row.paib", forge(bin, arch_col + 2, 17)));
+    // Malformed CSV goes through the same fallback parser.
+    expectStoreParity(
+        writeTemp("store_bad.csv", "id,arch\nnot,a,trace\n"));
+
+    StoreResult missing = readTraceStore("/nonexistent/paichar.paib");
+    ParseResult missing_file =
+        readTraceFile("/nonexistent/paichar.paib");
+    EXPECT_FALSE(missing.ok);
+    EXPECT_EQ(missing.error, missing_file.error);
+}
+
+TEST(TraceFormatTest, StoreParallelRowValidationMatchesSerial)
+{
+    SyntheticClusterGenerator gen(24);
+    auto jobs = gen.generate(5000, nullptr);
+    std::string bin = toBinary(jobs);
+
+    // Invalid rows early, middle and late: the parallel validator
+    // must report the *first* bad row, same text as serial.
+    size_t cnode_col = 16 + jobs.size() * 9;
+    for (size_t row : {size_t{3}, jobs.size() / 2,
+                       jobs.size() - 1}) {
+        std::string path = writeTemp(
+            "store_par.paib",
+            forge(bin, cnode_col + row * 4 + 3, /*byte=*/0x80));
+        StoreResult serial = readTraceStore(path, nullptr);
+        ASSERT_FALSE(serial.ok);
+        EXPECT_NE(serial.error.find("job " + std::to_string(row)),
+                  std::string::npos)
+            << serial.error;
+        runtime::ThreadPool p2(2), p8(8);
+        for (runtime::ThreadPool *pool :
+             {static_cast<runtime::ThreadPool *>(&p2), &p8}) {
+            StoreResult parallel = readTraceStore(path, pool);
+            ASSERT_FALSE(parallel.ok);
+            EXPECT_EQ(serial.error, parallel.error);
+        }
+        std::remove(path.c_str());
+    }
+}
+
 } // namespace
 } // namespace paichar::trace
