@@ -1,5 +1,6 @@
 #include "cli.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -8,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -25,6 +27,7 @@
 #include "hw/units.h"
 #include "inference/serving_sim.h"
 #include "opt/optimization_planner.h"
+#include "predict/predictor.h"
 #include "profiler/bottleneck_report.h"
 #include "runtime/parallel.h"
 #include "sim/sharded_engine.h"
@@ -78,6 +81,32 @@ struct Args
                              " expects a number, got '" + *v + "'");
         }
         return parsed;
+    }
+
+    /**
+     * A flag restricted to an enumerated value set. Unknown values
+     * are a UsageError listing every valid spelling, so typos fail
+     * loudly instead of silently falling back.
+     */
+    std::string
+    choiceFlag(const std::string &name, const std::string &fallback,
+               const std::vector<std::string> &valid) const
+    {
+        auto v = flag(name);
+        std::string value = v ? *v : fallback;
+        if (std::find(valid.begin(), valid.end(), value) ==
+            valid.end()) {
+            std::string list;
+            for (const std::string &s : valid) {
+                if (!list.empty())
+                    list += ", ";
+                list += s;
+            }
+            throw UsageError("error: flag --" + name +
+                             " expects one of " + list + ", got '" +
+                             value + "'");
+        }
+        return value;
     }
 };
 
@@ -148,6 +177,13 @@ printUsage(std::ostream &out)
            "[--slo-ms MS]\n"
            "  paichar schedule TRACE [--servers N] "
            "[--nvlink-frac F] [--port 0|1] [--rate R]\n"
+           "                   [--policy fifo|backfill|spf|"
+           "spf-preempt|gang]\n"
+           "                   [--predictor model|quantile|linear|"
+           "none] [--history JOBLOG]\n"
+           "                   [--quantile Q] [--placement "
+           "first-fit|best-fit]\n"
+           "                   [--hetero F] [--compare-fifo 0|1]\n"
            "  paichar obs report RUN\n"
            "  paichar obs diff A B [--tolerance PCT]\n"
            "  paichar obs top JOBLOG [--limit N]\n"
@@ -164,6 +200,17 @@ printUsage(std::ostream &out)
            "(comma list\nof mixed-precision, xla-fusion, "
            "subgraph-partition, channel-split,\nmicro-batch, "
            "arch).\n"
+           "\n"
+           "schedule replays TRACE through a finite cluster under a "
+           "queueing policy.\nPrediction-driven policies (spf, "
+           "spf-preempt, gang, and backfill's EASY\nreservations) "
+           "order the queue by predicted run time: the analytical\n"
+           "model's own (--predictor model) or a predictor fit on a "
+           "recorded job\nlog (--predictor quantile|linear --history "
+           "LOG). --hetero F populates a\nfraction of servers with "
+           "older, slower GPU generations; --compare-fifo 1\nre-runs "
+           "the identical submissions under FIFO and prints the "
+           "deltas.\n"
            "\n"
            "TRACE files may be CSV or paib binary; the format is "
            "auto-detected.\ngenerate and convert infer the output "
@@ -772,6 +819,9 @@ cmdServe(const Args &args, std::ostream &out, std::ostream &err)
     return 0;
 }
 
+std::optional<std::string> readTextFile(const std::string &path,
+                                        std::ostream &err);
+
 int
 cmdSchedule(const Args &args, std::ostream &out, std::ostream &err)
 {
@@ -786,6 +836,87 @@ cmdSchedule(const Args &args, std::ostream &out, std::ostream &err)
     cfg.port_ps_to_allreduce = args.numFlag("port", 0) != 0;
     double rate = args.numFlag("rate", 150.0);
 
+    std::string policy_name = args.choiceFlag(
+        "policy", "backfill", clustersim::policyNames());
+    cfg.policy = *clustersim::policyFromString(policy_name);
+    std::string predictor_name = args.choiceFlag(
+        "predictor", "model", {"model", "quantile", "linear", "none"});
+    std::string placement_name = args.choiceFlag(
+        "placement", "first-fit", {"first-fit", "best-fit"});
+    cfg.placement = placement_name == "best-fit"
+                        ? clustersim::PlacementStrategy::BestFit
+                        : clustersim::PlacementStrategy::FirstFit;
+    double quantile = args.numFlag("quantile", 0.5);
+    if (quantile < 0.0 || quantile > 1.0)
+        throw UsageError("error: flag --quantile expects a value "
+                         "in [0, 1]");
+    cfg.old_gen_fraction = args.numFlag("hetero", 0.0);
+    if (cfg.old_gen_fraction < 0.0 || cfg.old_gen_fraction > 1.0)
+        throw UsageError("error: flag --hetero expects a fraction "
+                         "in [0, 1]");
+    bool compare_fifo = args.numFlag("compare-fifo", 0) != 0;
+
+    // Prediction-driven policies have nothing to order the queue by
+    // when predictions are turned off entirely.
+    bool prediction_driven = cfg.policy == clustersim::Policy::Spf ||
+                             cfg.policy ==
+                                 clustersim::Policy::SpfPreempt ||
+                             cfg.policy == clustersim::Policy::Gang;
+    if (predictor_name == "none" && prediction_driven) {
+        throw UsageError("error: --policy " + policy_name +
+                         " is prediction-driven and cannot run with "
+                         "--predictor none (use model, quantile or "
+                         "linear)");
+    }
+
+    // History-trained predictors fit on a recorded --job-log stream.
+    std::vector<obs::JobRecord> history;
+    if (predictor_name == "quantile" || predictor_name == "linear") {
+        auto path = args.flag("history");
+        if (!path) {
+            throw UsageError("error: --predictor " + predictor_name +
+                             " requires --history JOBLOG (a recorded "
+                             "--job-log file to fit on)");
+        }
+        auto text = readTextFile(*path, err);
+        if (!text)
+            return 1;
+        auto r = obs::loadRunData(*text);
+        if (!r.ok) {
+            err << "error: " << *path << ": " << r.error << "\n";
+            return 1;
+        }
+        if (r.data.kind != obs::RunData::Kind::JobLog) {
+            err << "error: --history requires a job log "
+                   "(--job-log output)\n";
+            return 1;
+        }
+        history = std::move(r.data.records);
+    }
+    std::unique_ptr<predict::DurationModel> duration_model;
+    if (predictor_name == "quantile") {
+        duration_model = std::make_unique<predict::QuantileDurationModel>(
+            history, quantile);
+    } else if (predictor_name == "linear") {
+        duration_model =
+            std::make_unique<predict::LinearDurationModel>(history);
+    }
+    if (duration_model) {
+        cfg.predictor = [&m = *duration_model](
+                            const TrainingJob &job, int64_t steps,
+                            double model_run_s) {
+            return m.predictRunSeconds(job, steps, model_run_s);
+        };
+    } else if (predictor_name == "model") {
+        // The analytical model's own prediction. Distinct from
+        // "none": Policy::Backfill upgrades from greedy skip-ahead
+        // to EASY reservations when any predictor is present.
+        cfg.predictor = [](const TrainingJob &, int64_t,
+                           double model_run_s) {
+            return model_run_s;
+        };
+    }
+
     // Clamp jobs to the cluster and build a submission stream.
     for (auto &j : jobs)
         j.num_cnodes = std::min(j.num_cnodes, cfg.num_servers);
@@ -794,23 +925,59 @@ cmdSchedule(const Args &args, std::ostream &out, std::ostream &err)
 
     core::AnalyticalModel model(hw::paiCluster());
     clustersim::ClusterScheduler sched(cfg, model);
-    auto result = sched.run(std::move(requests));
+    auto result = sched.run(requests);
     out << "scheduled " << result.jobs.size() << " jobs on "
         << cfg.num_servers << " servers ("
         << stats::fmtPct(cfg.nvlink_fraction, 0)
         << " NVLink, porting "
         << (cfg.port_ps_to_allreduce ? "on" : "off") << ")\n"
+        << "  policy: " << policy_name << ", predictor: "
+        << predictor_name << ", placement: " << placement_name
+        << "\n"
         << "  mean wait: " << stats::fmtSeconds(result.mean_wait)
         << ", p95 wait: " << stats::fmtSeconds(result.p95_wait)
         << "\n  GPU utilization: "
         << stats::fmtPct(result.gpu_utilization)
         << ", makespan: " << stats::fmtSeconds(result.makespan)
-        << ", ported jobs: " << result.ported_jobs << "\n";
+        << ", ported jobs: " << result.ported_jobs
+        << ", preempted: " << result.preemptions << "\n";
+
+    // Submit-time queueing-delay estimate from the same history, the
+    // "how long will a job like this wait" answer of DESIGN.md Sec 13.
+    if (!history.empty()) {
+        predict::QueueDelayModel delay(history, quantile);
+        out << "  history-predicted wait (8-GPU job, q="
+            << stats::fmt(quantile, 2)
+            << "): " << stats::fmtSeconds(delay.predictQueueSeconds(8))
+            << "\n";
+    }
+
+    // A second run of the identical submission stream under plain
+    // FIFO quantifies what the chosen policy buys. The comparison
+    // run never writes telemetry: the exported job log must keep
+    // exactly one record per job.
+    if (compare_fifo && cfg.policy != clustersim::Policy::Fifo) {
+        clustersim::SchedulerConfig base = cfg;
+        base.policy = clustersim::Policy::Fifo;
+        base.record_job_log = false;
+        clustersim::ClusterScheduler fifo(base, model);
+        auto fifo_result = fifo.run(std::move(requests));
+        double dm = fifo_result.mean_wait > 0.0
+                        ? (fifo_result.mean_wait - result.mean_wait) /
+                              fifo_result.mean_wait
+                        : 0.0;
+        out << "  vs fifo: mean wait "
+            << stats::fmtSeconds(fifo_result.mean_wait) << " -> "
+            << stats::fmtSeconds(result.mean_wait) << " ("
+            << stats::fmtPct(dm) << " lower), p95 "
+            << stats::fmtSeconds(fifo_result.p95_wait) << " -> "
+            << stats::fmtSeconds(result.p95_wait)
+            << ", utilization "
+            << stats::fmtPct(fifo_result.gpu_utilization) << " -> "
+            << stats::fmtPct(result.gpu_utilization) << "\n";
+    }
     return 0;
 }
-
-std::optional<std::string> readTextFile(const std::string &path,
-                                        std::ostream &err);
 
 int
 cmdObs(const Args &args, std::ostream &out, std::ostream &err)

@@ -6,6 +6,7 @@
 #include <deque>
 #include <limits>
 
+#include "hw/hardware_config.h"
 #include "obs/job_log.h"
 #include "obs/obs.h"
 #include "runtime/parallel.h"
@@ -19,7 +20,51 @@ namespace paichar::clustersim {
 using workload::ArchType;
 using workload::TrainingJob;
 
+std::string
+toString(Policy p)
+{
+    switch (p) {
+      case Policy::Fifo:
+        return "fifo";
+      case Policy::Backfill:
+        return "backfill";
+      case Policy::Spf:
+        return "spf";
+      case Policy::SpfPreempt:
+        return "spf-preempt";
+      case Policy::Gang:
+        return "gang";
+    }
+    return "?";
+}
+
+std::optional<Policy>
+policyFromString(const std::string &name)
+{
+    if (name == "fifo")
+        return Policy::Fifo;
+    if (name == "backfill")
+        return Policy::Backfill;
+    if (name == "spf")
+        return Policy::Spf;
+    if (name == "spf-preempt")
+        return Policy::SpfPreempt;
+    if (name == "gang")
+        return Policy::Gang;
+    return std::nullopt;
+}
+
+const std::vector<std::string> &
+policyNames()
+{
+    static const std::vector<std::string> names{
+        "fifo", "backfill", "spf", "spf-preempt", "gang"};
+    return names;
+}
+
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /** (server index, gpus taken) pairs of one job's allocation. */
 using Allocation = std::vector<std::pair<int, int>>;
@@ -29,6 +74,8 @@ struct Capacity
 {
     std::vector<int> free_gpus;
     std::vector<bool> nvlink;
+    /** Per-server generation speed factor (1.0 = Table I). */
+    std::vector<double> speed;
 
     void
     take(const Allocation &alloc)
@@ -45,17 +92,63 @@ struct Capacity
         for (auto [s, g] : alloc)
             free_gpus[static_cast<size_t>(s)] += g;
     }
+
+    /** Slowest generation among @p alloc's servers. */
+    double
+    slowestSpeed(const Allocation &alloc) const
+    {
+        double v = 1.0;
+        for (auto [s, g] : alloc) {
+            (void)g;
+            v = std::min(v, speed[static_cast<size_t>(s)]);
+        }
+        return v;
+    }
 };
 
 /**
  * Find a single server with @p gpus free. Non-NVLink servers are
  * preferred unless NVLink is required, preserving scarce NVLink
- * capacity for the jobs that need it.
+ * capacity for the jobs that need it. Best-fit additionally prefers
+ * the fitting server leaving the fewest GPUs free (then the fastest
+ * generation, then scan order) instead of the first hit.
  */
 bool
 findOneServer(const Capacity &cap, int gpus, bool need_nvlink,
-              Allocation *alloc)
+              PlacementStrategy strategy, Allocation *alloc)
 {
+    if (strategy == PlacementStrategy::BestFit) {
+        // (prefer non-NVLink when allowed, leftover, -speed, index)
+        int best = -1;
+        auto better = [&](size_t s, int against) {
+            if (against < 0)
+                return true;
+            auto a = static_cast<size_t>(against);
+            bool s_nvl = cap.nvlink[s], a_nvl = cap.nvlink[a];
+            if (!need_nvlink && s_nvl != a_nvl)
+                return a_nvl; // the non-NVLink server wins
+            int s_left = cap.free_gpus[s] - gpus;
+            int a_left = cap.free_gpus[a] - gpus;
+            if (s_left != a_left)
+                return s_left < a_left;
+            if (cap.speed[s] != cap.speed[a])
+                return cap.speed[s] > cap.speed[a];
+            return false; // scan order: earlier index already held
+        };
+        for (size_t s = 0; s < cap.free_gpus.size(); ++s) {
+            if (cap.free_gpus[s] < gpus)
+                continue;
+            if (need_nvlink && !cap.nvlink[s])
+                continue;
+            if (better(s, best))
+                best = static_cast<int>(s);
+        }
+        if (best < 0)
+            return false;
+        alloc->assign(1, {best, gpus});
+        return true;
+    }
+
     int fallback = -1;
     for (size_t s = 0; s < cap.free_gpus.size(); ++s) {
         if (cap.free_gpus[s] < gpus)
@@ -77,11 +170,39 @@ findOneServer(const Capacity &cap, int gpus, bool need_nvlink,
     return false;
 }
 
-/** Find @p count distinct servers with one free GPU each. */
+/**
+ * Find @p count distinct servers with one free GPU each. Best-fit
+ * fills the most-fragmented (fewest free GPUs) servers first so the
+ * large contiguous blocks stay whole.
+ */
 bool
-findSpreadServers(const Capacity &cap, int count, Allocation *alloc)
+findSpreadServers(const Capacity &cap, int count,
+                  PlacementStrategy strategy, Allocation *alloc)
 {
     alloc->clear();
+    if (strategy == PlacementStrategy::BestFit) {
+        std::vector<int> candidates;
+        for (size_t s = 0; s < cap.free_gpus.size(); ++s) {
+            if (cap.free_gpus[s] >= 1)
+                candidates.push_back(static_cast<int>(s));
+        }
+        std::stable_sort(
+            candidates.begin(), candidates.end(), [&](int a, int b) {
+                auto sa = static_cast<size_t>(a);
+                auto sb = static_cast<size_t>(b);
+                if (cap.nvlink[sa] != cap.nvlink[sb])
+                    return !cap.nvlink[sa]; // non-NVLink first
+                if (cap.free_gpus[sa] != cap.free_gpus[sb])
+                    return cap.free_gpus[sa] < cap.free_gpus[sb];
+                return a < b;
+            });
+        for (int s : candidates) {
+            if (static_cast<int>(alloc->size()) == count)
+                break;
+            alloc->push_back({s, 1});
+        }
+        return static_cast<int>(alloc->size()) == count;
+    }
     // Non-NVLink servers first, then NVLink as overflow.
     for (int pass = 0; pass < 2; ++pass) {
         for (size_t s = 0; s < cap.free_gpus.size(); ++s) {
@@ -97,6 +218,52 @@ findSpreadServers(const Capacity &cap, int count, Allocation *alloc)
     return static_cast<int>(alloc->size()) == count;
 }
 
+/** Placement for @p job as-is (no porting decision). */
+bool
+findFor(const Capacity &cap, const TrainingJob &job,
+        const SchedulerConfig &cfg, Allocation *alloc)
+{
+    switch (job.arch) {
+      case ArchType::OneWorkerOneGpu:
+        return findOneServer(cap, 1, false, cfg.placement, alloc);
+      case ArchType::OneWorkerMultiGpu:
+        return findOneServer(cap, job.num_cnodes, false,
+                             cfg.placement, alloc);
+      case ArchType::PsWorker:
+        return findSpreadServers(cap, job.num_cnodes, cfg.placement,
+                                 alloc);
+      case ArchType::AllReduceLocal:
+      case ArchType::Pearl:
+        return findOneServer(cap, job.num_cnodes, true,
+                             cfg.placement, alloc);
+      case ArchType::AllReduceCluster: {
+        // Whole NVLink servers, packed.
+        int need = job.num_cnodes;
+        alloc->clear();
+        for (size_t s = 0; s < cap.free_gpus.size() && need > 0;
+             ++s) {
+            if (!cap.nvlink[s] ||
+                cap.free_gpus[s] < cfg.gpus_per_server) {
+                continue;
+            }
+            int take = std::min(need, cfg.gpus_per_server);
+            alloc->push_back({static_cast<int>(s), take});
+            need -= take;
+        }
+        return need == 0;
+      }
+    }
+    return false;
+}
+
+/** True when the policy orders or gates the queue by predictions. */
+bool
+predictionDriven(Policy p)
+{
+    return p == Policy::Spf || p == Policy::SpfPreempt ||
+           p == Policy::Gang;
+}
+
 } // namespace
 
 ClusterScheduler::ClusterScheduler(const SchedulerConfig &cfg,
@@ -106,6 +273,10 @@ ClusterScheduler::ClusterScheduler(const SchedulerConfig &cfg,
     assert(cfg_.num_servers >= 1);
     assert(cfg_.gpus_per_server >= 1);
     assert(cfg_.nvlink_fraction >= 0.0 && cfg_.nvlink_fraction <= 1.0);
+    assert(cfg_.old_gen_fraction >= 0.0 &&
+           cfg_.old_gen_fraction <= 1.0);
+    assert(cfg_.preempt_ratio > 1.0 &&
+           "preempt_ratio <= 1 does not terminate");
 }
 
 bool
@@ -150,10 +321,27 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
     cap.free_gpus.assign(static_cast<size_t>(cfg_.num_servers),
                          cfg_.gpus_per_server);
     cap.nvlink.assign(static_cast<size_t>(cfg_.num_servers), false);
+    cap.speed.assign(static_cast<size_t>(cfg_.num_servers), 1.0);
     int nvl_servers = static_cast<int>(cfg_.num_servers *
                                        cfg_.nvlink_fraction);
     for (int s = 0; s < nvl_servers; ++s)
         cap.nvlink[static_cast<size_t>(s)] = true;
+    // Heterogeneous generations occupy the tail of the server range,
+    // clamped so they never eat into the NVLink head: placeable()
+    // promises nvl_servers NVLink servers and admission relies on it.
+    int old_servers =
+        std::min(static_cast<int>(cfg_.num_servers *
+                                  cfg_.old_gen_fraction),
+                 cfg_.num_servers - nvl_servers);
+    const auto generations = hw::paiGenerations();
+    int old_gens = static_cast<int>(generations.size()) - 1;
+    for (int k = 0; k < old_servers && old_gens > 0; ++k) {
+        const hw::GpuGeneration &g =
+            generations[static_cast<size_t>(1 + k % old_gens)];
+        auto s = static_cast<size_t>(cfg_.num_servers - 1 - k);
+        cap.speed[s] = g.speed;
+        cap.nvlink[s] = cap.nvlink[s] && g.has_nvlink;
+    }
 
     // Completion events run on a sharded discrete-event engine: a
     // job's finish event lives on the shard of its first allocated
@@ -165,15 +353,31 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
     sim::ShardedEngine engine(num_shards, /*lookahead=*/0.0,
                               runtime::globalPool());
 
-    // Allocations of in-flight jobs, indexed by slot; finished slots
-    // are recycled through a free list so long traces do not grow the
-    // table past the peak concurrency.
-    std::vector<Allocation> slots;
+    // In-flight jobs, indexed by slot; finished slots are recycled
+    // through a free list so long traces do not grow the table past
+    // the peak concurrency. The generation counter invalidates the
+    // completion event of a preempted job: the stale event still
+    // fires but its (slot, gen) pair no longer matches.
+    struct Slot
+    {
+        Allocation alloc;
+        TrainingJob executed;
+        size_t req = 0;
+        size_t out = 0;
+        double seg_start = 0.0;
+        double step_s = 0.0;
+        double pred_finish = kInf;
+        int64_t steps_left = 0;
+        uint64_t gen = 0;
+        int gpus = 0;
+        bool active = false;
+    };
+    std::vector<Slot> slots;
     std::vector<size_t> free_slots;
-    // Per-shard buffers of slots whose jobs finished in the last
-    // drain; a shard's completion callbacks are the only writers of
-    // its buffer, so no locks are needed.
-    std::vector<std::vector<size_t>> finished(
+    // Per-shard buffers of (slot, gen) whose completion fired in the
+    // last drain; a shard's completion callbacks are the only
+    // writers of its buffer, so no locks are needed.
+    std::vector<std::vector<std::pair<size_t, uint64_t>>> finished(
         static_cast<size_t>(engine.numShards()));
 
     ClusterOutcome out;
@@ -191,12 +395,88 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
             return model_.stepTime(requests[i].job);
         });
 
-    // Per-request attempt counts, recorded in the job log so queue
-    // behavior (how often the head was retried) is visible per job.
-    std::vector<int64_t> attempts(requests.size(), 0);
+    // Predicted run seconds per request (policy ordering input): the
+    // configured predictor, else the analytical prediction itself.
+    const bool wants_predictions =
+        predictionDriven(cfg_.policy) ||
+        (cfg_.policy == Policy::Backfill && cfg_.predictor);
+    std::vector<double> pred_run;
+    std::vector<double> pred_per_step;
+    if (wants_predictions) {
+        pred_run = runtime::parallelMap<double>(
+            runtime::globalPool(), requests.size(), [&](size_t i) {
+                double model_run =
+                    submitted_step[i] *
+                    static_cast<double>(requests[i].num_steps);
+                if (!cfg_.predictor)
+                    return model_run;
+                double p = cfg_.predictor(requests[i].job,
+                                          requests[i].num_steps,
+                                          model_run);
+                return std::isfinite(p) && p >= 0.0 ? p : model_run;
+            });
+        pred_per_step.resize(requests.size());
+        for (size_t i = 0; i < requests.size(); ++i) {
+            pred_per_step[i] =
+                pred_run[i] /
+                static_cast<double>(requests[i].num_steps);
+        }
+    }
+    // Predicted *remaining* run seconds; shrinks when a preempted
+    // job is re-queued with only its unfinished steps.
+    std::vector<double> pred_remaining = pred_run;
 
-    // Attempt to place one request; on success records the outcome
-    // and consumes capacity.
+    // Per-request mutable state across preemption/restart cycles.
+    std::vector<int64_t> steps_remaining(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i)
+        steps_remaining[i] = requests[i].num_steps;
+    std::vector<int64_t> attempts(requests.size(), 0);
+    constexpr size_t kNoOutcome = static_cast<size_t>(-1);
+    std::vector<size_t> out_index(requests.size(), kNoOutcome);
+    // A restarted job resumes its pinned execution plan (same
+    // architecture/porting decision), as a checkpoint restore would.
+    std::vector<std::optional<TrainingJob>> pinned_exec(
+        requests.size());
+
+    auto emitJobRecord = [&](size_t req_index, const JobOutcome &jo,
+                             const TrainingJob &executed,
+                             int server) {
+        if (!cfg_.record_job_log || !obs::jobLogActive())
+            return;
+        const JobRequest &req = requests[req_index];
+        obs::JobRecord rec;
+        rec.job_id = jo.job_id;
+        rec.source = "clustersim";
+        rec.arch = workload::toString(req.job.arch);
+        rec.executed_arch = workload::toString(executed.arch);
+        rec.ported = jo.ported;
+        rec.num_cnodes = executed.num_cnodes;
+        rec.gpus = jo.gpus;
+        rec.server = server;
+        rec.num_steps = req.num_steps;
+        rec.placement_attempts = attempts[req_index];
+        rec.submit_s = jo.submit_time;
+        rec.start_s = jo.start_time;
+        rec.finish_s = jo.finish_time;
+        // Predicted = the job as submitted; simulated = the job as
+        // executed under its actual placement, so porting, generation
+        // slowdown and preemption effects become the recorded skew.
+        core::TimeBreakdown pred = model_.breakdown(req.job);
+        rec.pred_td_s = pred.t_data;
+        rec.pred_tc_flops_s = pred.t_comp_flops;
+        rec.pred_tc_mem_s = pred.t_comp_mem;
+        rec.pred_tw_s = pred.t_weight;
+        rec.pred_step_s = pred.total();
+        core::TimeBreakdown sim = model_.breakdown(executed);
+        rec.sim_td_s = sim.t_data;
+        rec.sim_tc_s = sim.compute();
+        rec.sim_tw_s = sim.t_weight;
+        rec.sim_step_s = jo.step_s;
+        obs::recordJob(std::move(rec));
+    };
+
+    // Attempt to place one request; on success records/updates the
+    // outcome and consumes capacity.
     auto tryPlace = [&](size_t req_index) -> bool {
         const JobRequest &req = requests[req_index];
         placement_attempts.add();
@@ -206,135 +486,327 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
         TrainingJob executed = job;
         bool ported = false;
 
-        if (cfg_.port_ps_to_allreduce &&
-            job.arch == ArchType::PsWorker &&
-            job.features.weightBytes() <= cfg_.gpu_memory_bytes) {
-            int n = std::min(job.num_cnodes, cfg_.gpus_per_server);
-            if (findOneServer(cap, n, /*need_nvlink=*/true, &alloc)) {
-                executed.arch = ArchType::AllReduceLocal;
-                executed.num_cnodes = n;
-                executed.num_ps = 0;
-                ported = true;
+        if (pinned_exec[req_index]) {
+            // Restart after preemption: resume the recorded plan.
+            executed = *pinned_exec[req_index];
+            ported = executed.arch != job.arch;
+            if (!findFor(cap, executed, cfg_, &alloc)) {
+                placement_failures.add();
+                return false;
             }
-        }
-        if (!ported) {
-            bool found = false;
-            switch (job.arch) {
-              case ArchType::OneWorkerOneGpu:
-                found = findOneServer(cap, 1, false, &alloc);
-                break;
-              case ArchType::OneWorkerMultiGpu:
-                found = findOneServer(cap, job.num_cnodes, false,
-                                      &alloc);
-                break;
-              case ArchType::PsWorker:
-                found = findSpreadServers(cap, job.num_cnodes,
-                                          &alloc);
-                break;
-              case ArchType::AllReduceLocal:
-              case ArchType::Pearl:
-                found = findOneServer(cap, job.num_cnodes, true,
-                                      &alloc);
-                break;
-              case ArchType::AllReduceCluster: {
-                // Whole NVLink servers, packed.
-                int need = job.num_cnodes;
-                alloc.clear();
-                for (size_t s = 0;
-                     s < cap.free_gpus.size() && need > 0; ++s) {
-                    if (!cap.nvlink[s] ||
-                        cap.free_gpus[s] < cfg_.gpus_per_server) {
-                        continue;
-                    }
-                    int take =
-                        std::min(need, cfg_.gpus_per_server);
-                    alloc.push_back({static_cast<int>(s), take});
-                    need -= take;
+        } else {
+            if (cfg_.port_ps_to_allreduce &&
+                job.arch == ArchType::PsWorker &&
+                job.features.weightBytes() <= cfg_.gpu_memory_bytes) {
+                int n = std::min(job.num_cnodes, cfg_.gpus_per_server);
+                if (findOneServer(cap, n, /*need_nvlink=*/true,
+                                  cfg_.placement, &alloc)) {
+                    executed.arch = ArchType::AllReduceLocal;
+                    executed.num_cnodes = n;
+                    executed.num_ps = 0;
+                    ported = true;
                 }
-                found = need == 0;
-                break;
-              }
             }
-            if (!found) {
+            if (!ported && !findFor(cap, job, cfg_, &alloc)) {
                 placement_failures.add();
                 return false;
             }
         }
 
         cap.take(alloc);
-        double step = ported ? model_.stepTime(executed)
-                             : submitted_step[req_index];
-        double runtime = step * static_cast<double>(req.num_steps);
-
-        JobOutcome jo;
-        jo.job_id = job.id;
-        jo.submit_time = req.submit_time;
-        jo.start_time = now;
-        jo.finish_time = now + runtime;
-        jo.executed_arch = executed.arch;
-        jo.ported = ported;
+        double base_step = ported ? model_.stepTime(executed)
+                                  : submitted_step[req_index];
+        // Older generations stretch every step by 1/speed.
+        double step = base_step / cap.slowestSpeed(alloc);
+        int64_t steps_left = steps_remaining[req_index];
+        double runtime = step * static_cast<double>(steps_left);
+        int gpus = 0;
         for (auto [s, g] : alloc) {
             (void)s;
-            jo.gpus += g;
-        }
-        gpu_seconds += jo.gpus * runtime;
-        out.ported_jobs += ported;
-
-        if (obs::jobLogActive()) {
-            obs::JobRecord rec;
-            rec.job_id = jo.job_id;
-            rec.source = "clustersim";
-            rec.arch = workload::toString(job.arch);
-            rec.executed_arch = workload::toString(executed.arch);
-            rec.ported = ported;
-            rec.num_cnodes = executed.num_cnodes;
-            rec.gpus = jo.gpus;
-            rec.server = alloc.empty() ? -1 : alloc.front().first;
-            rec.num_steps = req.num_steps;
-            rec.placement_attempts = attempts[req_index];
-            rec.submit_s = jo.submit_time;
-            rec.start_s = jo.start_time;
-            rec.finish_s = jo.finish_time;
-            // Predicted = the job as submitted; simulated = the job
-            // as executed under its actual placement, so porting and
-            // clamping effects become the recorded skew.
-            core::TimeBreakdown pred = model_.breakdown(job);
-            rec.pred_td_s = pred.t_data;
-            rec.pred_tc_flops_s = pred.t_comp_flops;
-            rec.pred_tc_mem_s = pred.t_comp_mem;
-            rec.pred_tw_s = pred.t_weight;
-            rec.pred_step_s = pred.total();
-            core::TimeBreakdown sim = model_.breakdown(executed);
-            rec.sim_td_s = sim.t_data;
-            rec.sim_tc_s = sim.compute();
-            rec.sim_tw_s = sim.t_weight;
-            rec.sim_step_s = step;
-            obs::recordJob(std::move(rec));
+            gpus += g;
         }
 
-        out.jobs.push_back(jo);
-        if (std::isfinite(jo.finish_time)) {
+        size_t oi = out_index[req_index];
+        if (oi == kNoOutcome) {
+            JobOutcome jo;
+            jo.job_id = job.id;
+            jo.submit_time = req.submit_time;
+            jo.start_time = now;
+            jo.finish_time = now + runtime;
+            jo.executed_arch = executed.arch;
+            jo.ported = ported;
+            jo.gpus = gpus;
+            jo.step_s = step;
+            jo.num_steps = req.num_steps;
+            jo.predicted_run_s = wants_predictions
+                                     ? pred_run[req_index]
+                                     : submitted_step[req_index] *
+                                           static_cast<double>(
+                                               req.num_steps);
+            oi = out.jobs.size();
+            out_index[req_index] = oi;
+            out.jobs.push_back(std::move(jo));
+            out.ported_jobs += ported;
+        } else {
+            // Restart: keep first-start fields, refresh execution.
+            JobOutcome &jo = out.jobs[oi];
+            jo.finish_time = now + runtime;
+            jo.step_s = step;
+            jo.gpus = gpus;
+        }
+        gpu_seconds += gpus * runtime;
+
+        if (std::isfinite(runtime)) {
             size_t slot;
             if (!free_slots.empty()) {
                 slot = free_slots.back();
                 free_slots.pop_back();
-                slots[slot] = std::move(alloc);
             } else {
                 slot = slots.size();
-                slots.push_back(std::move(alloc));
+                slots.push_back(Slot{});
             }
-            int shard = slots[slot].front().first %
-                        engine.numShards();
-            engine.schedule(shard, jo.finish_time,
-                            [&finished, shard, slot] {
+            Slot &sl = slots[slot];
+            sl.alloc = std::move(alloc);
+            sl.executed = executed;
+            sl.req = req_index;
+            sl.out = oi;
+            sl.seg_start = now;
+            sl.step_s = step;
+            sl.steps_left = steps_left;
+            sl.pred_finish =
+                wants_predictions
+                    ? now + pred_per_step[req_index] *
+                                static_cast<double>(steps_left)
+                    : now + runtime;
+            sl.gpus = gpus;
+            sl.active = true;
+            uint64_t gen = ++sl.gen;
+            int shard = sl.alloc.front().first % engine.numShards();
+            engine.schedule(shard, now + runtime,
+                            [&finished, shard, slot, gen] {
                                 finished[static_cast<size_t>(shard)]
-                                    .push_back(slot);
+                                    .push_back({slot, gen});
                             });
+        } else {
+            // A non-finite finish never fires: the job holds its
+            // GPUs forever, exactly as the old priority-queue loop
+            // (which broke out before ever popping it) behaved. The
+            // outcome is final, so the record is emitted here.
+            emitJobRecord(req_index, out.jobs[oi], executed,
+                          alloc.empty() ? -1 : alloc.front().first);
         }
-        // A non-finite finish never fires: the job holds its GPUs
-        // forever, exactly as the old priority-queue loop (which
-        // broke out before ever popping it) behaved.
         return true;
+    };
+
+    // Earliest predicted time the queue head could start, assuming
+    // running jobs release at their *predicted* finishes (EASY
+    // backfill's reservation). +inf when some blocking job never
+    // finishes.
+    auto reservationTime = [&](size_t head_req) -> double {
+        Capacity sim_cap = cap;
+        Allocation scratch;
+        std::vector<std::pair<double, size_t>> releases;
+        for (size_t s = 0; s < slots.size(); ++s) {
+            if (slots[s].active)
+                releases.push_back({slots[s].pred_finish, s});
+        }
+        std::sort(releases.begin(), releases.end(),
+                  [&](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return slots[a.second].out < slots[b.second].out;
+                  });
+        const TrainingJob &job = requests[head_req].job;
+        for (auto [t, s] : releases) {
+            if (!std::isfinite(t))
+                break;
+            sim_cap.release(slots[s].alloc);
+            if (findFor(sim_cap, job, cfg_, &scratch))
+                return std::max(now, t);
+        }
+        return kInf;
+    };
+
+    // Preempt the running job in @p slot at `now`, re-queueing its
+    // remaining steps. Work conservation: completed steps stay
+    // completed; only the partial step in flight is redone.
+    auto preempt = [&](size_t slot) {
+        Slot &sl = slots[slot];
+        assert(sl.active);
+        auto done = static_cast<int64_t>(
+            std::floor((now - sl.seg_start) / sl.step_s + 1e-9));
+        done = std::clamp<int64_t>(done, 0, sl.steps_left - 1);
+        int64_t left = sl.steps_left - done;
+
+        // Return the unexecuted share of the GPU-seconds charged at
+        // placement.
+        gpu_seconds -=
+            sl.gpus * (sl.step_s * static_cast<double>(sl.steps_left) -
+                       (now - sl.seg_start));
+        cap.release(sl.alloc);
+
+        JobOutcome &jo = out.jobs[sl.out];
+        if (jo.segments.empty())
+            jo.segments.push_back({jo.start_time, now});
+        else
+            jo.segments.push_back({sl.seg_start, now});
+        ++jo.preemptions;
+        ++out.preemptions;
+
+        steps_remaining[sl.req] = left;
+        if (wants_predictions) {
+            pred_remaining[sl.req] =
+                pred_per_step[sl.req] * static_cast<double>(left);
+        }
+        pinned_exec[sl.req] = sl.executed;
+        pending.push_back(sl.req);
+
+        ++sl.gen; // invalidate the in-flight completion event
+        sl.active = false;
+        sl.alloc.clear();
+        free_slots.push_back(slot);
+    };
+
+    // One scheduling pass over the queue at time `now`, under the
+    // configured policy. Returns when no further job can start.
+    auto schedulePass = [&] {
+        switch (cfg_.policy) {
+          case Policy::Fifo: {
+            while (!pending.empty() && tryPlace(pending.front()))
+                pending.pop_front();
+            break;
+          }
+          case Policy::Backfill: {
+            if (!cfg_.predictor) {
+                // Greedy skip-ahead (the original behavior): any
+                // fitting job starts, in queue order.
+                bool progress = true;
+                while (progress && !pending.empty()) {
+                    progress = false;
+                    for (auto it = pending.begin();
+                         it != pending.end(); ++it) {
+                        if (tryPlace(*it)) {
+                            pending.erase(it);
+                            progress = true;
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            [[fallthrough]];
+          }
+          case Policy::Gang: {
+            // EASY: drain the head chain, then let later jobs start
+            // only when their predicted completion respects the
+            // head's reservation. Gang additionally restricts
+            // backfill to single-GPU jobs.
+            bool gang = cfg_.policy == Policy::Gang;
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                while (!pending.empty() &&
+                       tryPlace(pending.front())) {
+                    pending.pop_front();
+                    progress = true;
+                }
+                if (pending.empty())
+                    break;
+                double t_res = reservationTime(pending.front());
+                for (auto it = std::next(pending.begin());
+                     it != pending.end(); ++it) {
+                    if (gang && requests[*it].job.num_cnodes > 1)
+                        continue;
+                    if (std::isfinite(t_res) &&
+                        now + pred_remaining[*it] > t_res) {
+                        continue;
+                    }
+                    if (tryPlace(*it)) {
+                        pending.erase(it);
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+            break;
+          }
+          case Policy::Spf:
+          case Policy::SpfPreempt: {
+            bool progress = true;
+            while (progress && !pending.empty()) {
+                progress = false;
+                std::vector<size_t> order(pending.begin(),
+                                          pending.end());
+                std::sort(order.begin(), order.end(),
+                          [&](size_t a, size_t b) {
+                              if (pred_remaining[a] !=
+                                  pred_remaining[b]) {
+                                  return pred_remaining[a] <
+                                         pred_remaining[b];
+                              }
+                              return a < b;
+                          });
+                for (size_t req : order) {
+                    if (tryPlace(req)) {
+                        pending.erase(std::find(pending.begin(),
+                                                pending.end(), req));
+                        progress = true;
+                        break;
+                    }
+                }
+                if (progress ||
+                    cfg_.policy != Policy::SpfPreempt ||
+                    order.empty()) {
+                    continue;
+                }
+                // Nothing fits. Let the shortest queued job preempt
+                // the running job with the longest predicted
+                // remaining time, when the imbalance is worth a
+                // restart.
+                size_t head = order.front();
+                while (true) {
+                    size_t victim = static_cast<size_t>(-1);
+                    double victim_rem = -1.0;
+                    for (size_t s = 0; s < slots.size(); ++s) {
+                        const Slot &sl = slots[s];
+                        if (!sl.active)
+                            continue;
+                        if (out.jobs[sl.out].preemptions >=
+                            cfg_.max_preemptions) {
+                            continue;
+                        }
+                        auto done = static_cast<int64_t>(std::floor(
+                            (now - sl.seg_start) / sl.step_s + 1e-9));
+                        done = std::clamp<int64_t>(
+                            done, 0, sl.steps_left - 1);
+                        double rem =
+                            pred_per_step[sl.req] *
+                            static_cast<double>(sl.steps_left - done);
+                        if (rem > victim_rem ||
+                            (rem == victim_rem &&
+                             victim != static_cast<size_t>(-1) &&
+                             sl.out < slots[victim].out)) {
+                            victim = s;
+                            victim_rem = rem;
+                        }
+                    }
+                    if (victim == static_cast<size_t>(-1) ||
+                        victim_rem <= cfg_.preempt_ratio *
+                                          pred_remaining[head]) {
+                        break;
+                    }
+                    preempt(victim);
+                    if (tryPlace(head)) {
+                        pending.erase(std::find(pending.begin(),
+                                                pending.end(), head));
+                        progress = true;
+                        break;
+                    }
+                }
+            }
+            break;
+          }
+        }
     };
 
     while (arrival < requests.size() || !pending.empty() ||
@@ -342,7 +814,7 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
         // Admit all submissions up to `now`, dropping jobs the
         // cluster can never host (e.g. more cNodes than NVLink
         // capacity). Admitting them would starve the queue forever
-        // under FCFS -- this must hold in release builds too, so it
+        // under FIFO -- this must hold in release builds too, so it
         // is a counted drop rather than an assert.
         while (arrival < requests.size() &&
                requests[arrival].submit_time <= now) {
@@ -351,7 +823,7 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
             } else {
                 ++out.unplaceable_jobs;
                 obs::counter("clustersim.unplaceable_jobs").add();
-                if (obs::jobLogActive()) {
+                if (cfg_.record_job_log && obs::jobLogActive()) {
                     const JobRequest &req = requests[arrival];
                     obs::JobRecord rec;
                     rec.job_id = req.job.id;
@@ -378,25 +850,7 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
         }
 
         // Schedule from the queue under the policy.
-        bool progress = true;
-        while (progress && !pending.empty()) {
-            progress = false;
-            if (cfg_.policy == Policy::Fcfs) {
-                if (tryPlace(pending.front())) {
-                    pending.pop_front();
-                    progress = true;
-                }
-            } else {
-                for (auto it = pending.begin();
-                     it != pending.end(); ++it) {
-                    if (tryPlace(*it)) {
-                        pending.erase(it);
-                        progress = true;
-                        break;
-                    }
-                }
-            }
-        }
+        schedulePass();
 
         // Advance time to the next event.
         double next = std::numeric_limits<double>::infinity();
@@ -407,12 +861,26 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
             break; // queue non-empty but nothing can ever finish
         now = std::max(now, next);
 
-        // Fire every completion up to `now` and release its GPUs.
+        // Fire every completion up to `now` and release its GPUs. A
+        // (slot, gen) pair that no longer matches belongs to a
+        // preempted-and-restarted job: its stale event is a no-op.
         engine.runUntil(now);
-        for (std::vector<size_t> &shard_done : finished) {
-            for (size_t slot : shard_done) {
-                cap.release(slots[slot]);
-                slots[slot].clear();
+        for (auto &shard_done : finished) {
+            for (auto [slot, gen] : shard_done) {
+                Slot &sl = slots[slot];
+                if (!sl.active || sl.gen != gen)
+                    continue;
+                cap.release(sl.alloc);
+                JobOutcome &jo = out.jobs[sl.out];
+                if (!jo.segments.empty())
+                    jo.segments.push_back(
+                        {sl.seg_start, jo.finish_time});
+                emitJobRecord(sl.req, jo, sl.executed,
+                              sl.alloc.empty()
+                                  ? -1
+                                  : sl.alloc.front().first);
+                sl.active = false;
+                sl.alloc.clear();
                 free_slots.push_back(slot);
             }
             shard_done.clear();
@@ -426,6 +894,8 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
     obs::counter("clustersim.jobs_scheduled").add(out.jobs.size());
     obs::counter("clustersim.jobs_ported")
         .add(static_cast<uint64_t>(out.ported_jobs));
+    obs::counter("clustersim.preemptions")
+        .add(static_cast<uint64_t>(out.preemptions));
     static obs::Histogram &wait_hist =
         obs::histogram("clustersim.wait_s");
     stats::WeightedCdf waits;

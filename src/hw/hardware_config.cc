@@ -45,6 +45,18 @@ tableIiiVariations()
     return HardwareVariations{};
 }
 
+std::vector<GpuGeneration>
+paiGenerations()
+{
+    // Speed factors follow the FP32 peak ratios of the vintages the
+    // platform accumulated (Table I GPU = 11 TFLOPs reference).
+    return {
+        {"gen-current", 1.0, true},   // Table I reference, NVLink
+        {"gen-prev", 0.85, false},    // P100-class, PCIe only
+        {"gen-old", 0.4, false},      // K80-class, PCIe only
+    };
+}
+
 std::string
 toString(Resource r)
 {

@@ -84,6 +84,31 @@ struct HardwareVariations
 /** The candidate values of Table III. */
 HardwareVariations tableIiiVariations();
 
+/**
+ * One GPU generation of a heterogeneous cluster. The PAI sub-cluster
+ * mixes hardware vintages -- only part of the fleet carries the
+ * hybrid-mesh NVLink fabric "due to cost issue" (Sec II-A1) -- and
+ * the cluster scheduler models that as per-server generations: a
+ * speed factor applied to every per-step time and an NVLink flag.
+ */
+struct GpuGeneration
+{
+    std::string name;
+    /**
+     * Step-time speed relative to the Table I reference GPU (1.0 =
+     * reference; 0.5 = every step takes twice as long).
+     */
+    double speed = 1.0;
+    bool has_nvlink = true;
+};
+
+/**
+ * The generation ladder used by heterogeneous scheduling scenarios:
+ * index 0 is the Table I reference generation (NVLink), later entries
+ * are progressively older, slower, NVLink-less vintages.
+ */
+std::vector<GpuGeneration> paiGenerations();
+
 /** Which hardware component a resource variation targets (Fig 11). */
 enum class Resource
 {

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * History-trained job-duration and queueing-delay estimators
+ * (DESIGN.md Sec 13).
+ *
+ * Hu et al. (arXiv:2109.01313) show that simple predictors fit on a
+ * cluster's own job history recover most of the queueing time lost to
+ * FIFO scheduling. The `--job-log` JobRecord stream (DESIGN.md Sec 10)
+ * is exactly that history: every completed job carries its
+ * architecture, scale, step count and measured queue/run seconds.
+ * This module fits two deterministic, dependency-free models on a
+ * recorded log:
+ *
+ *  - QuantileDurationModel: empirical per-step run-time quantiles
+ *    bucketed by (architecture, log2 scale). Prediction looks up the
+ *    most specific bucket with history and multiplies the configured
+ *    quantile by the job's step count. Monotone in q by construction.
+ *  - LinearDurationModel: closed-form least squares of recorded run
+ *    seconds on the analytical model's predicted run seconds -- a
+ *    one-knob recalibration of the model against observed behavior.
+ *
+ * plus QueueDelayModel, the same quantile construction over recorded
+ * queue seconds bucketed by GPU demand, for answering "how long will
+ * a job like this wait" before submitting it.
+ *
+ * Every model is a pure function of the record vector it was fit on:
+ * fitting is single-pass over a deterministic bucket order and never
+ * consults global state, so fits are identical for any `--threads`
+ * count. When a query finds no matching history at all, the model
+ * falls back to the caller-supplied analytical prediction (duration)
+ * or zero (queue delay) and counts the event in the
+ * `predict.cold_start` metric -- a cold predictor degrades to the
+ * paper's analytical model, never to garbage.
+ */
+
+#ifndef PAICHAR_PREDICT_PREDICTOR_H
+#define PAICHAR_PREDICT_PREDICTOR_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/job_log.h"
+#include "workload/training_job.h"
+
+namespace paichar::predict {
+
+/**
+ * A fitted job-duration estimator. predictRunSeconds() maps the
+ * features known at submit time -- the job, its training length, and
+ * the analytical model's run-time prediction -- to expected run
+ * seconds. Implementations must be deterministic and side-effect free
+ * apart from the predict.cold_start counter.
+ */
+class DurationModel
+{
+  public:
+    virtual ~DurationModel() = default;
+
+    /**
+     * @param job          The job as submitted.
+     * @param num_steps    Training length in steps.
+     * @param model_run_s  The analytical model's predicted run
+     *                     seconds (stepTime * num_steps); the
+     *                     cold-start fallback.
+     */
+    virtual double predictRunSeconds(const workload::TrainingJob &job,
+                                     int64_t num_steps,
+                                     double model_run_s) const = 0;
+
+    /** Records this model was fit on (0 = everything cold-starts). */
+    virtual size_t sampleCount() const = 0;
+};
+
+/**
+ * Empirical quantile model over per-step run seconds.
+ *
+ * Buckets are keyed by (architecture name, floor(log2(num_cnodes))):
+ * the paper's populations differ by orders of magnitude across
+ * architectures and scales, so a single global quantile would be
+ * dominated by the 1w1g majority. Lookup degrades gracefully:
+ * exact bucket -> any-scale architecture bucket -> global bucket ->
+ * analytical fallback (counted in predict.cold_start).
+ */
+class QuantileDurationModel : public DurationModel
+{
+  public:
+    /**
+     * Fit on completed records of @p history.
+     * @param q Quantile in [0, 1]; 0.5 = median predictor.
+     * @throws std::invalid_argument unless q is in [0, 1].
+     */
+    QuantileDurationModel(const std::vector<obs::JobRecord> &history,
+                          double q);
+
+    double predictRunSeconds(const workload::TrainingJob &job,
+                             int64_t num_steps,
+                             double model_run_s) const override;
+
+    size_t sampleCount() const override { return samples_; }
+
+    double quantile() const { return q_; }
+
+  private:
+    /** Sorted per-step run-time samples of one bucket. */
+    const std::vector<double> *lookup(const workload::TrainingJob &job)
+        const;
+
+    std::map<std::string, std::vector<double>> buckets_;
+    std::map<std::string, std::vector<double>> arch_buckets_;
+    std::vector<double> global_;
+    double q_;
+    size_t samples_ = 0;
+};
+
+/**
+ * Least-squares recalibration of the analytical model: fits
+ * run_s = a + b * pred_run_s on completed history records (closed
+ * form, no iteration). Degenerate fits (fewer than two distinct
+ * predictor values) keep the identity a=0, b=1, so the model never
+ * predicts worse than the analytical baseline it recalibrates.
+ * Predictions are clamped non-negative.
+ */
+class LinearDurationModel : public DurationModel
+{
+  public:
+    explicit LinearDurationModel(
+        const std::vector<obs::JobRecord> &history);
+
+    double predictRunSeconds(const workload::TrainingJob &job,
+                             int64_t num_steps,
+                             double model_run_s) const override;
+
+    size_t sampleCount() const override { return samples_; }
+
+    double intercept() const { return a_; }
+    double slope() const { return b_; }
+
+  private:
+    double a_ = 0.0;
+    double b_ = 1.0;
+    size_t samples_ = 0;
+};
+
+/**
+ * Queueing-delay estimator: empirical quantiles of recorded queue
+ * seconds bucketed by floor(log2(GPU demand)), falling back to the
+ * global distribution, then to 0 seconds (cold start, counted).
+ */
+class QueueDelayModel
+{
+  public:
+    /** @throws std::invalid_argument unless q is in [0, 1]. */
+    QueueDelayModel(const std::vector<obs::JobRecord> &history,
+                    double q);
+
+    /** Expected queue seconds for a job demanding @p gpus GPUs. */
+    double predictQueueSeconds(int gpus) const;
+
+    size_t sampleCount() const { return samples_; }
+
+  private:
+    std::map<int, std::vector<double>> buckets_;
+    std::vector<double> global_;
+    double q_;
+    size_t samples_ = 0;
+};
+
+/** Value at quantile @p q of @p sorted (ascending, non-empty):
+ * smallest element v with P(X <= v) >= q, the WeightedCdf convention.
+ * @throws std::invalid_argument unless q is in [0, 1]. */
+double sortedQuantile(const std::vector<double> &sorted, double q);
+
+/** Bucket key for a duration sample: "<arch>/<floor(log2 n)>". */
+std::string durationBucketKey(const std::string &arch, int num_cnodes);
+
+} // namespace paichar::predict
+
+#endif // PAICHAR_PREDICT_PREDICTOR_H

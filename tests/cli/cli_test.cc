@@ -392,6 +392,76 @@ TEST_F(CliWithTraceTest, ScheduleReportsQueueingMetrics)
     EXPECT_NE(r.out.find("scheduled 2000 jobs"), std::string::npos);
     EXPECT_NE(r.out.find("GPU utilization"), std::string::npos);
     EXPECT_NE(r.out.find("ported jobs"), std::string::npos);
+    EXPECT_NE(r.out.find("policy: backfill"), std::string::npos);
+}
+
+TEST_F(CliWithTraceTest, ScheduleRejectsUnknownPolicyListingValidSet)
+{
+    auto r = runCli({"schedule", path_, "--policy", "lottery"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("--policy"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("lottery"), std::string::npos) << r.err;
+    // The error enumerates every valid choice.
+    for (const char *name :
+         {"fifo", "backfill", "spf", "spf-preempt", "gang"})
+        EXPECT_NE(r.err.find(name), std::string::npos)
+            << "missing " << name << " in: " << r.err;
+}
+
+TEST_F(CliWithTraceTest, ScheduleRejectsUnknownPredictorAndPlacement)
+{
+    auto r = runCli({"schedule", path_, "--predictor", "oracle"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("--predictor"), std::string::npos) << r.err;
+    for (const char *name : {"model", "quantile", "linear", "none"})
+        EXPECT_NE(r.err.find(name), std::string::npos)
+            << "missing " << name << " in: " << r.err;
+
+    auto p = runCli({"schedule", path_, "--placement", "random"});
+    EXPECT_EQ(p.code, 1);
+    EXPECT_NE(p.err.find("--placement"), std::string::npos) << p.err;
+    EXPECT_NE(p.err.find("best-fit"), std::string::npos) << p.err;
+}
+
+TEST_F(CliWithTraceTest, ScheduleRejectsPredictionDrivenWithoutPredictor)
+{
+    for (const char *policy : {"spf", "spf-preempt", "gang"}) {
+        auto r = runCli({"schedule", path_, "--policy", policy,
+                         "--predictor", "none"});
+        EXPECT_EQ(r.code, 1) << policy;
+        EXPECT_NE(r.err.find("prediction-driven"), std::string::npos)
+            << policy << ": " << r.err;
+    }
+    // Plain backfill degrades gracefully to greedy skip-ahead.
+    auto ok = runCli({"schedule", path_, "--policy", "backfill",
+                      "--predictor", "none"});
+    EXPECT_EQ(ok.code, 0) << ok.err;
+}
+
+TEST_F(CliWithTraceTest, ScheduleHistoryPredictorsRequireHistory)
+{
+    for (const char *pred : {"quantile", "linear"}) {
+        auto r = runCli({"schedule", path_, "--predictor", pred});
+        EXPECT_EQ(r.code, 1) << pred;
+        EXPECT_NE(r.err.find("--history"), std::string::npos)
+            << pred << ": " << r.err;
+    }
+    auto bad = runCli({"schedule", path_, "--predictor", "quantile",
+                       "--history", "/nonexistent/h.jsonl"});
+    EXPECT_EQ(bad.code, 1);
+    auto q = runCli({"schedule", path_, "--quantile", "1.5"});
+    EXPECT_EQ(q.code, 1);
+    EXPECT_NE(q.err.find("--quantile"), std::string::npos) << q.err;
+}
+
+TEST_F(CliWithTraceTest, ScheduleCompareFifoReportsDelta)
+{
+    auto r = runCli({"schedule", path_, "--servers", "24", "--rate",
+                     "400", "--policy", "spf", "--compare-fifo",
+                     "1"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("vs fifo:"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("policy: spf"), std::string::npos);
 }
 
 } // namespace

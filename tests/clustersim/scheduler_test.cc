@@ -108,7 +108,7 @@ TEST_F(SchedulerTest, FcfsHeadOfLineBlocks)
     // Head job needs 8 GPUs (unavailable); a 1-GPU job behind it
     // could run but strict FCFS blocks it until the head starts.
     SchedulerConfig cfg = smallCluster(1, 1.0);
-    cfg.policy = Policy::Fcfs;
+    cfg.policy = Policy::Fifo;
     ClusterScheduler sched(cfg, model_);
     auto big1 = makeJob(1, ArchType::AllReduceLocal, 8, 7.7e12);
     auto big2 = makeJob(2, ArchType::AllReduceLocal, 8, 7.7e12);
@@ -131,7 +131,7 @@ TEST_F(SchedulerTest, FcfsHeadOfLineBlocks)
 TEST_F(SchedulerTest, BackfillLetsSmallJobsThrough)
 {
     SchedulerConfig cfg = smallCluster(1, 1.0);
-    cfg.policy = Policy::FcfsBackfill;
+    cfg.policy = Policy::Backfill;
     ClusterScheduler sched(cfg, model_);
     auto big1 = makeJob(1, ArchType::AllReduceLocal, 8, 7.7e12);
     auto big2 = makeJob(2, ArchType::AllReduceLocal, 6, 7.7e12);

@@ -104,6 +104,49 @@ TEST_F(GoldenCliTest, Schedule)
                  {1, 2, 8});
 }
 
+// Policy matrix: each scheduling policy snapshot runs under every
+// --threads count crossed with --shards 1 and 4 and must stay
+// byte-identical before it may match its golden — the policy layer
+// (queue reordering, reservations, preemption, gang admission) may
+// not leak scheduling nondeterminism into results.
+
+TEST_F(GoldenCliTest, ScheduleFifo)
+{
+    expectGolden("schedule_fifo",
+                 {"schedule", "golden_trace.csv", "--servers", "48",
+                  "--rate", "120", "--policy", "fifo"},
+                 {1, 4});
+}
+
+TEST_F(GoldenCliTest, ScheduleSpf)
+{
+    expectGolden("schedule_spf",
+                 {"schedule", "golden_trace.csv", "--servers", "48",
+                  "--rate", "120", "--policy", "spf",
+                  "--compare-fifo", "1"},
+                 {1, 4});
+}
+
+// spf-preempt exercises the generation-checked finish events and
+// restart-from-last-step path; determinism here means preemption
+// decisions are identical across shard layouts.
+TEST_F(GoldenCliTest, ScheduleSpfPreempt)
+{
+    expectGolden("schedule_spf_preempt",
+                 {"schedule", "golden_trace.csv", "--servers", "48",
+                  "--rate", "120", "--policy", "spf-preempt"},
+                 {1, 4});
+}
+
+TEST_F(GoldenCliTest, ScheduleGang)
+{
+    expectGolden("schedule_gang",
+                 {"schedule", "golden_trace.csv", "--servers", "48",
+                  "--rate", "120", "--policy", "gang", "--hetero",
+                  "0.25", "--placement", "best-fit"},
+                 {1, 4});
+}
+
 TEST_F(GoldenCliTest, Sweep)
 {
     expectGolden("sweep", {"sweep", "golden_trace.csv"});

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Property tests for the history-trained predictors (DESIGN.md
+ * Sec 13): quantile monotonicity, bucket-specificity of the lookup
+ * chain, fit determinism regardless of the thread count, linear
+ * recalibration recovery, and the cold-start fallback contract
+ * (analytical prediction + counted predict.cold_start metric).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/obs.h"
+#include "predict/predictor.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+#include "workload/training_job.h"
+
+namespace paichar::predict {
+namespace {
+
+using workload::ArchType;
+using workload::TrainingJob;
+
+obs::JobRecord
+record(const std::string &arch, int cnodes, int64_t steps,
+       double run_s, double pred_step_s = 0.0, int gpus = 1,
+       double queue_s = 0.0)
+{
+    obs::JobRecord r;
+    r.status = "completed";
+    r.arch = arch;
+    r.executed_arch = arch;
+    r.num_cnodes = cnodes;
+    r.gpus = gpus;
+    r.num_steps = steps;
+    r.submit_s = 0.0;
+    r.start_s = queue_s;
+    r.finish_s = queue_s + run_s;
+    r.pred_step_s = pred_step_s;
+    return r;
+}
+
+TrainingJob
+job(ArchType arch, int cnodes)
+{
+    TrainingJob j;
+    j.arch = arch;
+    j.num_cnodes = cnodes;
+    return j;
+}
+
+TEST(SortedQuantile, EndpointsAndMonotonicity)
+{
+    std::vector<double> v{1.0, 2.0, 5.0, 9.0};
+    EXPECT_DOUBLE_EQ(sortedQuantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(sortedQuantile(v, 1.0), 9.0);
+    double prev = sortedQuantile(v, 0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        double cur = sortedQuantile(v, q);
+        EXPECT_GE(cur, prev) << "q=" << q;
+        prev = cur;
+    }
+    EXPECT_THROW(sortedQuantile(v, -0.1), std::invalid_argument);
+    EXPECT_THROW(sortedQuantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(QuantileDurationModel, PredictionMonotoneInQuantile)
+{
+    std::vector<obs::JobRecord> history;
+    for (int i = 1; i <= 20; ++i)
+        history.push_back(record("PS/Worker", 4, 100, 10.0 * i));
+    TrainingJob j = job(ArchType::PsWorker, 4);
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.1) {
+        QuantileDurationModel m(history, q);
+        double p = m.predictRunSeconds(j, 100, 1.0);
+        EXPECT_GE(p, prev) << "q=" << q;
+        prev = p;
+    }
+    EXPECT_THROW(QuantileDurationModel(history, 1.5),
+                 std::invalid_argument);
+}
+
+TEST(QuantileDurationModel, LookupPrefersMostSpecificBucket)
+{
+    // PS/Worker at 4 cNodes: 2 s/step. PS/Worker at 64: 8 s/step.
+    // 1w1g: 0.5 s/step.
+    std::vector<obs::JobRecord> history;
+    for (int i = 0; i < 10; ++i) {
+        history.push_back(record("PS/Worker", 4, 100, 200.0));
+        history.push_back(record("PS/Worker", 64, 100, 800.0));
+        history.push_back(record("1w1g", 1, 100, 50.0));
+    }
+    QuantileDurationModel m(history, 0.5);
+    EXPECT_EQ(m.sampleCount(), 30u);
+    // Exact (arch, log2 scale) bucket.
+    EXPECT_DOUBLE_EQ(
+        m.predictRunSeconds(job(ArchType::PsWorker, 4), 10, 1.0),
+        2.0 * 10);
+    EXPECT_DOUBLE_EQ(
+        m.predictRunSeconds(job(ArchType::PsWorker, 64), 10, 1.0),
+        8.0 * 10);
+    // Unseen scale -> any-scale architecture bucket (median of the
+    // mixed 2 s and 8 s populations).
+    double arch_fallback =
+        m.predictRunSeconds(job(ArchType::PsWorker, 16), 10, 1.0);
+    EXPECT_GE(arch_fallback, 2.0 * 10);
+    EXPECT_LE(arch_fallback, 8.0 * 10);
+    // Unseen architecture -> global bucket, never the analytical
+    // fallback (so no cold start).
+    uint64_t before = obs::counter("predict.cold_start").value();
+    double global_fallback = m.predictRunSeconds(
+        job(ArchType::AllReduceCluster, 16), 10, 123.0);
+    EXPECT_EQ(obs::counter("predict.cold_start").value(), before);
+    EXPECT_NE(global_fallback, 123.0);
+}
+
+TEST(QuantileDurationModel, FitIsDeterministicAndThreadIndependent)
+{
+    std::vector<obs::JobRecord> history;
+    for (int i = 1; i <= 50; ++i) {
+        history.push_back(
+            record("PS/Worker", 1 << (i % 5), 100 + i, 3.0 * i));
+        history.push_back(record("1wng", 2 + i % 7, 50, 7.0 * i));
+    }
+    QuantileDurationModel a(history, 0.9);
+    QuantileDurationModel b(history, 0.9);
+    std::vector<TrainingJob> probes;
+    for (int c = 1; c <= 64; c *= 2) {
+        probes.push_back(job(ArchType::PsWorker, c));
+        probes.push_back(job(ArchType::OneWorkerMultiGpu, c));
+    }
+    // Two fits on the same history agree exactly, and predictions
+    // evaluated on the global pool (however many threads it has)
+    // match the serial evaluation bit-for-bit.
+    std::vector<double> serial;
+    for (const TrainingJob &p : probes)
+        serial.push_back(a.predictRunSeconds(p, 77, 1.0));
+    std::vector<double> pooled = runtime::parallelMap<double>(
+        runtime::globalPool(), probes.size(), [&](size_t i) {
+            return b.predictRunSeconds(probes[i], 77, 1.0);
+        });
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_DOUBLE_EQ(serial[i], pooled[i]) << "probe " << i;
+}
+
+TEST(QuantileDurationModel, ColdStartFallsBackAndCounts)
+{
+    QuantileDurationModel empty({}, 0.5);
+    EXPECT_EQ(empty.sampleCount(), 0u);
+    uint64_t before = obs::counter("predict.cold_start").value();
+    EXPECT_DOUBLE_EQ(
+        empty.predictRunSeconds(job(ArchType::PsWorker, 4), 10, 42.0),
+        42.0);
+    EXPECT_EQ(obs::counter("predict.cold_start").value(), before + 1);
+
+    // Dropped records never train: a history of failures is as cold
+    // as no history.
+    std::vector<obs::JobRecord> dropped;
+    dropped.push_back(record("PS/Worker", 4, 100, 100.0));
+    dropped.back().status = "dropped";
+    QuantileDurationModel m(dropped, 0.5);
+    EXPECT_EQ(m.sampleCount(), 0u);
+    EXPECT_DOUBLE_EQ(
+        m.predictRunSeconds(job(ArchType::PsWorker, 4), 10, 7.0),
+        7.0);
+}
+
+TEST(LinearDurationModel, RecoversAffineRecalibration)
+{
+    // run = 3 + 2 * (pred_step * steps), exactly.
+    std::vector<obs::JobRecord> history;
+    for (int i = 1; i <= 10; ++i) {
+        double pred_step = 0.5 * i;
+        int64_t steps = 100;
+        double x = pred_step * static_cast<double>(steps);
+        history.push_back(
+            record("1w1g", 1, steps, 3.0 + 2.0 * x, pred_step));
+    }
+    LinearDurationModel m(history);
+    EXPECT_EQ(m.sampleCount(), 10u);
+    EXPECT_NEAR(m.slope(), 2.0, 1e-9);
+    EXPECT_NEAR(m.intercept(), 3.0, 1e-6);
+    EXPECT_NEAR(
+        m.predictRunSeconds(job(ArchType::OneWorkerOneGpu, 1), 100,
+                            200.0),
+        3.0 + 2.0 * 200.0, 1e-6);
+    // Clamped non-negative even when the fit extrapolates below 0.
+    EXPECT_GE(m.predictRunSeconds(job(ArchType::OneWorkerOneGpu, 1),
+                                  100, -1e9),
+              0.0);
+}
+
+TEST(LinearDurationModel, DegenerateFitKeepsIdentity)
+{
+    // One sample (or identical x values) cannot determine a slope:
+    // the model must stay the analytical identity.
+    std::vector<obs::JobRecord> one{
+        record("1w1g", 1, 100, 500.0, 2.0)};
+    LinearDurationModel m(one);
+    EXPECT_DOUBLE_EQ(m.slope(), 1.0);
+    EXPECT_DOUBLE_EQ(m.intercept(), 0.0);
+
+    LinearDurationModel empty((std::vector<obs::JobRecord>{}));
+    uint64_t before = obs::counter("predict.cold_start").value();
+    EXPECT_DOUBLE_EQ(
+        empty.predictRunSeconds(job(ArchType::OneWorkerOneGpu, 1),
+                                10, 11.0),
+        11.0);
+    EXPECT_EQ(obs::counter("predict.cold_start").value(), before + 1);
+}
+
+TEST(QueueDelayModel, BucketsByGpuDemandAndMonotoneInQ)
+{
+    std::vector<obs::JobRecord> history;
+    for (int i = 1; i <= 10; ++i) {
+        history.push_back(
+            record("1w1g", 1, 10, 5.0, 0.0, /*gpus=*/1,
+                   /*queue_s=*/1.0 * i));
+        history.push_back(
+            record("1wng", 8, 10, 5.0, 0.0, /*gpus=*/8,
+                   /*queue_s=*/100.0 * i));
+    }
+    QueueDelayModel m(history, 0.5);
+    EXPECT_EQ(m.sampleCount(), 20u);
+    double small = m.predictQueueSeconds(1);
+    double large = m.predictQueueSeconds(8);
+    EXPECT_LT(small, large);
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.25) {
+        QueueDelayModel qm(history, q);
+        double cur = qm.predictQueueSeconds(8);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+    // Cold start: no history at all -> 0 s, counted.
+    QueueDelayModel empty({}, 0.5);
+    uint64_t before = obs::counter("predict.cold_start").value();
+    EXPECT_DOUBLE_EQ(empty.predictQueueSeconds(4), 0.0);
+    EXPECT_EQ(obs::counter("predict.cold_start").value(), before + 1);
+}
+
+} // namespace
+} // namespace paichar::predict
