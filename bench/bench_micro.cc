@@ -20,7 +20,10 @@
  * analytical-prune-then-simulate-top-K search pay off. A fifth
  * sim-engine section compares the seed priority_queue event engine
  * against the arena/ladder EventQueue and the sharded engine on an
- * 8M-event drain (recorded in BENCH_sim_engine.json).
+ * 8M-event drain (recorded in BENCH_sim_engine.json). A sixth
+ * serving section records simulated-requests-per-second of the seed
+ * single-server simulator against the fleet event loop
+ * (BENCH_serving.json).
  */
 
 #include <benchmark/benchmark.h>
@@ -44,6 +47,7 @@
 #include "collectives/collective_ops.h"
 #include "core/characterization.h"
 #include "core/projection.h"
+#include "inference/fleet_sim.h"
 #include "inference/inference_workload.h"
 #include "inference/serving_sim.h"
 #include "obs/job_log.h"
@@ -963,6 +967,111 @@ runSimEngineSection()
     std::printf("\n");
 }
 
+/**
+ * Serving section: simulated-requests-per-wall-second of the seed
+ * single-server simulator against the fleet event loop at 1 and 4
+ * servers and both batching disciplines, over the same ResNet50
+ * stream (the contents of BENCH_serving.json). The fleet1_greedy row
+ * doubles as the overhead budget of the generalized loop (routing,
+ * records, obs histogram) against the seed's array walk. Request
+ * count defaults to 200k; override with
+ * PAICHAR_SERVE_BENCH_REQUESTS for quick runs.
+ */
+void
+runServingSection()
+{
+    int64_t requests = 200000;
+    if (const char *env =
+            std::getenv("PAICHAR_SERVE_BENCH_REQUESTS")) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            requests = v;
+    }
+    constexpr int kReps = 3;
+    auto w = inference::InferenceWorkload::fromTraining(
+        workload::ModelZoo::resnet50());
+
+    std::printf("# serving: %lld requests, best of %d reps\n",
+                static_cast<long long>(requests), kReps);
+
+    struct Row
+    {
+        const char *sim;
+        std::function<int64_t()> body; // returns completions
+    };
+    std::vector<Row> rows = {
+        {"seed_single",
+         [&] {
+             inference::ServingSimulator sim;
+             return sim.run(w, 800.0, requests, 7).requests;
+         }},
+        {"fleet1_greedy",
+         [&] {
+             inference::FleetConfig cfg;
+             stats::ArrivalConfig a;
+             a.qps = 800.0;
+             return inference::FleetSimulator(cfg)
+                 .run({{w, a}}, requests, 7)
+                 .completed;
+         }},
+        {"fleet4_greedy",
+         [&] {
+             inference::FleetConfig cfg;
+             cfg.num_servers = 4;
+             cfg.routing = inference::Routing::PowerOfTwo;
+             stats::ArrivalConfig a;
+             a.qps = 3200.0;
+             return inference::FleetSimulator(cfg)
+                 .run({{w, a}}, requests, 7)
+                 .completed;
+         }},
+        {"fleet4_continuous",
+         [&] {
+             inference::FleetConfig cfg;
+             cfg.num_servers = 4;
+             cfg.routing = inference::Routing::PowerOfTwo;
+             cfg.batching = inference::Batching::Continuous;
+             stats::ArrivalConfig a;
+             a.qps = 3200.0;
+             return inference::FleetSimulator(cfg)
+                 .run({{w, a}}, requests, 7)
+                 .completed;
+         }},
+    };
+
+    double seed_rate = 0.0;
+    for (const Row &row : rows) {
+        double best = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            auto t0 = std::chrono::steady_clock::now();
+            int64_t done = row.body();
+            auto t1 = std::chrono::steady_clock::now();
+            if (done != requests) {
+                std::fprintf(stderr,
+                             "serving %s: completed %lld of %lld\n",
+                             row.sim,
+                             static_cast<long long>(done),
+                             static_cast<long long>(requests));
+                std::exit(1);
+            }
+            double sec =
+                std::chrono::duration<double>(t1 - t0).count();
+            double rate = static_cast<double>(requests) / sec;
+            best = std::max(best, rate);
+        }
+        if (row.sim == std::string("seed_single"))
+            seed_rate = best;
+        std::printf(
+            "{\"bench\":\"serving\",\"sim\":\"%s\","
+            "\"requests\":%lld,\"requests_per_s\":%.0f,"
+            "\"relative_to_seed\":%.2f}\n",
+            row.sim, static_cast<long long>(requests), best,
+            seed_rate > 0.0 ? best / seed_rate : 0.0);
+    }
+    std::printf("\n");
+}
+
 } // namespace
 
 int
@@ -974,6 +1083,7 @@ main(int argc, char **argv)
     runObsInstrumentationOverheadSection();
     runPlannerSection();
     runSimEngineSection();
+    runServingSection();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -25,6 +25,7 @@
 #include "core/projection.h"
 #include "core/sweep.h"
 #include "hw/units.h"
+#include "inference/fleet_sim.h"
 #include "inference/serving_sim.h"
 #include "opt/optimization_planner.h"
 #include "predict/predictor.h"
@@ -175,6 +176,16 @@ printUsage(std::ostream &out)
            "[--format table|json]\n"
            "  paichar serve MODEL [--qps Q] [--max-batch B] "
            "[--slo-ms MS]\n"
+           "                [--servers N] [--routing round-robin|"
+           "least-queue|p2c]\n"
+           "                [--batching greedy|continuous]\n"
+           "                [--arrival constant|diurnal|bursty]\n"
+           "                [--admit DEPTH] [--autoscale 0|1] "
+           "[--requests N]\n"
+           "  paichar capacity MODEL --qps Q [--slo-ms MS] "
+           "[--max-servers N]\n"
+           "                   [--max-batch B] [--routing R] "
+           "[--batching B] [--arrival K]\n"
            "  paichar schedule TRACE [--servers N] "
            "[--nvlink-frac F] [--port 0|1] [--rate R]\n"
            "                   [--policy fifo|backfill|spf|"
@@ -211,6 +222,13 @@ printUsage(std::ostream &out)
            "older, slower GPU generations; --compare-fifo 1\nre-runs "
            "the identical submissions under FIFO and prints the "
            "deltas.\n"
+           "\n"
+           "serve simulates an inference fleet (open-loop arrivals, "
+           "pluggable\nrouting, greedy or continuous batching, "
+           "optional admission control and\na reactive autoscaler); "
+           "capacity bisects the smallest fleet that holds\na p99 "
+           "SLO at the offered load. Both are byte-identical for "
+           "every\n--threads/--shards setting.\n"
            "\n"
            "TRACE files may be CSV or paib binary; the format is "
            "auto-detected.\ngenerate and convert infer the output "
@@ -782,6 +800,55 @@ cmdPlan(const Args &args, std::ostream &out, std::ostream &err)
     return 0;
 }
 
+/** Fleet shape shared by `serve` and `capacity`. */
+struct FleetArgs
+{
+    inference::FleetConfig cfg;
+    stats::ArrivalConfig arrival;
+    int64_t requests = 20000;
+    double slo = 0.0;
+    /** Per-request cost at batch 1 (sets the default qps/slo). */
+    double solo = 0.0;
+};
+
+/**
+ * Parse the fleet flags (--servers, --routing, --batching,
+ * --arrival, --admit, --autoscale, --max-batch, --qps, --slo-ms,
+ * --requests) for @p w. Throws UsageError on malformed values.
+ */
+FleetArgs
+parseFleetArgs(const Args &args, const inference::InferenceWorkload &w)
+{
+    FleetArgs f;
+    f.cfg.num_servers = static_cast<int>(args.numFlag("servers", 1));
+    f.cfg.max_batch = static_cast<int>(args.numFlag("max-batch", 8));
+    f.cfg.routing = *inference::routingFromString(args.choiceFlag(
+        "routing", "round-robin",
+        {"round-robin", "least-queue", "p2c"}));
+    f.cfg.batching = *inference::batchingFromString(
+        args.choiceFlag("batching", "greedy",
+                        {"greedy", "continuous"}));
+    f.cfg.admit_queue = static_cast<int>(args.numFlag("admit", 0));
+    if (args.numFlag("autoscale", 0) != 0) {
+        f.cfg.autoscaler.enabled = true;
+        f.cfg.autoscaler.max_servers = std::max(
+            f.cfg.num_servers,
+            static_cast<int>(args.numFlag("max-servers", 64)));
+    }
+    f.arrival.kind = *stats::arrivalKindFromString(args.choiceFlag(
+        "arrival", "constant", {"constant", "diurnal", "bursty"}));
+
+    f.solo = w.serviceTime(1, f.cfg.server.gpu,
+                           f.cfg.launch_overhead) +
+             w.inputTime(1, f.cfg.server.pcie_bandwidth);
+    f.arrival.qps =
+        args.numFlag("qps", 0.5 * f.cfg.num_servers / f.solo);
+    f.slo = args.numFlag("slo-ms", 5.0 * f.solo * 1e3) * 1e-3;
+    f.requests =
+        static_cast<int64_t>(args.numFlag("requests", 20000));
+    return f;
+}
+
 int
 cmdServe(const Args &args, std::ostream &out, std::ostream &err)
 {
@@ -793,29 +860,94 @@ cmdServe(const Args &args, std::ostream &out, std::ostream &err)
     if (!model)
         return 1;
     auto w = inference::InferenceWorkload::fromTraining(*model);
+    FleetArgs f = parseFleetArgs(args, w);
 
-    inference::ServingConfig cfg;
-    cfg.max_batch =
-        static_cast<int>(args.numFlag("max-batch", 8));
-    inference::ServingSimulator sim(cfg);
-    double solo = w.serviceTime(1, cfg.server.gpu,
-                                cfg.launch_overhead) +
-                  w.inputTime(1, cfg.server.pcie_bandwidth);
-    double slo = args.numFlag("slo-ms", 5.0 * solo * 1e3) * 1e-3;
-    double qps = args.numFlag("qps", 0.5 / solo);
+    inference::FleetSimulator fleet(f.cfg);
+    auto r = fleet.run({{w, f.arrival}}, f.requests, 20190701);
 
-    auto r = sim.run(w, qps, 20000, 20190701);
-    out << w.name << " inference @ " << stats::fmt(qps, 0)
-        << " qps (max batch " << cfg.max_batch << "):\n"
+    out << w.name << " inference @ " << stats::fmt(f.arrival.qps, 0)
+        << " qps (" << stats::toString(f.arrival.kind)
+        << " arrivals, " << f.cfg.num_servers << " server"
+        << (f.cfg.num_servers == 1 ? "" : "s") << ", "
+        << inference::toString(f.cfg.routing) << " routing, "
+        << inference::toString(f.cfg.batching)
+        << " batching, max batch " << f.cfg.max_batch << "):\n"
         << "  p50 " << stats::fmtSeconds(r.p50_latency) << ", p95 "
         << stats::fmtSeconds(r.p95_latency) << ", p99 "
+        << stats::fmtSeconds(r.p99_latency) << ", p999 "
+        << stats::fmtSeconds(r.p999_latency) << ", GPU util "
+        << stats::fmtPct(r.gpu_utilization) << ", avg batch "
+        << stats::fmt(r.avg_batch, 2) << ", verdict "
+        << inference::toString(r.verdict)
+        << (r.saturated ? "  [OVERLOAD]" : "") << "\n";
+    if (f.cfg.admit_queue > 0) {
+        out << "  admitted " << r.admitted << "/" << r.offered
+            << " (" << r.rejected << " rejected at queue depth "
+            << f.cfg.admit_queue << ")\n";
+    }
+    if (f.cfg.autoscaler.enabled) {
+        out << "  autoscaler: " << r.scale_ups << " up / "
+            << r.scale_downs << " down, peak " << r.peak_servers
+            << " servers, final " << r.final_servers << "\n";
+    }
+    // The single-server SLO search (the seed simulator's headline
+    // number) still anchors the default invocation.
+    if (f.cfg.num_servers == 1 && !f.cfg.autoscaler.enabled &&
+        f.cfg.batching == inference::Batching::Greedy &&
+        f.arrival.kind == stats::ArrivalKind::Constant &&
+        f.cfg.admit_queue == 0) {
+        inference::ServingConfig scfg;
+        scfg.max_batch = f.cfg.max_batch;
+        inference::ServingSimulator sim(scfg);
+        double cap = sim.maxQpsUnderSlo(w, f.slo, 50.0 / f.solo,
+                                        20190701);
+        out << "  max QPS under p99 <= " << stats::fmtSeconds(f.slo)
+            << ": " << stats::fmt(cap, 0) << "\n";
+    }
+    return 0;
+}
+
+int
+cmdCapacity(const Args &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positional.size() < 2) {
+        err << "error: capacity expects a model name\n";
+        return 1;
+    }
+    auto model = findModel(args.positional[1], err);
+    if (!model)
+        return 1;
+    auto w = inference::InferenceWorkload::fromTraining(*model);
+    FleetArgs f = parseFleetArgs(args, w);
+    int max_servers =
+        static_cast<int>(args.numFlag("max-servers", 64));
+
+    out << "capacity: " << w.name << " @ "
+        << stats::fmt(f.arrival.qps, 0) << " qps ("
+        << stats::toString(f.arrival.kind) << " arrivals, "
+        << inference::toString(f.cfg.routing) << " routing, "
+        << inference::toString(f.cfg.batching)
+        << " batching, max batch " << f.cfg.max_batch
+        << "), SLO p99 <= " << stats::fmtSeconds(f.slo) << "\n";
+    auto n = inference::minServersForSlo(
+        f.cfg, {{w, f.arrival}}, f.slo, max_servers, f.requests,
+        20190701);
+    if (!n) {
+        out << "  not attainable within " << max_servers
+            << " servers\n";
+        return 0;
+    }
+    inference::FleetConfig at = f.cfg;
+    at.num_servers = *n;
+    at.autoscaler.enabled = false;
+    auto r = inference::FleetSimulator(at).run({{w, f.arrival}},
+                                               f.requests, 20190701);
+    out << "  servers needed: " << *n << "\n"
+        << "  at " << *n << " servers: p99 "
         << stats::fmtSeconds(r.p99_latency) << ", GPU util "
         << stats::fmtPct(r.gpu_utilization) << ", avg batch "
-        << stats::fmt(r.avg_batch, 2)
-        << (r.saturated ? "  [OVERLOAD]" : "") << "\n";
-    double cap = sim.maxQpsUnderSlo(w, slo, 50.0 / solo, 20190701);
-    out << "  max QPS under p99 <= " << stats::fmtSeconds(slo)
-        << ": " << stats::fmt(cap, 0) << "\n";
+        << stats::fmt(r.avg_batch, 2) << ", verdict "
+        << inference::toString(r.verdict) << "\n";
     return 0;
 }
 
@@ -1081,8 +1213,19 @@ dispatch(const std::string &cmd, const Args &args, std::ostream &out,
         return cmdDiagnose(args, out, err);
     if (cmd == "plan")
         return cmdPlan(args, out, err);
-    if (cmd == "serve")
-        return cmdServe(args, out, err);
+    if (cmd == "serve" || cmd == "capacity") {
+        // The fleet layer validates by throwing invalid_argument,
+        // and its bad values (qps, requests, max-batch, ...) come
+        // straight from the flags: report them as CLI errors
+        // instead of letting the exception abort the process.
+        try {
+            return cmd == "serve" ? cmdServe(args, out, err)
+                                  : cmdCapacity(args, out, err);
+        } catch (const std::invalid_argument &e) {
+            err << "error: " << e.what() << "\n";
+            return 1;
+        }
+    }
     if (cmd == "schedule")
         return cmdSchedule(args, out, err);
     if (cmd == "obs")

@@ -1,0 +1,619 @@
+#include "fleet_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "stats/cdf.h"
+#include "stats/rng.h"
+
+namespace paichar::inference {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+[[noreturn]] void
+badConfig(const std::string &what)
+{
+    throw std::invalid_argument("FleetSimulator: " + what);
+}
+
+/** One server of the fleet. */
+struct Server
+{
+    enum class State
+    {
+        Up,
+        Provisioning,
+        Draining,
+        Down,
+    };
+
+    State state = State::Up;
+    std::deque<int64_t> queue; // waiting request ids
+    bool busy = false;
+    double completion = kInf;      // valid while busy
+    double launch_start = 0.0;     // valid while busy
+    std::vector<int64_t> in_flight; // ids of the running launch
+    // Continuous batching: items left in the current amortization
+    // window and the model the window was opened for.
+    int window_left = 0;
+    int window_model = -1;
+    double busy_time = 0.0;
+    double up_since = 0.0;
+    double uptime = 0.0; // accumulated when retired / at end
+    int64_t batches = 0;
+    int64_t items = 0;
+};
+
+/** Event ordering: (time, kind, server). Arrivals precede the
+ *  completions they may join (matching the seed simulator's
+ *  `arrivals[next] <= start` inclusion), provisions precede
+ *  arrivals so fresh capacity is routable at its ready instant. */
+enum EventKind
+{
+    kProvision = 0,
+    kArrival = 1,
+    kCompletion = 2,
+    kTick = 3,
+};
+
+} // namespace
+
+const char *
+toString(Routing r)
+{
+    switch (r) {
+    case Routing::RoundRobin:
+        return "round-robin";
+    case Routing::LeastQueue:
+        return "least-queue";
+    case Routing::PowerOfTwo:
+        return "p2c";
+    }
+    return "?";
+}
+
+const char *
+toString(Batching b)
+{
+    switch (b) {
+    case Batching::Greedy:
+        return "greedy";
+    case Batching::Continuous:
+        return "continuous";
+    }
+    return "?";
+}
+
+std::optional<Routing>
+routingFromString(const std::string &s)
+{
+    if (s == "round-robin")
+        return Routing::RoundRobin;
+    if (s == "least-queue")
+        return Routing::LeastQueue;
+    if (s == "p2c")
+        return Routing::PowerOfTwo;
+    return std::nullopt;
+}
+
+std::optional<Batching>
+batchingFromString(const std::string &s)
+{
+    if (s == "greedy")
+        return Batching::Greedy;
+    if (s == "continuous")
+        return Batching::Continuous;
+    return std::nullopt;
+}
+
+FleetSimulator::FleetSimulator(FleetConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.num_servers < 1)
+        badConfig("num_servers must be >= 1, got " +
+                  std::to_string(cfg_.num_servers));
+    if (cfg_.max_batch < 1)
+        badConfig("max_batch must be >= 1, got " +
+                  std::to_string(cfg_.max_batch));
+    if (!(cfg_.launch_overhead >= 0.0) ||
+        !std::isfinite(cfg_.launch_overhead))
+        badConfig("launch_overhead must be finite and >= 0");
+    if (cfg_.admit_queue < 0)
+        badConfig("admit_queue must be >= 0, got " +
+                  std::to_string(cfg_.admit_queue));
+    const AutoscalerConfig &as = cfg_.autoscaler;
+    if (as.enabled) {
+        if (as.min_servers < 1 || as.max_servers < as.min_servers)
+            badConfig("autoscaler bounds must satisfy 1 <= "
+                      "min_servers <= max_servers");
+        if (!(as.check_interval > 0.0) ||
+            !std::isfinite(as.check_interval))
+            badConfig("autoscaler check_interval must be positive "
+                      "and finite");
+        if (!(as.provision_lag >= 0.0) ||
+            !std::isfinite(as.provision_lag))
+            badConfig("autoscaler provision_lag must be finite and "
+                      ">= 0");
+        if (!(as.scale_down_depth >= 0.0) ||
+            !(as.scale_up_depth > as.scale_down_depth))
+            badConfig("autoscaler depths must satisfy 0 <= "
+                      "scale_down_depth < scale_up_depth");
+    }
+}
+
+FleetResult
+FleetSimulator::run(const std::vector<ModelLoad> &models,
+                    int64_t num_requests, uint64_t seed) const
+{
+    if (models.empty())
+        badConfig("run: at least one model load is required");
+    if (num_requests < 1)
+        badConfig("run: num_requests must be >= 1, got " +
+                  std::to_string(num_requests));
+
+    obs::Span run_span("inference.fleet.run", num_requests);
+    static obs::Counter &requests_ctr =
+        obs::counter("inference.fleet.requests");
+    static obs::Counter &rejected_ctr =
+        obs::counter("inference.fleet.rejected");
+    static obs::Counter &batches_ctr =
+        obs::counter("inference.fleet.batches");
+    static obs::Counter &scale_ctr =
+        obs::counter("inference.fleet.scale_events");
+    static obs::Histogram &latency_hist =
+        obs::histogram("inference.fleet.latency_us");
+
+    // Merge the per-model streams into one time-ordered arrival
+    // sequence. Stream 0 uses `seed` verbatim (the single-server
+    // replay contract); stream i derives an independent SplitMix64
+    // orbit from (seed, i). Ties break toward the lower stream.
+    struct Arrival
+    {
+        double time;
+        int model;
+    };
+    std::vector<Arrival> arrivals;
+    arrivals.reserve(static_cast<size_t>(num_requests));
+    {
+        std::vector<stats::ArrivalStream> streams;
+        streams.reserve(models.size());
+        for (size_t i = 0; i < models.size(); ++i) {
+            uint64_t stream_seed =
+                seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i);
+            streams.emplace_back(models[i].arrival, stream_seed);
+        }
+        std::vector<double> heads(streams.size());
+        for (size_t i = 0; i < streams.size(); ++i)
+            heads[i] = streams[i].next();
+        for (int64_t n = 0; n < num_requests; ++n) {
+            size_t best = 0;
+            for (size_t i = 1; i < streams.size(); ++i) {
+                if (heads[i] < heads[best])
+                    best = i;
+            }
+            arrivals.push_back(
+                {heads[best], static_cast<int>(best)});
+            heads[best] = streams[best].next();
+        }
+    }
+
+    const AutoscalerConfig &as = cfg_.autoscaler;
+    int initial = cfg_.num_servers;
+    if (as.enabled)
+        initial = std::clamp(initial, as.min_servers,
+                             as.max_servers);
+
+    std::vector<Server> servers(static_cast<size_t>(initial));
+    std::deque<std::pair<double, size_t>> provisions; // (ready, idx)
+    stats::Rng route_rng(seed ^ 0x70327463726f7574ULL);
+
+    FleetResult result;
+    result.offered = num_requests;
+    result.peak_servers = initial;
+
+    stats::WeightedCdf latencies;
+    std::vector<double> latency_seq;
+    latency_seq.reserve(arrivals.size());
+    if (cfg_.record_requests)
+        result.requests.resize(arrivals.size());
+
+    double last_end = 0.0;
+    size_t next_arrival = 0;
+    uint64_t rr_counter = 0;
+    double next_tick = as.enabled ? as.check_interval : kInf;
+
+    auto upServers = [&](std::vector<size_t> &out) {
+        out.clear();
+        for (size_t i = 0; i < servers.size(); ++i) {
+            if (servers[i].state == Server::State::Up)
+                out.push_back(i);
+        }
+    };
+    std::vector<size_t> up; // scratch, reused per routing decision
+
+    auto load = [&](const Server &s) {
+        return s.queue.size() + s.in_flight.size();
+    };
+
+    const hw::GpuSpec &gpu = cfg_.server.gpu;
+    double pcie = cfg_.server.pcie_bandwidth;
+
+    // Launch the next unit of work on an idle server whose queue is
+    // non-empty. Greedy: one multi-request launch of the front
+    // request's model. Continuous: one item, charging the fixed cost
+    // only at window boundaries.
+    auto startWork = [&](size_t si, double t) {
+        Server &s = servers[si];
+        int m = arrivals[static_cast<size_t>(s.queue.front())].model;
+        const InferenceWorkload &w = models[static_cast<size_t>(m)]
+                                         .workload;
+        double svc = 0.0;
+        if (cfg_.batching == Batching::Greedy) {
+            // Collect up to max_batch queued requests of model m in
+            // FIFO order; other models keep their relative order.
+            for (auto it = s.queue.begin();
+                 it != s.queue.end() &&
+                 s.in_flight.size() <
+                     static_cast<size_t>(cfg_.max_batch);) {
+                if (arrivals[static_cast<size_t>(*it)].model == m) {
+                    s.in_flight.push_back(*it);
+                    it = s.queue.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            int batch = static_cast<int>(s.in_flight.size());
+            svc = w.inputTime(batch, pcie) +
+                  w.serviceTime(batch, gpu, cfg_.launch_overhead);
+            ++s.batches;
+        } else {
+            s.in_flight.push_back(s.queue.front());
+            s.queue.pop_front();
+            if (s.window_left == 0 || s.window_model != m) {
+                svc += w.fixedTime(gpu, cfg_.launch_overhead);
+                s.window_left = cfg_.max_batch;
+                s.window_model = m;
+                ++s.batches;
+            }
+            --s.window_left;
+            svc += w.itemTime(gpu) + w.inputTime(1, pcie);
+        }
+        s.busy = true;
+        s.launch_start = t;
+        s.completion = t + svc;
+        s.busy_time += svc;
+    };
+
+    auto finishWork = [&](size_t si) {
+        Server &s = servers[si];
+        double t = s.completion;
+        int batch = static_cast<int>(s.in_flight.size());
+        for (int64_t id : s.in_flight) {
+            double lat =
+                t - arrivals[static_cast<size_t>(id)].time;
+            latencies.add(lat);
+            latency_seq.push_back(lat);
+            latency_hist.observe(lat * 1e6);
+            if (cfg_.record_requests) {
+                RequestRecord &rec =
+                    result.requests[static_cast<size_t>(id)];
+                rec.arrival = arrivals[static_cast<size_t>(id)].time;
+                rec.start = s.launch_start;
+                rec.completion = t;
+                rec.server = static_cast<int>(si);
+                rec.model = arrivals[static_cast<size_t>(id)].model;
+                rec.batch = batch;
+            }
+        }
+        s.items += batch;
+        result.completed += batch;
+        s.in_flight.clear();
+        s.busy = false;
+        s.completion = kInf;
+        last_end = t;
+        if (!s.queue.empty()) {
+            startWork(si, t);
+        } else if (s.state == Server::State::Draining) {
+            s.state = Server::State::Down;
+            s.uptime += t - s.up_since;
+        }
+    };
+
+    auto anyBusy = [&] {
+        for (const Server &s : servers) {
+            if (s.busy)
+                return true;
+        }
+        return false;
+    };
+
+    while (next_arrival < arrivals.size() || anyBusy()) {
+        // Select the next event by (time, kind, server).
+        double ev_time = kInf;
+        int ev_kind = kTick;
+        size_t ev_server = 0;
+        if (!provisions.empty()) {
+            ev_time = provisions.front().first;
+            ev_kind = kProvision;
+            ev_server = provisions.front().second;
+        }
+        if (next_arrival < arrivals.size()) {
+            double t = arrivals[next_arrival].time;
+            if (t < ev_time ||
+                (t == ev_time && kArrival < ev_kind)) {
+                ev_time = t;
+                ev_kind = kArrival;
+            }
+        }
+        for (size_t i = 0; i < servers.size(); ++i) {
+            if (!servers[i].busy)
+                continue;
+            double t = servers[i].completion;
+            if (t < ev_time ||
+                (t == ev_time && kCompletion < ev_kind)) {
+                ev_time = t;
+                ev_kind = kCompletion;
+                ev_server = i;
+            }
+        }
+        if (as.enabled && next_tick < ev_time) {
+            ev_time = next_tick;
+            ev_kind = kTick;
+        }
+
+        switch (ev_kind) {
+        case kProvision: {
+            provisions.pop_front();
+            Server &s = servers[ev_server];
+            s.state = Server::State::Up;
+            s.up_since = ev_time;
+            int up_now = 0;
+            for (const Server &sv : servers)
+                up_now += sv.state == Server::State::Up;
+            result.peak_servers =
+                std::max(result.peak_servers, up_now);
+            break;
+        }
+
+        case kArrival: {
+            int64_t id = static_cast<int64_t>(next_arrival);
+            ++next_arrival;
+            upServers(up);
+            size_t chosen = up.front();
+            switch (cfg_.routing) {
+            case Routing::RoundRobin:
+                chosen = up[static_cast<size_t>(
+                    rr_counter % up.size())];
+                ++rr_counter;
+                break;
+            case Routing::LeastQueue:
+                for (size_t c : up) {
+                    if (load(servers[c]) < load(servers[chosen]))
+                        chosen = c;
+                }
+                break;
+            case Routing::PowerOfTwo: {
+                if (up.size() > 1) {
+                    auto n = static_cast<int64_t>(up.size());
+                    auto a = static_cast<size_t>(
+                        route_rng.uniformInt(0, n - 1));
+                    auto b = static_cast<size_t>(
+                        route_rng.uniformInt(0, n - 2));
+                    if (b >= a)
+                        ++b;
+                    // Less loaded wins; ties go to the lower index.
+                    size_t lo = std::min(a, b), hi = std::max(a, b);
+                    chosen = load(servers[up[hi]]) <
+                                     load(servers[up[lo]])
+                                 ? up[hi]
+                                 : up[lo];
+                } else {
+                    chosen = up.front();
+                }
+                break;
+            }
+            }
+            Server &s = servers[chosen];
+            if (cfg_.admit_queue > 0 &&
+                s.queue.size() >=
+                    static_cast<size_t>(cfg_.admit_queue)) {
+                ++result.rejected;
+                if (cfg_.record_requests) {
+                    RequestRecord &rec =
+                        result.requests[static_cast<size_t>(id)];
+                    rec.arrival = ev_time;
+                    rec.model =
+                        arrivals[static_cast<size_t>(id)].model;
+                    rec.server = static_cast<int>(chosen);
+                    rec.rejected = true;
+                }
+                break;
+            }
+            s.queue.push_back(id);
+            if (!s.busy)
+                startWork(chosen, ev_time);
+            break;
+        }
+
+        case kCompletion:
+            finishWork(ev_server);
+            break;
+
+        case kTick: {
+            next_tick += as.check_interval;
+            int up_now = 0;
+            size_t queued = 0;
+            size_t drain_candidate = 0;
+            bool have_candidate = false;
+            for (size_t i = 0; i < servers.size(); ++i) {
+                if (servers[i].state != Server::State::Up)
+                    continue;
+                ++up_now;
+                queued += servers[i].queue.size();
+                drain_candidate = i; // highest Up index wins
+                have_candidate = true;
+            }
+            if (up_now == 0)
+                break;
+            double depth = static_cast<double>(queued) / up_now;
+            if (depth > as.scale_up_depth &&
+                up_now + static_cast<int>(provisions.size()) <
+                    as.max_servers) {
+                servers.emplace_back();
+                servers.back().state = Server::State::Provisioning;
+                servers.back().busy = false;
+                servers.back().completion = kInf;
+                provisions.emplace_back(
+                    ev_time + as.provision_lag,
+                    servers.size() - 1);
+                ++result.scale_ups;
+            } else if (depth < as.scale_down_depth &&
+                       up_now > std::max(as.min_servers, 1) &&
+                       have_candidate) {
+                Server &s = servers[drain_candidate];
+                if (!s.busy && s.queue.empty()) {
+                    s.state = Server::State::Down;
+                    s.uptime += ev_time - s.up_since;
+                } else {
+                    s.state = Server::State::Draining;
+                }
+                ++result.scale_downs;
+            }
+            break;
+        }
+        }
+    }
+
+    result.duration = last_end;
+    result.admitted = result.offered - result.rejected;
+    result.throughput =
+        last_end > 0.0
+            ? static_cast<double>(result.completed) / last_end
+            : 0.0;
+    if (!latencies.empty()) {
+        result.mean_latency = latencies.mean();
+        result.p50_latency = latencies.quantile(0.50);
+        result.p95_latency = latencies.quantile(0.95);
+        result.p99_latency = latencies.quantile(0.99);
+        result.p999_latency = latencies.quantile(0.999);
+        result.max_latency = latencies.max();
+    }
+
+    int64_t total_batches = 0;
+    double busy_total = 0.0, uptime_total = 0.0;
+    result.servers.reserve(servers.size());
+    int final_up = 0;
+    for (Server &s : servers) {
+        if (s.state == Server::State::Up ||
+            s.state == Server::State::Draining) {
+            s.uptime += last_end - s.up_since;
+            final_up += s.state == Server::State::Up;
+        }
+        ServerStats stats;
+        stats.busy = s.busy_time;
+        stats.uptime = s.uptime;
+        stats.batches = s.batches;
+        stats.items = s.items;
+        result.servers.push_back(stats);
+        total_batches += s.batches;
+        busy_total += s.busy_time;
+        uptime_total += s.uptime;
+    }
+    result.final_servers = final_up;
+    result.batches = total_batches;
+    result.gpu_utilization =
+        uptime_total > 0.0 ? busy_total / uptime_total : 0.0;
+    result.avg_batch =
+        total_batches > 0
+            ? static_cast<double>(result.completed) /
+                  static_cast<double>(total_batches)
+            : 0.0;
+
+    // Same detector and sample floor as the single-server simulator
+    // (serving_sim.cc): explicit Undersampled below the floor.
+    size_t n = latency_seq.size();
+    if (n < static_cast<size_t>(kMinSaturationSamples)) {
+        result.verdict = OverloadVerdict::Undersampled;
+    } else {
+        auto mean_range = [&](size_t lo, size_t hi) {
+            double acc = 0.0;
+            for (size_t j = lo; j < hi; ++j)
+                acc += latency_seq[j];
+            return acc / static_cast<double>(hi - lo);
+        };
+        double mid = mean_range(2 * n / 5, 3 * n / 5);
+        double tail = mean_range(4 * n / 5, n);
+        result.verdict = tail > 1.45 * mid
+                             ? OverloadVerdict::Saturated
+                             : OverloadVerdict::Stable;
+    }
+    result.saturated =
+        result.verdict == OverloadVerdict::Saturated;
+
+    requests_ctr.add(static_cast<uint64_t>(result.offered));
+    rejected_ctr.add(static_cast<uint64_t>(result.rejected));
+    batches_ctr.add(static_cast<uint64_t>(total_batches));
+    scale_ctr.add(static_cast<uint64_t>(result.scale_ups +
+                                        result.scale_downs));
+    return result;
+}
+
+std::optional<int>
+minServersForSlo(const FleetConfig &cfg,
+                 const std::vector<ModelLoad> &models, double slo,
+                 int max_servers, int64_t num_requests,
+                 uint64_t seed)
+{
+    if (!(slo > 0.0) || !std::isfinite(slo))
+        throw std::invalid_argument(
+            "minServersForSlo: slo must be positive and finite");
+    if (max_servers < 1)
+        throw std::invalid_argument(
+            "minServersForSlo: max_servers must be >= 1, got " +
+            std::to_string(max_servers));
+    if (num_requests < kMinSaturationSamples)
+        throw std::invalid_argument(
+            "minServersForSlo: num_requests must be >= " +
+            std::to_string(kMinSaturationSamples) +
+            " (the saturation-detector sample floor), got " +
+            std::to_string(num_requests));
+
+    obs::Span span("inference.fleet.capacity_search");
+    static obs::Counter &probes_ctr =
+        obs::counter("inference.fleet.capacity_probes");
+
+    auto ok = [&](int n) {
+        probes_ctr.add();
+        FleetConfig probe = cfg;
+        probe.num_servers = n;
+        probe.autoscaler.enabled = false;
+        probe.record_requests = false;
+        FleetResult r =
+            FleetSimulator(probe).run(models, num_requests, seed);
+        return r.verdict == OverloadVerdict::Stable &&
+               r.rejected == 0 && r.p99_latency <= slo;
+    };
+
+    if (ok(1))
+        return 1;
+    if (max_servers == 1 || !ok(max_servers))
+        return std::nullopt;
+    // Queueing delay falls monotonically as per-server load drops,
+    // so the pass/fail boundary is a single point to bisect.
+    int lo = 1, hi = max_servers;
+    while (hi - lo > 1) {
+        int mid = lo + (hi - lo) / 2;
+        if (ok(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace paichar::inference

@@ -29,12 +29,24 @@ InferenceWorkload::serviceTime(int batch, const hw::GpuSpec &gpu,
                                double launch_overhead) const
 {
     assert(batch >= 1);
+    return fixedTime(gpu, launch_overhead) + batch * itemTime(gpu);
+}
+
+double
+InferenceWorkload::fixedTime(const hw::GpuSpec &gpu,
+                             double launch_overhead) const
+{
+    double mem_rate = gpu.mem_bandwidth * efficiency.gpu_memory;
+    return launch_overhead + weight_bytes / mem_rate;
+}
+
+double
+InferenceWorkload::itemTime(const hw::GpuSpec &gpu) const
+{
     double flops_rate = gpu.peak_flops * efficiency.gpu_flops;
     double mem_rate = gpu.mem_bandwidth * efficiency.gpu_memory;
-    double per_item = flops_per_item / flops_rate +
-                      act_bytes_per_item / mem_rate;
-    return launch_overhead + weight_bytes / mem_rate +
-           batch * per_item;
+    return flops_per_item / flops_rate +
+           act_bytes_per_item / mem_rate;
 }
 
 double

@@ -52,9 +52,21 @@ struct InferenceWorkload
     /**
      * GPU service seconds for one launched batch of @p batch items on
      * @p gpu (weights stream once; items add compute + activations).
+     * Equals fixedTime + batch * itemTime.
      */
     double serviceTime(int batch, const hw::GpuSpec &gpu,
                        double launch_overhead) const;
+
+    /**
+     * The batch-independent component of one launch: kernel-launch
+     * overhead plus the per-launch weight stream from HBM. This is
+     * the cost continuous batching amortizes over windows of items.
+     */
+    double fixedTime(const hw::GpuSpec &gpu,
+                     double launch_overhead) const;
+
+    /** The per-item component: activation compute and traffic. */
+    double itemTime(const hw::GpuSpec &gpu) const;
 
     /** PCIe seconds to stage @p batch inputs. */
     double inputTime(int batch, double pcie_bandwidth) const;

@@ -1,28 +1,64 @@
 #include "serving_sim.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <deque>
+#include <stdexcept>
+#include <string>
 
 #include "obs/obs.h"
+#include "stats/arrival.h"
 #include "stats/rng.h"
 
 namespace paichar::inference {
 
+const char *
+toString(OverloadVerdict v)
+{
+    switch (v) {
+    case OverloadVerdict::Stable:
+        return "stable";
+    case OverloadVerdict::Saturated:
+        return "saturated";
+    case OverloadVerdict::Undersampled:
+        return "undersampled";
+    }
+    return "?";
+}
+
 ServingSimulator::ServingSimulator(ServingConfig cfg)
     : cfg_(std::move(cfg))
 {
-    assert(cfg_.max_batch >= 1);
-    assert(cfg_.launch_overhead >= 0.0);
+    // Real errors, not asserts: a bad config must fail loudly in
+    // NDEBUG builds too (pinned by tests/ndebug).
+    if (cfg_.max_batch < 1) {
+        throw std::invalid_argument(
+            "ServingSimulator: max_batch must be >= 1, got " +
+            std::to_string(cfg_.max_batch));
+    }
+    if (!(cfg_.launch_overhead >= 0.0) ||
+        !std::isfinite(cfg_.launch_overhead)) {
+        throw std::invalid_argument(
+            "ServingSimulator: launch_overhead must be finite and "
+            ">= 0");
+    }
 }
 
 ServingResult
 ServingSimulator::run(const InferenceWorkload &workload, double qps,
                       int64_t num_requests, uint64_t seed) const
 {
-    assert(qps > 0.0);
-    assert(num_requests >= 1);
+    if (!(qps > 0.0) || !std::isfinite(qps)) {
+        throw std::invalid_argument(
+            "ServingSimulator::run: qps must be positive and "
+            "finite");
+    }
+    if (num_requests < 1) {
+        throw std::invalid_argument(
+            "ServingSimulator::run: num_requests must be >= 1, "
+            "got " +
+            std::to_string(num_requests));
+    }
 
     // Run-grained instrumentation (one span + counter update per
     // call, never per request or batch -- the <2% budget applies).
@@ -34,12 +70,14 @@ ServingSimulator::run(const InferenceWorkload &workload, double qps,
     static obs::Counter &saturated_ctr =
         obs::counter("inference.saturated_runs");
 
-    // Poisson arrivals: exponential inter-arrival times.
+    // Poisson arrivals: exponential inter-arrival times drawn
+    // through the clamping sampler (stats/arrival.h documents the
+    // half-open uniform() contract it relies on).
     stats::Rng rng(seed);
     std::vector<double> arrivals(static_cast<size_t>(num_requests));
     double t = 0.0;
     for (double &a : arrivals) {
-        t += -std::log(1.0 - rng.uniform()) / qps;
+        t += stats::sampleExp(rng, qps);
         a = t;
     }
 
@@ -92,15 +130,21 @@ ServingSimulator::run(const InferenceWorkload &workload, double qps,
     r.p50_latency = latencies.quantile(0.50);
     r.p95_latency = latencies.quantile(0.95);
     r.p99_latency = latencies.quantile(0.99);
+    r.p999_latency = latencies.quantile(0.999);
     r.gpu_utilization = busy / last_end;
     r.avg_batch = static_cast<double>(num_requests) /
                   static_cast<double>(batches);
 
     // Overload detection: under a stable queue, late-run latencies
     // match mid-run ones; in overload the backlog (and thus latency)
-    // grows without bound.
+    // grows without bound. Below the sample floor the heuristic has
+    // no signal, and the verdict says so explicitly instead of
+    // defaulting to "stable" (the pre-fix behavior let short probes
+    // bless a saturated load).
     size_t n = latency_seq.size();
-    if (n >= 100) {
+    if (n < static_cast<size_t>(kMinSaturationSamples)) {
+        r.verdict = OverloadVerdict::Undersampled;
+    } else {
         auto mean_range = [&](size_t lo, size_t hi) {
             double acc = 0.0;
             for (size_t j = lo; j < hi; ++j)
@@ -112,8 +156,10 @@ ServingSimulator::run(const InferenceWorkload &workload, double qps,
         // queue keeps it near 1. Split the difference.
         double mid = mean_range(2 * n / 5, 3 * n / 5);
         double tail = mean_range(4 * n / 5, n);
-        r.saturated = tail > 1.45 * mid;
+        r.verdict = tail > 1.45 * mid ? OverloadVerdict::Saturated
+                                      : OverloadVerdict::Stable;
     }
+    r.saturated = r.verdict == OverloadVerdict::Saturated;
 
     requests_ctr.add(static_cast<uint64_t>(num_requests));
     batches_ctr.add(static_cast<uint64_t>(batches));
@@ -125,18 +171,41 @@ ServingSimulator::run(const InferenceWorkload &workload, double qps,
 double
 ServingSimulator::maxQpsUnderSlo(const InferenceWorkload &workload,
                                  double slo, double qps_hi,
-                                 uint64_t seed) const
+                                 uint64_t seed,
+                                 int64_t probe_requests) const
 {
-    assert(slo > 0.0 && qps_hi > 1.0);
+    if (!(slo > 0.0) || !std::isfinite(slo)) {
+        throw std::invalid_argument(
+            "ServingSimulator::maxQpsUnderSlo: slo must be positive "
+            "and finite");
+    }
+    if (!(qps_hi > 1.0) || !std::isfinite(qps_hi)) {
+        throw std::invalid_argument(
+            "ServingSimulator::maxQpsUnderSlo: qps_hi must be > 1 "
+            "and finite");
+    }
+    // The sample floor is enforced here, where it matters: a probe
+    // too short to judge saturation could otherwise certify an
+    // overloaded operating point.
+    if (probe_requests < kMinSaturationSamples) {
+        throw std::invalid_argument(
+            "ServingSimulator::maxQpsUnderSlo: probe_requests must "
+            "be >= " +
+            std::to_string(kMinSaturationSamples) +
+            " (the saturation-detector sample floor), got " +
+            std::to_string(probe_requests));
+    }
     obs::Span slo_span("inference.max_qps_under_slo");
     static obs::Counter &probes_ctr =
         obs::counter("inference.slo_probes");
-    const int64_t kProbeRequests = 20000;
     auto ok = [&](double qps) {
         probes_ctr.add();
         ServingResult r =
-            run(workload, qps, kProbeRequests, seed);
-        return !r.saturated && r.p99_latency <= slo;
+            run(workload, qps, probe_requests, seed);
+        // Only an explicit Stable verdict passes: Saturated and
+        // Undersampled both fail the probe.
+        return r.verdict == OverloadVerdict::Stable &&
+               r.p99_latency <= slo;
     };
     if (!ok(1.0))
         return 0.0;

@@ -8,6 +8,15 @@
  * Characterizes the latency/throughput trade-off of serving: per-
  * request latency percentiles versus offered load, attainable QPS
  * under a latency SLO, and the effect of the batching bound.
+ *
+ * This single-server simulator is the *reference* implementation the
+ * testkit fleet oracle compares FleetSimulator against (a one-server
+ * greedy fleet must reproduce it byte-for-byte; see
+ * testkit/fleet_oracle.h). Input validation is real error handling
+ * (std::invalid_argument in release builds too), not asserts, and the
+ * overload verdict is explicit: a run too short to judge reports
+ * OverloadVerdict::Undersampled instead of silently passing for
+ * stable.
  */
 
 #ifndef PAICHAR_INFERENCE_SERVING_SIM_H
@@ -21,6 +30,31 @@
 #include "stats/cdf.h"
 
 namespace paichar::inference {
+
+/**
+ * The saturation verdict of one serving run.
+ *
+ * The detector compares late-run latencies to mid-run ones (an
+ * unstable queue grows without bound, so the tail keeps climbing);
+ * that comparison needs a minimum sample count to mean anything.
+ * Runs shorter than kMinSaturationSamples report Undersampled — an
+ * explicit "cannot judge", never a silent "stable".
+ */
+enum class OverloadVerdict
+{
+    /** Enough samples, queue stable. */
+    Stable,
+    /** Enough samples, backlog growing without bound. */
+    Saturated,
+    /** Too few completions to judge (< kMinSaturationSamples). */
+    Undersampled,
+};
+
+/** CLI/report spelling ("stable" | "saturated" | "undersampled"). */
+const char *toString(OverloadVerdict v);
+
+/** Minimum completions the saturation detector needs to judge. */
+inline constexpr int64_t kMinSaturationSamples = 100;
 
 /** Serving configuration. */
 struct ServingConfig
@@ -47,18 +81,26 @@ struct ServingResult
     double p50_latency = 0.0;
     double p95_latency = 0.0;
     double p99_latency = 0.0;
+    double p999_latency = 0.0;
     /** GPU busy fraction. */
     double gpu_utilization = 0.0;
     /** Mean launched batch size. */
     double avg_batch = 0.0;
     /** True if the queue was still growing at the end (overload). */
     bool saturated = false;
+    /** Explicit saturation verdict (saturated == (verdict ==
+     *  Saturated); Undersampled is *not* stable). */
+    OverloadVerdict verdict = OverloadVerdict::Undersampled;
 };
 
 /** Simulates one model server. */
 class ServingSimulator
 {
   public:
+    /**
+     * @throws std::invalid_argument if cfg.max_batch < 1 or
+     *         cfg.launch_overhead is negative or non-finite.
+     */
     explicit ServingSimulator(ServingConfig cfg = ServingConfig{});
 
     /**
@@ -68,18 +110,27 @@ class ServingSimulator
      * @param qps      Offered load, requests per second (> 0).
      * @param num_requests Requests to simulate (>= 1).
      * @param seed     Arrival-process seed.
+     * @throws std::invalid_argument if qps is non-positive or
+     *         non-finite, or num_requests < 1.
      */
     ServingResult run(const InferenceWorkload &workload, double qps,
                       int64_t num_requests, uint64_t seed) const;
 
     /**
      * Largest offered load whose p99 latency stays within @p slo
-     * seconds, found by bisection over [1, qps_hi] (0 if even idle
-     * latency violates the SLO).
+     * seconds at a verdict of Stable, found by bisection over
+     * [1, qps_hi] (0 if even idle latency violates the SLO).
+     *
+     * @param probe_requests Requests per probe run; must be at least
+     *        kMinSaturationSamples so no probe can come back
+     *        Undersampled and bless an overloaded operating point.
+     * @throws std::invalid_argument if slo is non-positive or
+     *         non-finite, qps_hi is not > 1 and finite, or
+     *         probe_requests < kMinSaturationSamples.
      */
     double maxQpsUnderSlo(const InferenceWorkload &workload,
-                          double slo, double qps_hi,
-                          uint64_t seed) const;
+                          double slo, double qps_hi, uint64_t seed,
+                          int64_t probe_requests = 20000) const;
 
     const ServingConfig &config() const { return cfg_; }
 

@@ -1,0 +1,200 @@
+#include "arrival.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace paichar::stats {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/** Largest double strictly below 1.0: the clamp target for u. */
+constexpr double kMaxUniform = 0x1.fffffffffffffp-1;
+
+[[noreturn]] void
+badConfig(const char *what)
+{
+    throw std::invalid_argument(std::string("ArrivalStream: ") +
+                                what);
+}
+
+void
+validate(const ArrivalConfig &cfg)
+{
+    if (!(cfg.qps > 0.0) || !std::isfinite(cfg.qps))
+        badConfig("qps must be positive and finite");
+    if (cfg.kind == ArrivalKind::Diurnal) {
+        if (!(cfg.diurnal_amplitude >= 0.0) ||
+            cfg.diurnal_amplitude >= 1.0)
+            badConfig("diurnal amplitude must be in [0, 1)");
+        if (!(cfg.diurnal_period > 0.0) ||
+            !std::isfinite(cfg.diurnal_period))
+            badConfig("diurnal period must be positive and finite");
+    }
+    if (cfg.kind == ArrivalKind::Bursty) {
+        if (!(cfg.burst_multiplier >= 1.0) ||
+            !std::isfinite(cfg.burst_multiplier))
+            badConfig("burst multiplier must be >= 1 and finite");
+        if (!(cfg.burst_fraction > 0.0) ||
+            !(cfg.burst_fraction < 1.0))
+            badConfig("burst fraction must be in (0, 1)");
+        if (!(cfg.burst_mean_s > 0.0) ||
+            !std::isfinite(cfg.burst_mean_s))
+            badConfig("burst mean duration must be positive and "
+                      "finite");
+    }
+}
+
+/** Instantaneous diurnal rate at time @p t. */
+double
+diurnalRate(const ArrivalConfig &cfg, double t)
+{
+    return cfg.qps *
+           (1.0 + cfg.diurnal_amplitude *
+                      std::sin(kTwoPi * t / cfg.diurnal_period -
+                               kTwoPi / 4.0));
+}
+
+} // namespace
+
+const char *
+toString(ArrivalKind kind)
+{
+    switch (kind) {
+    case ArrivalKind::Constant:
+        return "constant";
+    case ArrivalKind::Diurnal:
+        return "diurnal";
+    case ArrivalKind::Bursty:
+        return "bursty";
+    }
+    return "?";
+}
+
+std::optional<ArrivalKind>
+arrivalKindFromString(const std::string &s)
+{
+    if (s == "constant")
+        return ArrivalKind::Constant;
+    if (s == "diurnal")
+        return ArrivalKind::Diurnal;
+    if (s == "bursty")
+        return ArrivalKind::Bursty;
+    return std::nullopt;
+}
+
+double
+expFromUniform(double u, double rate)
+{
+    // Rng::uniform() is half-open ([0, 1)), so the clamp is
+    // unreachable from our own generator; it guards against a future
+    // RNG (or caller) handing in a closed-interval draw, which would
+    // otherwise produce log(0) = an infinite gap.
+    if (u >= 1.0) {
+        static obs::Counter &clamped =
+            obs::counter("stats.exp_clamped");
+        clamped.add();
+        u = kMaxUniform;
+    }
+    return -std::log1p(-u) / rate;
+}
+
+double
+sampleExp(Rng &rng, double rate)
+{
+    return expFromUniform(rng.uniform(), rate);
+}
+
+ArrivalStream::ArrivalStream(const ArrivalConfig &cfg, uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    validate(cfg_);
+    if (cfg_.kind == ArrivalKind::Bursty) {
+        // Baseline rate derated so the long-run mean stays at qps:
+        // qps = base * (1 - f) + base * m * f.
+        base_rate_ =
+            cfg_.qps / (1.0 + cfg_.burst_fraction *
+                                  (cfg_.burst_multiplier - 1.0));
+        // Start in the baseline state; mean baseline sojourn is set
+        // so the stationary burst fraction comes out at f.
+        double normal_mean = cfg_.burst_mean_s *
+                             (1.0 - cfg_.burst_fraction) /
+                             cfg_.burst_fraction;
+        next_switch_ = sampleExp(rng_, 1.0 / normal_mean);
+    }
+}
+
+double
+ArrivalStream::peakQps() const
+{
+    switch (cfg_.kind) {
+    case ArrivalKind::Constant:
+        return cfg_.qps;
+    case ArrivalKind::Diurnal:
+        return cfg_.qps * (1.0 + cfg_.diurnal_amplitude);
+    case ArrivalKind::Bursty:
+        return base_rate_ * cfg_.burst_multiplier;
+    }
+    return cfg_.qps;
+}
+
+double
+ArrivalStream::next()
+{
+    switch (cfg_.kind) {
+    case ArrivalKind::Constant:
+        t_ += sampleExp(rng_, cfg_.qps);
+        return t_;
+
+    case ArrivalKind::Diurnal: {
+        // Lewis-Shedler thinning against the peak rate.
+        double rate_max = peakQps();
+        for (;;) {
+            t_ += sampleExp(rng_, rate_max);
+            if (rng_.uniform() * rate_max <= diurnalRate(cfg_, t_))
+                return t_;
+        }
+    }
+
+    case ArrivalKind::Bursty: {
+        // Exponential sojourns are memoryless, so the candidate gap
+        // can simply be redrawn after each state switch.
+        for (;;) {
+            double rate = in_burst_
+                              ? base_rate_ * cfg_.burst_multiplier
+                              : base_rate_;
+            double gap = sampleExp(rng_, rate);
+            if (t_ + gap <= next_switch_) {
+                t_ += gap;
+                return t_;
+            }
+            t_ = next_switch_;
+            in_burst_ = !in_burst_;
+            double mean_sojourn =
+                in_burst_ ? cfg_.burst_mean_s
+                          : cfg_.burst_mean_s *
+                                (1.0 - cfg_.burst_fraction) /
+                                cfg_.burst_fraction;
+            next_switch_ = t_ + sampleExp(rng_, 1.0 / mean_sojourn);
+        }
+    }
+    }
+    return t_;
+}
+
+std::vector<double>
+generateArrivals(const ArrivalConfig &cfg, int64_t n, uint64_t seed)
+{
+    if (n < 0)
+        badConfig("arrival count must be >= 0");
+    ArrivalStream stream(cfg, seed);
+    std::vector<double> out(static_cast<size_t>(n));
+    for (double &t : out)
+        t = stream.next();
+    return out;
+}
+
+} // namespace paichar::stats

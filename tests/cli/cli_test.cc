@@ -384,6 +384,74 @@ TEST(CliTest, ServeUnknownModelFails)
     EXPECT_NE(r.err.find("unknown model"), std::string::npos);
 }
 
+TEST(CliTest, ServeFleetFlagsAreHonored)
+{
+    auto r = runCli({"serve", "resnet50", "--servers", "3",
+                     "--routing", "least-queue", "--batching",
+                     "continuous", "--arrival", "bursty", "--admit",
+                     "32", "--qps", "4000", "--requests", "5000"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("3 servers"), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("least-queue"), std::string::npos);
+    EXPECT_NE(r.out.find("continuous"), std::string::npos);
+    EXPECT_NE(r.out.find("bursty"), std::string::npos);
+    EXPECT_NE(r.out.find("admitted"), std::string::npos);
+    // Multi-server runs drop the single-server SLO search line.
+    EXPECT_EQ(r.out.find("max QPS"), std::string::npos);
+}
+
+TEST(CliTest, ServeRejectsUnknownRouting)
+{
+    auto r = runCli({"serve", "resnet50", "--routing", "random"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("--routing"), std::string::npos) << r.err;
+}
+
+// Values the fleet layer itself rejects (by throwing) must come back
+// as CLI errors, not an uncaught-exception abort.
+TEST(CliTest, ServeAndCapacitySurfaceFleetValidationAsErrors)
+{
+    for (const auto &args : std::vector<std::vector<std::string>>{
+             {"serve", "resnet50", "--qps", "0"},
+             {"serve", "resnet50", "--max-batch", "0"},
+             {"serve", "resnet50", "--requests", "0"},
+             {"capacity", "resnet50", "--qps", "3000", "--requests",
+              "50"}}) {
+        auto r = runCli(args);
+        EXPECT_EQ(r.code, 1) << args[0];
+        EXPECT_NE(r.err.find("error: "), std::string::npos)
+            << args[0] << ": " << r.err;
+    }
+}
+
+TEST(CliTest, CapacityReportsServersNeeded)
+{
+    auto r = runCli({"capacity", "resnet50", "--qps", "3000",
+                     "--slo-ms", "40", "--requests", "8000"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("servers needed:"), std::string::npos)
+        << r.out;
+    EXPECT_NE(r.out.find("p99"), std::string::npos);
+}
+
+TEST(CliTest, CapacityUnattainableSloSaysSo)
+{
+    auto r = runCli({"capacity", "resnet50", "--qps", "100",
+                     "--slo-ms", "0.0001", "--max-servers", "4",
+                     "--requests", "2000"});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("not attainable"), std::string::npos)
+        << r.out;
+}
+
+TEST(CliTest, CapacityExpectsModel)
+{
+    auto r = runCli({"capacity"});
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("capacity expects a model name"),
+              std::string::npos);
+}
+
 TEST_F(CliWithTraceTest, ScheduleReportsQueueingMetrics)
 {
     auto r = runCli({"schedule", path_, "--servers", "32",

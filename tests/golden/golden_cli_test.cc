@@ -180,5 +180,46 @@ TEST_F(GoldenCliTest, PlanBertJson)
                  {"plan", "bert", "--top", "6", "--format", "json"});
 }
 
+// Serving-fleet snapshots: the fleet is a single-threaded totally
+// ordered event loop, so its output must be byte-identical across
+// the full --threads x --shards matrix like every other subcommand.
+
+TEST_F(GoldenCliTest, Serve)
+{
+    expectGolden("serve",
+                 {"serve", "resnet50", "--qps", "400", "--requests",
+                  "5000"},
+                 {1, 2, 8});
+}
+
+TEST_F(GoldenCliTest, ServeFleet)
+{
+    expectGolden("serve_fleet",
+                 {"serve", "resnet50", "--servers", "4", "--routing",
+                  "p2c", "--batching", "continuous", "--arrival",
+                  "diurnal", "--qps", "2500", "--admit", "48",
+                  "--requests", "8000"},
+                 {1, 2, 8});
+}
+
+// Long enough (60k requests at 1800 qps is ~33 s of arrivals) for
+// scaled-up servers to clear the 10 s provisioning lag and serve.
+TEST_F(GoldenCliTest, ServeAutoscale)
+{
+    expectGolden("serve_autoscale",
+                 {"serve", "resnet50", "--autoscale", "1",
+                  "--arrival", "bursty", "--qps", "1800",
+                  "--requests", "60000"},
+                 {1, 2, 8});
+}
+
+TEST_F(GoldenCliTest, Capacity)
+{
+    expectGolden("capacity",
+                 {"capacity", "resnet50", "--qps", "3000",
+                  "--slo-ms", "40", "--requests", "8000"},
+                 {1, 2, 8});
+}
+
 } // namespace
 } // namespace paichar::testkit

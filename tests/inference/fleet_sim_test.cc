@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Serving-fleet simulator tests (`ctest -L serve`): invariants at
+ * every fleet shape (throughput bounded by offered load, utilization
+ * in [0, 1], batch bounds, quantile ordering, latency monotone in
+ * load), routing and batching behavior, admission control, the
+ * reactive autoscaler, capacity bisection and input validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "inference/fleet_sim.h"
+#include "obs/obs.h"
+#include "workload/model_zoo.h"
+
+namespace paichar::inference {
+namespace {
+
+InferenceWorkload
+resnetServing()
+{
+    return InferenceWorkload::fromTraining(
+        workload::ModelZoo::resnet50());
+}
+
+std::vector<ModelLoad>
+constantLoad(double qps)
+{
+    stats::ArrivalConfig a;
+    a.qps = qps;
+    return {{resnetServing(), a}};
+}
+
+TEST(FleetSimTest, DeterministicForEqualSeeds)
+{
+    FleetConfig cfg;
+    cfg.num_servers = 3;
+    cfg.routing = Routing::PowerOfTwo;
+    FleetSimulator sim(cfg);
+    auto a = sim.run(constantLoad(900.0), 5000, 7);
+    auto b = sim.run(constantLoad(900.0), 5000, 7);
+    EXPECT_DOUBLE_EQ(a.p99_latency, b.p99_latency);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+    EXPECT_DOUBLE_EQ(a.duration, b.duration);
+}
+
+TEST(FleetSimTest, InvariantsAcrossShapes)
+{
+    // The serving invariants, swept across routing x batching.
+    for (Routing routing : {Routing::RoundRobin, Routing::LeastQueue,
+                            Routing::PowerOfTwo}) {
+        for (Batching batching :
+             {Batching::Greedy, Batching::Continuous}) {
+            FleetConfig cfg;
+            cfg.num_servers = 3;
+            cfg.max_batch = 8;
+            cfg.routing = routing;
+            cfg.batching = batching;
+            cfg.record_requests = true;
+            auto r = FleetSimulator(cfg).run(constantLoad(1000.0),
+                                             8000, 21);
+            SCOPED_TRACE(std::string(toString(routing)) + "/" +
+                         toString(batching));
+            // Throughput cannot exceed what was offered.
+            EXPECT_LE(r.throughput, 1000.0 * 1.1);
+            EXPECT_GE(r.gpu_utilization, 0.0);
+            EXPECT_LE(r.gpu_utilization, 1.0);
+            EXPECT_LE(r.avg_batch, 8.0);
+            EXPECT_GE(r.avg_batch, 1.0);
+            for (const RequestRecord &rec : r.requests) {
+                ASSERT_GE(rec.batch, 1);
+                ASSERT_LE(rec.batch, 8);
+            }
+            // Quantile ordering.
+            EXPECT_LE(r.p50_latency, r.p95_latency);
+            EXPECT_LE(r.p95_latency, r.p99_latency);
+            EXPECT_LE(r.p99_latency, r.p999_latency);
+            EXPECT_LE(r.p999_latency, r.max_latency);
+            EXPECT_EQ(r.completed, r.offered);
+        }
+    }
+}
+
+TEST(FleetSimTest, LatencyMonotoneInLoad)
+{
+    FleetConfig cfg;
+    cfg.num_servers = 2;
+    FleetSimulator sim(cfg);
+    double prev = 0.0;
+    for (double qps : {400.0, 1600.0, 4000.0}) {
+        auto r = sim.run(constantLoad(qps), 15000, 17);
+        EXPECT_GT(r.p99_latency, prev) << qps;
+        prev = r.p99_latency;
+    }
+}
+
+TEST(FleetSimTest, MoreServersRaiseCapacity)
+{
+    // A load that saturates one server but not four.
+    auto one = FleetSimulator([] {
+                   FleetConfig c;
+                   c.num_servers = 1;
+                   return c;
+               }()).run(constantLoad(1500.0), 15000, 5);
+    auto four = FleetSimulator([] {
+                    FleetConfig c;
+                    c.num_servers = 4;
+                    return c;
+                }()).run(constantLoad(1500.0), 15000, 5);
+    EXPECT_EQ(one.verdict, OverloadVerdict::Saturated);
+    EXPECT_EQ(four.verdict, OverloadVerdict::Stable);
+    EXPECT_LT(four.p99_latency, one.p99_latency);
+}
+
+TEST(FleetSimTest, LoadAwareRoutingBeatsRoundRobinOnTail)
+{
+    // For a homogeneous single-model fleet round-robin's perfect
+    // spreading is near-optimal and queue-aware routing has nothing
+    // to dodge. The win comes from a heterogeneous request mix: a
+    // server stuck behind a heavy bert batch keeps receiving its
+    // round-robin share, while least-queue routing sees the backlog
+    // and steers arrivals to idler servers.
+    stats::ArrivalConfig light;
+    light.qps = 1600.0;
+    stats::ArrivalConfig heavy;
+    heavy.qps = 120.0;
+    std::vector<ModelLoad> load = {
+        {resnetServing(), light},
+        {InferenceWorkload::fromTraining(workload::ModelZoo::bert()),
+         heavy},
+    };
+
+    FleetConfig rr;
+    rr.num_servers = 4;
+    rr.routing = Routing::RoundRobin;
+    FleetConfig lq = rr;
+    lq.routing = Routing::LeastQueue;
+    auto r_rr = FleetSimulator(rr).run(load, 20000, 9);
+    auto r_lq = FleetSimulator(lq).run(load, 20000, 9);
+    EXPECT_LT(r_lq.p99_latency, r_rr.p99_latency);
+}
+
+TEST(FleetSimTest, ContinuousBatchingCutsLatencyForWeightHeavyModels)
+{
+    // For a weight-heavy model the greedy discipline makes every
+    // request wait for a full launch; continuous batching amortizes
+    // the fixed cost without the collective wait.
+    InferenceWorkload w;
+    w.name = "weight-heavy";
+    w.weight_bytes = 2e9;
+    w.flops_per_item = 1e9;
+    w.act_bytes_per_item = 1e6;
+    w.input_bytes_per_item = 1e4;
+
+    stats::ArrivalConfig a;
+    FleetConfig cfg;
+    cfg.num_servers = 1;
+    cfg.max_batch = 8;
+    double fixed = w.fixedTime(cfg.server.gpu, cfg.launch_overhead);
+    a.qps = 3.0 / fixed; // needs amortization to survive
+
+    FleetConfig greedy = cfg;
+    greedy.batching = Batching::Greedy;
+    FleetConfig cont = cfg;
+    cont.batching = Batching::Continuous;
+    auto r_g = FleetSimulator(greedy).run({{w, a}}, 10000, 13);
+    auto r_c = FleetSimulator(cont).run({{w, a}}, 10000, 13);
+    EXPECT_EQ(r_g.verdict, OverloadVerdict::Stable);
+    EXPECT_EQ(r_c.verdict, OverloadVerdict::Stable);
+    // Continuous batching strictly improves median latency here:
+    // items stop waiting for batch-mates to finish together.
+    EXPECT_LT(r_c.p50_latency, r_g.p50_latency);
+}
+
+TEST(FleetSimTest, AdmissionControlBoundsQueueAndLatency)
+{
+    FleetConfig open;
+    open.num_servers = 1;
+    FleetConfig bounded = open;
+    bounded.admit_queue = 16;
+    // Far past capacity: the open fleet's queue grows without bound,
+    // the bounded fleet sheds load instead.
+    auto r_open =
+        FleetSimulator(open).run(constantLoad(4000.0), 15000, 3);
+    auto r_b =
+        FleetSimulator(bounded).run(constantLoad(4000.0), 15000, 3);
+    EXPECT_EQ(r_open.verdict, OverloadVerdict::Saturated);
+    EXPECT_EQ(r_open.rejected, 0);
+    EXPECT_GT(r_b.rejected, 0);
+    EXPECT_EQ(r_b.admitted + r_b.rejected, r_b.offered);
+    EXPECT_EQ(r_b.completed, r_b.admitted);
+    EXPECT_LT(r_b.p99_latency, r_open.p99_latency);
+}
+
+TEST(FleetSimTest, AutoscalerAddsServersUnderLoadAndLagMatters)
+{
+    FleetConfig cfg;
+    cfg.num_servers = 1;
+    cfg.autoscaler.enabled = true;
+    cfg.autoscaler.min_servers = 1;
+    cfg.autoscaler.max_servers = 8;
+    cfg.autoscaler.check_interval = 0.25;
+    cfg.autoscaler.provision_lag = 0.5;
+    // 1 server saturates, 8 do not.
+    auto r = FleetSimulator(cfg).run(constantLoad(2500.0), 20000, 19);
+    EXPECT_GT(r.scale_ups, 0);
+    EXPECT_GT(r.peak_servers, 1);
+    EXPECT_LE(r.peak_servers, 8);
+    EXPECT_EQ(r.completed, r.offered);
+
+    // A (much) longer lag delivers capacity later: tail latency can
+    // only get worse, never better.
+    FleetConfig slow = cfg;
+    slow.autoscaler.provision_lag = 20.0;
+    auto r_slow =
+        FleetSimulator(slow).run(constantLoad(2500.0), 20000, 19);
+    EXPECT_GE(r_slow.p99_latency, r.p99_latency);
+}
+
+TEST(FleetSimTest, AutoscalerDrainsIdleServersConservingRequests)
+{
+    FleetConfig cfg;
+    cfg.num_servers = 6; // over-provisioned for the offered load
+    cfg.autoscaler.enabled = true;
+    cfg.autoscaler.min_servers = 1;
+    cfg.autoscaler.max_servers = 6;
+    cfg.autoscaler.check_interval = 0.25;
+    cfg.record_requests = true;
+    auto r = FleetSimulator(cfg).run(constantLoad(200.0), 10000, 23);
+    EXPECT_GT(r.scale_downs, 0);
+    EXPECT_LT(r.final_servers, 6);
+    EXPECT_GE(r.final_servers, 1);
+    // Draining must never lose requests.
+    EXPECT_EQ(r.completed, r.offered);
+}
+
+TEST(FleetSimTest, MultiModelFleetServesBothStreams)
+{
+    stats::ArrivalConfig a1;
+    a1.qps = 300.0;
+    stats::ArrivalConfig a2;
+    a2.kind = stats::ArrivalKind::Bursty;
+    a2.qps = 200.0;
+    std::vector<ModelLoad> models = {
+        {resnetServing(), a1},
+        {InferenceWorkload::fromTraining(workload::ModelZoo::bert()),
+         a2}};
+    FleetConfig cfg;
+    cfg.num_servers = 4;
+    cfg.record_requests = true;
+    auto r = FleetSimulator(cfg).run(models, 10000, 29);
+    int64_t m0 = 0, m1 = 0;
+    for (const RequestRecord &rec : r.requests) {
+        (rec.model == 0 ? m0 : m1) += 1;
+        // A launch never mixes models, so batch <= max_batch holds
+        // per model too (checked via the record bound).
+        ASSERT_LE(rec.batch, cfg.max_batch);
+    }
+    EXPECT_GT(m0, 0);
+    EXPECT_GT(m1, 0);
+    EXPECT_EQ(m0 + m1, r.offered);
+    // Stream rates ~ proportional to configured qps.
+    EXPECT_GT(static_cast<double>(m0),
+              1.1 * static_cast<double>(m1));
+}
+
+TEST(FleetSimTest, LatencyFlowsIntoObsHistogram)
+{
+    obs::Histogram &h =
+        obs::histogram("inference.fleet.latency_us");
+    uint64_t before = h.count();
+    FleetSimulator sim{FleetConfig{}};
+    auto r = sim.run(constantLoad(300.0), 2000, 31);
+    EXPECT_EQ(h.count(), before + static_cast<uint64_t>(r.completed));
+    // Microsecond scaling keeps sub-second latencies out of the
+    // bucket-0 catch-all: the p50 bucket bound must be > 1.
+    EXPECT_GT(h.quantile(0.5), 1.0);
+}
+
+TEST(FleetSimTest, CapacityBisectionFindsMinimalStableFleet)
+{
+    FleetConfig cfg;
+    auto need = minServersForSlo(cfg, constantLoad(3000.0), 0.040,
+                                 16, 15000, 20190701);
+    ASSERT_TRUE(need.has_value());
+    ASSERT_GT(*need, 1);
+
+    // Minimality: the found size passes, one fewer does not.
+    auto probe = [&](int n) {
+        FleetConfig c = cfg;
+        c.num_servers = n;
+        auto r =
+            FleetSimulator(c).run(constantLoad(3000.0), 15000,
+                                  20190701);
+        return r.verdict == OverloadVerdict::Stable &&
+               r.p99_latency <= 0.040;
+    };
+    EXPECT_TRUE(probe(*need));
+    EXPECT_FALSE(probe(*need - 1));
+}
+
+TEST(FleetSimTest, CapacityUnattainableReturnsNullopt)
+{
+    FleetConfig cfg;
+    // Sub-solo-latency SLO: no fleet size can serve it.
+    auto need = minServersForSlo(cfg, constantLoad(100.0), 1e-9, 8,
+                                 5000, 7);
+    EXPECT_FALSE(need.has_value());
+}
+
+TEST(FleetSimTest, InvalidConfigAndRunArgsThrow)
+{
+    FleetConfig bad;
+    bad.num_servers = 0;
+    EXPECT_THROW(FleetSimulator{bad}, std::invalid_argument);
+    bad = FleetConfig{};
+    bad.max_batch = 0;
+    EXPECT_THROW(FleetSimulator{bad}, std::invalid_argument);
+    bad = FleetConfig{};
+    bad.admit_queue = -1;
+    EXPECT_THROW(FleetSimulator{bad}, std::invalid_argument);
+    bad = FleetConfig{};
+    bad.autoscaler.enabled = true;
+    bad.autoscaler.min_servers = 4;
+    bad.autoscaler.max_servers = 2;
+    EXPECT_THROW(FleetSimulator{bad}, std::invalid_argument);
+    bad = FleetConfig{};
+    bad.autoscaler.enabled = true;
+    bad.autoscaler.check_interval = 0.0;
+    EXPECT_THROW(FleetSimulator{bad}, std::invalid_argument);
+
+    FleetSimulator sim{FleetConfig{}};
+    EXPECT_THROW(sim.run({}, 100, 1), std::invalid_argument);
+    EXPECT_THROW(sim.run(constantLoad(10.0), 0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(minServersForSlo(FleetConfig{}, constantLoad(10.0),
+                                  -1.0, 8, 1000, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(minServersForSlo(FleetConfig{}, constantLoad(10.0),
+                                  0.1, 8, kMinSaturationSamples - 1,
+                                  1),
+                 std::invalid_argument);
+}
+
+TEST(FleetSimTest, RoutingAndBatchingSpellingsRoundTrip)
+{
+    for (Routing r : {Routing::RoundRobin, Routing::LeastQueue,
+                      Routing::PowerOfTwo}) {
+        auto parsed = routingFromString(toString(r));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, r);
+    }
+    for (Batching b : {Batching::Greedy, Batching::Continuous}) {
+        auto parsed = batchingFromString(toString(b));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, b);
+    }
+    EXPECT_FALSE(routingFromString("random").has_value());
+    EXPECT_FALSE(batchingFromString("static").has_value());
+}
+
+} // namespace
+} // namespace paichar::inference

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "inference/serving_sim.h"
 #include "workload/model_zoo.h"
 
@@ -183,6 +186,77 @@ TEST(ServingSimTest, ImpossibleSloReturnsZero)
     ServingSimulator sim;
     auto w = resnetServing();
     EXPECT_DOUBLE_EQ(sim.maxQpsUnderSlo(w, 1e-9, 1000.0, 31), 0.0);
+}
+
+// --- Release-mode bugfix regressions -------------------------------
+
+TEST(ServingSimTest, InvalidArgumentsThrowNotAssert)
+{
+    // Regression: these were assert()s, compiled away under NDEBUG
+    // (a qps of 0 then divided by zero into NaN latencies). The
+    // NDEBUG-forced twin of this test lives in tests/ndebug.
+    auto w = resnetServing();
+    ServingConfig bad;
+    bad.max_batch = 0;
+    EXPECT_THROW(ServingSimulator{bad}, std::invalid_argument);
+    bad.max_batch = -3;
+    EXPECT_THROW(ServingSimulator{bad}, std::invalid_argument);
+    ServingConfig bad_overhead;
+    bad_overhead.launch_overhead = -1e-6;
+    EXPECT_THROW(ServingSimulator{bad_overhead},
+                 std::invalid_argument);
+
+    ServingSimulator sim;
+    EXPECT_THROW(sim.run(w, 0.0, 100, 1), std::invalid_argument);
+    EXPECT_THROW(sim.run(w, -5.0, 100, 1), std::invalid_argument);
+    EXPECT_THROW(sim.run(w, std::numeric_limits<double>::infinity(),
+                         100, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(sim.run(w, 100.0, 0, 1), std::invalid_argument);
+    EXPECT_THROW(sim.maxQpsUnderSlo(w, 0.0, 100.0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(sim.maxQpsUnderSlo(w, 0.01, 1.0, 1),
+                 std::invalid_argument);
+}
+
+TEST(ServingSimTest, ShortRunsReportUndersampledNeverStable)
+{
+    // Regression: the pre-fix detector silently returned "not
+    // saturated" below 100 samples, so a 50-request probe at a
+    // hopelessly overloaded operating point looked healthy.
+    auto w = resnetServing();
+    ServingSimulator sim;
+    double solo = w.serviceTime(1, sim.config().server.gpu,
+                                sim.config().launch_overhead) +
+                  w.inputTime(1, sim.config().server.pcie_bandwidth);
+    double overload_qps = 50.0 / solo; // 50x capacity
+    auto r = sim.run(w, overload_qps, kMinSaturationSamples - 1, 37);
+    EXPECT_EQ(r.verdict, OverloadVerdict::Undersampled);
+    EXPECT_FALSE(r.saturated);
+    // The same load with enough samples is judged saturated.
+    auto full = sim.run(w, overload_qps, 20000, 37);
+    EXPECT_EQ(full.verdict, OverloadVerdict::Saturated);
+    // At the floor itself the detector judges (no Undersampled).
+    auto at_floor = sim.run(w, overload_qps, kMinSaturationSamples,
+                            37);
+    EXPECT_NE(at_floor.verdict, OverloadVerdict::Undersampled);
+}
+
+TEST(ServingSimTest, SloSearchRefusesUndersampledProbes)
+{
+    // The sample floor is enforced where it matters: a short probe
+    // could otherwise certify a saturated operating point as "fits
+    // the SLO".
+    auto w = resnetServing();
+    ServingSimulator sim;
+    EXPECT_THROW(sim.maxQpsUnderSlo(w, 0.01, 1000.0, 41,
+                                    kMinSaturationSamples - 1),
+                 std::invalid_argument);
+    // And an Undersampled verdict never passes ok(): a tiny legal
+    // probe count still yields a usable (conservative) search.
+    double qps = sim.maxQpsUnderSlo(w, 0.02, 2000.0, 41,
+                                    kMinSaturationSamples);
+    EXPECT_GE(qps, 0.0);
 }
 
 } // namespace

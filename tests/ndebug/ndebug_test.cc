@@ -6,13 +6,18 @@
  * here is real error handling that survives a release build, not an
  * assert standing in front of undefined behavior.
  *
- * Covers the three bugfix classes:
+ * Covers the bugfix classes:
  *  - WeightedCdf rejects empty-CDF queries and out-of-domain
  *    arguments by throwing;
  *  - EventQueue clamps past-time events (counted in obs) and throws
  *    on non-finite times;
  *  - the stats formatters allocate to fit, so extreme magnitudes
- *    render completely instead of truncating at a fixed buffer.
+ *    render completely instead of truncating at a fixed buffer;
+ *  - the serving simulators (single-server and fleet) validate their
+ *    configs and run arguments by throwing — the pre-fix asserts
+ *    vanished under NDEBUG and let qps = 0 divide into NaN;
+ *  - the exponential sampler clamps a closed-interval uniform draw
+ *    instead of emitting an infinite inter-arrival gap.
  */
 
 #include <gtest/gtest.h>
@@ -26,8 +31,11 @@
 #include <stdexcept>
 #include <string>
 
+#include "inference/fleet_sim.h"
+#include "inference/serving_sim.h"
 #include "obs/obs.h"
 #include "sim/event_queue.h"
+#include "stats/arrival.h"
 #include "stats/ascii_plot.h"
 #include "stats/cdf.h"
 #include "stats/table.h"
@@ -177,6 +185,100 @@ TEST(NdebugFormatTest, CdfPlotAxisLabelsSurviveExtremeRanges)
         {{"extreme", &cdf}}, 40, 8, /*log_x=*/true, "bytes");
     EXPECT_NE(plot.find("e+300"), std::string::npos);
     EXPECT_EQ(plot.back(), '\n');
+}
+
+/** A served model built by hand (no ModelZoo link in this binary). */
+inference::InferenceWorkload
+toyWorkload()
+{
+    inference::InferenceWorkload w;
+    w.name = "toy";
+    w.flops_per_item = 1e9;
+    w.act_bytes_per_item = 1e6;
+    w.input_bytes_per_item = 1e4;
+    w.weight_bytes = 1e8;
+    return w;
+}
+
+TEST(NdebugServingTest, ConfigValidationThrowsUnderNdebug)
+{
+    // Regression: these were assert()s. With NDEBUG they vanished,
+    // so max_batch = 0 marched into the batch loop and qps = 0
+    // divided into NaN arrival gaps. Real throws must survive here.
+    inference::ServingConfig bad;
+    bad.max_batch = 0;
+    EXPECT_THROW(inference::ServingSimulator{bad},
+                 std::invalid_argument);
+    bad = inference::ServingConfig{};
+    bad.launch_overhead = kNan;
+    EXPECT_THROW(inference::ServingSimulator{bad},
+                 std::invalid_argument);
+
+    inference::ServingSimulator sim;
+    auto w = toyWorkload();
+    EXPECT_THROW(sim.run(w, 0.0, 100, 1), std::invalid_argument);
+    EXPECT_THROW(sim.run(w, kInf, 100, 1), std::invalid_argument);
+    EXPECT_THROW(sim.run(w, 100.0, 0, 1), std::invalid_argument);
+    EXPECT_THROW(sim.maxQpsUnderSlo(w, -1.0, 100.0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        sim.maxQpsUnderSlo(w, 0.01, 100.0, 1,
+                           inference::kMinSaturationSamples - 1),
+        std::invalid_argument);
+}
+
+TEST(NdebugServingTest, ShortRunsStayUndersampledUnderNdebug)
+{
+    // The saturation-detector floor is data-dependent logic, not an
+    // assert; it must behave identically in release builds.
+    inference::ServingSimulator sim;
+    auto r = sim.run(toyWorkload(), 100000.0,
+                     inference::kMinSaturationSamples - 1, 7);
+    EXPECT_EQ(r.verdict, inference::OverloadVerdict::Undersampled);
+    EXPECT_FALSE(r.saturated);
+}
+
+TEST(NdebugFleetTest, FleetValidationThrowsUnderNdebug)
+{
+    inference::FleetConfig bad;
+    bad.num_servers = 0;
+    EXPECT_THROW(inference::FleetSimulator{bad},
+                 std::invalid_argument);
+    bad = inference::FleetConfig{};
+    bad.autoscaler.enabled = true;
+    bad.autoscaler.check_interval = 0.0;
+    EXPECT_THROW(inference::FleetSimulator{bad},
+                 std::invalid_argument);
+
+    inference::FleetSimulator sim{inference::FleetConfig{}};
+    EXPECT_THROW(sim.run({}, 100, 1), std::invalid_argument);
+    stats::ArrivalConfig arrival;
+    arrival.qps = 0.0; // invalid stream surfaces from run()
+    EXPECT_THROW(sim.run({{toyWorkload(), arrival}}, 100, 1),
+                 std::invalid_argument);
+}
+
+TEST(NdebugArrivalTest, ExpSamplerClampsClosedIntervalDraws)
+{
+    obs::Counter &clamped = obs::counter("stats.exp_clamped");
+    uint64_t before = clamped.value();
+    double gap = stats::expFromUniform(1.0, 10.0);
+    EXPECT_TRUE(std::isfinite(gap));
+    EXPECT_GT(gap, 0.0);
+    EXPECT_EQ(clamped.value(), before + 1);
+}
+
+TEST(NdebugArrivalTest, StreamValidationThrowsUnderNdebug)
+{
+    stats::ArrivalConfig cfg;
+    cfg.qps = -1.0;
+    EXPECT_THROW(stats::ArrivalStream(cfg, 1),
+                 std::invalid_argument);
+    cfg = stats::ArrivalConfig{};
+    cfg.kind = stats::ArrivalKind::Diurnal;
+    cfg.diurnal_amplitude = 1.5;
+    EXPECT_THROW(stats::ArrivalStream(cfg, 1),
+                 std::invalid_argument);
 }
 
 } // namespace

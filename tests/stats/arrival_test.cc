@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the open-loop arrival processes (stats/arrival.h): the
+ * half-open exponential-sampler contract (the infinite-gap bugfix),
+ * seed purity, rate calibration of all three generator shapes, and
+ * config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/obs.h"
+#include "stats/arrival.h"
+#include "stats/rng.h"
+
+namespace paichar::stats {
+namespace {
+
+// --- The exponential sampler contract (satellite bugfix) -----------
+
+TEST(ExpSamplerTest, EveryGapIsFiniteAndPositiveOverManyDraws)
+{
+    // Property test of the documented contract: uniform() is
+    // half-open, so -log1p(-u) is finite for every draw.
+    Rng rng(20190701);
+    for (int i = 0; i < 200000; ++i) {
+        double gap = sampleExp(rng, 1000.0);
+        ASSERT_TRUE(std::isfinite(gap)) << "draw " << i;
+        ASSERT_GE(gap, 0.0) << "draw " << i;
+    }
+}
+
+TEST(ExpSamplerTest, ClosedIntervalDrawIsClampedNotInfinite)
+{
+    // Regression: the pre-fix sampler computed -log(1.0 - u), which
+    // returns +inf for u == 1.0. The fixed sampler clamps and counts.
+    obs::Counter &clamped = obs::counter("stats.exp_clamped");
+    uint64_t before = clamped.value();
+
+    double gap = expFromUniform(1.0, 2.0);
+    EXPECT_TRUE(std::isfinite(gap));
+    EXPECT_GT(gap, 0.0);
+    EXPECT_EQ(clamped.value(), before + 1);
+
+    // Even past 1.0 (an outright contract violation) stays finite.
+    double worse = expFromUniform(std::nextafter(1.0, 2.0), 2.0);
+    EXPECT_TRUE(std::isfinite(worse));
+    EXPECT_EQ(clamped.value(), before + 2);
+
+    // In-contract draws never touch the counter.
+    EXPECT_DOUBLE_EQ(expFromUniform(0.0, 2.0), 0.0);
+    EXPECT_EQ(clamped.value(), before + 2);
+}
+
+TEST(ExpSamplerTest, MatchesInverseCdfInContract)
+{
+    // Inside the contract the sampler is the textbook inverse CDF.
+    EXPECT_NEAR(expFromUniform(0.5, 1.0), std::log(2.0), 1e-15);
+    EXPECT_NEAR(expFromUniform(0.5, 4.0), std::log(2.0) / 4.0,
+                1e-15);
+}
+
+// --- Stream shapes -------------------------------------------------
+
+TEST(ArrivalStreamTest, SeedPureAndStrictlyIncreasing)
+{
+    for (ArrivalKind kind : {ArrivalKind::Constant,
+                             ArrivalKind::Diurnal,
+                             ArrivalKind::Bursty}) {
+        ArrivalConfig cfg;
+        cfg.kind = kind;
+        cfg.qps = 500.0;
+        auto a = generateArrivals(cfg, 2000, 42);
+        auto b = generateArrivals(cfg, 2000, 42);
+        ASSERT_EQ(a, b) << toString(kind);
+        for (size_t i = 1; i < a.size(); ++i)
+            ASSERT_LT(a[i - 1], a[i]) << toString(kind) << " " << i;
+        auto c = generateArrivals(cfg, 2000, 43);
+        EXPECT_NE(a, c) << toString(kind);
+    }
+}
+
+TEST(ArrivalStreamTest, LongRunRateMatchesConfiguredQps)
+{
+    // All three shapes are calibrated to the same long-run mean.
+    for (ArrivalKind kind : {ArrivalKind::Constant,
+                             ArrivalKind::Diurnal,
+                             ArrivalKind::Bursty}) {
+        ArrivalConfig cfg;
+        cfg.kind = kind;
+        cfg.qps = 200.0;
+        // Short burst sojourns so the run spans hundreds of
+        // burst/normal cycles: the realized burst-time share (and so
+        // the realized rate) concentrates at its stationary value.
+        // At the 5 s default a run this long covers only ~20 cycles
+        // and the rate estimate wanders several percent.
+        cfg.burst_mean_s = 0.5;
+        // Whole diurnal periods / many burst sojourns.
+        const int64_t n = 200000;
+        auto a = generateArrivals(cfg, n, 7);
+        double rate = static_cast<double>(n) / a.back();
+        EXPECT_NEAR(rate, cfg.qps, 0.05 * cfg.qps) << toString(kind);
+    }
+}
+
+TEST(ArrivalStreamTest, DiurnalPeakTroughContrast)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Diurnal;
+    cfg.qps = 100.0;
+    cfg.diurnal_amplitude = 0.8;
+    cfg.diurnal_period = 100.0;
+    auto a = generateArrivals(cfg, 100000, 11);
+
+    // Count arrivals falling into trough vs peak quarters of the
+    // cycle (trough at t=0, peak at period/2).
+    int64_t trough = 0, peak = 0;
+    for (double t : a) {
+        double phase = std::fmod(t, cfg.diurnal_period) /
+                       cfg.diurnal_period;
+        if (phase < 0.25)
+            ++trough;
+        else if (phase >= 0.5 && phase < 0.75)
+            ++peak;
+    }
+    // rate ratio across those quarters is (1-0.51a)/(1+0.51a) —
+    // just require a clear separation.
+    EXPECT_GT(static_cast<double>(peak),
+              2.0 * static_cast<double>(trough));
+}
+
+TEST(ArrivalStreamTest, BurstyIsOverdispersedVsConstant)
+{
+    // MMPP-2 inter-arrival gaps have a higher coefficient of
+    // variation than the Poisson baseline (CV = 1).
+    auto cv = [](const std::vector<double> &times) {
+        std::vector<double> gaps;
+        for (size_t i = 1; i < times.size(); ++i)
+            gaps.push_back(times[i] - times[i - 1]);
+        double mean = 0.0;
+        for (double g : gaps)
+            mean += g;
+        mean /= static_cast<double>(gaps.size());
+        double var = 0.0;
+        for (double g : gaps)
+            var += (g - mean) * (g - mean);
+        var /= static_cast<double>(gaps.size());
+        return std::sqrt(var) / mean;
+    };
+    ArrivalConfig constant;
+    constant.qps = 300.0;
+    ArrivalConfig bursty;
+    bursty.kind = ArrivalKind::Bursty;
+    bursty.qps = 300.0;
+    bursty.burst_multiplier = 10.0;
+    bursty.burst_fraction = 0.1;
+    bursty.burst_mean_s = 2.0;
+    double cv_const = cv(generateArrivals(constant, 100000, 3));
+    double cv_burst = cv(generateArrivals(bursty, 100000, 3));
+    EXPECT_NEAR(cv_const, 1.0, 0.05);
+    EXPECT_GT(cv_burst, 1.2 * cv_const);
+}
+
+TEST(ArrivalStreamTest, PeakQpsBySkind)
+{
+    ArrivalConfig cfg;
+    cfg.qps = 100.0;
+    EXPECT_DOUBLE_EQ(ArrivalStream(cfg, 1).peakQps(), 100.0);
+    cfg.kind = ArrivalKind::Diurnal;
+    cfg.diurnal_amplitude = 0.5;
+    EXPECT_DOUBLE_EQ(ArrivalStream(cfg, 1).peakQps(), 150.0);
+}
+
+// --- Validation (real errors, release builds included) -------------
+
+TEST(ArrivalStreamTest, InvalidConfigsThrow)
+{
+    ArrivalConfig cfg;
+    cfg.qps = 0.0;
+    EXPECT_THROW(ArrivalStream(cfg, 1), std::invalid_argument);
+    cfg.qps = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(ArrivalStream(cfg, 1), std::invalid_argument);
+
+    ArrivalConfig diurnal;
+    diurnal.kind = ArrivalKind::Diurnal;
+    diurnal.diurnal_amplitude = 1.0; // rate would hit zero
+    EXPECT_THROW(ArrivalStream(diurnal, 1), std::invalid_argument);
+    diurnal.diurnal_amplitude = 0.5;
+    diurnal.diurnal_period = 0.0;
+    EXPECT_THROW(ArrivalStream(diurnal, 1), std::invalid_argument);
+
+    ArrivalConfig bursty;
+    bursty.kind = ArrivalKind::Bursty;
+    bursty.burst_multiplier = 0.5;
+    EXPECT_THROW(ArrivalStream(bursty, 1), std::invalid_argument);
+    bursty.burst_multiplier = 4.0;
+    bursty.burst_fraction = 1.0;
+    EXPECT_THROW(ArrivalStream(bursty, 1), std::invalid_argument);
+    bursty.burst_fraction = 0.1;
+    bursty.burst_mean_s = 0.0;
+    EXPECT_THROW(ArrivalStream(bursty, 1), std::invalid_argument);
+}
+
+TEST(ArrivalStreamTest, KindSpellingsRoundTrip)
+{
+    for (ArrivalKind kind : {ArrivalKind::Constant,
+                             ArrivalKind::Diurnal,
+                             ArrivalKind::Bursty}) {
+        auto parsed = arrivalKindFromString(toString(kind));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, kind);
+    }
+    EXPECT_FALSE(arrivalKindFromString("poisson").has_value());
+}
+
+} // namespace
+} // namespace paichar::stats
