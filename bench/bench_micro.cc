@@ -52,6 +52,7 @@
 #include "inference/serving_sim.h"
 #include "obs/job_log.h"
 #include "obs/obs.h"
+#include "obs/timeline.h"
 #include "workload/model_zoo.h"
 #include "opt/cost_model.h"
 #include "opt/optimization_planner.h"
@@ -666,6 +667,35 @@ runObsInstrumentationOverheadSection()
                         "\"overhead_pct\":%.2f}\n",
                         joblog ? "joblog" : "off", jobs_n, threads,
                         best, overhead_pct);
+        }
+
+        // --- timeline probes on the same scheduler run (--timeline):
+        // the off baseline is the joblog section's off row. ---
+        double tl_best = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            obs::startTimeline(10.0);
+            auto t0 = std::chrono::steady_clock::now();
+            auto r = sched.run(requests);
+            benchmark::DoNotOptimize(r.makespan);
+            auto t1 = std::chrono::steady_clock::now();
+            obs::stopTimeline();
+            double sec =
+                std::chrono::duration<double>(t1 - t0).count();
+            if (rep == 0 || sec < tl_best)
+                tl_best = sec;
+        }
+        for (bool timeline : {false, true}) {
+            double sec = timeline ? tl_best : baseline;
+            double overhead_pct =
+                baseline > 0.0 && timeline
+                    ? (sec / baseline - 1.0) * 100.0
+                    : 0.0;
+            std::printf("{\"bench\":\"obs_overhead_timeline\","
+                        "\"mode\":\"%s\",\"jobs\":%zu,"
+                        "\"threads\":%d,\"seconds\":%.6f,"
+                        "\"overhead_pct\":%.2f}\n",
+                        timeline ? "timeline" : "off", jobs_n,
+                        threads, sec, overhead_pct);
         }
     }
     std::printf("\n");

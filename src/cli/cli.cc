@@ -19,6 +19,8 @@
 #include "obs/job_log.h"
 #include "obs/json_util.h"
 #include "obs/obs.h"
+#include "obs/timeline.h"
+#include "stats/ascii_plot.h"
 #include "trace/binary_trace.h"
 #include "core/arch_selection.h"
 #include "core/characterization.h"
@@ -180,8 +182,8 @@ printUsage(std::ostream &out)
            "least-queue|p2c]\n"
            "                [--batching greedy|continuous]\n"
            "                [--arrival constant|diurnal|bursty]\n"
-           "                [--admit DEPTH] [--autoscale 0|1] "
-           "[--requests N]\n"
+           "                [--admit DEPTH] [--autoscale "
+           "0|1|queue|slo] [--requests N]\n"
            "  paichar capacity MODEL --qps Q [--slo-ms MS] "
            "[--max-servers N]\n"
            "                   [--max-batch B] [--routing R] "
@@ -198,6 +200,8 @@ printUsage(std::ostream &out)
            "  paichar obs report RUN\n"
            "  paichar obs diff A B [--tolerance PCT]\n"
            "  paichar obs top JOBLOG [--limit N]\n"
+           "  paichar obs timeline TIMELINE [--plot SERIES]\n"
+           "  paichar obs timeline diff A B [--tolerance PCT]\n"
            "\n"
            "Quantities are base units (FLOPs, bytes); ARCH uses the "
            "paper names\n(\"PS/Worker\", \"AllReduce-Local\", "
@@ -228,7 +232,9 @@ printUsage(std::ostream &out)
            "optional admission control and\na reactive autoscaler); "
            "capacity bisects the smallest fleet that holds\na p99 "
            "SLO at the offered load. Both are byte-identical for "
-           "every\n--threads/--shards setting.\n"
+           "every\n--threads/--shards setting. --autoscale slo "
+           "scales on the trailing\nwindow's p99 latency against "
+           "--slo-ms instead of queue depth.\n"
            "\n"
            "TRACE files may be CSV or paib binary; the format is "
            "auto-detected.\ngenerate and convert infer the output "
@@ -255,10 +261,21 @@ printUsage(std::ostream &out)
            "feed to paichar obs)\n"
            "  --job-trace FILE  write a per-worker Chrome trace of "
            "the job timeline\n"
+           "  --timeline FILE   write sim-time series probes "
+           "(queue depth, fleet size,\n                    arrival/"
+           "preemption rates, windowed latency p50/p99)\n"
+           "                    sampled every --timeline-interval "
+           "simulated seconds\n                    (default 10; "
+           "format csv, or json by --timeline-format /\n"
+           "                    a .json extension)\n"
            "\n"
            "obs RUN files are --job-log JSONL or --metrics dumps; "
            "obs diff exits 2\nwhen a shared scalar moves past "
-           "--tolerance (default 10%).\n"
+           "--tolerance (default 10%). obs timeline\nreads "
+           "--timeline CSV: per-series stats plus a sparkline, "
+           "--plot SERIES\ndraws one series full-size, and obs "
+           "timeline diff gates per-series\nmean/max/last scalars "
+           "like obs diff.\n"
            "\n"
            "Flags may be written --flag VALUE or --flag=VALUE.\n";
 }
@@ -829,11 +846,20 @@ parseFleetArgs(const Args &args, const inference::InferenceWorkload &w)
         args.choiceFlag("batching", "greedy",
                         {"greedy", "continuous"}));
     f.cfg.admit_queue = static_cast<int>(args.numFlag("admit", 0));
-    if (args.numFlag("autoscale", 0) != 0) {
+    // "1" and "queue" are the original depth-driven controller;
+    // "slo" reacts to the trailing-window p99 instead (the latency
+    // target is fixed up below, once --slo-ms is known).
+    std::string autoscale = args.choiceFlag(
+        "autoscale", "0", {"0", "1", "queue", "slo"});
+    if (autoscale != "0") {
         f.cfg.autoscaler.enabled = true;
         f.cfg.autoscaler.max_servers = std::max(
             f.cfg.num_servers,
             static_cast<int>(args.numFlag("max-servers", 64)));
+        if (autoscale == "slo") {
+            f.cfg.autoscaler.mode =
+                inference::AutoscalerConfig::Mode::SloLatency;
+        }
     }
     f.arrival.kind = *stats::arrivalKindFromString(args.choiceFlag(
         "arrival", "constant", {"constant", "diurnal", "bursty"}));
@@ -844,6 +870,7 @@ parseFleetArgs(const Args &args, const inference::InferenceWorkload &w)
     f.arrival.qps =
         args.numFlag("qps", 0.5 * f.cfg.num_servers / f.solo);
     f.slo = args.numFlag("slo-ms", 5.0 * f.solo * 1e3) * 1e-3;
+    f.cfg.autoscaler.slo_latency = f.slo;
     f.requests =
         static_cast<int64_t>(args.numFlag("requests", 20000));
     return f;
@@ -889,6 +916,17 @@ cmdServe(const Args &args, std::ostream &out, std::ostream &err)
         out << "  autoscaler: " << r.scale_ups << " up / "
             << r.scale_downs << " down, peak " << r.peak_servers
             << " servers, final " << r.final_servers << "\n";
+        if (f.cfg.autoscaler.mode ==
+            inference::AutoscalerConfig::Mode::SloLatency) {
+            out << "  slo mode: target p99 <= "
+                << stats::fmtSeconds(f.cfg.autoscaler.slo_latency)
+                << ", achieved p99 "
+                << stats::fmtSeconds(r.p99_latency)
+                << (r.p99_latency <= f.cfg.autoscaler.slo_latency
+                        ? " [met]"
+                        : " [missed]")
+                << "\n";
+        }
     }
     // The single-server SLO search (the seed simulator's headline
     // number) still anchors the default invocation.
@@ -1092,6 +1130,7 @@ cmdSchedule(const Args &args, std::ostream &out, std::ostream &err)
         clustersim::SchedulerConfig base = cfg;
         base.policy = clustersim::Policy::Fifo;
         base.record_job_log = false;
+        base.record_timeline = false;
         clustersim::ClusterScheduler fifo(base, model);
         auto fifo_result = fifo.run(std::move(requests));
         double dm = fifo_result.mean_wait > 0.0
@@ -1115,7 +1154,8 @@ int
 cmdObs(const Args &args, std::ostream &out, std::ostream &err)
 {
     if (args.positional.size() < 2) {
-        err << "error: obs expects a verb: report | diff | top\n";
+        err << "error: obs expects a verb: report | diff | top | "
+               "timeline\n";
         return 1;
     }
     const std::string &verb = args.positional[1];
@@ -1187,8 +1227,74 @@ cmdObs(const Args &args, std::ostream &out, std::ostream &err)
         // baseline" from "could not run" (exit 1).
         return diff.regression ? 2 : 0;
     }
+    if (verb == "timeline") {
+        auto loadTl = [&](const std::string &path)
+            -> std::optional<obs::TimelineData> {
+            auto text = readTextFile(path, err);
+            if (!text)
+                return std::nullopt;
+            auto d = obs::loadTimelineCsv(*text);
+            if (!d.ok) {
+                err << "error: " << path << ": " << d.error << "\n";
+                return std::nullopt;
+            }
+            return std::move(d);
+        };
+
+        // `obs timeline diff A B` compares per-series scalars with
+        // the same regression semantics (and exit code 2) as
+        // `obs diff` -- the CI perf gate reuses it unchanged.
+        if (args.positional.size() >= 3 &&
+            args.positional[2] == "diff") {
+            if (args.positional.size() < 5) {
+                err << "error: obs timeline diff expects two "
+                       "timeline CSV files\n";
+                return 1;
+            }
+            auto a = loadTl(args.positional[3]);
+            if (!a)
+                return 1;
+            auto b = loadTl(args.positional[4]);
+            if (!b)
+                return 1;
+            double tolerance = args.numFlag("tolerance", 10.0);
+            if (tolerance < 0.0) {
+                err << "error: --tolerance expects a percentage >= "
+                       "0\n";
+                return 1;
+            }
+            auto diff =
+                obs::diffRuns(obs::timelineScalars(*a),
+                              obs::timelineScalars(*b), tolerance);
+            out << obs::renderDiff(diff);
+            return diff.regression ? 2 : 0;
+        }
+
+        if (args.positional.size() < 3) {
+            err << "error: obs timeline expects a timeline CSV "
+                   "file\n";
+            return 1;
+        }
+        auto data = loadTl(args.positional[2]);
+        if (!data)
+            return 1;
+        out << obs::renderTimelineReport(*data);
+        if (auto plot = args.flag("plot")) {
+            auto it = data->series.find(*plot);
+            if (it == data->series.end()) {
+                err << "error: no series '" << *plot
+                    << "' in the timeline (see the report above "
+                       "for series names)\n";
+                return 1;
+            }
+            out << "\n" << *plot << ":\n"
+                << stats::renderSeriesPlot(it->second, 64, 16,
+                                           "window end, seconds");
+        }
+        return 0;
+    }
     err << "error: unknown obs verb '" << verb
-        << "' (report | diff | top)\n";
+        << "' (report | diff | top | timeline)\n";
     return 1;
 }
 
@@ -1346,10 +1452,46 @@ run(const std::vector<std::string> &args, std::ostream &out,
                    "file\n";
             return 1;
         }
+        auto timeline_path = parsed->flag("timeline");
+        if (timeline_path && timeline_path->empty()) {
+            err << "error: --timeline expects an output file\n";
+            return 1;
+        }
+        std::string timeline_format;
+        if (timeline_path) {
+            // Default format follows the extension, like generate's
+            // --out (.json = JSON, anything else = CSV).
+            bool json_ext =
+                timeline_path->size() >= 5 &&
+                timeline_path->compare(timeline_path->size() - 5, 5,
+                                       ".json") == 0;
+            timeline_format =
+                parsed->flag("timeline-format")
+                    .value_or(json_ext ? "json" : "csv");
+            if (timeline_format != "csv" &&
+                timeline_format != "json") {
+                err << "error: --timeline-format expects csv or "
+                       "json, got '"
+                    << timeline_format << "'\n";
+                return 1;
+            }
+        }
         if (profile_path)
             obs::startProfiling();
         if (job_log_path || job_trace_path)
             obs::startJobLog();
+        if (timeline_path) {
+            // Timeline validates by throwing: a bad
+            // --timeline-interval must fail identically in NDEBUG
+            // builds.
+            try {
+                obs::startTimeline(
+                    parsed->numFlag("timeline-interval", 10.0));
+            } catch (const std::invalid_argument &e) {
+                err << "error: " << e.what() << "\n";
+                return 1;
+            }
+        }
 
         std::optional<int> rc;
         {
@@ -1368,6 +1510,18 @@ run(const std::vector<std::string> &args, std::ostream &out,
                                err) &&
                 rc == 0) {
                 rc = 1;
+            }
+        }
+        if (timeline_path) {
+            obs::stopTimeline();
+            if (rc) {
+                std::string text = timeline_format == "json"
+                                       ? obs::renderTimelineJson()
+                                       : obs::renderTimelineCsv();
+                if (!writeTextFile(*timeline_path, text, err) &&
+                    rc == 0) {
+                    rc = 1;
+                }
             }
         }
         if (job_log_path || job_trace_path) {

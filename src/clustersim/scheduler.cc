@@ -5,10 +5,12 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <optional>
 
 #include "hw/hardware_config.h"
 #include "obs/job_log.h"
 #include "obs/obs.h"
+#include "obs/timeline.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 #include "sim/sharded_engine.h"
@@ -353,6 +355,29 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
     sim::ShardedEngine engine(num_shards, /*lookahead=*/0.0,
                               runtime::globalPool());
 
+    // Timeline probes: scheduler-loop observations sampled at the
+    // simulated-time cadence (levels are "as seen by the control
+    // loop" at each pass; rates count admissions/preemptions/drops).
+    // A record_timeline=false run (the FIFO comparison) suspends the
+    // process-wide timeline so the engine's probes stay quiet too.
+    std::optional<obs::TimelineSuspend> tl_suspend;
+    if (!cfg_.record_timeline)
+        tl_suspend.emplace();
+    obs::Timeline *tl =
+        obs::timelineActive() ? obs::timeline() : nullptr;
+    obs::Timeline::Level *tl_pending =
+        tl ? &tl->level("clustersim.pending_jobs") : nullptr;
+    obs::Timeline::Level *tl_running =
+        tl ? &tl->level("clustersim.running_jobs") : nullptr;
+    obs::Timeline::Level *tl_free_gpus =
+        tl ? &tl->level("clustersim.free_gpus") : nullptr;
+    obs::Timeline::Rate *tl_arrivals =
+        tl ? &tl->rate("clustersim.arrivals") : nullptr;
+    obs::Timeline::Rate *tl_preemptions =
+        tl ? &tl->rate("clustersim.preemptions") : nullptr;
+    obs::Timeline::Rate *tl_unplaceable =
+        tl ? &tl->rate("clustersim.unplaceable") : nullptr;
+
     // In-flight jobs, indexed by slot; finished slots are recycled
     // through a free list so long traces do not grow the table past
     // the peak concurrency. The generation counter invalidates the
@@ -386,6 +411,24 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
     size_t arrival = 0;
     double now = 0.0;
     double gpu_seconds = 0.0;
+
+    // Refresh the timeline level probes with the control loop's view
+    // of the cluster at `now`. Last-set-wins within a window, so the
+    // value sampled at each window close is the state just before
+    // time crossed the boundary.
+    auto sampleLevels = [&] {
+        if (!tl)
+            return;
+        tl_pending->set(static_cast<double>(pending.size()));
+        int running = 0;
+        for (const Slot &sl : slots)
+            running += sl.active ? 1 : 0;
+        tl_running->set(static_cast<double>(running));
+        int64_t free_g = 0;
+        for (int g : cap.free_gpus)
+            free_g += g;
+        tl_free_gpus->set(static_cast<double>(free_g));
+    };
 
     // As-submitted step times are pure per-job model evaluations:
     // price them up front in parallel. Ported placements execute a
@@ -652,6 +695,8 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
             jo.segments.push_back({sl.seg_start, now});
         ++jo.preemptions;
         ++out.preemptions;
+        if (tl_preemptions)
+            tl_preemptions->add();
 
         steps_remaining[sl.req] = left;
         if (wants_predictions) {
@@ -820,8 +865,12 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
                requests[arrival].submit_time <= now) {
             if (placeable(requests[arrival].job)) {
                 pending.push_back(arrival);
+                if (tl_arrivals)
+                    tl_arrivals->add();
             } else {
                 ++out.unplaceable_jobs;
+                if (tl_unplaceable)
+                    tl_unplaceable->add();
                 obs::counter("clustersim.unplaceable_jobs").add();
                 if (cfg_.record_job_log && obs::jobLogActive()) {
                     const JobRequest &req = requests[arrival];
@@ -851,6 +900,7 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
 
         // Schedule from the queue under the policy.
         schedulePass();
+        sampleLevels();
 
         // Advance time to the next event.
         double next = std::numeric_limits<double>::infinity();
@@ -885,6 +935,7 @@ ClusterScheduler::run(std::vector<JobRequest> requests) const
             }
             shard_done.clear();
         }
+        sampleLevels();
     }
     // Every admitted job is placeable on an empty cluster, so the
     // queue always drains once the running set does.

@@ -161,6 +161,13 @@ struct SchedulerConfig
      * holds exactly one record per job.
      */
     bool record_job_log = true;
+    /**
+     * Record timeline probes (queue depth, running jobs, free GPUs,
+     * arrival/preemption/unplaceable rates) when a timeline is
+     * active. Off for the CLI's FIFO comparison run so the exported
+     * timeline describes exactly one schedule.
+     */
+    bool record_timeline = true;
 };
 
 /** One submitted job. */

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "obs/obs.h"
+#include "obs/timeline.h"
 #include "stats/cdf.h"
 #include "stats/rng.h"
 
@@ -139,10 +141,26 @@ FleetSimulator::FleetSimulator(FleetConfig cfg) : cfg_(std::move(cfg))
             !std::isfinite(as.provision_lag))
             badConfig("autoscaler provision_lag must be finite and "
                       ">= 0");
-        if (!(as.scale_down_depth >= 0.0) ||
-            !(as.scale_up_depth > as.scale_down_depth))
-            badConfig("autoscaler depths must satisfy 0 <= "
-                      "scale_down_depth < scale_up_depth");
+        if (as.mode == AutoscalerConfig::Mode::QueueDepth) {
+            if (!(as.scale_down_depth >= 0.0) ||
+                !(as.scale_up_depth > as.scale_down_depth))
+                badConfig("autoscaler depths must satisfy 0 <= "
+                          "scale_down_depth < scale_up_depth");
+        } else {
+            if (!(as.slo_latency > 0.0) ||
+                !std::isfinite(as.slo_latency))
+                badConfig("slo autoscaler needs a positive finite "
+                          "slo_latency");
+            if (!(as.slo_down_fraction >= 0.0) ||
+                !(as.slo_up_fraction > as.slo_down_fraction) ||
+                !std::isfinite(as.slo_up_fraction))
+                badConfig("slo autoscaler fractions must satisfy 0 "
+                          "<= slo_down_fraction < slo_up_fraction");
+            if (as.slo_min_samples < 1)
+                badConfig("slo autoscaler slo_min_samples must be "
+                          ">= 1, got " +
+                          std::to_string(as.slo_min_samples));
+        }
     }
 }
 
@@ -222,6 +240,37 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
     if (cfg_.record_requests)
         result.requests.resize(arrivals.size());
 
+    // Timeline probes: the loop advances the timeline to each event
+    // time before processing it, so every sample lands in the window
+    // containing its event. record_timeline=false runs (capacity
+    // bisection probes) suspend the timeline entirely.
+    std::optional<obs::TimelineSuspend> tl_suspend;
+    if (!cfg_.record_timeline)
+        tl_suspend.emplace();
+    obs::Timeline *tl =
+        obs::timelineActive() ? obs::timeline() : nullptr;
+    obs::Timeline::Level *tl_up_lvl =
+        tl ? &tl->level("inference.fleet.servers_up") : nullptr;
+    obs::Timeline::Level *tl_queued_lvl =
+        tl ? &tl->level("inference.fleet.queued") : nullptr;
+    obs::Timeline::Rate *tl_arrivals =
+        tl ? &tl->rate("inference.fleet.arrivals") : nullptr;
+    obs::Timeline::Rate *tl_rejected =
+        tl ? &tl->rate("inference.fleet.rejected") : nullptr;
+    obs::Timeline::Rate *tl_completions =
+        tl ? &tl->rate("inference.fleet.completions") : nullptr;
+    obs::Timeline::Rate *tl_scale =
+        tl ? &tl->rate("inference.fleet.scale_events") : nullptr;
+    obs::Timeline::Quantile *tl_latency =
+        tl ? &tl->quantile("inference.fleet.latency_us") : nullptr;
+
+    // The SLO controller's trailing window: completions since the
+    // last control decision. Kept by the simulator itself so
+    // --autoscale=slo needs no timeline attached.
+    std::vector<double> slo_window;
+    const bool slo_mode =
+        as.enabled && as.mode == AutoscalerConfig::Mode::SloLatency;
+
     double last_end = 0.0;
     size_t next_arrival = 0;
     uint64_t rr_counter = 0;
@@ -299,6 +348,10 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
             latencies.add(lat);
             latency_seq.push_back(lat);
             latency_hist.observe(lat * 1e6);
+            if (tl_latency)
+                tl_latency->observe(lat * 1e6);
+            if (slo_mode)
+                slo_window.push_back(lat);
             if (cfg_.record_requests) {
                 RequestRecord &rec =
                     result.requests[static_cast<size_t>(id)];
@@ -312,6 +365,8 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
         }
         s.items += batch;
         result.completed += batch;
+        if (tl_completions)
+            tl_completions->add(static_cast<double>(batch));
         s.in_flight.clear();
         s.busy = false;
         s.completion = kInf;
@@ -330,6 +385,22 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
                 return true;
         }
         return false;
+    };
+
+    // Post-event level sampling: last-set-wins within a window, so
+    // each closed window reports the fleet state as of its final
+    // event — piecewise-constant sampling of size and backlog.
+    auto sampleFleetLevels = [&] {
+        if (!tl)
+            return;
+        double up_now = 0.0, queued = 0.0;
+        for (const Server &s : servers) {
+            if (s.state == Server::State::Up)
+                up_now += 1.0;
+            queued += static_cast<double>(s.queue.size());
+        }
+        tl_up_lvl->set(up_now);
+        tl_queued_lvl->set(queued);
     };
 
     while (next_arrival < arrivals.size() || anyBusy()) {
@@ -366,6 +437,11 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
             ev_kind = kTick;
         }
 
+        // Close windows ending at or before this event, so whatever
+        // it records lands in the window containing it.
+        if (tl)
+            tl->advanceTo(ev_time);
+
         switch (ev_kind) {
         case kProvision: {
             provisions.pop_front();
@@ -383,6 +459,8 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
         case kArrival: {
             int64_t id = static_cast<int64_t>(next_arrival);
             ++next_arrival;
+            if (tl_arrivals)
+                tl_arrivals->add();
             upServers(up);
             size_t chosen = up.front();
             switch (cfg_.routing) {
@@ -423,6 +501,8 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
                 s.queue.size() >=
                     static_cast<size_t>(cfg_.admit_queue)) {
                 ++result.rejected;
+                if (tl_rejected)
+                    tl_rejected->add();
                 if (cfg_.record_requests) {
                     RequestRecord &rec =
                         result.requests[static_cast<size_t>(id)];
@@ -460,8 +540,29 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
             }
             if (up_now == 0)
                 break;
-            double depth = static_cast<double>(queued) / up_now;
-            if (depth > as.scale_up_depth &&
+            bool scale_up = false, scale_down = false;
+            if (slo_mode) {
+                // React to the trailing window's p99 vs the SLO.
+                // Fewer than slo_min_samples completions is noise:
+                // hold, exactly like the saturation detector's
+                // sample floor.
+                if (slo_window.size() >=
+                    static_cast<size_t>(as.slo_min_samples)) {
+                    double p99 = obs::nearestRankQuantile(
+                        slo_window, 0.99);
+                    scale_up =
+                        p99 > as.slo_latency * as.slo_up_fraction;
+                    scale_down =
+                        p99 < as.slo_latency * as.slo_down_fraction;
+                }
+                slo_window.clear();
+            } else {
+                double depth =
+                    static_cast<double>(queued) / up_now;
+                scale_up = depth > as.scale_up_depth;
+                scale_down = depth < as.scale_down_depth;
+            }
+            if (scale_up &&
                 up_now + static_cast<int>(provisions.size()) <
                     as.max_servers) {
                 servers.emplace_back();
@@ -472,7 +573,9 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
                     ev_time + as.provision_lag,
                     servers.size() - 1);
                 ++result.scale_ups;
-            } else if (depth < as.scale_down_depth &&
+                if (tl_scale)
+                    tl_scale->add();
+            } else if (scale_down &&
                        up_now > std::max(as.min_servers, 1) &&
                        have_candidate) {
                 Server &s = servers[drain_candidate];
@@ -483,11 +586,18 @@ FleetSimulator::run(const std::vector<ModelLoad> &models,
                     s.state = Server::State::Draining;
                 }
                 ++result.scale_downs;
+                if (tl_scale)
+                    tl_scale->add();
             }
             break;
         }
         }
+
+        sampleFleetLevels();
     }
+
+    if (tl)
+        tl->advanceTo(last_end);
 
     result.duration = last_end;
     result.admitted = result.offered - result.rejected;
@@ -593,6 +703,7 @@ minServersForSlo(const FleetConfig &cfg,
         probe.num_servers = n;
         probe.autoscaler.enabled = false;
         probe.record_requests = false;
+        probe.record_timeline = false;
         FleetResult r =
             FleetSimulator(probe).run(models, num_requests, seed);
         return r.verdict == OverloadVerdict::Stable &&

@@ -79,7 +79,26 @@ std::optional<Batching> batchingFromString(const std::string &s);
 /** Reactive autoscaler settings. */
 struct AutoscalerConfig
 {
+    /** What the control loop reacts to. */
+    enum class Mode
+    {
+        /** Mean queued requests per up server (the original). */
+        QueueDepth,
+        /**
+         * Trailing-window p99 latency vs an SLO (`--autoscale=slo`):
+         * scale up when the p99 of the completions observed since
+         * the last control decision approaches the SLO, drain down
+         * when it clears it with margin. The window quantile is
+         * obs::nearestRankQuantile — the same statistic the timeline
+         * `inference.fleet.latency_us.p99` series reports — but the
+         * controller keeps its own window, so SLO autoscaling works
+         * with no timeline attached.
+         */
+        SloLatency,
+    };
+
     bool enabled = false;
+    Mode mode = Mode::QueueDepth;
     /** Fleet-size bounds the controller may move within. */
     int min_servers = 1;
     int max_servers = 64;
@@ -91,6 +110,19 @@ struct AutoscalerConfig
     double scale_up_depth = 4.0;
     /** Scale (drain) down when it falls below. */
     double scale_down_depth = 0.5;
+    /** SloLatency: the p99 target in seconds (> 0). */
+    double slo_latency = 0.0;
+    /** Scale up when window p99 > slo_latency * slo_up_fraction. */
+    double slo_up_fraction = 0.8;
+    /** Drain down when window p99 < slo_latency *
+     *  slo_down_fraction. */
+    double slo_down_fraction = 0.35;
+    /**
+     * Hold (no decision) when the window saw fewer completions than
+     * this — an undersampled p99 is noise, the same lesson as the
+     * saturation detector's sample floor.
+     */
+    int slo_min_samples = 20;
 };
 
 /** Fleet shape and policies. */
@@ -114,6 +146,13 @@ struct FleetConfig
     AutoscalerConfig autoscaler;
     /** Record a per-request log in the result (testkit oracle). */
     bool record_requests = false;
+    /**
+     * Record timeline probes (servers up, queued, arrival/reject/
+     * completion rates, windowed latency quantiles) when a timeline
+     * is active. Capacity bisection probes turn this off so only the
+     * run the user asked about lands in the exported timeline.
+     */
+    bool record_timeline = true;
 };
 
 /** One served model and the arrival stream offering load for it. */

@@ -214,11 +214,16 @@ loadMetricsText(std::string_view text)
             out.data.scalars[std::string(tok[1]) + ".peak"] = peak;
         } else if (tok.size() == 12 && tok[0] == "histogram") {
             // histogram NAME count N mean M p50 X p95 Y max Z
+            // An empty histogram renders its stats as '-' (its
+            // quantiles are NaN); those fields are simply absent
+            // from the scalar view rather than recorded as 0.
             static const char *kFields[] = {"count", "mean", "p50",
                                             "p95", "max"};
             for (int f = 0; f < 5; ++f) {
                 if (tok[2 + 2 * f] != kFields[f])
                     return fail("bad histogram line");
+                if (tok[3 + 2 * f] == "-")
+                    continue;
                 if (!num(tok[3 + 2 * f], &v))
                     return fail("bad histogram value");
                 out.data.scalars[std::string(tok[1]) + "." +

@@ -44,6 +44,15 @@ renderMetricsSummary()
                           static_cast<long long>(g.peak()));
         },
         [&](const std::string &name, const Histogram &h) {
+            if (h.empty()) {
+                // No observations: quantile() is NaN and mean/max
+                // are meaningless, so print '-' instead of numbers
+                // that read as measurements.
+                out += format("histogram %-34s count 0 mean - "
+                              "p50 - p95 - max -\n",
+                              name.c_str());
+                return;
+            }
             out += format(
                 "histogram %-34s count %llu mean %.3f p50 %.0f "
                 "p95 %.0f max %.3f\n",

@@ -1,6 +1,7 @@
 #include "obs.h"
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -173,8 +174,10 @@ double
 Histogram::quantile(double q) const
 {
     uint64_t n = count();
+    // An empty histogram has no quantiles: NaN, never a misleading
+    // 0.0 (renderers print '-'; check empty() to branch first).
     if (n == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     if (!(q > 0.0))
         q = 0.0;
     if (q > 1.0)

@@ -117,6 +117,14 @@ class Gauge
         }
     }
 
+    /**
+     * Overwrite the level with an absolute value (timeline-style
+     * sampling, vs add()'s deltas). The peak only ever ratchets
+     * upward: set(10); set(3) leaves value() == 3 and peak() == 10,
+     * and a negative set never lowers a previously recorded peak
+     * (peak starts at 0, so it is never negative). Only reset()
+     * clears the high-water mark.
+     */
     void
     set(int64_t v)
     {
@@ -208,9 +216,18 @@ class Histogram
                        : 0.0;
     }
 
+    /** True when no observation has been recorded. */
+    bool
+    empty() const
+    {
+        return count() == 0;
+    }
+
     /**
      * Upper bound of the smallest bucket holding the q-quantile
-     * (q clamped to [0, 1]); 0 for an empty histogram.
+     * (q clamped to [0, 1]). An empty histogram has no quantiles:
+     * the result is NaN (check empty() to branch first); renderers
+     * print '-' rather than a misleading number.
      */
     double quantile(double q) const;
 

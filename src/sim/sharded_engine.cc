@@ -8,6 +8,7 @@
 #include <string>
 
 #include "obs/obs.h"
+#include "obs/timeline.h"
 #include "runtime/parallel.h"
 
 namespace paichar::sim {
@@ -59,6 +60,42 @@ roundEventsHistogram()
 {
     static obs::Histogram &h =
         obs::histogram("sim.sync_round_events");
+    return h;
+}
+
+/**
+ * Timeline probes for the engine, resolved once per timeline
+ * generation. Only the coordinating thread (round boundaries, the
+ * single-shard drive loop) touches the timeline, so a plain static
+ * is safe; drain workers never call this.
+ *
+ * The engine only samples at lookahead 0, where a round is exactly
+ * one distinct timestamp in both the sharded and the single-queue
+ * paths — that is what makes `sim.events` byte-identical across
+ * every --shards count. A lookahead > 0 round spans a time window
+ * with no single attribution point, so those engines emit no
+ * timeline series at all (absent on every shard count alike).
+ */
+struct TimelineHook
+{
+    uint64_t gen = 0;
+    obs::Timeline *tl = nullptr;
+    obs::Timeline::Rate *events = nullptr;
+    obs::Timeline::Rate *clamped = nullptr;
+};
+
+TimelineHook &
+timelineHook()
+{
+    static TimelineHook h;
+    uint64_t gen = obs::timelineGeneration();
+    if (h.gen != gen) {
+        h.gen = gen;
+        h.tl = obs::timeline();
+        h.events = h.tl ? &h.tl->rate("sim.events") : nullptr;
+        h.clamped =
+            h.tl ? &h.tl->rate("sim.cross_shard_clamped") : nullptr;
+    }
     return h;
 }
 
@@ -215,6 +252,17 @@ ShardedEngine::round(SimTime m, SimTime cap)
     round_safe_ = strict ? bound : std::min(std::max(m, bound), cap);
     uint64_t before = executed();
 
+    // At lookahead 0 a round is exactly the timestamp m: close any
+    // timeline windows ending at or before m, then attribute this
+    // round's events (and clamp count) to m's window afterwards.
+    TimelineHook *tlh = nullptr;
+    uint64_t clamps_before = 0;
+    if (lookahead_ == 0.0 && obs::timelineActive()) {
+        tlh = &timelineHook();
+        tlh->tl->advanceTo(m);
+        clamps_before = crossShardClampedCounter().value();
+    }
+
     // Only shards with work inside the window take part; a
     // single-shard round stays on the calling thread (the common
     // clustersim case: one completion per timestamp).
@@ -245,6 +293,11 @@ ShardedEngine::round(SimTime m, SimTime cap)
     in_round_ = false;
     roundEventsHistogram().observe(
         static_cast<double>(executed() - before));
+    if (tlh) {
+        tlh->events->add(static_cast<double>(executed() - before));
+        tlh->clamped->add(static_cast<double>(
+            crossShardClampedCounter().value() - clamps_before));
+    }
     deliverMessages();
     now_ = std::max(now_, std::min(round_safe_, cap));
 }
@@ -252,8 +305,11 @@ ShardedEngine::round(SimTime m, SimTime cap)
 SimTime
 ShardedEngine::run()
 {
-    if (shards_.size() == 1 && outbox_[0].empty())
+    if (shards_.size() == 1 && outbox_[0].empty()) {
+        if (lookahead_ == 0.0 && obs::timelineActive())
+            return now_ = drainSingleShard(kInf);
         return now_ = shards_[0]->run();
+    }
     obs::Span span("sim.sharded_run");
     uint64_t before = executed();
     while (true) {
@@ -269,8 +325,11 @@ ShardedEngine::run()
 SimTime
 ShardedEngine::runUntil(SimTime until)
 {
-    if (shards_.size() == 1 && outbox_[0].empty())
+    if (shards_.size() == 1 && outbox_[0].empty()) {
+        if (lookahead_ == 0.0 && obs::timelineActive())
+            return now_ = drainSingleShard(until);
         return now_ = shards_[0]->runUntil(until);
+    }
     obs::Span span("sim.sharded_run_until");
     uint64_t before = executed();
     while (true) {
@@ -281,9 +340,39 @@ ShardedEngine::runUntil(SimTime until)
     }
     for (auto &q : shards_)
         q->advanceTo(until);
+    if (lookahead_ == 0.0 && obs::timelineActive())
+        timelineHook().tl->advanceTo(until);
     now_ = std::max(now_, until);
     span.setArg(static_cast<int64_t>(executed() - before));
     return now_;
+}
+
+SimTime
+ShardedEngine::drainSingleShard(SimTime until)
+{
+    // The single-queue delegate, slowed to one runUntil() per
+    // distinct timestamp so timeline window attribution matches the
+    // sharded round path exactly (byte-identical rows for every
+    // --shards count). Only taken while a timeline is recording; the
+    // zero-cost delegate stays on the fast path otherwise.
+    EventQueue &q = *shards_[0];
+    TimelineHook &tlh = timelineHook();
+    while (true) {
+        SimTime t = q.nextEventTime();
+        if (t > until)
+            break;
+        tlh.tl->advanceTo(t);
+        uint64_t before = q.executed();
+        q.runUntil(t);
+        tlh.events->add(static_cast<double>(q.executed() - before));
+        tlh.clamped->add(0.0);
+    }
+    if (std::isfinite(until)) {
+        q.advanceTo(until);
+        tlh.tl->advanceTo(until);
+        return std::max(now_, until);
+    }
+    return std::max(now_, q.now());
 }
 
 } // namespace paichar::sim

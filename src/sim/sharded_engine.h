@@ -152,6 +152,11 @@ class ShardedEngine
     void round(SimTime m, SimTime cap);
     void deliverMessages();
 
+    /** The shards==1 drive loop while a timeline is recording: one
+        runUntil() per distinct timestamp so window attribution
+        matches the sharded round path byte-for-byte. */
+    SimTime drainSingleShard(SimTime until);
+
     std::vector<std::unique_ptr<EventQueue>> shards_;
     /** Per-source outboxes; source s's drain thread is the only
         writer of outbox_[s] during a round. */

@@ -176,6 +176,81 @@ renderStackedBars(const std::vector<StackedBar> &bars, size_t width,
 }
 
 std::string
+renderSeriesPlot(const std::vector<std::pair<double, double>> &points,
+                 size_t width, size_t height,
+                 const std::string &x_label)
+{
+    assert(!points.empty());
+    assert(width >= 8 && height >= 4);
+
+    double x_lo = points.front().first;
+    double x_hi = points.back().first;
+    if (x_hi <= x_lo)
+        x_hi = x_lo + 1.0;
+    double y_lo = std::numeric_limits<double>::infinity();
+    double y_hi = -std::numeric_limits<double>::infinity();
+    for (const auto &[x, y] : points) {
+        (void)x;
+        y_lo = std::min(y_lo, y);
+        y_hi = std::max(y_hi, y);
+    }
+    if (y_hi <= y_lo)
+        y_hi = y_lo + 1.0;
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    for (const auto &[x, y] : points) {
+        auto col = static_cast<size_t>(std::min<double>(
+            static_cast<double>(width - 1),
+            std::floor((x - x_lo) / (x_hi - x_lo) *
+                       static_cast<double>(width))));
+        auto row = static_cast<size_t>(std::min<double>(
+            static_cast<double>(height - 1),
+            std::floor((y - y_lo) / (y_hi - y_lo) *
+                       static_cast<double>(height))));
+        // Row 0 is the top of the plot (y = max).
+        grid[height - 1 - row][col] = '*';
+    }
+
+    // Left axis: top / mid / bottom y values, grow-to-fit like
+    // renderCdfPlot's labels.
+    std::string top = fmtG(y_hi, 3);
+    std::string mid = fmtG((y_lo + y_hi) / 2.0, 3);
+    std::string bot = fmtG(y_lo, 3);
+    size_t axis_w =
+        std::max({top.size(), mid.size(), bot.size(), size_t{4}});
+    auto pad = [&](const std::string &s) {
+        return std::string(axis_w - s.size(), ' ') + s;
+    };
+
+    std::ostringstream os;
+    for (size_t r = 0; r < height; ++r) {
+        std::string axis(axis_w, ' ');
+        if (r == 0)
+            axis = pad(top);
+        else if (r == height / 2)
+            axis = pad(mid);
+        else if (r == height - 1)
+            axis = pad(bot);
+        os << axis << " |" << grid[r] << '\n';
+    }
+    os << std::string(axis_w + 1, ' ') << '+'
+       << std::string(width, '-') << '\n';
+    {
+        std::string lab = fmtG(x_lo, 3);
+        std::string right = fmtG(x_hi, 3);
+        size_t gap = width > lab.size() + right.size()
+                         ? width - lab.size() - right.size()
+                         : 1;
+        os << std::string(axis_w + 2, ' ') << lab
+           << std::string(gap, ' ') << right;
+        if (!x_label.empty())
+            os << "  [" << x_label << "]";
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
 renderBars(const std::vector<std::pair<std::string, double>> &bars,
            size_t width, const std::string &unit)
 {

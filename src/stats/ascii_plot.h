@@ -61,6 +61,24 @@ std::string renderBars(
     const std::vector<std::pair<std::string, double>> &bars,
     size_t width = 50, const std::string &unit = "");
 
+/**
+ * Render one time series as an ASCII scatter plot: x is time (linear
+ * from first to last point), y is value, axis labels via the same
+ * grow-to-fit formatters as renderCdfPlot. Points that share a column
+ * each plot their own row (a vertical streak shows within-column
+ * spread). Used by `paichar obs timeline --plot`.
+ *
+ * @param points  (time, value) pairs, time non-decreasing; must be
+ *                non-empty.
+ * @param width   Plot width in characters.
+ * @param height  Plot height in rows.
+ * @param x_label Axis caption printed under the plot.
+ */
+std::string renderSeriesPlot(
+    const std::vector<std::pair<double, double>> &points,
+    size_t width = 64, size_t height = 16,
+    const std::string &x_label = "");
+
 } // namespace paichar::stats
 
 #endif // PAICHAR_STATS_ASCII_PLOT_H

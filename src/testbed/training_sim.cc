@@ -7,6 +7,7 @@
 #include "collectives/strategy.h"
 #include "core/analytical_model.h"
 #include "obs/job_log.h"
+#include "obs/timeline.h"
 #include "sim/topology.h"
 
 namespace paichar::testbed {
@@ -401,6 +402,20 @@ TrainingSimulator::runPipelined(const workload::CaseStudyModel &model,
         }
     }
     cluster.drain();
+
+    // Timeline: replay step completions in step order. The drain's
+    // internal event order depends on queue internals, but
+    // step_finish is a pure function of the inputs, so replaying it
+    // afterwards gives thread/shard-independent rows.
+    if (obs::timelineActive()) {
+        obs::Timeline *tl = obs::timeline();
+        obs::Timeline::Rate &steps_rate =
+            tl->rate("testbed.steps");
+        for (double finish : st->step_finish) {
+            tl->advanceTo(finish);
+            steps_rate.add();
+        }
+    }
 
     PipelineResult result;
     result.steps = steps;

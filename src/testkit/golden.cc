@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "cli/cli.h"
 #include "runtime/parallel.h"
@@ -66,9 +68,20 @@ checkGolden(const std::string &name,
 
     // Run under the full thread x shard matrix; require identical
     // bytes everywhere (the binary-level determinism contracts of
-    // the runtime layer and the sharded event engine).
+    // the runtime layer and the sharded event engine). Artifact
+    // files the command writes are held to the same contract.
     std::string output;
+    std::vector<std::string> artifacts(opts.artifact_files.size());
     bool first = true;
+    auto readArtifact =
+        [](const std::string &path) -> std::optional<std::string> {
+        std::ifstream f(path, std::ios::binary);
+        if (!f)
+            return std::nullopt;
+        std::ostringstream buf;
+        buf << f.rdbuf();
+        return std::move(buf).str();
+    };
     for (int threads : opts.thread_counts) {
         for (int shards : opts.shard_counts) {
             std::vector<std::string> full = args;
@@ -94,7 +107,6 @@ checkGolden(const std::string &name,
             }
             if (first) {
                 output = out.str();
-                first = false;
             } else if (out.str() != output) {
                 r.message = name + ": output differs between " +
                             "--threads " +
@@ -105,44 +117,91 @@ checkGolden(const std::string &name,
                             firstDifference(output, out.str());
                 return r;
             }
+            for (size_t i = 0; i < opts.artifact_files.size(); ++i) {
+                auto text = readArtifact(opts.artifact_files[i]);
+                if (!text) {
+                    r.message = name + ": command did not write '" +
+                                opts.artifact_files[i] + "' under " +
+                                combo;
+                    return r;
+                }
+                if (first) {
+                    artifacts[i] = std::move(*text);
+                } else if (*text != artifacts[i]) {
+                    r.message = name + ": artifact '" +
+                                opts.artifact_files[i] +
+                                "' differs between --threads " +
+                                std::to_string(
+                                    opts.thread_counts[0]) +
+                                " --shards " +
+                                std::to_string(opts.shard_counts[0]) +
+                                " and " + combo + "\n" +
+                                firstDifference(artifacts[i], *text);
+                    return r;
+                }
+            }
+            first = false;
         }
     }
 
-    const std::string path = opts.dir + "/" + name + ".golden";
+    // Snapshot names: <name>.golden for stdout, then
+    // <name>.<basename>.golden per artifact file.
+    std::vector<std::pair<std::string, const std::string *>> snaps;
+    snaps.emplace_back(opts.dir + "/" + name + ".golden", &output);
+    for (size_t i = 0; i < opts.artifact_files.size(); ++i) {
+        const std::string &p = opts.artifact_files[i];
+        auto slash = p.rfind('/');
+        std::string base =
+            slash == std::string::npos ? p : p.substr(slash + 1);
+        snaps.emplace_back(opts.dir + "/" + name + "." + base +
+                               ".golden",
+                           &artifacts[i]);
+    }
+
     if (updateGoldensRequested()) {
-        std::ofstream f(path, std::ios::binary | std::ios::trunc);
-        if (!f || !(f << output)) {
-            r.message = name + ": cannot write golden '" + path + "'";
-            return r;
+        size_t total = 0;
+        for (const auto &[path, text] : snaps) {
+            std::ofstream f(path,
+                            std::ios::binary | std::ios::trunc);
+            if (!f || !(f << *text)) {
+                r.message =
+                    name + ": cannot write golden '" + path + "'";
+                return r;
+            }
+            total += text->size();
         }
         r.ok = true;
         r.updated = true;
-        r.message = name + ": recorded " +
-                    std::to_string(output.size()) + " bytes";
+        r.message = name + ": recorded " + std::to_string(total) +
+                    " bytes across " +
+                    std::to_string(snaps.size()) + " snapshot(s)";
         return r;
     }
 
-    std::ifstream f(path, std::ios::binary);
-    if (!f) {
-        r.message = name + ": missing golden '" + path +
-                    "' — record with PAICHAR_UPDATE_GOLDENS=1";
-        return r;
-    }
-    std::ostringstream expected;
-    expected << f.rdbuf();
-    if (expected.str() != output) {
-        r.message = name + ": output does not match '" + path + "'\n" +
-                    firstDifference(expected.str(), output) +
-                    "\n  re-record with PAICHAR_UPDATE_GOLDENS=1 "
-                    "after reviewing";
-        return r;
+    for (const auto &[path, text] : snaps) {
+        std::ifstream f(path, std::ios::binary);
+        if (!f) {
+            r.message = name + ": missing golden '" + path +
+                        "' — record with PAICHAR_UPDATE_GOLDENS=1";
+            return r;
+        }
+        std::ostringstream expected;
+        expected << f.rdbuf();
+        if (expected.str() != *text) {
+            r.message = name + ": output does not match '" + path +
+                        "'\n" + firstDifference(expected.str(), *text) +
+                        "\n  re-record with PAICHAR_UPDATE_GOLDENS=1 "
+                        "after reviewing";
+            return r;
+        }
     }
     r.ok = true;
     r.message = name + ": matched (" +
                 std::to_string(output.size()) + " bytes, " +
                 std::to_string(opts.thread_counts.size() *
                                opts.shard_counts.size()) +
-                " thread x shard combinations)";
+                " thread x shard combinations, " +
+                std::to_string(snaps.size()) + " snapshot(s))";
     return r;
 }
 

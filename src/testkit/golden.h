@@ -46,6 +46,15 @@ struct GoldenOptions
      * keeps commands that never touch the event engine cheap.
      */
     std::vector<int> shard_counts{1};
+    /**
+     * Files the command writes (e.g. a --timeline export) to hold to
+     * the same contract as stdout: after every thread x shard combo
+     * the harness reads each file, requires byte-identity across the
+     * matrix, and compares/records it against
+     * <name>.<basename>.golden. Paths are read as given (tests
+     * chdir into their scratch directory).
+     */
+    std::vector<std::string> artifact_files;
 };
 
 /** Outcome of one golden check. */

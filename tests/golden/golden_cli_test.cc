@@ -66,11 +66,13 @@ class GoldenCliTest : public ::testing::Test
     void
     expectGolden(const std::string &name,
                  const std::vector<std::string> &args,
-                 std::vector<int> shard_counts = {1})
+                 std::vector<int> shard_counts = {1},
+                 std::vector<std::string> artifact_files = {})
     {
         GoldenOptions opts;
         opts.dir = PAICHAR_GOLDEN_DIR;
         opts.shard_counts = std::move(shard_counts);
+        opts.artifact_files = std::move(artifact_files);
         GoldenResult r = checkGolden(name, args, opts);
         EXPECT_TRUE(r.ok) << r.message;
         if (r.updated)
@@ -219,6 +221,32 @@ TEST_F(GoldenCliTest, Capacity)
                  {"capacity", "resnet50", "--qps", "3000",
                   "--slo-ms", "40", "--requests", "8000"},
                  {1, 2, 8});
+}
+
+// Timeline exports are held to the same determinism bar as stdout:
+// the harness byte-compares the written CSV across the full
+// --threads x --shards matrix and against its own snapshot.
+
+TEST_F(GoldenCliTest, ScheduleTimeline)
+{
+    expectGolden("schedule_timeline",
+                 {"schedule", "golden_trace.csv", "--servers", "48",
+                  "--rate", "120", "--timeline", "schedule_tl.csv",
+                  "--timeline-interval", "60"},
+                 {1, 2, 8}, {"schedule_tl.csv"});
+}
+
+// The SLO-driven autoscaler under bursty load, with the fleet-size
+// trajectory (inference.fleet.servers_up) recorded as a timeline
+// series — the windowed-p99 feed closing ROADMAP item 2's loop.
+TEST_F(GoldenCliTest, ServeSloTimeline)
+{
+    expectGolden("serve_slo_timeline",
+                 {"serve", "resnet50", "--autoscale", "slo",
+                  "--slo-ms", "10", "--arrival", "bursty", "--qps",
+                  "1800", "--requests", "60000", "--timeline",
+                  "serve_tl.csv", "--timeline-interval", "5"},
+                 {1, 2, 8}, {"serve_tl.csv"});
 }
 
 } // namespace

@@ -34,6 +34,7 @@
 #include "inference/fleet_sim.h"
 #include "inference/serving_sim.h"
 #include "obs/obs.h"
+#include "obs/timeline.h"
 #include "sim/event_queue.h"
 #include "stats/arrival.h"
 #include "stats/ascii_plot.h"
@@ -278,6 +279,34 @@ TEST(NdebugArrivalTest, StreamValidationThrowsUnderNdebug)
     cfg.kind = stats::ArrivalKind::Diurnal;
     cfg.diurnal_amplitude = 1.5;
     EXPECT_THROW(stats::ArrivalStream(cfg, 1),
+                 std::invalid_argument);
+}
+
+TEST(NdebugTimelineTest, IntervalValidationThrowsUnderNdebug)
+{
+    // The interval comes straight from --timeline-interval, so a
+    // non-positive or non-finite value must be a real exception in
+    // release builds, not an assert that NDEBUG strips.
+    EXPECT_THROW(obs::Timeline{0.0}, std::invalid_argument);
+    EXPECT_THROW(obs::Timeline{-10.0}, std::invalid_argument);
+    EXPECT_THROW(obs::Timeline{kNan}, std::invalid_argument);
+    EXPECT_THROW(obs::Timeline{kInf}, std::invalid_argument);
+    EXPECT_THROW(obs::startTimeline(0.0), std::invalid_argument);
+    EXPECT_FALSE(obs::timelineActive());
+    EXPECT_NO_THROW(obs::Timeline{1.0});
+}
+
+TEST(NdebugTimelineTest, SloAutoscalerValidationThrowsUnderNdebug)
+{
+    inference::FleetConfig bad;
+    bad.autoscaler.enabled = true;
+    bad.autoscaler.mode =
+        inference::AutoscalerConfig::Mode::SloLatency;
+    bad.autoscaler.slo_latency = 0.0;
+    EXPECT_THROW(inference::FleetSimulator{bad},
+                 std::invalid_argument);
+    bad.autoscaler.slo_latency = kNan;
+    EXPECT_THROW(inference::FleetSimulator{bad},
                  std::invalid_argument);
 }
 

@@ -112,6 +112,27 @@ TEST(LoadRunDataTest, ParsesMetricsSummaryText)
                      4096.0);
 }
 
+TEST(LoadRunDataTest, AcceptsDashFieldsFromEmptyHistograms)
+{
+    // renderMetricsSummary prints '-' for the statistics of an empty
+    // histogram; the loader keeps the count and simply omits the
+    // absent fields from the scalar view (absent, not 0 -- a zero
+    // would read as a regression in obs diff).
+    std::string text =
+        "# paichar metrics (1 registered)\n"
+        "histogram runtime.task_us                    count 0 "
+        "mean - p50 - p95 - max -\n";
+    RunLoad load = loadRunData(text);
+    ASSERT_TRUE(load.ok) << load.error;
+    EXPECT_EQ(load.data.kind, RunData::Kind::Metrics);
+    EXPECT_DOUBLE_EQ(load.data.scalars.at("runtime.task_us.count"),
+                     0.0);
+    EXPECT_EQ(load.data.scalars.count("runtime.task_us.mean"), 0u);
+    EXPECT_EQ(load.data.scalars.count("runtime.task_us.p50"), 0u);
+    EXPECT_EQ(load.data.scalars.count("runtime.task_us.p95"), 0u);
+    EXPECT_EQ(load.data.scalars.count("runtime.task_us.max"), 0u);
+}
+
 TEST(LoadRunDataTest, ParsesOpenMetricsText)
 {
     std::string text =

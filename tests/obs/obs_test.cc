@@ -95,6 +95,57 @@ TEST(ObsMetricsTest, HistogramStatsAreExactWhereDocumented)
     EXPECT_DOUBLE_EQ(h.max(), 0.0);
 }
 
+TEST(ObsMetricsTest, GaugeSetRatchetsPeakButNeverLowersIt)
+{
+    // set() documents peak-ratchet semantics: the peak follows the
+    // highest level ever set, and a later lower set() moves the
+    // value without touching the peak.
+    Gauge &g = gauge("test.gauge_set_ratchet");
+    g.set(10);
+    g.set(3);
+    EXPECT_EQ(g.value(), 3);
+    EXPECT_EQ(g.peak(), 10);
+    g.set(12);
+    EXPECT_EQ(g.value(), 12);
+    EXPECT_EQ(g.peak(), 12);
+    // A negative level never drags the peak below zero (peak starts
+    // at 0 and only ratchets up).
+    g.reset();
+    g.set(-4);
+    EXPECT_EQ(g.value(), -4);
+    EXPECT_EQ(g.peak(), 0);
+}
+
+TEST(ObsMetricsTest, EmptyHistogramQuantileIsNaNAndEmptyIsTrue)
+{
+    Histogram &h = histogram("test.hist_empty_quantile");
+    EXPECT_TRUE(h.empty());
+    // NaN, not a silent 0.0: callers must check empty() first, and
+    // the renderers print '-' for empty histograms.
+    EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(h.quantile(0.99)));
+    h.observe(4.0);
+    EXPECT_FALSE(h.empty());
+    EXPECT_FALSE(std::isnan(h.quantile(0.5)));
+    h.reset();
+    EXPECT_TRUE(h.empty());
+    EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(ObsMetricsTest, SummaryRendersDashesForEmptyHistograms)
+{
+    histogram("test.hist_render_empty");
+    std::string s = renderMetricsSummary();
+    auto pos = s.find("test.hist_render_empty");
+    ASSERT_NE(pos, std::string::npos);
+    auto line_end = s.find('\n', pos);
+    std::string line = s.substr(pos, line_end - pos);
+    EXPECT_NE(line.find("count 0"), std::string::npos) << line;
+    EXPECT_NE(line.find("mean - p50 - p95 - max -"),
+              std::string::npos)
+        << line;
+}
+
 TEST(ObsMetricsTest, HistogramMaxHandlesNegativeObservations)
 {
     Histogram &h = histogram("test.hist_negative");
